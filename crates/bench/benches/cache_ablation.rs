@@ -1,0 +1,27 @@
+//! The caching ablation (paper §5 "Performance", the pubs no-cache
+//! anecdote): the same Pubs workload with the derivation cache on and off,
+//! plus cold-vs-warm single checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_apps::{build_app, pubs, run_workload};
+use hummingbird::Mode;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(10);
+    let spec = pubs();
+    group.bench_function("pubs_cached", |b| {
+        let mut hb = build_app(&spec, Mode::Full);
+        run_workload(&spec, &mut hb, 1);
+        b.iter(|| run_workload(&spec, &mut hb, 1));
+    });
+    group.bench_function("pubs_uncached", |b| {
+        let mut hb = build_app(&spec, Mode::NoCache);
+        run_workload(&spec, &mut hb, 1);
+        b.iter(|| run_workload(&spec, &mut hb, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

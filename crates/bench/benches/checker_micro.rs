@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the pipeline stages: parsing, lowering, one static
+//! check, and cache-hit dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_il::{collect_method_defs, lower_method};
+use hb_syntax::parse_program;
+use hummingbird::Hummingbird;
+
+const METHOD: &str = r##"
+def classify(xs, limit)
+  small = []
+  big = []
+  xs.each do |x|
+    if x < limit
+      small << x
+    else
+      big << x
+    end
+  end
+  "#{small.size} small, #{big.size} big"
+end
+"##;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_micro");
+    group.bench_function("parse_method", |b| {
+        b.iter(|| parse_program(METHOD, "m.rb").unwrap());
+    });
+    group.bench_function("lower_method", |b| {
+        let p = parse_program(METHOD, "m.rb").unwrap();
+        let defs = collect_method_defs(&p);
+        b.iter(|| lower_method(&defs[0].def));
+    });
+    group.bench_function("jit_check_once", |b| {
+        b.iter(|| {
+            let mut hb = Hummingbird::new();
+            hb.eval(
+                "class M\n type :classify, \"(Array<Fixnum>, Fixnum) -> String\", { \"check\" => true }\n def classify(xs, limit)\n  small = []\n  big = []\n  xs.each do |x|\n   if x < limit\n    small << x\n   else\n    big << x\n   end\n  end\n  \"#{small.size} small\"\n end\nend\nM.new.classify([1, 5], 3)",
+            )
+            .unwrap();
+        });
+    });
+    group.bench_function("cache_hit_call", |b| {
+        let mut hb = Hummingbird::new();
+        hb.eval(
+            "class M\n type :idm, \"(Fixnum) -> Fixnum\", { \"check\" => true }\n def idm(x)\n  x\n end\nend\n$m = M.new\n$m.idm(1)\ndef hits(n)\n i = 0\n while i < n\n  $m.idm(i)\n  i += 1\n end\n nil\nend",
+        )
+        .unwrap();
+        b.iter(|| hb.eval("hits(100)").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

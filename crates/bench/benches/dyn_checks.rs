@@ -1,0 +1,60 @@
+//! The §4 "Eliminating Dynamic Checks" optimisation: a checked-to-checked
+//! call chain with dynamic argument checks enabled vs disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hummingbird::Hummingbird;
+
+const CHAIN: &str = r#"
+class Chain
+  type :a, "(Fixnum) -> Fixnum", { "check" => true }
+  type :b, "(Fixnum) -> Fixnum", { "check" => true }
+  type :c, "(Fixnum) -> Fixnum", { "check" => true }
+  def a(x)
+    b(x + 1)
+  end
+  def b(x)
+    c(x + 1)
+  end
+  def c(x)
+    x + 1
+  end
+end
+$chain = Chain.new
+$chain.a(0)
+def drive_chain(n)
+  i = 0
+  while i < n
+    $chain.a(i)
+    i += 1
+  end
+  nil
+end
+"#;
+
+fn bench_dyn_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyn_checks");
+    group.sample_size(10);
+    group.bench_function("elided_from_checked_callers", |b| {
+        let mut hb = Hummingbird::new();
+        hb.eval(CHAIN).unwrap();
+        b.iter(|| hb.eval("drive_chain(200)").unwrap());
+    });
+    group.bench_function("forced_everywhere", |b| {
+        let mut hb = Hummingbird::new();
+        hb.eval(CHAIN).unwrap();
+        // Disable the optimisation: every annotated call dynamically
+        // checks its arguments even from checked callers.
+        let mut cfg = hb.engine.config();
+        cfg.dyn_arg_checks = true;
+        hb.engine.set_config(cfg);
+        hb.eval(
+            "class Chain\n type :b, \"(Fixnum) -> Fixnum\", { \"dyn\" => true }\n type :c, \"(Fixnum) -> Fixnum\", { \"dyn\" => true }\nend",
+        )
+        .unwrap();
+        b.iter(|| hb.eval("drive_chain(200)").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dyn_checks);
+criterion_main!(benches);

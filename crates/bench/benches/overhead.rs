@@ -1,0 +1,33 @@
+//! Criterion version of Table 1's timing columns: each subject app's
+//! workload under the three modes (Orig / No$ / Hum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_apps::{all_apps, build_app, run_workload};
+use hummingbird::Mode;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_overhead");
+    group.sample_size(10);
+    for spec in all_apps() {
+        for (label, mode) in [
+            ("orig", Mode::Original),
+            ("nocache", Mode::NoCache),
+            ("hum", Mode::Full),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, spec.name),
+                &mode,
+                |b, &mode| {
+                    // Build once; the workload is what Table 1 times.
+                    let mut hb = build_app(&spec, mode);
+                    run_workload(&spec, &mut hb, 1); // warm caches/defs
+                    b.iter(|| run_workload(&spec, &mut hb, 2));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates paper Table 1: type checking results and overhead for the
+//! six subject apps, in three modes (Orig / No$ / Hum).
+//!
+//! Absolute times are host- and interpreter-specific; the shapes that must
+//! match the paper are (a) every app type checks, (b) Hum is far faster
+//! than No$, (c) metaprogramming apps need generated types, and (d) ratios
+//! stay within small multiples of Orig.
+
+use hb_apps::{all_apps, measure_app};
+use hb_bench::{format_table1_row, table1_header};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let repeats: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("Table 1 reproduction (workload iters={iters}, repeats={repeats})");
+    println!("{}", table1_header());
+    for spec in all_apps() {
+        let row = measure_app(&spec, iters, repeats);
+        println!("{}", format_table1_row(&row));
+    }
+    println!();
+    println!("Columns: LoC | static types (Chk'd/App/All) | dynamic types (Gen'd/Used) |");
+    println!("Casts/Phs | wall-clock per mode and Hum/Orig ratio | static checks run in No$/Hum.");
+}

@@ -1,0 +1,495 @@
+//! The Hummingbird engine: just-in-time static type checking at method
+//! entry, with a memoised derivation cache (paper §3's 𝒳) and Definition-1
+//! invalidation.
+//!
+//! The engine is a dispatch hook ([`CallHook`]): when an annotated method is
+//! called it (a) runs any needed dynamic argument checks (rules (EApp*),
+//! minimised per §4 "Eliminating Dynamic Checks"), and (b) if the method is
+//! marked for checking, statically checks its body against the *current*
+//! type table — once, caching the outcome keyed by the receiver's class.
+
+use crate::info::RegistryInfo;
+use crate::stats::{CheckLogItem, EngineStats, PhaseTracker};
+use hb_check::{check_sig, CheckOptions};
+use hb_il::{lower_block_body, lower_method, MethodCfg};
+use hb_interp::{
+    CallHook, ClassId, DispatchInfo, ErrorKind, HbError, HookOutcome, Interp, InterpEvent,
+    MethodBody, Value,
+};
+use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, TableEntry};
+use hb_types::TypeEnv;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Engine configuration — the evaluation's three modes are built from
+/// these switches.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Master switch: when false the hook does nothing (used with cleared
+    /// hooks for the "Orig" column).
+    pub enabled: bool,
+    /// Memoise static checks (off for the "No$" column).
+    pub caching: bool,
+    /// Dynamically check arguments from unchecked callers.
+    pub dyn_arg_checks: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            enabled: true,
+            caching: true,
+            dyn_arg_checks: true,
+        }
+    }
+}
+
+/// A memoised check: the paper's cache entry `(DM, D≤)`, represented by
+/// what must stay unchanged for the derivation to remain valid.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// The method-table entry id the body was lowered from ((EDef)
+    /// invalidation: redefinition changes the id).
+    method_entry_id: u64,
+    /// The annotation version the body was checked against ((EType)
+    /// invalidation: type changes bump it).
+    sig_version: u64,
+    /// The (TApp) dependency set of Definition 1(2); retained so cache
+    /// entries are self-describing in debug dumps.
+    #[allow(dead_code)]
+    deps: BTreeSet<MethodKey>,
+}
+
+#[derive(Default)]
+struct EngineState {
+    cache: HashMap<MethodKey, CacheEntry>,
+    /// dep (annotation key) → cache keys whose derivations used it.
+    dependents: HashMap<MethodKey, HashSet<MethodKey>>,
+    /// Lowered bodies by method-entry id (also used for reload diffing).
+    cfgs: HashMap<u64, Rc<MethodCfg>>,
+    stats: EngineStats,
+    phase: PhaseTracker,
+}
+
+/// The engine. Shared between the interpreter hook registration and the
+/// host application through `Rc`.
+pub struct Engine {
+    pub rdl: Rc<RdlState>,
+    config: RefCell<Config>,
+    state: RefCell<EngineState>,
+    check_opts: CheckOptions,
+}
+
+impl Engine {
+    /// Creates an engine over the given RDL state.
+    pub fn new(rdl: Rc<RdlState>) -> Engine {
+        Engine {
+            rdl,
+            config: RefCell::new(Config::default()),
+            state: RefCell::new(EngineState::default()),
+            check_opts: CheckOptions::default(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> Config {
+        *self.config.borrow()
+    }
+
+    /// Replaces the configuration.
+    pub fn set_config(&self, c: Config) {
+        *self.config.borrow_mut() = c;
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.state.borrow().stats.clone();
+        s.phases = self.state.borrow().phase.phases();
+        s.cache_entries = self.state.borrow().cache.len();
+        s
+    }
+
+    /// Clears statistics counters (not the cache).
+    pub fn reset_stats(&self) {
+        let mut st = self.state.borrow_mut();
+        st.stats = EngineStats::default();
+        st.phase = PhaseTracker::default();
+    }
+
+    /// Takes the log of static checks performed since the last call (used
+    /// by the Table 2 update experiment).
+    pub fn take_check_log(&self) -> Vec<CheckLogItem> {
+        std::mem::take(&mut self.state.borrow_mut().stats.check_log)
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.state.borrow().cache.len()
+    }
+
+    /// Drops the whole cache (tests / ablation).
+    pub fn clear_cache(&self) {
+        let mut st = self.state.borrow_mut();
+        st.cache.clear();
+        st.dependents.clear();
+    }
+
+    // ----- invalidation ------------------------------------------------------
+
+    /// Processes pending interpreter and RDL events, performing
+    /// Definition 1 invalidation.
+    pub fn process_events(&self, interp: &mut Interp) {
+        let ievents = interp.drain_events();
+        let revents = self.rdl.drain_events();
+        if ievents.is_empty() && revents.is_empty() {
+            return;
+        }
+        let mut st = self.state.borrow_mut();
+        for ev in ievents {
+            st.phase.note_annotation(); // method creation happens in the
+                                        // annotate/metaprogramming phase
+            match ev {
+                InterpEvent::MethodRedefined {
+                    class,
+                    name,
+                    class_level,
+                    old_id,
+                    new_id,
+                } => {
+                    let unchanged = Self::redefinition_unchanged(
+                        &st, interp, class, &name, class_level, old_id, new_id,
+                    );
+                    if unchanged {
+                        // Same body: re-point cached derivations at the new
+                        // entry id instead of invalidating (dev-mode reload
+                        // CFG diffing, paper §4).
+                        for entry in st.cache.values_mut() {
+                            if entry.method_entry_id == old_id {
+                                entry.method_entry_id = new_id;
+                            }
+                        }
+                    } else {
+                        let key = MethodKey {
+                            class: interp.registry.name(class).to_string(),
+                            class_level,
+                            method: name.clone(),
+                        };
+                        Self::invalidate(&mut st, &key, true);
+                    }
+                }
+                InterpEvent::MethodRemoved {
+                    class,
+                    name,
+                    class_level,
+                } => {
+                    let key = MethodKey {
+                        class: interp.registry.name(class).to_string(),
+                        class_level,
+                        method: name,
+                    };
+                    Self::invalidate(&mut st, &key, true);
+                }
+                InterpEvent::MethodAdded { .. } | InterpEvent::ModuleIncluded { .. } => {
+                    // New methods have no cached derivations; conservative
+                    // users may clear the cache on include, but includes in
+                    // our apps precede first calls.
+                }
+            }
+        }
+        for ev in revents {
+            st.phase.note_annotation();
+            match ev {
+                // Adding a new arm re-checks the method itself (version
+                // mismatch at next hit) but leaves dependents valid —
+                // the §4 "Cache Invalidation" intersection subtlety.
+                RdlEvent::ArmAdded(key) => {
+                    st.cache.remove(&key);
+                }
+                RdlEvent::TypeReplaced(key) => {
+                    Self::invalidate(&mut st, &key, true);
+                }
+                RdlEvent::TypeAdded(_) => {}
+            }
+        }
+    }
+
+    /// Is a redefinition body-identical (per CFG shape)?
+    fn redefinition_unchanged(
+        st: &EngineState,
+        interp: &Interp,
+        class: ClassId,
+        name: &str,
+        class_level: bool,
+        old_id: u64,
+        _new_id: u64,
+    ) -> bool {
+        let Some(old_cfg) = st.cfgs.get(&old_id) else {
+            return false;
+        };
+        let found = if class_level {
+            interp.registry.find_smethod(class, name)
+        } else {
+            interp.registry.find_method(class, name)
+        };
+        let Some((_, entry)) = found else {
+            return false;
+        };
+        match lower_entry(&entry) {
+            Some(new_cfg) => new_cfg.same_shape(old_cfg),
+            None => false,
+        }
+    }
+
+    /// Removes a cache entry and (optionally) every entry that depends on
+    /// it — Definition 1.
+    fn invalidate(st: &mut EngineState, key: &MethodKey, with_dependents: bool) {
+        st.cache.remove(key);
+        st.stats.invalidations += 1;
+        if with_dependents {
+            if let Some(deps) = st.dependents.remove(key) {
+                for d in deps {
+                    if st.cache.remove(&d).is_some() {
+                        st.stats.dependent_invalidations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- the just-in-time check ---------------------------------------------
+
+    fn ensure_checked(
+        &self,
+        interp: &mut Interp,
+        info: &DispatchInfo,
+        cache_key: &MethodKey,
+        annotation_key: &MethodKey,
+        table_entry: &TableEntry,
+    ) -> Result<(), HbError> {
+        let caching = self.config.borrow().caching;
+        {
+            let st = self.state.borrow();
+            if caching {
+                if let Some(c) = st.cache.get(cache_key) {
+                    if c.method_entry_id == info.entry.id && c.sig_version == table_entry.version
+                    {
+                        drop(st);
+                        self.state.borrow_mut().stats.cache_hits += 1;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // Miss: lower (or fetch) the body CFG and statically check it.
+        let cfg = {
+            let st = self.state.borrow();
+            st.cfgs.get(&info.entry.id).cloned()
+        };
+        let cfg = match cfg {
+            Some(c) => c,
+            None => {
+                let lowered = lower_entry(&info.entry).ok_or_else(|| {
+                    HbError::new(
+                        ErrorKind::Internal,
+                        format!("cannot lower body of {}", cache_key.display()),
+                        info.span,
+                    )
+                })?;
+                let rc = Rc::new(lowered);
+                self.state
+                    .borrow_mut()
+                    .cfgs
+                    .insert(info.entry.id, rc.clone());
+                rc
+            }
+        };
+        // Captured locals of define_method procs are typed from their
+        // runtime values — the just-in-time analogue of Fig. 2.
+        let captured: Option<TypeEnv> = match &info.entry.body {
+            MethodBody::FromProc(p) => {
+                let env: TypeEnv = p
+                    .env
+                    .collect_bindings()
+                    .into_iter()
+                    .map(|(k, v)| (k, type_of(interp, &v)))
+                    .collect();
+                Some(env)
+            }
+            _ => None,
+        };
+        let reg_info = RegistryInfo(&interp.registry);
+        let outcome = check_sig(
+            &cfg,
+            &cache_key.class,
+            cache_key.class_level,
+            &table_entry.sig,
+            &reg_info,
+            &self.rdl,
+            captured.as_ref(),
+            &self.check_opts,
+        )
+        .map_err(|e| {
+            HbError::new(
+                ErrorKind::TypeBlame,
+                format!(
+                    "type error in {} (checked at call): {}",
+                    cache_key.display(),
+                    e.message
+                ),
+                if e.span == hb_syntax::Span::dummy() {
+                    info.span
+                } else {
+                    e.span
+                },
+            )
+        })?;
+        // The signature itself is "used during type checking" (Table 1's
+        // Used column counts generated annotations consulted either as a
+        // callee type or as the checked method's own signature).
+        self.rdl.mark_used(annotation_key);
+        let mut st = self.state.borrow_mut();
+        st.stats.checks_performed += 1;
+        st.stats
+            .check_log
+            .push(CheckLogItem {
+                key: cache_key.clone(),
+            });
+        st.stats
+            .checked_methods
+            .insert(cache_key.display());
+        st.stats.cast_sites.extend(outcome.cast_sites.iter().copied());
+        st.phase.note_check();
+        if caching {
+            for dep in &outcome.deps {
+                st.dependents
+                    .entry(dep.clone())
+                    .or_default()
+                    .insert(cache_key.clone());
+            }
+            st.cache.insert(
+                cache_key.clone(),
+                CacheEntry {
+                    method_entry_id: info.entry.id,
+                    sig_version: table_entry.version,
+                    deps: outcome.deps,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn dynamic_arg_check(
+        &self,
+        interp: &Interp,
+        info: &DispatchInfo,
+        entry: &TableEntry,
+        args: &[Value],
+        key: &MethodKey,
+    ) -> Result<(), HbError> {
+        self.state.borrow_mut().stats.dyn_arg_checks += 1;
+        self.rdl.inner.borrow_mut().dyn_checks_run += 1;
+        let mut arity_ok = false;
+        for arm in &entry.sig.arms {
+            if !arm.accepts_arity(args.len()) {
+                continue;
+            }
+            arity_ok = true;
+            let all = args.iter().enumerate().all(|(i, a)| {
+                match arm.param_at(i) {
+                    Some(pt) => value_conforms(interp, a, &pt.erase_vars()),
+                    None => false,
+                }
+            });
+            if all {
+                return Ok(());
+            }
+        }
+        let got: Vec<String> = args
+            .iter()
+            .map(|a| interp.class_name_of(a))
+            .collect();
+        Err(HbError::new(
+            ErrorKind::ContractBlame,
+            if arity_ok {
+                format!(
+                    "dynamic type check failed calling {}: arguments ({}) do not match {}",
+                    key.display(),
+                    got.join(", "),
+                    entry.sig
+                )
+            } else {
+                format!(
+                    "dynamic type check failed calling {}: wrong number of arguments ({})",
+                    key.display(),
+                    args.len()
+                )
+            },
+            info.span,
+        ))
+    }
+}
+
+/// Lowers a checkable method entry to a CFG.
+fn lower_entry(entry: &hb_interp::MethodEntry) -> Option<MethodCfg> {
+    match &entry.body {
+        MethodBody::Ast(def) => Some(lower_method(def)),
+        MethodBody::FromProc(p) => Some(lower_block_body(&p.params, &p.body, p.span)),
+        MethodBody::Builtin(_) => None,
+    }
+}
+
+impl CallHook for Engine {
+    fn before_call(
+        &self,
+        interp: &mut Interp,
+        info: &DispatchInfo,
+        _recv: &Value,
+        args: &[Value],
+    ) -> Result<HookOutcome, HbError> {
+        if !self.config.borrow().enabled {
+            return Ok(HookOutcome::default());
+        }
+        self.process_events(interp);
+        self.state.borrow_mut().stats.intercepted_calls += 1;
+
+        // Resolve the annotation along the receiver class's ancestors, the
+        // same path dispatch used.
+        let chain: Vec<String> = interp
+            .registry
+            .ancestors(info.recv_class)
+            .into_iter()
+            .map(|c| interp.registry.name(c).to_string())
+            .collect();
+        let found = self
+            .rdl
+            .lookup_along(&chain, info.class_level, &info.name);
+        let Some((annotation_key, table_entry)) = found else {
+            return Ok(HookOutcome::default());
+        };
+
+        // The cache key is the *receiver's* class (module methods cache per
+        // mix-in class, paper §4 "Modules").
+        let cache_key = MethodKey {
+            class: interp.registry.name(info.recv_class).to_string(),
+            class_level: info.class_level,
+            method: info.name.clone(),
+        };
+
+        // Dynamic argument checks: only from unchecked callers, unless the
+        // method is flagged always-check (the Rails params exception).
+        let cfg = self.config.borrow();
+        let need_dyn = cfg.dyn_arg_checks
+            && (!interp.current_caller_checked() || table_entry.always_dyn_check);
+        drop(cfg);
+        if need_dyn {
+            self.dynamic_arg_check(interp, info, &table_entry, args, &cache_key)?;
+        }
+
+        if table_entry.check {
+            self.ensure_checked(interp, info, &cache_key, &annotation_key, &table_entry)?;
+            return Ok(HookOutcome { mark_checked: true });
+        }
+        Ok(HookOutcome::default())
+    }
+}

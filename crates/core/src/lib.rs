@@ -1,0 +1,163 @@
+//! # Hummingbird: just-in-time static type checking for dynamic languages
+//!
+//! A from-scratch reproduction of *"Just-in-Time Static Type Checking for
+//! Dynamic Languages"* (Ren & Foster, PLDI 2016). Type annotations are
+//! programs: they execute at run time (including from metaprogramming
+//! hooks), building a live type table. When an annotated method is called,
+//! its body is statically type checked against the *current* table — once —
+//! and the resulting derivation is cached, with invalidation when methods
+//! or types change (paper Definitions 1–2).
+//!
+//! The [`Hummingbird`] facade owns the RubyLite interpreter host, the RDL
+//! annotation layer and the engine:
+//!
+//! ```
+//! use hummingbird::Hummingbird;
+//!
+//! let mut hb = Hummingbird::new();
+//! hb.eval(r#"
+//! class Talk
+//!   type :title_line, "(String) -> String", { "check" => true }
+//!   def title_line(prefix)
+//!     prefix + ": talk"
+//!   end
+//! end
+//! Talk.new.title_line("PLDI")
+//! "#)
+//! .unwrap();
+//! assert_eq!(hb.stats().checks_performed, 1);
+//! ```
+
+pub mod engine;
+pub mod info;
+pub mod reload;
+pub mod stats;
+
+pub use engine::{Config, Engine};
+pub use info::RegistryInfo;
+pub use reload::{FileMethod, ReloadReport};
+pub use stats::{CheckLogItem, EngineStats};
+
+pub use hb_check::{CheckError, CheckOptions};
+pub use hb_interp::{ErrorKind, HbError, Interp, Value};
+pub use hb_rdl::{MethodKey, RdlState, RdlStats};
+
+use hb_rdl::{install_rdl, RdlHook};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The core-library annotations shipped with the engine (the analogue of
+/// RDL's bundled types).
+pub const CORELIB_ANNOTATIONS: &str = include_str!("../annotations/corelib.rb");
+
+/// The three evaluation modes of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// "Orig": no interception at all.
+    Original,
+    /// "No$": full checking with the derivation cache disabled.
+    NoCache,
+    /// "Hum": full checking with caching.
+    Full,
+}
+
+/// The assembled Hummingbird system: interpreter + RDL + engine.
+pub struct Hummingbird {
+    pub interp: Interp,
+    pub rdl: Rc<RdlState>,
+    pub engine: Rc<Engine>,
+    pub(crate) file_methods: HashMap<String, Vec<FileMethod>>,
+}
+
+impl Hummingbird {
+    /// A fully enabled system with core-library annotations loaded.
+    pub fn new() -> Hummingbird {
+        Hummingbird::with_mode(Mode::Full)
+    }
+
+    /// Builds a system in the given evaluation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled core-library annotations fail to load (a build
+    /// defect, not a runtime condition).
+    pub fn with_mode(mode: Mode) -> Hummingbird {
+        let mut interp = Interp::new();
+        let rdl = install_rdl(&mut interp);
+        let engine = Rc::new(Engine::new(rdl.clone()));
+        if mode != Mode::Original {
+            interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
+            interp.add_hook(engine.clone());
+        }
+        engine.set_config(Config {
+            enabled: mode != Mode::Original,
+            caching: mode != Mode::NoCache,
+            dyn_arg_checks: mode != Mode::Original,
+        });
+        let mut hb = Hummingbird {
+            interp,
+            rdl,
+            engine,
+            file_methods: HashMap::new(),
+        };
+        if mode != Mode::Original {
+            // "Orig" runs without Hummingbird entirely; otherwise load the
+            // bundled core-library types.
+            hb.load_file("<corelib>", CORELIB_ANNOTATIONS)
+                .expect("core-library annotations must load");
+        }
+        // Core-library annotation loading is setup, not app behaviour.
+        hb.engine.reset_stats();
+        hb.rdl.drain_events();
+        hb
+    }
+
+    /// Loads a source file into the running system.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors and uncaught runtime errors (including blame).
+    pub fn load_file(&mut self, name: &str, src: &str) -> Result<Value, HbError> {
+        self.track_file_methods(name, src);
+        self.interp.load_program(name, src)
+    }
+
+    /// Evaluates a source string.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors and uncaught runtime errors (including blame).
+    pub fn eval(&mut self, src: &str) -> Result<Value, HbError> {
+        self.interp.load_program("<eval>", src)
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// RDL annotation statistics snapshot.
+    pub fn rdl_stats(&self) -> RdlStats {
+        self.rdl.stats()
+    }
+
+    /// Switches caching on/off at run time (ablation).
+    pub fn set_caching(&self, on: bool) {
+        let mut c = self.engine.config();
+        c.caching = on;
+        self.engine.set_config(c);
+    }
+
+    /// Switches dynamic argument checks on/off at run time (ablation).
+    pub fn set_dyn_arg_checks(&self, on: bool) {
+        let mut c = self.engine.config();
+        c.dyn_arg_checks = on;
+        self.engine.set_config(c);
+    }
+}
+
+impl Default for Hummingbird {
+    fn default() -> Self {
+        Hummingbird::new()
+    }
+}

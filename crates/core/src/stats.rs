@@ -1,0 +1,108 @@
+//! Engine statistics feeding the evaluation tables.
+
+use hb_rdl::MethodKey;
+use std::collections::BTreeSet;
+
+/// One static check performed (Table 2's "Chk'd" column counts these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckLogItem {
+    pub key: MethodKey,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Static checks actually run (cache misses).
+    pub checks_performed: u64,
+    /// Calls answered from the derivation cache.
+    pub cache_hits: u64,
+    /// Calls that went through the engine hook.
+    pub intercepted_calls: u64,
+    /// Dynamic argument checks executed.
+    pub dyn_arg_checks: u64,
+    /// Cache invalidations of the method itself.
+    pub invalidations: u64,
+    /// Cache invalidations of dependents (Definition 1(2)).
+    pub dependent_invalidations: u64,
+    /// Distinct `rdl_cast` sites seen by the checker (Table 1 "Casts").
+    pub cast_sites: BTreeSet<(u32, u32, u32)>,
+    /// Distinct methods statically checked.
+    pub checked_methods: BTreeSet<String>,
+    /// Annotate→check alternation groups (Table 1 "Phs").
+    pub phases: u64,
+    /// Live cache entries at snapshot time.
+    pub cache_entries: usize,
+    /// Log of checks performed (drained by the update experiment).
+    pub check_log: Vec<CheckLogItem>,
+}
+
+/// Tracks the paper's §5 "phases": a phase is a run of annotation events
+/// followed by a run of static checks.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTracker {
+    pending_annotations: bool,
+    phases: u64,
+    any_check: bool,
+}
+
+impl PhaseTracker {
+    /// Notes that a type annotation (or method definition) executed.
+    pub fn note_annotation(&mut self) {
+        self.pending_annotations = true;
+    }
+
+    /// Notes that a static check ran; opens a new phase if annotations
+    /// happened since the previous check.
+    pub fn note_check(&mut self) {
+        if self.pending_annotations || !self.any_check {
+            self.phases += 1;
+            self.pending_annotations = false;
+        }
+        self.any_check = true;
+    }
+
+    /// The number of completed phases.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_when_annotations_precede_all_checks() {
+        let mut p = PhaseTracker::default();
+        p.note_annotation();
+        p.note_annotation();
+        p.note_check();
+        p.note_check();
+        p.note_check();
+        assert_eq!(p.phases(), 1);
+    }
+
+    #[test]
+    fn interleaving_counts_phases() {
+        // Rolify-style: define → check → define → check.
+        let mut p = PhaseTracker::default();
+        p.note_annotation();
+        p.note_check();
+        p.note_annotation();
+        p.note_check();
+        p.note_annotation();
+        p.note_check();
+        assert_eq!(p.phases(), 3);
+    }
+
+    #[test]
+    fn checks_without_annotations_stay_in_phase() {
+        let mut p = PhaseTracker::default();
+        p.note_annotation();
+        p.note_check();
+        p.note_check();
+        p.note_annotation();
+        p.note_check();
+        assert_eq!(p.phases(), 2);
+    }
+}

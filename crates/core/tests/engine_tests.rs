@@ -1,0 +1,708 @@
+//! Engine integration tests: just-in-time checking, memoisation,
+//! invalidation, dynamic checks, metaprogramming flows from the paper's
+//! figures, and dev-mode reloading.
+
+use hummingbird::{ErrorKind, Hummingbird, Mode};
+
+fn hb() -> Hummingbird {
+    Hummingbird::new()
+}
+
+#[test]
+fn checks_on_first_call_and_caches() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Talk
+  type :owner?, "(String) -> %bool", { "check" => true }
+  def owner?(user)
+    user == "alice"
+  end
+end
+t = Talk.new
+t.owner?("alice")
+t.owner?("bob")
+t.owner?("carol")
+"#,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert_eq!(s.checks_performed, 1, "checked once at first call");
+    assert_eq!(s.cache_hits, 2, "later calls hit the cache");
+}
+
+#[test]
+fn no_cache_mode_rechecks_every_call() {
+    let mut hb = Hummingbird::with_mode(Mode::NoCache);
+    hb.eval(
+        r#"
+class Talk
+  type :go, "() -> Fixnum", { "check" => true }
+  def go
+    1
+  end
+end
+t = Talk.new
+t.go
+t.go
+t.go
+"#,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert_eq!(s.checks_performed, 3);
+    assert_eq!(s.cache_hits, 0);
+}
+
+#[test]
+fn original_mode_does_nothing() {
+    let mut hb = Hummingbird::with_mode(Mode::Original);
+    hb.eval(
+        r#"
+class Talk
+  type :go, "() -> Fixnum", { "check" => true }
+  def go
+    "not an int"
+  end
+end
+Talk.new.go
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 0);
+    assert_eq!(hb.stats().intercepted_calls, 0);
+}
+
+#[test]
+fn type_error_is_blame_at_call() {
+    let mut hb = hb();
+    // Loading the class is fine (bodies are not checked at definition,
+    // paper rule (TDef)).
+    hb.eval(
+        r#"
+class Talk
+  type :bad, "() -> Fixnum", { "check" => true }
+  def bad
+    "string"
+  end
+end
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 0);
+    // The error appears when the method is first called.
+    let err = hb.eval("Talk.new.bad").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Talk#bad"), "{}", err.message);
+}
+
+#[test]
+fn blame_is_not_rescuable() {
+    let mut hb = hb();
+    let err = hb
+        .eval(
+            r#"
+class T
+  type :bad, "() -> Fixnum", { "check" => true }
+  def bad
+    "s"
+  end
+end
+begin
+  T.new.bad
+rescue => e
+  "swallowed"
+end
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+}
+
+#[test]
+fn def_and_type_order_is_free() {
+    // Paper: "there is no ordering dependency between def and type".
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class A
+  def m(x)
+    x + 1
+  end
+end
+class A
+  type :m, "(Fixnum) -> Fixnum", { "check" => true }
+end
+A.new.m(1)
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+}
+
+#[test]
+fn calling_method_typed_in_same_body_before_execution_fails() {
+    // The paper's §3 example: a method that defines B.m, types it, then
+    // calls it — the type expression has not executed when the body is
+    // checked, so the call has no type.
+    let mut hb = hb();
+    let err = hb
+        .eval(
+            r#"
+class B
+end
+class A
+  type :m, "() -> %any", { "check" => true }
+  def m
+    B.define_method(:bm) { 1 }
+    type B, :bm, "() -> Fixnum"
+    B.new.bm
+  end
+end
+A.new.m
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("no type for B#bm"), "{}", err.message);
+}
+
+#[test]
+fn figure2_dynamic_method_with_generated_type_checks() {
+    // Fig. 2 end-to-end: define_dynamic_method creates methods and a pre
+    // hook supplies their types; bodies are checked at first call.
+    let mut hb = hb();
+    hb.eval(
+        r##"
+module RolifyDynamic
+  def define_dynamic_method(role_name)
+    self.class.class_eval do
+      define_method("is_#{role_name}?".to_sym) do
+        has_role?("#{role_name}")
+      end if !method_defined?("is_#{role_name}?".to_sym)
+    end
+  end
+end
+class User
+  include RolifyDynamic
+  type :has_role?, "(String) -> %bool", { "check" => true }
+  def initialize
+    @roles = []
+  end
+  var_type :@roles, "Array<String>"
+  def has_role?(r)
+    @roles.include?(r)
+  end
+end
+pre User, :define_dynamic_method do |role_name|
+  type "is_#{role_name}?", "() -> %bool", { "check" => true }
+  true
+end
+user = User.new
+user.define_dynamic_method("professor")
+user.is_professor?
+"##,
+    )
+    .unwrap();
+    let s = hb.stats();
+    // has_role? and is_professor? both statically checked.
+    assert!(
+        s.checked_methods.contains("User#is_professor?"),
+        "{:?}",
+        s.checked_methods
+    );
+    assert!(s.checked_methods.contains("User#has_role?"));
+    // The generated annotation counts as dynamically generated and used.
+    let rs = hb.rdl_stats();
+    assert!(rs.dynamic_generated >= 1);
+    assert!(rs.dynamic_used >= 1);
+}
+
+#[test]
+fn figure3_struct_add_types_checks_consumer() {
+    let mut hb = hb();
+    hb.eval(
+        r##"
+class Struct
+  def self.add_types(*types)
+    members.zip(types).each {|pair|
+      name = pair[0]
+      t = pair[1]
+      self.class_eval do
+        type name, "() -> #{t}"
+        type "#{name}=", "(#{t}) -> #{t}"
+      end
+    }
+  end
+end
+Transaction = Struct.new(:kind, :account_name, :amount)
+Transaction.add_types("String", "String", "String")
+class ApplicationRunner
+  type :process, "(Array<Transaction>) -> Array<String>", { "check" => true }
+  def process(transactions)
+    transactions.map { |t| t.account_name.upcase }
+  end
+end
+ApplicationRunner.new.process([Transaction.new("credit", "alice", "100")])
+"##,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert!(s.checked_methods.contains("ApplicationRunner#process"));
+    let rs = hb.rdl_stats();
+    assert!(rs.dynamic_generated >= 6, "{rs:?}");
+}
+
+#[test]
+fn redefinition_invalidates_and_rechecks() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class A
+  type :m, "() -> Fixnum", { "check" => true }
+  def m
+    1
+  end
+end
+A.new.m
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    // Redefine with a different body: next call rechecks.
+    hb.eval("class A\n def m\n  2\n end\nend\nA.new.m").unwrap();
+    assert_eq!(hb.stats().checks_performed, 2);
+    // Redefine with a type-incorrect body: next call blames.
+    let err = hb
+        .eval("class A\n def m\n  \"s\"\n end\nend\nA.new.m")
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+}
+
+#[test]
+fn dependent_invalidation_on_type_replace() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Helper
+  type :value, "() -> Fixnum", { "check" => true }
+  def value
+    41
+  end
+end
+class UserOfHelper
+  type :compute, "(Helper) -> Fixnum", { "check" => true }
+  def compute(h)
+    h.value + 1
+  end
+end
+UserOfHelper.new.compute(Helper.new)
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 2);
+    // Replace Helper#value's type: compute's cached derivation used it, so
+    // it must recheck — and now fail, since value returns String.
+    let err = hb
+        .eval(
+            r#"
+class Helper
+  type :value, "() -> String", { "replace" => true }
+  def value
+    "forty-one"
+  end
+end
+UserOfHelper.new.compute(Helper.new)
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("UserOfHelper#compute"), "{}", err.message);
+}
+
+#[test]
+fn adding_intersection_arm_keeps_dependents() {
+    // §4 "Cache Invalidation": a new arm re-checks the method itself but
+    // does not invalidate dependents.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class H
+  type :v, "() -> Fixnum", { "check" => true }
+  def v
+    1
+  end
+end
+class U
+  type :c, "(H) -> Fixnum", { "check" => true }
+  def c(h)
+    h.v + 1
+  end
+end
+U.new.c(H.new)
+"#,
+    )
+    .unwrap();
+    let before = hb.stats();
+    assert_eq!(before.checks_performed, 2);
+    // Add an arm to H#v (the body satisfies both: 1 is a Fixnum... second
+    // arm takes an optional arg form).
+    hb.eval("class H\n type :v, \"(?Fixnum) -> Fixnum\"\nend").unwrap();
+    hb.eval("U.new.c(H.new)").unwrap();
+    let after = hb.stats();
+    // H#v rechecked (against both arms); U#c stayed cached.
+    assert_eq!(after.dependent_invalidations, 0);
+    assert!(after.checked_methods.contains("H#v"));
+    assert_eq!(
+        after.checks_performed,
+        before.checks_performed + 1,
+        "only H#v rechecked"
+    );
+}
+
+#[test]
+fn module_methods_cached_per_mixin_class() {
+    // §4 "Modules": M#foo checks separately as C#foo and D#foo.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+module M
+  def foo(x)
+    bar(x)
+  end
+end
+class C
+  include M
+  type :foo, "(Fixnum) -> Fixnum", { "check" => true }
+  type :bar, "(Fixnum) -> Fixnum", { "check" => true }
+  def bar(x)
+    x + 1
+  end
+end
+class D
+  include M
+  type :foo, "(Fixnum) -> String", { "check" => true }
+  type :bar, "(Fixnum) -> String", { "check" => true }
+  def bar(x)
+    x.to_s
+  end
+end
+C.new.foo(1)
+D.new.foo(2)
+"#,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert!(s.checked_methods.contains("C#foo"));
+    assert!(s.checked_methods.contains("D#foo"));
+    assert_eq!(s.checks_performed, 4);
+}
+
+#[test]
+fn dynamic_arg_check_from_unchecked_caller() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class T
+  type :takes_int, "(Fixnum) -> Fixnum", { "check" => true }
+  def takes_int(x)
+    x + 1
+  end
+end
+"#,
+    )
+    .unwrap();
+    // Top-level caller is unchecked: args are dynamically checked.
+    hb.eval("T.new.takes_int(1)").unwrap();
+    assert!(hb.stats().dyn_arg_checks >= 1);
+    let err = hb.eval("T.new.takes_int(\"oops\")").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::ContractBlame);
+}
+
+#[test]
+fn dyn_checks_skipped_between_checked_methods() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class T
+  type :outer, "() -> Fixnum", { "check" => true }
+  type :inner, "(Fixnum) -> Fixnum", { "check" => true }
+  def outer
+    inner(5)
+  end
+  def inner(x)
+    x + 1
+  end
+end
+"#,
+    )
+    .unwrap();
+    hb.eval("T.new.outer").unwrap();
+    let with_elim = hb.stats().dyn_arg_checks;
+    // Only the outer call (from the unchecked top level) is dyn-checked;
+    // the inner call comes from a statically checked frame.
+    assert_eq!(with_elim, 1, "inner call must skip the dynamic check");
+}
+
+#[test]
+fn always_dyn_check_flag_overrides_elimination() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class T
+  type :outer, "() -> Fixnum", { "check" => true }
+  type :params_like, "(Fixnum) -> Fixnum", { "check" => true, "dyn" => true }
+  def outer
+    params_like(5)
+  end
+  def params_like(x)
+    x + 1
+  end
+end
+"#,
+    )
+    .unwrap();
+    hb.eval("T.new.outer").unwrap();
+    assert_eq!(hb.stats().dyn_arg_checks, 2, "params-style methods always check");
+}
+
+#[test]
+fn rdl_cast_checks_dynamically_and_promotes_statically() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Loader
+  type :load_ints, "(Array) -> Fixnum", { "check" => true }
+  def load_ints(raw)
+    xs = raw.rdl_cast("Array<Fixnum>")
+    xs[0] + 1
+  end
+end
+Loader.new.load_ints([1, 2, 3])
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().cast_sites.len(), 1);
+    // A failing cast is contract blame.
+    let err = hb.eval("Loader.new.load_ints([1, \"x\"])").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::ContractBlame);
+}
+
+#[test]
+fn reload_unchanged_method_keeps_cache() {
+    let mut hb = hb();
+    let v1 = r#"
+class A
+  def stable
+    1
+  end
+  def changing
+    1
+  end
+end
+"#;
+    hb.load_file("a.rb", v1).unwrap();
+    hb.eval(
+        r#"
+class A
+  type :stable, "() -> Fixnum", { "check" => true }
+  type :changing, "() -> Fixnum", { "check" => true }
+end
+A.new.stable
+A.new.changing
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 2);
+    // Reload with only `changing` changed.
+    let v2 = r#"
+class A
+  def stable
+    1
+  end
+  def changing
+    2
+  end
+end
+"#;
+    let report = hb.reload_file("a.rb", v2).unwrap();
+    assert_eq!(report.changed, vec!["A#changing"]);
+    assert!(report.added.is_empty());
+    assert!(report.removed.is_empty());
+    hb.eval("A.new.stable\nA.new.changing").unwrap();
+    let s = hb.stats();
+    // Only `changing` rechecked; `stable` still cached.
+    assert_eq!(s.checks_performed, 3, "{:?}", s.checked_methods);
+}
+
+#[test]
+fn reload_detects_added_and_removed() {
+    let mut hb = hb();
+    hb.load_file("b.rb", "class B\n def gone\n 1\n end\nend").unwrap();
+    let report = hb
+        .reload_file("b.rb", "class B\n def fresh\n 2\n end\nend")
+        .unwrap();
+    assert_eq!(report.added, vec!["B#fresh"]);
+    assert_eq!(report.removed, vec!["B#gone"]);
+}
+
+#[test]
+fn reload_invalidates_dependents_of_changed_methods() {
+    let mut hb = hb();
+    hb.load_file(
+        "c.rb",
+        r#"
+class Dep
+  def base
+    1
+  end
+  def caller_m
+    base + 1
+  end
+end
+"#,
+    )
+    .unwrap();
+    hb.eval(
+        r#"
+class Dep
+  type :base, "() -> Fixnum", { "check" => true }
+  type :caller_m, "() -> Fixnum", { "check" => true }
+end
+Dep.new.caller_m
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 2);
+    let report = hb
+        .reload_file(
+            "c.rb",
+            r#"
+class Dep
+  def base
+    2
+  end
+  def caller_m
+    base + 1
+  end
+end
+"#,
+        )
+        .unwrap();
+    assert_eq!(report.changed, vec!["Dep#base"]);
+    hb.eval("Dep.new.caller_m").unwrap();
+    // base changed → base rechecked; caller_m depends on base's type...
+    // which did not change, but the paper's reload invalidates dependents
+    // of changed methods, so caller_m rechecks too.
+    let s = hb.stats();
+    assert!(s.checks_performed >= 4, "{}", s.checks_performed);
+}
+
+#[test]
+fn phases_count_annotation_check_alternations() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class P
+  type :a, "() -> Fixnum", { "check" => true }
+  type :b, "() -> Fixnum", { "check" => true }
+  def a
+    1
+  end
+  def b
+    2
+  end
+end
+P.new.a
+P.new.b
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().phases, 1, "annotations then checks = one phase");
+    hb.eval(
+        r#"
+class P
+  type :c, "() -> Fixnum", { "check" => true }
+  def c
+    3
+  end
+end
+P.new.c
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().phases, 2);
+}
+
+#[test]
+fn trusted_annotations_are_not_statically_checked() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Lib
+  type :helper, "() -> Fixnum"
+  def helper
+    "actually a string"
+  end
+end
+Lib.new.helper
+"#,
+    )
+    .unwrap();
+    // No static check ran (trusted), so the lie is not caught statically.
+    assert_eq!(hb.stats().checks_performed, 0);
+}
+
+#[test]
+fn unannotated_methods_run_unchecked() {
+    let mut hb = hb();
+    hb.eval("class Z\n def free\n \"anything\"\n end\nend\nZ.new.free")
+        .unwrap();
+    assert_eq!(hb.stats().checks_performed, 0);
+}
+
+#[test]
+fn class_level_methods_check_too() {
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Registry
+  type "self.register", "(String) -> String", { "check" => true }
+  def self.register(name)
+    name.upcase
+  end
+end
+Registry.register("x")
+"#,
+    )
+    .unwrap();
+    assert!(hb.stats().checked_methods.contains("Registry.register"));
+}
+
+#[test]
+fn check_error_inside_block_is_reported() {
+    let mut hb = hb();
+    let err = hb
+        .eval(
+            r#"
+class W
+  type :sum_names, "(Array<String>) -> Fixnum", { "check" => true }
+  def sum_names(names)
+    total = 0
+    names.each do |n|
+      total += n
+    end
+    total
+  end
+end
+W.new.sum_names(["a"])
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(
+        err.message.contains("Fixnum#+") || err.message.contains("argument type mismatch"),
+        "{}",
+        err.message
+    );
+}

@@ -1,0 +1,205 @@
+//! App specifications: sources, annotations, workloads.
+
+/// A subject application, fully described.
+pub struct AppSpec {
+    pub name: &'static str,
+    pub rails: bool,
+    pub needs_datafile: bool,
+    /// Schema/setup files (not counted in LoC).
+    pub schema: &'static [(&'static str, &'static str)],
+    /// App code files (counted in LoC; contain the checked methods).
+    pub sources: &'static [(&'static str, &'static str)],
+    /// Annotation files (skipped in Orig mode).
+    pub annotations: &'static [(&'static str, &'static str)],
+    /// Workload driver files (never checked, not counted).
+    pub driver: &'static [(&'static str, &'static str)],
+    /// Expression run once after loading (seeding).
+    pub seed: &'static str,
+    /// Builds the workload call for `iters` iterations.
+    pub workload_call: fn(usize) -> String,
+    /// Classes owned by the app (for Table 1's App/All split).
+    pub app_classes: &'static [&'static str],
+}
+
+/// The Talks Rails app (paper's first subject).
+pub fn talks() -> AppSpec {
+    AppSpec {
+        name: "Talks",
+        rails: true,
+        needs_datafile: false,
+        schema: &[(
+            "talks/schema.rb",
+            r#"
+DB.create_table("users", { "name" => "String", "email" => "String", "password" => "String", "admin" => "%bool" })
+DB.create_table("talks", { "title" => "String", "abstract" => "String", "speaker" => "String", "owner_id" => "Fixnum", "talk_list_id" => "Fixnum", "completed" => "%bool" })
+DB.create_table("talk_lists", { "name" => "String", "owner_id" => "Fixnum" })
+DB.create_table("subscriptions", { "user_id" => "Fixnum", "talk_list_id" => "Fixnum" })
+"#,
+        )],
+        sources: &[
+            ("talks/models.rb", include_str!("../apps/talks/models.rb")),
+            (
+                "talks/controllers.rb",
+                include_str!("../apps/talks/controllers.rb"),
+            ),
+        ],
+        annotations: &[(
+            "talks/annotations.rb",
+            include_str!("../apps/talks/annotations.rb"),
+        )],
+        driver: &[("talks/driver.rb", include_str!("../apps/talks/driver.rb"))],
+        seed: "talks_seed",
+        workload_call: |n| format!("talks_workload({n})"),
+        app_classes: &[
+            "User",
+            "Talk",
+            "TalkList",
+            "Subscription",
+            "ApplicationController",
+            "TalksHelper",
+            "TalksController",
+            "ListsController",
+            "TalkFormatter",
+        ],
+    }
+}
+
+/// The Boxroom Rails app (file sharing).
+pub fn boxroom() -> AppSpec {
+    AppSpec {
+        name: "Boxroom",
+        rails: true,
+        needs_datafile: false,
+        schema: &[(
+            "boxroom/schema.rb",
+            r#"
+DB.create_table("box_users", { "name" => "String", "admin" => "%bool" })
+DB.create_table("folders", { "name" => "String", "parent_id" => "Fixnum" })
+DB.create_table("user_files", { "name" => "String", "folder_id" => "Fixnum", "size_bytes" => "Fixnum", "uploader_id" => "Fixnum" })
+"#,
+        )],
+        sources: &[
+            ("boxroom/models.rb", include_str!("../apps/boxroom/models.rb")),
+            (
+                "boxroom/controllers.rb",
+                include_str!("../apps/boxroom/controllers.rb"),
+            ),
+        ],
+        annotations: &[(
+            "boxroom/annotations.rb",
+            include_str!("../apps/boxroom/annotations.rb"),
+        )],
+        driver: &[(
+            "boxroom/driver.rb",
+            include_str!("../apps/boxroom/driver.rb"),
+        )],
+        seed: "boxroom_seed",
+        workload_call: |n| format!("boxroom_workload({n})"),
+        app_classes: &[
+            "BoxUser",
+            "Folder",
+            "UserFile",
+            "FoldersController",
+            "FilesController",
+        ],
+    }
+}
+
+/// The Pubs Rails app (publication lists; the no-cache stress case).
+pub fn pubs() -> AppSpec {
+    AppSpec {
+        name: "Pubs",
+        rails: true,
+        needs_datafile: false,
+        schema: &[(
+            "pubs/schema.rb",
+            r#"
+DB.create_table("authors", { "name" => "String" })
+DB.create_table("publications", { "title" => "String", "venue" => "String", "year" => "Fixnum", "kind" => "String", "author_id" => "Fixnum" })
+"#,
+        )],
+        sources: &[
+            ("pubs/models.rb", include_str!("../apps/pubs/models.rb")),
+            (
+                "pubs/controllers.rb",
+                include_str!("../apps/pubs/controllers.rb"),
+            ),
+        ],
+        annotations: &[(
+            "pubs/annotations.rb",
+            include_str!("../apps/pubs/annotations.rb"),
+        )],
+        driver: &[("pubs/driver.rb", include_str!("../apps/pubs/driver.rb"))],
+        seed: "pubs_seed",
+        workload_call: |n| format!("pubs_workload({n})"),
+        app_classes: &["Author", "Publication", "PubsController"],
+    }
+}
+
+/// The Rolify library (paper Fig. 2).
+pub fn rolify() -> AppSpec {
+    AppSpec {
+        name: "Rolify",
+        rails: false,
+        needs_datafile: false,
+        schema: &[],
+        sources: &[("rolify/lib.rb", include_str!("../apps/rolify/lib.rb"))],
+        annotations: &[(
+            "rolify/annotations.rb",
+            include_str!("../apps/rolify/annotations.rb"),
+        )],
+        driver: &[("rolify/driver.rb", include_str!("../apps/rolify/driver.rb"))],
+        seed: "",
+        workload_call: |n| format!("rolify_workload({n})"),
+        app_classes: &["Rolify::Dynamic", "RoleUser"],
+    }
+}
+
+/// The Credit Card Transactions library (paper Fig. 3).
+pub fn cct() -> AppSpec {
+    AppSpec {
+        name: "CCT",
+        rails: false,
+        needs_datafile: false,
+        schema: &[],
+        sources: &[("cct/lib.rb", include_str!("../apps/cct/lib.rb"))],
+        annotations: &[(
+            "cct/annotations.rb",
+            include_str!("../apps/cct/annotations.rb"),
+        )],
+        driver: &[("cct/driver.rb", include_str!("../apps/cct/driver.rb"))],
+        seed: "",
+        workload_call: |n| format!("cct_workload({n}, 40)"),
+        app_classes: &["Transaction", "Account", "ApplicationRunner", "Struct"],
+    }
+}
+
+/// The Countries app (no metaprogramming — the baseline).
+pub fn countries() -> AppSpec {
+    AppSpec {
+        name: "Countries",
+        rails: false,
+        needs_datafile: true,
+        schema: &[],
+        sources: &[(
+            "countries/lib.rb",
+            include_str!("../apps/countries/lib.rb"),
+        )],
+        annotations: &[(
+            "countries/annotations.rb",
+            include_str!("../apps/countries/annotations.rb"),
+        )],
+        driver: &[(
+            "countries/driver.rb",
+            include_str!("../apps/countries/driver.rb"),
+        )],
+        seed: "",
+        workload_call: |n| format!("countries_workload({n})"),
+        app_classes: &["Country", "CountryIndex"],
+    }
+}
+
+/// All six subject apps in Table 1 order.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![talks(), boxroom(), pubs(), rolify(), cct(), countries()]
+}

@@ -1,0 +1,79 @@
+//! The `DataFile` substrate for Countries: stands in for the paper's
+//! `Marshal.load(File.binread(f))` — deserialized data of arbitrary type
+//! that the app must `rdl_cast` into shape (paper §4 "Type Casts").
+
+use hb_interp::{ErrorKind, Flow, HbError, Interp, Value};
+use hb_syntax::Span;
+use std::rc::Rc;
+
+/// Country records: code → (name, region, subregion, currency, population,
+/// German translation).
+const COUNTRIES: &[(&str, &str, &str, &str, &str, i64, &str)] = &[
+    ("us", "United States", "Americas", "Northern America", "USD", 331_000_000, "Vereinigte Staaten"),
+    ("br", "Brazil", "Americas", "South America", "BRL", 212_000_000, "Brasilien"),
+    ("de", "Germany", "Europe", "Western Europe", "EUR", 83_000_000, "Deutschland"),
+    ("fr", "France", "Europe", "Western Europe", "EUR", 67_000_000, "Frankreich"),
+    ("it", "Italy", "Europe", "Southern Europe", "EUR", 60_000_000, "Italien"),
+    ("jp", "Japan", "Asia", "Eastern Asia", "JPY", 126_000_000, "Japan"),
+    ("in", "India", "Asia", "Southern Asia", "INR", 1_380_000_000, "Indien"),
+    ("ng", "Nigeria", "Africa", "Western Africa", "NGN", 206_000_000, "Nigeria"),
+];
+
+fn country_hash(rec: &(&str, &str, &str, &str, &str, i64, &str)) -> Value {
+    let (code, name, region, subregion, currency, population, de) = *rec;
+    Value::hash_from(vec![
+        (Value::str("alpha2"), Value::str(code)),
+        (Value::str("name"), Value::str(name)),
+        (Value::str("region"), Value::str(region)),
+        (Value::str("subregion"), Value::str(subregion)),
+        (Value::str("currency"), Value::str(currency)),
+        (Value::str("population"), Value::Int(population)),
+        (
+            Value::str("translations"),
+            Value::hash_from(vec![(Value::str("de"), Value::str(de))]),
+        ),
+    ])
+}
+
+/// Registers the `DataFile` class with its `read` method.
+pub fn install_datafile(interp: &mut Interp) {
+    let cls = interp.define_class("DataFile", None);
+    interp.define_builtin(
+        cls,
+        "read",
+        true,
+        Rc::new(|_i, _recv, args, _b| match args.first() {
+            Some(Value::Str(s)) if &**s == "countries" => Ok(Value::hash_from(
+                COUNTRIES
+                    .iter()
+                    .map(|rec| (Value::str(rec.0), country_hash(rec)))
+                    .collect(),
+            )),
+            other => Err(Flow::Error(HbError::new(
+                ErrorKind::ArgumentError,
+                format!("DataFile.read: unknown data file {other:?}"),
+                Span::dummy(),
+            ))),
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datafile_returns_nested_hashes() {
+        let mut i = Interp::new();
+        install_datafile(&mut i);
+        let v = i
+            .eval_str("DataFile.read(\"countries\")[\"de\"][\"name\"]")
+            .unwrap();
+        assert!(v.raw_eq(&Value::str("Germany")));
+        let v = i
+            .eval_str("DataFile.read(\"countries\")[\"fr\"][\"translations\"][\"de\"]")
+            .unwrap();
+        assert!(v.raw_eq(&Value::str("Frankreich")));
+        assert!(i.eval_str("DataFile.read(\"other\")").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! The six subject applications of the Hummingbird evaluation (paper §5)
+//! and the measurement harness that regenerates Table 1's rows.
+//!
+//! Three apps are Rails apps over the `hb-rails` substrate (Talks, Boxroom,
+//! Pubs), Rolify and CCT use other metaprogramming styles (Fig. 2 and
+//! Fig. 3), and Countries is the no-metaprogramming baseline.
+
+pub mod apps;
+pub mod datafile;
+pub mod table1;
+pub mod talks_history;
+
+pub use apps::{all_apps, boxroom, cct, countries, pubs, rolify, talks, AppSpec};
+pub use table1::{measure_app, AppCounts, Table1Row};
+
+use hummingbird::{Hummingbird, Mode};
+
+/// Builds an app in the given evaluation mode: substrates, app sources,
+/// annotations (unless `Mode::Original`), seed data.
+///
+/// # Panics
+///
+/// Panics if any app file fails to load or type check at boot — these are
+/// fixture defects, not runtime conditions.
+pub fn build_app(spec: &AppSpec, mode: Mode) -> Hummingbird {
+    let mut hb = Hummingbird::with_mode(mode);
+    if spec.rails {
+        hb_rails::install_rails(&mut hb, mode != Mode::Original)
+            .unwrap_or_else(|e| panic!("{}: rails install failed: {e}", spec.name));
+    }
+    if spec.needs_datafile {
+        datafile::install_datafile(&mut hb.interp);
+    }
+    for (name, src) in spec.schema {
+        hb.load_file(name, src)
+            .unwrap_or_else(|e| panic!("{}: schema {name} failed: {e}", spec.name));
+    }
+    for (name, src) in spec.sources {
+        hb.load_file(name, src)
+            .unwrap_or_else(|e| panic!("{}: source {name} failed: {e}", spec.name));
+    }
+    if mode != Mode::Original {
+        for (name, src) in spec.annotations {
+            hb.load_file(name, src)
+                .unwrap_or_else(|e| panic!("{}: annotations {name} failed: {e}", spec.name));
+        }
+    }
+    for (name, src) in spec.driver {
+        hb.load_file(name, src)
+            .unwrap_or_else(|e| panic!("{}: driver {name} failed: {e}", spec.name));
+    }
+    if !spec.seed.is_empty() {
+        hb.eval(spec.seed)
+            .unwrap_or_else(|e| panic!("{}: seed failed: {e}", spec.name));
+    }
+    hb
+}
+
+/// Runs the app's workload for `iters` iterations.
+///
+/// # Panics
+///
+/// Panics on uncaught runtime errors (workloads are expected to pass).
+pub fn run_workload(spec: &AppSpec, hb: &mut Hummingbird, iters: usize) {
+    let call = (spec.workload_call)(iters);
+    hb.eval(&call)
+        .unwrap_or_else(|e| panic!("{}: workload failed: {e}", spec.name));
+}
+
+/// Counts non-blank, non-comment lines (the sloccount analogue for the
+/// Table 1 LoC column).
+pub fn count_loc(sources: &[(&str, &str)]) -> usize {
+    sources
+        .iter()
+        .map(|(_, src)| {
+            src.lines()
+                .filter(|l| {
+                    let t = l.trim();
+                    !t.is_empty() && !t.starts_with('#')
+                })
+                .count()
+        })
+        .sum()
+}

@@ -1,0 +1,174 @@
+//! End-to-end tests of the six subject apps: all must boot, run their
+//! workloads under full checking with no type errors (the paper's headline
+//! result), and produce the expected metaprogramming statistics.
+
+use hb_apps::table1::compute_counts;
+use hb_apps::talks_history::{error_versions, run_error_version, run_update_experiment};
+use hb_apps::{all_apps, build_app, run_workload};
+use hummingbird::Mode;
+
+#[test]
+fn all_apps_typecheck_under_full_checking() {
+    for spec in all_apps() {
+        let mut hb = build_app(&spec, Mode::Full);
+        run_workload(&spec, &mut hb, 2);
+        let stats = hb.stats();
+        assert!(
+            stats.checks_performed > 0,
+            "{}: nothing was checked",
+            spec.name
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "{}: cache never hit",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_apps_run_in_original_mode() {
+    for spec in all_apps() {
+        let mut hb = build_app(&spec, Mode::Original);
+        run_workload(&spec, &mut hb, 1);
+        assert_eq!(hb.stats().checks_performed, 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn all_apps_run_without_cache() {
+    for spec in all_apps() {
+        let mut hb = build_app(&spec, Mode::NoCache);
+        run_workload(&spec, &mut hb, 2);
+        let s = hb.stats();
+        assert_eq!(s.cache_hits, 0, "{}", spec.name);
+        assert!(s.checks_performed > 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn caching_reduces_checks_dramatically() {
+    // The paper's central performance claim: with the cache each method is
+    // checked once; without, hot methods re-check on every call.
+    let spec = hb_apps::pubs();
+    let mut full = build_app(&spec, Mode::Full);
+    run_workload(&spec, &mut full, 4);
+    let with_cache = full.stats().checks_performed;
+    let mut nocache = build_app(&spec, Mode::NoCache);
+    run_workload(&spec, &mut nocache, 4);
+    let without = nocache.stats().checks_performed;
+    assert!(
+        without > with_cache * 20,
+        "expected a big blowup: cached={with_cache} uncached={without}"
+    );
+}
+
+#[test]
+fn rails_apps_rely_on_generated_types() {
+    for spec in [hb_apps::talks(), hb_apps::boxroom(), hb_apps::pubs()] {
+        let mut hb = build_app(&spec, Mode::Full);
+        run_workload(&spec, &mut hb, 1);
+        let counts = compute_counts(&spec, &hb);
+        assert!(
+            counts.generated > 0,
+            "{}: no dynamically generated types",
+            spec.name
+        );
+        assert!(
+            counts.used > 0,
+            "{}: generated types never used in checking",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn countries_has_casts_but_no_generated_types() {
+    let spec = hb_apps::countries();
+    let mut hb = build_app(&spec, Mode::Full);
+    run_workload(&spec, &mut hb, 1);
+    let counts = compute_counts(&spec, &hb);
+    assert_eq!(counts.generated, 0, "Countries uses no metaprogramming");
+    assert!(counts.casts >= 10, "Countries is cast-heavy: {counts:?}");
+    assert_eq!(counts.phases, 1, "annotations load before all checks");
+}
+
+#[test]
+fn rolify_interleaves_phases() {
+    let spec = hb_apps::rolify();
+    let mut hb = build_app(&spec, Mode::Full);
+    run_workload(&spec, &mut hb, 2);
+    let counts = compute_counts(&spec, &hb);
+    assert!(
+        counts.phases > 1,
+        "Rolify generates types between checks: {counts:?}"
+    );
+    assert!(counts.generated >= 8, "{counts:?}");
+}
+
+#[test]
+fn cct_struct_types_are_generated_and_used() {
+    let spec = hb_apps::cct();
+    let mut hb = build_app(&spec, Mode::Full);
+    run_workload(&spec, &mut hb, 1);
+    let counts = compute_counts(&spec, &hb);
+    // kind/account_name/amount getters and setters.
+    assert!(counts.generated >= 6, "{counts:?}");
+    assert!(counts.used >= 1, "{counts:?}");
+    assert!(hb.stats().checked_methods.contains("ApplicationRunner#process_transactions"));
+}
+
+#[test]
+fn talks_checked_methods_cover_models_and_controllers() {
+    let spec = hb_apps::talks();
+    let mut hb = build_app(&spec, Mode::Full);
+    run_workload(&spec, &mut hb, 1);
+    let checked = hb.stats().checked_methods;
+    for m in [
+        "Talk#owner?",
+        "Talk#summary",
+        "User#subscribed_talks",
+        "TalksController#index",
+        "TalksController#create",
+        "ListsController#subscribed",
+        "TalksController#format_talk_row",
+    ] {
+        assert!(checked.contains(m), "missing {m}: {checked:?}");
+    }
+}
+
+#[test]
+fn all_six_historical_errors_are_caught() {
+    for v in error_versions() {
+        let msg = run_error_version(&v);
+        assert!(
+            msg.contains(v.expected_fragment),
+            "{}: got {msg:?}, wanted fragment {:?}",
+            v.version,
+            v.expected_fragment
+        );
+    }
+}
+
+#[test]
+fn update_experiment_tracks_invalidation() {
+    let rows = run_update_experiment();
+    assert_eq!(rows.len(), 7);
+    // v0: everything checks for the first time.
+    assert!(rows[0].checked >= 4, "{:?}", rows[0]);
+    // v1: head changed; its dependent (row) re-checks along with it.
+    assert_eq!(rows[1].changed, 1, "{:?}", rows[1]);
+    assert!(rows[1].deps >= 1, "{:?}", rows[1]);
+    assert!(rows[1].checked >= 2 && rows[1].checked <= 3, "{:?}", rows[1]);
+    // v2: two changed, one added.
+    assert_eq!(rows[2].changed, 2, "{:?}", rows[2]);
+    assert_eq!(rows[2].added, 1, "{:?}", rows[2]);
+    // v3: identical bodies — nothing invalidated, nothing re-checked.
+    assert_eq!(rows[3].changed, 0, "{:?}", rows[3]);
+    assert_eq!(rows[3].checked, 0, "{:?}", rows[3]);
+    // v4: footer changed (no dependents), sidebar added.
+    assert_eq!(rows[4].changed, 1, "{:?}", rows[4]);
+    assert_eq!(rows[4].added, 1, "{:?}", rows[4]);
+    // v6: four changed methods.
+    assert_eq!(rows[6].changed, 4, "{:?}", rows[6]);
+}

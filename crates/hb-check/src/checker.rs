@@ -1,0 +1,943 @@
+//! The flow-sensitive static type checker over CFGs (paper Fig. 5,
+//! extended with the implementation's richer types from §4).
+//!
+//! `check_sig` checks a method body against every arm of its (possibly
+//! intersection) signature at call time — the static half of just-in-time
+//! checking. The outcome carries the dependency set (the `(class, method)`
+//! pairs used by rule (TApp)) which the engine's cache uses for
+//! Definition 1 invalidation, and the set of cast sites encountered
+//! (Table 1's "Casts" column).
+
+use crate::info::{ClassInfo, InfoHierarchy};
+use hb_il::{
+    BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator,
+};
+use hb_rdl::{MethodKey, RdlState, TableEntry};
+use hb_syntax::Span;
+use hb_types::{MethodSig, MethodType, Type, TypeEnv};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A static type error — the paper's `blame` at method entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl CheckError {
+    fn new(message: impl Into<String>, span: Span) -> CheckError {
+        CheckError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The result of a successful check.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The body's computed return type (the last arm's, when intersected).
+    pub ret: Type,
+    /// Methods whose types this check consulted via (TApp): the cache
+    /// dependency set of Definition 1(2).
+    pub deps: BTreeSet<MethodKey>,
+    /// Distinct `rdl_cast` sites encountered (file, lo, hi).
+    pub cast_sites: BTreeSet<(u32, u32, u32)>,
+}
+
+impl Default for CheckOutcome {
+    fn default() -> CheckOutcome {
+        CheckOutcome {
+            ret: Type::Nil,
+            deps: BTreeSet::new(),
+            cast_sites: BTreeSet::new(),
+        }
+    }
+}
+
+/// Tunables for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Generic nesting depth beyond which types widen to `%any` (keeps loop
+    /// fixpoints finite).
+    pub widen_depth: usize,
+    /// Union width beyond which types widen to `%any`.
+    pub widen_width: usize,
+    /// Hard iteration bound for the fixpoint.
+    pub max_iterations: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            widen_depth: 8,
+            widen_width: 12,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Checks `cfg` against every arm of `sig` (intersection semantics: the
+/// body must satisfy each arm).
+///
+/// `self_class` is the *receiver's* class — module methods are checked and
+/// cached per mix-in class (paper §4 "Modules"). `captured` supplies types
+/// of captured locals when checking `define_method` procs (Fig. 2).
+///
+/// # Errors
+///
+/// The first static type error found, positioned at the offending
+/// instruction.
+#[allow(clippy::too_many_arguments)]
+pub fn check_sig(
+    cfg: &MethodCfg,
+    self_class: &str,
+    class_level: bool,
+    sig: &MethodSig,
+    info: &dyn ClassInfo,
+    rdl: &RdlState,
+    captured: Option<&TypeEnv>,
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, CheckError> {
+    let mut out = CheckOutcome::default();
+    for arm in &sig.arms {
+        let arm = arm.erase_vars();
+        let mut ck = Checker {
+            info,
+            rdl,
+            opts,
+            self_class: self_class.to_string(),
+            self_type: if class_level {
+                Type::ClassObj(self_class.to_string())
+            } else {
+                Type::Nominal(self_class.to_string())
+            },
+            method_name: cfg.name.clone(),
+            method_ret: arm.ret.clone(),
+            yield_block_type: arm.block.as_deref().cloned(),
+            deps: BTreeSet::new(),
+            casts: BTreeSet::new(),
+        };
+        let env = ck.entry_env(cfg, &arm, captured)?;
+        let (ret, _exit) = ck.check_cfg(cfg, env)?;
+        let hier = InfoHierarchy(info);
+        if !ret.is_subtype(&arm.ret, &hier) {
+            return Err(CheckError::new(
+                format!(
+                    "method {} body has type {} but is declared to return {}",
+                    cfg.name, ret, arm.ret
+                ),
+                cfg.span,
+            ));
+        }
+        out.ret = ret;
+        out.deps.append(&mut ck.deps);
+        out.cast_sites.append(&mut ck.casts);
+    }
+    Ok(out)
+}
+
+/// The generic type parameters of the built-in generic classes (used to
+/// instantiate method types like `Array#[] : (Fixnum) -> t`).
+pub fn generic_params(class: &str) -> &'static [&'static str] {
+    match class {
+        "Array" => &["t"],
+        "Hash" => &["k", "v"],
+        "Range" => &["t"],
+        _ => &[],
+    }
+}
+
+struct Checker<'a> {
+    info: &'a dyn ClassInfo,
+    rdl: &'a RdlState,
+    opts: &'a CheckOptions,
+    self_class: String,
+    self_type: Type,
+    method_name: String,
+    /// Declared return type of the arm being checked (`return` inside
+    /// blocks checks against this).
+    method_ret: Type,
+    /// The arm's declared block type, for `yield`.
+    yield_block_type: Option<MethodType>,
+    deps: BTreeSet<MethodKey>,
+    casts: BTreeSet<(u32, u32, u32)>,
+}
+
+impl<'a> Checker<'a> {
+    fn hier(&self) -> InfoHierarchy<'a> {
+        InfoHierarchy(self.info)
+    }
+
+    /// Builds the entry environment: parameters bound at the arm's declared
+    /// types, plus captured locals for proc-defined methods.
+    fn entry_env(
+        &self,
+        cfg: &MethodCfg,
+        arm: &MethodType,
+        captured: Option<&TypeEnv>,
+    ) -> Result<TypeEnv, CheckError> {
+        let mut env = TypeEnv::new();
+        if let Some(c) = captured {
+            for (k, v) in c.iter() {
+                env.assign(k.clone(), v.clone());
+            }
+        }
+        let mut pos = 0usize;
+        for p in &cfg.params {
+            match p.kind {
+                IlParamKind::Required | IlParamKind::Optional => {
+                    let ty = arm.param_at(pos).cloned().unwrap_or_else(|| {
+                        // More parameters than the signature declares:
+                        // treat extras as %any (blocks are lenient).
+                        Type::Any
+                    });
+                    env.assign(p.name.clone(), ty);
+                    pos += 1;
+                }
+                IlParamKind::Rest => {
+                    let elem = arm.param_at(pos).cloned().unwrap_or(Type::Any);
+                    env.assign(
+                        p.name.clone(),
+                        Type::Generic("Array".to_string(), vec![elem]),
+                    );
+                    pos += 1;
+                }
+                IlParamKind::Block => {
+                    env.assign(p.name.clone(), Type::nominal("Proc"));
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    fn widen(&self, ty: &Type, depth: usize) -> Type {
+        match ty {
+            Type::Generic(n, args) => {
+                if depth == 0 {
+                    Type::nominal(n.clone())
+                } else {
+                    Type::Generic(
+                        n.clone(),
+                        args.iter().map(|a| self.widen(a, depth - 1)).collect(),
+                    )
+                }
+            }
+            Type::Union(arms) => {
+                if arms.len() > self.opts.widen_width {
+                    Type::Any
+                } else {
+                    Type::union_of(arms.iter().map(|a| self.widen(a, depth)).collect())
+                }
+            }
+            t => t.clone(),
+        }
+    }
+
+    fn widen_env(&self, env: &TypeEnv) -> TypeEnv {
+        env.iter()
+            .map(|(k, v)| (k.clone(), self.widen(v, self.opts.widen_depth)))
+            .collect()
+    }
+
+    /// Joins environments at control-flow merges. Variables bound on one
+    /// side only join with `nil` (Ruby's unset-local default) — a sound
+    /// refinement of the paper's domain-intersection join.
+    fn join_envs(&self, a: &TypeEnv, b: &TypeEnv) -> TypeEnv {
+        let hier = self.hier();
+        let mut out = TypeEnv::new();
+        for (k, v) in a.iter() {
+            let w = b.get(k).cloned().unwrap_or(Type::Nil);
+            out.assign(k.clone(), v.lub(&w, &hier));
+        }
+        for (k, w) in b.iter() {
+            if !a.contains(k) {
+                out.assign(k.clone(), w.lub(&Type::Nil, &hier));
+            }
+        }
+        out
+    }
+
+    /// The dataflow fixpoint over a CFG. Returns the joined type of all
+    /// `Return` terminators and the joined exit environment.
+    fn check_cfg(
+        &mut self,
+        cfg: &MethodCfg,
+        init: TypeEnv,
+    ) -> Result<(Type, TypeEnv), CheckError> {
+        let mut in_envs: HashMap<u32, TypeEnv> = HashMap::new();
+        in_envs.insert(cfg.entry.0, init);
+        let mut work: VecDeque<u32> = VecDeque::new();
+        work.push_back(cfg.entry.0);
+        let mut returns: Vec<Type> = Vec::new();
+        let mut exit_env: Option<TypeEnv> = None;
+        let mut iterations = 0usize;
+        while let Some(bb) = work.pop_front() {
+            iterations += 1;
+            if iterations > self.opts.max_iterations {
+                return Err(CheckError::new(
+                    format!("type checking of {} did not converge", self.method_name),
+                    cfg.span,
+                ));
+            }
+            let mut env = in_envs[&bb].clone();
+            let block = cfg.block(hb_il::BlockId(bb));
+            for instr in &block.instrs {
+                self.transfer(cfg, &mut env, &instr.kind, instr.span)?;
+            }
+            let propagate =
+                |this: &Self,
+                 target: u32,
+                 new_env: TypeEnv,
+                 in_envs: &mut HashMap<u32, TypeEnv>,
+                 work: &mut VecDeque<u32>| {
+                    let new_env = this.widen_env(&new_env);
+                    match in_envs.get(&target) {
+                        None => {
+                            in_envs.insert(target, new_env);
+                            work.push_back(target);
+                        }
+                        Some(old) => {
+                            let joined = this.join_envs(old, &new_env);
+                            if &joined != old {
+                                in_envs.insert(target, joined);
+                                work.push_back(target);
+                            }
+                        }
+                    }
+                };
+            match &block.term {
+                Terminator::Goto(t) => {
+                    propagate(self, t.0, env, &mut in_envs, &mut work);
+                }
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    // Truthiness refinement: `if x` prunes nil in the then
+                    // branch and pins it in the else branch (when the type
+                    // cannot be `false`).
+                    let (env_t, env_f) = self.refine(&env, cond);
+                    propagate(self, then_bb.0, env_t, &mut in_envs, &mut work);
+                    propagate(self, else_bb.0, env_f, &mut in_envs, &mut work);
+                }
+                Terminator::Return(op) => {
+                    let t = self.type_operand(&env, op);
+                    returns.push(t);
+                    exit_env = Some(match exit_env.take() {
+                        None => env,
+                        Some(e) => self.join_envs(&e, &env),
+                    });
+                }
+                Terminator::MethodReturn(op) => {
+                    let t = self.type_operand(&env, op);
+                    if !t.is_subtype(&self.method_ret, &self.hier()) {
+                        return Err(CheckError::new(
+                            format!(
+                                "return of {} does not match declared return type {} of {}",
+                                t, self.method_ret, self.method_name
+                            ),
+                            cfg.span,
+                        ));
+                    }
+                }
+            }
+        }
+        let hier = self.hier();
+        let mut ret = Type::Nil;
+        let mut first = true;
+        for t in returns {
+            if first {
+                ret = t;
+                first = false;
+            } else {
+                ret = ret.lub(&t, &hier);
+            }
+        }
+        Ok((ret, exit_env.unwrap_or_default()))
+    }
+
+    fn refine(&self, env: &TypeEnv, cond: &Operand) -> (TypeEnv, TypeEnv) {
+        if let Operand::Local(x) = cond {
+            if let Some(t) = env.get(x) {
+                if t.admits_nil() && !matches!(t, Type::Any) {
+                    let mut env_t = env.clone();
+                    env_t.assign(x.clone(), t.without_nil());
+                    let can_be_false = match t {
+                        Type::Union(arms) => arms.iter().any(|a| matches!(a, Type::Bool)),
+                        Type::Bool => true,
+                        _ => false,
+                    };
+                    let mut env_f = env.clone();
+                    if !can_be_false {
+                        env_f.assign(x.clone(), Type::Nil);
+                    }
+                    return (env_t, env_f);
+                }
+            }
+        }
+        (env.clone(), env.clone())
+    }
+
+    fn type_operand(&self, env: &TypeEnv, op: &Operand) -> Type {
+        match op {
+            Operand::NilConst => Type::Nil,
+            Operand::TrueConst | Operand::FalseConst | Operand::Nondet => Type::Bool,
+            Operand::IntConst(_) => Type::nominal("Fixnum"),
+            Operand::FloatConst(_) => Type::nominal("Float"),
+            Operand::StrConst(_) => Type::nominal("String"),
+            Operand::SymConst(_) => Type::nominal("Symbol"),
+            Operand::SelfRef => self.self_type.clone(),
+            Operand::Local(n) => env.get(n).cloned().unwrap_or(Type::Nil),
+        }
+    }
+
+    fn transfer(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        instr: &InstrKind,
+        span: Span,
+    ) -> Result<(), CheckError> {
+        match instr {
+            InstrKind::Assign { local, rv } => {
+                let t = self.type_rvalue(cfg, env, rv, span)?;
+                env.assign(local.clone(), t);
+            }
+            InstrKind::SetIVar { name, value } => {
+                let vt = self.type_operand(env, value);
+                let chain = self.info.ancestors(&self.self_class);
+                if let Some(declared) = self.rdl.ivar_type(&chain, name) {
+                    if !vt.is_subtype(&declared, &self.hier()) {
+                        return Err(CheckError::new(
+                            format!("cannot assign {} to @{} (declared {})", vt, name, declared),
+                            span,
+                        ));
+                    }
+                }
+            }
+            InstrKind::SetCVar { name, value } => {
+                let vt = self.type_operand(env, value);
+                let chain = self.info.ancestors(&self.self_class);
+                if let Some(declared) = self.rdl.cvar_type(&chain, name) {
+                    if !vt.is_subtype(&declared, &self.hier()) {
+                        return Err(CheckError::new(
+                            format!(
+                                "cannot assign {} to @@{} (declared {})",
+                                vt, name, declared
+                            ),
+                            span,
+                        ));
+                    }
+                }
+            }
+            InstrKind::SetGVar { name, value } => {
+                let vt = self.type_operand(env, value);
+                if let Some(declared) = self.rdl.gvar_type(name) {
+                    if !vt.is_subtype(&declared, &self.hier()) {
+                        return Err(CheckError::new(
+                            format!("cannot assign {} to ${} (declared {})", vt, name, declared),
+                            span,
+                        ));
+                    }
+                }
+            }
+            InstrKind::SetConst { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn type_rvalue(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        rv: &Rvalue,
+        span: Span,
+    ) -> Result<Type, CheckError> {
+        let hier = self.hier();
+        match rv {
+            Rvalue::Use(op) => Ok(self.type_operand(env, op)),
+            Rvalue::IVar(name) => {
+                let chain = self.info.ancestors(&self.self_class);
+                Ok(self.rdl.ivar_type(&chain, name).unwrap_or(Type::Any))
+            }
+            Rvalue::CVar(name) => {
+                let chain = self.info.ancestors(&self.self_class);
+                Ok(self.rdl.cvar_type(&chain, name).unwrap_or(Type::Any))
+            }
+            Rvalue::GVar(name) => Ok(self.rdl.gvar_type(name).unwrap_or(Type::Any)),
+            Rvalue::ConstRef(path) => {
+                let joined = path.join("::");
+                if self.info.class_exists(&joined) {
+                    return Ok(Type::ClassObj(joined));
+                }
+                // Try resolving relative to the receiver class's namespace.
+                let prefixed = format!("{}::{}", self.self_class, joined);
+                if self.info.class_exists(&prefixed) {
+                    return Ok(Type::ClassObj(prefixed));
+                }
+                Ok(Type::Any)
+            }
+            Rvalue::StrInterp(_) => Ok(Type::nominal("String")),
+            Rvalue::ArrayLit(elems) => {
+                if elems.is_empty() {
+                    return Ok(Type::nominal("Array"));
+                }
+                let mut t = self.type_operand(env, &elems[0]);
+                for e in &elems[1..] {
+                    t = t.lub(&self.type_operand(env, e), &hier);
+                }
+                Ok(Type::Generic("Array".to_string(), vec![t]))
+            }
+            Rvalue::HashLit(pairs) => {
+                if pairs.is_empty() {
+                    return Ok(Type::nominal("Hash"));
+                }
+                let mut kt = self.type_operand(env, &pairs[0].0);
+                let mut vt = self.type_operand(env, &pairs[0].1);
+                for (k, v) in &pairs[1..] {
+                    kt = kt.lub(&self.type_operand(env, k), &hier);
+                    vt = vt.lub(&self.type_operand(env, v), &hier);
+                }
+                Ok(Type::Generic("Hash".to_string(), vec![kt, vt]))
+            }
+            Rvalue::RangeLit { lo, hi, .. } => {
+                let lt = self.type_operand(env, lo);
+                let ht = self.type_operand(env, hi);
+                Ok(Type::Generic(
+                    "Range".to_string(),
+                    vec![lt.lub(&ht, &hier)],
+                ))
+            }
+            Rvalue::Not(_) => Ok(Type::Bool),
+            Rvalue::RescueBind(classes) => {
+                if classes.is_empty() {
+                    Ok(Type::nominal("StandardError"))
+                } else {
+                    Ok(Type::union_of(
+                        classes.iter().map(|c| Type::nominal(c.clone())).collect(),
+                    ))
+                }
+            }
+            Rvalue::Cast { value, ty } => {
+                let _ = self.type_operand(env, value);
+                let parsed = hb_types::parse_type(ty).map_err(|e| {
+                    CheckError::new(format!("invalid cast type: {e}"), span)
+                })?;
+                self.casts.insert((span.file.0, span.lo, span.hi));
+                Ok(parsed)
+            }
+            Rvalue::Yield(args) => {
+                let bt = match &self.yield_block_type {
+                    Some(b) => b.clone(),
+                    None => {
+                        return Err(CheckError::new(
+                            format!(
+                                "method {} yields but its type declares no block",
+                                self.method_name
+                            ),
+                            span,
+                        ))
+                    }
+                };
+                for (i, a) in args.iter().enumerate() {
+                    let at = self.type_operand(env, a);
+                    if let Some(pt) = bt.param_at(i) {
+                        if !at.is_subtype(pt, &self.hier()) {
+                            return Err(CheckError::new(
+                                format!("yield argument {i} has type {at}, block expects {pt}"),
+                                span,
+                            ));
+                        }
+                    }
+                }
+                Ok(bt.ret.clone())
+            }
+            Rvalue::Super { args } => {
+                let chain = self.info.ancestors(&self.self_class);
+                let above: Vec<String> = chain
+                    .iter()
+                    .skip(1)
+                    .cloned()
+                    .collect();
+                let found = self
+                    .rdl
+                    .lookup_along(&above, matches!(self.self_type, Type::ClassObj(_)), &self.method_name);
+                match found {
+                    Some((key, entry)) => {
+                        self.rdl.mark_used(&key);
+                        self.deps.insert(key);
+                        let mut ret: Option<Type> = None;
+                        for arm in &entry.sig.arms {
+                            let arm = arm.erase_vars();
+                            if let Some(args) = args {
+                                if !arm.accepts_arity(args.len()) {
+                                    continue;
+                                }
+                            }
+                            ret = Some(match ret {
+                                None => arm.ret.clone(),
+                                Some(r) => r.lub(&arm.ret, &self.hier()),
+                            });
+                        }
+                        ret.ok_or_else(|| {
+                            CheckError::new(
+                                format!("no arm of super {} accepts these arguments", self.method_name),
+                                span,
+                            )
+                        })
+                    }
+                    None => Err(CheckError::new(
+                        format!(
+                            "Hummingbird: no type for super method {} above {}",
+                            self.method_name, self.self_class
+                        ),
+                        span,
+                    )),
+                }
+            }
+            Rvalue::Call {
+                recv,
+                name,
+                args,
+                block,
+            } => {
+                let recv_ty = match recv {
+                    Some(op) => self.type_operand(env, op),
+                    None => self.self_type.clone(),
+                };
+                self.type_call(cfg, env, &recv_ty, name, args, *block, span)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn type_call(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        recv_ty: &Type,
+        name: &str,
+        args: &[CallArg],
+        block: Option<hb_il::BlockLitId>,
+        span: Span,
+    ) -> Result<Type, CheckError> {
+        match recv_ty {
+            Type::Any | Type::Var(_) => {
+                // Dynamic receiver: nothing to check statically; still walk
+                // any block literal with %any parameters so errors inside
+                // the block are found.
+                if let Some(bid) = block {
+                    let lit = &cfg.block_lits[bid.0 as usize];
+                    let bt = MethodType {
+                        params: lit
+                            .params
+                            .iter()
+                            .map(|_| hb_types::ParamType::required(Type::Any))
+                            .collect(),
+                        block: None,
+                        ret: Type::Any,
+                    };
+                    self.check_block_lit(cfg, lit, &bt, env)?;
+                }
+                Ok(Type::Any)
+            }
+            Type::Union(arms) => {
+                // Paper §4: check once per arm, union the return types.
+                let arms = arms.clone();
+                let hier = self.hier();
+                let mut ret: Option<Type> = None;
+                for arm in &arms {
+                    let t = self.type_call(cfg, env, arm, name, args, block, span)?;
+                    ret = Some(match ret {
+                        None => t,
+                        Some(r) => r.lub(&t, &hier),
+                    });
+                }
+                Ok(ret.unwrap_or(Type::Nil))
+            }
+            Type::Nil => self.type_nominal_call(cfg, env, "NilClass", None, false, name, args, block, span),
+            Type::Bool => self.type_nominal_call(cfg, env, "Boolean", None, false, name, args, block, span),
+            Type::Nominal(c) => {
+                self.type_nominal_call(cfg, env, c, None, false, name, args, block, span)
+            }
+            Type::Generic(c, targs) => {
+                let targs = targs.clone();
+                self.type_nominal_call(cfg, env, c, Some(&targs), false, name, args, block, span)
+            }
+            Type::ClassObj(c) => {
+                self.type_nominal_call(cfg, env, c, None, true, name, args, block, span)
+            }
+        }
+    }
+
+    /// Resolves a method type for class `c` (instance or class level),
+    /// selects matching intersection arms, checks argument and block
+    /// compatibility, and returns the (union of) result type(s).
+    #[allow(clippy::too_many_arguments)]
+    fn type_nominal_call(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        c: &str,
+        targs: Option<&[Type]>,
+        class_level: bool,
+        name: &str,
+        args: &[CallArg],
+        block: Option<hb_il::BlockLitId>,
+        span: Span,
+    ) -> Result<Type, CheckError> {
+        let chain = self.info.ancestors(c);
+        let found = if class_level {
+            self.rdl
+                .lookup_along(&chain, true, name)
+                .or_else(|| {
+                    // Class objects also answer instance methods of Class.
+                    let class_chain = self.info.ancestors("Class");
+                    self.rdl.lookup_along(&class_chain, false, name)
+                })
+        } else {
+            self.rdl.lookup_along(&chain, false, name)
+        };
+
+        // `C.new` falls back to C#initialize (returning an instance of C).
+        if found.is_none() && class_level && name == "new" {
+            return self.type_new_call(cfg, env, c, &chain, args, block, span);
+        }
+
+        let (key, entry) = match found {
+            Some(x) => x,
+            None => {
+                let kind = if class_level { "." } else { "#" };
+                return Err(CheckError::new(
+                    format!("Hummingbird: no type for {c}{kind}{name}"),
+                    span,
+                ));
+            }
+        };
+        self.rdl.mark_used(&key);
+        self.deps.insert(key);
+        let sig = self.instantiate(&entry, c, targs);
+        self.apply_sig(cfg, env, c, name, &sig, args, block, span)
+    }
+
+    /// Instantiates a signature's generic variables against the receiver's
+    /// type arguments; raw receivers erase variables to `%any` (§4).
+    fn instantiate(&self, entry: &TableEntry, c: &str, targs: Option<&[Type]>) -> MethodSig {
+        let params = generic_params(c);
+        match targs {
+            Some(targs) if !params.is_empty() => {
+                let map: HashMap<String, Type> = params
+                    .iter()
+                    .zip(targs.iter())
+                    .map(|(p, t)| (p.to_string(), t.clone()))
+                    .collect();
+                MethodSig {
+                    arms: entry
+                        .sig
+                        .arms
+                        .iter()
+                        .map(|a| a.subst(&map).erase_vars())
+                        .collect(),
+                }
+            }
+            _ => MethodSig {
+                arms: entry.sig.arms.iter().map(|a| a.erase_vars()).collect(),
+            },
+        }
+    }
+
+    fn type_new_call(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        c: &str,
+        chain: &[String],
+        args: &[CallArg],
+        block: Option<hb_il::BlockLitId>,
+        span: Span,
+    ) -> Result<Type, CheckError> {
+        let instance = Type::nominal(c);
+        match self.rdl.lookup_along(chain, false, "initialize") {
+            Some((key, entry)) => {
+                self.rdl.mark_used(&key);
+                self.deps.insert(key);
+                let sig = MethodSig {
+                    arms: entry
+                        .sig
+                        .arms
+                        .iter()
+                        .map(|a| {
+                            let mut a = a.erase_vars();
+                            a.ret = instance.clone();
+                            a
+                        })
+                        .collect(),
+                };
+                self.apply_sig(cfg, env, c, "new", &sig, args, block, span)
+            }
+            None => {
+                // Unannotated constructor: accept anything (the dynamic
+                // check still guards at run time).
+                let _ = block;
+                Ok(instance)
+            }
+        }
+    }
+
+    /// Checks a call against a resolved signature: arity, argument
+    /// subtyping, and block compatibility per matching arm.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_sig(
+        &mut self,
+        cfg: &MethodCfg,
+        env: &mut TypeEnv,
+        c: &str,
+        name: &str,
+        sig: &MethodSig,
+        args: &[CallArg],
+        block: Option<hb_il::BlockLitId>,
+        span: Span,
+    ) -> Result<Type, CheckError> {
+        let hier = self.hier();
+        let has_splat = args.iter().any(|a| matches!(a, CallArg::Splat(_)));
+        let has_block_pass = args.iter().any(|a| matches!(a, CallArg::BlockPass(_)));
+        let pos_args: Vec<Type> = args
+            .iter()
+            .filter_map(|a| match a {
+                CallArg::Pos(op) => Some(self.type_operand(env, op)),
+                _ => None,
+            })
+            .collect();
+
+        let mut matching: Vec<&MethodType> = Vec::new();
+        let mut arity_ok: Vec<&MethodType> = Vec::new();
+        for arm in &sig.arms {
+            if has_splat {
+                matching.push(arm);
+                continue;
+            }
+            if !arm.accepts_arity(pos_args.len()) {
+                continue;
+            }
+            arity_ok.push(arm);
+            let all_fit = pos_args
+                .iter()
+                .enumerate()
+                .all(|(i, at)| match arm.param_at(i) {
+                    Some(pt) => at.is_subtype(pt, &hier),
+                    None => false,
+                });
+            if all_fit {
+                matching.push(arm);
+            }
+        }
+        if matching.is_empty() {
+            if arity_ok.is_empty() {
+                return Err(CheckError::new(
+                    format!(
+                        "wrong number of arguments in call to {c}#{name} (given {}, type is {})",
+                        pos_args.len(),
+                        sig
+                    ),
+                    span,
+                ));
+            }
+            let got: Vec<String> = pos_args.iter().map(|t| t.to_string()).collect();
+            return Err(CheckError::new(
+                format!(
+                    "argument type mismatch calling {c}#{name}: got ({}), type is {}",
+                    got.join(", "),
+                    sig
+                ),
+                span,
+            ));
+        }
+
+        // Block compatibility.
+        if let Some(bid) = block {
+            let lit = &cfg.block_lits[bid.0 as usize];
+            let with_block: Vec<&&MethodType> =
+                matching.iter().filter(|a| a.block.is_some()).collect();
+            if with_block.is_empty() {
+                // The 1/7/12-5 Talks error: passing a block to a method
+                // whose type takes none.
+                return Err(CheckError::new(
+                    format!("{c}#{name} is called with a block but its type does not take one"),
+                    span,
+                ));
+            }
+            let bt = with_block[0].block.as_deref().cloned().unwrap();
+            let merged = self.check_block_lit(cfg, lit, &bt, env)?;
+            *env = merged;
+        } else if has_block_pass {
+            // A passed proc is assumed type-safe (higher-order contracts
+            // are future work, paper §4 "Code Blocks").
+        }
+
+        let mut ret: Option<Type> = None;
+        for arm in &matching {
+            ret = Some(match ret {
+                None => arm.ret.clone(),
+                Some(r) => r.lub(&arm.ret, &hier),
+            });
+        }
+        Ok(ret.unwrap_or(Type::Nil))
+    }
+
+    /// Checks a block literal against the callee's declared block type and
+    /// returns the environment after the call (captured variables joined
+    /// with their post-block types).
+    fn check_block_lit(
+        &mut self,
+        _cfg: &MethodCfg,
+        lit: &BlockLit,
+        bt: &MethodType,
+        env: &TypeEnv,
+    ) -> Result<TypeEnv, CheckError> {
+        let mut block_env = env.clone();
+        let mut pos = 0usize;
+        for p in &lit.params {
+            match p.kind {
+                IlParamKind::Required | IlParamKind::Optional => {
+                    let ty = bt.param_at(pos).cloned().unwrap_or(Type::Any);
+                    block_env.assign(p.name.clone(), ty);
+                    pos += 1;
+                }
+                IlParamKind::Rest => {
+                    let elem = bt.param_at(pos).cloned().unwrap_or(Type::Any);
+                    block_env.assign(
+                        p.name.clone(),
+                        Type::Generic("Array".to_string(), vec![elem]),
+                    );
+                    pos += 1;
+                }
+                IlParamKind::Block => {
+                    block_env.assign(p.name.clone(), Type::nominal("Proc"));
+                }
+            }
+        }
+        let (result, exit) = self.check_cfg(&lit.cfg, block_env)?;
+        if !result.is_subtype(&bt.ret, &self.hier()) {
+            return Err(CheckError::new(
+                format!(
+                    "block has type {} but {} expects a block returning {}",
+                    result, self.method_name, bt.ret
+                ),
+                lit.cfg.span,
+            ));
+        }
+        // The block may run zero or more times: captured variables join
+        // their pre- and post-block types.
+        Ok(env.join_keep_left(&exit, &self.hier()))
+    }
+}

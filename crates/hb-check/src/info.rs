@@ -1,0 +1,101 @@
+//! Class-graph information the checker needs, abstracted from the
+//! interpreter so the checker is testable in isolation.
+
+use hb_types::Hierarchy;
+use std::collections::HashMap;
+
+/// Nominal class-graph queries used during checking.
+pub trait ClassInfo {
+    /// The ancestor chain of `class`, nearest first, including `class`
+    /// itself and ending at `Object`. Unknown classes yield
+    /// `[class, "Object"]`.
+    fn ancestors(&self, class: &str) -> Vec<String>;
+
+    /// Is `sub` the same as or below `sup`?
+    fn is_descendant(&self, sub: &str, sup: &str) -> bool {
+        sub == sup || sup == "Object" || self.ancestors(sub).iter().any(|a| a == sup)
+    }
+
+    /// Does a class/module of this name exist?
+    fn class_exists(&self, name: &str) -> bool;
+}
+
+/// Adapter exposing a [`ClassInfo`] as the type system's [`Hierarchy`].
+pub struct InfoHierarchy<'a>(pub &'a dyn ClassInfo);
+
+impl Hierarchy for InfoHierarchy<'_> {
+    fn is_descendant(&self, sub: &str, sup: &str) -> bool {
+        self.0.is_descendant(sub, sup)
+    }
+}
+
+/// A map-backed [`ClassInfo`] for tests and the formal calculus: class →
+/// strict ancestors (nearest first, `Object` implicit).
+#[derive(Debug, Clone, Default)]
+pub struct MapClassInfo {
+    parents: HashMap<String, Vec<String>>,
+    known: Vec<String>,
+}
+
+impl MapClassInfo {
+    /// An info with the built-in numeric tower and core classes.
+    pub fn with_core() -> MapClassInfo {
+        let mut m = MapClassInfo::default();
+        m.add("Fixnum", vec!["Integer", "Numeric"]);
+        m.add("Bignum", vec!["Integer", "Numeric"]);
+        m.add("Integer", vec!["Numeric"]);
+        m.add("Float", vec!["Numeric"]);
+        for c in [
+            "Numeric", "String", "Symbol", "Array", "Hash", "Range", "Proc", "NilClass",
+            "Boolean", "Class", "Module", "Struct", "StandardError",
+        ] {
+            m.add(c, vec![]);
+        }
+        m
+    }
+
+    /// Declares `class` with the given strict ancestors.
+    pub fn add(&mut self, class: &str, ancestors: Vec<&str>) {
+        self.known.push(class.to_string());
+        self.parents.insert(
+            class.to_string(),
+            ancestors.into_iter().map(|s| s.to_string()).collect(),
+        );
+    }
+}
+
+impl ClassInfo for MapClassInfo {
+    fn ancestors(&self, class: &str) -> Vec<String> {
+        let mut out = vec![class.to_string()];
+        if let Some(ps) = self.parents.get(class) {
+            out.extend(ps.iter().cloned());
+        }
+        if class != "Object" {
+            out.push("Object".to_string());
+        }
+        out
+    }
+
+    fn class_exists(&self, name: &str) -> bool {
+        name == "Object" || self.known.iter().any(|k| k == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let info = MapClassInfo::with_core();
+        assert_eq!(
+            info.ancestors("Fixnum"),
+            vec!["Fixnum", "Integer", "Numeric", "Object"]
+        );
+        assert!(info.is_descendant("Fixnum", "Numeric"));
+        assert!(info.is_descendant("Fixnum", "Object"));
+        assert!(!info.is_descendant("Integer", "Fixnum"));
+        assert!(info.class_exists("Array"));
+        assert!(!info.class_exists("Zork"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Hummingbird's flow-sensitive static type checker over RIL-like CFGs.
+//!
+//! Invoked at run time at method entry (paper §3/§4): the engine calls
+//! [`check_sig`] with the method's CFG, the *current* type table, and the
+//! receiver's class. Successful checks carry the (TApp) dependency set used
+//! for cache invalidation; failures are the paper's `blame`.
+
+pub mod checker;
+pub mod info;
+
+pub use checker::{check_sig, generic_params, CheckError, CheckOptions, CheckOutcome};
+pub use info::{ClassInfo, InfoHierarchy, MapClassInfo};

@@ -1,0 +1,17 @@
+//! The Hummingbird paper's core calculus (§3, Figs. 4–6), executable.
+//!
+//! [`syntax`] is the core Ruby-like language; [`typing`] the flow-sensitive
+//! type system producing derivation trees; [`machine`] the small-step
+//! semantics with the derivation cache 𝒳, Definition 1 invalidation,
+//! Definition 2 upgrading, and the blame rules of the soundness theorem.
+//! Property tests in `tests/soundness.rs` exercise Theorem 1: well-typed
+//! programs reduce to a value, reduce to blame, or diverge — never get
+//! stuck — while cache consistency (Definition 7) holds at every step.
+
+pub mod machine;
+pub mod syntax;
+pub mod typing;
+
+pub use machine::{Blame, Cache, Config, DynTable, RunResult, Step};
+pub use syntax::{Cls, Expr, MTy, Mth, PreMethod, Ty, Val, VarId};
+pub use typing::{check_method_body, type_check, Deriv, TEnv, TypeErr, TypeTable};

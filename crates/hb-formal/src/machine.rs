@@ -1,0 +1,698 @@
+//! The small-step dynamic semantics of paper Fig. 6: configurations
+//! `⟨𝒳, TT, DT, E, e, S⟩`, the derivation cache with Definition 1
+//! invalidation and Definition 2 upgrading, and the blame rules used by the
+//! soundness theorem.
+
+use crate::syntax::{Cls, Expr, MTy, Mth, PreMethod, Val, VarId};
+use crate::typing::{check_method_body, type_check, Deriv, TEnv, TypeTable};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// One-hole context frames (the grammar `C` of Fig. 4, as a path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtxFrame {
+    /// `x = C`
+    AssignR(VarId),
+    /// `C; e`
+    SeqL(Rc<Expr>),
+    /// `C.m(e)`
+    CallRecv(Mth, Rc<Expr>),
+    /// `v.m(C)`
+    CallArg(Val, Mth),
+    /// `if C then e else e`
+    IfCond(Rc<Expr>, Rc<Expr>),
+}
+
+/// A context is a path of frames from the root to the hole.
+pub type Ctx = Vec<CtxFrame>;
+
+/// Rebuilds `C[e]`.
+pub fn plug(ctx: &Ctx, e: Expr) -> Expr {
+    let mut out = e;
+    for frame in ctx.iter().rev() {
+        out = match frame {
+            CtxFrame::AssignR(x) => Expr::Assign(*x, Rc::new(out)),
+            CtxFrame::SeqL(e2) => Expr::Seq(Rc::new(out), e2.clone()),
+            CtxFrame::CallRecv(m, a) => Expr::Call(Rc::new(out), *m, a.clone()),
+            CtxFrame::CallArg(v, m) => Expr::Call(Rc::new(v.to_expr()), *m, Rc::new(out)),
+            CtxFrame::IfCond(t, f) => Expr::If(Rc::new(out), t.clone(), f.clone()),
+        };
+    }
+    out
+}
+
+/// Decomposes a non-value expression into `(C, redex)` — the unique
+/// decomposition of (EContext).
+pub fn decompose(e: &Expr) -> Option<(Ctx, Expr)> {
+    if e.is_value() {
+        return None;
+    }
+    let mut ctx = Ctx::new();
+    let mut cur = e.clone();
+    loop {
+        match cur {
+            Expr::Assign(x, ref rhs) if !rhs.is_value() => {
+                ctx.push(CtxFrame::AssignR(x));
+                cur = rhs.as_ref().clone();
+            }
+            Expr::Seq(ref l, ref r) if !l.is_value() => {
+                ctx.push(CtxFrame::SeqL(r.clone()));
+                cur = l.as_ref().clone();
+            }
+            Expr::If(ref c, ref t, ref f) if !c.is_value() => {
+                ctx.push(CtxFrame::IfCond(t.clone(), f.clone()));
+                cur = c.as_ref().clone();
+            }
+            Expr::Call(ref r, m, ref a) if !r.is_value() => {
+                ctx.push(CtxFrame::CallRecv(m, a.clone()));
+                cur = r.as_ref().clone();
+            }
+            Expr::Call(ref r, m, ref a) if !a.is_value() => {
+                let v = r.as_value().expect("receiver is a value here");
+                ctx.push(CtxFrame::CallArg(v, m));
+                cur = a.as_ref().clone();
+            }
+            redex => return Some((ctx, redex)),
+        }
+    }
+}
+
+/// The dynamic class table `DT`.
+#[derive(Debug, Clone, Default)]
+pub struct DynTable {
+    entries: BTreeMap<(Cls, Mth), PreMethod>,
+}
+
+impl DynTable {
+    /// `DT[A.m ↦ λx.e]`.
+    pub fn insert(&mut self, c: Cls, m: Mth, pm: PreMethod) {
+        self.entries.insert((c, m), pm);
+    }
+
+    /// `DT(A.m)`.
+    pub fn get(&self, c: Cls, m: Mth) -> Option<&PreMethod> {
+        self.entries.get(&(c, m))
+    }
+}
+
+/// A cache entry `(DM, D≤)` plus the data Definition 7 (cache consistency)
+/// relates it to: the premethod and method type it was checked against and
+/// the type table stored inside the derivation.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    pub deriv: Deriv,
+    pub premethod: PreMethod,
+    pub mty: MTy,
+    /// The `TT` captured in the derivation; Definition 2 upgrading replaces
+    /// it wholesale.
+    pub tt: TypeTable,
+}
+
+/// The cache `𝒳`.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    entries: BTreeMap<(Cls, Mth), CacheEntry>,
+}
+
+impl Cache {
+    /// `𝒳(A.m)`.
+    pub fn get(&self, c: Cls, m: Mth) -> Option<&CacheEntry> {
+        self.entries.get(&(c, m))
+    }
+
+    /// Number of cached derivations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Definition 1, `𝒳 \ A.m`: removes the entry for `A.m` and every
+    /// entry whose derivation applies (TApp) with `A.m`.
+    pub fn invalidate(&mut self, c: Cls, m: Mth) {
+        self.entries.remove(&(c, m));
+        self.entries
+            .retain(|_, e| !e.deriv.tapp_uses.contains(&(c, m)));
+    }
+
+    /// Definition 2, `𝒳[TT']`: replaces the type table inside every stored
+    /// derivation.
+    pub fn upgrade(&mut self, tt: &TypeTable) {
+        for e in self.entries.values_mut() {
+            e.tt = tt.clone();
+        }
+    }
+
+    fn insert(&mut self, c: Cls, m: Mth, entry: CacheEntry) {
+        self.entries.insert((c, m), entry);
+    }
+
+    /// Definition 7 consistency: every cached derivation re-derives under
+    /// the current tables and matches `DT`/`TT`.
+    pub fn consistent_with(&self, tt: &TypeTable, dt: &DynTable) -> bool {
+        self.entries.iter().all(|((c, m), e)| {
+            if &e.tt != tt {
+                return false;
+            }
+            let Some(pm) = dt.get(*c, *m) else {
+                return false;
+            };
+            if pm != &e.premethod {
+                return false;
+            }
+            let Some(mty) = tt.get(*c, *m) else {
+                return false;
+            };
+            if mty != e.mty {
+                return false;
+            }
+            check_method_body(tt, *c, pm.param, &pm.body, mty).is_ok()
+        })
+    }
+}
+
+/// Why evaluation blamed (the paper's three blame cases plus the (EType)
+/// stack side condition, which we surface as blame so the machine is total;
+/// see DESIGN.md).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blame {
+    /// Invoking a method on nil.
+    NilReceiver(Mth),
+    /// Calling a method with a type signature but no definition.
+    UndefinedMethod(Cls, Mth),
+    /// Calling a method with a definition but no type signature.
+    UntypedMethod(Cls, Mth),
+    /// The body failed its just-in-time check at (EAppMiss).
+    BodyIllTyped(Cls, Mth),
+    /// The runtime argument does not match the declared domain.
+    ArgMismatch(Cls, Mth),
+    /// `type A.m` while `A.m ∈ TApp(S)` — (EType)'s side condition.
+    TypeUpdateOnStack(Cls, Mth),
+}
+
+/// A stack frame `(E, C)` plus which method body it was executing (used to
+/// over-approximate `TApp(S)`).
+#[derive(Debug, Clone)]
+pub struct StackFrame {
+    pub env: BTreeMap<VarId, Val>,
+    pub self_val: Val,
+    pub ctx: Ctx,
+    pub active: Option<(Cls, Mth)>,
+}
+
+/// A machine configuration `⟨𝒳, TT, DT, E, e, S⟩`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cache: Cache,
+    pub tt: TypeTable,
+    pub dt: DynTable,
+    pub env: BTreeMap<VarId, Val>,
+    pub self_val: Val,
+    pub expr: Expr,
+    pub stack: Vec<StackFrame>,
+    /// Method whose body is currently executing (None at top level).
+    pub active: Option<(Cls, Mth)>,
+    /// (TApp) uses of the top-level program's typing derivation.
+    pub toplevel_uses: BTreeSet<(Cls, Mth)>,
+    /// Number of (EAppMiss) body checks run — the formal analogue of the
+    /// engine's `checks_performed`.
+    pub checks_run: u64,
+    /// Number of (EAppHit) fast paths taken.
+    pub cache_hits: u64,
+}
+
+/// The result of one step.
+#[derive(Debug, Clone)]
+pub enum Step {
+    Continue,
+    Done(Val),
+    Blamed(Blame),
+    Stuck(String),
+}
+
+/// The result of running to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunResult {
+    Value(Val),
+    Blamed(Blame),
+    OutOfFuel,
+    Stuck(String),
+}
+
+impl Config {
+    /// A starting configuration for a closed program.
+    pub fn initial(e: Expr) -> Config {
+        let toplevel_uses = type_check(&TypeTable::new(), &TEnv::new(), &e)
+            .map(|d| d.tapp_uses)
+            .unwrap_or_default();
+        Config {
+            cache: Cache::default(),
+            tt: TypeTable::new(),
+            dt: DynTable::default(),
+            env: BTreeMap::new(),
+            self_val: Val::Nil,
+            expr: e,
+            stack: Vec::new(),
+            active: None,
+            toplevel_uses,
+            checks_run: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Over-approximates the paper's `TApp(S)`: the (TApp) uses of every
+    /// derivation covering code on the stack (active method bodies plus the
+    /// top level).
+    fn tapp_stack(&self) -> BTreeSet<(Cls, Mth)> {
+        let mut out = self.toplevel_uses.clone();
+        let actives = self
+            .stack
+            .iter()
+            .map(|f| f.active)
+            .chain(std::iter::once(self.active));
+        for a in actives.flatten() {
+            if let Some(e) = self.cache.get(a.0, a.1) {
+                out.extend(e.deriv.tapp_uses.iter().copied());
+            }
+            out.insert(a);
+        }
+        out
+    }
+
+    /// Takes one small step.
+    pub fn step(&mut self) -> Step {
+        if let Some(v) = self.expr.as_value() {
+            // (ERet) or final value.
+            return match self.stack.pop() {
+                None => Step::Done(v),
+                Some(frame) => {
+                    self.env = frame.env;
+                    self.self_val = frame.self_val;
+                    self.active = frame.active;
+                    self.expr = plug(&frame.ctx, v.to_expr());
+                    Step::Continue
+                }
+            };
+        }
+        let Some((ctx, redex)) = decompose(&self.expr) else {
+            return Step::Stuck("no decomposition".to_string());
+        };
+        match redex {
+            // (EVar)
+            Expr::Var(x) => match self.env.get(&x) {
+                Some(v) => {
+                    self.expr = plug(&ctx, v.to_expr());
+                    Step::Continue
+                }
+                None => Step::Stuck(format!("read of unwritten variable {x}")),
+            },
+            // (ESelf)
+            Expr::SelfE => {
+                self.expr = plug(&ctx, self.self_val.to_expr());
+                Step::Continue
+            }
+            // (EAssn)
+            Expr::Assign(x, rhs) => {
+                let v = rhs.as_value().expect("redex invariant");
+                self.env.insert(x, v);
+                self.expr = plug(&ctx, v.to_expr());
+                Step::Continue
+            }
+            // (ENew)
+            Expr::New(c) => {
+                self.expr = plug(&ctx, Expr::Inst(c));
+                Step::Continue
+            }
+            // (ESeq)
+            Expr::Seq(l, r) => {
+                debug_assert!(l.is_value());
+                self.expr = plug(&ctx, r.as_ref().clone());
+                Step::Continue
+            }
+            // (EIfTrue) / (EIfFalse)
+            Expr::If(c, t, f) => {
+                let v = c.as_value().expect("redex invariant");
+                let branch = if matches!(v, Val::Nil) { f } else { t };
+                self.expr = plug(&ctx, branch.as_ref().clone());
+                Step::Continue
+            }
+            // (EDef)
+            Expr::Def(c, m, pm) => {
+                self.cache.invalidate(c, m);
+                self.dt.insert(c, m, pm);
+                self.expr = plug(&ctx, Expr::Nil);
+                Step::Continue
+            }
+            // (EType)
+            Expr::TypeDecl(c, m, mty) => {
+                if self.tapp_stack().contains(&(c, m)) {
+                    // The paper's side condition A.m ∉ TApp(S); surfaced as
+                    // blame so the machine is total (see DESIGN.md).
+                    return Step::Blamed(Blame::TypeUpdateOnStack(c, m));
+                }
+                self.tt.insert(c, m, mty);
+                self.cache.invalidate(c, m);
+                let tt = self.tt.clone();
+                self.cache.upgrade(&tt);
+                self.expr = plug(&ctx, Expr::Nil);
+                Step::Continue
+            }
+            // (EAppMiss) / (EAppHit) / blame rules
+            Expr::Call(r, m, a) => {
+                let recv = r.as_value().expect("redex invariant");
+                let arg = a.as_value().expect("redex invariant");
+                let cls = match recv {
+                    Val::Nil => return Step::Blamed(Blame::NilReceiver(m)),
+                    Val::Inst(c) => c,
+                };
+                let Some(mty) = self.tt.get(cls, m) else {
+                    return Step::Blamed(Blame::UntypedMethod(cls, m));
+                };
+                let Some(pm) = self.dt.get(cls, m).cloned() else {
+                    return Step::Blamed(Blame::UndefinedMethod(cls, m));
+                };
+                if !arg.type_of().subtype(mty.dom) {
+                    return Step::Blamed(Blame::ArgMismatch(cls, m));
+                }
+                if self.cache.get(cls, m).is_none() {
+                    // (EAppMiss): check the body now, against the current TT.
+                    self.checks_run += 1;
+                    match check_method_body(&self.tt, cls, pm.param, &pm.body, mty) {
+                        Ok(deriv) => {
+                            self.cache.insert(
+                                cls,
+                                m,
+                                CacheEntry {
+                                    deriv,
+                                    premethod: pm.clone(),
+                                    mty,
+                                    tt: self.tt.clone(),
+                                },
+                            );
+                        }
+                        Err(_) => return Step::Blamed(Blame::BodyIllTyped(cls, m)),
+                    }
+                } else {
+                    self.cache_hits += 1;
+                }
+                // Push (E, C); enter the body.
+                let mut frame_env = BTreeMap::new();
+                frame_env.insert(pm.param, arg);
+                self.stack.push(StackFrame {
+                    env: std::mem::replace(&mut self.env, frame_env),
+                    self_val: std::mem::replace(&mut self.self_val, recv),
+                    ctx,
+                    active: std::mem::replace(&mut self.active, Some((cls, m))),
+                });
+                self.expr = pm.body.as_ref().clone();
+                Step::Continue
+            }
+            v => Step::Stuck(format!("unexpected redex {v}")),
+        }
+    }
+
+    /// Runs to completion within `fuel` steps, optionally validating cache
+    /// consistency (Definition 7) at every step.
+    pub fn run(&mut self, fuel: u64, validate: bool) -> RunResult {
+        for _ in 0..fuel {
+            if validate && !self.cache.consistent_with(&self.tt, &self.dt) {
+                return RunResult::Stuck("cache inconsistent".to_string());
+            }
+            match self.step() {
+                Step::Continue => {}
+                Step::Done(v) => return RunResult::Value(v),
+                Step::Blamed(b) => return RunResult::Blamed(b),
+                Step::Stuck(s) => return RunResult::Stuck(s),
+            }
+        }
+        RunResult::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Ty;
+
+    const A: Cls = Cls(0);
+    const B: Cls = Cls(1);
+    const M: Mth = Mth(0);
+    const N: Mth = Mth(1);
+    const X: VarId = VarId(0);
+
+    fn seq(es: Vec<Expr>) -> Expr {
+        let mut it = es.into_iter().rev();
+        let mut out = it.next().unwrap();
+        for e in it {
+            out = Expr::Seq(Rc::new(e), Rc::new(out));
+        }
+        out
+    }
+
+    fn ident_method(c: Cls, m: Mth) -> Expr {
+        Expr::Def(
+            c,
+            m,
+            PreMethod {
+                param: X,
+                body: Rc::new(Expr::Var(X)),
+            },
+        )
+    }
+
+    fn ty(c: Cls, m: Mth, dom: Ty, rng: Ty) -> Expr {
+        Expr::TypeDecl(c, m, MTy { dom, rng })
+    }
+
+    fn call(r: Expr, m: Mth, a: Expr) -> Expr {
+        Expr::Call(Rc::new(r), m, Rc::new(a))
+    }
+
+    #[test]
+    fn decompose_plug_roundtrip() {
+        let e = call(
+            Expr::Seq(Rc::new(Expr::New(A)), Rc::new(Expr::New(B))),
+            M,
+            Expr::Nil,
+        );
+        let (ctx, redex) = decompose(&e).unwrap();
+        // The leftmost-innermost redex is New(A) inside the Seq inside the
+        // call receiver.
+        assert_eq!(redex, Expr::New(A));
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(plug(&ctx, redex), e);
+    }
+
+    #[test]
+    fn simple_program_runs_to_value() {
+        // type A.m : A -> A; def A.m = λx.x; A.new.m(A.new)
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            call(Expr::New(A), M, Expr::New(A)),
+        ]);
+        // Note: the top level does NOT type check under the empty initial
+        // TT — exactly the paper's §3 restriction (type expressions only
+        // take effect dynamically). The machine still runs it; the body
+        // check happens just in time at the call.
+        assert!(type_check(&TypeTable::new(), &TEnv::new(), &p).is_err());
+        let mut cfg = Config::initial(p);
+        assert_eq!(cfg.run(1000, true), RunResult::Value(Val::Inst(A)));
+        assert_eq!(cfg.checks_run, 1);
+    }
+
+    #[test]
+    fn second_call_hits_cache() {
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            call(Expr::New(A), M, Expr::New(A)),
+            call(Expr::New(A), M, Expr::New(A)),
+            call(Expr::New(A), M, Expr::New(A)),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert!(matches!(cfg.run(1000, true), RunResult::Value(_)));
+        assert_eq!(cfg.checks_run, 1, "checked once");
+        assert_eq!(cfg.cache_hits, 2, "two hits");
+    }
+
+    #[test]
+    fn redefinition_invalidates_cache() {
+        // def, call (check), redef, call (recheck).
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            call(Expr::New(A), M, Expr::New(A)),
+            ident_method(A, M),
+            call(Expr::New(A), M, Expr::New(A)),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert!(matches!(cfg.run(1000, true), RunResult::Value(_)));
+        assert_eq!(cfg.checks_run, 2);
+    }
+
+    #[test]
+    fn retyping_invalidates_dependents() {
+        // B.n calls A.m. After retyping A.m, calling B.n again must recheck
+        // B.n (its derivation used (TApp) on A.m — Definition 1 case 2).
+        let bn_body = call(Expr::Var(X), M, Expr::Var(X));
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            ty(B, N, Ty::Cls(A), Ty::Cls(A)),
+            Expr::Def(
+                B,
+                N,
+                PreMethod {
+                    param: X,
+                    body: Rc::new(bn_body),
+                },
+            ),
+            call(Expr::New(B), N, Expr::New(A)), // checks B.n (and A.m at its call)
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),    // re-type A.m (same type, still invalidates)
+            call(Expr::New(B), N, Expr::New(A)), // must re-check B.n
+        ]);
+        let mut cfg = Config::initial(p);
+        assert!(matches!(cfg.run(2000, true), RunResult::Value(_)));
+        // B.n checked twice, A.m once (its own entry was invalidated too,
+        // but A.m is called inside B.n, so it rechecks as well).
+        assert_eq!(cfg.checks_run, 4);
+    }
+
+    #[test]
+    fn body_ill_typed_blames_at_call() {
+        // def A.m = λx. x.n(x) where nothing types n: definition is fine,
+        // the call blames.
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            Expr::Def(
+                A,
+                M,
+                PreMethod {
+                    param: X,
+                    body: Rc::new(call(Expr::Var(X), N, Expr::Var(X))),
+                },
+            ),
+            call(Expr::New(A), M, Expr::New(A)),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert_eq!(
+            cfg.run(1000, true),
+            RunResult::Blamed(Blame::BodyIllTyped(A, M))
+        );
+    }
+
+    #[test]
+    fn nil_receiver_blames() {
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            call(Expr::Nil, M, Expr::New(A)),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert_eq!(cfg.run(1000, true), RunResult::Blamed(Blame::NilReceiver(M)));
+    }
+
+    #[test]
+    fn typed_but_undefined_blames() {
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            call(Expr::New(A), M, Expr::New(A)),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert_eq!(
+            cfg.run(1000, true),
+            RunResult::Blamed(Blame::UndefinedMethod(A, M))
+        );
+    }
+
+    #[test]
+    fn runtime_arg_mismatch_blames() {
+        // A.m : B -> B, so passing [A] from an untyped context... the
+        // top-level program must still type check, so route the bad value
+        // through nil-typed flow: nil <= B statically, but at run time we
+        // pass [A].
+        // x = if nil then B.new else A.new  — joins to error statically, so
+        // instead: the argument expression has static type nil via a
+        // variable assigned nil, then reassigned dynamically — the formal
+        // language has no such laundering, so arg mismatch can only occur
+        // via nil-typed positions holding non-nil... which cannot happen.
+        // We exercise the rule directly instead.
+        let mut cfg = Config::initial(Expr::Nil);
+        cfg.tt.insert(A, M, MTy { dom: Ty::Cls(B), rng: Ty::Nil });
+        cfg.dt.insert(
+            A,
+            M,
+            PreMethod {
+                param: X,
+                body: Rc::new(Expr::Nil),
+            },
+        );
+        cfg.expr = call(Expr::New(A), M, Expr::New(A));
+        assert_eq!(
+            cfg.run(100, true),
+            RunResult::Blamed(Blame::ArgMismatch(A, M))
+        );
+    }
+
+    #[test]
+    fn paper_section3_example_blames() {
+        // def A.m = λx.(def B.m; type B.m; B.new.m(nil)) — the body cannot
+        // type check at the first call because B.m is not yet in TT.
+        let body = seq(vec![
+            Expr::Def(
+                B,
+                M,
+                PreMethod {
+                    param: X,
+                    body: Rc::new(Expr::Var(X)),
+                },
+            ),
+            ty(B, M, Ty::Nil, Ty::Nil),
+            call(Expr::New(B), M, Expr::Nil),
+        ]);
+        let p = seq(vec![
+            ty(A, M, Ty::Nil, Ty::Nil),
+            Expr::Def(
+                A,
+                M,
+                PreMethod {
+                    param: X,
+                    body: Rc::new(body),
+                },
+            ),
+            call(Expr::New(A), M, Expr::Nil),
+        ]);
+        let mut cfg = Config::initial(p);
+        assert_eq!(
+            cfg.run(1000, true),
+            RunResult::Blamed(Blame::BodyIllTyped(A, M))
+        );
+    }
+
+    #[test]
+    fn cache_consistency_holds_through_updates() {
+        let p = seq(vec![
+            ty(A, M, Ty::Cls(A), Ty::Cls(A)),
+            ident_method(A, M),
+            call(Expr::New(A), M, Expr::New(A)),
+            ty(B, N, Ty::Nil, Ty::Nil),
+            Expr::Def(
+                B,
+                N,
+                PreMethod {
+                    param: X,
+                    body: Rc::new(Expr::Nil),
+                },
+            ),
+            call(Expr::New(B), N, Expr::Nil),
+        ]);
+        let mut cfg = Config::initial(p);
+        // validate=true asserts Definition 7 at every step.
+        assert!(matches!(cfg.run(2000, true), RunResult::Value(_)));
+        assert_eq!(cfg.cache.len(), 2);
+    }
+}

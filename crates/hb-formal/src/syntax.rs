@@ -1,0 +1,213 @@
+//! The core language of paper Fig. 4.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Class ids `A` (a small closed universe keeps generation simple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cls(pub u8);
+
+/// Method ids `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mth(pub u8);
+
+/// Variable ids `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u8);
+
+impl fmt::Display for Cls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", (b'A' + self.0) as char)
+    }
+}
+
+impl fmt::Display for Mth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Value types `τ ::= A | nil`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    Nil,
+    Cls(Cls),
+}
+
+impl Ty {
+    /// Subtyping: `nil ≤ A` and `A ≤ A`.
+    pub fn subtype(self, other: Ty) -> bool {
+        match (self, other) {
+            (Ty::Nil, _) => true,
+            (Ty::Cls(a), Ty::Cls(b)) => a == b,
+            (Ty::Cls(_), Ty::Nil) => false,
+        }
+    }
+
+    /// Least upper bound: `A ⊔ A = A`, `nil ⊔ τ = τ ⊔ nil = τ`; undefined
+    /// for distinct classes.
+    pub fn lub(self, other: Ty) -> Option<Ty> {
+        match (self, other) {
+            (Ty::Nil, t) | (t, Ty::Nil) => Some(t),
+            (Ty::Cls(a), Ty::Cls(b)) if a == b => Some(self),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Nil => write!(f, "nil"),
+            Ty::Cls(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Method types `τm ::= τ → τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MTy {
+    pub dom: Ty,
+    pub rng: Ty,
+}
+
+impl fmt::Display for MTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.dom, self.rng)
+    }
+}
+
+/// Premethods `λx.e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PreMethod {
+    pub param: VarId,
+    pub body: Rc<Expr>,
+}
+
+/// Expressions (Fig. 4). `self` is [`Expr::SelfE`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    Nil,
+    /// An instance value `[A]`.
+    Inst(Cls),
+    Var(VarId),
+    SelfE,
+    Assign(VarId, Rc<Expr>),
+    Seq(Rc<Expr>, Rc<Expr>),
+    New(Cls),
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `e1.m(e2)`
+    Call(Rc<Expr>, Mth, Rc<Expr>),
+    /// `def A.m = λx.e`
+    Def(Cls, Mth, PreMethod),
+    /// `type A.m : τ → τ'`
+    TypeDecl(Cls, Mth, MTy),
+}
+
+impl Expr {
+    /// Is this expression a value (`nil` or `[A]`)?
+    pub fn is_value(&self) -> bool {
+        matches!(self, Expr::Nil | Expr::Inst(_))
+    }
+
+    /// The runtime value, if this is one.
+    pub fn as_value(&self) -> Option<Val> {
+        match self {
+            Expr::Nil => Some(Val::Nil),
+            Expr::Inst(c) => Some(Val::Inst(*c)),
+            _ => None,
+        }
+    }
+}
+
+/// Runtime values `v ::= nil | [A]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Val {
+    Nil,
+    Inst(Cls),
+}
+
+impl Val {
+    /// Embeds a value back into expression syntax.
+    pub fn to_expr(self) -> Expr {
+        match self {
+            Val::Nil => Expr::Nil,
+            Val::Inst(c) => Expr::Inst(c),
+        }
+    }
+
+    /// The paper's `type_of`: `type_of(nil) = nil`, `type_of([A]) = A`.
+    pub fn type_of(self) -> Ty {
+        match self {
+            Val::Nil => Ty::Nil,
+            Val::Inst(c) => Ty::Cls(c),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Nil => write!(f, "nil"),
+            Expr::Inst(c) => write!(f, "[{c}]"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::SelfE => write!(f, "self"),
+            Expr::Assign(x, e) => write!(f, "{x} = {e}"),
+            Expr::Seq(a, b) => write!(f, "({a}; {b})"),
+            Expr::New(c) => write!(f, "{c}.new"),
+            Expr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+            Expr::Call(r, m, a) => write!(f, "{r}.{m}({a})"),
+            Expr::Def(c, m, pm) => write!(f, "def {c}.{m} = \u{3bb}{}.{}", pm.param, pm.body),
+            Expr::TypeDecl(c, m, t) => write!(f, "type {c}.{m} : {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtyping_per_paper() {
+        let a = Ty::Cls(Cls(0));
+        let b = Ty::Cls(Cls(1));
+        assert!(Ty::Nil.subtype(a));
+        assert!(a.subtype(a));
+        assert!(!a.subtype(b));
+        assert!(!a.subtype(Ty::Nil));
+    }
+
+    #[test]
+    fn lub_per_paper() {
+        let a = Ty::Cls(Cls(0));
+        let b = Ty::Cls(Cls(1));
+        assert_eq!(Ty::Nil.lub(a), Some(a));
+        assert_eq!(a.lub(Ty::Nil), Some(a));
+        assert_eq!(a.lub(a), Some(a));
+        assert_eq!(a.lub(b), None);
+    }
+
+    #[test]
+    fn values() {
+        assert!(Expr::Nil.is_value());
+        assert!(Expr::Inst(Cls(0)).is_value());
+        assert!(!Expr::New(Cls(0)).is_value());
+        assert_eq!(Val::Inst(Cls(1)).type_of(), Ty::Cls(Cls(1)));
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::Call(
+            Rc::new(Expr::New(Cls(0))),
+            Mth(0),
+            Rc::new(Expr::Nil),
+        );
+        assert_eq!(e.to_string(), "A.new.m0(nil)");
+    }
+}

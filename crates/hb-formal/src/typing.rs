@@ -1,0 +1,388 @@
+//! The type checking system of paper Fig. 5, producing derivation trees.
+//!
+//! Judgments have the form `TT ⊢ ⟨Γ, e⟩ ⇒ ⟨Γ', τ⟩`. Derivations record the
+//! `(A, m)` pairs used by rule (TApp) so the machine can implement
+//! Definition 1 (cache invalidation) exactly.
+
+use crate::syntax::{Cls, Expr, MTy, Mth, Ty, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The type table `TT : cls ids → mth ids → mth typs`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeTable {
+    entries: BTreeMap<(Cls, Mth), MTy>,
+}
+
+impl TypeTable {
+    /// An empty table.
+    pub fn new() -> TypeTable {
+        TypeTable::default()
+    }
+
+    /// `TT[A.m ↦ τm]`.
+    pub fn insert(&mut self, c: Cls, m: Mth, t: MTy) {
+        self.entries.insert((c, m), t);
+    }
+
+    /// `TT(A.m)`.
+    pub fn get(&self, c: Cls, m: Mth) -> Option<MTy> {
+        self.entries.get(&(c, m)).copied()
+    }
+}
+
+/// The type environment `Γ : var ids → val typs` (plus `self`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TEnv {
+    vars: BTreeMap<VarId, Ty>,
+    pub self_ty: Option<Ty>,
+}
+
+impl TEnv {
+    /// An empty environment.
+    pub fn new() -> TEnv {
+        TEnv::default()
+    }
+
+    /// Binds a variable.
+    pub fn bind(&mut self, x: VarId, t: Ty) {
+        self.vars.insert(x, t);
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, x: VarId) -> Option<Ty> {
+        self.vars.get(&x).copied()
+    }
+
+    /// Variables bound in this environment.
+    pub fn domain(&self) -> impl Iterator<Item = (&VarId, &Ty)> {
+        self.vars.iter()
+    }
+
+    /// The paper's `Γ1 ⊔ Γ2`: defined on common variables with a defined
+    /// type lub; other variables are dropped.
+    pub fn join(&self, other: &TEnv) -> TEnv {
+        let mut out = TEnv::new();
+        out.self_ty = match (self.self_ty, other.self_ty) {
+            (Some(a), Some(b)) => a.lub(b),
+            _ => None,
+        };
+        for (x, t) in &self.vars {
+            if let Some(u) = other.vars.get(x) {
+                if let Some(j) = t.lub(*u) {
+                    out.vars.insert(*x, j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A typing derivation `DM` with the rule name, conclusion and the (TApp)
+/// uses needed by Definition 1(2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deriv {
+    pub rule: &'static str,
+    pub expr: Expr,
+    pub env_out: TEnv,
+    pub ty: Ty,
+    pub children: Vec<Deriv>,
+    /// All `(A, m)` pairs this derivation's (TApp) instances used.
+    pub tapp_uses: BTreeSet<(Cls, Mth)>,
+}
+
+/// A static type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeErr(pub String);
+
+impl fmt::Display for TypeErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+/// Runs the Fig. 5 rules: `TT ⊢ ⟨Γ, e⟩ ⇒ ⟨Γ', τ⟩`.
+///
+/// # Errors
+///
+/// Returns [`TypeErr`] when no rule applies.
+pub fn type_check(tt: &TypeTable, env: &TEnv, e: &Expr) -> Result<Deriv, TypeErr> {
+    match e {
+        // (TNil)
+        Expr::Nil => Ok(leaf("TNil", e, env.clone(), Ty::Nil)),
+        // (TObject)
+        Expr::Inst(c) => Ok(leaf("TObject", e, env.clone(), Ty::Cls(*c))),
+        // (TSelf)
+        Expr::SelfE => match env.self_ty {
+            Some(t) => Ok(leaf("TSelf", e, env.clone(), t)),
+            None => Err(TypeErr("self unbound".into())),
+        },
+        // (TVar)
+        Expr::Var(x) => match env.get(*x) {
+            Some(t) => Ok(leaf("TVar", e, env.clone(), t)),
+            None => Err(TypeErr(format!("variable {x} unbound"))),
+        },
+        // (TSeq)
+        Expr::Seq(e1, e2) => {
+            let d1 = type_check(tt, env, e1)?;
+            let d2 = type_check(tt, &d1.env_out, e2)?;
+            let mut uses = d1.tapp_uses.clone();
+            uses.extend(d2.tapp_uses.iter().copied());
+            Ok(Deriv {
+                rule: "TSeq",
+                expr: e.clone(),
+                env_out: d2.env_out.clone(),
+                ty: d2.ty,
+                children: vec![d1, d2],
+                tapp_uses: uses,
+            })
+        }
+        // (TAssn)
+        Expr::Assign(x, rhs) => {
+            let d = type_check(tt, env, rhs)?;
+            let mut out = d.env_out.clone();
+            out.bind(*x, d.ty);
+            let uses = d.tapp_uses.clone();
+            let ty = d.ty;
+            Ok(Deriv {
+                rule: "TAssn",
+                expr: e.clone(),
+                env_out: out,
+                ty,
+                children: vec![d],
+                tapp_uses: uses,
+            })
+        }
+        // (TNew)
+        Expr::New(c) => Ok(leaf("TNew", e, env.clone(), Ty::Cls(*c))),
+        // (TDef)
+        Expr::Def(..) => Ok(leaf("TDef", e, env.clone(), Ty::Nil)),
+        // (TType)
+        Expr::TypeDecl(..) => Ok(leaf("TType", e, env.clone(), Ty::Nil)),
+        // (TIf)
+        Expr::If(c, t, f) => {
+            let d0 = type_check(tt, env, c)?;
+            let d1 = type_check(tt, &d0.env_out, t)?;
+            let d2 = type_check(tt, &d0.env_out, f)?;
+            let ty = d1
+                .ty
+                .lub(d2.ty)
+                .ok_or_else(|| TypeErr(format!("no lub for {} and {}", d1.ty, d2.ty)))?;
+            let env_out = d1.env_out.join(&d2.env_out);
+            let mut uses = d0.tapp_uses.clone();
+            uses.extend(d1.tapp_uses.iter().copied());
+            uses.extend(d2.tapp_uses.iter().copied());
+            Ok(Deriv {
+                rule: "TIf",
+                expr: e.clone(),
+                env_out,
+                ty,
+                children: vec![d0, d1, d2],
+                tapp_uses: uses,
+            })
+        }
+        // (TApp)
+        Expr::Call(recv, m, arg) => {
+            let d0 = type_check(tt, env, recv)?;
+            let a = match d0.ty {
+                Ty::Cls(a) => a,
+                Ty::Nil => return Err(TypeErr(format!("receiver of {m} has type nil"))),
+            };
+            let d1 = type_check(tt, &d0.env_out, arg)?;
+            let mty = tt
+                .get(a, *m)
+                .ok_or_else(|| TypeErr(format!("no type for {a}.{m}")))?;
+            if !d1.ty.subtype(mty.dom) {
+                return Err(TypeErr(format!(
+                    "argument {} not a subtype of {}",
+                    d1.ty, mty.dom
+                )));
+            }
+            let env_out = d1.env_out.clone();
+            let mut uses = d0.tapp_uses.clone();
+            uses.extend(d1.tapp_uses.iter().copied());
+            uses.insert((a, *m));
+            Ok(Deriv {
+                rule: "TApp",
+                expr: e.clone(),
+                env_out,
+                ty: mty.rng,
+                children: vec![d0, d1],
+                tapp_uses: uses,
+            })
+        }
+    }
+}
+
+/// Checks a method body against a declared type, exactly as (EAppMiss)
+/// does: `TT ⊢ ⟨[x ↦ τ1, self ↦ A], e⟩ ⇒ ⟨Γ', τ⟩` and `τ ≤ τ2`.
+///
+/// # Errors
+///
+/// Type errors in the body or a return-type mismatch.
+pub fn check_method_body(
+    tt: &TypeTable,
+    class: Cls,
+    param: VarId,
+    body: &Expr,
+    mty: MTy,
+) -> Result<Deriv, TypeErr> {
+    let mut env = TEnv::new();
+    env.bind(param, mty.dom);
+    env.self_ty = Some(Ty::Cls(class));
+    let d = type_check(tt, &env, body)?;
+    if !d.ty.subtype(mty.rng) {
+        return Err(TypeErr(format!(
+            "body type {} not a subtype of declared {}",
+            d.ty, mty.rng
+        )));
+    }
+    Ok(d)
+}
+
+fn leaf(rule: &'static str, e: &Expr, env: TEnv, ty: Ty) -> Deriv {
+    Deriv {
+        rule,
+        expr: e.clone(),
+        env_out: env,
+        ty,
+        children: vec![],
+        tapp_uses: BTreeSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    const A: Cls = Cls(0);
+    const B: Cls = Cls(1);
+    const M: Mth = Mth(0);
+    const X: VarId = VarId(0);
+
+    fn call(r: Expr, m: Mth, a: Expr) -> Expr {
+        Expr::Call(Rc::new(r), m, Rc::new(a))
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        let tt = TypeTable::new();
+        let mut env = TEnv::new();
+        env.bind(X, Ty::Cls(A));
+        assert_eq!(type_check(&tt, &env, &Expr::Nil).unwrap().ty, Ty::Nil);
+        assert_eq!(
+            type_check(&tt, &env, &Expr::Var(X)).unwrap().ty,
+            Ty::Cls(A)
+        );
+        assert!(type_check(&tt, &env, &Expr::Var(VarId(9))).is_err());
+    }
+
+    #[test]
+    fn assignment_is_flow_sensitive() {
+        let tt = TypeTable::new();
+        let env = TEnv::new();
+        let e = Expr::Assign(X, Rc::new(Expr::New(A)));
+        let d = type_check(&tt, &env, &e).unwrap();
+        assert_eq!(d.env_out.get(X), Some(Ty::Cls(A)));
+    }
+
+    #[test]
+    fn tapp_requires_type_and_checks_arg() {
+        let mut tt = TypeTable::new();
+        let env = TEnv::new();
+        let e = call(Expr::New(A), M, Expr::Nil);
+        // No type: error (the paper's §3 B.m example).
+        assert!(type_check(&tt, &env, &e).is_err());
+        tt.insert(A, M, MTy { dom: Ty::Cls(B), rng: Ty::Nil });
+        // nil <= B, fine.
+        let d = type_check(&tt, &env, &e).unwrap();
+        assert_eq!(d.ty, Ty::Nil);
+        assert!(d.tapp_uses.contains(&(A, M)));
+        // [A] is not a subtype of B.
+        let bad = call(Expr::New(A), M, Expr::Inst(A));
+        assert!(type_check(&tt, &env, &bad).is_err());
+    }
+
+    #[test]
+    fn if_joins_envs_and_types() {
+        let tt = TypeTable::new();
+        let env = TEnv::new();
+        // if nil then (x = A.new) else (x = A.new) : both branches bind x.
+        let e = Expr::If(
+            Rc::new(Expr::Nil),
+            Rc::new(Expr::Assign(X, Rc::new(Expr::New(A)))),
+            Rc::new(Expr::Assign(X, Rc::new(Expr::New(A)))),
+        );
+        let d = type_check(&tt, &env, &e).unwrap();
+        assert_eq!(d.env_out.get(X), Some(Ty::Cls(A)));
+        // One-sided binding is dropped.
+        let e = Expr::If(
+            Rc::new(Expr::Nil),
+            Rc::new(Expr::Assign(X, Rc::new(Expr::New(A)))),
+            Rc::new(Expr::Nil),
+        );
+        let d = type_check(&tt, &env, &e).unwrap();
+        assert_eq!(d.env_out.get(X), None);
+        assert_eq!(d.ty, Ty::Cls(A)); // A lub nil = A
+    }
+
+    #[test]
+    fn incompatible_branches_fail() {
+        let tt = TypeTable::new();
+        let env = TEnv::new();
+        let e = Expr::If(
+            Rc::new(Expr::Nil),
+            Rc::new(Expr::New(A)),
+            Rc::new(Expr::New(B)),
+        );
+        assert!(type_check(&tt, &env, &e).is_err());
+    }
+
+    #[test]
+    fn def_and_type_are_nil_typed_without_body_checks() {
+        let tt = TypeTable::new();
+        let env = TEnv::new();
+        // The body is nonsense (unbound var) but (TDef) does not look.
+        let d = type_check(
+            &tt,
+            &env,
+            &Expr::Def(
+                A,
+                M,
+                crate::syntax::PreMethod {
+                    param: X,
+                    body: Rc::new(Expr::Var(VarId(7))),
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(d.rule, "TDef");
+        assert_eq!(d.ty, Ty::Nil);
+    }
+
+    #[test]
+    fn method_body_checking() {
+        let mut tt = TypeTable::new();
+        tt.insert(A, M, MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) });
+        // λx. x  with A -> A: fine.
+        let d = check_method_body(
+            &tt,
+            A,
+            X,
+            &Expr::Var(X),
+            MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) },
+        )
+        .unwrap();
+        assert_eq!(d.ty, Ty::Cls(A));
+        // λx. self with B self: not a subtype of A.
+        assert!(check_method_body(
+            &tt,
+            B,
+            X,
+            &Expr::SelfE,
+            MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) },
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based soundness testing (paper Theorem 1) and machine
+//! invariants.
+//!
+//! We generate random programs over a small universe of classes, methods
+//! and variables, shaped like real Hummingbird programs: interleaved `type`
+//! / `def` declarations and calls, with random sub-expressions in method
+//! bodies. The machine must be *total* — every run ends in a value, blame,
+//! or fuel exhaustion — with the single exception of unwritten-variable
+//! reads, which the paper classifies as errors that the type system rules
+//! out: programs whose top level is well-typed must never hit them.
+//! Definition 7 (cache consistency) is validated at every step of every
+//! run.
+
+use hb_formal::{
+    type_check, Cls, Config, Expr, MTy, Mth, PreMethod, RunResult, TEnv, Ty, TypeTable, Val,
+    VarId,
+};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        Just(Ty::Nil),
+        Just(Ty::Cls(Cls(0))),
+        Just(Ty::Cls(Cls(1))),
+    ]
+}
+
+fn arb_small_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Nil),
+        Just(Expr::SelfE),
+        Just(Expr::Var(VarId(0))),
+        Just(Expr::Var(VarId(1))),
+        Just(Expr::New(Cls(0))),
+        Just(Expr::New(Cls(1))),
+        Just(Expr::Inst(Cls(0))),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Seq(Rc::new(a), Rc::new(b))),
+            (any::<u8>(), inner.clone())
+                .prop_map(|(x, e)| Expr::Assign(VarId(x % 2), Rc::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Expr::If(Rc::new(c), Rc::new(t), Rc::new(f))),
+            (inner.clone(), any::<u8>(), inner)
+                .prop_map(|(r, m, a)| Expr::Call(Rc::new(r), Mth(m % 2), Rc::new(a))),
+        ]
+    })
+}
+
+/// One top-level statement, weighted toward the declaration forms that make
+/// programs interesting (types, defs, calls).
+fn arb_stmt() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // type A.m : τ → τ'
+        (any::<u8>(), any::<u8>(), arb_ty(), arb_ty()).prop_map(|(c, m, d, r)| {
+            Expr::TypeDecl(Cls(c % 2), Mth(m % 2), MTy { dom: d, rng: r })
+        }),
+        // def A.m = λx0. body
+        (any::<u8>(), any::<u8>(), arb_small_expr()).prop_map(|(c, m, body)| {
+            Expr::Def(
+                Cls(c % 2),
+                Mth(m % 2),
+                PreMethod {
+                    param: VarId(0),
+                    body: Rc::new(body),
+                },
+            )
+        }),
+        // a random expression (often a call)
+        arb_small_expr(),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Expr> {
+    prop::collection::vec(arb_stmt(), 1..8).prop_map(|stmts| {
+        let mut it = stmts.into_iter().rev();
+        let mut out = it.next().unwrap();
+        for s in it {
+            out = Expr::Seq(Rc::new(s), Rc::new(out));
+        }
+        out
+    })
+}
+
+const FUEL: u64 = 2_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Machine totality with Definition 7 validated each step: arbitrary
+    /// programs never get stuck except on unwritten-variable reads.
+    #[test]
+    fn machine_is_total_and_cache_consistent(p in arb_program()) {
+        let mut cfg = Config::initial(p);
+        match cfg.run(FUEL, true) {
+            RunResult::Value(_) | RunResult::Blamed(_) | RunResult::OutOfFuel => {}
+            RunResult::Stuck(msg) => {
+                prop_assert!(
+                    msg.contains("unwritten variable"),
+                    "machine stuck: {msg}"
+                );
+            }
+        }
+    }
+
+    /// Theorem 1: programs whose top level type checks under the empty
+    /// table reduce to a value, blame, or diverge — never stuck at all.
+    #[test]
+    fn well_typed_programs_never_get_stuck(p in arb_program()) {
+        if type_check(&TypeTable::new(), &TEnv::new(), &p).is_err() {
+            // Outside the theorem's hypothesis.
+            return Ok(());
+        }
+        let mut cfg = Config::initial(p.clone());
+        match cfg.run(FUEL, true) {
+            RunResult::Value(_) | RunResult::Blamed(_) | RunResult::OutOfFuel => {}
+            RunResult::Stuck(msg) => {
+                prop_assert!(false, "well-typed program stuck: {msg} in {p}");
+            }
+        }
+    }
+
+    /// Well-typed programs that terminate with a value produce a value
+    /// whose type is a subtype of the static type (the observable corollary
+    /// of preservation).
+    #[test]
+    fn final_value_matches_static_type(p in arb_program()) {
+        let Ok(d) = type_check(&TypeTable::new(), &TEnv::new(), &p) else {
+            return Ok(());
+        };
+        let mut cfg = Config::initial(p);
+        if let RunResult::Value(v) = cfg.run(FUEL, true) {
+            prop_assert!(
+                v.type_of().subtype(d.ty),
+                "value {v:?} (type {}) vs static {}",
+                v.type_of(),
+                d.ty
+            );
+        }
+    }
+
+    /// The cache never re-checks an unchanged method: runs where no def or
+    /// type redeclaration occurs check each called method at most once.
+    #[test]
+    fn at_most_one_check_per_method_without_updates(
+        calls in 1usize..6,
+    ) {
+        // type A.m0 : A→A; def A.m0 = λx.x; then `calls` identical calls.
+        let mut stmts = vec![
+            Expr::TypeDecl(Cls(0), Mth(0), MTy { dom: Ty::Cls(Cls(0)), rng: Ty::Cls(Cls(0)) }),
+            Expr::Def(Cls(0), Mth(0), PreMethod { param: VarId(0), body: Rc::new(Expr::Var(VarId(0))) }),
+        ];
+        for _ in 0..calls {
+            stmts.push(Expr::Call(
+                Rc::new(Expr::New(Cls(0))),
+                Mth(0),
+                Rc::new(Expr::New(Cls(0))),
+            ));
+        }
+        let mut it = stmts.into_iter().rev();
+        let mut p = it.next().unwrap();
+        for s in it {
+            p = Expr::Seq(Rc::new(s), Rc::new(p));
+        }
+        let mut cfg = Config::initial(p);
+        prop_assert_eq!(cfg.run(FUEL, true), RunResult::Value(Val::Inst(Cls(0))));
+        prop_assert_eq!(cfg.checks_run, 1);
+        prop_assert_eq!(cfg.cache_hits, (calls - 1) as u64);
+    }
+}
+
+#[test]
+fn blame_cases_are_observable() {
+    use hb_formal::Blame;
+    // nil receiver.
+    let p = Expr::Call(Rc::new(Expr::Nil), Mth(0), Rc::new(Expr::Nil));
+    let mut cfg = Config::initial(p);
+    assert!(matches!(
+        cfg.run(100, true),
+        RunResult::Blamed(Blame::NilReceiver(_))
+    ));
+    // untyped method.
+    let p = Expr::Call(Rc::new(Expr::New(Cls(0))), Mth(0), Rc::new(Expr::Nil));
+    let mut cfg = Config::initial(p);
+    assert!(matches!(
+        cfg.run(100, true),
+        RunResult::Blamed(Blame::UntypedMethod(_, _))
+    ));
+}

@@ -1,0 +1,30 @@
+//! RIL-like intermediate language for the Hummingbird reproduction.
+//!
+//! The paper's implementation type checks Ruby Intermediate Language (RIL)
+//! control-flow graphs rather than raw ASTs. This crate plays that role:
+//! [`lower::lower_method`] turns a parsed RubyLite method definition into a
+//! [`cfg::MethodCfg`] of basic blocks; [`lower::lower_block_body`] does the
+//! same for block literals (used when checking `define_method`-created
+//! methods); [`lower::collect_method_defs`] enumerates lexically visible
+//! definitions for dev-mode reload diffing.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_il::{collect_method_defs, lower_method};
+//! use hb_syntax::parse_program;
+//!
+//! let p = parse_program("def add(a, b)\n a + b\nend", "t.rb").unwrap();
+//! let defs = collect_method_defs(&p);
+//! let cfg = lower_method(&defs[0].def);
+//! assert_eq!(cfg.params.len(), 2);
+//! ```
+
+pub mod cfg;
+pub mod lower;
+
+pub use cfg::{
+    BasicBlock, BlockId, BlockLit, BlockLitId, CallArg, IlParam, IlParamKind, Instr, InstrKind,
+    MethodCfg, Operand, Rvalue, StrPiece, Terminator,
+};
+pub use lower::{collect_method_defs, lower_block_body, lower_method, CollectedMethod};

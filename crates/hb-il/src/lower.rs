@@ -1,0 +1,1190 @@
+//! AST → CFG lowering.
+//!
+//! The lowering is checker-oriented: the interpreter executes ASTs directly
+//! (like Ruby), while the static checker consumes these CFGs (like RIL in
+//! the paper). Control flow — `if`, `while`, `case`, `&&`/`||`, `begin/
+//! rescue`, postfix modifiers — becomes explicit branches; everything else
+//! becomes assignments of [`Rvalue`]s to locals or temporaries.
+//!
+//! Checker-only nondeterminism ([`Operand::Nondet`]) models default
+//! parameters (the default may or may not run) and exception edges (a rescue
+//! body may run with the environment from the protected region's entry).
+
+use crate::cfg::*;
+use hb_syntax::ast::*;
+use hb_syntax::Span;
+use std::rc::Rc;
+
+/// Lowers a parsed method definition to a CFG.
+pub fn lower_method(def: &MethodDefNode) -> MethodCfg {
+    let mut lw = Lowerer::new(&def.name, def.span, false);
+    lw.add_params(&def.params);
+    lw.lower_param_defaults(&def.params);
+    let v = lw.lower_body(&def.body);
+    lw.terminate(Terminator::Return(v));
+    lw.finish()
+}
+
+/// Lowers a block/proc body to a CFG (used when checking methods created
+/// with `define_method`, paper Fig. 2).
+pub fn lower_block_body(params: &[Param], body: &[Expr], span: Span) -> MethodCfg {
+    let mut lw = Lowerer::new("<block>", span, true);
+    lw.add_params(params);
+    lw.lower_param_defaults(params);
+    let v = lw.lower_body(body);
+    lw.terminate(Terminator::Return(v));
+    lw.finish()
+}
+
+/// A method definition found by [`collect_method_defs`].
+#[derive(Debug, Clone)]
+pub struct CollectedMethod {
+    /// Owner path joined with `::` (`"Object"` for top-level defs).
+    pub owner: String,
+    pub self_method: bool,
+    pub name: String,
+    pub def: Rc<MethodDefNode>,
+}
+
+/// Walks a program and returns every lexically visible method definition
+/// with its owning class/module. Methods created by metaprogramming
+/// (`define_method`) are invisible here — they only exist at run time.
+pub fn collect_method_defs(program: &Program) -> Vec<CollectedMethod> {
+    let mut out = Vec::new();
+    collect_in(&program.body, "Object", &mut out);
+    out
+}
+
+fn collect_in(body: &[Expr], owner: &str, out: &mut Vec<CollectedMethod>) {
+    for e in body {
+        match &e.kind {
+            ExprKind::ClassDef { path, body, .. } | ExprKind::ModuleDef { path, body } => {
+                let name = if owner == "Object" {
+                    path.join("::")
+                } else {
+                    format!("{owner}::{}", path.join("::"))
+                };
+                collect_in(body, &name, out);
+            }
+            ExprKind::MethodDef(d) => out.push(CollectedMethod {
+                owner: owner.to_string(),
+                self_method: d.self_method,
+                name: d.name.clone(),
+                def: d.clone(),
+            }),
+            _ => {}
+        }
+    }
+}
+
+struct PartialBlock {
+    instrs: Vec<Instr>,
+    term: Option<Terminator>,
+}
+
+struct LoopCtx {
+    break_to: BlockId,
+    next_to: BlockId,
+}
+
+struct Lowerer {
+    name: String,
+    span: Span,
+    params: Vec<IlParam>,
+    blocks: Vec<PartialBlock>,
+    cur: usize,
+    temps: u32,
+    block_lits: Vec<BlockLit>,
+    loops: Vec<LoopCtx>,
+    /// True when lowering a block literal: an explicit `return` becomes
+    /// [`Terminator::MethodReturn`].
+    in_block: bool,
+}
+
+impl Lowerer {
+    fn new(name: &str, span: Span, in_block: bool) -> Lowerer {
+        Lowerer {
+            name: name.to_string(),
+            span,
+            params: Vec::new(),
+            blocks: vec![PartialBlock {
+                instrs: Vec::new(),
+                term: None,
+            }],
+            cur: 0,
+            temps: 0,
+            block_lits: Vec::new(),
+            loops: Vec::new(),
+            in_block,
+        }
+    }
+
+    fn add_params(&mut self, params: &[Param]) {
+        for p in params {
+            let kind = match &p.kind {
+                ParamKind::Required => IlParamKind::Required,
+                ParamKind::Optional(_) => IlParamKind::Optional,
+                ParamKind::Rest => IlParamKind::Rest,
+                ParamKind::Block => IlParamKind::Block,
+            };
+            self.params.push(IlParam {
+                name: p.name.clone(),
+                kind,
+            });
+        }
+    }
+
+    /// Lowers `p = default` parameters: the default expression runs on a
+    /// nondeterministic branch so the checker sees both outcomes.
+    fn lower_param_defaults(&mut self, params: &[Param]) {
+        for p in params {
+            if let ParamKind::Optional(default) = &p.kind {
+                let run_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: Operand::Nondet,
+                    then_bb: run_bb,
+                    else_bb: join_bb,
+                });
+                self.cur = run_bb.0 as usize;
+                let v = self.lower_expr(default);
+                self.push(
+                    InstrKind::Assign {
+                        local: p.name.clone(),
+                        rv: Rvalue::Use(v),
+                    },
+                    default.span,
+                );
+                self.terminate_explicit(Terminator::Goto(join_bb));
+                self.cur = join_bb.0 as usize;
+            }
+        }
+    }
+
+    fn finish(self) -> MethodCfg {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| BasicBlock {
+                instrs: b.instrs,
+                term: b.term.unwrap_or(Terminator::Return(Operand::NilConst)),
+            })
+            .collect();
+        MethodCfg {
+            name: self.name,
+            params: self.params,
+            blocks,
+            entry: BlockId(0),
+            block_lits: self.block_lits,
+            span: self.span,
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(PartialBlock {
+            instrs: Vec::new(),
+            term: None,
+        });
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn push(&mut self, kind: InstrKind, span: Span) {
+        let b = &mut self.blocks[self.cur];
+        if b.term.is_none() {
+            b.instrs.push(Instr { kind, span });
+        }
+        // Instructions after a terminator are unreachable and dropped.
+    }
+
+    /// Sets the current block's terminator if it does not have one, then
+    /// opens a fresh (possibly unreachable) block.
+    fn terminate(&mut self, term: Terminator) {
+        self.terminate_explicit(term);
+        let next = self.new_block();
+        self.cur = next.0 as usize;
+    }
+
+    fn terminate_explicit(&mut self, term: Terminator) {
+        let b = &mut self.blocks[self.cur];
+        if b.term.is_none() {
+            b.term = Some(term);
+        }
+    }
+
+    fn temp(&mut self) -> String {
+        let t = format!("%t{}", self.temps);
+        self.temps += 1;
+        t
+    }
+
+    fn assign_temp(&mut self, rv: Rvalue, span: Span) -> Operand {
+        let t = self.temp();
+        self.push(
+            InstrKind::Assign {
+                local: t.clone(),
+                rv,
+            },
+            span,
+        );
+        Operand::Local(t)
+    }
+
+    fn lower_body(&mut self, body: &[Expr]) -> Operand {
+        let mut last = Operand::NilConst;
+        for e in body {
+            last = self.lower_expr(e);
+        }
+        last
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Operand {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Nil => Operand::NilConst,
+            ExprKind::True => Operand::TrueConst,
+            ExprKind::False => Operand::FalseConst,
+            ExprKind::SelfExpr => Operand::SelfRef,
+            ExprKind::Int(n) => Operand::IntConst(*n),
+            ExprKind::Float(x) => Operand::FloatConst(*x),
+            ExprKind::Sym(s) => Operand::SymConst(s.clone()),
+            ExprKind::Str(parts) => {
+                if parts.len() == 1 {
+                    if let StrPart::Lit(s) = &parts[0] {
+                        return Operand::StrConst(s.clone());
+                    }
+                }
+                let mut pieces = Vec::new();
+                for p in parts {
+                    match p {
+                        StrPart::Lit(s) => pieces.push(StrPiece::Lit(s.clone())),
+                        StrPart::Interp(e) => {
+                            let v = self.lower_expr(e);
+                            pieces.push(StrPiece::Dyn(v));
+                        }
+                    }
+                }
+                self.assign_temp(Rvalue::StrInterp(pieces), span)
+            }
+            ExprKind::Local(n) => Operand::Local(n.clone()),
+            ExprKind::IVar(n) => self.assign_temp(Rvalue::IVar(n.clone()), span),
+            ExprKind::CVar(n) => self.assign_temp(Rvalue::CVar(n.clone()), span),
+            ExprKind::GVar(n) => self.assign_temp(Rvalue::GVar(n.clone()), span),
+            ExprKind::Const(path) => self.assign_temp(Rvalue::ConstRef(path.clone()), span),
+            ExprKind::Array(elems) => {
+                let ops: Vec<Operand> = elems.iter().map(|e| self.lower_expr(e)).collect();
+                self.assign_temp(Rvalue::ArrayLit(ops), span)
+            }
+            ExprKind::Hash(pairs) => {
+                let ops: Vec<(Operand, Operand)> = pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        let k = self.lower_expr(k);
+                        let v = self.lower_expr(v);
+                        (k, v)
+                    })
+                    .collect();
+                self.assign_temp(Rvalue::HashLit(ops), span)
+            }
+            ExprKind::Range { lo, hi, exclusive } => {
+                let lo = self.lower_expr(lo);
+                let hi = self.lower_expr(hi);
+                self.assign_temp(
+                    Rvalue::RangeLit {
+                        lo,
+                        hi,
+                        exclusive: *exclusive,
+                    },
+                    span,
+                )
+            }
+            ExprKind::Assign { target, value } => {
+                let v = self.lower_expr(value);
+                self.lower_lhs_write(target, v.clone(), span);
+                v
+            }
+            ExprKind::OpAssign { target, op, value } => {
+                self.lower_op_assign(target, op, value, span)
+            }
+            ExprKind::Call {
+                recv,
+                name,
+                args,
+                block,
+            } => self.lower_call(recv.as_deref(), name, args, block.as_ref(), span),
+            ExprKind::Yield(args) => {
+                let ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
+                self.assign_temp(Rvalue::Yield(ops), span)
+            }
+            ExprKind::Super { args } => {
+                let ops = args.as_ref().map(|args| {
+                    args.iter().map(|a| self.lower_expr(a)).collect::<Vec<_>>()
+                });
+                self.assign_temp(Rvalue::Super { args: ops }, span)
+            }
+            ExprKind::And(l, r) => {
+                // `a && b` evaluates to `a` when falsy, else `b`.
+                let a = self.lower_expr(l);
+                let res = self.temp();
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: a.clone(),
+                    then_bb,
+                    else_bb,
+                });
+                self.cur = then_bb.0 as usize;
+                let b = self.lower_expr(r);
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(b),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = else_bb.0 as usize;
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(a),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = join.0 as usize;
+                Operand::Local(res)
+            }
+            ExprKind::Or(l, r) => {
+                let a = self.lower_expr(l);
+                let res = self.temp();
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: a.clone(),
+                    then_bb,
+                    else_bb,
+                });
+                self.cur = then_bb.0 as usize;
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(a),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = else_bb.0 as usize;
+                let b = self.lower_expr(r);
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(b),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = join.0 as usize;
+                Operand::Local(res)
+            }
+            ExprKind::Not(x) => {
+                let v = self.lower_expr(x);
+                self.assign_temp(Rvalue::Not(v), span)
+            }
+            ExprKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.lower_expr(cond);
+                let res = self.temp();
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+                self.cur = then_bb.0 as usize;
+                let tv = self.lower_body(then_body);
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(tv),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = else_bb.0 as usize;
+                let ev = self.lower_body(else_body);
+                self.push(
+                    InstrKind::Assign {
+                        local: res.clone(),
+                        rv: Rvalue::Use(ev),
+                    },
+                    span,
+                );
+                self.terminate_explicit(Terminator::Goto(join));
+                self.cur = join.0 as usize;
+                Operand::Local(res)
+            }
+            ExprKind::While { cond, body } => {
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate_explicit(Terminator::Goto(cond_bb));
+                self.cur = cond_bb.0 as usize;
+                let c = self.lower_expr(cond);
+                self.terminate_explicit(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
+                self.cur = body_bb.0 as usize;
+                self.loops.push(LoopCtx {
+                    break_to: exit_bb,
+                    next_to: cond_bb,
+                });
+                self.lower_body(body);
+                self.loops.pop();
+                self.terminate_explicit(Terminator::Goto(cond_bb));
+                self.cur = exit_bb.0 as usize;
+                Operand::NilConst
+            }
+            ExprKind::Case {
+                scrutinee,
+                whens,
+                else_body,
+            } => self.lower_case(scrutinee.as_deref(), whens, else_body, span),
+            ExprKind::Begin {
+                body,
+                rescues,
+                ensure_body,
+            } => self.lower_begin(body, rescues, ensure_body, span),
+            ExprKind::Return(v) => {
+                let val = match v {
+                    Some(v) => self.lower_expr(v),
+                    None => Operand::NilConst,
+                };
+                if self.in_block {
+                    self.terminate(Terminator::MethodReturn(val));
+                } else {
+                    self.terminate(Terminator::Return(val));
+                }
+                Operand::NilConst
+            }
+            ExprKind::Break(v) => {
+                let val = match v {
+                    Some(v) => self.lower_expr(v),
+                    None => Operand::NilConst,
+                };
+                match self.loops.last() {
+                    Some(l) => {
+                        let target = l.break_to;
+                        self.terminate(Terminator::Goto(target));
+                    }
+                    // `break` at the top of a block literal: approximated as
+                    // the block returning (see DESIGN.md).
+                    None => self.terminate(Terminator::Return(val)),
+                }
+                Operand::NilConst
+            }
+            ExprKind::Next(v) => {
+                let val = match v {
+                    Some(v) => self.lower_expr(v),
+                    None => Operand::NilConst,
+                };
+                match self.loops.last() {
+                    Some(l) => {
+                        let target = l.next_to;
+                        self.terminate(Terminator::Goto(target));
+                    }
+                    None => self.terminate(Terminator::Return(val)),
+                }
+                Operand::NilConst
+            }
+            // Definitions evaluate to nil at run time; their bodies are
+            // checked when called (paper rule (TDef)/(TType)).
+            ExprKind::MethodDef(_) | ExprKind::ClassDef { .. } | ExprKind::ModuleDef { .. } => {
+                Operand::NilConst
+            }
+        }
+    }
+
+    fn lower_lhs_read(&mut self, lhs: &Lhs, span: Span) -> Operand {
+        match lhs {
+            Lhs::Local(n) => Operand::Local(n.clone()),
+            Lhs::IVar(n) => self.assign_temp(Rvalue::IVar(n.clone()), span),
+            Lhs::CVar(n) => self.assign_temp(Rvalue::CVar(n.clone()), span),
+            Lhs::GVar(n) => self.assign_temp(Rvalue::GVar(n.clone()), span),
+            Lhs::Const(p) => self.assign_temp(Rvalue::ConstRef(p.clone()), span),
+            Lhs::Index(recv, idx) => {
+                let r = self.lower_expr(recv);
+                let args: Vec<CallArg> = idx
+                    .iter()
+                    .map(|a| CallArg::Pos(self.lower_expr(a)))
+                    .collect();
+                self.assign_temp(
+                    Rvalue::Call {
+                        recv: Some(r),
+                        name: "[]".to_string(),
+                        args,
+                        block: None,
+                    },
+                    span,
+                )
+            }
+            Lhs::Attr(recv, name) => {
+                let r = self.lower_expr(recv);
+                self.assign_temp(
+                    Rvalue::Call {
+                        recv: Some(r),
+                        name: name.clone(),
+                        args: vec![],
+                        block: None,
+                    },
+                    span,
+                )
+            }
+        }
+    }
+
+    fn lower_lhs_write(&mut self, lhs: &Lhs, value: Operand, span: Span) {
+        match lhs {
+            Lhs::Local(n) => self.push(
+                InstrKind::Assign {
+                    local: n.clone(),
+                    rv: Rvalue::Use(value),
+                },
+                span,
+            ),
+            Lhs::IVar(n) => self.push(
+                InstrKind::SetIVar {
+                    name: n.clone(),
+                    value,
+                },
+                span,
+            ),
+            Lhs::CVar(n) => self.push(
+                InstrKind::SetCVar {
+                    name: n.clone(),
+                    value,
+                },
+                span,
+            ),
+            Lhs::GVar(n) => self.push(
+                InstrKind::SetGVar {
+                    name: n.clone(),
+                    value,
+                },
+                span,
+            ),
+            Lhs::Const(p) => self.push(
+                InstrKind::SetConst {
+                    path: p.clone(),
+                    value,
+                },
+                span,
+            ),
+            Lhs::Index(recv, idx) => {
+                let r = self.lower_expr(recv);
+                let mut args: Vec<CallArg> = idx
+                    .iter()
+                    .map(|a| CallArg::Pos(self.lower_expr(a)))
+                    .collect();
+                args.push(CallArg::Pos(value));
+                let t = self.temp();
+                self.push(
+                    InstrKind::Assign {
+                        local: t,
+                        rv: Rvalue::Call {
+                            recv: Some(r),
+                            name: "[]=".to_string(),
+                            args,
+                            block: None,
+                        },
+                    },
+                    span,
+                );
+            }
+            Lhs::Attr(recv, name) => {
+                let r = self.lower_expr(recv);
+                let t = self.temp();
+                self.push(
+                    InstrKind::Assign {
+                        local: t,
+                        rv: Rvalue::Call {
+                            recv: Some(r),
+                            name: format!("{name}="),
+                            args: vec![CallArg::Pos(value)],
+                            block: None,
+                        },
+                    },
+                    span,
+                );
+            }
+        }
+    }
+
+    fn lower_op_assign(&mut self, target: &Lhs, op: &str, value: &Expr, span: Span) -> Operand {
+        if op == "||" || op == "&&" {
+            // `x ||= v` — short-circuit: only assign when the read is falsy
+            // (truthy for `&&=`).
+            let cur = self.lower_lhs_read(target, span);
+            let res = self.temp();
+            let assign_bb = self.new_block();
+            let keep_bb = self.new_block();
+            let join = self.new_block();
+            let (then_bb, else_bb) = if op == "||" {
+                (keep_bb, assign_bb)
+            } else {
+                (assign_bb, keep_bb)
+            };
+            self.terminate_explicit(Terminator::Branch {
+                cond: cur.clone(),
+                then_bb,
+                else_bb,
+            });
+            self.cur = assign_bb.0 as usize;
+            let v = self.lower_expr(value);
+            self.lower_lhs_write(target, v.clone(), span);
+            self.push(
+                InstrKind::Assign {
+                    local: res.clone(),
+                    rv: Rvalue::Use(v),
+                },
+                span,
+            );
+            self.terminate_explicit(Terminator::Goto(join));
+            self.cur = keep_bb.0 as usize;
+            self.push(
+                InstrKind::Assign {
+                    local: res.clone(),
+                    rv: Rvalue::Use(cur),
+                },
+                span,
+            );
+            self.terminate_explicit(Terminator::Goto(join));
+            self.cur = join.0 as usize;
+            Operand::Local(res)
+        } else {
+            let cur = self.lower_lhs_read(target, span);
+            let v = self.lower_expr(value);
+            let combined = self.assign_temp(
+                Rvalue::Call {
+                    recv: Some(cur),
+                    name: op.to_string(),
+                    args: vec![CallArg::Pos(v)],
+                    block: None,
+                },
+                span,
+            );
+            self.lower_lhs_write(target, combined.clone(), span);
+            combined
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        recv: Option<&Expr>,
+        name: &str,
+        args: &[Arg],
+        block: Option<&BlockArg>,
+        span: Span,
+    ) -> Operand {
+        // `value.rdl_cast("T")` with a literal type string becomes a Cast
+        // (paper §4 "Type Casts").
+        if name == "rdl_cast" && args.len() == 1 && block.is_none() {
+            if let (Some(r), Arg::Pos(a)) = (recv, &args[0]) {
+                if let ExprKind::Str(parts) = &a.kind {
+                    if let [StrPart::Lit(ty)] = parts.as_slice() {
+                        let v = self.lower_expr(r);
+                        return self.assign_temp(
+                            Rvalue::Cast {
+                                value: v,
+                                ty: ty.clone(),
+                            },
+                            span,
+                        );
+                    }
+                }
+            }
+        }
+        let recv_op = recv.map(|r| self.lower_expr(r));
+        let mut il_args = Vec::new();
+        for a in args {
+            match a {
+                Arg::Pos(e) => {
+                    let v = self.lower_expr(e);
+                    il_args.push(CallArg::Pos(v));
+                }
+                Arg::Splat(e) => {
+                    let v = self.lower_expr(e);
+                    il_args.push(CallArg::Splat(v));
+                }
+                Arg::BlockPass(e) => {
+                    let v = self.lower_expr(e);
+                    il_args.push(CallArg::BlockPass(v));
+                }
+            }
+        }
+        let block_id = block.map(|b| {
+            let cfg = lower_block_body(&b.params, &b.body, b.span);
+            let mut params = Vec::new();
+            for p in &b.params {
+                let kind = match &p.kind {
+                    ParamKind::Required => IlParamKind::Required,
+                    ParamKind::Optional(_) => IlParamKind::Optional,
+                    ParamKind::Rest => IlParamKind::Rest,
+                    ParamKind::Block => IlParamKind::Block,
+                };
+                params.push(IlParam {
+                    name: p.name.clone(),
+                    kind,
+                });
+            }
+            self.block_lits.push(BlockLit { params, cfg });
+            BlockLitId((self.block_lits.len() - 1) as u32)
+        });
+        self.assign_temp(
+            Rvalue::Call {
+                recv: recv_op,
+                name: name.to_string(),
+                args: il_args,
+                block: block_id,
+            },
+            span,
+        )
+    }
+
+    fn lower_case(
+        &mut self,
+        scrutinee: Option<&Expr>,
+        whens: &[(Vec<Expr>, Vec<Expr>)],
+        else_body: &[Expr],
+        span: Span,
+    ) -> Operand {
+        let scrut = scrutinee.map(|s| self.lower_expr(s));
+        let res = self.temp();
+        let join = self.new_block();
+        for (pats, body) in whens {
+            // One test chain per when-arm; any matching pattern enters the
+            // body.
+            let body_bb = self.new_block();
+            let mut next_test = None;
+            for (i, pat) in pats.iter().enumerate() {
+                if let Some(bb) = next_test {
+                    self.cur = bb;
+                }
+                let c = match (&scrut, pat) {
+                    (Some(s), p) => {
+                        let pv = self.lower_expr(p);
+                        // Ruby uses `===` for case dispatch.
+                        self.assign_temp(
+                            Rvalue::Call {
+                                recv: Some(pv),
+                                name: "===".to_string(),
+                                args: vec![CallArg::Pos(s.clone())],
+                                block: None,
+                            },
+                            span,
+                        )
+                    }
+                    (None, p) => self.lower_expr(p),
+                };
+                let fall = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: fall,
+                });
+                next_test = Some(fall.0 as usize);
+                if i == pats.len() - 1 {
+                    self.cur = fall.0 as usize;
+                }
+            }
+            let after = self.cur;
+            self.cur = body_bb.0 as usize;
+            let v = self.lower_body(body);
+            self.push(
+                InstrKind::Assign {
+                    local: res.clone(),
+                    rv: Rvalue::Use(v),
+                },
+                span,
+            );
+            self.terminate_explicit(Terminator::Goto(join));
+            self.cur = after;
+        }
+        let v = self.lower_body(else_body);
+        self.push(
+            InstrKind::Assign {
+                local: res.clone(),
+                rv: Rvalue::Use(v),
+            },
+            span,
+        );
+        self.terminate_explicit(Terminator::Goto(join));
+        self.cur = join.0 as usize;
+        Operand::Local(res)
+    }
+
+    fn lower_begin(
+        &mut self,
+        body: &[Expr],
+        rescues: &[Rescue],
+        ensure_body: &[Expr],
+        span: Span,
+    ) -> Operand {
+        let res = self.temp();
+        let body_bb = self.new_block();
+        let join = self.new_block();
+        // The protected body may raise anywhere, so every rescue head is
+        // reachable from the entry environment via nondeterministic edges.
+        let mut dispatch = self.cur;
+        for (i, r) in rescues.iter().enumerate() {
+            let head_bb = self.new_block();
+            self.cur = dispatch;
+            if i == rescues.len() - 1 {
+                self.terminate_explicit(Terminator::Branch {
+                    cond: Operand::Nondet,
+                    then_bb: body_bb,
+                    else_bb: head_bb,
+                });
+            } else {
+                let next_dispatch = self.new_block();
+                self.terminate_explicit(Terminator::Branch {
+                    cond: Operand::Nondet,
+                    then_bb: head_bb,
+                    else_bb: next_dispatch,
+                });
+                dispatch = next_dispatch.0 as usize;
+            }
+            self.cur = head_bb.0 as usize;
+            if let Some(var) = &r.var {
+                let classes: Vec<String> = r
+                    .classes
+                    .iter()
+                    .filter_map(|c| match &c.kind {
+                        ExprKind::Const(p) => Some(p.join("::")),
+                        _ => None,
+                    })
+                    .collect();
+                self.push(
+                    InstrKind::Assign {
+                        local: var.clone(),
+                        rv: Rvalue::RescueBind(classes),
+                    },
+                    span,
+                );
+            }
+            let v = self.lower_body(&r.body);
+            self.push(
+                InstrKind::Assign {
+                    local: res.clone(),
+                    rv: Rvalue::Use(v),
+                },
+                span,
+            );
+            self.terminate_explicit(Terminator::Goto(join));
+        }
+        if rescues.is_empty() {
+            self.cur = dispatch;
+            self.terminate_explicit(Terminator::Goto(body_bb));
+        }
+        self.cur = body_bb.0 as usize;
+        let v = self.lower_body(body);
+        self.push(
+            InstrKind::Assign {
+                local: res.clone(),
+                rv: Rvalue::Use(v),
+            },
+            span,
+        );
+        self.terminate_explicit(Terminator::Goto(join));
+        self.cur = join.0 as usize;
+        if !ensure_body.is_empty() {
+            self.lower_body(ensure_body);
+        }
+        Operand::Local(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_syntax::parse_program;
+
+    fn lower_first_method(src: &str) -> MethodCfg {
+        let p = parse_program(src, "t.rb").unwrap();
+        let defs = collect_method_defs(&p);
+        assert!(!defs.is_empty(), "no method found in {src:?}");
+        lower_method(&defs[0].def)
+    }
+
+    #[test]
+    fn straight_line_method() {
+        let cfg = lower_first_method("def m(x)\n y = x\n y\nend");
+        assert_eq!(cfg.params.len(), 1);
+        assert!(matches!(
+            cfg.block(cfg.entry).term,
+            Terminator::Return(Operand::Local(ref n)) if n == "y"
+        ));
+    }
+
+    #[test]
+    fn explicit_return() {
+        let cfg = lower_first_method("def m(a, b)\n return a == b\nend");
+        // First block ends in Return of the comparison temp.
+        match &cfg.block(cfg.entry).term {
+            Terminator::Return(Operand::Local(t)) => assert!(t.starts_with("%t")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_produces_branch_and_join() {
+        let cfg = lower_first_method("def m(c)\n if c\n  1\n else\n  2\n end\nend");
+        assert!(matches!(
+            cfg.block(cfg.entry).term,
+            Terminator::Branch { .. }
+        ));
+        // Both arms assign the same result temp.
+        let assigns: Vec<&str> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match &i.kind {
+                InstrKind::Assign { local, .. } if local.starts_with("%t") => {
+                    Some(local.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(assigns.len() >= 2);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let cfg = lower_first_method("def m(n)\n i = 0\n while i < n\n  i = i + 1\n end\n i\nend");
+        // Some block must branch, and some block must goto backwards.
+        let has_branch = cfg
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(has_branch);
+        let mut has_back_edge = false;
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            if let Terminator::Goto(t) = &b.term {
+                if (t.0 as usize) <= i {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn break_goes_to_exit_next_to_cond() {
+        let cfg =
+            lower_first_method("def m(n)\n while true\n  break if n\n  next\n end\nend");
+        // Must still be a well-formed CFG (every block reachable from the
+        // break/next targets exists).
+        for (i, _) in cfg.blocks.iter().enumerate() {
+            for s in cfg.successors(BlockId(i as u32)) {
+                assert!((s.0 as usize) < cfg.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        let cfg = lower_first_method("def m(a, b)\n a && b\nend");
+        assert!(matches!(
+            cfg.block(cfg.entry).term,
+            Terminator::Branch { .. }
+        ));
+        let cfg = lower_first_method("def m(a, b)\n a || b\nend");
+        assert!(matches!(
+            cfg.block(cfg.entry).term,
+            Terminator::Branch { .. }
+        ));
+    }
+
+    #[test]
+    fn op_assign_or_reads_then_branches() {
+        let cfg = lower_first_method("def m\n @@cache ||= 1\n @@cache\nend");
+        // Reads the class var, branches on it.
+        let reads_cvar = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::CVar(n), .. } if n == "cache")
+        });
+        assert!(reads_cvar);
+        let writes_cvar = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(&i.kind, InstrKind::SetCVar { name, .. } if name == "cache"));
+        assert!(writes_cvar);
+    }
+
+    #[test]
+    fn arith_op_assign_desugars_to_call() {
+        let cfg = lower_first_method("def m(x)\n x += 2\n x\nend");
+        let has_plus = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } if name == "+")
+        });
+        assert!(has_plus);
+    }
+
+    #[test]
+    fn index_write_becomes_brackets_eq() {
+        let cfg = lower_first_method("def m(h, v)\n h[:k] = v\nend");
+        let has = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } if name == "[]=")
+        });
+        assert!(has);
+    }
+
+    #[test]
+    fn attr_write_becomes_setter_call() {
+        let cfg = lower_first_method("def m(o)\n o.name = \"x\"\nend");
+        let has = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } if name == "name=")
+        });
+        assert!(has);
+    }
+
+    #[test]
+    fn block_literal_lowered_into_block_lits() {
+        let cfg = lower_first_method("def m(xs)\n xs.each do |x|\n  x + 1\n end\nend");
+        assert_eq!(cfg.block_lits.len(), 1);
+        assert_eq!(cfg.block_lits[0].params.len(), 1);
+        assert!(cfg.block_lits[0].cfg.instr_count() >= 1);
+    }
+
+    #[test]
+    fn nested_blocks_nest_in_inner_cfg() {
+        let cfg = lower_first_method(
+            "def m(xs)\n xs.each do |x|\n  x.each do |y|\n   y\n  end\n end\nend",
+        );
+        assert_eq!(cfg.block_lits.len(), 1);
+        assert_eq!(cfg.block_lits[0].cfg.block_lits.len(), 1);
+    }
+
+    #[test]
+    fn cast_is_recognised() {
+        let cfg = lower_first_method("def m(a)\n a.rdl_cast(\"Array<Fixnum>\")\nend");
+        let has_cast = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::Cast { ty, .. }, .. } if ty == "Array<Fixnum>")
+        });
+        assert!(has_cast);
+    }
+
+    #[test]
+    fn interpolation_lowers_pieces() {
+        let cfg = lower_first_method("def m(name)\n \"is_#{name}?\"\nend");
+        let has = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::StrInterp(ps), .. } if ps.len() == 3)
+        });
+        assert!(has);
+    }
+
+    #[test]
+    fn case_lowers_to_threequal_chain() {
+        let cfg = lower_first_method(
+            "def m(x)\n case x\n when 1 then \"a\"\n when 2, 3 then \"b\"\n else \"c\"\n end\nend",
+        );
+        let eqs = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| {
+                matches!(&i.kind, InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } if name == "===")
+            })
+            .count();
+        assert_eq!(eqs, 3);
+    }
+
+    #[test]
+    fn rescue_produces_nondet_edges_and_bind() {
+        let cfg = lower_first_method(
+            "def m\n begin\n  work\n rescue ArgumentError => e\n  e\n end\nend",
+        );
+        let has_nondet_branch = cfg.blocks.iter().any(|b| {
+            matches!(&b.term, Terminator::Branch { cond: Operand::Nondet, .. })
+        });
+        assert!(has_nondet_branch);
+        let has_bind = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::RescueBind(cs), .. } if cs == &vec!["ArgumentError".to_string()])
+        });
+        assert!(has_bind);
+    }
+
+    #[test]
+    fn optional_param_default_on_nondet_branch() {
+        let cfg = lower_first_method("def m(a, b = 1)\n b\nend");
+        assert!(matches!(
+            cfg.block(cfg.entry).term,
+            Terminator::Branch { cond: Operand::Nondet, .. }
+        ));
+        assert_eq!(cfg.params[1].kind, IlParamKind::Optional);
+    }
+
+    #[test]
+    fn collect_method_defs_walks_nesting() {
+        let p = parse_program(
+            "class A\n def m\n end\n def self.s\n end\nend\nmodule B::C\n def n\n end\nend\ndef top\nend",
+            "t.rb",
+        )
+        .unwrap();
+        let defs = collect_method_defs(&p);
+        let summary: Vec<(String, String, bool)> = defs
+            .iter()
+            .map(|d| (d.owner.clone(), d.name.clone(), d.self_method))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("A".to_string(), "m".to_string(), false),
+                ("A".to_string(), "s".to_string(), true),
+                ("B::C".to_string(), "n".to_string(), false),
+                ("Object".to_string(), "top".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_shape_detects_body_change() {
+        let a = lower_first_method("def m\n 1\nend");
+        let b = lower_first_method("def m\n 2\nend");
+        let a2 = lower_first_method("def m\n 1\nend");
+        assert!(!a.same_shape(&b));
+        assert!(a.same_shape(&a2));
+    }
+
+    #[test]
+    fn code_after_return_is_dropped() {
+        let cfg = lower_first_method("def m\n return 1\n unreachable_call\nend");
+        // The unreachable call must not appear in any reachable block.
+        let mut reachable = vec![false; cfg.blocks.len()];
+        let mut stack = vec![cfg.entry];
+        while let Some(b) = stack.pop() {
+            if reachable[b.0 as usize] {
+                continue;
+            }
+            reachable[b.0 as usize] = true;
+            stack.extend(cfg.successors(b));
+        }
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            if reachable[i] {
+                for instr in &b.instrs {
+                    if let InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } = &instr.kind {
+                        assert_ne!(name, "unreachable_call");
+                    }
+                }
+            }
+        }
+    }
+}

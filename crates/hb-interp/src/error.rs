@@ -1,0 +1,154 @@
+//! Runtime errors and non-local control flow.
+
+use crate::value::Value;
+use hb_syntax::Span;
+use std::error::Error;
+use std::fmt;
+
+/// What kind of runtime error occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// `NoMethodError` — receiver has no such method.
+    NoMethod,
+    /// Reading an unset local/variable that is not a method either.
+    NameError,
+    /// Wrong number or kind of arguments.
+    ArgumentError,
+    /// A Ruby-level `TypeError` (e.g. `1 + "x"`).
+    TypeError,
+    ZeroDivision,
+    /// A `raise` from user code; carries the exception class name.
+    UserRaise(String),
+    /// A Hummingbird static type error reported at method entry — the
+    /// paper's `blame`. Not rescuable.
+    TypeBlame,
+    /// A failed dynamic check (argument contract or `rdl_cast`) — also
+    /// blame, not rescuable.
+    ContractBlame,
+    /// Internal interpreter invariant violation.
+    Internal,
+}
+
+/// A runtime error with message, source location and optional exception
+/// payload (for `rescue => e` binding).
+#[derive(Debug, Clone)]
+pub struct HbError {
+    pub kind: ErrorKind,
+    pub message: String,
+    pub span: Span,
+    /// The exception object, when one was constructed.
+    pub value: Option<Value>,
+}
+
+impl HbError {
+    /// Creates an error of `kind` with `message`.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, span: Span) -> HbError {
+        HbError {
+            kind,
+            message: message.into(),
+            span,
+            value: None,
+        }
+    }
+
+    /// The Ruby class name this error presents as (for `rescue` matching).
+    pub fn class_name(&self) -> &str {
+        match &self.kind {
+            ErrorKind::NoMethod => "NoMethodError",
+            ErrorKind::NameError => "NameError",
+            ErrorKind::ArgumentError => "ArgumentError",
+            ErrorKind::TypeError => "TypeError",
+            ErrorKind::ZeroDivision => "ZeroDivisionError",
+            ErrorKind::UserRaise(c) => c,
+            ErrorKind::TypeBlame => "Hummingbird::TypeBlame",
+            ErrorKind::ContractBlame => "Hummingbird::ContractBlame",
+            ErrorKind::Internal => "Hummingbird::Internal",
+        }
+    }
+
+    /// True if a bare `rescue` (StandardError) may catch this error.
+    /// Hummingbird blame is deliberately not rescuable so type errors cannot
+    /// be swallowed by application code.
+    pub fn catchable(&self) -> bool {
+        !matches!(
+            self.kind,
+            ErrorKind::TypeBlame | ErrorKind::ContractBlame | ErrorKind::Internal
+        )
+    }
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class_name(), self.message)
+    }
+}
+
+impl Error for HbError {}
+
+/// Non-local control flow during evaluation.
+#[derive(Debug, Clone)]
+pub enum Flow {
+    Error(HbError),
+    Return(Value),
+    Break(Value),
+    Next(Value),
+}
+
+impl From<HbError> for Flow {
+    fn from(e: HbError) -> Flow {
+        Flow::Error(e)
+    }
+}
+
+impl Flow {
+    /// Extracts the error, treating stray `return`/`break`/`next` as
+    /// internal errors (they should have been handled structurally).
+    pub fn into_error(self) -> HbError {
+        match self {
+            Flow::Error(e) => e,
+            Flow::Return(_) => HbError::new(
+                ErrorKind::Internal,
+                "unexpected return outside method",
+                Span::dummy(),
+            ),
+            Flow::Break(_) => HbError::new(
+                ErrorKind::Internal,
+                "unexpected break outside loop or block",
+                Span::dummy(),
+            ),
+            Flow::Next(_) => HbError::new(
+                ErrorKind::Internal,
+                "unexpected next outside loop or block",
+                Span::dummy(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names() {
+        let e = HbError::new(ErrorKind::NoMethod, "x", Span::dummy());
+        assert_eq!(e.class_name(), "NoMethodError");
+        let e = HbError::new(ErrorKind::UserRaise("MyError".into()), "x", Span::dummy());
+        assert_eq!(e.class_name(), "MyError");
+    }
+
+    #[test]
+    fn blame_is_not_catchable() {
+        assert!(!HbError::new(ErrorKind::TypeBlame, "x", Span::dummy()).catchable());
+        assert!(!HbError::new(ErrorKind::ContractBlame, "x", Span::dummy()).catchable());
+        assert!(HbError::new(ErrorKind::ArgumentError, "x", Span::dummy()).catchable());
+    }
+
+    #[test]
+    fn flow_into_error() {
+        let f = Flow::Return(Value::Nil);
+        assert_eq!(f.into_error().kind, ErrorKind::Internal);
+        let f = Flow::Error(HbError::new(ErrorKind::TypeError, "boom", Span::dummy()));
+        assert_eq!(f.into_error().message, "boom");
+    }
+}

@@ -1,0 +1,35 @@
+//! The RubyLite dynamic interpreter host.
+//!
+//! This crate plays the role of the Ruby VM in the paper's implementation:
+//! a dynamic object-oriented language with full metaprogramming
+//! (`define_method`, `method_missing`, `send`, `class_eval`, re-openable
+//! classes, mixins) and a method-dispatch interception seam
+//! ([`hooks::CallHook`]) on which RDL-style contracts and Hummingbird's
+//! just-in-time static checks are built.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_interp::Interp;
+//!
+//! let mut interp = Interp::new();
+//! let v = interp
+//!     .eval_str("class Greeter\n def hi(name)\n  \"hi #{name}\"\n end\nend\nGreeter.new.hi(\"pl\")")
+//!     .unwrap();
+//! assert_eq!(v.primitive_to_s().unwrap(), "hi pl");
+//! ```
+
+pub mod class;
+pub mod env;
+pub mod error;
+pub mod hooks;
+pub mod interp;
+pub mod stdlib;
+pub mod value;
+
+pub use class::{BuiltinFn, ClassRegistry, InterpEvent, MethodBody, MethodEntry};
+pub use env::{Scope, ScopeRef};
+pub use error::{ErrorKind, Flow, HbError};
+pub use hooks::{CallHook, DispatchInfo, HookOutcome};
+pub use interp::{Frame, FrameKind, Interp};
+pub use value::{ClassId, HashObj, Instance, ProcVal, Value};

@@ -1,0 +1,589 @@
+//! `Array` methods: literals, iteration, transformation.
+
+use super::*;
+use crate::value::Value;
+use hb_syntax::Span;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn need_array(v: &Value, what: &str) -> Result<Rc<RefCell<Vec<Value>>>, Flow> {
+    match v {
+        Value::Array(a) => Ok(a.clone()),
+        other => Err(type_error(format!("{what}: expected Array, got {other:?}"))),
+    }
+}
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_smethod(interp, "Array", "new", |i, _recv, args, b| {
+        match args.first() {
+            None => Ok(Value::array(vec![])),
+            Some(n) => {
+                let n = need_int(n, "Array.new")? as usize;
+                let mut out = Vec::with_capacity(n);
+                match (&b, args.get(1)) {
+                    (Some(blk), _) => {
+                        for k in 0..n {
+                            match run_block(i, blk, vec![Value::Int(k as i64)])? {
+                                Some(v) => out.push(v),
+                                None => break,
+                            }
+                        }
+                    }
+                    (None, Some(fill)) => out = vec![fill.clone(); n],
+                    (None, None) => out = vec![Value::Nil; n],
+                }
+                Ok(Value::array(out))
+            }
+        }
+    });
+
+    def_method(interp, "Array", "push", |_i, recv, args, _b| {
+        let a = need_array(&recv, "push")?;
+        a.borrow_mut().extend(args);
+        Ok(recv)
+    });
+    def_method(interp, "Array", "<<", |_i, recv, args, _b| {
+        let a = need_array(&recv, "<<")?;
+        a.borrow_mut().push(arg(&args, 0));
+        Ok(recv)
+    });
+    def_method(interp, "Array", "append", |i, recv, args, _b| {
+        i.call_method(recv, "push", args, None, Span::dummy())
+    });
+    def_method(interp, "Array", "pop", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "pop")?;
+        let v = a.borrow_mut().pop();
+        Ok(v.unwrap_or(Value::Nil))
+    });
+    def_method(interp, "Array", "shift", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "shift")?;
+        let mut a = a.borrow_mut();
+        if a.is_empty() {
+            Ok(Value::Nil)
+        } else {
+            Ok(a.remove(0))
+        }
+    });
+    def_method(interp, "Array", "unshift", |_i, recv, args, _b| {
+        let a = need_array(&recv, "unshift")?;
+        let mut inner = a.borrow_mut();
+        for (k, v) in args.into_iter().enumerate() {
+            inner.insert(k, v);
+        }
+        drop(inner);
+        Ok(recv)
+    });
+    def_method(interp, "Array", "first", |_i, recv, args, _b| {
+        let a = need_array(&recv, "first")?;
+        match args.first() {
+            None => Ok(a.borrow().first().cloned().unwrap_or(Value::Nil)),
+            Some(n) => {
+                let n = need_int(n, "first")? as usize;
+                Ok(Value::array(a.borrow().iter().take(n).cloned().collect()))
+            }
+        }
+    });
+    def_method(interp, "Array", "last", |_i, recv, args, _b| {
+        let a = need_array(&recv, "last")?;
+        match args.first() {
+            None => Ok(a.borrow().last().cloned().unwrap_or(Value::Nil)),
+            Some(n) => {
+                let n = need_int(n, "last")? as usize;
+                let b = a.borrow();
+                let skip = b.len().saturating_sub(n);
+                Ok(Value::array(b.iter().skip(skip).cloned().collect()))
+            }
+        }
+    });
+    for name in ["size", "length", "count"] {
+        def_method(interp, "Array", name, |i, recv, args, b| {
+            let a = need_array(&recv, "size")?;
+            if let Some(blk) = &b {
+                let elems: Vec<Value> = a.borrow().clone();
+                let mut n = 0i64;
+                for e in elems {
+                    match run_block(i, blk, vec![e])? {
+                        Some(v) if v.truthy() => n += 1,
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                return Ok(Value::Int(n));
+            }
+            if let Some(v) = args.first() {
+                let n = a.borrow().iter().filter(|e| e.raw_eq(v)).count();
+                return Ok(Value::Int(n as i64));
+            }
+            let n = a.borrow().len();
+            Ok(Value::Int(n as i64))
+        });
+    }
+    def_method(interp, "Array", "empty?", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "empty?")?;
+        let e = a.borrow().is_empty();
+        Ok(Value::Bool(e))
+    });
+    def_method(interp, "Array", "[]", |_i, recv, args, _b| {
+        let a = need_array(&recv, "[]")?;
+        let a = a.borrow();
+        match &arg(&args, 0) {
+            Value::Int(i) => {
+                let idx = if *i < 0 { a.len() as i64 + i } else { *i };
+                Ok(if idx >= 0 && (idx as usize) < a.len() {
+                    a[idx as usize].clone()
+                } else {
+                    Value::Nil
+                })
+            }
+            Value::Range(r) => {
+                let lo = need_int(&r.0, "[]")?.max(0) as usize;
+                let mut hi = need_int(&r.1, "[]")?;
+                if hi < 0 {
+                    hi += a.len() as i64;
+                }
+                let mut hi = hi.max(0) as usize;
+                if !r.2 {
+                    hi += 1;
+                }
+                let hi = hi.min(a.len());
+                if lo >= a.len() {
+                    return Ok(Value::Nil);
+                }
+                Ok(Value::array(a[lo..hi.max(lo)].to_vec()))
+            }
+            other => Err(type_error(format!("Array#[]: bad index {other:?}"))),
+        }
+    });
+    def_method(interp, "Array", "[]=", |_i, recv, args, _b| {
+        let a = need_array(&recv, "[]=")?;
+        let idx = need_int(&arg(&args, 0), "[]=")?;
+        let v = arg(&args, 1);
+        let mut a = a.borrow_mut();
+        let idx = if idx < 0 { a.len() as i64 + idx } else { idx };
+        if idx < 0 {
+            return Err(arg_error("Array#[]=: negative index out of range"));
+        }
+        let idx = idx as usize;
+        while a.len() <= idx {
+            a.push(Value::Nil);
+        }
+        a[idx] = v.clone();
+        Ok(v)
+    });
+    def_method(interp, "Array", "each", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("each: no block given"))?;
+        let a = need_array(&recv, "each")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        for e in elems {
+            if run_block(i, &blk, vec![e])?.is_none() {
+                break;
+            }
+        }
+        Ok(recv)
+    });
+    def_method(interp, "Array", "each_with_index", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("each_with_index: no block given"))?;
+        let a = need_array(&recv, "each_with_index")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        for (k, e) in elems.into_iter().enumerate() {
+            if run_block(i, &blk, vec![e, Value::Int(k as i64)])?.is_none() {
+                break;
+            }
+        }
+        Ok(recv)
+    });
+    for name in ["map", "collect"] {
+        def_method(interp, "Array", name, |i, recv, _args, b| {
+            let blk = b.ok_or_else(|| arg_error("map: no block given"))?;
+            let a = need_array(&recv, "map")?;
+            let elems: Vec<Value> = a.borrow().clone();
+            let mut out = Vec::with_capacity(elems.len());
+            for e in elems {
+                match run_block(i, &blk, vec![e])? {
+                    Some(v) => out.push(v),
+                    None => break,
+                }
+            }
+            Ok(Value::array(out))
+        });
+    }
+    for name in ["select", "filter"] {
+        def_method(interp, "Array", name, |i, recv, _args, b| {
+            let blk = b.ok_or_else(|| arg_error("select: no block given"))?;
+            let a = need_array(&recv, "select")?;
+            let elems: Vec<Value> = a.borrow().clone();
+            let mut out = Vec::new();
+            for e in elems {
+                match run_block(i, &blk, vec![e.clone()])? {
+                    Some(v) if v.truthy() => out.push(e),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            Ok(Value::array(out))
+        });
+    }
+    def_method(interp, "Array", "reject", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("reject: no block given"))?;
+        let a = need_array(&recv, "reject")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        let mut out = Vec::new();
+        for e in elems {
+            match run_block(i, &blk, vec![e.clone()])? {
+                Some(v) if !v.truthy() => out.push(e),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        Ok(Value::array(out))
+    });
+    for name in ["find", "detect"] {
+        def_method(interp, "Array", name, |i, recv, _args, b| {
+            let blk = b.ok_or_else(|| arg_error("find: no block given"))?;
+            let a = need_array(&recv, "find")?;
+            let elems: Vec<Value> = a.borrow().clone();
+            for e in elems {
+                match run_block(i, &blk, vec![e.clone()])? {
+                    Some(v) if v.truthy() => return Ok(e),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            Ok(Value::Nil)
+        });
+    }
+    def_method(interp, "Array", "all?", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("all?: no block given"))?;
+        let a = need_array(&recv, "all?")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        for e in elems {
+            match run_block(i, &blk, vec![e])? {
+                Some(v) if !v.truthy() => return Ok(Value::Bool(false)),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        Ok(Value::Bool(true))
+    });
+    def_method(interp, "Array", "any?", |i, recv, _args, b| {
+        let a = need_array(&recv, "any?")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        match b {
+            Some(blk) => {
+                for e in elems {
+                    match run_block(i, &blk, vec![e])? {
+                        Some(v) if v.truthy() => return Ok(Value::Bool(true)),
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            None => Ok(Value::Bool(!elems.is_empty())),
+        }
+    });
+    def_method(interp, "Array", "none?", |i, recv, args, b| {
+        let any = i.call_method(recv, "any?", args, b, Span::dummy())?;
+        Ok(Value::Bool(!any.truthy()))
+    });
+    def_method(interp, "Array", "include?", |_i, recv, args, _b| {
+        let a = need_array(&recv, "include?")?;
+        let v = arg(&args, 0);
+        let found = a.borrow().iter().any(|e| e.raw_eq(&v));
+        Ok(Value::Bool(found))
+    });
+    def_method(interp, "Array", "index", |_i, recv, args, _b| {
+        let a = need_array(&recv, "index")?;
+        let v = arg(&args, 0);
+        let pos = a.borrow().iter().position(|e| e.raw_eq(&v));
+        Ok(match pos {
+            Some(p) => Value::Int(p as i64),
+            None => Value::Nil,
+        })
+    });
+    def_method(interp, "Array", "join", |i, recv, args, _b| {
+        let a = need_array(&recv, "join")?;
+        let sep = match args.first() {
+            Some(s) => need_str(s, "join")?.to_string(),
+            None => String::new(),
+        };
+        let elems: Vec<Value> = a.borrow().clone();
+        let mut parts = Vec::with_capacity(elems.len());
+        for e in &elems {
+            parts.push(i.value_to_s(e)?);
+        }
+        Ok(Value::str(parts.join(&sep)))
+    });
+    def_method(interp, "Array", "sort", |i, recv, _args, b| {
+        let a = need_array(&recv, "sort")?;
+        let mut elems: Vec<Value> = a.borrow().clone();
+        // Insertion sort via dispatched <=> (stable, no unwrap of Ordering).
+        let mut err = None;
+        for k in 1..elems.len() {
+            let mut j = k;
+            while j > 0 {
+                let ord = match &b {
+                    Some(blk) => {
+                        match i.call_block(blk, vec![elems[j - 1].clone(), elems[j].clone()]) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    None => match i.call_method(
+                        elems[j - 1].clone(),
+                        "<=>",
+                        vec![elems[j].clone()],
+                        None,
+                        Span::dummy(),
+                    ) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    },
+                };
+                let gt = matches!(ord, Value::Int(n) if n > 0);
+                if gt {
+                    elems.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if err.is_some() {
+                break;
+            }
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(Value::array(elems))
+    });
+    def_method(interp, "Array", "sort_by", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("sort_by: no block given"))?;
+        let a = need_array(&recv, "sort_by")?;
+        let elems: Vec<Value> = a.borrow().clone();
+        let mut keyed: Vec<(Value, Value)> = Vec::with_capacity(elems.len());
+        for e in elems {
+            match run_block(i, &blk, vec![e.clone()])? {
+                Some(k) => keyed.push((k, e)),
+                None => break,
+            }
+        }
+        // Sort by key via dispatched <=>.
+        for k in 1..keyed.len() {
+            let mut j = k;
+            while j > 0 {
+                let ord = i.call_method(
+                    keyed[j - 1].0.clone(),
+                    "<=>",
+                    vec![keyed[j].0.clone()],
+                    None,
+                    Span::dummy(),
+                )?;
+                if matches!(ord, Value::Int(n) if n > 0) {
+                    keyed.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Value::array(keyed.into_iter().map(|(_, e)| e).collect()))
+    });
+    def_method(interp, "Array", "sum", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "sum")?;
+        let mut int_sum = 0i64;
+        let mut float_sum = 0.0f64;
+        let mut is_float = false;
+        for e in a.borrow().iter() {
+            match e {
+                Value::Int(n) => int_sum += n,
+                Value::Float(x) => {
+                    is_float = true;
+                    float_sum += x;
+                }
+                other => return Err(type_error(format!("sum: non-numeric {other:?}"))),
+            }
+        }
+        Ok(if is_float {
+            Value::Float(float_sum + int_sum as f64)
+        } else {
+            Value::Int(int_sum)
+        })
+    });
+    for name in ["reduce", "inject"] {
+        def_method(interp, "Array", name, |i, recv, args, b| {
+            let blk = b.ok_or_else(|| arg_error("reduce: no block given"))?;
+            let a = need_array(&recv, "reduce")?;
+            let elems: Vec<Value> = a.borrow().clone();
+            let mut it = elems.into_iter();
+            let mut acc = match args.first() {
+                Some(v) => v.clone(),
+                None => it.next().unwrap_or(Value::Nil),
+            };
+            for e in it {
+                match run_block(i, &blk, vec![acc.clone(), e])? {
+                    Some(v) => acc = v,
+                    None => break,
+                }
+            }
+            Ok(acc)
+        });
+    }
+    def_method(interp, "Array", "zip", |_i, recv, args, _b| {
+        let a = need_array(&recv, "zip")?;
+        let others: Vec<Rc<RefCell<Vec<Value>>>> = args
+            .iter()
+            .map(|o| need_array(o, "zip"))
+            .collect::<Result<_, _>>()?;
+        let a = a.borrow();
+        let mut out = Vec::with_capacity(a.len());
+        for (k, e) in a.iter().enumerate() {
+            let mut row = vec![e.clone()];
+            for o in &others {
+                row.push(o.borrow().get(k).cloned().unwrap_or(Value::Nil));
+            }
+            out.push(Value::array(row));
+        }
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "flatten", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "flatten")?;
+        fn flat(vs: &[Value], out: &mut Vec<Value>) {
+            for v in vs {
+                match v {
+                    Value::Array(inner) => flat(&inner.borrow(), out),
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        flat(&a.borrow(), &mut out);
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "uniq", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "uniq")?;
+        let mut out: Vec<Value> = Vec::new();
+        for e in a.borrow().iter() {
+            if !out.iter().any(|x| x.raw_eq(e)) {
+                out.push(e.clone());
+            }
+        }
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "reverse", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "reverse")?;
+        let mut v = a.borrow().clone();
+        v.reverse();
+        Ok(Value::array(v))
+    });
+    def_method(interp, "Array", "compact", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "compact")?;
+        let out: Vec<Value> = a
+            .borrow()
+            .iter()
+            .filter(|v| !matches!(v, Value::Nil))
+            .cloned()
+            .collect();
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "concat", |_i, recv, args, _b| {
+        let a = need_array(&recv, "concat")?;
+        for o in &args {
+            let o = need_array(o, "concat")?;
+            let extra: Vec<Value> = o.borrow().clone();
+            a.borrow_mut().extend(extra);
+        }
+        Ok(recv)
+    });
+    def_method(interp, "Array", "+", |_i, recv, args, _b| {
+        let a = need_array(&recv, "+")?;
+        let b = need_array(&arg(&args, 0), "Array#+")?;
+        let mut out = a.borrow().clone();
+        out.extend(b.borrow().iter().cloned());
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "-", |_i, recv, args, _b| {
+        let a = need_array(&recv, "-")?;
+        let b = need_array(&arg(&args, 0), "Array#-")?;
+        let b = b.borrow();
+        let out: Vec<Value> = a
+            .borrow()
+            .iter()
+            .filter(|e| !b.iter().any(|x| x.raw_eq(e)))
+            .cloned()
+            .collect();
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "delete", |_i, recv, args, _b| {
+        let a = need_array(&recv, "delete")?;
+        let v = arg(&args, 0);
+        let mut inner = a.borrow_mut();
+        let before = inner.len();
+        inner.retain(|e| !e.raw_eq(&v));
+        Ok(if inner.len() < before { v } else { Value::Nil })
+    });
+    def_method(interp, "Array", "clear", |_i, recv, _args, _b| {
+        let a = need_array(&recv, "clear")?;
+        a.borrow_mut().clear();
+        Ok(recv)
+    });
+    def_method(interp, "Array", "take", |_i, recv, args, _b| {
+        let a = need_array(&recv, "take")?;
+        let n = need_int(&arg(&args, 0), "take")?.max(0) as usize;
+        let out: Vec<Value> = a.borrow().iter().take(n).cloned().collect();
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "drop", |_i, recv, args, _b| {
+        let a = need_array(&recv, "drop")?;
+        let n = need_int(&arg(&args, 0), "drop")?.max(0) as usize;
+        let out: Vec<Value> = a.borrow().iter().skip(n).cloned().collect();
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Array", "to_a", |_i, recv, _args, _b| Ok(recv));
+    def_method(interp, "Array", "==", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+    def_method(interp, "Array", "max", |i, recv, _args, _b| {
+        extreme(i, &recv, true)
+    });
+    def_method(interp, "Array", "min", |i, recv, _args, _b| {
+        extreme(i, &recv, false)
+    });
+}
+
+fn extreme(i: &mut Interp, recv: &Value, want_max: bool) -> Result<Value, Flow> {
+    let a = match recv {
+        Value::Array(a) => a.clone(),
+        _ => return Err(type_error("max/min on non-array")),
+    };
+    let elems: Vec<Value> = a.borrow().clone();
+    let mut best: Option<Value> = None;
+    for e in elems {
+        match &best {
+            None => best = Some(e),
+            Some(b) => {
+                let ord = i.call_method(e.clone(), "<=>", vec![b.clone()], None, Span::dummy())?;
+                let replace = match ord {
+                    Value::Int(n) => {
+                        if want_max {
+                            n > 0
+                        } else {
+                            n < 0
+                        }
+                    }
+                    _ => false,
+                };
+                if replace {
+                    best = Some(e);
+                }
+            }
+        }
+    }
+    Ok(best.unwrap_or(Value::Nil))
+}

@@ -1,0 +1,41 @@
+//! The exception class hierarchy.
+
+use super::*;
+use crate::value::Value;
+
+pub(crate) fn install(interp: &mut Interp) {
+    let object = interp.registry.object();
+    let exception = interp.define_class("Exception", Some(object));
+    let standard = interp.define_class("StandardError", Some(exception));
+    for name in [
+        "RuntimeError",
+        "ArgumentError",
+        "TypeError",
+        "NameError",
+        "ZeroDivisionError",
+        "IOError",
+        "NotImplementedError",
+        "StopIteration",
+    ] {
+        interp.define_class(name, Some(standard));
+    }
+    let name_error = interp.registry.lookup("NameError");
+    interp.define_class("NoMethodError", name_error);
+    // Record-not-found style errors used by the Rails substrate.
+    interp.define_class("RecordNotFound", Some(standard));
+
+    def_method(interp, "Exception", "initialize", |i, recv, args, _b| {
+        let msg = match args.first() {
+            Some(m) => i.value_to_s(m)?,
+            None => i.class_name_of(&recv),
+        };
+        i.ivar_set(&recv, "message", Value::str(msg));
+        Ok(Value::Nil)
+    });
+    def_method(interp, "Exception", "message", |i, recv, _args, _b| {
+        Ok(i.ivar_get(&recv, "message"))
+    });
+    def_method(interp, "Exception", "to_s", |i, recv, _args, _b| {
+        Ok(i.ivar_get(&recv, "message"))
+    });
+}

@@ -1,0 +1,171 @@
+//! `Hash` methods. Iteration follows Ruby's convention: one-parameter
+//! blocks receive `[key, value]` pairs; two-parameter blocks receive the key
+//! and value separately.
+
+use super::*;
+use crate::value::{HashObj, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn need_hash(v: &Value, what: &str) -> Result<Rc<RefCell<HashObj>>, Flow> {
+    match v {
+        Value::Hash(h) => Ok(h.clone()),
+        other => Err(type_error(format!("{what}: expected Hash, got {other:?}"))),
+    }
+}
+
+fn pair_args(blk: &Value, k: Value, v: Value) -> Vec<Value> {
+    if proc_positional_arity(blk) <= 1 {
+        vec![Value::array(vec![k, v])]
+    } else {
+        vec![k, v]
+    }
+}
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_smethod(interp, "Hash", "new", |_i, _recv, _args, _b| {
+        Ok(Value::hash_from(vec![]))
+    });
+    def_method(interp, "Hash", "[]", |_i, recv, args, _b| {
+        let h = need_hash(&recv, "[]")?;
+        let k = arg(&args, 0);
+        let v = h.borrow().get(&k).cloned();
+        Ok(v.unwrap_or(Value::Nil))
+    });
+    def_method(interp, "Hash", "[]=", |_i, recv, args, _b| {
+        let h = need_hash(&recv, "[]=")?;
+        let k = arg(&args, 0);
+        let v = arg(&args, 1);
+        h.borrow_mut().insert(k, v.clone());
+        Ok(v)
+    });
+    def_method(interp, "Hash", "fetch", |_i, recv, args, _b| {
+        let h = need_hash(&recv, "fetch")?;
+        let k = arg(&args, 0);
+        let v = h.borrow().get(&k).cloned();
+        match v {
+            Some(v) => Ok(v),
+            None => match args.get(1) {
+                Some(d) => Ok(d.clone()),
+                None => Err(arg_error(format!("key not found: {k:?}"))),
+            },
+        }
+    });
+    for name in ["key?", "has_key?", "include?", "member?"] {
+        def_method(interp, "Hash", name, |_i, recv, args, _b| {
+            let h = need_hash(&recv, "key?")?;
+            let k = arg(&args, 0);
+            let c = h.borrow().contains(&k);
+            Ok(Value::Bool(c))
+        });
+    }
+    def_method(interp, "Hash", "keys", |_i, recv, _args, _b| {
+        let h = need_hash(&recv, "keys")?;
+        let ks: Vec<Value> = h.borrow().iter().map(|(k, _)| k.clone()).collect();
+        Ok(Value::array(ks))
+    });
+    def_method(interp, "Hash", "values", |_i, recv, _args, _b| {
+        let h = need_hash(&recv, "values")?;
+        let vs: Vec<Value> = h.borrow().iter().map(|(_, v)| v.clone()).collect();
+        Ok(Value::array(vs))
+    });
+    for name in ["size", "length"] {
+        def_method(interp, "Hash", name, |_i, recv, _args, _b| {
+            let h = need_hash(&recv, "size")?;
+            let n = h.borrow().len();
+            Ok(Value::Int(n as i64))
+        });
+    }
+    def_method(interp, "Hash", "empty?", |_i, recv, _args, _b| {
+        let h = need_hash(&recv, "empty?")?;
+        let e = h.borrow().is_empty();
+        Ok(Value::Bool(e))
+    });
+    for name in ["each", "each_pair"] {
+        def_method(interp, "Hash", name, |i, recv, _args, b| {
+            let blk = b.ok_or_else(|| arg_error("each: no block given"))?;
+            let h = need_hash(&recv, "each")?;
+            let pairs: Vec<(Value, Value)> = h.borrow().iter().cloned().collect();
+            for (k, v) in pairs {
+                if run_block(i, &blk, pair_args(&blk, k, v))?.is_none() {
+                    break;
+                }
+            }
+            Ok(recv)
+        });
+    }
+    def_method(interp, "Hash", "map", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("map: no block given"))?;
+        let h = need_hash(&recv, "map")?;
+        let pairs: Vec<(Value, Value)> = h.borrow().iter().cloned().collect();
+        let mut out = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            match run_block(i, &blk, pair_args(&blk, k, v))? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Hash", "select", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("select: no block given"))?;
+        let h = need_hash(&recv, "select")?;
+        let pairs: Vec<(Value, Value)> = h.borrow().iter().cloned().collect();
+        let mut out = Vec::new();
+        for (k, v) in pairs {
+            match run_block(i, &blk, pair_args(&blk, k.clone(), v.clone()))? {
+                Some(r) if r.truthy() => out.push((k, v)),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        Ok(Value::hash_from(out))
+    });
+    def_method(interp, "Hash", "merge", |_i, recv, args, _b| {
+        let h = need_hash(&recv, "merge")?;
+        let o = need_hash(&arg(&args, 0), "merge")?;
+        let mut out = HashObj::new();
+        for (k, v) in h.borrow().iter() {
+            out.insert(k.clone(), v.clone());
+        }
+        for (k, v) in o.borrow().iter() {
+            out.insert(k.clone(), v.clone());
+        }
+        Ok(Value::Hash(Rc::new(RefCell::new(out))))
+    });
+    def_method(interp, "Hash", "delete", |_i, recv, args, _b| {
+        let h = need_hash(&recv, "delete")?;
+        let k = arg(&args, 0);
+        let v = h.borrow_mut().remove(&k);
+        Ok(v.unwrap_or(Value::Nil))
+    });
+    def_method(interp, "Hash", "to_a", |_i, recv, _args, _b| {
+        let h = need_hash(&recv, "to_a")?;
+        let pairs: Vec<Value> = h
+            .borrow()
+            .iter()
+            .map(|(k, v)| Value::array(vec![k.clone(), v.clone()]))
+            .collect();
+        Ok(Value::array(pairs))
+    });
+    def_method(interp, "Hash", "==", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+    def_method(interp, "Hash", "any?", |i, recv, _args, b| {
+        let h = need_hash(&recv, "any?")?;
+        let pairs: Vec<(Value, Value)> = h.borrow().iter().cloned().collect();
+        match b {
+            Some(blk) => {
+                for (k, v) in pairs {
+                    match run_block(i, &blk, pair_args(&blk, k, v))? {
+                        Some(r) if r.truthy() => return Ok(Value::Bool(true)),
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            None => Ok(Value::Bool(!pairs.is_empty())),
+        }
+    });
+}

@@ -1,0 +1,136 @@
+//! Kernel-style global methods: IO, `raise`, `lambda`, `block_given?`.
+
+use super::*;
+use crate::error::{ErrorKind, HbError};
+use crate::value::Value;
+use hb_syntax::Span;
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_method(interp, "Object", "puts", |i, _recv, args, _b| {
+        if args.is_empty() {
+            i.push_output("\n");
+        }
+        for a in &args {
+            puts_one(i, a)?;
+        }
+        Ok(Value::Nil)
+    });
+    def_method(interp, "Object", "print", |i, _recv, args, _b| {
+        for a in &args {
+            let s = i.value_to_s(a)?;
+            i.push_output(&s);
+        }
+        Ok(Value::Nil)
+    });
+    def_method(interp, "Object", "p", |i, _recv, args, _b| {
+        for a in &args {
+            let s = i.inspect(a);
+            i.push_output(&s);
+            i.push_output("\n");
+        }
+        Ok(match args.len() {
+            0 => Value::Nil,
+            1 => args.into_iter().next().unwrap(),
+            _ => Value::array(args),
+        })
+    });
+    def_method(interp, "Object", "raise", |i, _recv, args, _b| {
+        raise_impl(i, args)
+    });
+    def_method(interp, "Object", "require", |_i, _recv, _args, _b| {
+        Ok(Value::Bool(true))
+    });
+    def_method(interp, "Object", "require_relative", |_i, _recv, _args, _b| {
+        Ok(Value::Bool(true))
+    });
+    def_method(interp, "Object", "lambda", |_i, _recv, _args, b| {
+        b.ok_or_else(|| arg_error("lambda: no block given"))
+    });
+    def_method(interp, "Object", "proc", |_i, _recv, _args, b| {
+        b.ok_or_else(|| arg_error("proc: no block given"))
+    });
+    def_method(interp, "Object", "block_given?", |i, _recv, _args, _b| {
+        // Builtins do not push frames, so the current frame is the caller's.
+        Ok(Value::Bool(i.frame().block.is_some()))
+    });
+    def_method(interp, "Object", "loop", |i, _recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("loop: no block given"))?;
+        let mut fuel = 10_000_000u64;
+        loop {
+            if run_block(i, &blk, vec![])?.is_none() {
+                return Ok(Value::Nil);
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return Err(Flow::Error(HbError::new(
+                    ErrorKind::Internal,
+                    "loop exceeded fuel",
+                    Span::dummy(),
+                )));
+            }
+        }
+    });
+    def_method(interp, "Object", "sleep", |_i, _recv, _args, _b| {
+        Ok(Value::Nil)
+    });
+}
+
+fn puts_one(i: &mut Interp, v: &Value) -> Result<(), Flow> {
+    match v {
+        Value::Array(a) => {
+            let elems: Vec<Value> = a.borrow().clone();
+            if elems.is_empty() {
+                i.push_output("\n");
+            }
+            for e in &elems {
+                puts_one(i, e)?;
+            }
+        }
+        other => {
+            let s = i.value_to_s(other)?;
+            i.push_output(&s);
+            if !s.ends_with('\n') {
+                i.push_output("\n");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn raise_impl(i: &mut Interp, args: Vec<Value>) -> Result<Value, Flow> {
+    let (class_name, message, value) = match args.first() {
+        None => ("RuntimeError".to_string(), "unhandled exception".to_string(), None),
+        Some(Value::Str(msg)) => ("RuntimeError".to_string(), msg.to_string(), None),
+        Some(Value::Class(cid)) => {
+            let class_name = i.registry.name(*cid).to_string();
+            let message = match args.get(1) {
+                Some(m) => i.value_to_s(m)?,
+                None => class_name.clone(),
+            };
+            let exc = i.call_method(
+                Value::Class(*cid),
+                "new",
+                vec![Value::str(&message)],
+                None,
+                Span::dummy(),
+            )?;
+            (class_name, message, Some(exc))
+        }
+        Some(v @ Value::Obj(o)) => {
+            let class_name = i.registry.name(o.class).to_string();
+            let message = match i.ivar_get(v, "message") {
+                Value::Nil => class_name.clone(),
+                m => i.value_to_s(&m)?,
+            };
+            (class_name, message, Some(v.clone()))
+        }
+        Some(other) => {
+            return Err(type_error(format!(
+                "raise: expected exception class, object or message, got {other:?}"
+            )))
+        }
+    };
+    let mut err = HbError::new(ErrorKind::UserRaise(class_name), message, Span::dummy());
+    err.value = value;
+    Err(Flow::Error(err))
+}

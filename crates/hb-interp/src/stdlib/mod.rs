@@ -1,0 +1,163 @@
+//! The RubyLite core library, implemented as native methods.
+//!
+//! Mirrors the slice of Ruby's core that the paper's subject applications
+//! and the Rails substrate rely on: `Object`/`Kernel`, the numeric tower
+//! (`Fixnum ≤ Integer ≤ Numeric`, `Float ≤ Numeric` — paper §4), `String`,
+//! `Symbol`, `Array`, `Hash`, `Range`, `Proc`, `Struct`, class/module
+//! reflection and metaprogramming (`define_method`, `class_eval`, `send`,
+//! `attr_accessor`), and the exception hierarchy.
+
+mod array;
+mod class_lib;
+mod exception;
+mod hash;
+mod kernel;
+mod numeric;
+mod object;
+mod range;
+mod string;
+mod struct_lib;
+
+use crate::class::BuiltinFn;
+use crate::error::{ErrorKind, Flow, HbError};
+use crate::interp::Interp;
+use crate::value::Value;
+use hb_syntax::Span;
+use std::rc::Rc;
+
+/// Installs the whole core library into a fresh interpreter.
+pub fn install(interp: &mut Interp) {
+    // Bootstrap class graph. Order matters only for superclass links.
+    let object = interp.registry.object();
+    interp.set_constant("Object", Value::Class(object));
+    let module = interp.define_class("Module", Some(object));
+    let class = interp.define_class("Class", Some(module));
+    let _ = class;
+    for name in ["NilClass", "Boolean", "Symbol", "String", "Proc"] {
+        interp.define_class(name, Some(object));
+    }
+    interp.define_class("TrueClass", interp.registry.lookup("Boolean"));
+    interp.define_class("FalseClass", interp.registry.lookup("Boolean"));
+    let numeric = interp.define_class("Numeric", Some(object));
+    let integer = interp.define_class("Integer", Some(numeric));
+    interp.define_class("Fixnum", Some(integer));
+    interp.define_class("Bignum", Some(integer));
+    interp.define_class("Float", Some(numeric));
+    for name in ["Array", "Hash", "Range", "Struct"] {
+        interp.define_class(name, Some(object));
+    }
+    for name in ["Comparable", "Enumerable", "Kernel"] {
+        interp.define_module(name);
+    }
+    exception::install(interp);
+    object::install(interp);
+    kernel::install(interp);
+    class_lib::install(interp);
+    numeric::install(interp);
+    string::install(interp);
+    array::install(interp);
+    hash::install(interp);
+    range::install(interp);
+    struct_lib::install(interp);
+}
+
+// ----- helpers shared by the stdlib modules ---------------------------------
+
+/// Wraps a Rust closure as a builtin method body.
+pub(crate) fn builtin<F>(f: F) -> BuiltinFn
+where
+    F: Fn(&mut Interp, Value, Vec<Value>, Option<Value>) -> Result<Value, Flow> + 'static,
+{
+    Rc::new(f)
+}
+
+/// Registers an instance method on a named class.
+pub(crate) fn def_method<F>(interp: &mut Interp, class: &str, name: &str, f: F)
+where
+    F: Fn(&mut Interp, Value, Vec<Value>, Option<Value>) -> Result<Value, Flow> + 'static,
+{
+    let cid = interp
+        .registry
+        .lookup(class)
+        .unwrap_or_else(|| panic!("stdlib class {class} not bootstrapped"));
+    interp.define_builtin(cid, name, false, builtin(f));
+}
+
+/// Registers a class-level method on a named class.
+pub(crate) fn def_smethod<F>(interp: &mut Interp, class: &str, name: &str, f: F)
+where
+    F: Fn(&mut Interp, Value, Vec<Value>, Option<Value>) -> Result<Value, Flow> + 'static,
+{
+    let cid = interp
+        .registry
+        .lookup(class)
+        .unwrap_or_else(|| panic!("stdlib class {class} not bootstrapped"));
+    interp.define_builtin(cid, name, true, builtin(f));
+}
+
+pub(crate) fn arg_error(msg: impl Into<String>) -> Flow {
+    Flow::Error(HbError::new(ErrorKind::ArgumentError, msg, Span::dummy()))
+}
+
+pub(crate) fn type_error(msg: impl Into<String>) -> Flow {
+    Flow::Error(HbError::new(ErrorKind::TypeError, msg, Span::dummy()))
+}
+
+/// The `i`-th argument or `nil`.
+pub(crate) fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Nil)
+}
+
+/// Requires an integer argument.
+pub(crate) fn need_int(v: &Value, what: &str) -> Result<i64, Flow> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        other => Err(type_error(format!("{what}: expected Integer, got {other:?}"))),
+    }
+}
+
+/// Requires a string argument.
+pub(crate) fn need_str(v: &Value, what: &str) -> Result<Rc<str>, Flow> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(type_error(format!("{what}: expected String, got {other:?}"))),
+    }
+}
+
+/// Accepts a string or symbol (method-name-ish arguments).
+pub(crate) fn need_name(v: &Value, what: &str) -> Result<String, Flow> {
+    match v {
+        Value::Str(s) => Ok(s.to_string()),
+        Value::Sym(s) => Ok(s.to_string()),
+        other => Err(type_error(format!(
+            "{what}: expected String or Symbol, got {other:?}"
+        ))),
+    }
+}
+
+/// Iterates, mapping `Flow::Break` to an early return value — the semantics
+/// of `break` inside an iteration block.
+pub(crate) fn run_block(
+    interp: &mut Interp,
+    blk: &Value,
+    args: Vec<Value>,
+) -> Result<Option<Value>, Flow> {
+    match interp.call_block(blk, args) {
+        Ok(v) => Ok(Some(v)),
+        Err(Flow::Break(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// How many positional parameters a proc declares (for Ruby's hash-pair
+/// yielding convention).
+pub(crate) fn proc_positional_arity(blk: &Value) -> usize {
+    match blk {
+        Value::Proc(p) => p
+            .params
+            .iter()
+            .filter(|q| !matches!(q.kind, hb_syntax::ast::ParamKind::Block))
+            .count(),
+        _ => 1,
+    }
+}

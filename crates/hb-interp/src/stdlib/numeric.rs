@@ -1,0 +1,240 @@
+//! The numeric tower: `Integer` (with `Fixnum`/`Bignum` as in the paper's
+//! §4 "Numeric Hierarchy") and `Float`.
+
+use super::*;
+use crate::value::{format_float, Value};
+
+enum Num {
+    I(i64),
+    F(f64),
+}
+
+fn num(v: &Value, what: &str) -> Result<Num, Flow> {
+    match v {
+        Value::Int(n) => Ok(Num::I(*n)),
+        Value::Float(x) => Ok(Num::F(*x)),
+        other => Err(type_error(format!(
+            "{what}: can't coerce {other:?} into Numeric"
+        ))),
+    }
+}
+
+fn arith(
+    recv: &Value,
+    args: &[Value],
+    name: &str,
+    fi: fn(i64, i64) -> Result<i64, Flow>,
+    ff: fn(f64, f64) -> f64,
+) -> Result<Value, Flow> {
+    let a = num(recv, name)?;
+    let b = num(&arg(args, 0), name)?;
+    Ok(match (a, b) {
+        (Num::I(x), Num::I(y)) => Value::Int(fi(x, y)?),
+        (Num::I(x), Num::F(y)) => Value::Float(ff(x as f64, y)),
+        (Num::F(x), Num::I(y)) => Value::Float(ff(x, y as f64)),
+        (Num::F(x), Num::F(y)) => Value::Float(ff(x, y)),
+    })
+}
+
+fn cmp(recv: &Value, args: &[Value], name: &str) -> Result<std::cmp::Ordering, Flow> {
+    let a = num(recv, name)?;
+    let b = num(&arg(args, 0), name)?;
+    let (x, y) = match (a, b) {
+        (Num::I(x), Num::I(y)) => return Ok(x.cmp(&y)),
+        (Num::I(x), Num::F(y)) => (x as f64, y),
+        (Num::F(x), Num::I(y)) => (x, y as f64),
+        (Num::F(x), Num::F(y)) => (x, y),
+    };
+    x.partial_cmp(&y)
+        .ok_or_else(|| arg_error(format!("{name}: comparison with NaN")))
+}
+
+fn zero_guard(y: i64) -> Result<(), Flow> {
+    if y == 0 {
+        Err(Flow::Error(crate::error::HbError::new(
+            crate::error::ErrorKind::ZeroDivision,
+            "divided by 0",
+            hb_syntax::Span::dummy(),
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn install(interp: &mut Interp) {
+    for class in ["Integer", "Float"] {
+        def_method(interp, class, "+", |_i, recv, args, _b| {
+            arith(&recv, &args, "+", |x, y| Ok(x.wrapping_add(y)), |x, y| x + y)
+        });
+        def_method(interp, class, "-", |_i, recv, args, _b| {
+            arith(&recv, &args, "-", |x, y| Ok(x.wrapping_sub(y)), |x, y| x - y)
+        });
+        def_method(interp, class, "*", |_i, recv, args, _b| {
+            arith(&recv, &args, "*", |x, y| Ok(x.wrapping_mul(y)), |x, y| x * y)
+        });
+        def_method(interp, class, "/", |_i, recv, args, _b| {
+            arith(
+                &recv,
+                &args,
+                "/",
+                |x, y| {
+                    zero_guard(y)?;
+                    Ok(x.div_euclid(y))
+                },
+                |x, y| x / y,
+            )
+        });
+        def_method(interp, class, "%", |_i, recv, args, _b| {
+            arith(
+                &recv,
+                &args,
+                "%",
+                |x, y| {
+                    zero_guard(y)?;
+                    Ok(x.rem_euclid(y))
+                },
+                |x, y| x.rem_euclid(y),
+            )
+        });
+        def_method(interp, class, "**", |_i, recv, args, _b| {
+            arith(
+                &recv,
+                &args,
+                "**",
+                |x, y| {
+                    if y < 0 {
+                        Err(arg_error("negative integer exponent"))
+                    } else {
+                        Ok(x.wrapping_pow(y.min(u32::MAX as i64) as u32))
+                    }
+                },
+                f64::powf,
+            )
+        });
+        def_method(interp, class, "==", |_i, recv, args, _b| {
+            Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+        });
+        def_method(interp, class, "<", |_i, recv, args, _b| {
+            Ok(Value::Bool(cmp(&recv, &args, "<")?.is_lt()))
+        });
+        def_method(interp, class, ">", |_i, recv, args, _b| {
+            Ok(Value::Bool(cmp(&recv, &args, ">")?.is_gt()))
+        });
+        def_method(interp, class, "<=", |_i, recv, args, _b| {
+            Ok(Value::Bool(cmp(&recv, &args, "<=")?.is_le()))
+        });
+        def_method(interp, class, ">=", |_i, recv, args, _b| {
+            Ok(Value::Bool(cmp(&recv, &args, ">=")?.is_ge()))
+        });
+        def_method(interp, class, "<=>", |_i, recv, args, _b| {
+            Ok(Value::Int(match cmp(&recv, &args, "<=>") {
+                Ok(o) => o as i64,
+                Err(_) => return Ok(Value::Nil),
+            }))
+        });
+        def_method(interp, class, "-@", |_i, recv, _args, _b| {
+            Ok(match recv {
+                Value::Int(n) => Value::Int(-n),
+                Value::Float(x) => Value::Float(-x),
+                _ => return Err(type_error("-@ on non-numeric")),
+            })
+        });
+        def_method(interp, class, "abs", |_i, recv, _args, _b| {
+            Ok(match recv {
+                Value::Int(n) => Value::Int(n.abs()),
+                Value::Float(x) => Value::Float(x.abs()),
+                _ => return Err(type_error("abs on non-numeric")),
+            })
+        });
+        def_method(interp, class, "zero?", |_i, recv, _args, _b| {
+            Ok(Value::Bool(match recv {
+                Value::Int(n) => n == 0,
+                Value::Float(x) => x == 0.0,
+                _ => false,
+            }))
+        });
+        def_method(interp, class, "to_i", |_i, recv, _args, _b| {
+            Ok(match recv {
+                Value::Int(n) => Value::Int(n),
+                Value::Float(x) => Value::Int(x.trunc() as i64),
+                _ => return Err(type_error("to_i on non-numeric")),
+            })
+        });
+        def_method(interp, class, "to_f", |_i, recv, _args, _b| {
+            Ok(match recv {
+                Value::Int(n) => Value::Float(n as f64),
+                Value::Float(x) => Value::Float(x),
+                _ => return Err(type_error("to_f on non-numeric")),
+            })
+        });
+        def_method(interp, class, "to_s", |_i, recv, _args, _b| {
+            Ok(match recv {
+                Value::Int(n) => Value::str(n.to_string()),
+                Value::Float(x) => Value::str(format_float(x)),
+                _ => return Err(type_error("to_s on non-numeric")),
+            })
+        });
+    }
+
+    // Integer-only iteration helpers.
+    def_method(interp, "Integer", "times", |i, recv, _args, b| {
+        let n = need_int(&recv, "times")?;
+        let blk = b.ok_or_else(|| arg_error("times: no block given"))?;
+        for k in 0..n {
+            if run_block(i, &blk, vec![Value::Int(k)])?.is_none() {
+                break;
+            }
+        }
+        Ok(recv)
+    });
+    def_method(interp, "Integer", "upto", |i, recv, args, b| {
+        let lo = need_int(&recv, "upto")?;
+        let hi = need_int(&arg(&args, 0), "upto")?;
+        let blk = b.ok_or_else(|| arg_error("upto: no block given"))?;
+        for k in lo..=hi {
+            if run_block(i, &blk, vec![Value::Int(k)])?.is_none() {
+                break;
+            }
+        }
+        Ok(recv)
+    });
+    def_method(interp, "Integer", "even?", |_i, recv, _args, _b| {
+        Ok(Value::Bool(need_int(&recv, "even?")? % 2 == 0))
+    });
+    def_method(interp, "Integer", "odd?", |_i, recv, _args, _b| {
+        Ok(Value::Bool(need_int(&recv, "odd?")? % 2 != 0))
+    });
+    def_method(interp, "Integer", "succ", |_i, recv, _args, _b| {
+        Ok(Value::Int(need_int(&recv, "succ")? + 1))
+    });
+
+    def_method(interp, "Float", "round", |_i, recv, args, _b| {
+        let x = match recv {
+            Value::Float(x) => x,
+            Value::Int(n) => return Ok(Value::Int(n)),
+            _ => return Err(type_error("round on non-numeric")),
+        };
+        match args.first() {
+            Some(d) => {
+                let digits = need_int(d, "round")?;
+                let m = 10f64.powi(digits as i32);
+                Ok(Value::Float((x * m).round() / m))
+            }
+            None => Ok(Value::Int(x.round() as i64)),
+        }
+    });
+    def_method(interp, "Float", "floor", |_i, recv, _args, _b| {
+        match recv {
+            Value::Float(x) => Ok(Value::Int(x.floor() as i64)),
+            Value::Int(n) => Ok(Value::Int(n)),
+            _ => Err(type_error("floor on non-numeric")),
+        }
+    });
+    def_method(interp, "Float", "ceil", |_i, recv, _args, _b| {
+        match recv {
+            Value::Float(x) => Ok(Value::Int(x.ceil() as i64)),
+            Value::Int(n) => Ok(Value::Int(n)),
+            _ => Err(type_error("ceil on non-numeric")),
+        }
+    });
+}

@@ -1,0 +1,142 @@
+//! `Object` instance methods (available on every value) and `NilClass`.
+
+use super::*;
+use crate::value::Value;
+use hb_syntax::Span;
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_method(interp, "Object", "==", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+    def_method(interp, "Object", "!=", |i, recv, args, _b| {
+        let eq = i.call_method(recv, "==", vec![arg(&args, 0)], None, Span::dummy())?;
+        Ok(Value::Bool(!eq.truthy()))
+    });
+    def_method(interp, "Object", "equal?", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+    def_method(interp, "Object", "===", |i, recv, args, _b| {
+        // Default === is ==; Class overrides with is_a? semantics.
+        i.call_method(recv, "==", vec![arg(&args, 0)], None, Span::dummy())
+    });
+    def_method(interp, "Object", "nil?", |_i, _recv, _args, _b| {
+        Ok(Value::Bool(false))
+    });
+    def_method(interp, "Object", "class", |i, recv, _args, _b| {
+        Ok(Value::Class(i.registry.class_of(&recv)))
+    });
+    def_method(interp, "Object", "is_a?", |i, recv, args, _b| {
+        is_a(i, &recv, &arg(&args, 0))
+    });
+    def_method(interp, "Object", "kind_of?", |i, recv, args, _b| {
+        is_a(i, &recv, &arg(&args, 0))
+    });
+    def_method(interp, "Object", "instance_of?", |i, recv, args, _b| {
+        match arg(&args, 0) {
+            Value::Class(c) => Ok(Value::Bool(i.registry.class_of(&recv) == c)),
+            other => Err(type_error(format!("instance_of?: {other:?} is not a class"))),
+        }
+    });
+    def_method(interp, "Object", "respond_to?", |i, recv, args, _b| {
+        let name = need_name(&arg(&args, 0), "respond_to?")?;
+        let ok = match &recv {
+            Value::Class(c) => {
+                i.registry.find_smethod(*c, &name).is_some()
+                    || i
+                        .registry
+                        .lookup("Class")
+                        .and_then(|cc| i.registry.find_method(cc, &name))
+                        .is_some()
+            }
+            other => i
+                .registry
+                .find_method(i.registry.class_of(other), &name)
+                .is_some(),
+        };
+        Ok(Value::Bool(ok))
+    });
+    def_method(interp, "Object", "send", |i, recv, mut args, b| {
+        if args.is_empty() {
+            return Err(arg_error("send: no method name given"));
+        }
+        let name = need_name(&args.remove(0), "send")?;
+        i.call_method(recv, &name, args, b, Span::dummy())
+    });
+    def_method(interp, "Object", "to_s", |i, recv, _args, _b| {
+        let s = i.value_to_s(&recv)?;
+        Ok(Value::str(s))
+    });
+    def_method(interp, "Object", "inspect", |i, recv, _args, _b| {
+        Ok(Value::str(i.inspect(&recv)))
+    });
+    def_method(interp, "Object", "freeze", |_i, recv, _args, _b| Ok(recv));
+    def_method(interp, "Object", "frozen?", |_i, _recv, _args, _b| {
+        Ok(Value::Bool(false))
+    });
+    def_method(interp, "Object", "dup", |_i, recv, _args, _b| {
+        Ok(match &recv {
+            Value::Array(a) => Value::array(a.borrow().clone()),
+            Value::Hash(h) => {
+                let pairs: Vec<(Value, Value)> =
+                    h.borrow().iter().cloned().collect();
+                Value::hash_from(pairs)
+            }
+            other => other.clone(),
+        })
+    });
+    def_method(
+        interp,
+        "Object",
+        "instance_variable_get",
+        |i, recv, args, _b| {
+            let name = need_name(&arg(&args, 0), "instance_variable_get")?;
+            let name = name.trim_start_matches('@');
+            Ok(i.ivar_get(&recv, name))
+        },
+    );
+    def_method(
+        interp,
+        "Object",
+        "instance_variable_set",
+        |i, recv, args, _b| {
+            let name = need_name(&arg(&args, 0), "instance_variable_set")?;
+            let name = name.trim_start_matches('@').to_string();
+            let v = arg(&args, 1);
+            i.ivar_set(&recv, &name, v.clone());
+            Ok(v)
+        },
+    );
+
+    // NilClass overrides.
+    def_method(interp, "NilClass", "nil?", |_i, _recv, _args, _b| {
+        Ok(Value::Bool(true))
+    });
+    def_method(interp, "NilClass", "to_s", |_i, _recv, _args, _b| {
+        Ok(Value::str(""))
+    });
+    def_method(interp, "NilClass", "to_a", |_i, _recv, _args, _b| {
+        Ok(Value::array(vec![]))
+    });
+    def_method(interp, "NilClass", "inspect", |_i, _recv, _args, _b| {
+        Ok(Value::str("nil"))
+    });
+
+    // Proc#call.
+    def_method(interp, "Proc", "call", |i, recv, args, _b| match &recv {
+        Value::Proc(p) => {
+            let p = p.clone();
+            i.call_proc(&p, args, None, None, false)
+        }
+        _ => Err(type_error("Proc#call on non-proc")),
+    });
+}
+
+fn is_a(i: &mut Interp, recv: &Value, class: &Value) -> Result<Value, Flow> {
+    match class {
+        Value::Class(want) => {
+            let have = i.registry.class_of(recv);
+            Ok(Value::Bool(i.registry.is_descendant(have, *want)))
+        }
+        other => Err(type_error(format!("is_a?: {other:?} is not a class/module"))),
+    }
+}

@@ -1,0 +1,82 @@
+//! `Range` methods (integer ranges).
+
+use super::*;
+use crate::value::Value;
+
+fn bounds(v: &Value, what: &str) -> Result<(i64, i64, bool), Flow> {
+    match v {
+        Value::Range(r) => Ok((
+            need_int(&r.0, what)?,
+            need_int(&r.1, what)?,
+            r.2,
+        )),
+        other => Err(type_error(format!("{what}: expected Range, got {other:?}"))),
+    }
+}
+
+fn upper(hi: i64, exclusive: bool) -> i64 {
+    if exclusive {
+        hi - 1
+    } else {
+        hi
+    }
+}
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_method(interp, "Range", "each", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("each: no block given"))?;
+        let (lo, hi, ex) = bounds(&recv, "each")?;
+        for k in lo..=upper(hi, ex) {
+            if run_block(i, &blk, vec![Value::Int(k)])?.is_none() {
+                break;
+            }
+        }
+        Ok(recv)
+    });
+    def_method(interp, "Range", "map", |i, recv, _args, b| {
+        let blk = b.ok_or_else(|| arg_error("map: no block given"))?;
+        let (lo, hi, ex) = bounds(&recv, "map")?;
+        let mut out = Vec::new();
+        for k in lo..=upper(hi, ex) {
+            match run_block(i, &blk, vec![Value::Int(k)])? {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        Ok(Value::array(out))
+    });
+    def_method(interp, "Range", "to_a", |_i, recv, _args, _b| {
+        let (lo, hi, ex) = bounds(&recv, "to_a")?;
+        Ok(Value::array(
+            (lo..=upper(hi, ex)).map(Value::Int).collect(),
+        ))
+    });
+    for name in ["include?", "cover?", "member?"] {
+        def_method(interp, "Range", name, |_i, recv, args, _b| {
+            let (lo, hi, ex) = bounds(&recv, "include?")?;
+            let v = match arg(&args, 0) {
+                Value::Int(n) => n,
+                Value::Float(x) => {
+                    let hi_ok = if ex { x < hi as f64 } else { x <= hi as f64 };
+                    return Ok(Value::Bool(x >= lo as f64 && hi_ok));
+                }
+                _ => return Ok(Value::Bool(false)),
+            };
+            Ok(Value::Bool(v >= lo && v <= upper(hi, ex)))
+        });
+    }
+    def_method(interp, "Range", "first", |_i, recv, _args, _b| {
+        let (lo, _, _) = bounds(&recv, "first")?;
+        Ok(Value::Int(lo))
+    });
+    def_method(interp, "Range", "last", |_i, recv, _args, _b| {
+        match &recv {
+            Value::Range(r) => Ok(r.1.clone()),
+            _ => Err(type_error("last on non-range")),
+        }
+    });
+    def_method(interp, "Range", "size", |_i, recv, _args, _b| {
+        let (lo, hi, ex) = bounds(&recv, "size")?;
+        Ok(Value::Int((upper(hi, ex) - lo + 1).max(0)))
+    });
+}

@@ -1,0 +1,222 @@
+//! `String` and `Symbol` methods. Strings are immutable in this host; all
+//! operations return new strings.
+
+use super::*;
+use crate::value::Value;
+
+pub(crate) fn install(interp: &mut Interp) {
+    def_method(interp, "String", "+", |_i, recv, args, _b| {
+        let a = need_str(&recv, "+")?;
+        let b = need_str(&arg(&args, 0), "String#+")?;
+        Ok(Value::str(format!("{a}{b}")))
+    });
+    def_method(interp, "String", "*", |_i, recv, args, _b| {
+        let a = need_str(&recv, "*")?;
+        let n = need_int(&arg(&args, 0), "String#*")?;
+        Ok(Value::str(a.repeat(n.max(0) as usize)))
+    });
+    def_method(interp, "String", "==", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+    def_method(interp, "String", "<=>", |_i, recv, args, _b| {
+        let a = need_str(&recv, "<=>")?;
+        match &arg(&args, 0) {
+            Value::Str(b) => Ok(Value::Int(a.cmp(b) as i64)),
+            _ => Ok(Value::Nil),
+        }
+    });
+    for (name, f) in [
+        ("<", std::cmp::Ordering::is_lt as fn(std::cmp::Ordering) -> bool),
+        (">", std::cmp::Ordering::is_gt),
+        ("<=", std::cmp::Ordering::is_le),
+        (">=", std::cmp::Ordering::is_ge),
+    ] {
+        def_method(interp, "String", name, move |_i, recv, args, _b| {
+            let a = need_str(&recv, "cmp")?;
+            let b = need_str(&arg(&args, 0), "String comparison")?;
+            Ok(Value::Bool(f(a.cmp(&b))))
+        });
+    }
+    def_method(interp, "String", "length", |_i, recv, _args, _b| {
+        Ok(Value::Int(need_str(&recv, "length")?.chars().count() as i64))
+    });
+    def_method(interp, "String", "size", |_i, recv, _args, _b| {
+        Ok(Value::Int(need_str(&recv, "size")?.chars().count() as i64))
+    });
+    def_method(interp, "String", "empty?", |_i, recv, _args, _b| {
+        Ok(Value::Bool(need_str(&recv, "empty?")?.is_empty()))
+    });
+    def_method(interp, "String", "upcase", |_i, recv, _args, _b| {
+        Ok(Value::str(need_str(&recv, "upcase")?.to_uppercase()))
+    });
+    def_method(interp, "String", "downcase", |_i, recv, _args, _b| {
+        Ok(Value::str(need_str(&recv, "downcase")?.to_lowercase()))
+    });
+    def_method(interp, "String", "capitalize", |_i, recv, _args, _b| {
+        let s = need_str(&recv, "capitalize")?;
+        let mut cs = s.chars();
+        Ok(Value::str(match cs.next() {
+            Some(c) => c.to_uppercase().collect::<String>() + &cs.as_str().to_lowercase(),
+            None => String::new(),
+        }))
+    });
+    def_method(interp, "String", "strip", |_i, recv, _args, _b| {
+        Ok(Value::str(need_str(&recv, "strip")?.trim()))
+    });
+    def_method(interp, "String", "reverse", |_i, recv, _args, _b| {
+        Ok(Value::str(
+            need_str(&recv, "reverse")?.chars().rev().collect::<String>(),
+        ))
+    });
+    def_method(interp, "String", "include?", |_i, recv, args, _b| {
+        let a = need_str(&recv, "include?")?;
+        let b = need_str(&arg(&args, 0), "include?")?;
+        Ok(Value::Bool(a.contains(&*b)))
+    });
+    def_method(interp, "String", "start_with?", |_i, recv, args, _b| {
+        let a = need_str(&recv, "start_with?")?;
+        for want in &args {
+            if a.starts_with(&*need_str(want, "start_with?")?) {
+                return Ok(Value::Bool(true));
+            }
+        }
+        Ok(Value::Bool(false))
+    });
+    def_method(interp, "String", "end_with?", |_i, recv, args, _b| {
+        let a = need_str(&recv, "end_with?")?;
+        for want in &args {
+            if a.ends_with(&*need_str(want, "end_with?")?) {
+                return Ok(Value::Bool(true));
+            }
+        }
+        Ok(Value::Bool(false))
+    });
+    def_method(interp, "String", "index", |_i, recv, args, _b| {
+        let a = need_str(&recv, "index")?;
+        let b = need_str(&arg(&args, 0), "index")?;
+        Ok(match a.find(&*b) {
+            Some(i) => Value::Int(i as i64),
+            None => Value::Nil,
+        })
+    });
+    def_method(interp, "String", "[]", |_i, recv, args, _b| {
+        let s = need_str(&recv, "[]")?;
+        let chars: Vec<char> = s.chars().collect();
+        match &arg(&args, 0) {
+            Value::Int(i) => {
+                let idx = normalize_index(*i, chars.len());
+                Ok(match idx {
+                    Some(i) => Value::str(chars[i].to_string()),
+                    None => Value::Nil,
+                })
+            }
+            Value::Range(r) => {
+                let (lo, hi, excl) = (&r.0, &r.1, r.2);
+                let lo = need_int(lo, "[]")?;
+                let hi = need_int(hi, "[]")?;
+                let lo = if lo < 0 {
+                    (chars.len() as i64 + lo).max(0) as usize
+                } else {
+                    lo as usize
+                };
+                let mut hi = if hi < 0 {
+                    (chars.len() as i64 + hi).max(0) as usize
+                } else {
+                    hi as usize
+                };
+                if !excl {
+                    hi += 1;
+                }
+                let hi = hi.min(chars.len());
+                if lo > hi {
+                    return Ok(Value::str(""));
+                }
+                Ok(Value::str(chars[lo..hi].iter().collect::<String>()))
+            }
+            Value::Str(sub) => Ok(if s.contains(&**sub) {
+                Value::str(&**sub)
+            } else {
+                Value::Nil
+            }),
+            other => Err(type_error(format!("String#[]: bad index {other:?}"))),
+        }
+    });
+    def_method(interp, "String", "split", |_i, recv, args, _b| {
+        let s = need_str(&recv, "split")?;
+        let parts: Vec<Value> = match args.first() {
+            None => s.split_whitespace().map(Value::str).collect(),
+            Some(sep) => {
+                let sep = need_str(sep, "split")?;
+                s.split(&*sep)
+                    .filter(|p| !p.is_empty() || !sep.is_empty())
+                    .map(Value::str)
+                    .collect()
+            }
+        };
+        Ok(Value::array(parts))
+    });
+    def_method(interp, "String", "sub", |_i, recv, args, _b| {
+        let s = need_str(&recv, "sub")?;
+        let pat = need_str(&arg(&args, 0), "sub")?;
+        let rep = need_str(&arg(&args, 1), "sub")?;
+        Ok(Value::str(s.replacen(&*pat, &rep, 1)))
+    });
+    def_method(interp, "String", "gsub", |_i, recv, args, _b| {
+        let s = need_str(&recv, "gsub")?;
+        let pat = need_str(&arg(&args, 0), "gsub")?;
+        let rep = need_str(&arg(&args, 1), "gsub")?;
+        Ok(Value::str(s.replace(&*pat, &rep)))
+    });
+    def_method(interp, "String", "chomp", |_i, recv, _args, _b| {
+        let s = need_str(&recv, "chomp")?;
+        Ok(Value::str(s.trim_end_matches('\n')))
+    });
+    def_method(interp, "String", "chars", |_i, recv, _args, _b| {
+        let s = need_str(&recv, "chars")?;
+        Ok(Value::array(
+            s.chars().map(|c| Value::str(c.to_string())).collect(),
+        ))
+    });
+    def_method(interp, "String", "to_s", |_i, recv, _args, _b| Ok(recv));
+    def_method(interp, "String", "to_str", |_i, recv, _args, _b| Ok(recv));
+    def_method(interp, "String", "to_sym", |_i, recv, _args, _b| {
+        Ok(Value::sym(&*need_str(&recv, "to_sym")?))
+    });
+    def_method(interp, "String", "intern", |_i, recv, _args, _b| {
+        Ok(Value::sym(&*need_str(&recv, "intern")?))
+    });
+    def_method(interp, "String", "to_i", |_i, recv, _args, _b| {
+        let s = need_str(&recv, "to_i")?;
+        let t: String = s
+            .trim()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '-' || *c == '+')
+            .collect();
+        Ok(Value::Int(t.parse().unwrap_or(0)))
+    });
+    def_method(interp, "String", "to_f", |_i, recv, _args, _b| {
+        let s = need_str(&recv, "to_f")?;
+        Ok(Value::Float(s.trim().parse().unwrap_or(0.0)))
+    });
+
+    // Symbol.
+    def_method(interp, "Symbol", "to_s", |_i, recv, _args, _b| {
+        match recv {
+            Value::Sym(s) => Ok(Value::str(&*s)),
+            _ => Err(type_error("Symbol#to_s on non-symbol")),
+        }
+    });
+    def_method(interp, "Symbol", "to_sym", |_i, recv, _args, _b| Ok(recv));
+    def_method(interp, "Symbol", "==", |_i, recv, args, _b| {
+        Ok(Value::Bool(recv.raw_eq(&arg(&args, 0))))
+    });
+}
+
+fn normalize_index(i: i64, len: usize) -> Option<usize> {
+    let idx = if i < 0 { len as i64 + i } else { i };
+    if idx >= 0 && (idx as usize) < len {
+        Some(idx as usize)
+    } else {
+        None
+    }
+}

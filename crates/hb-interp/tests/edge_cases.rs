@@ -1,0 +1,281 @@
+//! Edge-case and failure-injection tests for the interpreter host.
+
+use hb_interp::{ErrorKind, Interp, Value};
+
+fn eval(src: &str) -> Value {
+    let mut i = Interp::new();
+    i.eval_str(src)
+        .unwrap_or_else(|e| panic!("eval failed for {src:?}: {e}"))
+}
+
+fn eval_i(src: &str) -> i64 {
+    match eval(src) {
+        Value::Int(n) => n,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+fn eval_s(src: &str) -> String {
+    match eval(src) {
+        Value::Str(s) => s.to_string(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn eval_err(src: &str) -> hb_interp::HbError {
+    let mut i = Interp::new();
+    match i.eval_str(src) {
+        Ok(v) => panic!("expected error for {src:?}, got {v:?}"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn deep_recursion_hits_guard_not_stack_overflow() {
+    // The interpreter's frame guard fires at 500 interpreted frames; each
+    // frame uses several KB of native stack in debug builds, so give this
+    // thread a large stack and verify the guard reports cleanly.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let e = eval_err("def down(n)\n down(n + 1)\nend\ndown(0)");
+            assert_eq!(e.kind, ErrorKind::Internal);
+            assert!(e.message.contains("stack level too deep"));
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn unset_local_in_untaken_branch_reads_nil() {
+    // Ruby: a local assigned only in an untaken branch reads as nil.
+    assert!(matches!(
+        eval("x = 1 if false\nx"),
+        Value::Nil
+    ));
+}
+
+#[test]
+fn shadowing_across_method_and_block() {
+    let src = r#"
+x = 100
+def probe
+  x = 5
+  [1].each { |y| x = x + y }
+  x
+end
+probe + x
+"#;
+    assert_eq!(eval_i(src), 106);
+}
+
+#[test]
+fn empty_collections_behave() {
+    assert_eq!(eval_i("[].size"), 0);
+    assert_eq!(eval_i("{}.size"), 0);
+    assert!(matches!(eval("[].first"), Value::Nil));
+    assert!(matches!(eval("[].max"), Value::Nil));
+    assert_eq!(eval_i("[].sum"), 0);
+    assert_eq!(eval_s("[].join(\",\")"), "");
+}
+
+#[test]
+fn negative_and_out_of_range_indexing() {
+    assert!(matches!(eval("[1, 2][5]"), Value::Nil));
+    assert_eq!(eval_i("[1, 2, 3][-2]"), 2);
+    assert!(matches!(eval("\"ab\"[9]"), Value::Nil));
+    assert_eq!(eval_s("\"hello\"[-3..-1]"), "llo");
+}
+
+#[test]
+fn array_assignment_fills_gaps_with_nil() {
+    assert_eq!(eval_i("a = [1]\na[3] = 9\na.size"), 4);
+    assert!(matches!(eval("a = [1]\na[3] = 9\na[2]"), Value::Nil));
+}
+
+#[test]
+fn mutation_through_aliases_is_visible() {
+    let src = "a = [1]\nb = a\nb << 2\na.size";
+    assert_eq!(eval_i(src), 2);
+    let src = "h = {}\ng = h\ng[:k] = 1\nh.size";
+    assert_eq!(eval_i(src), 1);
+}
+
+#[test]
+fn dup_breaks_aliasing() {
+    assert_eq!(eval_i("a = [1]\nb = a.dup\nb << 2\na.size"), 1);
+}
+
+#[test]
+fn string_edge_inflections() {
+    assert_eq!(eval_s("\"\".to_s"), "");
+    assert_eq!(eval_i("\"\".length"), 0);
+    assert_eq!(eval_s("\"a\".capitalize"), "A");
+    assert_eq!(eval_s("\"\".reverse"), "");
+}
+
+#[test]
+fn unicode_strings_are_char_based() {
+    assert_eq!(eval_i("\"héllo\".length"), 5);
+    assert_eq!(eval_s("\"héllo\"[1]"), "é");
+    assert_eq!(eval_s("\"héllo\".reverse"), "olléh");
+}
+
+#[test]
+fn method_missing_not_defined_raises_no_method() {
+    let e = eval_err("class Plain\nend\nPlain.new.ghost");
+    assert_eq!(e.kind, ErrorKind::NoMethod);
+}
+
+#[test]
+fn super_without_parent_method_errors() {
+    let e = eval_err("class Solo\n def m\n  super\n end\nend\nSolo.new.m");
+    assert_eq!(e.kind, ErrorKind::NoMethod);
+    assert!(e.message.contains("super"));
+}
+
+#[test]
+fn yield_without_block_errors() {
+    let e = eval_err("def needs_block\n yield\nend\nneeds_block");
+    assert_eq!(e.kind, ErrorKind::ArgumentError);
+}
+
+#[test]
+fn rescue_rebinds_and_reraise_propagates() {
+    let src = r#"
+begin
+  begin
+    raise ArgumentError, "inner"
+  rescue ArgumentError => e
+    raise RuntimeError, "outer: #{e.message}"
+  end
+rescue RuntimeError => e
+  e.message
+end
+"#;
+    assert_eq!(eval_s(src), "outer: inner");
+}
+
+#[test]
+fn ensure_runs_even_when_uncaught() {
+    let mut i = Interp::new();
+    let r = i.eval_str(
+        "$log = []\nbegin\n begin\n  raise \"x\"\n ensure\n  $log << \"cleanup\"\n end\nrescue\n $log.join\nend",
+    );
+    match r.unwrap() {
+        Value::Str(s) => assert_eq!(&*s, "cleanup"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn comparison_chains_and_spaceship() {
+    assert_eq!(eval_i("1 <=> 2"), -1);
+    assert_eq!(eval_i("2 <=> 1"), 1);
+    assert_eq!(eval_i("2 <=> 2"), 0);
+    assert_eq!(eval_i("\"a\" <=> \"b\""), -1);
+    assert!(matches!(eval("1 <=> \"x\""), Value::Nil));
+}
+
+#[test]
+fn sort_with_custom_comparator_block() {
+    assert_eq!(
+        eval_s("[1, 3, 2].sort { |a, b| b <=> a }.join"),
+        "321"
+    );
+}
+
+#[test]
+fn integer_overflow_wraps_not_panics() {
+    // The paper omits Bignum promotion (§4 Numeric Hierarchy); we wrap.
+    let mut i = Interp::new();
+    assert!(i.eval_str("9223372036854775807 + 1").is_ok());
+}
+
+#[test]
+fn const_reassignment_and_nesting() {
+    assert_eq!(eval_i("X = 1\nX = 2\nX"), 2);
+    let src = "module M\n Y = 7\nend\nclass M::C\n def g\n  Y\n end\nend\nM::C.new.g";
+    assert_eq!(eval_i(src), 7);
+}
+
+#[test]
+fn define_method_overrides_def_and_vice_versa() {
+    let src = r#"
+class Flip
+  def v
+    1
+  end
+end
+Flip.define_method(:v) { 2 }
+a = Flip.new.v
+class Flip
+  def v
+    3
+  end
+end
+a * 10 + Flip.new.v
+"#;
+    assert_eq!(eval_i(src), 23);
+}
+
+#[test]
+fn remove_method_falls_back_to_superclass() {
+    let src = r#"
+class P
+  def m
+    "parent"
+  end
+end
+class C < P
+  def m
+    "child"
+  end
+end
+C.remove_method(:m)
+C.new.m
+"#;
+    assert_eq!(eval_s(src), "parent");
+}
+
+#[test]
+fn frozen_string_keys_hash_correctly() {
+    assert_eq!(eval_i("h = { \"a b\" => 1 }\nh[\"a b\"]"), 1);
+    // Int and Float keys unify (Ruby eql? does not, but raw structural
+    // equality is our documented semantics).
+    assert_eq!(eval_i("h = {}\nh[1] = 5\nh[1]"), 5);
+}
+
+#[test]
+fn while_loop_scoping_keeps_outer_vars() {
+    let src = "total = 0\ni = 0\nwhile i < 3\n inner = i * 2\n total += inner\n i += 1\nend\ntotal";
+    assert_eq!(eval_i(src), 6);
+}
+
+#[test]
+fn case_without_scrutinee_uses_truthiness() {
+    let src = r#"
+x = 7
+case
+when x > 10 then "big"
+when x > 5 then "medium"
+else "small"
+end
+"#;
+    assert_eq!(eval_s(src), "medium");
+}
+
+#[test]
+fn to_s_fallback_for_plain_objects() {
+    let src = "class Blob\nend\n\"#{Blob.new}\"";
+    assert_eq!(eval_s(src), "#<Blob>");
+}
+
+#[test]
+fn output_capture_is_ordered() {
+    let mut i = Interp::new();
+    i.eval_str("print \"a\"\nputs \"b\"\nprint \"c\"").unwrap();
+    assert_eq!(i.take_output(), "ab\nc");
+    assert_eq!(i.take_output(), "", "take drains");
+}

@@ -1,0 +1,832 @@
+//! End-to-end interpreter semantics tests: evaluation, dispatch,
+//! metaprogramming, control flow, exceptions, and the core library.
+
+use hb_interp::{ErrorKind, Interp, Value};
+
+fn eval(src: &str) -> Value {
+    let mut i = Interp::new();
+    i.eval_str(src)
+        .unwrap_or_else(|e| panic!("eval failed for {src:?}: {e}"))
+}
+
+fn eval_s(src: &str) -> String {
+    match eval(src) {
+        Value::Str(s) => s.to_string(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn eval_i(src: &str) -> i64 {
+    match eval(src) {
+        Value::Int(n) => n,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+fn eval_b(src: &str) -> bool {
+    match eval(src) {
+        Value::Bool(b) => b,
+        other => panic!("expected bool, got {other:?}"),
+    }
+}
+
+fn eval_err(src: &str) -> hb_interp::HbError {
+    let mut i = Interp::new();
+    match i.eval_str(src) {
+        Ok(v) => panic!("expected error for {src:?}, got {v:?}"),
+        Err(e) => e,
+    }
+}
+
+fn output(src: &str) -> String {
+    let mut i = Interp::new();
+    i.eval_str(src).unwrap_or_else(|e| panic!("{e}"));
+    i.take_output()
+}
+
+// ----- expressions ---------------------------------------------------------
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(eval_i("1 + 2 * 3"), 7);
+    assert_eq!(eval_i("(1 + 2) * 3"), 9);
+    assert_eq!(eval_i("10 / 3"), 3);
+    assert_eq!(eval_i("10 % 3"), 1);
+    assert_eq!(eval_i("2 ** 10"), 1024);
+    assert_eq!(eval_i("-5 + 2"), -3);
+}
+
+#[test]
+fn float_arithmetic_and_promotion() {
+    match eval("1 / 2.0") {
+        Value::Float(x) => assert_eq!(x, 0.5),
+        other => panic!("{other:?}"),
+    }
+    assert!(eval_b("1 == 1.0"));
+    assert!(eval_b("1.5 > 1"));
+}
+
+#[test]
+fn zero_division_is_an_error() {
+    let e = eval_err("1 / 0");
+    assert_eq!(e.kind, ErrorKind::ZeroDivision);
+}
+
+#[test]
+fn string_ops() {
+    assert_eq!(eval_s("\"foo\" + \"bar\""), "foobar");
+    assert_eq!(eval_s("\"ab\" * 3"), "ababab");
+    assert_eq!(eval_i("\"hello\".length"), 5);
+    assert!(eval_b("\"hello\".include?(\"ell\")"));
+    assert_eq!(eval_s("\"Hello World\".downcase"), "hello world");
+    assert_eq!(eval_s("\"a,b,c\".split(\",\").join(\"-\")"), "a-b-c");
+    assert_eq!(eval_s("\"hello\"[1..3]"), "ell");
+    assert_eq!(eval_s("\"users\".capitalize"), "Users");
+    assert_eq!(eval_i("\"42abc\".to_i"), 42);
+}
+
+#[test]
+fn string_interpolation() {
+    assert_eq!(eval_s("x = 3\n\"got #{x + 1}!\""), "got 4!");
+    assert_eq!(eval_s("name = \"admin\"\n\"is_#{name}?\""), "is_admin?");
+}
+
+#[test]
+fn symbols() {
+    assert!(eval_b(":a == :a"));
+    assert!(!eval_b(":a == :b"));
+    assert_eq!(eval_s(":owner.to_s"), "owner");
+    match eval("\"x\".to_sym") {
+        Value::Sym(s) => assert_eq!(&*s, "x"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn arrays() {
+    assert_eq!(eval_i("[1, 2, 3].size"), 3);
+    assert_eq!(eval_i("[1, 2, 3][1]"), 2);
+    assert_eq!(eval_i("[1, 2, 3][-1]"), 3);
+    assert_eq!(eval_i("a = []\na.push(5)\na << 6\na.sum"), 11);
+    assert_eq!(eval_i("[1, 2, 3].map { |x| x * 10 }.sum"), 60);
+    assert_eq!(eval_i("[1, 2, 3, 4].select { |x| x % 2 == 0 }.size"), 2);
+    assert_eq!(eval_i("[3, 1, 2].sort[0]"), 1);
+    assert_eq!(eval_i("[[1, 2], [3]].flatten.size"), 3);
+    assert_eq!(eval_i("[1, 1, 2].uniq.size"), 2);
+    assert!(eval_b("[1, 2].include?(2)"));
+    assert_eq!(eval_s("[1, 2].join(\",\")"), "1,2");
+    assert_eq!(eval_i("[1, nil, 2].compact.size"), 2);
+    assert_eq!(eval_i("[1, 2].zip([3, 4])[1][1]"), 4);
+    assert_eq!(eval_i("[1, 2, 3].reduce(0) { |acc, x| acc + x }"), 6);
+    assert_eq!(eval_i("[5, 3, 9].max"), 9);
+    assert_eq!(eval_i("[5, 3, 9].min"), 3);
+}
+
+#[test]
+fn hashes() {
+    assert_eq!(eval_i("h = { :a => 1, \"b\" => 2 }\nh[:a]"), 1);
+    assert_eq!(eval_i("h = { a: 1 }\nh[:a]"), 1);
+    assert_eq!(eval_i("h = {}\nh[:x] = 9\nh[:x]"), 9);
+    assert!(eval_b("{ a: 1 }.key?(:a)"));
+    assert_eq!(eval_i("{ a: 1, b: 2 }.keys.size"), 2);
+    assert_eq!(eval_i("{ a: 1 }.merge({ b: 2 }).size"), 2);
+    assert_eq!(eval_i("{ a: 1, b: 2 }.map { |k, v| v }.sum"), 3);
+    assert_eq!(
+        eval_i("total = 0\n{ a: 1, b: 2 }.each { |k, v| total += v }\ntotal"),
+        3
+    );
+}
+
+#[test]
+fn ranges() {
+    assert_eq!(eval_i("(1..4).to_a.size"), 4);
+    assert_eq!(eval_i("(1...4).to_a.size"), 3);
+    assert!(eval_b("(1..10).include?(5)"));
+    assert_eq!(eval_i("total = 0\n(1..3).each { |i| total += i }\ntotal"), 6);
+}
+
+// ----- control flow -----------------------------------------------------------
+
+#[test]
+fn if_unless_ternary() {
+    assert_eq!(eval_i("if true then 1 else 2 end"), 1);
+    assert_eq!(eval_i("if false\n 1\nelse\n 2\nend"), 2);
+    assert_eq!(eval_i("x = 5\nx > 3 ? 10 : 20"), 10);
+    assert_eq!(eval_i("x = 1\nx = 2 if false\nx"), 1);
+    assert_eq!(eval_i("x = 1\nx = 2 unless false\nx"), 2);
+    // nil and false are falsy; 0 and "" are truthy.
+    assert_eq!(eval_i("if 0 then 1 else 2 end"), 1);
+    assert_eq!(eval_i("if nil then 1 else 2 end"), 2);
+}
+
+#[test]
+fn elsif_chain() {
+    let src = "x = 2\nif x == 1\n \"a\"\nelsif x == 2\n \"b\"\nelse\n \"c\"\nend";
+    assert_eq!(eval_s(src), "b");
+}
+
+#[test]
+fn while_loops_with_break_next() {
+    assert_eq!(eval_i("i = 0\nwhile i < 10\n i += 1\nend\ni"), 10);
+    assert_eq!(
+        eval_i("i = 0\nwhile true\n i += 1\n break if i == 5\nend\ni"),
+        5
+    );
+    assert_eq!(
+        eval_i("t = 0\ni = 0\nwhile i < 5\n i += 1\n next if i % 2 == 0\n t += i\nend\nt"),
+        9
+    );
+    assert_eq!(eval_i("i = 5\nuntil i == 0\n i -= 1\nend\ni"), 0);
+}
+
+#[test]
+fn case_when() {
+    let src = r#"
+def classify(x)
+  case x
+  when 1, 2 then "small"
+  when 3..9 then "medium"
+  when String then "string"
+  else "other"
+  end
+end
+classify(2) + classify(5) + classify("s") + classify(nil)
+"#;
+    assert_eq!(eval_s(src), "smallmediumstringother");
+}
+
+#[test]
+fn and_or_values() {
+    assert_eq!(eval_i("nil || 5"), 5);
+    assert_eq!(eval_i("2 && 3"), 3);
+    assert!(matches!(eval("false && boom()"), Value::Bool(false)));
+    assert_eq!(eval_i("1 or boom()"), 1);
+    assert!(eval_b("!nil"));
+}
+
+// ----- methods and classes ---------------------------------------------------
+
+#[test]
+fn method_definition_and_call() {
+    assert_eq!(eval_i("def add(a, b)\n a + b\nend\nadd(2, 3)"), 5);
+    // Implicit return of last expression.
+    assert_eq!(eval_i("def m\n 1\n 2\nend\nm"), 2);
+    // Explicit return.
+    assert_eq!(eval_i("def m(x)\n return 1 if x\n 2\nend\nm(true)"), 1);
+}
+
+#[test]
+fn default_and_rest_params() {
+    assert_eq!(eval_i("def m(a, b = 10)\n a + b\nend\nm(1)"), 11);
+    assert_eq!(eval_i("def m(a, b = 10)\n a + b\nend\nm(1, 2)"), 3);
+    assert_eq!(eval_i("def m(*xs)\n xs.size\nend\nm(1, 2, 3)"), 3);
+    assert_eq!(eval_i("def m(a, *xs)\n xs.size\nend\nm(1)"), 0);
+}
+
+#[test]
+fn arity_errors() {
+    let e = eval_err("def m(a)\n a\nend\nm(1, 2)");
+    assert_eq!(e.kind, ErrorKind::ArgumentError);
+    let e = eval_err("def m(a)\n a\nend\nm");
+    assert_eq!(e.kind, ErrorKind::ArgumentError);
+}
+
+#[test]
+fn classes_instances_ivars() {
+    let src = r#"
+class Point
+  def initialize(x, y)
+    @x = x
+    @y = y
+  end
+  def x
+    @x
+  end
+  def sum
+    @x + @y
+  end
+end
+p = Point.new(3, 4)
+p.x + p.sum
+"#;
+    assert_eq!(eval_i(src), 10);
+}
+
+#[test]
+fn attr_accessor() {
+    let src = r#"
+class T
+  attr_accessor :name, :size
+end
+t = T.new
+t.name = "x"
+t.size = 3
+t.name * t.size
+"#;
+    assert_eq!(eval_s(src), "xxx");
+}
+
+#[test]
+fn inheritance_and_super() {
+    let src = r#"
+class Base
+  def greet(name)
+    "hello #{name}"
+  end
+end
+class Sub < Base
+  def greet(name)
+    super + "!"
+  end
+end
+Sub.new.greet("world")
+"#;
+    assert_eq!(eval_s(src), "hello world!");
+}
+
+#[test]
+fn super_with_explicit_args() {
+    let src = r#"
+class A
+  def m(x)
+    x * 2
+  end
+end
+class B < A
+  def m(x)
+    super(x + 1)
+  end
+end
+B.new.m(3)
+"#;
+    assert_eq!(eval_i(src), 8);
+}
+
+#[test]
+fn class_methods_and_self() {
+    let src = r#"
+class Counter
+  def self.make
+    new
+  end
+  def initialize
+    @n = 0
+  end
+  def bump
+    @n += 1
+    self
+  end
+  def n
+    @n
+  end
+end
+Counter.make.bump.bump.n
+"#;
+    assert_eq!(eval_i(src), 2);
+}
+
+#[test]
+fn reopening_classes() {
+    let src = r#"
+class A
+  def m
+    1
+  end
+end
+class A
+  def m2
+    2
+  end
+end
+A.new.m + A.new.m2
+"#;
+    assert_eq!(eval_i(src), 3);
+}
+
+#[test]
+fn redefinition_overwrites() {
+    let src = "class A\n def m\n 1\n end\nend\nclass A\n def m\n 2\n end\nend\nA.new.m";
+    assert_eq!(eval_i(src), 2);
+}
+
+#[test]
+fn modules_and_include() {
+    let src = r#"
+module M
+  def foo(x)
+    bar(x)
+  end
+end
+class C
+  include M
+  def bar(x)
+    x + 1
+  end
+end
+class D
+  include M
+  def bar(x)
+    x.to_s
+  end
+end
+C.new.foo(1).to_s + D.new.foo(2)
+"#;
+    assert_eq!(eval_s(src), "22");
+}
+
+#[test]
+fn nested_modules_and_const_paths() {
+    let src = r#"
+module Outer::Inner
+  def self.answer
+    42
+  end
+end
+Outer::Inner.answer
+"#;
+    assert_eq!(eval_i(src), 42);
+}
+
+#[test]
+fn class_objects_respond_to_object_methods() {
+    assert!(eval_b("class A\nend\nA.nil? == false"));
+    assert_eq!(eval_s("class A\nend\nA.name"), "A");
+    assert!(eval_b("class A\nend\nclass B < A\nend\nB.superclass == A"));
+}
+
+#[test]
+fn is_a_and_class() {
+    assert!(eval_b("1.is_a?(Integer)"));
+    assert!(eval_b("1.is_a?(Numeric)"));
+    assert!(!eval_b("1.is_a?(Float)"));
+    assert!(eval_b("\"x\".is_a?(String)"));
+    assert!(eval_b("1.class == Fixnum"));
+    let src = "module M\nend\nclass C\n include M\nend\nC.new.is_a?(M)";
+    assert!(eval_b(src));
+}
+
+// ----- blocks, procs, yield -----------------------------------------------------
+
+#[test]
+fn blocks_capture_locals() {
+    let src = "total = 0\n[1, 2, 3].each { |x| total += x }\ntotal";
+    assert_eq!(eval_i(src), 6);
+}
+
+#[test]
+fn yield_and_block_given() {
+    let src = r#"
+def twice
+  yield(1) + yield(2)
+end
+twice { |x| x * 10 }
+"#;
+    assert_eq!(eval_i(src), 30);
+    let src = "def m\n if block_given?\n  yield\n else\n  0\n end\nend\nm + m { 5 }";
+    assert_eq!(eval_i(src), 5);
+}
+
+#[test]
+fn block_param_and_call() {
+    let src = r#"
+def run(&blk)
+  blk.call(7)
+end
+run { |x| x + 1 }
+"#;
+    assert_eq!(eval_i(src), 8);
+}
+
+#[test]
+fn lambda_and_proc() {
+    assert_eq!(eval_i("f = lambda { |x| x * 2 }\nf.call(21)"), 42);
+    assert_eq!(eval_i("f = proc { 9 }\nf.call"), 9);
+}
+
+#[test]
+fn symbol_to_proc() {
+    assert_eq!(eval_s("[:a, :b].map(&:to_s).join"), "ab");
+}
+
+#[test]
+fn block_auto_splat() {
+    let src = "out = []\n[[1, 2], [3, 4]].each { |a, b| out << a + b }\nout.sum";
+    assert_eq!(eval_i(src), 10);
+}
+
+#[test]
+fn break_in_block_stops_iteration() {
+    let src = "t = 0\n[1, 2, 3, 4].each { |x| break if x == 3\n t += x }\nt";
+    assert_eq!(eval_i(src), 3);
+}
+
+#[test]
+fn return_in_block_returns_from_method() {
+    let src = r#"
+def find_first_even(xs)
+  xs.each do |x|
+    return x if x % 2 == 0
+  end
+  nil
+end
+find_first_even([1, 3, 4, 5])
+"#;
+    assert_eq!(eval_i(src), 4);
+}
+
+// ----- metaprogramming ------------------------------------------------------------
+
+#[test]
+fn define_method_with_closure() {
+    let src = r##"
+class User
+  def has_role?(r)
+    r == "admin"
+  end
+end
+role_name = "admin"
+User.define_method("is_#{role_name}?") do
+  has_role?("#{role_name}")
+end
+u = User.new
+u.is_admin?
+"##;
+    assert!(eval_b(src));
+}
+
+#[test]
+fn define_method_inside_class_eval() {
+    let src = r#"
+class User
+end
+User.class_eval do
+  define_method(:shout) do |word|
+    word.upcase
+  end
+end
+User.new.shout("hey")
+"#;
+    assert_eq!(eval_s(src), "HEY");
+}
+
+#[test]
+fn figure2_rolify_pattern() {
+    // The paper's Fig. 2: a module whose method defines methods dynamically.
+    let src = r##"
+module Rolify
+  def define_dynamic_method(role_name)
+    self.class.class_eval do
+      define_method("is_#{role_name}?".to_sym) do
+        has_role?("#{role_name}")
+      end if !method_defined?("is_#{role_name}?".to_sym)
+    end
+  end
+end
+class User
+  include Rolify
+  def initialize
+    @roles = []
+  end
+  def add_role(r)
+    @roles << r
+  end
+  def has_role?(r)
+    @roles.include?(r)
+  end
+end
+user = User.new
+user.add_role("professor")
+user.define_dynamic_method("professor")
+user.define_dynamic_method("student")
+a = user.is_professor?
+b = user.is_student?
+a && !b
+"##;
+    assert!(eval_b(src));
+}
+
+#[test]
+fn send_dispatches() {
+    assert_eq!(eval_i("1.send(:+, 2)"), 3);
+    let src = "class A\n def m(x)\n x * 3\n end\nend\nA.new.send(\"m\", 4)";
+    assert_eq!(eval_i(src), 12);
+}
+
+#[test]
+fn method_missing_instance_and_class() {
+    let src = r#"
+class Ghost
+  def method_missing(name, *args)
+    "called #{name} with #{args.size}"
+  end
+end
+Ghost.new.anything(1, 2)
+"#;
+    assert_eq!(eval_s(src), "called anything with 2");
+    let src = r#"
+class Finder
+  def self.method_missing(name, *args)
+    name.to_s
+  end
+end
+Finder.find_by_name("x")
+"#;
+    assert_eq!(eval_s(src), "find_by_name");
+}
+
+#[test]
+fn respond_to() {
+    assert!(eval_b("1.respond_to?(:+)"));
+    assert!(!eval_b("1.respond_to?(:frobnicate)"));
+    assert!(eval_b("class A\n def m\n end\nend\nA.new.respond_to?(:m)"));
+}
+
+#[test]
+fn method_defined_and_instance_methods() {
+    let src = "class A\n def m\n end\nend\nA.method_defined?(:m)";
+    assert!(eval_b(src));
+    let src = "class A\n def zz\n end\nend\nA.instance_methods.include?(:zz)";
+    assert!(eval_b(src));
+}
+
+#[test]
+fn struct_new_figure3() {
+    let src = r#"
+Transaction = Struct.new(:type, :account_name, :amount)
+t = Transaction.new("credit", "alice", "100")
+t.account_name
+"#;
+    assert_eq!(eval_s(src), "alice");
+    // Setters and members.
+    let src = r#"
+Transaction = Struct.new(:type, :amount)
+t = Transaction.new("a", "1")
+t.amount = "2"
+Transaction.members.size + t.amount.to_i
+"#;
+    assert_eq!(eval_i(src), 4);
+}
+
+#[test]
+fn struct_class_is_named_by_constant() {
+    let src = "T = Struct.new(:a)\nT.name";
+    assert_eq!(eval_s(src), "T");
+}
+
+#[test]
+fn inherited_hook_fires() {
+    let src = r#"
+class Base
+  def self.inherited(sub)
+    $last = sub.name
+  end
+end
+class Talk < Base
+end
+$last
+"#;
+    assert_eq!(eval_s(src), "Talk");
+}
+
+#[test]
+fn instance_variable_reflection() {
+    let src = r#"
+class A
+end
+a = A.new
+a.instance_variable_set(:@x, 5)
+a.instance_variable_get(:@x)
+"#;
+    assert_eq!(eval_i(src), 5);
+}
+
+#[test]
+fn class_level_ivars_and_cvars() {
+    let src = r#"
+class A
+  @@count = 0
+  def self.bump
+    @@count += 1
+  end
+  def self.count
+    @@count
+  end
+end
+A.bump
+A.bump
+A.count
+"#;
+    assert_eq!(eval_i(src), 2);
+}
+
+#[test]
+fn cvar_or_assign_memoisation() {
+    let src = r#"
+class Cache
+  def self.fetch
+    @@cache ||= expensive
+  end
+  def self.expensive
+    $count = ($count || 0) + 1
+    "value"
+  end
+end
+Cache.fetch
+Cache.fetch
+$count
+"#;
+    assert_eq!(eval_i(src), 1);
+}
+
+// ----- exceptions --------------------------------------------------------------
+
+#[test]
+fn raise_and_rescue() {
+    let src = r#"
+begin
+  raise "boom"
+rescue => e
+  "caught: #{e.message}"
+end
+"#;
+    assert_eq!(eval_s(src), "caught: boom");
+}
+
+#[test]
+fn rescue_specific_class() {
+    let src = r#"
+begin
+  raise ArgumentError, "bad arg"
+rescue TypeError => e
+  "wrong"
+rescue ArgumentError => e
+  "right: #{e.message}"
+end
+"#;
+    assert_eq!(eval_s(src), "right: bad arg");
+}
+
+#[test]
+fn rescue_matches_subclasses() {
+    let src = r#"
+begin
+  raise NoMethodError, "nope"
+rescue NameError => e
+  "caught"
+end
+"#;
+    assert_eq!(eval_s(src), "caught");
+}
+
+#[test]
+fn unmatched_rescue_propagates() {
+    let e = eval_err("begin\n raise TypeError, \"x\"\nrescue ArgumentError\n 1\nend");
+    assert_eq!(e.class_name(), "TypeError");
+}
+
+#[test]
+fn ensure_runs() {
+    let src = r#"
+$log = []
+begin
+  $log << "body"
+  raise "x"
+rescue
+  $log << "rescue"
+ensure
+  $log << "ensure"
+end
+$log.join(",")
+"#;
+    assert_eq!(eval_s(src), "body,rescue,ensure");
+}
+
+#[test]
+fn builtin_errors_are_rescuable() {
+    let src = r#"
+begin
+  nil.frobnicate
+rescue NoMethodError => e
+  "no method!"
+end
+"#;
+    assert_eq!(eval_s(src), "no method!");
+}
+
+#[test]
+fn no_method_error_reports_class() {
+    let e = eval_err("1.frobnicate");
+    assert_eq!(e.kind, ErrorKind::NoMethod);
+    assert!(e.message.contains("frobnicate"), "{}", e.message);
+    assert!(e.message.contains("Fixnum"), "{}", e.message);
+}
+
+#[test]
+fn user_exception_classes() {
+    let src = r#"
+class AppError < StandardError
+end
+begin
+  raise AppError, "custom"
+rescue AppError => e
+  e.message
+end
+"#;
+    assert_eq!(eval_s(src), "custom");
+}
+
+// ----- output -------------------------------------------------------------------
+
+#[test]
+fn puts_and_p() {
+    assert_eq!(output("puts \"hi\""), "hi\n");
+    assert_eq!(output("puts [1, 2]"), "1\n2\n");
+    assert_eq!(output("p :sym"), ":sym\n");
+    assert_eq!(output("print \"a\", \"b\""), "ab");
+    assert_eq!(output("puts 1.5"), "1.5\n");
+}
+
+#[test]
+fn to_s_dispatches_user_method() {
+    let src = r#"
+class Money
+  def initialize(n)
+    @n = n
+  end
+  def to_s
+    "$#{@n}"
+  end
+end
+puts Money.new(5)
+"#;
+    assert_eq!(output(src), "$5\n");
+}
+
+// ----- events (for the engine) ----------------------------------------------------
+
+#[test]
+fn method_events_are_emitted() {
+    use hb_interp::InterpEvent;
+    let mut i = Interp::new();
+    i.eval_str("class A\n def m\n 1\n end\nend").unwrap();
+    let ev = i.drain_events();
+    assert!(ev
+        .iter()
+        .any(|e| matches!(e, InterpEvent::MethodAdded { name, .. } if name == "m")));
+    i.eval_str("class A\n def m\n 2\n end\nend").unwrap();
+    let ev = i.drain_events();
+    assert!(ev
+        .iter()
+        .any(|e| matches!(e, InterpEvent::MethodRedefined { name, .. } if name == "m")));
+}
+
+#[test]
+fn define_method_emits_event() {
+    use hb_interp::InterpEvent;
+    let mut i = Interp::new();
+    i.eval_str("class A\nend\nA.define_method(:dm) { 1 }").unwrap();
+    let ev = i.drain_events();
+    assert!(ev
+        .iter()
+        .any(|e| matches!(e, InterpEvent::MethodAdded { name, .. } if name == "dm")));
+}

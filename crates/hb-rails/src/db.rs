@@ -1,0 +1,218 @@
+//! The in-memory relational database substrate behind `ActiveRecord`.
+//!
+//! Stands in for the SQL database of the paper's Rails apps: typed schemas
+//! (which drive dynamic type generation for model attribute methods),
+//! auto-increment ids, and the handful of query shapes the framework needs.
+
+use hb_interp::Value;
+use std::collections::HashMap;
+
+/// A table: column schema plus rows.
+#[derive(Default)]
+pub struct TableData {
+    /// Column name → RDL type name (e.g. `"title" → "String"`).
+    pub schema: Vec<(String, String)>,
+    pub rows: Vec<HashMap<String, Value>>,
+    next_id: i64,
+}
+
+/// The database: a set of named tables.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, TableData>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates (or replaces) a table with the given column schema. An `id`
+    /// column is always present.
+    pub fn create_table(&mut self, name: &str, schema: Vec<(String, String)>) {
+        let mut full = vec![("id".to_string(), "Fixnum".to_string())];
+        full.extend(schema.into_iter().filter(|(c, _)| c != "id"));
+        self.tables.insert(
+            name.to_string(),
+            TableData {
+                schema: full,
+                rows: Vec::new(),
+                next_id: 1,
+            },
+        );
+    }
+
+    /// The schema of a table (empty if unknown).
+    pub fn columns(&self, table: &str) -> Vec<(String, String)> {
+        self.tables
+            .get(table)
+            .map(|t| t.schema.clone())
+            .unwrap_or_default()
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.tables.contains_key(table)
+    }
+
+    /// Inserts a row, assigning and returning its id.
+    pub fn insert(&mut self, table: &str, mut attrs: HashMap<String, Value>) -> Option<i64> {
+        let t = self.tables.get_mut(table)?;
+        let id = t.next_id;
+        t.next_id += 1;
+        attrs.insert("id".to_string(), Value::Int(id));
+        // Missing columns default to nil.
+        for (c, _) in &t.schema {
+            attrs.entry(c.clone()).or_insert(Value::Nil);
+        }
+        t.rows.push(attrs);
+        Some(id)
+    }
+
+    /// Replaces the non-id attributes of the row with this id.
+    pub fn update(&mut self, table: &str, id: i64, attrs: &HashMap<String, Value>) -> bool {
+        let Some(t) = self.tables.get_mut(table) else {
+            return false;
+        };
+        for row in &mut t.rows {
+            if matches!(row.get("id"), Some(Value::Int(n)) if *n == id) {
+                for (k, v) in attrs {
+                    if k != "id" {
+                        row.insert(k.clone(), v.clone());
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deletes the row with this id.
+    pub fn delete(&mut self, table: &str, id: i64) -> bool {
+        let Some(t) = self.tables.get_mut(table) else {
+            return false;
+        };
+        let before = t.rows.len();
+        t.rows
+            .retain(|r| !matches!(r.get("id"), Some(Value::Int(n)) if *n == id));
+        t.rows.len() != before
+    }
+
+    /// The row with this id.
+    pub fn find(&self, table: &str, id: i64) -> Option<HashMap<String, Value>> {
+        self.tables.get(table)?.rows.iter().find_map(|r| {
+            if matches!(r.get("id"), Some(Value::Int(n)) if *n == id) {
+                Some(r.clone())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// All rows.
+    pub fn all(&self, table: &str) -> Vec<HashMap<String, Value>> {
+        self.tables
+            .get(table)
+            .map(|t| t.rows.clone())
+            .unwrap_or_default()
+    }
+
+    /// Rows whose `column` equals `value` (structural equality).
+    pub fn where_eq(&self, table: &str, column: &str, value: &Value) -> Vec<HashMap<String, Value>> {
+        self.tables
+            .get(table)
+            .map(|t| {
+                t.rows
+                    .iter()
+                    .filter(|r| r.get(column).is_some_and(|v| v.raw_eq(value)))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of rows.
+    pub fn count(&self, table: &str) -> usize {
+        self.tables.get(table).map(|t| t.rows.len()).unwrap_or(0)
+    }
+
+    /// Empties every table (workload resets between benchmark runs),
+    /// keeping schemas.
+    pub fn clear_rows(&mut self) {
+        for t in self.tables.values_mut() {
+            t.rows.clear();
+            t.next_id = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn talks_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "talks",
+            vec![
+                ("title".to_string(), "String".to_string()),
+                ("owner_id".to_string(), "Fixnum".to_string()),
+            ],
+        );
+        db
+    }
+
+    #[test]
+    fn schema_includes_id() {
+        let db = talks_db();
+        let cols = db.columns("talks");
+        assert_eq!(cols[0].0, "id");
+        assert_eq!(cols.len(), 3);
+        assert!(db.has_table("talks"));
+        assert!(!db.has_table("nope"));
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids_and_defaults() {
+        let mut db = talks_db();
+        let id1 = db.insert("talks", attrs(&[("title", Value::str("a"))])).unwrap();
+        let id2 = db.insert("talks", attrs(&[("title", Value::str("b"))])).unwrap();
+        assert_eq!((id1, id2), (1, 2));
+        let row = db.find("talks", 1).unwrap();
+        assert!(row.get("owner_id").unwrap().raw_eq(&Value::Nil));
+    }
+
+    #[test]
+    fn find_update_delete() {
+        let mut db = talks_db();
+        let id = db.insert("talks", attrs(&[("title", Value::str("a"))])).unwrap();
+        assert!(db.update("talks", id, &attrs(&[("title", Value::str("b"))])));
+        assert!(db.find("talks", id).unwrap()["title"].raw_eq(&Value::str("b")));
+        assert!(db.delete("talks", id));
+        assert!(db.find("talks", id).is_none());
+        assert!(!db.delete("talks", id));
+    }
+
+    #[test]
+    fn where_and_count() {
+        let mut db = talks_db();
+        db.insert("talks", attrs(&[("owner_id", Value::Int(1))]));
+        db.insert("talks", attrs(&[("owner_id", Value::Int(2))]));
+        db.insert("talks", attrs(&[("owner_id", Value::Int(1))]));
+        assert_eq!(db.where_eq("talks", "owner_id", &Value::Int(1)).len(), 2);
+        assert_eq!(db.count("talks"), 3);
+        db.clear_rows();
+        assert_eq!(db.count("talks"), 0);
+        // ids restart after clear.
+        let id = db.insert("talks", attrs(&[])).unwrap();
+        assert_eq!(id, 1);
+    }
+}

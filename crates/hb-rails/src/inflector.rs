@@ -1,0 +1,132 @@
+//! A small Rails-style inflector: the string transformations
+//! "convention over configuration" relies on (`belongs_to :owner` →
+//! `Owner`, `Talk` → `talks`, ...), exposed to RubyLite as `String`
+//! methods by [`crate::install_rails`].
+
+/// `"talks"` → `"talk"`, `"categories"` → `"category"`, `"statuses"` →
+/// `"status"`.
+pub fn singularize(s: &str) -> String {
+    if let Some(stem) = s.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    for suffix in ["sses", "shes", "ches", "xes"] {
+        if let Some(stem) = s.strip_suffix(suffix) {
+            return format!("{stem}{}", &suffix[..suffix.len() - 2]);
+        }
+    }
+    if let Some(stem) = s.strip_suffix("ses") {
+        return format!("{stem}s");
+    }
+    if s.ends_with("ss") {
+        return s.to_string();
+    }
+    s.strip_suffix('s').map(str::to_string).unwrap_or_else(|| s.to_string())
+}
+
+/// `"talk"` → `"talks"`, `"category"` → `"categories"`, `"status"` →
+/// `"statuses"`.
+pub fn pluralize(s: &str) -> String {
+    if s.ends_with('y') && !s.ends_with("ay") && !s.ends_with("ey") && !s.ends_with("oy") {
+        return format!("{}ies", &s[..s.len() - 1]);
+    }
+    if s.ends_with('s') || s.ends_with('x') || s.ends_with("ch") || s.ends_with("sh") {
+        return format!("{s}es");
+    }
+    format!("{s}s")
+}
+
+/// `"talk_list"` → `"TalkList"`.
+pub fn camelize(s: &str) -> String {
+    s.split('_')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let mut cs = p.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// `"TalkList"` → `"talk_list"`; `::` becomes `/` as in Rails.
+pub fn underscore(s: &str) -> String {
+    let mut out = String::new();
+    let mut prev_lower = false;
+    for c in s.chars() {
+        if c == ':' {
+            if !out.ends_with('/') {
+                out.push('/');
+            }
+            prev_lower = false;
+        } else if c.is_uppercase() {
+            if prev_lower {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+            prev_lower = false;
+        } else {
+            out.push(c);
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        }
+    }
+    out
+}
+
+/// `"Talk"` → `"talks"` (the model's database table, Rails convention).
+pub fn tableize(s: &str) -> String {
+    pluralize(&underscore(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singularize_rules() {
+        assert_eq!(singularize("talks"), "talk");
+        assert_eq!(singularize("users"), "user");
+        assert_eq!(singularize("categories"), "category");
+        assert_eq!(singularize("statuses"), "status");
+        assert_eq!(singularize("boxes"), "box");
+        assert_eq!(singularize("branches"), "branch");
+        assert_eq!(singularize("classes"), "class");
+        assert_eq!(singularize("address"), "address");
+        assert_eq!(singularize("owner"), "owner");
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("talk"), "talks");
+        assert_eq!(pluralize("category"), "categories");
+        assert_eq!(pluralize("status"), "statuses");
+        assert_eq!(pluralize("box"), "boxes");
+        assert_eq!(pluralize("branch"), "branches");
+        assert_eq!(pluralize("day"), "days");
+    }
+
+    #[test]
+    fn roundtrip_common_nouns() {
+        for n in ["talk", "user", "publication", "folder", "country", "role"] {
+            assert_eq!(singularize(&pluralize(n)), n, "{n}");
+        }
+    }
+
+    #[test]
+    fn camelize_and_underscore() {
+        assert_eq!(camelize("talk_list"), "TalkList");
+        assert_eq!(camelize("owner"), "Owner");
+        assert_eq!(underscore("TalkList"), "talk_list");
+        assert_eq!(underscore("Talk"), "talk");
+        assert_eq!(underscore("ABCWidget"), "abcwidget");
+        assert_eq!(camelize(&underscore("TalkList")), "TalkList");
+    }
+
+    #[test]
+    fn tableize_models() {
+        assert_eq!(tableize("Talk"), "talks");
+        assert_eq!(tableize("User"), "users");
+        assert_eq!(tableize("Category"), "categories");
+        assert_eq!(tableize("FileEntry"), "file_entries");
+    }
+}

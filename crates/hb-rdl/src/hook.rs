@@ -1,0 +1,64 @@
+//! The RDL dispatch hook: runs `pre` contracts before intercepted calls.
+
+use crate::state::{MethodKey, RdlState};
+use hb_interp::{CallHook, DispatchInfo, ErrorKind, Flow, HbError, HookOutcome, Interp, Value};
+use std::rc::Rc;
+
+/// Runs `pre` contracts attached to the method being dispatched. The proc
+/// executes with `self` rebound to the receiver, so Fig. 1's `type ...`
+/// calls inside a `belongs_to` pre-hook target the model class.
+pub struct RdlHook {
+    pub state: Rc<RdlState>,
+}
+
+impl CallHook for RdlHook {
+    fn before_call(
+        &self,
+        interp: &mut Interp,
+        info: &DispatchInfo,
+        recv: &Value,
+        args: &[Value],
+    ) -> Result<HookOutcome, HbError> {
+        // Pre contracts may be registered against the defining module or any
+        // class in the receiver's ancestry (Fig. 1 registers on the
+        // framework module; Fig. 2 style registers on the mixing class), so
+        // gather along the whole chain.
+        let mut pres = Vec::new();
+        let mut chain: Vec<String> = interp
+            .registry
+            .ancestors(info.recv_class)
+            .into_iter()
+            .map(|c| interp.registry.name(c).to_string())
+            .collect();
+        let owner_name = interp.registry.name(info.owner).to_string();
+        if !chain.contains(&owner_name) {
+            chain.push(owner_name);
+        }
+        for class in &chain {
+            let key = MethodKey {
+                class: class.clone(),
+                class_level: info.class_level,
+                method: info.name.clone(),
+            };
+            pres.extend(self.state.pres(&key));
+        }
+        let key = MethodKey {
+            class: interp.registry.name(info.recv_class).to_string(),
+            class_level: info.class_level,
+            method: info.name.clone(),
+        };
+        for p in pres {
+            let result = interp
+                .call_proc(&p.proc_val, args.to_vec(), None, Some(recv.clone()), false)
+                .map_err(Flow::into_error)?;
+            if !result.truthy() {
+                return Err(HbError::new(
+                    ErrorKind::ContractBlame,
+                    format!("precondition of {} failed", key.display()),
+                    info.span,
+                ));
+            }
+        }
+        Ok(HookOutcome::default())
+    }
+}

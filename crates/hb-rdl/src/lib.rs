@@ -1,0 +1,35 @@
+//! RDL analogue: the runtime type-annotation and contract layer that
+//! Hummingbird builds on (paper §4).
+//!
+//! `type`, `var_type`/`field_type`, `pre` and `rdl_cast` are interpreter
+//! builtins that execute at run time and mutate a live [`RdlState`] type
+//! table. Method types accumulate intersection arms on repeated `type`
+//! calls; `pre` contracts run before dispatch and are where metaprogramming
+//! libraries generate types for the methods they create (Fig. 1).
+//!
+//! # Example
+//!
+//! ```
+//! use hb_interp::Interp;
+//! use hb_rdl::{install_rdl, MethodKey};
+//!
+//! let mut interp = Interp::new();
+//! let rdl = install_rdl(&mut interp);
+//! interp
+//!     .eval_str("class Talk\n type :owner?, \"(User) -> %bool\"\nend")
+//!     .unwrap();
+//! let entry = rdl.entry(&MethodKey::instance("Talk", "owner?")).unwrap();
+//! assert_eq!(entry.sig.to_string(), "(User) -> %bool");
+//! ```
+
+pub mod builtins;
+pub mod conform;
+pub mod hook;
+pub mod state;
+
+pub use builtins::install as install_rdl;
+pub use conform::{type_of, value_conforms};
+pub use hook::RdlHook;
+pub use state::{
+    AnnotationSource, MethodKey, PreHook, RdlEvent, RdlState, RdlStats, TableEntry,
+};

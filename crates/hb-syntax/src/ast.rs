@@ -1,0 +1,260 @@
+//! The RubyLite abstract syntax tree.
+//!
+//! Everything in RubyLite is an expression, as in Ruby: class bodies, method
+//! definitions and control flow all produce values. A [`Program`] is simply a
+//! sequence of top-level expressions.
+
+use crate::span::Span;
+use std::rc::Rc;
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub body: Vec<Expr>,
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    /// Wraps `kind` with `span`.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// A `nil` literal with a dummy span, for synthesised nodes.
+    pub fn nil() -> Expr {
+        Expr::new(ExprKind::Nil, Span::dummy())
+    }
+}
+
+/// One piece of an interpolated string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    Lit(String),
+    Interp(Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lhs {
+    /// A local variable.
+    Local(String),
+    /// `@ivar`
+    IVar(String),
+    /// `@@cvar`
+    CVar(String),
+    /// `$gvar`
+    GVar(String),
+    /// A constant path such as `A::B`.
+    Const(Vec<String>),
+    /// `recv[args] = value` (sugar for a `[]=` call).
+    Index(Box<Expr>, Vec<Expr>),
+    /// `recv.name = value` (sugar for a `name=` call).
+    Attr(Box<Expr>, String),
+}
+
+/// A positional or special argument at a call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Pos(Expr),
+    /// `*expr`
+    Splat(Expr),
+    /// `&expr` — pass `expr` (a proc or symbol) as the call's block.
+    BlockPass(Expr),
+}
+
+/// A literal block (`do |x| ... end` or `{ |x| ... }`) attached to a call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockArg {
+    pub params: Vec<Param>,
+    pub body: Rc<Vec<Expr>>,
+    pub span: Span,
+}
+
+/// How a formal parameter binds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    Required,
+    /// `name = default`
+    Optional(Box<Expr>),
+    /// `*rest`
+    Rest,
+    /// `&blk`
+    Block,
+}
+
+/// A formal parameter of a method or block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// A required positional parameter.
+    pub fn required(name: impl Into<String>) -> Param {
+        Param {
+            name: name.into(),
+            kind: ParamKind::Required,
+        }
+    }
+}
+
+/// The body of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Nil,
+    True,
+    False,
+    SelfExpr,
+    Int(i64),
+    Float(f64),
+    Str(Vec<StrPart>),
+    Sym(String),
+    Array(Vec<Expr>),
+    /// `{ k => v, key: v }`
+    Hash(Vec<(Expr, Expr)>),
+    /// `lo..hi` (`exclusive` for `...`).
+    Range {
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+        exclusive: bool,
+    },
+
+    /// A local variable read (the parser resolved the identifier to a local
+    /// assigned earlier in scope, following Ruby's lexical rule).
+    Local(String),
+    IVar(String),
+    CVar(String),
+    GVar(String),
+    /// A constant path `A::B::C`.
+    Const(Vec<String>),
+
+    Assign {
+        target: Lhs,
+        value: Box<Expr>,
+    },
+    /// `target op= value`; `op` is the binary method name (`+`, `*`, ...) or
+    /// `"||"`/`"&&"` for the short-circuiting forms.
+    OpAssign {
+        target: Lhs,
+        op: String,
+        value: Box<Expr>,
+    },
+
+    /// A method call. `recv == None` means an implicit-self call.
+    Call {
+        recv: Option<Box<Expr>>,
+        name: String,
+        args: Vec<Arg>,
+        block: Option<BlockArg>,
+    },
+    Yield(Vec<Expr>),
+    /// `super` / `super(args)`. `args == None` forwards the current method's
+    /// arguments (zsuper).
+    Super {
+        args: Option<Vec<Expr>>,
+    },
+
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+
+    If {
+        cond: Box<Expr>,
+        then_body: Vec<Expr>,
+        else_body: Vec<Expr>,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Vec<Expr>,
+    },
+    Case {
+        scrutinee: Option<Box<Expr>>,
+        whens: Vec<(Vec<Expr>, Vec<Expr>)>,
+        else_body: Vec<Expr>,
+    },
+    Begin {
+        body: Vec<Expr>,
+        rescues: Vec<Rescue>,
+        ensure_body: Vec<Expr>,
+    },
+
+    Return(Option<Box<Expr>>),
+    Break(Option<Box<Expr>>),
+    Next(Option<Box<Expr>>),
+
+    ClassDef {
+        path: Vec<String>,
+        superclass: Option<Box<Expr>>,
+        body: Rc<Vec<Expr>>,
+    },
+    ModuleDef {
+        path: Vec<String>,
+        body: Rc<Vec<Expr>>,
+    },
+    MethodDef(Rc<MethodDefNode>),
+}
+
+/// A `rescue` clause of a `begin` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rescue {
+    /// Exception class constants to match; empty means "match anything".
+    pub classes: Vec<Expr>,
+    /// `rescue E => name`
+    pub var: Option<String>,
+    pub body: Vec<Expr>,
+}
+
+/// A `def` node. Reference-counted because the interpreter stores it in the
+/// method table and the lowering pipeline shares it with the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDefNode {
+    /// `def self.name` defines a class-level (singleton) method.
+    pub self_method: bool,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Expr>,
+    pub span: Span,
+}
+
+impl ExprKind {
+    /// True for expressions that never need a trailing statement separator
+    /// issue when pretty-printed inline.
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            ExprKind::Nil
+                | ExprKind::True
+                | ExprKind::False
+                | ExprKind::Int(_)
+                | ExprKind::Float(_)
+                | ExprKind::Str(_)
+                | ExprKind::Sym(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_classification() {
+        assert!(ExprKind::Int(3).is_literal());
+        assert!(ExprKind::Sym("a".into()).is_literal());
+        assert!(!ExprKind::Local("a".into()).is_literal());
+    }
+
+    #[test]
+    fn synthesised_nil() {
+        let e = Expr::nil();
+        assert_eq!(e.kind, ExprKind::Nil);
+        assert_eq!(e.span, Span::dummy());
+    }
+}

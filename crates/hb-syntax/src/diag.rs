@@ -1,0 +1,115 @@
+//! Parse errors and generic diagnostics.
+
+use crate::span::{SourceMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a resolved source position.
+    pub fn render(&self, map: &SourceMap) -> String {
+        format!("{}: parse error: {}", map.describe(self.span), self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    Error,
+    Warning,
+    Note,
+}
+
+/// A general diagnostic used by downstream phases (the checker reuses this
+/// shape for type errors so every tool renders locations uniformly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with a resolved source position.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        format!("{}: {}: {}", map.describe(self.span), sev, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        write!(f, "{sev}: {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FileId;
+
+    #[test]
+    fn render_with_position() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("x.rb", "a\nbb ccc\n");
+        let e = ParseError::new("boom", Span::new(f, 5, 8));
+        assert_eq!(e.render(&sm), "x.rb:2:4: parse error: boom");
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic::error("no type for Talk#owner", Span::dummy());
+        assert_eq!(d.to_string(), "error: no type for Talk#owner");
+        let w = Diagnostic::warning("unused", Span::dummy());
+        assert_eq!(w.to_string(), "warning: unused");
+    }
+}

@@ -1,0 +1,565 @@
+//! Pretty-printer for RubyLite ASTs.
+//!
+//! Prints a canonical form: every call uses parentheses, every block uses
+//! `do ... end`, and string interpolations are re-emitted as `#{...}`. The
+//! canonical form re-parses to an equivalent AST, which the property tests
+//! rely on.
+
+use crate::ast::*;
+
+/// Pretty-prints a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for e in &p.body {
+        write_expr(&mut out, e, 0);
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty-prints a single expression.
+pub fn pretty_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_body(out: &mut String, body: &[Expr], level: usize) {
+    for e in body {
+        indent(out, level);
+        write_expr(out, e, level);
+        out.push('\n');
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '#' => out.push_str("\\#"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_lhs(out: &mut String, lhs: &Lhs, level: usize) {
+    match lhs {
+        Lhs::Local(n) => out.push_str(n),
+        Lhs::IVar(n) => {
+            out.push('@');
+            out.push_str(n);
+        }
+        Lhs::CVar(n) => {
+            out.push_str("@@");
+            out.push_str(n);
+        }
+        Lhs::GVar(n) => {
+            out.push('$');
+            out.push_str(n);
+        }
+        Lhs::Const(path) => out.push_str(&path.join("::")),
+        Lhs::Index(recv, idx) => {
+            write_paren(out, recv, level);
+            out.push('[');
+            for (i, e) in idx.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, level);
+            }
+            out.push(']');
+        }
+        Lhs::Attr(recv, name) => {
+            write_paren(out, recv, level);
+            out.push('.');
+            out.push_str(name);
+        }
+    }
+}
+
+/// Writes an expression, parenthesising compound forms so precedence is
+/// preserved on re-parse.
+fn write_paren(out: &mut String, e: &Expr, level: usize) {
+    let atomic = matches!(
+        e.kind,
+        ExprKind::Nil
+            | ExprKind::True
+            | ExprKind::False
+            | ExprKind::SelfExpr
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Sym(_)
+            | ExprKind::Array(_)
+            | ExprKind::Hash(_)
+            | ExprKind::Local(_)
+            | ExprKind::IVar(_)
+            | ExprKind::CVar(_)
+            | ExprKind::GVar(_)
+            | ExprKind::Const(_)
+            | ExprKind::Call { .. }
+            | ExprKind::Yield(_)
+    );
+    if atomic {
+        write_expr(out, e, level);
+    } else {
+        out.push('(');
+        write_expr(out, e, level);
+        out.push(')');
+    }
+}
+
+fn write_args(out: &mut String, args: &[Arg], level: usize) {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match a {
+            Arg::Pos(e) => write_expr(out, e, level),
+            Arg::Splat(e) => {
+                out.push('*');
+                write_expr(out, e, level);
+            }
+            Arg::BlockPass(e) => {
+                out.push('&');
+                write_expr(out, e, level);
+            }
+        }
+    }
+    out.push(')');
+}
+
+fn write_block(out: &mut String, b: &BlockArg, level: usize) {
+    out.push_str(" do");
+    if !b.params.is_empty() {
+        out.push_str(" |");
+        for (i, p) in b.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_param(out, p, level);
+        }
+        out.push('|');
+    }
+    out.push('\n');
+    write_body(out, &b.body, level + 1);
+    indent(out, level);
+    out.push_str("end");
+}
+
+fn write_param(out: &mut String, p: &Param, level: usize) {
+    match &p.kind {
+        ParamKind::Required => out.push_str(&p.name),
+        ParamKind::Optional(d) => {
+            out.push_str(&p.name);
+            out.push_str(" = ");
+            write_expr(out, d, level);
+        }
+        ParamKind::Rest => {
+            out.push('*');
+            out.push_str(&p.name);
+        }
+        ParamKind::Block => {
+            out.push('&');
+            out.push_str(&p.name);
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, level: usize) {
+    match &e.kind {
+        ExprKind::Nil => out.push_str("nil"),
+        ExprKind::True => out.push_str("true"),
+        ExprKind::False => out.push_str("false"),
+        ExprKind::SelfExpr => out.push_str("self"),
+        ExprKind::Int(n) => out.push_str(&n.to_string()),
+        ExprKind::Float(x) => {
+            let s = format!("{x}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') {
+                out.push_str(".0");
+            }
+        }
+        ExprKind::Str(parts) => {
+            out.push('"');
+            for p in parts {
+                match p {
+                    StrPart::Lit(s) => out.push_str(&escape_str(s)),
+                    StrPart::Interp(e) => {
+                        out.push_str("#{");
+                        write_expr(out, e, level);
+                        out.push('}');
+                    }
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Sym(s) => {
+            out.push(':');
+            out.push_str(s);
+        }
+        ExprKind::Array(elems) => {
+            out.push('[');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, el, level);
+            }
+            out.push(']');
+        }
+        ExprKind::Hash(pairs) => {
+            out.push_str("{ ");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, k, level);
+                out.push_str(" => ");
+                write_expr(out, v, level);
+            }
+            out.push_str(" }");
+        }
+        ExprKind::Range { lo, hi, exclusive } => {
+            write_paren(out, lo, level);
+            out.push_str(if *exclusive { "..." } else { ".." });
+            write_paren(out, hi, level);
+        }
+        ExprKind::Local(n) => out.push_str(n),
+        ExprKind::IVar(n) => {
+            out.push('@');
+            out.push_str(n);
+        }
+        ExprKind::CVar(n) => {
+            out.push_str("@@");
+            out.push_str(n);
+        }
+        ExprKind::GVar(n) => {
+            out.push('$');
+            out.push_str(n);
+        }
+        ExprKind::Const(path) => out.push_str(&path.join("::")),
+        ExprKind::Assign { target, value } => {
+            write_lhs(out, target, level);
+            out.push_str(" = ");
+            write_expr(out, value, level);
+        }
+        ExprKind::OpAssign { target, op, value } => {
+            write_lhs(out, target, level);
+            out.push(' ');
+            out.push_str(op);
+            out.push_str("= ");
+            write_expr(out, value, level);
+        }
+        ExprKind::Call {
+            recv,
+            name,
+            args,
+            block,
+        } => {
+            // Operator calls print in operator form when unambiguous.
+            let is_op = matches!(
+                name.as_str(),
+                "+" | "-" | "*" | "/" | "%" | "**" | "==" | "!=" | "<" | ">" | "<=" | ">="
+                    | "<=>" | "<<" | ">>"
+            );
+            if let (Some(r), true, 1, None) = (recv, is_op, args.len(), block.as_ref()) {
+                if let Arg::Pos(rhs) = &args[0] {
+                    out.push('(');
+                    write_paren(out, r, level);
+                    out.push(' ');
+                    out.push_str(name);
+                    out.push(' ');
+                    write_paren(out, rhs, level);
+                    out.push(')');
+                    return;
+                }
+            }
+            if name == "[]" && recv.is_some() && block.is_none() {
+                write_paren(out, recv.as_ref().unwrap(), level);
+                out.push('[');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    if let Arg::Pos(e) = a {
+                        write_expr(out, e, level);
+                    }
+                }
+                out.push(']');
+                return;
+            }
+            if name == "-@" && recv.is_some() && args.is_empty() {
+                out.push_str("-(");
+                write_expr(out, recv.as_ref().unwrap(), level);
+                out.push(')');
+                return;
+            }
+            if let Some(r) = recv {
+                write_paren(out, r, level);
+                out.push('.');
+            }
+            out.push_str(name);
+            write_args(out, args, level);
+            if let Some(b) = block {
+                write_block(out, b, level);
+            }
+        }
+        ExprKind::Yield(args) => {
+            out.push_str("yield");
+            if !args.is_empty() {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, a, level);
+                }
+                out.push(')');
+            }
+        }
+        ExprKind::Super { args } => {
+            out.push_str("super");
+            if let Some(args) = args {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, a, level);
+                }
+                out.push(')');
+            }
+        }
+        ExprKind::And(l, r) => {
+            write_paren(out, l, level);
+            out.push_str(" && ");
+            write_paren(out, r, level);
+        }
+        ExprKind::Or(l, r) => {
+            write_paren(out, l, level);
+            out.push_str(" || ");
+            write_paren(out, r, level);
+        }
+        ExprKind::Not(e) => {
+            out.push('!');
+            write_paren(out, e, level);
+        }
+        ExprKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push_str("if ");
+            write_expr(out, cond, level);
+            out.push('\n');
+            write_body(out, then_body, level + 1);
+            if !else_body.is_empty() {
+                indent(out, level);
+                out.push_str("else\n");
+                write_body(out, else_body, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::While { cond, body } => {
+            out.push_str("while ");
+            write_expr(out, cond, level);
+            out.push('\n');
+            write_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::Case {
+            scrutinee,
+            whens,
+            else_body,
+        } => {
+            out.push_str("case");
+            if let Some(s) = scrutinee {
+                out.push(' ');
+                write_expr(out, s, level);
+            }
+            out.push('\n');
+            for (pats, body) in whens {
+                indent(out, level);
+                out.push_str("when ");
+                for (i, p) in pats.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, p, level);
+                }
+                out.push('\n');
+                write_body(out, body, level + 1);
+            }
+            if !else_body.is_empty() {
+                indent(out, level);
+                out.push_str("else\n");
+                write_body(out, else_body, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::Begin {
+            body,
+            rescues,
+            ensure_body,
+        } => {
+            out.push_str("begin\n");
+            write_body(out, body, level + 1);
+            for r in rescues {
+                indent(out, level);
+                out.push_str("rescue");
+                for (i, c) in r.classes.iter().enumerate() {
+                    out.push_str(if i == 0 { " " } else { ", " });
+                    write_expr(out, c, level);
+                }
+                if let Some(v) = &r.var {
+                    out.push_str(" => ");
+                    out.push_str(v);
+                }
+                out.push('\n');
+                write_body(out, &r.body, level + 1);
+            }
+            if !ensure_body.is_empty() {
+                indent(out, level);
+                out.push_str("ensure\n");
+                write_body(out, ensure_body, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::Return(v) => {
+            out.push_str("return");
+            if let Some(v) = v {
+                out.push(' ');
+                write_expr(out, v, level);
+            }
+        }
+        ExprKind::Break(v) => {
+            out.push_str("break");
+            if let Some(v) = v {
+                out.push(' ');
+                write_expr(out, v, level);
+            }
+        }
+        ExprKind::Next(v) => {
+            out.push_str("next");
+            if let Some(v) = v {
+                out.push(' ');
+                write_expr(out, v, level);
+            }
+        }
+        ExprKind::ClassDef {
+            path,
+            superclass,
+            body,
+        } => {
+            out.push_str("class ");
+            out.push_str(&path.join("::"));
+            if let Some(s) = superclass {
+                out.push_str(" < ");
+                write_expr(out, s, level);
+            }
+            out.push('\n');
+            write_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::ModuleDef { path, body } => {
+            out.push_str("module ");
+            out.push_str(&path.join("::"));
+            out.push('\n');
+            write_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end");
+        }
+        ExprKind::MethodDef(d) => {
+            out.push_str("def ");
+            if d.self_method {
+                out.push_str("self.");
+            }
+            out.push_str(&d.name);
+            out.push('(');
+            for (i, p) in d.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_param(out, p, level);
+            }
+            out.push_str(")\n");
+            write_body(out, &d.body, level + 1);
+            indent(out, level);
+            out.push_str("end");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Parses, prints, re-parses, re-prints; both prints must agree.
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src, "t.rb").unwrap_or_else(|e| panic!("parse 1 ({src:?}): {e}"));
+        let s1 = pretty_program(&p1);
+        let p2 =
+            parse_program(&s1, "t.rb").unwrap_or_else(|e| panic!("parse 2 ({s1:?}): {e}"));
+        let s2 = pretty_program(&p2);
+        assert_eq!(s1, s2, "pretty-print not stable for {src:?}");
+    }
+
+    #[test]
+    fn roundtrips_core_forms() {
+        roundtrip("x = 1 + 2 * 3");
+        roundtrip("a.b(1).c { |x| x }");
+        roundtrip("h = { :a => 1, \"b\" => 2 }");
+        roundtrip("if a\n b\nelse\n c\nend");
+        roundtrip("while x < 10\n x += 1\nend");
+        roundtrip("def m(a, b = 1, *rest, &blk)\n yield(a)\nend");
+        roundtrip("class A < B\n def m(x)\n  x\n end\nend");
+        roundtrip("module M::N\n def f\n  1\n end\nend");
+        roundtrip("\"is_#{role}_ok?\"");
+        roundtrip("begin\n a\nrescue E => e\n b\nensure\n c\nend");
+        roundtrip("case x\nwhen 1, 2\n a\nelse\n b\nend");
+        roundtrip("return 1 if done");
+        roundtrip("xs.map { |t| t.name }");
+        roundtrip("@x ||= [1, 2, 3]");
+        roundtrip("a[1] = b.c");
+        roundtrip("-x() ** 2");
+        roundtrip("1..10");
+        roundtrip("super(1, 2)");
+    }
+
+    #[test]
+    fn operator_calls_print_infix() {
+        let e = parse_expr("a() + b()").unwrap();
+        assert_eq!(pretty_expr(&e), "(a() + b())");
+    }
+
+    #[test]
+    fn escapes_survive() {
+        roundtrip(r#"s = "line\nwith \"quotes\" and \#{not interp}""#);
+    }
+
+    #[test]
+    fn float_formatting_reparses() {
+        roundtrip("x = 2.0");
+        roundtrip("x = 0.5");
+    }
+}

@@ -1,0 +1,164 @@
+//! Source locations, spans and the source map.
+
+use std::fmt;
+
+/// Identifies a source file registered in a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FileId(pub u32);
+
+/// A half-open byte range `[lo, hi)` within a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub file: FileId,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[lo, hi)` in `file`.
+    pub fn new(file: FileId, lo: u32, hi: u32) -> Span {
+        Span { file, lo, hi }
+    }
+
+    /// A zero-width placeholder span (used for synthesised nodes).
+    pub fn dummy() -> Span {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Both spans must refer to the same file; if they do not, `self`'s file
+    /// wins (this only happens for synthesised nodes).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            file: self.file,
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// A registered source file: name plus full text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub name: String,
+    pub text: String,
+    /// Byte offsets of the start of each line.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: String, text: String) -> SourceFile {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name,
+            text,
+            line_starts,
+        }
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The 1-based line number of a byte offset.
+    pub fn line(&self, offset: u32) -> u32 {
+        self.line_col(offset).0
+    }
+}
+
+/// Registry of all source files seen by the front-end, used to render
+/// human-readable positions in diagnostics.
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> SourceMap {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name.into(), text.into()));
+        id
+    }
+
+    /// Looks up a registered file.
+    pub fn file(&self, id: FileId) -> Option<&SourceFile> {
+        self.files.get(id.0 as usize)
+    }
+
+    /// Renders `span` as `name:line:col` if the file is known.
+    pub fn describe(&self, span: Span) -> String {
+        match self.file(span.file) {
+            Some(f) => {
+                let (l, c) = f.line_col(span.lo);
+                format!("{}:{}:{}", f.name, l, c)
+            }
+            None => "<unknown>".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_takes_extremes() {
+        let a = Span::new(FileId(0), 4, 9);
+        let b = Span::new(FileId(0), 2, 6);
+        let j = a.to(b);
+        assert_eq!((j.lo, j.hi), (2, 9));
+    }
+
+    #[test]
+    fn line_col_lookup() {
+        let f = SourceFile::new("t.rb".into(), "ab\ncd\nef".into());
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+    }
+
+    #[test]
+    fn line_col_at_newline_boundary() {
+        let f = SourceFile::new("t.rb".into(), "ab\ncd".into());
+        // The newline itself belongs to line 1.
+        assert_eq!(f.line_col(2), (1, 3));
+    }
+
+    #[test]
+    fn source_map_describe() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("app.rb", "x = 1\ny = 2\n");
+        let sp = Span::new(id, 6, 7);
+        assert_eq!(sm.describe(sp), "app.rb:2:1");
+    }
+
+    #[test]
+    fn describe_unknown_file() {
+        let sm = SourceMap::new();
+        assert_eq!(sm.describe(Span::dummy()), "<unknown>");
+    }
+}

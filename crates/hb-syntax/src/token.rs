@@ -1,0 +1,367 @@
+//! Token definitions for the RubyLite lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexed token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// One fragment of a (possibly interpolated) string literal.
+///
+/// Interpolation bodies are kept as raw source text; the parser re-lexes and
+/// parses them on demand so the lexer stays non-recursive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrTokenPart {
+    Lit(String),
+    /// The raw source between `#{` and the matching `}`.
+    Interp(String),
+}
+
+/// The kinds of RubyLite tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    Int(i64),
+    Float(f64),
+    /// Double-quoted string, possibly containing interpolations.
+    Str(Vec<StrTokenPart>),
+    /// A symbol literal such as `:owner`, `:[]=` or `:+`.
+    Symbol(String),
+
+    // Names
+    /// Lower-case identifier, possibly ending in `?` or `!`.
+    Ident(String),
+    /// Upper-case (constant/class) identifier.
+    Const(String),
+    /// `@ivar`
+    IVar(String),
+    /// `@@cvar`
+    CVar(String),
+    /// `$gvar`
+    GVar(String),
+    /// `name:` — a hash-label (identifier immediately followed by `:`).
+    Label(String),
+
+    // Keywords
+    KwClass,
+    KwModule,
+    KwDef,
+    KwEnd,
+    KwIf,
+    KwElsif,
+    KwElse,
+    KwUnless,
+    KwWhile,
+    KwUntil,
+    KwCase,
+    KwWhen,
+    KwThen,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwNext,
+    KwNil,
+    KwTrue,
+    KwFalse,
+    KwSelf,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwBegin,
+    KwRescue,
+    KwEnsure,
+    KwYield,
+    KwSuper,
+
+    // Operators & punctuation
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Spaceship,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    OrOrAssign,
+    AndAndAssign,
+    ShiftL,
+    ShiftR,
+    Question,
+    Colon,
+    ColonColon,
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Pipe,
+    Amp,
+    FatArrow,
+    DotDot,
+    DotDotDot,
+    Semi,
+    Newline,
+    Eof,
+}
+
+impl TokenKind {
+    /// True for tokens after which a newline is insignificant (the expression
+    /// must continue on the next line).
+    pub fn suppresses_newline(&self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            Plus | Minus
+                | Star
+                | StarStar
+                | Slash
+                | Percent
+                | EqEq
+                | NotEq
+                | Spaceship
+                | Lt
+                | Gt
+                | LtEq
+                | GtEq
+                | AndAnd
+                | OrOr
+                | Assign
+                | PlusAssign
+                | MinusAssign
+                | StarAssign
+                | SlashAssign
+                | PercentAssign
+                | OrOrAssign
+                | AndAndAssign
+                | ShiftL
+                | ShiftR
+                | Question
+                | ColonColon
+                | Dot
+                | Comma
+                | LParen
+                | LBracket
+                | FatArrow
+                | DotDot
+                | DotDotDot
+                | Pipe
+                | KwAnd
+                | KwOr
+                | KwNot
+                | KwIf
+                | KwElsif
+                | KwElse
+                | KwUnless
+                | KwWhile
+                | KwUntil
+                | KwWhen
+                | KwCase
+                | KwThen
+                | KwDo
+                | KwBegin
+                | KwRescue
+                | Semi
+                | Newline
+                | Label(_)
+        )
+    }
+
+    /// Returns the keyword kind for a raw identifier, if it is one.
+    pub fn keyword(name: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match name {
+            "class" => KwClass,
+            "module" => KwModule,
+            "def" => KwDef,
+            "end" => KwEnd,
+            "if" => KwIf,
+            "elsif" => KwElsif,
+            "else" => KwElse,
+            "unless" => KwUnless,
+            "while" => KwWhile,
+            "until" => KwUntil,
+            "case" => KwCase,
+            "when" => KwWhen,
+            "then" => KwThen,
+            "do" => KwDo,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "next" => KwNext,
+            "nil" => KwNil,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "self" => KwSelf,
+            "and" => KwAnd,
+            "or" => KwOr,
+            "not" => KwNot,
+            "begin" => KwBegin,
+            "rescue" => KwRescue,
+            "ensure" => KwEnsure,
+            "yield" => KwYield,
+            "super" => KwSuper,
+            _ => return None,
+        })
+    }
+
+    /// The method-name spelling of a keyword (keywords may be used as method
+    /// names after `.` or `def`).
+    pub fn keyword_name(&self) -> Option<&'static str> {
+        use TokenKind::*;
+        Some(match self {
+            KwClass => "class",
+            KwModule => "module",
+            KwDef => "def",
+            KwEnd => "end",
+            KwIf => "if",
+            KwElsif => "elsif",
+            KwElse => "else",
+            KwUnless => "unless",
+            KwWhile => "while",
+            KwUntil => "until",
+            KwCase => "case",
+            KwWhen => "when",
+            KwThen => "then",
+            KwDo => "do",
+            KwReturn => "return",
+            KwBreak => "break",
+            KwNext => "next",
+            KwNil => "nil",
+            KwTrue => "true",
+            KwFalse => "false",
+            KwSelf => "self",
+            KwAnd => "and",
+            KwOr => "or",
+            KwNot => "not",
+            KwBegin => "begin",
+            KwRescue => "rescue",
+            KwEnsure => "ensure",
+            KwYield => "yield",
+            KwSuper => "super",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(n) => write!(f, "{n}"),
+            Float(x) => write!(f, "{x}"),
+            Str(_) => write!(f, "string literal"),
+            Symbol(s) => write!(f, ":{s}"),
+            Ident(s) | Const(s) => write!(f, "{s}"),
+            IVar(s) => write!(f, "@{s}"),
+            CVar(s) => write!(f, "@@{s}"),
+            GVar(s) => write!(f, "${s}"),
+            Label(s) => write!(f, "{s}:"),
+            Newline => write!(f, "newline"),
+            Eof => write!(f, "end of input"),
+            k => {
+                if let Some(n) = k.keyword_name() {
+                    return write!(f, "{n}");
+                }
+                let s = match k {
+                    Plus => "+",
+                    Minus => "-",
+                    Star => "*",
+                    StarStar => "**",
+                    Slash => "/",
+                    Percent => "%",
+                    EqEq => "==",
+                    NotEq => "!=",
+                    Spaceship => "<=>",
+                    Lt => "<",
+                    Gt => ">",
+                    LtEq => "<=",
+                    GtEq => ">=",
+                    AndAnd => "&&",
+                    OrOr => "||",
+                    Bang => "!",
+                    Assign => "=",
+                    PlusAssign => "+=",
+                    MinusAssign => "-=",
+                    StarAssign => "*=",
+                    SlashAssign => "/=",
+                    PercentAssign => "%=",
+                    OrOrAssign => "||=",
+                    AndAndAssign => "&&=",
+                    ShiftL => "<<",
+                    ShiftR => ">>",
+                    Question => "?",
+                    Colon => ":",
+                    ColonColon => "::",
+                    Dot => ".",
+                    Comma => ",",
+                    LParen => "(",
+                    RParen => ")",
+                    LBracket => "[",
+                    RBracket => "]",
+                    LBrace => "{",
+                    RBrace => "}",
+                    Pipe => "|",
+                    Amp => "&",
+                    FatArrow => "=>",
+                    DotDot => "..",
+                    DotDotDot => "...",
+                    Semi => ";",
+                    _ => "?",
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_roundtrip() {
+        for name in ["class", "def", "end", "yield", "super", "rescue"] {
+            let k = TokenKind::keyword(name).unwrap();
+            assert_eq!(k.keyword_name(), Some(name));
+        }
+        assert!(TokenKind::keyword("frobnicate").is_none());
+    }
+
+    #[test]
+    fn newline_suppression_classes() {
+        assert!(TokenKind::Plus.suppresses_newline());
+        assert!(TokenKind::Comma.suppresses_newline());
+        assert!(TokenKind::Dot.suppresses_newline());
+        assert!(!TokenKind::RParen.suppresses_newline());
+        assert!(!TokenKind::Ident("x".into()).suppresses_newline());
+        assert!(!TokenKind::KwEnd.suppresses_newline());
+    }
+
+    #[test]
+    fn display_of_common_tokens() {
+        assert_eq!(TokenKind::FatArrow.to_string(), "=>");
+        assert_eq!(TokenKind::Symbol("owner".into()).to_string(), ":owner");
+        assert_eq!(TokenKind::KwDef.to_string(), "def");
+        assert_eq!(TokenKind::Label("name".into()).to_string(), "name:");
+    }
+}

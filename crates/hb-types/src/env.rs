@@ -1,0 +1,174 @@
+//! The flow-sensitive type environment `Γ`.
+
+use crate::subtype::Hierarchy;
+use crate::ty::Type;
+use std::collections::BTreeMap;
+
+/// A type environment mapping local variables to types.
+///
+/// Supports the paper's join `(Γ1 ⊔ Γ2)(x) = Γ1(x) ⊔ Γ2(x)` when `x` is
+/// bound in both environments and undefined otherwise (rule (TIf)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeEnv {
+    vars: BTreeMap<String, Type>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Binds `name` to `ty` (flow-sensitive assignment).
+    pub fn assign(&mut self, name: impl Into<String>, ty: Type) {
+        self.vars.insert(name.into(), ty);
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name)
+    }
+
+    /// True if the variable is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// The number of bound variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Type)> {
+        self.vars.iter()
+    }
+
+    /// The paper's `Γ1 ⊔ Γ2`: variables bound in both are joined with `⊔`;
+    /// variables bound in only one side are dropped.
+    pub fn join(&self, other: &TypeEnv, hier: &dyn Hierarchy) -> TypeEnv {
+        let mut out = TypeEnv::new();
+        for (k, v) in &self.vars {
+            if let Some(w) = other.vars.get(k) {
+                out.vars.insert(k.clone(), v.lub(w, hier));
+            }
+        }
+        out
+    }
+
+    /// Widening join used at loop heads: like [`TypeEnv::join`] but keeps
+    /// variables bound only on the accumulated side so loop-carried bindings
+    /// are not lost while the fixpoint is still growing.
+    pub fn join_keep_left(&self, other: &TypeEnv, hier: &dyn Hierarchy) -> TypeEnv {
+        let mut out = self.clone();
+        for (k, v) in &other.vars {
+            match out.vars.get(k) {
+                Some(w) => {
+                    let j = w.lub(v, hier);
+                    out.vars.insert(k.clone(), j);
+                }
+                None => {}
+            }
+        }
+        out
+    }
+
+    /// Environment subsumption `Γ1 ≤ Γ2` (Definition 6): every variable of
+    /// `Γ2` is bound in `Γ1` at a subtype.
+    pub fn subsumes(&self, weaker: &TypeEnv, hier: &dyn Hierarchy) -> bool {
+        weaker.vars.iter().all(|(k, w)| {
+            self.vars
+                .get(k)
+                .is_some_and(|v| v.is_subtype(w, hier))
+        })
+    }
+}
+
+impl FromIterator<(String, Type)> for TypeEnv {
+    fn from_iter<I: IntoIterator<Item = (String, Type)>>(iter: I) -> TypeEnv {
+        TypeEnv {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subtype::{MapHierarchy, NoHierarchy};
+
+    #[test]
+    fn assign_and_get() {
+        let mut env = TypeEnv::new();
+        assert!(env.is_empty());
+        env.assign("x", Type::nominal("User"));
+        assert_eq!(env.get("x"), Some(&Type::nominal("User")));
+        env.assign("x", Type::Nil);
+        assert_eq!(env.get("x"), Some(&Type::Nil));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn join_drops_one_sided_bindings() {
+        let h = NoHierarchy;
+        let g1: TypeEnv = [
+            ("x".to_string(), Type::nominal("A")),
+            ("y".to_string(), Type::nominal("B")),
+        ]
+        .into_iter()
+        .collect();
+        let g2: TypeEnv = [("x".to_string(), Type::nominal("A"))].into_iter().collect();
+        let j = g1.join(&g2, &h);
+        assert!(j.contains("x"));
+        assert!(!j.contains("y"));
+    }
+
+    #[test]
+    fn join_lubs_common_bindings() {
+        let h = MapHierarchy::with_numeric_tower();
+        let g1: TypeEnv = [("x".to_string(), Type::nominal("Fixnum"))]
+            .into_iter()
+            .collect();
+        let g2: TypeEnv = [("x".to_string(), Type::nominal("Float"))]
+            .into_iter()
+            .collect();
+        let j = g1.join(&g2, &h);
+        assert_eq!(j.get("x").unwrap().to_string(), "Fixnum or Float");
+    }
+
+    #[test]
+    fn join_keep_left_preserves_left_bindings() {
+        let h = NoHierarchy;
+        let g1: TypeEnv = [
+            ("x".to_string(), Type::nominal("A")),
+            ("y".to_string(), Type::nominal("B")),
+        ]
+        .into_iter()
+        .collect();
+        let g2: TypeEnv = [("x".to_string(), Type::Nil)].into_iter().collect();
+        let j = g1.join_keep_left(&g2, &h);
+        assert!(j.contains("y"));
+        assert_eq!(j.get("x").unwrap().to_string(), "A");
+    }
+
+    #[test]
+    fn subsumption() {
+        let h = MapHierarchy::with_numeric_tower();
+        let strong: TypeEnv = [
+            ("x".to_string(), Type::nominal("Fixnum")),
+            ("y".to_string(), Type::nominal("B")),
+        ]
+        .into_iter()
+        .collect();
+        let weak: TypeEnv = [("x".to_string(), Type::nominal("Integer"))]
+            .into_iter()
+            .collect();
+        assert!(strong.subsumes(&weak, &h));
+        assert!(!weak.subsumes(&strong, &h));
+    }
+}

@@ -1,0 +1,32 @@
+//! The RDL-style type language used by Hummingbird.
+//!
+//! Types are written in strings attached to methods at run time, e.g.
+//! `"(User) -> %bool"` or `"() { (T) -> U } -> nil"`. This crate provides the
+//! representation ([`Type`], [`MethodType`], [`MethodSig`]), the parser for
+//! those strings, subtyping with `nil ≤ τ` and a pluggable nominal
+//! [`Hierarchy`], least upper bounds (the paper's `⊔`), and the
+//! flow-sensitive type environment `Γ`.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_types::{parse_method_type, parse_type, NoHierarchy, Type};
+//!
+//! let mt = parse_method_type("(Fixnum or Float) -> String").unwrap();
+//! assert_eq!(mt.params.len(), 1);
+//! let nil = parse_type("nil").unwrap();
+//! let user = parse_type("User").unwrap();
+//! // nil is a subtype of every type (paper Section 3).
+//! assert!(nil.is_subtype(&user, &NoHierarchy));
+//! assert_eq!(Type::nil().lub(&user, &NoHierarchy), user);
+//! ```
+
+pub mod env;
+pub mod parse;
+pub mod subtype;
+pub mod ty;
+
+pub use env::TypeEnv;
+pub use parse::{parse_method_type, parse_type, TypeParseError};
+pub use subtype::{Hierarchy, MapHierarchy, NoHierarchy};
+pub use ty::{MethodSig, MethodType, ParamMode, ParamType, Type};

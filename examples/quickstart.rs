@@ -1,0 +1,50 @@
+//! Quickstart: annotate a method, call it, and watch Hummingbird check it
+//! just in time — then catch a type error at call time.
+//!
+//! Run with: `cargo run -p hb-apps --example quickstart`
+
+use hummingbird::Hummingbird;
+
+fn main() {
+    let mut hb = Hummingbird::new();
+
+    // Type annotations are ordinary code that runs at class-load time.
+    hb.eval(
+        r#"
+class Greeter
+  type :greet, "(String) -> String", { "check" => true }
+  def greet(name)
+    "hello, " + name
+  end
+end
+"#,
+    )
+    .expect("class loads without checking anything yet");
+    println!("after load: {} checks", hb.stats().checks_performed);
+
+    // The first call statically checks the whole body; later calls hit the
+    // derivation cache.
+    hb.eval("puts Greeter.new.greet(\"hummingbird\")").unwrap();
+    hb.eval("Greeter.new.greet(\"again\")").unwrap();
+    print!("{}", hb.interp.take_output());
+    let s = hb.stats();
+    println!(
+        "after calls: {} check(s), {} cache hit(s)",
+        s.checks_performed, s.cache_hits
+    );
+
+    // A body that cannot satisfy its type blames at the first call, not at
+    // definition.
+    hb.eval(
+        r#"
+class Greeter
+  def greet(name)
+    name + 1
+  end
+end
+"#,
+    )
+    .expect("redefinition is fine until someone calls it");
+    let err = hb.eval("Greeter.new.greet(\"boom\")").unwrap_err();
+    println!("caught just in time: {err}");
+}

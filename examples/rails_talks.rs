@@ -1,0 +1,36 @@
+//! The Talks Rails app end to end: metaprogramming generates methods AND
+//! their types (paper Fig. 1), then controller/model bodies statically
+//! check at first call while requests flow.
+//!
+//! Run with: `cargo run -p hb-apps --example rails_talks`
+
+use hb_apps::{build_app, run_workload, talks};
+use hummingbird::Mode;
+
+fn main() {
+    let spec = talks();
+    let mut hb = build_app(&spec, Mode::Full);
+
+    let page = hb
+        .eval("$router.dispatch(\"GET\", \"/talks\")")
+        .expect("index renders");
+    println!("GET /talks:\n{}\n", hb.interp.value_to_s(&page).unwrap());
+
+    run_workload(&spec, &mut hb, 3);
+
+    let s = hb.stats();
+    let r = hb.rdl_stats();
+    println!("statically checked methods ({}):", s.checked_methods.len());
+    for m in &s.checked_methods {
+        println!("  {m}");
+    }
+    println!();
+    println!(
+        "dynamically generated types: {} ({} used during checking)",
+        r.dynamic_generated, r.dynamic_used
+    );
+    println!(
+        "checks: {}  cache hits: {}  dynamic arg checks: {}",
+        s.checks_performed, s.cache_hits, s.dyn_arg_checks
+    );
+}

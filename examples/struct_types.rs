@@ -1,0 +1,38 @@
+//! Paper Fig. 3: the programmer writes ordinary Ruby (`Struct.add_types`)
+//! that generates type signatures for Struct-created getters/setters, and
+//! Hummingbird checks consumers against them.
+//!
+//! Run with: `cargo run -p hb-apps --example struct_types`
+
+use hb_apps::{build_app, cct};
+use hummingbird::{Mode, MethodKey};
+
+fn main() {
+    let spec = cct();
+    let mut hb = build_app(&spec, Mode::Full);
+
+    // The annotation file already ran Transaction.add_types(...). Inspect
+    // what it generated.
+    for m in ["kind", "account_name", "amount"] {
+        let key = MethodKey::instance("Transaction", m);
+        let e = hb.rdl.entry(&key).expect("generated type");
+        println!("Transaction#{m} : {}", e.sig);
+    }
+
+    hb.eval("cct_run_once(20)").expect("transactions process");
+    let s = hb.stats();
+    println!(
+        "\nprocess_transactions checked against the generated Struct types: {:?}",
+        s.checked_methods
+            .iter()
+            .filter(|m| m.starts_with("ApplicationRunner"))
+            .collect::<Vec<_>>()
+    );
+
+    // Feed a transaction whose amount violates the generated type — the
+    // dynamic half of the system reports it.
+    let err = hb
+        .eval("t = Transaction.new(\"credit\", \"acct\", 99)\nt.amount.rdl_cast(\"String\")")
+        .unwrap_err();
+    println!("\nbad data caught dynamically: {err}");
+}

@@ -1,0 +1,14 @@
+//! The six historical Talks type errors (paper §5): each introduced in a
+//! past version of the app and reported by Hummingbird at the first call
+//! of the offending method.
+//!
+//! Run with: `cargo run -p hb-apps --example type_errors`
+
+use hb_apps::talks_history::{error_versions, run_error_version};
+
+fn main() {
+    for v in error_versions() {
+        println!("== version {} — {}", v.version, v.description);
+        println!("   {}\n", run_error_version(&v));
+    }
+}

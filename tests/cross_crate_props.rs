@@ -1,0 +1,87 @@
+//! Cross-crate property tests: random RubyLite programs round-trip through
+//! the whole front end, and the engine's caching is idempotent on repeated
+//! calls for arbitrary generated class shapes.
+
+use hb_il::{collect_method_defs, lower_method};
+use hb_syntax::{parse_program, pretty_program};
+use hummingbird::Hummingbird;
+use proptest::prelude::*;
+
+/// Generates small well-formed RubyLite class sources.
+fn arb_class_source() -> impl Strategy<Value = String> {
+    let body_stmt = prop_oneof![
+        Just("x = x + 1".to_string()),
+        Just("x = x * 2".to_string()),
+        Just("y = x.to_s".to_string()),
+        Just("return x if x > 100".to_string()),
+        Just("x = x - 1 unless x < 0".to_string()),
+    ];
+    (prop::collection::vec(body_stmt, 1..4), 1u8..4).prop_map(|(stmts, n_methods)| {
+        let mut src = String::from("class Gen\n");
+        for m in 0..n_methods {
+            src.push_str(&format!("  def m{m}(x)\n"));
+            for s in &stmts {
+                src.push_str("    ");
+                src.push_str(s);
+                src.push('\n');
+            }
+            src.push_str("    x\n  end\n");
+        }
+        src.push_str("end\n");
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → pretty → parse → pretty is a fixpoint, and lowering the
+    /// reparsed program matches lowering the original (spans aside).
+    #[test]
+    fn front_end_round_trips(src in arb_class_source()) {
+        let p1 = parse_program(&src, "gen.rb").unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse_program(&printed, "gen.rb").unwrap();
+        prop_assert_eq!(pretty_program(&p2), printed);
+        let d1 = collect_method_defs(&p1);
+        let d2 = collect_method_defs(&p2);
+        prop_assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            let ca = lower_method(&a.def);
+            let cb = lower_method(&b.def);
+            prop_assert!(ca.same_shape(&cb), "lowering differs for {}", a.name);
+        }
+    }
+
+    /// For generated programs that type check, repeated calls never
+    /// re-check (cache idempotence), and check counts equal method counts.
+    #[test]
+    fn engine_checks_each_generated_method_once(src in arb_class_source(), calls in 1usize..4) {
+        let p = parse_program(&src, "gen.rb").unwrap();
+        let n_methods = collect_method_defs(&p).len();
+        let mut hb = Hummingbird::new();
+        hb.eval(&src).unwrap();
+        for m in 0..n_methods {
+            hb.eval(&format!(
+                "class Gen\n type :m{m}, \"(Fixnum) -> Fixnum\", {{ \"check\" => true }}\nend"
+            ))
+            .unwrap();
+        }
+        let mut failed = false;
+        for _ in 0..calls {
+            for m in 0..n_methods {
+                if hb.eval(&format!("Gen.new.m{m}(7)")).is_err() {
+                    failed = true;
+                }
+            }
+        }
+        if !failed {
+            let s = hb.stats();
+            prop_assert_eq!(s.checks_performed as usize, n_methods);
+            prop_assert_eq!(
+                s.cache_hits as usize,
+                n_methods * (calls - 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: the full pipeline from source text
+//! through parsing, lowering, annotation, execution and just-in-time
+//! checking, spanning every workspace crate through public APIs only.
+
+use hb_il::{collect_method_defs, lower_method};
+use hb_syntax::parse_program;
+use hummingbird::{ErrorKind, Hummingbird, Mode, MethodKey};
+
+#[test]
+fn parse_lower_check_run_pipeline() {
+    // 1. Front end: parse and lower standalone.
+    let src = "def double(x)\n x + x\nend";
+    let program = parse_program(src, "pipeline.rb").unwrap();
+    let defs = collect_method_defs(&program);
+    let cfg = lower_method(&defs[0].def);
+    assert_eq!(cfg.params.len(), 1);
+
+    // 2. Full system: same code annotated and executed.
+    let mut hb = Hummingbird::new();
+    hb.eval(
+        "class Math2\n type :double, \"(Fixnum) -> Fixnum\", { \"check\" => true }\n def double(x)\n  x + x\n end\nend\nMath2.new.double(21)",
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+}
+
+#[test]
+fn metaprogramming_to_checking_round_trip() {
+    // define_method + pre-generated annotation + JIT check + cache, across
+    // hb-interp, hb-rdl, hb-check and the engine.
+    let mut hb = Hummingbird::new();
+    hb.eval(
+        r#"
+class Widget
+  type :base, "() -> Fixnum", { "check" => true }
+  def base
+    10
+  end
+end
+pre Widget, :make_getter do |n|
+  type "get_#{n}", "() -> Fixnum", { "check" => true }
+  true
+end
+class Widget
+  def make_getter(n)
+    self.class.class_eval do
+      define_method("get_#{n}") do
+        base + 1
+      end
+    end
+  end
+end
+type Widget, :make_getter, "(String) -> %any"
+w = Widget.new
+w.make_getter("size")
+w.get_size
+w.get_size
+"#,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert!(s.checked_methods.contains("Widget#get_size"), "{:?}", s.checked_methods);
+    assert!(s.cache_hits >= 1);
+    // The generated method's annotation exists and is dynamic.
+    let e = hb.rdl.entry(&MethodKey::instance("Widget", "get_size")).unwrap();
+    assert_eq!(e.sig.to_string(), "() -> Fixnum");
+}
+
+#[test]
+fn rails_substrate_composes_with_engine() {
+    let mut hb = Hummingbird::new();
+    hb_rails::install_rails(&mut hb, true).unwrap();
+    hb.eval(
+        r#"
+DB.create_table("gadgets", { "label" => "String" })
+class Gadget < ActiveRecord::Base
+  def shout
+    label.upcase
+  end
+end
+annotate_model(Gadget)
+type Gadget, :shout, "() -> String", { "check" => true }
+Gadget.create({ "label" => "live" })
+Gadget.find(1).shout
+"#,
+    )
+    .unwrap();
+    assert!(hb.stats().checked_methods.contains("Gadget#shout"));
+    // Schema-generated getter type was consulted by that check.
+    assert!(hb.rdl_stats().dynamic_used >= 1);
+}
+
+#[test]
+fn blame_propagates_uncaught_through_rescue() {
+    let mut hb = Hummingbird::new();
+    let err = hb
+        .eval(
+            r#"
+class Fragile
+  type :boom, "() -> Fixnum", { "check" => true }
+  def boom
+    "not a number"
+  end
+end
+result = "nothing"
+begin
+  Fragile.new.boom
+rescue => e
+  result = "rescued"
+end
+result
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+}
+
+#[test]
+fn modes_agree_on_program_results() {
+    // The three evaluation modes must compute the same values — checking
+    // changes when errors surface, not behaviour of correct programs.
+    let program = r#"
+class Calc
+  type :fib, "(Fixnum) -> Fixnum", { "check" => true }
+  def fib(n)
+    return n if n < 2
+    fib(n - 1) + fib(n - 2)
+  end
+end
+Calc.new.fib(12)
+"#;
+    let mut results = Vec::new();
+    for mode in [Mode::Original, Mode::NoCache, Mode::Full] {
+        let mut hb = Hummingbird::with_mode(mode);
+        let v = hb.eval(program).unwrap();
+        results.push(format!("{v:?}"));
+    }
+    assert_eq!(results[0], "144");
+    assert!(results.iter().all(|r| r == "144"), "{results:?}");
+}
+
+#[test]
+fn formal_machine_matches_engine_on_caching_story() {
+    // The formal calculus and the real engine agree on the core behaviour:
+    // one check per method until something changes.
+    use hb_formal::{Cls, Config, Expr, MTy, Mth, PreMethod, RunResult, Ty, VarId};
+    use std::rc::Rc;
+
+    let a = Cls(0);
+    let m = Mth(0);
+    let x = VarId(0);
+    let decl = Expr::TypeDecl(a, m, MTy { dom: Ty::Cls(a), rng: Ty::Cls(a) });
+    let def = Expr::Def(
+        a,
+        m,
+        PreMethod {
+            param: x,
+            body: Rc::new(Expr::Var(x)),
+        },
+    );
+    let call = Expr::Call(Rc::new(Expr::New(a)), m, Rc::new(Expr::New(a)));
+    let p = Expr::Seq(
+        Rc::new(decl),
+        Rc::new(Expr::Seq(
+            Rc::new(def),
+            Rc::new(Expr::Seq(Rc::new(call.clone()), Rc::new(call))),
+        )),
+    );
+    let mut cfg = Config::initial(p);
+    assert!(matches!(cfg.run(1_000, true), RunResult::Value(_)));
+    assert_eq!(cfg.checks_run, 1);
+    assert_eq!(cfg.cache_hits, 1);
+
+    let mut hb = Hummingbird::new();
+    hb.eval(
+        "class A2\n type :m, \"(A2) -> A2\", { \"check\" => true }\n def m(x)\n  x\n end\nend\na = A2.new\na.m(a)\na.m(a)",
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    assert_eq!(hb.stats().cache_hits, 1);
+}
+
+#[test]
+fn union_receivers_and_refinement_compose() {
+    let mut hb = Hummingbird::new();
+    hb.eval(
+        r#"
+class Cat
+  type :speak, "() -> String", { "check" => true }
+  def speak
+    "meow"
+  end
+end
+class Dog
+  type :speak, "() -> String", { "check" => true }
+  def speak
+    "woof"
+  end
+end
+class Shelter
+  type :voice_of, "(Cat or Dog) -> String", { "check" => true }
+  type :maybe_voice, "(Cat or nil) -> String", { "check" => true }
+  def voice_of(animal)
+    animal.speak
+  end
+  def maybe_voice(animal)
+    if animal
+      animal.speak
+    else
+      "silence"
+    end
+  end
+end
+s = Shelter.new
+r1 = s.voice_of(Cat.new)
+r2 = s.voice_of(Dog.new)
+r3 = s.maybe_voice(nil)
+"#,
+    )
+    .unwrap();
+    assert!(hb.stats().checked_methods.contains("Shelter#voice_of"));
+    assert!(hb.stats().checked_methods.contains("Shelter#maybe_voice"));
+}
