@@ -14,16 +14,12 @@ fn bench_overhead(c: &mut Criterion) {
             ("nocache", Mode::NoCache),
             ("hum", Mode::Full),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, spec.name),
-                &mode,
-                |b, &mode| {
-                    // Build once; the workload is what Table 1 times.
-                    let mut hb = build_app(&spec, mode);
-                    run_workload(&spec, &mut hb, 1); // warm caches/defs
-                    b.iter(|| run_workload(&spec, &mut hb, 2));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, spec.name), &mode, |b, &mode| {
+                // Build once; the workload is what Table 1 times.
+                let mut hb = build_app(&spec, mode);
+                run_workload(&spec, &mut hb, 1); // warm caches/defs
+                b.iter(|| run_workload(&spec, &mut hb, 2));
+            });
         }
     }
     group.finish();

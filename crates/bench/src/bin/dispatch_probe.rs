@@ -1,0 +1,64 @@
+//! Measures steady-state (cache-hit) dispatch cost through the engine
+//! hook, isolated from parsing/eval overhead: a Rust-side loop calling an
+//! annotated, already-checked method directly via `Interp::call_method`.
+//!
+//! Prints JSON so the interning ablation (BENCH_dispatch.json) can record
+//! before/after numbers mechanically. The `hook_overhead` figure is the
+//! per-call cost attributable to Hummingbird: hot-path time minus the same
+//! dispatch with the engine disabled.
+
+use hummingbird::{Hummingbird, Mode, Value};
+use std::time::Instant;
+
+const PROGRAM: &str = r#"
+class Probe
+  type :idm, "(Fixnum) -> Fixnum", { "check" => true }
+  def idm(x)
+    x
+  end
+end
+Probe.new.idm(1)
+"#;
+
+fn measure(hb: &mut Hummingbird, iters: u64) -> f64 {
+    let recv = hb.eval("Probe.new").expect("receiver");
+    let span = hb_syntax::Span::dummy();
+    // Warm: first call performs (or skips) the static check.
+    hb.interp
+        .call_method(recv.clone(), "idm", vec![Value::Int(0)], None, span)
+        .expect("warm call");
+    let start = Instant::now();
+    for i in 0..iters {
+        let r = hb
+            .interp
+            .call_method(recv.clone(), "idm", vec![Value::Int(i as i64)], None, span)
+            .expect("hot call");
+        std::hint::black_box(r);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+
+    let mut full = Hummingbird::new();
+    full.eval(PROGRAM).expect("program loads");
+    let hot_ns = measure(&mut full, iters);
+    let stats = full.stats();
+    assert!(stats.cache_hits >= iters, "loop must hit the cache");
+    assert_eq!(stats.checks_performed, 1, "exactly one static check");
+
+    let mut orig = Hummingbird::with_mode(Mode::Original);
+    orig.eval(PROGRAM).expect("program loads");
+    let base_ns = measure(&mut orig, iters);
+
+    println!(
+        "{{\"iters\": {iters}, \"cache_hit_ns_per_call\": {hot_ns:.1}, \
+         \"no_hook_ns_per_call\": {base_ns:.1}, \
+         \"hook_overhead_ns\": {:.1}}}",
+        hot_ns - base_ns
+    );
+}

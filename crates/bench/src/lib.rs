@@ -53,9 +53,6 @@ mod tests {
         let s = format_table1_row(&r);
         assert!(s.contains("Talks"));
         assert!(s.contains("2.0x"));
-        assert_eq!(
-            table1_header().split('|').count(),
-            s.split('|').count()
-        );
+        assert_eq!(table1_header().split('|').count(), s.split('|').count());
     }
 }

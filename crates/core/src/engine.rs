@@ -12,6 +12,7 @@ use crate::info::RegistryInfo;
 use crate::stats::{CheckLogItem, EngineStats, PhaseTracker};
 use hb_check::{check_sig, CheckOptions};
 use hb_il::{lower_block_body, lower_method, MethodCfg};
+use hb_intern::Sym;
 use hb_interp::{
     CallHook, ClassId, DispatchInfo, ErrorKind, HbError, HookOutcome, Interp, InterpEvent,
     MethodBody, Value,
@@ -55,10 +56,25 @@ struct CacheEntry {
     /// The annotation version the body was checked against ((EType)
     /// invalidation: type changes bump it).
     sig_version: u64,
-    /// The (TApp) dependency set of Definition 1(2); retained so cache
-    /// entries are self-describing in debug dumps.
-    #[allow(dead_code)]
+    /// The (TApp) dependency set of Definition 1(2); surfaced through
+    /// [`Engine::cache_dump`] so cached derivations are inspectable.
     deps: BTreeSet<MethodKey>,
+}
+
+/// One cached derivation as reported by [`Engine::cache_dump`]: the cache
+/// key plus everything its validity depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDumpEntry {
+    /// The receiver-class cache key (paper §4 "Modules": module methods
+    /// appear once per mix-in class).
+    pub key: MethodKey,
+    /// The method-table entry id the derivation was checked against.
+    pub method_entry_id: u64,
+    /// The annotation version the derivation was checked against.
+    pub sig_version: u64,
+    /// The annotation keys rule (TApp) consulted — Definition 1(2)'s
+    /// dependency set; replacing any of these invalidates this entry.
+    pub deps: Vec<MethodKey>,
 }
 
 #[derive(Default)]
@@ -104,9 +120,10 @@ impl Engine {
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> EngineStats {
-        let mut s = self.state.borrow().stats.clone();
-        s.phases = self.state.borrow().phase.phases();
-        s.cache_entries = self.state.borrow().cache.len();
+        let st = self.state.borrow();
+        let mut s = st.stats.clone();
+        s.phases = st.phase.phases();
+        s.cache_entries = st.cache.len();
         s
     }
 
@@ -126,6 +143,25 @@ impl Engine {
     /// Number of live cache entries.
     pub fn cache_len(&self) -> usize {
         self.state.borrow().cache.len()
+    }
+
+    /// A debug dump of every cached derivation with its dependency set,
+    /// sorted by key — what the paper's cache 𝒳 currently holds and why
+    /// each entry is still valid.
+    pub fn cache_dump(&self) -> Vec<CacheDumpEntry> {
+        let st = self.state.borrow();
+        let mut out: Vec<CacheDumpEntry> = st
+            .cache
+            .iter()
+            .map(|(key, e)| CacheDumpEntry {
+                key: *key,
+                method_entry_id: e.method_entry_id,
+                sig_version: e.sig_version,
+                deps: e.deps.iter().copied().collect(),
+            })
+            .collect();
+        out.sort_by_key(|a| a.key);
+        out
     }
 
     /// Drops the whole cache (tests / ablation).
@@ -158,12 +194,21 @@ impl Engine {
                     new_id,
                 } => {
                     let unchanged = Self::redefinition_unchanged(
-                        &st, interp, class, &name, class_level, old_id, new_id,
+                        &st,
+                        interp,
+                        class,
+                        &name,
+                        class_level,
+                        old_id,
                     );
-                    if unchanged {
+                    if let Some(new_cfg) = unchanged {
                         // Same body: re-point cached derivations at the new
                         // entry id instead of invalidating (dev-mode reload
-                        // CFG diffing, paper §4).
+                        // CFG diffing, paper §4). Store the *freshly lowered*
+                        // CFG under the new id — the shape is identical but
+                        // its spans are current, so a later recheck blames
+                        // post-reload source locations.
+                        st.cfgs.insert(new_id, Rc::new(new_cfg));
                         for entry in st.cache.values_mut() {
                             if entry.method_entry_id == old_id {
                                 entry.method_entry_id = new_id;
@@ -171,12 +216,15 @@ impl Engine {
                         }
                     } else {
                         let key = MethodKey {
-                            class: interp.registry.name(class).to_string(),
+                            class: interp.registry.name_sym(class),
                             class_level,
-                            method: name.clone(),
+                            method: Sym::intern(&name),
                         };
                         Self::invalidate(&mut st, &key, true);
                     }
+                    // The retired entry id can never be dispatched again;
+                    // dropping its CFG keeps long reload sessions bounded.
+                    st.cfgs.remove(&old_id);
                 }
                 InterpEvent::MethodRemoved {
                     class,
@@ -184,9 +232,9 @@ impl Engine {
                     class_level,
                 } => {
                     let key = MethodKey {
-                        class: interp.registry.name(class).to_string(),
+                        class: interp.registry.name_sym(class),
                         class_level,
-                        method: name,
+                        method: Sym::intern(&name),
                     };
                     Self::invalidate(&mut st, &key, true);
                 }
@@ -214,7 +262,8 @@ impl Engine {
         }
     }
 
-    /// Is a redefinition body-identical (per CFG shape)?
+    /// If the redefinition is body-identical (per CFG shape), returns the
+    /// freshly lowered CFG of the new body (same shape, current spans).
     fn redefinition_unchanged(
         st: &EngineState,
         interp: &Interp,
@@ -222,22 +271,19 @@ impl Engine {
         name: &str,
         class_level: bool,
         old_id: u64,
-        _new_id: u64,
-    ) -> bool {
-        let Some(old_cfg) = st.cfgs.get(&old_id) else {
-            return false;
-        };
+    ) -> Option<MethodCfg> {
+        let old_cfg = st.cfgs.get(&old_id)?;
         let found = if class_level {
             interp.registry.find_smethod(class, name)
         } else {
             interp.registry.find_method(class, name)
         };
-        let Some((_, entry)) = found else {
-            return false;
-        };
-        match lower_entry(&entry) {
-            Some(new_cfg) => new_cfg.same_shape(old_cfg),
-            None => false,
+        let (_, entry) = found?;
+        let new_cfg = lower_entry(&entry)?;
+        if new_cfg.same_shape(old_cfg) {
+            Some(new_cfg)
+        } else {
+            None
         }
     }
 
@@ -272,8 +318,7 @@ impl Engine {
             let st = self.state.borrow();
             if caching {
                 if let Some(c) = st.cache.get(cache_key) {
-                    if c.method_entry_id == info.entry.id && c.sig_version == table_entry.version
-                    {
+                    if c.method_entry_id == info.entry.id && c.sig_version == table_entry.version {
                         drop(st);
                         self.state.borrow_mut().stats.cache_hits += 1;
                         return Ok(());
@@ -321,7 +366,7 @@ impl Engine {
         let reg_info = RegistryInfo(&interp.registry);
         let outcome = check_sig(
             &cfg,
-            &cache_key.class,
+            cache_key.class.as_str(),
             cache_key.class_level,
             &table_entry.sig,
             &reg_info,
@@ -350,25 +395,18 @@ impl Engine {
         self.rdl.mark_used(annotation_key);
         let mut st = self.state.borrow_mut();
         st.stats.checks_performed += 1;
+        st.stats.check_log.push(CheckLogItem { key: *cache_key });
+        st.stats.checked_methods.insert(cache_key.display());
         st.stats
-            .check_log
-            .push(CheckLogItem {
-                key: cache_key.clone(),
-            });
-        st.stats
-            .checked_methods
-            .insert(cache_key.display());
-        st.stats.cast_sites.extend(outcome.cast_sites.iter().copied());
+            .cast_sites
+            .extend(outcome.cast_sites.iter().copied());
         st.phase.note_check();
         if caching {
             for dep in &outcome.deps {
-                st.dependents
-                    .entry(dep.clone())
-                    .or_default()
-                    .insert(cache_key.clone());
+                st.dependents.entry(*dep).or_default().insert(*cache_key);
             }
             st.cache.insert(
-                cache_key.clone(),
+                *cache_key,
                 CacheEntry {
                     method_entry_id: info.entry.id,
                     sig_version: table_entry.version,
@@ -395,20 +433,15 @@ impl Engine {
                 continue;
             }
             arity_ok = true;
-            let all = args.iter().enumerate().all(|(i, a)| {
-                match arm.param_at(i) {
-                    Some(pt) => value_conforms(interp, a, &pt.erase_vars()),
-                    None => false,
-                }
+            let all = args.iter().enumerate().all(|(i, a)| match arm.param_at(i) {
+                Some(pt) => value_conforms(interp, a, &pt.erase_vars()),
+                None => false,
             });
             if all {
                 return Ok(());
             }
         }
-        let got: Vec<String> = args
-            .iter()
-            .map(|a| interp.class_name_of(a))
-            .collect();
+        let got: Vec<String> = args.iter().map(|a| interp.class_name_of(a)).collect();
         Err(HbError::new(
             ErrorKind::ContractBlame,
             if arity_ok {
@@ -454,16 +487,16 @@ impl CallHook for Engine {
         self.state.borrow_mut().stats.intercepted_calls += 1;
 
         // Resolve the annotation along the receiver class's ancestors, the
-        // same path dispatch used.
-        let chain: Vec<String> = interp
-            .registry
-            .ancestors(info.recv_class)
-            .into_iter()
-            .map(|c| interp.registry.name(c).to_string())
-            .collect();
-        let found = self
-            .rdl
-            .lookup_along(&chain, info.class_level, &info.name);
+        // same path dispatch used — interned symbols over the memoised
+        // chain, so the steady-state lookup allocates nothing.
+        let found = self.rdl.lookup_along(
+            interp
+                .registry
+                .ancestor_syms(info.recv_class)
+                .map(|(_, sym)| sym),
+            info.class_level,
+            info.name,
+        );
         let Some((annotation_key, table_entry)) = found else {
             return Ok(HookOutcome::default());
         };
@@ -471,9 +504,9 @@ impl CallHook for Engine {
         // The cache key is the *receiver's* class (module methods cache per
         // mix-in class, paper §4 "Modules").
         let cache_key = MethodKey {
-            class: interp.registry.name(info.recv_class).to_string(),
+            class: interp.registry.name_sym(info.recv_class),
             class_level: info.class_level,
-            method: info.name.clone(),
+            method: info.name,
         };
 
         // Dynamic argument checks: only from unchecked callers, unless the

@@ -33,7 +33,7 @@ pub mod info;
 pub mod reload;
 pub mod stats;
 
-pub use engine::{Config, Engine};
+pub use engine::{CacheDumpEntry, Config, Engine};
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
 pub use stats::{CheckLogItem, EngineStats};

@@ -106,8 +106,7 @@ impl crate::Hummingbird {
         let before = self.engine.stats().dependent_invalidations;
         self.interp.eval_program(&program)?;
         self.engine.process_events(&mut self.interp);
-        report.dependents_invalidated =
-            self.engine.stats().dependent_invalidations - before;
+        report.dependents_invalidated = self.engine.stats().dependent_invalidations - before;
         Ok(report)
     }
 

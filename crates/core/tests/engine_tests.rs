@@ -317,7 +317,11 @@ UserOfHelper.new.compute(Helper.new)
         )
         .unwrap_err();
     assert_eq!(err.kind, ErrorKind::TypeBlame);
-    assert!(err.message.contains("UserOfHelper#compute"), "{}", err.message);
+    assert!(
+        err.message.contains("UserOfHelper#compute"),
+        "{}",
+        err.message
+    );
 }
 
 #[test]
@@ -347,7 +351,8 @@ U.new.c(H.new)
     assert_eq!(before.checks_performed, 2);
     // Add an arm to H#v (the body satisfies both: 1 is a Fixnum... second
     // arm takes an optional arg form).
-    hb.eval("class H\n type :v, \"(?Fixnum) -> Fixnum\"\nend").unwrap();
+    hb.eval("class H\n type :v, \"(?Fixnum) -> Fixnum\"\nend")
+        .unwrap();
     hb.eval("U.new.c(H.new)").unwrap();
     let after = hb.stats();
     // H#v rechecked (against both arms); U#c stayed cached.
@@ -463,7 +468,11 @@ end
     )
     .unwrap();
     hb.eval("T.new.outer").unwrap();
-    assert_eq!(hb.stats().dyn_arg_checks, 2, "params-style methods always check");
+    assert_eq!(
+        hb.stats().dyn_arg_checks,
+        2,
+        "params-style methods always check"
+    );
 }
 
 #[test]
@@ -538,7 +547,8 @@ end
 #[test]
 fn reload_detects_added_and_removed() {
     let mut hb = hb();
-    hb.load_file("b.rb", "class B\n def gone\n 1\n end\nend").unwrap();
+    hb.load_file("b.rb", "class B\n def gone\n 1\n end\nend")
+        .unwrap();
     let report = hb
         .reload_file("b.rb", "class B\n def fresh\n 2\n end\nend")
         .unwrap();
@@ -704,5 +714,159 @@ W.new.sum_names(["a"])
         err.message.contains("Fixnum#+") || err.message.contains("argument type mismatch"),
         "{}",
         err.message
+    );
+}
+
+#[test]
+fn cache_dump_reports_dependency_sets() {
+    use hummingbird::MethodKey;
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Chain3
+  type :base, "() -> Fixnum", { "check" => true }
+  type :mid, "() -> Fixnum", { "check" => true }
+  type :top, "() -> Fixnum", { "check" => true }
+  def base
+    1
+  end
+  def mid
+    base + 1
+  end
+  def top
+    mid + 1
+  end
+end
+Chain3.new.top
+"#,
+    )
+    .unwrap();
+    let dump = hb.engine.cache_dump();
+    assert_eq!(dump.len(), 3, "{dump:?}");
+    // Sorted by interned key, alphabetically: base, mid, top.
+    assert_eq!(dump[0].key, MethodKey::instance("Chain3", "base"));
+    let top = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("Chain3", "top"))
+        .unwrap();
+    assert!(
+        top.deps.contains(&MethodKey::instance("Chain3", "mid")),
+        "top's derivation consulted mid's annotation: {top:?}"
+    );
+    let mid = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("Chain3", "mid"))
+        .unwrap();
+    assert!(mid.deps.contains(&MethodKey::instance("Chain3", "base")));
+    // Every entry's recorded sig_version matches the live table's.
+    for e in &dump {
+        let entry = hb.rdl.entry(&e.key).expect("annotation exists");
+        assert_eq!(e.sig_version, entry.version, "{:?}", e.key);
+    }
+}
+
+#[test]
+fn dependent_chain_invalidation_is_one_level() {
+    // Definition 1(2): replacing base's type invalidates base and the
+    // entries that used base's type (mid) — but not mid's dependents (top),
+    // whose consulted types are all unchanged.
+    use hummingbird::MethodKey;
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Chain3
+  type :base, "() -> Fixnum", { "check" => true }
+  type :mid, "() -> Fixnum", { "check" => true }
+  type :top, "() -> Fixnum", { "check" => true }
+  def base
+    1
+  end
+  def mid
+    base + 1
+  end
+  def top
+    mid + 1
+  end
+end
+Chain3.new.top
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 3);
+    hb.eval("class Chain3\n type :base, \"() -> Fixnum\", { \"replace\" => true }\nend")
+        .unwrap();
+    hb.eval("Chain3.new.top").unwrap();
+    let s = hb.stats();
+    // top stayed cached (a hit); base and mid re-checked.
+    assert_eq!(s.checks_performed, 5, "{:?}", hb.engine.cache_dump());
+    assert_eq!(s.dependent_invalidations, 1, "only mid was a dependent");
+    let dump = hb.engine.cache_dump();
+    assert!(dump
+        .iter()
+        .any(|e| e.key == MethodKey::instance("Chain3", "top")));
+}
+
+#[test]
+fn module_mixin_cache_keys_are_per_receiver_class() {
+    // §4 "Modules": one method body in the module yields one interned cache
+    // key per mix-in class, each with its own dependency set.
+    use hummingbird::MethodKey;
+    let mut hb = hb();
+    hb.eval(
+        r#"
+module Greeter
+  def greet(x)
+    hello(x)
+  end
+end
+class CG
+  include Greeter
+  type :greet, "(Fixnum) -> Fixnum", { "check" => true }
+  type :hello, "(Fixnum) -> Fixnum", { "check" => true }
+  def hello(x)
+    x + 1
+  end
+end
+class DG
+  include Greeter
+  type :greet, "(Fixnum) -> String", { "check" => true }
+  type :hello, "(Fixnum) -> String", { "check" => true }
+  def hello(x)
+    x.to_s
+  end
+end
+CG.new.greet(1)
+DG.new.greet(2)
+"#,
+    )
+    .unwrap();
+    let dump = hb.engine.cache_dump();
+    let cg = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("CG", "greet"))
+        .expect("module method cached under CG");
+    let dg = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("DG", "greet"))
+        .expect("module method cached under DG");
+    // Same body (same lowered method entry), distinct per-class keys and
+    // per-class dependency sets.
+    assert_eq!(cg.method_entry_id, dg.method_entry_id);
+    assert!(cg.deps.contains(&MethodKey::instance("CG", "hello")));
+    assert!(dg.deps.contains(&MethodKey::instance("DG", "hello")));
+    assert!(!cg.deps.contains(&MethodKey::instance("DG", "hello")));
+    // Invalidating DG#hello's type must not touch CG's cached derivation.
+    hb.eval("class DG\n type :hello, \"(Fixnum) -> String\", { \"replace\" => true }\nend")
+        .unwrap();
+    hb.eval("CG.new.greet(3)\nDG.new.greet(4)").unwrap();
+    let s = hb.stats();
+    assert!(
+        s.checked_methods.contains("CG#greet") && s.checked_methods.contains("DG#greet"),
+        "{:?}",
+        s.checked_methods
+    );
+    assert_eq!(
+        s.dependent_invalidations, 1,
+        "only DG#greet depended on DG#hello"
     );
 }

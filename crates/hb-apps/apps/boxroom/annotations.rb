@@ -1,0 +1,19 @@
+# Boxroom annotations.
+
+annotate_model(BoxUser)
+annotate_model(Folder)
+annotate_model(UserFile)
+
+type Folder, "file_names", "() -> Array<String>", { "check" => true }
+type Folder, "total_size", "() -> Fixnum", { "check" => true }
+type Folder, "big_files", "(Fixnum) -> Array<UserFile>", { "check" => true }
+
+type UserFile, "human_size", "() -> String", { "check" => true }
+type UserFile, "uploaded_by?", "(BoxUser) -> %bool", { "check" => true }
+
+type FoldersController, "index", "() -> String", { "check" => true }
+type FoldersController, "show", "() -> String", { "check" => true }
+type FoldersController, "large", "() -> String", { "check" => true }
+
+type FilesController, "index", "() -> String", { "check" => true }
+type FilesController, "create", "() -> String", { "check" => true }

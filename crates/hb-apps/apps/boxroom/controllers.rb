@@ -1,0 +1,35 @@
+# Boxroom controllers.
+
+class FoldersController < ActionController::Base
+  def index
+    render(Folder.all.map { |f| f.name }.join(","))
+  end
+
+  def show
+    f = Folder.find(params[:id].rdl_cast("Fixnum"))
+    render(f.name + ": " + f.file_names.join(",") + " (" + f.total_size.to_s + " bytes)")
+  end
+
+  def large
+    f = Folder.find(params[:id].rdl_cast("Fixnum"))
+    names = f.big_files(1000).map { |x| x.name }
+    render(names.join(","))
+  end
+end
+
+class FilesController < ActionController::Base
+  def index
+    render(UserFile.all.map { |f| f.human_size }.join("\n"))
+  end
+
+  def create
+    f = UserFile.new({
+      "name" => params[:name].rdl_cast("String"),
+      "folder_id" => params[:folder_id].rdl_cast("Fixnum"),
+      "size_bytes" => params[:size].rdl_cast("Fixnum"),
+      "uploader_id" => 1
+    })
+    f.save
+    redirect_to("/files")
+  end
+end

@@ -1,0 +1,39 @@
+# Boxroom workload driver.
+
+$box_router = Router.new
+$box_router.draw("GET", "/folders", FoldersController, :index)
+$box_router.draw("GET", "/folders/show", FoldersController, :show)
+$box_router.draw("GET", "/folders/large", FoldersController, :large)
+$box_router.draw("GET", "/files", FilesController, :index)
+$box_router.draw("POST", "/files/create", FilesController, :create)
+
+def boxroom_seed
+  DB.clear
+  BoxUser.create({ "name" => "admin", "admin" => true })
+  BoxUser.create({ "name" => "guest", "admin" => false })
+  Folder.create({ "name" => "root", "parent_id" => 0 })
+  Folder.create({ "name" => "papers", "parent_id" => 1 })
+  UserFile.create({ "name" => "pldi16.pdf", "folder_id" => 2, "size_bytes" => 4096, "uploader_id" => 1 })
+  UserFile.create({ "name" => "notes.txt", "folder_id" => 2, "size_bytes" => 128, "uploader_id" => 2 })
+  UserFile.create({ "name" => "talk.key", "folder_id" => 1, "size_bytes" => 20480, "uploader_id" => 1 })
+  nil
+end
+
+def boxroom_requests
+  $box_router.dispatch("GET", "/folders")
+  $box_router.dispatch("GET", "/folders/show", { :id => 2 })
+  $box_router.dispatch("GET", "/folders/large", { :id => 2 })
+  $box_router.dispatch("GET", "/files")
+  $box_router.dispatch("POST", "/files/create", { :name => "new.bin", :folder_id => 1, :size => 2048 })
+  UserFile.find(1).uploaded_by?(BoxUser.find(1))
+  nil
+end
+
+def boxroom_workload(n)
+  i = 0
+  while i < n
+    boxroom_requests
+    i += 1
+  end
+  nil
+end

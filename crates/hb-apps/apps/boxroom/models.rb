@@ -1,0 +1,33 @@
+# Boxroom models: a file-sharing app (folders, files, users).
+
+class BoxUser < ActiveRecord::Base
+end
+
+class Folder < ActiveRecord::Base
+  has_many :user_files, { :class_name => "UserFile", :foreign_key => "folder_id" }
+
+  def file_names
+    user_files.map { |f| f.name }
+  end
+
+  def total_size
+    user_files.map { |f| f.size_bytes }.sum
+  end
+
+  def big_files(limit)
+    user_files.select { |f| f.size_bytes > limit }
+  end
+end
+
+class UserFile < ActiveRecord::Base
+  belongs_to :folder, { :class_name => "Folder" }
+  belongs_to :uploader, { :class_name => "BoxUser" }
+
+  def human_size
+    "#{name}: #{size_bytes} bytes"
+  end
+
+  def uploaded_by?(user)
+    uploader == user
+  end
+end

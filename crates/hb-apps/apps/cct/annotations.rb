@@ -1,0 +1,15 @@
+# CCT annotations: Fig. 3's add_types call generates the Struct accessor
+# types; the processing pipeline is statically checked against them.
+
+Transaction.add_types("String", "String", "String")
+
+var_type Account, "@name", "String"
+var_type Account, "@credits", "Fixnum"
+var_type Account, "@debits", "Fixnum"
+
+type Account, "holder", "() -> String", { "check" => true }
+type Account, "apply", "(Transaction) -> Account", { "check" => true }
+type Account, "balance", "() -> Fixnum", { "check" => true }
+
+type ApplicationRunner, "process_transactions", "(Array<Transaction>) -> Array<String>", { "check" => true }
+type ApplicationRunner, "run", "(Array<Transaction>) -> Array<String>", { "check" => true }

@@ -1,0 +1,28 @@
+# CCT workload driver: builds batches of string-encoded transactions (as
+# if parsed from a CSV) and runs them through the checked pipeline.
+
+def cct_build_transactions(count)
+  names = ["alice", "bob", "carol", "dave"]
+  out = []
+  i = 0
+  while i < count
+    kind = i % 2 == 0 ? "credit" : "debit"
+    out << Transaction.new(kind, names[i % 4], (i * 10).to_s)
+    i += 1
+  end
+  out
+end
+
+def cct_run_once(count)
+  runner = ApplicationRunner.new
+  runner.run(cct_build_transactions(count))
+end
+
+def cct_workload(n, count)
+  i = 0
+  while i < n
+    cct_run_once(count)
+    i += 1
+  end
+  nil
+end

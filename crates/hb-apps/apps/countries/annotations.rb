@@ -1,0 +1,28 @@
+# Countries annotations: every type is written literally at load time —
+# no metaprogramming anywhere in this app (the paper's baseline row).
+
+var_type Country, "@row", "Hash<String, %any>"
+var_type CountryIndex, "@data", "Hash<String, Hash<String, %any>>"
+
+type DataFile, "self.read", "(String) -> %any"
+
+type Country, "initialize", "(Hash<String, %any>) -> %any", { "check" => true }
+type Country, "code", "() -> String", { "check" => true }
+type Country, "name", "() -> String", { "check" => true }
+type Country, "region", "() -> String", { "check" => true }
+type Country, "subregion", "() -> String", { "check" => true }
+type Country, "currency", "() -> String", { "check" => true }
+type Country, "population", "() -> Fixnum", { "check" => true }
+type Country, "translations", "() -> Hash<String, String>", { "check" => true }
+type Country, "german_name", "() -> String", { "check" => true }
+type Country, "summary", "() -> String", { "check" => true }
+type Country, "in_region?", "(String) -> %bool", { "check" => true }
+
+type CountryIndex, "initialize", "() -> %any", { "check" => true }
+type CountryIndex, "codes", "() -> Array<String>", { "check" => true }
+type CountryIndex, "lookup", "(String) -> Country", { "check" => true }
+type CountryIndex, "all", "() -> Array<Country>", { "check" => true }
+type CountryIndex, "total_population", "() -> Fixnum", { "check" => true }
+type CountryIndex, "currencies", "() -> Array<String>", { "check" => true }
+type CountryIndex, "names_in", "(String) -> Array<String>", { "check" => true }
+type CountryIndex, "german_names", "() -> Array<String>", { "check" => true }

@@ -1,0 +1,20 @@
+# Countries workload driver.
+
+def countries_workload(n)
+  i = 0
+  while i < n
+    idx = CountryIndex.new
+    idx.codes
+    idx.all.each do |c|
+      c.summary
+      c.german_name
+      c.code
+    end
+    idx.total_population
+    idx.currencies
+    idx.names_in("Europe")
+    idx.german_names
+    i += 1
+  end
+  nil
+end

@@ -1,0 +1,84 @@
+# Countries (the no-metaprogramming baseline): deserialised data of
+# unknown shape is cast into typed form with rdl_cast at every read —
+# paper Section 4 "Type Casts".
+
+class Country
+  def initialize(row)
+    @row = row
+  end
+
+  def code
+    @row["alpha2"].rdl_cast("String")
+  end
+
+  def name
+    @row["name"].rdl_cast("String")
+  end
+
+  def region
+    @row["region"].rdl_cast("String")
+  end
+
+  def subregion
+    @row["subregion"].rdl_cast("String")
+  end
+
+  def currency
+    @row["currency"].rdl_cast("String")
+  end
+
+  def population
+    @row["population"].rdl_cast("Fixnum")
+  end
+
+  def translations
+    @row["translations"].rdl_cast("Hash<String, String>")
+  end
+
+  def german_name
+    translations["de"].rdl_cast("String")
+  end
+
+  def summary
+    name + " (" + region + "/" + subregion + ") pop " + population.to_s
+  end
+
+  def in_region?(r)
+    region == r
+  end
+end
+
+class CountryIndex
+  def initialize
+    @data = DataFile.read("countries").rdl_cast("Hash<String, Hash<String, %any>>")
+  end
+
+  def codes
+    @data.keys.sort
+  end
+
+  def lookup(code)
+    row = @data[code].rdl_cast("Hash<String, %any>")
+    Country.new(row)
+  end
+
+  def all
+    codes.map { |c| lookup(c) }
+  end
+
+  def total_population
+    all.map { |c| c.population }.sum
+  end
+
+  def currencies
+    all.map { |c| c.currency }.uniq.sort
+  end
+
+  def names_in(region)
+    all.select { |c| c.in_region?(region) }.map { |c| c.name }
+  end
+
+  def german_names
+    all.map { |c| c.german_name }
+  end
+end

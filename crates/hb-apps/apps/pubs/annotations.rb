@@ -1,0 +1,13 @@
+# Pubs annotations.
+
+annotate_model(Author)
+annotate_model(Publication)
+
+type Publication, "citation", "() -> String", { "check" => true }
+type Publication, "venue_line", "() -> String", { "check" => true }
+type Publication, "bibtex_key", "() -> String", { "check" => true }
+type Publication, "journal?", "() -> %bool", { "check" => true }
+
+type PubsController, "index", "() -> String", { "check" => true }
+type PubsController, "journals", "() -> String", { "check" => true }
+type PubsController, "by_year", "() -> String", { "check" => true }

@@ -1,0 +1,18 @@
+# Pubs controllers.
+
+class PubsController < ActionController::Base
+  def index
+    render(Publication.all.map { |p| p.citation }.join("\n"))
+  end
+
+  def journals
+    js = Publication.all.select { |p| p.journal? }
+    render(js.map { |p| p.bibtex_key }.join(","))
+  end
+
+  def by_year
+    y = params[:year].rdl_cast("Fixnum")
+    pubs = Publication.all.select { |p| p.year == y }
+    render(pubs.map { |p| p.citation }.join("\n"))
+  end
+end

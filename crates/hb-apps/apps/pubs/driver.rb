@@ -1,0 +1,45 @@
+# Pubs workload driver. Seeds a couple dozen publications so each request
+# exercises the formatting methods many times — the cache ablation's
+# pressure point.
+
+$pubs_router = Router.new
+$pubs_router.draw("GET", "/pubs", PubsController, :index)
+$pubs_router.draw("GET", "/pubs/journals", PubsController, :journals)
+$pubs_router.draw("GET", "/pubs/year", PubsController, :by_year)
+
+def pubs_seed
+  DB.clear
+  Author.create({ "name" => "Ren" })
+  Author.create({ "name" => "Foster" })
+  Author.create({ "name" => "Vitousek" })
+  venues = ["PLDI", "POPL", "OOPSLA", "ICFP"]
+  kinds = ["conference", "journal"]
+  i = 0
+  while i < 24
+    Publication.create({
+      "title" => "Paper #{i}",
+      "venue" => venues[i % 4],
+      "year" => 2010 + (i % 8),
+      "kind" => kinds[i % 2],
+      "author_id" => (i % 3) + 1
+    })
+    i += 1
+  end
+  nil
+end
+
+def pubs_requests
+  $pubs_router.dispatch("GET", "/pubs")
+  $pubs_router.dispatch("GET", "/pubs/journals")
+  $pubs_router.dispatch("GET", "/pubs/year", { :year => 2012 })
+  nil
+end
+
+def pubs_workload(n)
+  i = 0
+  while i < n
+    pubs_requests
+    i += 1
+  end
+  nil
+end

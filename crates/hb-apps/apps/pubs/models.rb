@@ -1,0 +1,27 @@
+# Pubs models: publication lists. The hot formatting methods make this the
+# paper's no-cache stress case — without the derivation cache every
+# citation render re-checks.
+
+class Author < ActiveRecord::Base
+  has_many :publications, { :class_name => "Publication", :foreign_key => "author_id" }
+end
+
+class Publication < ActiveRecord::Base
+  belongs_to :author, { :class_name => "Author" }
+
+  def citation
+    author.name + ". " + title + ". " + venue_line
+  end
+
+  def venue_line
+    venue + " " + year.to_s
+  end
+
+  def bibtex_key
+    author.name.downcase + year.to_s
+  end
+
+  def journal?
+    kind == "journal"
+  end
+end

@@ -1,0 +1,15 @@
+# Rolify annotations: static types for the library's entry points and the
+# Fig. 2 pre-hook generating a type per dynamic role method.
+
+var_type RoleUser, "@roles", "Array<String>"
+
+type RoleUser, "has_role?", "(String) -> %bool", { "check" => true }
+type RoleUser, "add_role", "(String) -> String", { "check" => true }
+type RoleUser, "role_count", "() -> Fixnum", { "check" => true }
+type RoleUser, "role_list", "() -> String", { "check" => true }
+type RoleUser, "define_dynamic_method", "(String) -> %any"
+
+pre RoleUser, "define_dynamic_method" do |role_name|
+  type "is_#{role_name}?", "() -> %bool", { "check" => true }
+  true
+end

@@ -1,0 +1,23 @@
+# Rolify workload driver: roles are added one at a time, so type
+# generation and static checking interleave (many phases, unlike the
+# annotate-everything-then-run apps).
+
+def rolify_roles
+  ["admin", "editor", "viewer", "author", "reviewer", "chair", "speaker", "student", "professor", "guest"]
+end
+
+def rolify_workload(n)
+  user = RoleUser.new
+  i = 0
+  while i < n
+    rolify_roles.each do |r|
+      user.add_role(r)
+      user.send("is_" + r + "?")
+    end
+    user.role_count
+    user.role_list
+    user.has_role?("admin")
+    i += 1
+  end
+  nil
+end

@@ -1,0 +1,42 @@
+# Rolify (paper Fig. 2): a metaprogramming library that defines role-query
+# methods on demand. The pre-hook in annotations.rb types each generated
+# method at the moment it is created.
+
+module Rolify
+end
+
+module Rolify::Dynamic
+  def define_dynamic_method(role_name)
+    self.class.class_eval do
+      define_method("is_#{role_name}?".to_sym) do
+        has_role?("#{role_name}")
+      end if !method_defined?("is_#{role_name}?".to_sym)
+    end
+  end
+end
+
+class RoleUser
+  include Rolify::Dynamic
+
+  def initialize
+    @roles = []
+  end
+
+  def add_role(role)
+    @roles << role
+    define_dynamic_method(role)
+    role
+  end
+
+  def has_role?(role)
+    @roles.include?(role)
+  end
+
+  def role_count
+    @roles.size
+  end
+
+  def role_list
+    @roles.sort.join(",")
+  end
+end

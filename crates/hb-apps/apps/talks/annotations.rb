@@ -1,0 +1,29 @@
+# Talks annotations: schema-driven generated types for the four models plus
+# checked types for every app method.
+
+annotate_model(User)
+annotate_model(Talk)
+annotate_model(TalkList)
+annotate_model(Subscription)
+
+type User, "subscribed_talks", "(Symbol) -> Array<Talk>", { "check" => true }
+
+type Talk, "owner?", "(User) -> %bool", { "check" => true }
+type Talk, "display_title", "() -> String", { "check" => true }
+type Talk, "summary", "() -> String", { "check" => true }
+type Talk, "mark_completed", "() -> %bool", { "check" => true }
+
+type TalkList, "upcoming", "() -> Array<Talk>", { "check" => true }
+
+type ApplicationController, "current_user", "() -> User", { "check" => true }
+type TalksHelper, "format_talk_row", "(Talk) -> String", { "check" => true }
+
+type TalksController, "index", "() -> String", { "check" => true }
+type TalksController, "show", "() -> String", { "check" => true }
+type TalksController, "create", "() -> String", { "check" => true }
+type TalksController, "edit", "() -> String", { "check" => true }
+type TalksController, "compute_edit_fields", "(Talk) -> String", { "check" => true }
+type TalksController, "complete", "() -> String", { "check" => true }
+
+type ListsController, "show", "() -> String", { "check" => true }
+type ListsController, "subscribed", "() -> String", { "check" => true }

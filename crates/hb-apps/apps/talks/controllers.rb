@@ -1,0 +1,79 @@
+# Talks controllers and view helper.
+
+class ApplicationController < ActionController::Base
+  def current_user
+    uid = params[:user_id]
+    if uid
+      User.find(uid.rdl_cast("Fixnum"))
+    else
+      User.find(1)
+    end
+  end
+end
+
+module TalksHelper
+  def format_talk_row(t)
+    "| " + t.display_title + " | " + t.speaker + " |"
+  end
+end
+
+class TalksController < ApplicationController
+  include TalksHelper
+
+  def index
+    rows = Talk.all.map { |t| format_talk_row(t) }
+    render(rows.join("\n"))
+  end
+
+  def show
+    t = Talk.find(params[:id].rdl_cast("Fixnum"))
+    mine = t.owner?(current_user)
+    if mine
+      render(t.summary + " (yours)")
+    else
+      render(t.summary)
+    end
+  end
+
+  def create
+    t = Talk.new({
+      "title" => params[:title].rdl_cast("String"),
+      "abstract" => "TBD",
+      "speaker" => params[:speaker].rdl_cast("String"),
+      "owner_id" => current_user.id,
+      "talk_list_id" => 1,
+      "completed" => false
+    })
+    t.save
+    redirect_to("/talks")
+  end
+
+  def edit
+    t = Talk.find(params[:id].rdl_cast("Fixnum"))
+    render(compute_edit_fields(t))
+  end
+
+  def compute_edit_fields(t)
+    "title=" + t.title + "&speaker=" + t.speaker
+  end
+
+  def complete
+    t = Talk.find(params[:id].rdl_cast("Fixnum"))
+    t.mark_completed
+    redirect_to("/talks")
+  end
+end
+
+class ListsController < ApplicationController
+  def show
+    l = TalkList.find(params[:id].rdl_cast("Fixnum"))
+    up = l.upcoming
+    render(l.name + ": " + up.map { |t| t.display_title }.join(","))
+  end
+
+  def subscribed
+    user = current_user
+    talks = user.subscribed_talks(:all)
+    render(talks.map { |t| t.display_title }.join(","))
+  end
+end

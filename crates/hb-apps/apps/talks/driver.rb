@@ -1,0 +1,43 @@
+# Talks workload driver: routes, seed data, and the request script the
+# evaluation replays. Driver methods are never annotated, so they are never
+# statically checked — they play the role of the outside world.
+
+$router = Router.new
+$router.draw("GET", "/talks", TalksController, :index)
+$router.draw("GET", "/talks/show", TalksController, :show)
+$router.draw("POST", "/talks/create", TalksController, :create)
+$router.draw("GET", "/talks/edit", TalksController, :edit)
+$router.draw("POST", "/talks/complete", TalksController, :complete)
+$router.draw("GET", "/lists/show", ListsController, :show)
+$router.draw("GET", "/lists/subscribed", ListsController, :subscribed)
+
+def talks_seed
+  DB.clear
+  User.create({ "name" => "alice", "email" => "alice@example.com", "password" => "secret", "admin" => true })
+  User.create({ "name" => "bob", "email" => "bob@example.com", "password" => "hunter2", "admin" => false })
+  TalkList.create({ "name" => "PLDI", "owner_id" => 1 })
+  Talk.create({ "title" => "JIT checking", "abstract" => "Types at run time", "speaker" => "Ren", "owner_id" => 1, "talk_list_id" => 1, "completed" => false })
+  Talk.create({ "title" => "Gradual typing", "abstract" => "More types", "speaker" => "Foster", "owner_id" => 2, "talk_list_id" => 1, "completed" => false })
+  Subscription.create({ "user_id" => 2, "talk_list_id" => 1 })
+  nil
+end
+
+def talks_requests
+  $router.dispatch("GET", "/talks")
+  $router.dispatch("GET", "/talks/show", { :id => 1 })
+  $router.dispatch("POST", "/talks/create", { :title => "New talk", :speaker => "Someone", :user_id => 1 })
+  $router.dispatch("GET", "/talks/edit", { :id => 1 })
+  $router.dispatch("GET", "/lists/show", { :id => 1 })
+  $router.dispatch("GET", "/lists/subscribed", { :user_id => 2 })
+  $router.dispatch("POST", "/talks/complete", { :id => 2 })
+  nil
+end
+
+def talks_workload(n)
+  i = 0
+  while i < n
+    talks_requests
+    i += 1
+  end
+  nil
+end

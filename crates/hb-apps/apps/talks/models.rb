@@ -1,0 +1,50 @@
+# Talks models (paper Section 5, the first subject app).
+
+class User < ActiveRecord::Base
+  has_many :talks, { :class_name => "Talk", :foreign_key => "owner_id" }
+
+  def subscribed_talks(scope)
+    list_ids = Subscription.where("user_id", id).map { |s| s.talk_list_id }
+    talks = Talk.all
+    if scope == :all
+      talks.select { |t| list_ids.include?(t.talk_list_id) }
+    else
+      talks.select { |t| list_ids.include?(t.talk_list_id) && !t.completed }
+    end
+  end
+end
+
+class Talk < ActiveRecord::Base
+  belongs_to :owner, { :class_name => "User" }
+  belongs_to :talk_list, { :class_name => "TalkList" }
+
+  def owner?(user)
+    owner == user
+  end
+
+  def display_title
+    "#{title} (#{speaker})"
+  end
+
+  def summary
+    display_title + ": " + abstract
+  end
+
+  def mark_completed
+    update_attribute("completed", true)
+  end
+end
+
+class TalkList < ActiveRecord::Base
+  belongs_to :owner, { :class_name => "User" }
+  has_many :talks, { :class_name => "Talk", :foreign_key => "talk_list_id" }
+
+  def upcoming
+    talks.reject { |t| t.completed }
+  end
+end
+
+class Subscription < ActiveRecord::Base
+  belongs_to :user, { :class_name => "User" }
+  belongs_to :talk_list, { :class_name => "TalkList" }
+end

@@ -1,0 +1,10 @@
+# Types for the TalkFormatter under live update. banner/sidebar are typed
+# before they exist — annotations for not-yet-defined methods are inert
+# until the method appears (no ordering dependency, paper Section 3).
+
+type TalkFormatter, "head", "(Talk) -> String", { "check" => true }
+type TalkFormatter, "row", "(Talk) -> String", { "check" => true }
+type TalkFormatter, "page", "(TalkList) -> String", { "check" => true }
+type TalkFormatter, "footer", "() -> String", { "check" => true }
+type TalkFormatter, "banner", "(TalkList) -> String", { "check" => true }
+type TalkFormatter, "sidebar", "(TalkList) -> String", { "check" => true }

@@ -1,0 +1,21 @@
+# Update experiment v0: the initial TalkFormatter.
+# Dependency shape: row -> head, page -> row; footer stands alone.
+
+class TalkFormatter
+  def head(talk)
+    "== " + talk.display_title + " =="
+  end
+
+  def row(talk)
+    head(talk) + " by " + talk.speaker
+  end
+
+  def page(list)
+    rows = list.upcoming.map { |t| row(t) }
+    list.name + "\n" + rows.join("\n")
+  end
+
+  def footer
+    "-- end of page --"
+  end
+end

@@ -1,0 +1,21 @@
+# v1: head's body changes (stars instead of double equals). Its dependent
+# row must re-check; page (which depends on row, not head) stays cached.
+
+class TalkFormatter
+  def head(talk)
+    "** " + talk.display_title + " **"
+  end
+
+  def row(talk)
+    head(talk) + " by " + talk.speaker
+  end
+
+  def page(list)
+    rows = list.upcoming.map { |t| row(t) }
+    list.name + "\n" + rows.join("\n")
+  end
+
+  def footer
+    "-- end of page --"
+  end
+end

@@ -1,0 +1,24 @@
+# v2: two methods change (row, footer) and banner is added.
+
+class TalkFormatter
+  def head(talk)
+    "** " + talk.display_title + " **"
+  end
+
+  def row(talk)
+    head(talk) + " presented by " + talk.speaker
+  end
+
+  def page(list)
+    rows = list.upcoming.map { |t| row(t) }
+    list.name + "\n" + rows.join("\n")
+  end
+
+  def footer
+    "-- fin --"
+  end
+
+  def banner(list)
+    "[ " + list.name + " ]"
+  end
+end

@@ -1,0 +1,29 @@
+# v6: a sweeping restyle — four method bodies change (head, row, footer,
+# banner); page and sidebar are untouched.
+
+class TalkFormatter
+  def head(talk)
+    "# " + talk.display_title
+  end
+
+  def row(talk)
+    head(talk) + " — " + talk.speaker
+  end
+
+  def page(list)
+    rows = list.upcoming.map { |t| row(t) }
+    list.name + "\n" + rows.join("\n")
+  end
+
+  def footer
+    "(c) talks"
+  end
+
+  def banner(list)
+    "~ " + list.name + " ~"
+  end
+
+  def sidebar(list)
+    "lists: " + list.name
+  end
+end

@@ -79,7 +79,10 @@ DB.create_table("user_files", { "name" => "String", "folder_id" => "Fixnum", "si
 "#,
         )],
         sources: &[
-            ("boxroom/models.rb", include_str!("../apps/boxroom/models.rb")),
+            (
+                "boxroom/models.rb",
+                include_str!("../apps/boxroom/models.rb"),
+            ),
             (
                 "boxroom/controllers.rb",
                 include_str!("../apps/boxroom/controllers.rb"),
@@ -181,10 +184,7 @@ pub fn countries() -> AppSpec {
         rails: false,
         needs_datafile: true,
         schema: &[],
-        sources: &[(
-            "countries/lib.rb",
-            include_str!("../apps/countries/lib.rb"),
-        )],
+        sources: &[("countries/lib.rb", include_str!("../apps/countries/lib.rb"))],
         annotations: &[(
             "countries/annotations.rb",
             include_str!("../apps/countries/annotations.rb"),

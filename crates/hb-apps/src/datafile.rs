@@ -9,14 +9,78 @@ use std::rc::Rc;
 /// Country records: code → (name, region, subregion, currency, population,
 /// German translation).
 const COUNTRIES: &[(&str, &str, &str, &str, &str, i64, &str)] = &[
-    ("us", "United States", "Americas", "Northern America", "USD", 331_000_000, "Vereinigte Staaten"),
-    ("br", "Brazil", "Americas", "South America", "BRL", 212_000_000, "Brasilien"),
-    ("de", "Germany", "Europe", "Western Europe", "EUR", 83_000_000, "Deutschland"),
-    ("fr", "France", "Europe", "Western Europe", "EUR", 67_000_000, "Frankreich"),
-    ("it", "Italy", "Europe", "Southern Europe", "EUR", 60_000_000, "Italien"),
-    ("jp", "Japan", "Asia", "Eastern Asia", "JPY", 126_000_000, "Japan"),
-    ("in", "India", "Asia", "Southern Asia", "INR", 1_380_000_000, "Indien"),
-    ("ng", "Nigeria", "Africa", "Western Africa", "NGN", 206_000_000, "Nigeria"),
+    (
+        "us",
+        "United States",
+        "Americas",
+        "Northern America",
+        "USD",
+        331_000_000,
+        "Vereinigte Staaten",
+    ),
+    (
+        "br",
+        "Brazil",
+        "Americas",
+        "South America",
+        "BRL",
+        212_000_000,
+        "Brasilien",
+    ),
+    (
+        "de",
+        "Germany",
+        "Europe",
+        "Western Europe",
+        "EUR",
+        83_000_000,
+        "Deutschland",
+    ),
+    (
+        "fr",
+        "France",
+        "Europe",
+        "Western Europe",
+        "EUR",
+        67_000_000,
+        "Frankreich",
+    ),
+    (
+        "it",
+        "Italy",
+        "Europe",
+        "Southern Europe",
+        "EUR",
+        60_000_000,
+        "Italien",
+    ),
+    (
+        "jp",
+        "Japan",
+        "Asia",
+        "Eastern Asia",
+        "JPY",
+        126_000_000,
+        "Japan",
+    ),
+    (
+        "in",
+        "India",
+        "Asia",
+        "Southern Asia",
+        "INR",
+        1_380_000_000,
+        "Indien",
+    ),
+    (
+        "ng",
+        "Nigeria",
+        "Africa",
+        "Western Africa",
+        "NGN",
+        206_000_000,
+        "Nigeria",
+    ),
 ];
 
 fn country_hash(rec: &(&str, &str, &str, &str, &str, i64, &str)) -> Value {

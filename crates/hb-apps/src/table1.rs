@@ -68,12 +68,11 @@ impl Table1Row {
 pub fn compute_counts(spec: &AppSpec, hb: &Hummingbird) -> AppCounts {
     let stats = hb.stats();
     let rstats = hb.rdl_stats();
-    let is_app_class =
-        |class: &str| spec.app_classes.iter().any(|c| *c == class);
+    let is_app_class = |class: &str| spec.app_classes.contains(&class);
     let mut checked = 0usize;
     let mut app = 0usize;
     for (key, entry) in hb.rdl.entries() {
-        if entry.source == AnnotationSource::Static && is_app_class(&key.class) {
+        if entry.source == AnnotationSource::Static && is_app_class(key.class.as_str()) {
             app += 1;
             if entry.check {
                 checked += 1;
@@ -88,7 +87,7 @@ pub fn compute_counts(spec: &AppSpec, hb: &Hummingbird) -> AppCounts {
             .as_ref()
             .map(|e| e.source == AnnotationSource::Static)
             .unwrap_or(false);
-        if is_static && !is_app_class(&key.class) {
+        if is_static && !is_app_class(key.class.as_str()) {
             library_used += 1;
         }
     }

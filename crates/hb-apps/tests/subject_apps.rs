@@ -18,11 +18,7 @@ fn all_apps_typecheck_under_full_checking() {
             "{}: nothing was checked",
             spec.name
         );
-        assert!(
-            stats.cache_hits > 0,
-            "{}: cache never hit",
-            spec.name
-        );
+        assert!(stats.cache_hits > 0, "{}: cache never hit", spec.name);
     }
 }
 
@@ -115,7 +111,10 @@ fn cct_struct_types_are_generated_and_used() {
     // kind/account_name/amount getters and setters.
     assert!(counts.generated >= 6, "{counts:?}");
     assert!(counts.used >= 1, "{counts:?}");
-    assert!(hb.stats().checked_methods.contains("ApplicationRunner#process_transactions"));
+    assert!(hb
+        .stats()
+        .checked_methods
+        .contains("ApplicationRunner#process_transactions"));
 }
 
 #[test]
@@ -159,7 +158,11 @@ fn update_experiment_tracks_invalidation() {
     // v1: head changed; its dependent (row) re-checks along with it.
     assert_eq!(rows[1].changed, 1, "{:?}", rows[1]);
     assert!(rows[1].deps >= 1, "{:?}", rows[1]);
-    assert!(rows[1].checked >= 2 && rows[1].checked <= 3, "{:?}", rows[1]);
+    assert!(
+        rows[1].checked >= 2 && rows[1].checked <= 3,
+        "{:?}",
+        rows[1]
+    );
     // v2: two changed, one added.
     assert_eq!(rows[2].changed, 2, "{:?}", rows[2]);
     assert_eq!(rows[2].added, 1, "{:?}", rows[2]);

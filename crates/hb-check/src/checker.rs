@@ -9,9 +9,7 @@
 //! (Table 1's "Casts" column).
 
 use crate::info::{ClassInfo, InfoHierarchy};
-use hb_il::{
-    BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator,
-};
+use hb_il::{BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator};
 use hb_rdl::{MethodKey, RdlState, TableEntry};
 use hb_syntax::Span;
 use hb_types::{MethodSig, MethodType, Type, TypeEnv};
@@ -195,7 +193,7 @@ impl<'a> Checker<'a> {
         for p in &cfg.params {
             match p.kind {
                 IlParamKind::Required | IlParamKind::Optional => {
-                    let ty = arm.param_at(pos).cloned().unwrap_or_else(|| {
+                    let ty = arm.param_at(pos).cloned().unwrap_or({
                         // More parameters than the signature declares:
                         // treat extras as %any (blocks are lenient).
                         Type::Any
@@ -268,11 +266,7 @@ impl<'a> Checker<'a> {
 
     /// The dataflow fixpoint over a CFG. Returns the joined type of all
     /// `Return` terminators and the joined exit environment.
-    fn check_cfg(
-        &mut self,
-        cfg: &MethodCfg,
-        init: TypeEnv,
-    ) -> Result<(Type, TypeEnv), CheckError> {
+    fn check_cfg(&mut self, cfg: &MethodCfg, init: TypeEnv) -> Result<(Type, TypeEnv), CheckError> {
         let mut in_envs: HashMap<u32, TypeEnv> = HashMap::new();
         in_envs.insert(cfg.entry.0, init);
         let mut work: VecDeque<u32> = VecDeque::new();
@@ -293,27 +287,26 @@ impl<'a> Checker<'a> {
             for instr in &block.instrs {
                 self.transfer(cfg, &mut env, &instr.kind, instr.span)?;
             }
-            let propagate =
-                |this: &Self,
-                 target: u32,
-                 new_env: TypeEnv,
-                 in_envs: &mut HashMap<u32, TypeEnv>,
-                 work: &mut VecDeque<u32>| {
-                    let new_env = this.widen_env(&new_env);
-                    match in_envs.get(&target) {
-                        None => {
-                            in_envs.insert(target, new_env);
+            let propagate = |this: &Self,
+                             target: u32,
+                             new_env: TypeEnv,
+                             in_envs: &mut HashMap<u32, TypeEnv>,
+                             work: &mut VecDeque<u32>| {
+                let new_env = this.widen_env(&new_env);
+                match in_envs.get(&target) {
+                    None => {
+                        in_envs.insert(target, new_env);
+                        work.push_back(target);
+                    }
+                    Some(old) => {
+                        let joined = this.join_envs(old, &new_env);
+                        if &joined != old {
+                            in_envs.insert(target, joined);
                             work.push_back(target);
                         }
-                        Some(old) => {
-                            let joined = this.join_envs(old, &new_env);
-                            if &joined != old {
-                                in_envs.insert(target, joined);
-                                work.push_back(target);
-                            }
-                        }
                     }
-                };
+                }
+            };
             match &block.term {
                 Terminator::Goto(t) => {
                     propagate(self, t.0, env, &mut in_envs, &mut work);
@@ -431,10 +424,7 @@ impl<'a> Checker<'a> {
                 if let Some(declared) = self.rdl.cvar_type(&chain, name) {
                     if !vt.is_subtype(&declared, &self.hier()) {
                         return Err(CheckError::new(
-                            format!(
-                                "cannot assign {} to @@{} (declared {})",
-                                vt, name, declared
-                            ),
+                            format!("cannot assign {} to @@{} (declared {})", vt, name, declared),
                             span,
                         ));
                     }
@@ -513,10 +503,7 @@ impl<'a> Checker<'a> {
             Rvalue::RangeLit { lo, hi, .. } => {
                 let lt = self.type_operand(env, lo);
                 let ht = self.type_operand(env, hi);
-                Ok(Type::Generic(
-                    "Range".to_string(),
-                    vec![lt.lub(&ht, &hier)],
-                ))
+                Ok(Type::Generic("Range".to_string(), vec![lt.lub(&ht, &hier)]))
             }
             Rvalue::Not(_) => Ok(Type::Bool),
             Rvalue::RescueBind(classes) => {
@@ -530,9 +517,8 @@ impl<'a> Checker<'a> {
             }
             Rvalue::Cast { value, ty } => {
                 let _ = self.type_operand(env, value);
-                let parsed = hb_types::parse_type(ty).map_err(|e| {
-                    CheckError::new(format!("invalid cast type: {e}"), span)
-                })?;
+                let parsed = hb_types::parse_type(ty)
+                    .map_err(|e| CheckError::new(format!("invalid cast type: {e}"), span))?;
                 self.casts.insert((span.file.0, span.lo, span.hi));
                 Ok(parsed)
             }
@@ -564,14 +550,12 @@ impl<'a> Checker<'a> {
             }
             Rvalue::Super { args } => {
                 let chain = self.info.ancestors(&self.self_class);
-                let above: Vec<String> = chain
-                    .iter()
-                    .skip(1)
-                    .cloned()
-                    .collect();
-                let found = self
-                    .rdl
-                    .lookup_along(&above, matches!(self.self_type, Type::ClassObj(_)), &self.method_name);
+                let above: Vec<String> = chain.iter().skip(1).cloned().collect();
+                let found = self.rdl.lookup_along_names(
+                    &above,
+                    matches!(self.self_type, Type::ClassObj(_)),
+                    &self.method_name,
+                );
                 match found {
                     Some((key, entry)) => {
                         self.rdl.mark_used(&key);
@@ -591,7 +575,10 @@ impl<'a> Checker<'a> {
                         }
                         ret.ok_or_else(|| {
                             CheckError::new(
-                                format!("no arm of super {} accepts these arguments", self.method_name),
+                                format!(
+                                    "no arm of super {} accepts these arguments",
+                                    self.method_name
+                                ),
                                 span,
                             )
                         })
@@ -665,8 +652,12 @@ impl<'a> Checker<'a> {
                 }
                 Ok(ret.unwrap_or(Type::Nil))
             }
-            Type::Nil => self.type_nominal_call(cfg, env, "NilClass", None, false, name, args, block, span),
-            Type::Bool => self.type_nominal_call(cfg, env, "Boolean", None, false, name, args, block, span),
+            Type::Nil => {
+                self.type_nominal_call(cfg, env, "NilClass", None, false, name, args, block, span)
+            }
+            Type::Bool => {
+                self.type_nominal_call(cfg, env, "Boolean", None, false, name, args, block, span)
+            }
             Type::Nominal(c) => {
                 self.type_nominal_call(cfg, env, c, None, false, name, args, block, span)
             }
@@ -698,15 +689,13 @@ impl<'a> Checker<'a> {
     ) -> Result<Type, CheckError> {
         let chain = self.info.ancestors(c);
         let found = if class_level {
-            self.rdl
-                .lookup_along(&chain, true, name)
-                .or_else(|| {
-                    // Class objects also answer instance methods of Class.
-                    let class_chain = self.info.ancestors("Class");
-                    self.rdl.lookup_along(&class_chain, false, name)
-                })
+            self.rdl.lookup_along_names(&chain, true, name).or_else(|| {
+                // Class objects also answer instance methods of Class.
+                let class_chain = self.info.ancestors("Class");
+                self.rdl.lookup_along_names(&class_chain, false, name)
+            })
         } else {
-            self.rdl.lookup_along(&chain, false, name)
+            self.rdl.lookup_along_names(&chain, false, name)
         };
 
         // `C.new` falls back to C#initialize (returning an instance of C).
@@ -756,6 +745,7 @@ impl<'a> Checker<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn type_new_call(
         &mut self,
         cfg: &MethodCfg,
@@ -767,7 +757,7 @@ impl<'a> Checker<'a> {
         span: Span,
     ) -> Result<Type, CheckError> {
         let instance = Type::nominal(c);
-        match self.rdl.lookup_along(chain, false, "initialize") {
+        match self.rdl.lookup_along_names(chain, false, "initialize") {
             Some((key, entry)) => {
                 self.rdl.mark_used(&key);
                 self.deps.insert(key);

@@ -46,8 +46,19 @@ impl MapClassInfo {
         m.add("Integer", vec!["Numeric"]);
         m.add("Float", vec!["Numeric"]);
         for c in [
-            "Numeric", "String", "Symbol", "Array", "Hash", "Range", "Proc", "NilClass",
-            "Boolean", "Class", "Module", "Struct", "StandardError",
+            "Numeric",
+            "String",
+            "Symbol",
+            "Array",
+            "Hash",
+            "Range",
+            "Proc",
+            "NilClass",
+            "Boolean",
+            "Class",
+            "Module",
+            "Struct",
+            "StandardError",
         ] {
             m.add(c, vec![]);
         }

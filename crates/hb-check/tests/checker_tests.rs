@@ -59,7 +59,12 @@ impl Fixture {
         );
     }
 
-    fn check(&self, src: &str, self_class: &str, sig: &str) -> Result<hb_check::CheckOutcome, String> {
+    fn check(
+        &self,
+        src: &str,
+        self_class: &str,
+        sig: &str,
+    ) -> Result<hb_check::CheckOutcome, String> {
         let cfg = lower(src);
         let sig = MethodSig::single(parse_method_type(sig).unwrap());
         check_sig(
@@ -85,8 +90,12 @@ fn lower(src: &str) -> MethodCfg {
 #[test]
 fn simple_method_checks() {
     let f = Fixture::new();
-    f.check("def add(a, b)\n a + b\nend", "Object", "(Fixnum, Fixnum) -> Fixnum")
-        .unwrap();
+    f.check(
+        "def add(a, b)\n a + b\nend",
+        "Object",
+        "(Fixnum, Fixnum) -> Fixnum",
+    )
+    .unwrap();
 }
 
 #[test]
@@ -261,7 +270,8 @@ fn nil_receiver_is_error_unless_nilclass_method() {
         .check("def m\n nil.go\nend", "Object", "() -> %any")
         .unwrap_err();
     assert!(err.contains("no type for NilClass#go"), "{err}");
-    f.check("def m\n nil.nil?\nend", "Object", "() -> %bool").unwrap();
+    f.check("def m\n nil.nil?\nend", "Object", "() -> %bool")
+        .unwrap();
 }
 
 #[test]
@@ -417,9 +427,8 @@ fn intersection_body_must_satisfy_all_arms() {
 fn yield_checks_against_declared_block_type() {
     let f = Fixture::new();
     let cfg = lower("def each_twice(x)\n yield(x)\n yield(x)\nend");
-    let sig = MethodSig::single(
-        parse_method_type("(Fixnum) { (Fixnum) -> %any } -> %any").unwrap(),
-    );
+    let sig =
+        MethodSig::single(parse_method_type("(Fixnum) { (Fixnum) -> %any } -> %any").unwrap());
     check_sig(
         &cfg,
         "Object",
@@ -472,7 +481,11 @@ fn deps_record_consulted_methods() {
     let f = Fixture::new();
     f.ty("User", "name", "() -> String");
     let out = f
-        .check("def m(u)\n u.name.length\nend", "Object", "(User) -> Fixnum")
+        .check(
+            "def m(u)\n u.name.length\nend",
+            "Object",
+            "(User) -> Fixnum",
+        )
         .unwrap();
     let deps: Vec<String> = out.deps.iter().map(|k| k.display()).collect();
     assert!(deps.contains(&"User#name".to_string()), "{deps:?}");
@@ -492,14 +505,41 @@ fn module_methods_check_against_mixin_class() {
     f.ty("D", "bar", "(Fixnum) -> String");
     let cfg = lower("def foo(x)\n bar(x)\nend");
     let sig_c = MethodSig::single(parse_method_type("(Fixnum) -> Fixnum").unwrap());
-    check_sig(&cfg, "C", false, &sig_c, &info, &f.rdl, None, &CheckOptions::default()).unwrap();
+    check_sig(
+        &cfg,
+        "C",
+        false,
+        &sig_c,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
     let sig_d = MethodSig::single(parse_method_type("(Fixnum) -> String").unwrap());
-    check_sig(&cfg, "D", false, &sig_d, &info, &f.rdl, None, &CheckOptions::default()).unwrap();
+    check_sig(
+        &cfg,
+        "D",
+        false,
+        &sig_d,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
     // And the wrong pairing fails.
-    assert!(
-        check_sig(&cfg, "D", false, &sig_c, &info, &f.rdl, None, &CheckOptions::default())
-            .is_err()
-    );
+    assert!(check_sig(
+        &cfg,
+        "D",
+        false,
+        &sig_c,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default()
+    )
+    .is_err());
 }
 
 #[test]
@@ -549,8 +589,17 @@ fn class_method_calls_resolve_class_level_table() {
     info.add("Talk", vec![]);
     let cfg = lower("def m(id)\n Talk.find(id).title\nend");
     let sig = MethodSig::single(parse_method_type("(Fixnum) -> String").unwrap());
-    check_sig(&cfg, "Object", false, &sig, &info, &f.rdl, None, &CheckOptions::default())
-        .unwrap();
+    check_sig(
+        &cfg,
+        "Object",
+        false,
+        &sig,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -562,14 +611,36 @@ fn new_falls_back_to_initialize() {
     info.add("Point", vec![]);
     let cfg = lower("def m\n Point.new(1, 2).x\nend");
     let sig = MethodSig::single(parse_method_type("() -> Fixnum").unwrap());
-    check_sig(&cfg, "Object", false, &sig, &info, &f.rdl, None, &CheckOptions::default())
-        .unwrap();
+    check_sig(
+        &cfg,
+        "Object",
+        false,
+        &sig,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
     // Wrong constructor arg types are caught.
     let cfg = lower("def m\n Point.new(\"a\", 2)\nend");
     let sig = MethodSig::single(parse_method_type("() -> %any").unwrap());
-    let err = check_sig(&cfg, "Object", false, &sig, &info, &f.rdl, None, &CheckOptions::default())
-        .unwrap_err();
-    assert!(err.message.contains("argument type mismatch"), "{}", err.message);
+    let err = check_sig(
+        &cfg,
+        "Object",
+        false,
+        &sig,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(
+        err.message.contains("argument type mismatch"),
+        "{}",
+        err.message
+    );
 }
 
 #[test]
@@ -578,12 +649,19 @@ fn rescue_variable_gets_union_of_classes() {
     let mut info = MapClassInfo::with_core();
     info.add("ArgumentError", vec!["StandardError"]);
     f.ty("ArgumentError", "message", "() -> String");
-    let cfg = lower(
-        "def m\n begin\n  1\n rescue ArgumentError => e\n  e.message\n  2\n end\nend",
-    );
+    let cfg = lower("def m\n begin\n  1\n rescue ArgumentError => e\n  e.message\n  2\n end\nend");
     let sig = MethodSig::single(parse_method_type("() -> Fixnum").unwrap());
-    check_sig(&cfg, "Object", false, &sig, &info, &f.rdl, None, &CheckOptions::default())
-        .unwrap();
+    check_sig(
+        &cfg,
+        "Object",
+        false,
+        &sig,
+        &info,
+        &f.rdl,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
 }
 
 #[test]

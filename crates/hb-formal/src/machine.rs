@@ -405,7 +405,7 @@ impl Config {
                     env: std::mem::replace(&mut self.env, frame_env),
                     self_val: std::mem::replace(&mut self.self_val, recv),
                     ctx,
-                    active: std::mem::replace(&mut self.active, Some((cls, m))),
+                    active: self.active.replace((cls, m)),
                 });
                 self.expr = pm.body.as_ref().clone();
                 Step::Continue
@@ -593,7 +593,10 @@ mod tests {
             call(Expr::Nil, M, Expr::New(A)),
         ]);
         let mut cfg = Config::initial(p);
-        assert_eq!(cfg.run(1000, true), RunResult::Blamed(Blame::NilReceiver(M)));
+        assert_eq!(
+            cfg.run(1000, true),
+            RunResult::Blamed(Blame::NilReceiver(M))
+        );
     }
 
     #[test]
@@ -622,7 +625,14 @@ mod tests {
         // via nil-typed positions holding non-nil... which cannot happen.
         // We exercise the rule directly instead.
         let mut cfg = Config::initial(Expr::Nil);
-        cfg.tt.insert(A, M, MTy { dom: Ty::Cls(B), rng: Ty::Nil });
+        cfg.tt.insert(
+            A,
+            M,
+            MTy {
+                dom: Ty::Cls(B),
+                rng: Ty::Nil,
+            },
+        );
         cfg.dt.insert(
             A,
             M,

@@ -203,11 +203,7 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = Expr::Call(
-            Rc::new(Expr::New(Cls(0))),
-            Mth(0),
-            Rc::new(Expr::Nil),
-        );
+        let e = Expr::Call(Rc::new(Expr::New(Cls(0))), Mth(0), Rc::new(Expr::Nil));
         assert_eq!(e.to_string(), "A.new.m0(nil)");
     }
 }

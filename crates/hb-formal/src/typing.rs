@@ -271,10 +271,7 @@ mod tests {
         let mut env = TEnv::new();
         env.bind(X, Ty::Cls(A));
         assert_eq!(type_check(&tt, &env, &Expr::Nil).unwrap().ty, Ty::Nil);
-        assert_eq!(
-            type_check(&tt, &env, &Expr::Var(X)).unwrap().ty,
-            Ty::Cls(A)
-        );
+        assert_eq!(type_check(&tt, &env, &Expr::Var(X)).unwrap().ty, Ty::Cls(A));
         assert!(type_check(&tt, &env, &Expr::Var(VarId(9))).is_err());
     }
 
@@ -294,7 +291,14 @@ mod tests {
         let e = call(Expr::New(A), M, Expr::Nil);
         // No type: error (the paper's §3 B.m example).
         assert!(type_check(&tt, &env, &e).is_err());
-        tt.insert(A, M, MTy { dom: Ty::Cls(B), rng: Ty::Nil });
+        tt.insert(
+            A,
+            M,
+            MTy {
+                dom: Ty::Cls(B),
+                rng: Ty::Nil,
+            },
+        );
         // nil <= B, fine.
         let d = type_check(&tt, &env, &e).unwrap();
         assert_eq!(d.ty, Ty::Nil);
@@ -364,14 +368,24 @@ mod tests {
     #[test]
     fn method_body_checking() {
         let mut tt = TypeTable::new();
-        tt.insert(A, M, MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) });
+        tt.insert(
+            A,
+            M,
+            MTy {
+                dom: Ty::Cls(A),
+                rng: Ty::Cls(A),
+            },
+        );
         // λx. x  with A -> A: fine.
         let d = check_method_body(
             &tt,
             A,
             X,
             &Expr::Var(X),
-            MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) },
+            MTy {
+                dom: Ty::Cls(A),
+                rng: Ty::Cls(A),
+            },
         )
         .unwrap();
         assert_eq!(d.ty, Ty::Cls(A));
@@ -381,7 +395,10 @@ mod tests {
             B,
             X,
             &Expr::SelfE,
-            MTy { dom: Ty::Cls(A), rng: Ty::Cls(A) },
+            MTy {
+                dom: Ty::Cls(A),
+                rng: Ty::Cls(A)
+            },
         )
         .is_err());
     }

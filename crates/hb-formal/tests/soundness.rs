@@ -12,18 +12,13 @@
 //! run.
 
 use hb_formal::{
-    type_check, Cls, Config, Expr, MTy, Mth, PreMethod, RunResult, TEnv, Ty, TypeTable, Val,
-    VarId,
+    type_check, Cls, Config, Expr, MTy, Mth, PreMethod, RunResult, TEnv, Ty, TypeTable, Val, VarId,
 };
 use proptest::prelude::*;
 use std::rc::Rc;
 
 fn arb_ty() -> impl Strategy<Value = Ty> {
-    prop_oneof![
-        Just(Ty::Nil),
-        Just(Ty::Cls(Cls(0))),
-        Just(Ty::Cls(Cls(1))),
-    ]
+    prop_oneof![Just(Ty::Nil), Just(Ty::Cls(Cls(0))), Just(Ty::Cls(Cls(1))),]
 }
 
 fn arb_small_expr() -> impl Strategy<Value = Expr> {
@@ -38,14 +33,18 @@ fn arb_small_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Seq(Rc::new(a), Rc::new(b))),
-            (any::<u8>(), inner.clone())
-                .prop_map(|(x, e)| Expr::Assign(VarId(x % 2), Rc::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::If(Rc::new(c), Rc::new(t), Rc::new(f))),
-            (inner.clone(), any::<u8>(), inner)
-                .prop_map(|(r, m, a)| Expr::Call(Rc::new(r), Mth(m % 2), Rc::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Rc::new(a), Rc::new(b))),
+            (any::<u8>(), inner.clone()).prop_map(|(x, e)| Expr::Assign(VarId(x % 2), Rc::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::If(
+                Rc::new(c),
+                Rc::new(t),
+                Rc::new(f)
+            )),
+            (inner.clone(), any::<u8>(), inner).prop_map(|(r, m, a)| Expr::Call(
+                Rc::new(r),
+                Mth(m % 2),
+                Rc::new(a)
+            )),
         ]
     })
 }

@@ -101,11 +101,26 @@ pub struct Instr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum InstrKind {
     /// `local := rvalue`
-    Assign { local: String, rv: Rvalue },
-    SetIVar { name: String, value: Operand },
-    SetCVar { name: String, value: Operand },
-    SetGVar { name: String, value: Operand },
-    SetConst { path: Vec<String>, value: Operand },
+    Assign {
+        local: String,
+        rv: Rvalue,
+    },
+    SetIVar {
+        name: String,
+        value: Operand,
+    },
+    SetCVar {
+        name: String,
+        value: Operand,
+    },
+    SetGVar {
+        name: String,
+        value: Operand,
+    },
+    SetConst {
+        path: Vec<String>,
+        value: Operand,
+    },
 }
 
 /// How a basic block transfers control.

@@ -316,9 +316,9 @@ impl Lowerer {
                 self.assign_temp(Rvalue::Yield(ops), span)
             }
             ExprKind::Super { args } => {
-                let ops = args.as_ref().map(|args| {
-                    args.iter().map(|a| self.lower_expr(a)).collect::<Vec<_>>()
-                });
+                let ops = args
+                    .as_ref()
+                    .map(|args| args.iter().map(|a| self.lower_expr(a)).collect::<Vec<_>>());
                 self.assign_temp(Rvalue::Super { args: ops }, span)
             }
             ExprKind::And(l, r) => {
@@ -957,9 +957,7 @@ mod tests {
             .iter()
             .flat_map(|b| &b.instrs)
             .filter_map(|i| match &i.kind {
-                InstrKind::Assign { local, .. } if local.starts_with("%t") => {
-                    Some(local.as_str())
-                }
+                InstrKind::Assign { local, .. } if local.starts_with("%t") => Some(local.as_str()),
                 _ => None,
             })
             .collect();
@@ -988,8 +986,7 @@ mod tests {
 
     #[test]
     fn break_goes_to_exit_next_to_cond() {
-        let cfg =
-            lower_first_method("def m(n)\n while true\n  break if n\n  next\n end\nend");
+        let cfg = lower_first_method("def m(n)\n while true\n  break if n\n  next\n end\nend");
         // Must still be a well-formed CFG (every block reachable from the
         // break/next targets exists).
         for (i, _) in cfg.blocks.iter().enumerate() {
@@ -1017,9 +1014,9 @@ mod tests {
     fn op_assign_or_reads_then_branches() {
         let cfg = lower_first_method("def m\n @@cache ||= 1\n @@cache\nend");
         // Reads the class var, branches on it.
-        let reads_cvar = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-            matches!(&i.kind, InstrKind::Assign { rv: Rvalue::CVar(n), .. } if n == "cache")
-        });
+        let reads_cvar = cfg.blocks.iter().flat_map(|b| &b.instrs).any(
+            |i| matches!(&i.kind, InstrKind::Assign { rv: Rvalue::CVar(n), .. } if n == "cache"),
+        );
         assert!(reads_cvar);
         let writes_cvar = cfg
             .blocks
@@ -1109,11 +1106,16 @@ mod tests {
 
     #[test]
     fn rescue_produces_nondet_edges_and_bind() {
-        let cfg = lower_first_method(
-            "def m\n begin\n  work\n rescue ArgumentError => e\n  e\n end\nend",
-        );
+        let cfg =
+            lower_first_method("def m\n begin\n  work\n rescue ArgumentError => e\n  e\n end\nend");
         let has_nondet_branch = cfg.blocks.iter().any(|b| {
-            matches!(&b.term, Terminator::Branch { cond: Operand::Nondet, .. })
+            matches!(
+                &b.term,
+                Terminator::Branch {
+                    cond: Operand::Nondet,
+                    ..
+                }
+            )
         });
         assert!(has_nondet_branch);
         let has_bind = cfg.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
@@ -1127,7 +1129,10 @@ mod tests {
         let cfg = lower_first_method("def m(a, b = 1)\n b\nend");
         assert!(matches!(
             cfg.block(cfg.entry).term,
-            Terminator::Branch { cond: Operand::Nondet, .. }
+            Terminator::Branch {
+                cond: Operand::Nondet,
+                ..
+            }
         ));
         assert_eq!(cfg.params[1].kind, IlParamKind::Optional);
     }
@@ -1180,7 +1185,11 @@ mod tests {
         for (i, b) in cfg.blocks.iter().enumerate() {
             if reachable[i] {
                 for instr in &b.instrs {
-                    if let InstrKind::Assign { rv: Rvalue::Call { name, .. }, .. } = &instr.kind {
+                    if let InstrKind::Assign {
+                        rv: Rvalue::Call { name, .. },
+                        ..
+                    } = &instr.kind
+                    {
                         assert_ne!(name, "unreachable_call");
                     }
                 }

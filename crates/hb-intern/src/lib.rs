@@ -1,0 +1,199 @@
+//! A string interner providing [`Sym`]: cheap, `Copy`, hash-friendly keys
+//! for the dispatch hot path.
+//!
+//! The Hummingbird engine intercepts *every* call to a checkable method; on
+//! the steady-state (cache-hit) path the only work should be a couple of
+//! hash probes. Interning class and method names once turns the former
+//! String-keyed cache lookups into `u32` comparisons and removes all
+//! per-call allocation.
+//!
+//! The interner is process-wide and thread-local (the interpreter itself is
+//! single-threaded by construction — `Rc` throughout). Interned strings are
+//! leaked, which bounds memory by the number of *distinct* names ever seen:
+//! exactly the class/method names of the program, the same order of memory
+//! the method tables themselves retain.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_intern::Sym;
+//!
+//! let a = Sym::intern("Talk");
+//! let b = Sym::intern("Talk");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "Talk");
+//! // Ordering is by string content, so sorted reports stay alphabetical.
+//! assert!(Sym::intern("Apple") < Sym::intern("Banana"));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+thread_local! {
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::new());
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &'static str {
+        self.strings[id as usize]
+    }
+}
+
+/// An interned string. Equality and hashing are `u32` operations; ordering
+/// compares the underlying strings so sorted collections read
+/// alphabetically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Interns `s`, returning its symbol. Repeated calls with the same
+    /// content return the same symbol and allocate nothing after the first.
+    pub fn intern(s: &str) -> Sym {
+        INTERNER.with(|i| Sym(i.borrow_mut().intern(s)))
+    }
+
+    /// The interned string. `'static` because interned strings live for the
+    /// process (see module docs).
+    pub fn as_str(self) -> &'static str {
+        INTERNER.with(|i| i.borrow().resolve(self.0))
+    }
+
+    /// The raw interner index (stable within a thread for the process
+    /// lifetime; useful for dense side tables).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+// Both Display and Debug render the interned text (Debug without quotes —
+// symbols are identifiers, not data).
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(&s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = Sym::intern("hello");
+        let b = Sym::intern("hello");
+        let c = Sym::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn ordering_is_by_content() {
+        let z = Sym::intern("zzz");
+        let a = Sym::intern("aaa");
+        assert!(a < z, "content order, not interning order");
+        let mut v = [z, a, Sym::intern("mmm")];
+        v.sort();
+        let strs: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(strs, vec!["aaa", "mmm", "zzz"]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Sym::intern("Talk#owner?");
+        assert_eq!(format!("{s}"), "Talk#owner?");
+        assert_eq!(format!("{s:?}"), "Talk#owner?");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Sym = "abc".into();
+        let b: Sym = String::from("abc").into();
+        assert_eq!(a, b);
+        assert_eq!(a, "abc");
+        assert_eq!(a.as_ref(), "abc");
+    }
+}

@@ -4,7 +4,9 @@
 
 use crate::error::Flow;
 use crate::value::{ClassId, ProcVal, Value};
+use hb_intern::Sym;
 use hb_syntax::ast::MethodDefNode;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -42,6 +44,9 @@ impl MethodEntry {
 /// A runtime class or module.
 pub struct ClassDef {
     pub name: String,
+    /// The interned name — the dispatch hot path keys annotation lookups by
+    /// this, avoiding any per-call string work.
+    pub name_sym: Sym,
     pub superclass: Option<ClassId>,
     pub is_module: bool,
     /// Included modules, in inclusion order (later lookups win).
@@ -55,6 +60,9 @@ pub struct ClassDef {
     pub ivars: HashMap<String, Value>,
     /// Class variables (`@@x`), shared down the inheritance chain.
     pub cvars: HashMap<String, Value>,
+    /// Memoised linearised ancestor chain, tagged with the hierarchy
+    /// generation it was computed at (see `ClassRegistry::hierarchy_gen`).
+    ancestor_cache: RefCell<Option<(u64, Rc<[ClassId]>)>>,
 }
 
 /// An event emitted by the registry; drained by the Hummingbird engine to
@@ -89,6 +97,10 @@ pub struct ClassRegistry {
     classes: Vec<ClassDef>,
     by_name: HashMap<String, ClassId>,
     next_method_id: u64,
+    /// Bumped whenever the class graph changes shape (superclass set or
+    /// module included); memoised ancestor chains from older generations
+    /// are recomputed lazily.
+    hierarchy_gen: u64,
     pub events: Vec<InterpEvent>,
 }
 
@@ -100,6 +112,7 @@ impl ClassRegistry {
             classes: Vec::new(),
             by_name: HashMap::new(),
             next_method_id: 1,
+            hierarchy_gen: 0,
             events: Vec::new(),
         };
         let object = r.define_class("Object", None, false);
@@ -127,6 +140,7 @@ impl ClassRegistry {
             if c.superclass.is_none() {
                 if let Some(s) = superclass {
                     c.superclass = Some(s);
+                    self.hierarchy_gen += 1;
                 }
             }
             return id;
@@ -139,6 +153,7 @@ impl ClassRegistry {
         let id = ClassId(self.classes.len() as u32);
         self.classes.push(ClassDef {
             name: name.to_string(),
+            name_sym: Sym::intern(name),
             superclass,
             is_module,
             includes: Vec::new(),
@@ -147,6 +162,7 @@ impl ClassRegistry {
             struct_members: None,
             ivars: HashMap::new(),
             cvars: HashMap::new(),
+            ancestor_cache: RefCell::new(None),
         });
         self.by_name.insert(name.to_string(), id);
         id
@@ -181,13 +197,20 @@ impl ClassRegistry {
         &self.class(id).name
     }
 
+    /// The interned class name for `id` (no allocation, `Copy`).
+    pub fn name_sym(&self, id: ClassId) -> Sym {
+        self.class(id).name_sym
+    }
+
     /// Renames a class (used when an anonymous `Struct.new` class is
     /// assigned to a constant, as Ruby does).
     pub fn rename(&mut self, id: ClassId, new_name: &str) {
         let old = self.class(id).name.clone();
         self.by_name.remove(&old);
         self.by_name.insert(new_name.to_string(), id);
-        self.class_mut(id).name = new_name.to_string();
+        let c = self.class_mut(id);
+        c.name = new_name.to_string();
+        c.name_sym = Sym::intern(new_name);
     }
 
     fn fresh_method_id(&mut self) -> u64 {
@@ -252,13 +275,28 @@ impl ClassRegistry {
         let c = self.class_mut(class);
         if !c.includes.contains(&module) {
             c.includes.push(module);
-            self.events.push(InterpEvent::ModuleIncluded { class, module });
+            self.hierarchy_gen += 1;
+            self.events
+                .push(InterpEvent::ModuleIncluded { class, module });
         }
     }
 
-    /// The linearised ancestor chain of `class`: itself, its includes
-    /// (latest first), then the superclass chain likewise.
-    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+    /// The linearised ancestor chain of `class`, memoised per class and
+    /// invalidated when the hierarchy changes shape. This is the dispatch
+    /// hot path's chain: cloning the `Rc` is the only per-call cost.
+    pub fn ancestor_chain(&self, class: ClassId) -> Rc<[ClassId]> {
+        let cache = &self.class(class).ancestor_cache;
+        if let Some((gen, chain)) = cache.borrow().as_ref() {
+            if *gen == self.hierarchy_gen {
+                return chain.clone();
+            }
+        }
+        let chain: Rc<[ClassId]> = self.compute_ancestors(class).into();
+        *cache.borrow_mut() = Some((self.hierarchy_gen, chain.clone()));
+        chain
+    }
+
+    fn compute_ancestors(&self, class: ClassId) -> Vec<ClassId> {
         let mut out = Vec::new();
         let mut cur = Some(class);
         while let Some(id) = cur {
@@ -274,10 +312,26 @@ impl ClassRegistry {
         out
     }
 
+    /// The linearised ancestor chain of `class`: itself, its includes
+    /// (latest first), then the superclass chain likewise.
+    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+        self.ancestor_chain(class).to_vec()
+    }
+
+    /// The ancestor chain as `(ClassId, Sym)` pairs — the allocation-free
+    /// resolution path the engine hook uses for annotation lookup.
+    pub fn ancestor_syms(&self, class: ClassId) -> impl Iterator<Item = (ClassId, Sym)> + '_ {
+        let chain = self.ancestor_chain(class);
+        (0..chain.len()).map(move |i| {
+            let id = chain[i];
+            (id, self.class(id).name_sym)
+        })
+    }
+
     /// Finds an instance method along the ancestor chain; returns the owner
     /// class id and the entry.
     pub fn find_method(&self, class: ClassId, name: &str) -> Option<(ClassId, MethodEntry)> {
-        for id in self.ancestors(class) {
+        for &id in self.ancestor_chain(class).iter() {
             if let Some(e) = self.class(id).methods.get(name) {
                 return Some((id, e.clone()));
             }
@@ -288,7 +342,7 @@ impl ClassRegistry {
     /// Finds a class-level method: singleton tables along the superclass
     /// chain (Ruby inherits class methods), including modules' smethods.
     pub fn find_smethod(&self, class: ClassId, name: &str) -> Option<(ClassId, MethodEntry)> {
-        for id in self.ancestors(class) {
+        for &id in self.ancestor_chain(class).iter() {
             if let Some(e) = self.class(id).smethods.get(name) {
                 return Some((id, e.clone()));
             }
@@ -304,7 +358,7 @@ impl ClassRegistry {
         owner: ClassId,
         name: &str,
     ) -> Option<(ClassId, MethodEntry)> {
-        let chain = self.ancestors(class);
+        let chain = self.ancestor_chain(class);
         let start = chain.iter().position(|&c| c == owner)? + 1;
         for &id in &chain[start..] {
             if let Some(e) = self.class(id).methods.get(name) {
@@ -316,7 +370,7 @@ impl ClassRegistry {
 
     /// True if `sub` is `sup` or inherits/mixes it in.
     pub fn is_descendant(&self, sub: ClassId, sup: ClassId) -> bool {
-        self.ancestors(sub).contains(&sup)
+        self.ancestor_chain(sub).contains(&sup)
     }
 
     /// Name-based descendant check (implements the checker's `Hierarchy`).
@@ -497,7 +551,10 @@ mod tests {
     fn class_of_primitives() {
         let r = {
             let mut r = ClassRegistry::new();
-            for n in ["NilClass", "Boolean", "Fixnum", "Float", "String", "Symbol", "Array", "Hash", "Range", "Proc", "Class"] {
+            for n in [
+                "NilClass", "Boolean", "Fixnum", "Float", "String", "Symbol", "Array", "Hash",
+                "Range", "Proc", "Class",
+            ] {
                 r.define_class(n, None, false);
             }
             r

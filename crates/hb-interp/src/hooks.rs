@@ -5,6 +5,7 @@ use crate::class::MethodEntry;
 use crate::error::HbError;
 use crate::interp::Interp;
 use crate::value::{ClassId, Value};
+use hb_intern::Sym;
 use hb_syntax::Span;
 
 /// Information about a dispatch about to happen to a *checkable* (non-
@@ -18,7 +19,9 @@ pub struct DispatchInfo {
     pub class_level: bool,
     /// The class/module that lexically owns the method definition.
     pub owner: ClassId,
-    pub name: String,
+    /// The interned method name — hooks resolve annotations by symbol, so
+    /// constructing this info allocates nothing.
+    pub name: Sym,
     /// The method table entry (its `id` changes on redefinition).
     pub entry: MethodEntry,
     /// Call-site span, for blame messages.

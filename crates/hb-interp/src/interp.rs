@@ -209,27 +209,19 @@ impl Interp {
     /// Defines (or reopens) a class and binds its constant.
     pub fn define_class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
         let id = self.registry.define_class(name, superclass, false);
-        self.constants
-            .insert(name.to_string(), Value::Class(id));
+        self.constants.insert(name.to_string(), Value::Class(id));
         id
     }
 
     /// Defines (or reopens) a module and binds its constant.
     pub fn define_module(&mut self, name: &str) -> ClassId {
         let id = self.registry.define_class(name, None, true);
-        self.constants
-            .insert(name.to_string(), Value::Class(id));
+        self.constants.insert(name.to_string(), Value::Class(id));
         id
     }
 
     /// Registers a native method.
-    pub fn define_builtin(
-        &mut self,
-        class: ClassId,
-        name: &str,
-        class_level: bool,
-        f: BuiltinFn,
-    ) {
+    pub fn define_builtin(&mut self, class: ClassId, name: &str, class_level: bool, f: BuiltinFn) {
         self.registry
             .add_method(class, name, MethodBody::Builtin(f), class_level);
     }
@@ -583,9 +575,7 @@ impl Interp {
                 superclass,
                 body,
             } => self.eval_class_def(path, superclass.as_deref(), body, false, span),
-            ExprKind::ModuleDef { path, body } => {
-                self.eval_class_def(path, None, body, true, span)
-            }
+            ExprKind::ModuleDef { path, body } => self.eval_class_def(path, None, body, true, span),
             ExprKind::MethodDef(def) => {
                 let definee = self.definee();
                 self.registry.add_method(
@@ -678,7 +668,10 @@ impl Interp {
             }
             other => Err(Flow::Error(HbError::new(
                 ErrorKind::TypeError,
-                format!("wrong argument type {} (expected Proc)", self.class_name_of(&other)),
+                format!(
+                    "wrong argument type {} (expected Proc)",
+                    self.class_name_of(&other)
+                ),
                 Span::dummy(),
             ))),
         }
@@ -774,13 +767,7 @@ impl Interp {
 
     // ----- assignment targets ------------------------------------------------
 
-    fn assign(
-        &mut self,
-        target: &Lhs,
-        v: Value,
-        scope: &ScopeRef,
-        span: Span,
-    ) -> Result<(), Flow> {
+    fn assign(&mut self, target: &Lhs, v: Value, scope: &ScopeRef, span: Span) -> Result<(), Flow> {
         match target {
             Lhs::Local(n) => {
                 scope.set(n, v);
@@ -963,8 +950,7 @@ impl Interp {
         };
         let existed = self.registry.lookup(&full_name).is_some();
         let cid = self.registry.define_class(&full_name, sup, is_module);
-        self.constants
-            .insert(full_name.clone(), Value::Class(cid));
+        self.constants.insert(full_name.clone(), Value::Class(cid));
         // The `inherited` hook fires on fresh subclass creation.
         if !existed && !is_module {
             if let Some(s) = sup {
@@ -1003,7 +989,10 @@ impl Interp {
     pub fn class_name_of(&self, v: &Value) -> String {
         match v {
             Value::Class(c) => format!("Class<{}>", self.registry.name(*c)),
-            other => self.registry.name(self.registry.class_of(other)).to_string(),
+            other => self
+                .registry
+                .name(self.registry.class_of(other))
+                .to_string(),
         }
     }
 
@@ -1116,7 +1105,7 @@ impl Interp {
                 recv_class,
                 class_level,
                 owner,
-                name: name.to_string(),
+                name: hb_intern::Sym::intern(name),
                 entry: entry.clone(),
                 span,
             };
@@ -1396,8 +1385,7 @@ impl Interp {
                 let object = self.registry.object();
                 match self.registry.find_method(o.class, "to_s") {
                     Some((owner, _)) if owner != object => {
-                        let r =
-                            self.call_method(v.clone(), "to_s", vec![], None, Span::dummy())?;
+                        let r = self.call_method(v.clone(), "to_s", vec![], None, Span::dummy())?;
                         if let Value::Str(s) = r {
                             Ok(s.to_string())
                         } else {

@@ -40,9 +40,12 @@ pub(crate) fn install(interp: &mut Interp) {
     def_method(interp, "Object", "require", |_i, _recv, _args, _b| {
         Ok(Value::Bool(true))
     });
-    def_method(interp, "Object", "require_relative", |_i, _recv, _args, _b| {
-        Ok(Value::Bool(true))
-    });
+    def_method(
+        interp,
+        "Object",
+        "require_relative",
+        |_i, _recv, _args, _b| Ok(Value::Bool(true)),
+    );
     def_method(interp, "Object", "lambda", |_i, _recv, _args, b| {
         b.ok_or_else(|| arg_error("lambda: no block given"))
     });
@@ -99,7 +102,11 @@ fn puts_one(i: &mut Interp, v: &Value) -> Result<(), Flow> {
 
 fn raise_impl(i: &mut Interp, args: Vec<Value>) -> Result<Value, Flow> {
     let (class_name, message, value) = match args.first() {
-        None => ("RuntimeError".to_string(), "unhandled exception".to_string(), None),
+        None => (
+            "RuntimeError".to_string(),
+            "unhandled exception".to_string(),
+            None,
+        ),
         Some(Value::Str(msg)) => ("RuntimeError".to_string(), msg.to_string(), None),
         Some(Value::Class(cid)) => {
             let class_name = i.registry.name(*cid).to_string();

@@ -112,7 +112,9 @@ pub(crate) fn arg(args: &[Value], i: usize) -> Value {
 pub(crate) fn need_int(v: &Value, what: &str) -> Result<i64, Flow> {
     match v {
         Value::Int(n) => Ok(*n),
-        other => Err(type_error(format!("{what}: expected Integer, got {other:?}"))),
+        other => Err(type_error(format!(
+            "{what}: expected Integer, got {other:?}"
+        ))),
     }
 }
 
@@ -120,7 +122,9 @@ pub(crate) fn need_int(v: &Value, what: &str) -> Result<i64, Flow> {
 pub(crate) fn need_str(v: &Value, what: &str) -> Result<Rc<str>, Flow> {
     match v {
         Value::Str(s) => Ok(s.clone()),
-        other => Err(type_error(format!("{what}: expected String, got {other:?}"))),
+        other => Err(type_error(format!(
+            "{what}: expected String, got {other:?}"
+        ))),
     }
 }
 

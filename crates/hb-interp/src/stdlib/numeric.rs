@@ -64,13 +64,31 @@ fn zero_guard(y: i64) -> Result<(), Flow> {
 pub(crate) fn install(interp: &mut Interp) {
     for class in ["Integer", "Float"] {
         def_method(interp, class, "+", |_i, recv, args, _b| {
-            arith(&recv, &args, "+", |x, y| Ok(x.wrapping_add(y)), |x, y| x + y)
+            arith(
+                &recv,
+                &args,
+                "+",
+                |x, y| Ok(x.wrapping_add(y)),
+                |x, y| x + y,
+            )
         });
         def_method(interp, class, "-", |_i, recv, args, _b| {
-            arith(&recv, &args, "-", |x, y| Ok(x.wrapping_sub(y)), |x, y| x - y)
+            arith(
+                &recv,
+                &args,
+                "-",
+                |x, y| Ok(x.wrapping_sub(y)),
+                |x, y| x - y,
+            )
         });
         def_method(interp, class, "*", |_i, recv, args, _b| {
-            arith(&recv, &args, "*", |x, y| Ok(x.wrapping_mul(y)), |x, y| x * y)
+            arith(
+                &recv,
+                &args,
+                "*",
+                |x, y| Ok(x.wrapping_mul(y)),
+                |x, y| x * y,
+            )
         });
         def_method(interp, class, "/", |_i, recv, args, _b| {
             arith(
@@ -223,18 +241,14 @@ pub(crate) fn install(interp: &mut Interp) {
             None => Ok(Value::Int(x.round() as i64)),
         }
     });
-    def_method(interp, "Float", "floor", |_i, recv, _args, _b| {
-        match recv {
-            Value::Float(x) => Ok(Value::Int(x.floor() as i64)),
-            Value::Int(n) => Ok(Value::Int(n)),
-            _ => Err(type_error("floor on non-numeric")),
-        }
+    def_method(interp, "Float", "floor", |_i, recv, _args, _b| match recv {
+        Value::Float(x) => Ok(Value::Int(x.floor() as i64)),
+        Value::Int(n) => Ok(Value::Int(n)),
+        _ => Err(type_error("floor on non-numeric")),
     });
-    def_method(interp, "Float", "ceil", |_i, recv, _args, _b| {
-        match recv {
-            Value::Float(x) => Ok(Value::Int(x.ceil() as i64)),
-            Value::Int(n) => Ok(Value::Int(n)),
-            _ => Err(type_error("ceil on non-numeric")),
-        }
+    def_method(interp, "Float", "ceil", |_i, recv, _args, _b| match recv {
+        Value::Float(x) => Ok(Value::Int(x.ceil() as i64)),
+        Value::Int(n) => Ok(Value::Int(n)),
+        _ => Err(type_error("ceil on non-numeric")),
     });
 }

@@ -31,19 +31,23 @@ pub(crate) fn install(interp: &mut Interp) {
     def_method(interp, "Object", "kind_of?", |i, recv, args, _b| {
         is_a(i, &recv, &arg(&args, 0))
     });
-    def_method(interp, "Object", "instance_of?", |i, recv, args, _b| {
-        match arg(&args, 0) {
+    def_method(
+        interp,
+        "Object",
+        "instance_of?",
+        |i, recv, args, _b| match arg(&args, 0) {
             Value::Class(c) => Ok(Value::Bool(i.registry.class_of(&recv) == c)),
-            other => Err(type_error(format!("instance_of?: {other:?} is not a class"))),
-        }
-    });
+            other => Err(type_error(format!(
+                "instance_of?: {other:?} is not a class"
+            ))),
+        },
+    );
     def_method(interp, "Object", "respond_to?", |i, recv, args, _b| {
         let name = need_name(&arg(&args, 0), "respond_to?")?;
         let ok = match &recv {
             Value::Class(c) => {
                 i.registry.find_smethod(*c, &name).is_some()
-                    || i
-                        .registry
+                    || i.registry
                         .lookup("Class")
                         .and_then(|cc| i.registry.find_method(cc, &name))
                         .is_some()
@@ -77,8 +81,7 @@ pub(crate) fn install(interp: &mut Interp) {
         Ok(match &recv {
             Value::Array(a) => Value::array(a.borrow().clone()),
             Value::Hash(h) => {
-                let pairs: Vec<(Value, Value)> =
-                    h.borrow().iter().cloned().collect();
+                let pairs: Vec<(Value, Value)> = h.borrow().iter().cloned().collect();
                 Value::hash_from(pairs)
             }
             other => other.clone(),
@@ -137,6 +140,8 @@ fn is_a(i: &mut Interp, recv: &Value, class: &Value) -> Result<Value, Flow> {
             let have = i.registry.class_of(recv);
             Ok(Value::Bool(i.registry.is_descendant(have, *want)))
         }
-        other => Err(type_error(format!("is_a?: {other:?} is not a class/module"))),
+        other => Err(type_error(format!(
+            "is_a?: {other:?} is not a class/module"
+        ))),
     }
 }

@@ -5,11 +5,7 @@ use crate::value::Value;
 
 fn bounds(v: &Value, what: &str) -> Result<(i64, i64, bool), Flow> {
     match v {
-        Value::Range(r) => Ok((
-            need_int(&r.0, what)?,
-            need_int(&r.1, what)?,
-            r.2,
-        )),
+        Value::Range(r) => Ok((need_int(&r.0, what)?, need_int(&r.1, what)?, r.2)),
         other => Err(type_error(format!("{what}: expected Range, got {other:?}"))),
     }
 }
@@ -47,9 +43,7 @@ pub(crate) fn install(interp: &mut Interp) {
     });
     def_method(interp, "Range", "to_a", |_i, recv, _args, _b| {
         let (lo, hi, ex) = bounds(&recv, "to_a")?;
-        Ok(Value::array(
-            (lo..=upper(hi, ex)).map(Value::Int).collect(),
-        ))
+        Ok(Value::array((lo..=upper(hi, ex)).map(Value::Int).collect()))
     });
     for name in ["include?", "cover?", "member?"] {
         def_method(interp, "Range", name, |_i, recv, args, _b| {
@@ -69,11 +63,9 @@ pub(crate) fn install(interp: &mut Interp) {
         let (lo, _, _) = bounds(&recv, "first")?;
         Ok(Value::Int(lo))
     });
-    def_method(interp, "Range", "last", |_i, recv, _args, _b| {
-        match &recv {
-            Value::Range(r) => Ok(r.1.clone()),
-            _ => Err(type_error("last on non-range")),
-        }
+    def_method(interp, "Range", "last", |_i, recv, _args, _b| match &recv {
+        Value::Range(r) => Ok(r.1.clone()),
+        _ => Err(type_error("last on non-range")),
     });
     def_method(interp, "Range", "size", |_i, recv, _args, _b| {
         let (lo, hi, ex) = bounds(&recv, "size")?;

@@ -26,7 +26,10 @@ pub(crate) fn install(interp: &mut Interp) {
         }
     });
     for (name, f) in [
-        ("<", std::cmp::Ordering::is_lt as fn(std::cmp::Ordering) -> bool),
+        (
+            "<",
+            std::cmp::Ordering::is_lt as fn(std::cmp::Ordering) -> bool,
+        ),
         (">", std::cmp::Ordering::is_gt),
         ("<=", std::cmp::Ordering::is_le),
         (">=", std::cmp::Ordering::is_ge),
@@ -65,7 +68,10 @@ pub(crate) fn install(interp: &mut Interp) {
     });
     def_method(interp, "String", "reverse", |_i, recv, _args, _b| {
         Ok(Value::str(
-            need_str(&recv, "reverse")?.chars().rev().collect::<String>(),
+            need_str(&recv, "reverse")?
+                .chars()
+                .rev()
+                .collect::<String>(),
         ))
     });
     def_method(interp, "String", "include?", |_i, recv, args, _b| {
@@ -200,11 +206,9 @@ pub(crate) fn install(interp: &mut Interp) {
     });
 
     // Symbol.
-    def_method(interp, "Symbol", "to_s", |_i, recv, _args, _b| {
-        match recv {
-            Value::Sym(s) => Ok(Value::str(&*s)),
-            _ => Err(type_error("Symbol#to_s on non-symbol")),
-        }
+    def_method(interp, "Symbol", "to_s", |_i, recv, _args, _b| match recv {
+        Value::Sym(s) => Ok(Value::str(&*s)),
+        _ => Err(type_error("Symbol#to_s on non-symbol")),
     });
     def_method(interp, "Symbol", "to_sym", |_i, recv, _args, _b| Ok(recv));
     def_method(interp, "Symbol", "==", |_i, recv, args, _b| {

@@ -147,9 +147,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Sym(a), Value::Sym(b)) => a == b,
             (Value::Array(a), Value::Array(b)) => {
@@ -166,8 +164,7 @@ impl Value {
                 }
                 let a = a.borrow();
                 let b = b.borrow();
-                a.len() == b.len()
-                    && a.iter().all(|(k, v)| b.get(k).is_some_and(|w| v.raw_eq(w)))
+                a.len() == b.len() && a.iter().all(|(k, v)| b.get(k).is_some_and(|w| v.raw_eq(w)))
             }
             (Value::Range(a), Value::Range(b)) => {
                 a.0.raw_eq(&b.0) && a.1.raw_eq(&b.1) && a.2 == b.2

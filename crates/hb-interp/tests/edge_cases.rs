@@ -50,10 +50,7 @@ fn deep_recursion_hits_guard_not_stack_overflow() {
 #[test]
 fn unset_local_in_untaken_branch_reads_nil() {
     // Ruby: a local assigned only in an untaken branch reads as nil.
-    assert!(matches!(
-        eval("x = 1 if false\nx"),
-        Value::Nil
-    ));
+    assert!(matches!(eval("x = 1 if false\nx"), Value::Nil));
 }
 
 #[test]
@@ -180,10 +177,7 @@ fn comparison_chains_and_spaceship() {
 
 #[test]
 fn sort_with_custom_comparator_block() {
-    assert_eq!(
-        eval_s("[1, 3, 2].sort { |a, b| b <=> a }.join"),
-        "321"
-    );
+    assert_eq!(eval_s("[1, 3, 2].sort { |a, b| b <=> a }.join"), "321");
 }
 
 #[test]

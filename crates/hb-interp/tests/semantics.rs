@@ -142,7 +142,10 @@ fn ranges() {
     assert_eq!(eval_i("(1..4).to_a.size"), 4);
     assert_eq!(eval_i("(1...4).to_a.size"), 3);
     assert!(eval_b("(1..10).include?(5)"));
-    assert_eq!(eval_i("total = 0\n(1..3).each { |i| total += i }\ntotal"), 6);
+    assert_eq!(
+        eval_i("total = 0\n(1..3).each { |i| total += i }\ntotal"),
+        6
+    );
 }
 
 // ----- control flow -----------------------------------------------------------
@@ -824,7 +827,8 @@ fn method_events_are_emitted() {
 fn define_method_emits_event() {
     use hb_interp::InterpEvent;
     let mut i = Interp::new();
-    i.eval_str("class A\nend\nA.define_method(:dm) { 1 }").unwrap();
+    i.eval_str("class A\nend\nA.define_method(:dm) { 1 }")
+        .unwrap();
     let ev = i.drain_events();
     assert!(ev
         .iter()

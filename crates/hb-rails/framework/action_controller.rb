@@ -1,0 +1,49 @@
+# ActionController and the router, written in RubyLite. Controller actions
+# are ordinary methods dispatched by name, so Hummingbird's hook intercepts
+# them like any other call.
+
+module ActionController
+end
+
+class ActionController::Base
+  def set_params(p)
+    @params = p
+  end
+
+  def params
+    @params
+  end
+
+  def render(text)
+    @response = text
+    text
+  end
+
+  def redirect_to(path)
+    @response = "redirect:" + path
+    @response
+  end
+
+  def response
+    @response
+  end
+end
+
+class Router
+  def initialize
+    @routes = {}
+  end
+
+  def draw(method, path, controller, action)
+    @routes["#{method} #{path}"] = [controller, action]
+  end
+
+  def dispatch(method, path, params = {})
+    route = @routes["#{method} #{path}"]
+    raise RecordNotFound, "no route matches #{method} #{path}" if route.nil?
+    controller = route[0].new
+    controller.set_params(params)
+    controller.send(route[1])
+    controller.response
+  end
+end

@@ -1,0 +1,154 @@
+# ActiveRecord, written in RubyLite over the native DB substrate. The
+# metaprogramming here — schema-driven attribute methods, association
+# generation, method_missing finders — is exactly what the paper's Fig. 1
+# pre-hooks annotate at run time.
+
+module ActiveRecord
+end
+
+class ActiveRecord::Base
+  def self.inherited(subclass)
+    subclass.define_attribute_methods
+  end
+
+  def self.table_name
+    name.tableize
+  end
+
+  # Generates a getter and setter per schema column (Rails' attribute
+  # methods). Runs when a model class is first defined.
+  def self.define_attribute_methods
+    cols = DB.columns(table_name)
+    cols.each do |col, t|
+      define_method(col) do
+        @attributes[col]
+      end
+      define_method("#{col}=") do |value|
+        @attributes[col] = value
+      end
+    end
+  end
+
+  def initialize(attrs = {})
+    @attributes = attrs
+  end
+
+  def attributes
+    @attributes
+  end
+
+  def set_attributes(row)
+    @attributes = row
+  end
+
+  def id
+    @attributes["id"]
+  end
+
+  def ==(other)
+    if other.nil?
+      false
+    else
+      other.is_a?(self.class) && id == other.id
+    end
+  end
+
+  def save
+    if @attributes["id"]
+      DB.update(self.class.table_name, @attributes["id"], @attributes)
+    else
+      new_id = DB.insert(self.class.table_name, @attributes)
+      @attributes["id"] = new_id
+      true
+    end
+  end
+
+  def update_attribute(name, value)
+    @attributes[name] = value
+    save
+  end
+
+  def destroy
+    DB.delete(self.class.table_name, @attributes["id"])
+  end
+
+  def self.from_row(row)
+    record = new({})
+    record.set_attributes(row)
+    record
+  end
+
+  def self.create(attrs = {})
+    record = new(attrs)
+    record.save
+    record
+  end
+
+  def self.find(id)
+    row = DB.find(table_name, id)
+    raise RecordNotFound, "no #{name} with id #{id}" if row.nil?
+    from_row(row)
+  end
+
+  def self.all
+    DB.all(table_name).map { |row| from_row(row) }
+  end
+
+  def self.first
+    all.first
+  end
+
+  def self.count
+    DB.count(table_name)
+  end
+
+  def self.where(column, value)
+    DB.where(table_name, column, value).map { |row| from_row(row) }
+  end
+
+  # belongs_to :owner, { :class_name => "User" } — generates owner/owner=
+  # reading through the association's foreign key. The framework annotation
+  # file attaches the Fig. 1 pre-hook that types these at generation time.
+  def self.belongs_to(assoc, options = {})
+    assoc_name = assoc.to_s
+    fk = "#{assoc_name}_id"
+    target = options[:class_name]
+    target = assoc_name.camelize if target.nil?
+    define_method(assoc_name) do
+      Object.const_get(target).find(@attributes[fk])
+    end
+    define_method("#{assoc_name}=") do |other|
+      @attributes[fk] = other.id
+      other
+    end
+  end
+
+  # has_many :posts — the collection reader queries by the owning class's
+  # foreign key (user_id for User).
+  def self.has_many(assoc, options = {})
+    assoc_name = assoc.to_s
+    target = options[:class_name]
+    target = assoc_name.singularize.camelize if target.nil?
+    fk = options[:foreign_key]
+    fk = "#{name.underscore}_id" if fk.nil?
+    define_method(assoc_name) do
+      Object.const_get(target).where(fk, @attributes["id"])
+    end
+  end
+
+  # Rails 3-era dynamic finders: find_by_<col> / find_all_by_<col>.
+  def self.method_missing(name, *args)
+    n = name.to_s
+    if n.start_with?("find_all_by_")
+      column = n.sub("find_all_by_", "")
+      where(column, args[0])
+    elsif n.start_with?("find_by_")
+      column = n.sub("find_by_", "")
+      matches = where(column, args[0])
+      raise RecordNotFound, "no #{self.name} with #{column}" if matches.empty?
+      matches.first
+    else
+      raise NoMethodError, "undefined method `#{n}` for #{self.name}"
+    end
+  end
+end

@@ -1,0 +1,78 @@
+# Framework type annotations: static types for the Rails substrate plus the
+# paper's Fig. 1 pre-hooks, which generate types for association methods at
+# the moment the metaprogramming creates them.
+
+# --- ActionController / Router ----------------------------------------------
+type ActionController::Base, "set_params", "(Hash<Symbol, %any>) -> Hash<Symbol, %any>"
+# The Rails params exception (paper Section 4): always dynamically checked.
+type ActionController::Base, "params", "() -> Hash<Symbol, %any>", { "dyn" => true }
+type ActionController::Base, "render", "(String) -> String"
+type ActionController::Base, "redirect_to", "(String) -> String"
+type ActionController::Base, "response", "() -> String"
+type Router, "draw", "(String, String, %any, Symbol) -> %any"
+type Router, "dispatch", "(String, String, ?Hash<Symbol, %any>) -> String"
+
+# --- ActiveRecord ------------------------------------------------------------
+type ActiveRecord::Base, "id", "() -> Fixnum"
+type ActiveRecord::Base, "==", "(%any) -> %bool"
+type ActiveRecord::Base, "save", "() -> %bool"
+type ActiveRecord::Base, "update_attribute", "(String, %any) -> %bool"
+type ActiveRecord::Base, "destroy", "() -> %bool"
+type ActiveRecord::Base, "attributes", "() -> Hash<String, %any>"
+type ActiveRecord::Base, "set_attributes", "(Hash<String, %any>) -> Hash<String, %any>"
+type ActiveRecord::Base, "self.table_name", "() -> String"
+type ActiveRecord::Base, "self.belongs_to", "(Symbol, ?Hash<Symbol, String>) -> %any"
+type ActiveRecord::Base, "self.has_many", "(Symbol, ?Hash<Symbol, String>) -> %any"
+type ActiveRecord::Base, "self.count", "() -> Fixnum"
+
+# --- inflections (native methods on String) ----------------------------------
+type String, "singularize", "() -> String"
+type String, "pluralize", "() -> String"
+type String, "camelize", "() -> String"
+type String, "underscore", "() -> String"
+type String, "tableize", "() -> String"
+
+# --- Fig. 1: pre-hooks typing generated association methods ------------------
+# The hook body runs with `self` rebound to the model class receiving the
+# belongs_to/has_many call, so the `type` calls inside target that model.
+pre ActiveRecord::Base, "self.belongs_to" do |*args|
+  hmi = args[0]
+  options = args[1]
+  hm = hmi.to_s
+  cn = options[:class_name] if options
+  hmu = cn ? cn : hm.camelize
+  type hm, "() -> #{hmu}"
+  type "#{hm}=", "(#{hmu}) -> #{hmu}"
+  true
+end
+
+pre ActiveRecord::Base, "self.has_many" do |*args|
+  hmi = args[0]
+  options = args[1]
+  hm = hmi.to_s
+  cn = options[:class_name] if options
+  hmu = cn ? cn : hm.singularize.camelize
+  type hm, "() -> Array<#{hmu}>"
+  true
+end
+
+# annotate_model(Model): reads the live schema and generates types for the
+# attribute methods and finders that define_attribute_methods and
+# method_missing provide — the schema-loop analogue of Fig. 1.
+def annotate_model(cls)
+  cols = DB.columns(cls.table_name)
+  cn = cls.name
+  cols.each do |col, t|
+    type cls, col, "() -> #{t}"
+    type cls, "#{col}=", "(#{t}) -> #{t}"
+    type cls, "self.find_by_#{col}", "(#{t}) -> #{cn}"
+    type cls, "self.find_all_by_#{col}", "(#{t}) -> Array<#{cn}>"
+  end
+  type cls, "self.find", "(Fixnum) -> #{cn}"
+  type cls, "self.first", "() -> #{cn}"
+  type cls, "self.all", "() -> Array<#{cn}>"
+  type cls, "self.where", "(String, %any) -> Array<#{cn}>"
+  type cls, "self.create", "(?Hash<String, %any>) -> #{cn}"
+  type cls, "self.from_row", "(Hash<String, %any>) -> #{cn}"
+  cls
+end

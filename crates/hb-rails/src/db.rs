@@ -119,7 +119,12 @@ impl Database {
     }
 
     /// Rows whose `column` equals `value` (structural equality).
-    pub fn where_eq(&self, table: &str, column: &str, value: &Value) -> Vec<HashMap<String, Value>> {
+    pub fn where_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Vec<HashMap<String, Value>> {
         self.tables
             .get(table)
             .map(|t| {
@@ -183,8 +188,12 @@ mod tests {
     #[test]
     fn insert_assigns_sequential_ids_and_defaults() {
         let mut db = talks_db();
-        let id1 = db.insert("talks", attrs(&[("title", Value::str("a"))])).unwrap();
-        let id2 = db.insert("talks", attrs(&[("title", Value::str("b"))])).unwrap();
+        let id1 = db
+            .insert("talks", attrs(&[("title", Value::str("a"))]))
+            .unwrap();
+        let id2 = db
+            .insert("talks", attrs(&[("title", Value::str("b"))]))
+            .unwrap();
         assert_eq!((id1, id2), (1, 2));
         let row = db.find("talks", 1).unwrap();
         assert!(row.get("owner_id").unwrap().raw_eq(&Value::Nil));
@@ -193,7 +202,9 @@ mod tests {
     #[test]
     fn find_update_delete() {
         let mut db = talks_db();
-        let id = db.insert("talks", attrs(&[("title", Value::str("a"))])).unwrap();
+        let id = db
+            .insert("talks", attrs(&[("title", Value::str("a"))]))
+            .unwrap();
         assert!(db.update("talks", id, &attrs(&[("title", Value::str("b"))])));
         assert!(db.find("talks", id).unwrap()["title"].raw_eq(&Value::str("b")));
         assert!(db.delete("talks", id));

@@ -20,7 +20,9 @@ pub fn singularize(s: &str) -> String {
     if s.ends_with("ss") {
         return s.to_string();
     }
-    s.strip_suffix('s').map(str::to_string).unwrap_or_else(|| s.to_string())
+    s.strip_suffix('s')
+        .map(str::to_string)
+        .unwrap_or_else(|| s.to_string())
 }
 
 /// `"talk"` → `"talks"`, `"category"` → `"categories"`, `"status"` →

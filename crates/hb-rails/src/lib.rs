@@ -80,6 +80,7 @@ pub fn db_handle(interp: &Interp) -> Rc<DbHandle> {
 /// Registers the inflection methods on `String`.
 pub fn install_inflections(interp: &mut Interp) {
     let string = interp.registry.lookup("String").expect("String exists");
+    #[allow(clippy::type_complexity)]
     let fns: Vec<(&str, fn(&str) -> String)> = vec![
         ("singularize", inflector::singularize),
         ("pluralize", inflector::pluralize),
@@ -128,10 +129,7 @@ fn int_arg(args: &[Value], i: usize, what: &str) -> Result<i64, Flow> {
 }
 
 fn row_to_hash(row: HashMap<String, Value>) -> Value {
-    let mut pairs: Vec<(Value, Value)> = row
-        .into_iter()
-        .map(|(k, v)| (Value::str(k), v))
-        .collect();
+    let mut pairs: Vec<(Value, Value)> = row.into_iter().map(|(k, v)| (Value::str(k), v)).collect();
     pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
     Value::hash_from(pairs)
 }
@@ -373,7 +371,8 @@ t.save
         )
         .unwrap();
         assert_eq!(eval_s(&mut hb, "Talk.find(1).title"), "JIT");
-        hb.eval("Talk.find(1).update_attribute(\"title\", \"JIT2\")").unwrap();
+        hb.eval("Talk.find(1).update_attribute(\"title\", \"JIT2\")")
+            .unwrap();
         assert_eq!(eval_s(&mut hb, "Talk.first.title"), "JIT2");
         hb.eval("Talk.find(1).destroy").unwrap();
         let err = hb.eval("Talk.find(1)").unwrap_err();
@@ -530,11 +529,20 @@ annotate_model(Talk)
         )
         .unwrap();
         let title = hummingbird::MethodKey::instance("Talk", "title");
-        assert_eq!(hb.rdl.entry(&title).unwrap().sig.to_string(), "() -> String");
+        assert_eq!(
+            hb.rdl.entry(&title).unwrap().sig.to_string(),
+            "() -> String"
+        );
         let find = hummingbird::MethodKey::class_level("Talk", "find");
-        assert_eq!(hb.rdl.entry(&find).unwrap().sig.to_string(), "(Fixnum) -> Talk");
+        assert_eq!(
+            hb.rdl.entry(&find).unwrap().sig.to_string(),
+            "(Fixnum) -> Talk"
+        );
         let finder = hummingbird::MethodKey::class_level("Talk", "find_by_title");
-        assert_eq!(hb.rdl.entry(&finder).unwrap().sig.to_string(), "(String) -> Talk");
+        assert_eq!(
+            hb.rdl.entry(&finder).unwrap().sig.to_string(),
+            "(String) -> Talk"
+        );
     }
 
     #[test]
@@ -562,7 +570,10 @@ $router.draw("GET", "/talks/show", TalksController, :show)
 "#,
         )
         .unwrap();
-        assert_eq!(eval_s(&mut hb, "$router.dispatch(\"GET\", \"/talks\")"), "first");
+        assert_eq!(
+            eval_s(&mut hb, "$router.dispatch(\"GET\", \"/talks\")"),
+            "first"
+        );
         assert_eq!(
             eval_s(
                 &mut hb,

@@ -156,9 +156,9 @@ fn type_builtin(
         AnnotationSource::Static
     };
     let key = MethodKey {
-        class,
+        class: hb_intern::Sym::intern(&class),
         class_level,
-        method,
+        method: hb_intern::Sym::intern(&method),
     };
     state.add_type(key, mt, check, dynamic, source, replace);
     Ok(Value::Nil)
@@ -188,9 +188,8 @@ fn var_type_builtin(
             ))
         }
     };
-    let ty = hb_types::parse_type(&type_str).map_err(|e| {
-        err(ErrorKind::ArgumentError, format!("var_type {var}: {e}"))
-    })?;
+    let ty = hb_types::parse_type(&type_str)
+        .map_err(|e| err(ErrorKind::ArgumentError, format!("var_type {var}: {e}")))?;
     if let Some(cvar) = var.strip_prefix("@@") {
         state.set_cvar_type(&class, cvar, ty);
     } else if let Some(ivar) = var.strip_prefix('@') {
@@ -226,9 +225,9 @@ fn pre_builtin(
     };
     state.add_pre(
         MethodKey {
-            class,
+            class: hb_intern::Sym::intern(&class),
             class_level,
-            method,
+            method: hb_intern::Sym::intern(&method),
         },
         PreHook { proc_val },
     );

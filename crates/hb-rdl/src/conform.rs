@@ -41,7 +41,9 @@ pub fn value_conforms(interp: &Interp, v: &Value, ty: &Type) -> bool {
                 return n == "Boolean" || n == "Object";
             }
             let have = interp.registry.class_of(v);
-            interp.registry.is_descendant_name(interp.registry.name(have), n)
+            interp
+                .registry
+                .is_descendant_name(interp.registry.name(have), n)
         }
         Type::Generic(n, args) => {
             match (n.as_str(), v) {
@@ -70,7 +72,9 @@ pub fn value_conforms(interp: &Interp, v: &Value, ty: &Type) -> bool {
             }
         }
         Type::ClassObj(n) => match v {
-            Value::Class(c) => interp.registry.is_descendant_name(interp.registry.name(*c), n),
+            Value::Class(c) => interp
+                .registry
+                .is_descendant_name(interp.registry.name(*c), n),
             _ => false,
         },
     }
@@ -139,7 +143,8 @@ mod tests {
     #[test]
     fn class_obj_conformance() {
         let mut i = Interp::new();
-        i.eval_str("class User\nend\nclass Admin < User\nend").unwrap();
+        i.eval_str("class User\nend\nclass Admin < User\nend")
+            .unwrap();
         let user = i.constant("User").unwrap();
         let admin = i.constant("Admin").unwrap();
         assert!(value_conforms(&i, &user, &t("Class<User>")));

@@ -19,33 +19,40 @@ impl CallHook for RdlHook {
         recv: &Value,
         args: &[Value],
     ) -> Result<HookOutcome, HbError> {
+        // Fast path: nothing registered anywhere — stay off the chain walk.
+        if self.state.no_pres() {
+            return Ok(HookOutcome::default());
+        }
         // Pre contracts may be registered against the defining module or any
         // class in the receiver's ancestry (Fig. 1 registers on the
         // framework module; Fig. 2 style registers on the mixing class), so
-        // gather along the whole chain.
+        // gather along the whole chain — by interned symbol, no strings.
         let mut pres = Vec::new();
-        let mut chain: Vec<String> = interp
-            .registry
-            .ancestors(info.recv_class)
-            .into_iter()
-            .map(|c| interp.registry.name(c).to_string())
-            .collect();
-        let owner_name = interp.registry.name(info.owner).to_string();
-        if !chain.contains(&owner_name) {
-            chain.push(owner_name);
-        }
-        for class in &chain {
+        let mut saw_owner = false;
+        for (cid, class) in interp.registry.ancestor_syms(info.recv_class) {
+            saw_owner |= cid == info.owner;
             let key = MethodKey {
-                class: class.clone(),
+                class,
                 class_level: info.class_level,
-                method: info.name.clone(),
+                method: info.name,
             };
-            pres.extend(self.state.pres(&key));
+            self.state.pres_into(&key, &mut pres);
+        }
+        if !saw_owner {
+            let key = MethodKey {
+                class: interp.registry.name_sym(info.owner),
+                class_level: info.class_level,
+                method: info.name,
+            };
+            self.state.pres_into(&key, &mut pres);
+        }
+        if pres.is_empty() {
+            return Ok(HookOutcome::default());
         }
         let key = MethodKey {
-            class: interp.registry.name(info.recv_class).to_string(),
+            class: interp.registry.name_sym(info.recv_class),
             class_level: info.class_level,
-            method: info.name.clone(),
+            method: info.name,
         };
         for p in pres {
             let result = interp

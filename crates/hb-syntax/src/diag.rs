@@ -95,7 +95,6 @@ impl fmt::Display for Diagnostic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::FileId;
 
     #[test]
     fn render_with_position() {

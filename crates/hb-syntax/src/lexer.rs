@@ -142,7 +142,10 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
         }
-        let raw: String = self.text[lo..self.pos].chars().filter(|c| *c != '_').collect();
+        let raw: String = self.text[lo..self.pos]
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
         if is_float {
             let v: f64 = raw
                 .parse()
@@ -343,7 +346,10 @@ impl<'a> Lexer<'a> {
             }
             _ => {
                 // Operator symbols.
-                for op in ["<=>", "===", "==", "!=", "<=", ">=", "<<", "**", "+", "-", "*", "/", "%", "<", ">", "!"] {
+                for op in [
+                    "<=>", "===", "==", "!=", "<=", ">=", "<<", "**", "+", "-", "*", "/", "%", "<",
+                    ">", "!",
+                ] {
                     if self.text[self.pos..].starts_with(op) {
                         self.pos += op.len();
                         self.push(TokenKind::Symbol(op.to_string()), lo);
@@ -464,10 +470,9 @@ impl<'a> Lexer<'a> {
                     b'&' => (Amp, 1),
                     b';' => (Semi, 1),
                     other => {
-                        return Err(self.err(
-                            lo,
-                            format!("unexpected character `{}`", other as char),
-                        ))
+                        return Err(
+                            self.err(lo, format!("unexpected character `{}`", other as char))
+                        )
                     }
                 },
             }
@@ -502,7 +507,7 @@ mod tests {
 
     #[test]
     fn lexes_floats_and_underscored_ints() {
-        assert_eq!(kinds("1_000 3.14"), vec![Int(1000), Float(3.14), Eof]);
+        assert_eq!(kinds("1_000 3.25"), vec![Int(1000), Float(3.25), Eof]);
     }
 
     #[test]
@@ -724,7 +729,12 @@ mod tests {
     fn const_path() {
         assert_eq!(
             kinds("ActiveRecord::Base"),
-            vec![Const("ActiveRecord".into()), ColonColon, Const("Base".into()), Eof]
+            vec![
+                Const("ActiveRecord".into()),
+                ColonColon,
+                Const("Base".into()),
+                Eof
+            ]
         );
     }
 

@@ -197,8 +197,10 @@ impl Parser {
             }
             body.push(self.parse_stmt()?);
             // A statement must be followed by a terminator or a closer.
-            if !matches!(self.peek(), TokenKind::Newline | TokenKind::Semi | TokenKind::Eof)
-                && !terminators.contains(self.peek())
+            if !matches!(
+                self.peek(),
+                TokenKind::Newline | TokenKind::Semi | TokenKind::Eof
+            ) && !terminators.contains(self.peek())
             {
                 return Err(self.error(format!("unexpected `{}` after statement", self.peek())));
             }
@@ -814,8 +816,8 @@ impl Parser {
             // prefix: a space before and none after (`f *args`, `f &blk`).
             TokenKind::Star | TokenKind::Amp => {
                 let spaced_before = self.peek_span().lo > self.prev_span().hi;
-                let tight_after = self.peek_n(1) != &TokenKind::Eof
-                    && self.span_n(1).lo == self.peek_span().hi;
+                let tight_after =
+                    self.peek_n(1) != &TokenKind::Eof && self.span_n(1).lo == self.peek_span().hi;
                 spaced_before && tight_after
             }
             // `[` starts an array argument only when separated by a space
@@ -878,8 +880,9 @@ impl Parser {
                         hash_pairs.push((e, v));
                     } else {
                         if !hash_pairs.is_empty() {
-                            return Err(self
-                                .error("positional argument may not follow keyword arguments"));
+                            return Err(
+                                self.error("positional argument may not follow keyword arguments")
+                            );
                         }
                         args.push(Arg::Pos(e));
                     }
@@ -1182,8 +1185,7 @@ impl Parser {
     /// Parses an interpolation fragment in the *current* scope by temporarily
     /// swapping the token stream.
     fn parse_interp_fragment(&mut self, raw: &str, span: Span) -> Result<Expr, ParseError> {
-        let toks =
-            lex(raw, self.file).map_err(|e| ParseError::new(e.message, span))?;
+        let toks = lex(raw, self.file).map_err(|e| ParseError::new(e.message, span))?;
         let saved_tokens = std::mem::replace(&mut self.tokens, toks);
         let saved_pos = std::mem::replace(&mut self.pos, 0);
         let result = (|| {
@@ -1206,7 +1208,8 @@ impl Parser {
         let open = self.bump().span; // if / unless
         let cond = self.parse_stmt_cond()?;
         self.eat(&TokenKind::KwThen);
-        let then_body = self.parse_body(&[TokenKind::KwElsif, TokenKind::KwElse, TokenKind::KwEnd])?;
+        let then_body =
+            self.parse_body(&[TokenKind::KwElsif, TokenKind::KwElse, TokenKind::KwEnd])?;
         let else_body = self.parse_else_chain()?;
         let close = self.prev_span();
         let cond_span = cond.span;
@@ -1254,7 +1257,9 @@ impl Parser {
                 self.bump();
                 Ok(vec![])
             }
-            other => Err(self.error(format!("expected `elsif`, `else` or `end`, found `{other}`"))),
+            other => Err(self.error(format!(
+                "expected `elsif`, `else` or `end`, found `{other}`"
+            ))),
         }
     }
 
@@ -1303,7 +1308,8 @@ impl Parser {
                 pats.push(self.parse_expr()?);
             }
             self.eat(&TokenKind::KwThen);
-            let body = self.parse_body(&[TokenKind::KwWhen, TokenKind::KwElse, TokenKind::KwEnd])?;
+            let body =
+                self.parse_body(&[TokenKind::KwWhen, TokenKind::KwElse, TokenKind::KwEnd])?;
             whens.push((pats, body));
         }
         let else_body = if self.eat(&TokenKind::KwElse) {
@@ -1324,7 +1330,8 @@ impl Parser {
 
     fn parse_begin(&mut self) -> Result<Expr, ParseError> {
         let open = self.bump().span;
-        let body = self.parse_body(&[TokenKind::KwRescue, TokenKind::KwEnsure, TokenKind::KwEnd])?;
+        let body =
+            self.parse_body(&[TokenKind::KwRescue, TokenKind::KwEnsure, TokenKind::KwEnd])?;
         let mut rescues = Vec::new();
         while self.eat(&TokenKind::KwRescue) {
             let mut classes = Vec::new();
@@ -1539,7 +1546,9 @@ mod tests {
         let e = p("1 + 2 * 3");
         // `+` at top with `*` nested right.
         match &e.kind {
-            ExprKind::Call { recv, name, args, .. } => {
+            ExprKind::Call {
+                recv, name, args, ..
+            } => {
                 assert_eq!(name, "+");
                 assert_eq!(recv.as_ref().unwrap().kind, ExprKind::Int(1));
                 match &args[0] {
@@ -1568,7 +1577,12 @@ mod tests {
     fn unassigned_ident_is_self_call() {
         let program = prog("owner");
         match &program.body[0].kind {
-            ExprKind::Call { recv: None, name, args, .. } => {
+            ExprKind::Call {
+                recv: None,
+                name,
+                args,
+                ..
+            } => {
                 assert_eq!(name, "owner");
                 assert!(args.is_empty());
             }
@@ -1581,7 +1595,9 @@ mod tests {
         let program = prog("xs.each do |t|\n  y = t\nend\ny");
         // `y` after the block is a self-call, not a local.
         match &program.body[1].kind {
-            ExprKind::Call { recv: None, name, .. } => assert_eq!(name, "y"),
+            ExprKind::Call {
+                recv: None, name, ..
+            } => assert_eq!(name, "y"),
             other => panic!("{other:?}"),
         }
     }
@@ -1602,7 +1618,9 @@ mod tests {
         let program = prog("t = 1\ndef m\n  t\nend");
         match &program.body[1].kind {
             ExprKind::MethodDef(d) => match &d.body[0].kind {
-                ExprKind::Call { recv: None, name, .. } => assert_eq!(name, "t"),
+                ExprKind::Call {
+                    recv: None, name, ..
+                } => assert_eq!(name, "t"),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
@@ -1625,7 +1643,12 @@ mod tests {
     fn command_call_with_symbol_and_hash_sugar() {
         let e = p(r#"belongs_to :owner, :class_name => "User""#);
         match &e.kind {
-            ExprKind::Call { recv: None, name, args, .. } => {
+            ExprKind::Call {
+                recv: None,
+                name,
+                args,
+                ..
+            } => {
                 assert_eq!(name, "belongs_to");
                 assert_eq!(args.len(), 2);
                 match &args[1] {
@@ -1671,7 +1694,11 @@ mod tests {
     fn do_block_with_params() {
         let e = p("xs.each do |a, b|\n a + b\nend");
         match &e.kind {
-            ExprKind::Call { name, block: Some(b), .. } => {
+            ExprKind::Call {
+                name,
+                block: Some(b),
+                ..
+            } => {
                 assert_eq!(name, "each");
                 assert_eq!(b.params.len(), 2);
             }
@@ -1683,7 +1710,11 @@ mod tests {
     fn brace_block_on_command_receiver_call() {
         let e = p("members.zip(types).each {|name, t| name }");
         match &e.kind {
-            ExprKind::Call { name, block: Some(b), .. } => {
+            ExprKind::Call {
+                name,
+                block: Some(b),
+                ..
+            } => {
                 assert_eq!(name, "each");
                 assert_eq!(b.params.len(), 2);
             }
@@ -1706,7 +1737,10 @@ mod tests {
         assert_eq!(call_name(&p("h[:k]")), "[]");
         let e = p("h[:k] = 1");
         match &e.kind {
-            ExprKind::Assign { target: Lhs::Index(_, idx), .. } => assert_eq!(idx.len(), 1),
+            ExprKind::Assign {
+                target: Lhs::Index(_, idx),
+                ..
+            } => assert_eq!(idx.len(), 1),
             other => panic!("{other:?}"),
         }
     }
@@ -1762,7 +1796,9 @@ mod tests {
     fn case_when() {
         let e = p("case x\nwhen 1, 2 then \"a\"\nwhen 3\n \"b\"\nelse\n \"c\"\nend");
         match &e.kind {
-            ExprKind::Case { whens, else_body, .. } => {
+            ExprKind::Case {
+                whens, else_body, ..
+            } => {
                 assert_eq!(whens.len(), 2);
                 assert_eq!(whens[0].0.len(), 2);
                 assert_eq!(else_body.len(), 1);
@@ -1775,7 +1811,11 @@ mod tests {
     fn begin_rescue_ensure() {
         let e = p("begin\n work\nrescue ArgumentError => e\n handle(e)\nensure\n done\nend");
         match &e.kind {
-            ExprKind::Begin { rescues, ensure_body, .. } => {
+            ExprKind::Begin {
+                rescues,
+                ensure_body,
+                ..
+            } => {
                 assert_eq!(rescues.len(), 1);
                 assert_eq!(rescues[0].var.as_deref(), Some("e"));
                 assert_eq!(ensure_body.len(), 1);
@@ -1835,7 +1875,9 @@ mod tests {
     fn class_with_superclass_path() {
         let e = p("class Talk < ActiveRecord::Base\nend");
         match &e.kind {
-            ExprKind::ClassDef { path, superclass, .. } => {
+            ExprKind::ClassDef {
+                path, superclass, ..
+            } => {
                 assert_eq!(path, &vec!["Talk".to_string()]);
                 let sup = superclass.as_ref().unwrap();
                 assert_eq!(
@@ -1859,7 +1901,9 @@ mod tests {
     #[test]
     fn const_assignment() {
         let e = p("Transaction = Struct.new(:type)");
-        assert!(matches!(&e.kind, ExprKind::Assign { target: Lhs::Const(p), .. } if p == &vec!["Transaction".to_string()]));
+        assert!(
+            matches!(&e.kind, ExprKind::Assign { target: Lhs::Const(p), .. } if p == &vec!["Transaction".to_string()])
+        );
     }
 
     #[test]
@@ -1894,7 +1938,12 @@ end
 "##;
         let program = prog(src);
         match &program.body[0].kind {
-            ExprKind::Call { name, args, block: Some(b), .. } => {
+            ExprKind::Call {
+                name,
+                args,
+                block: Some(b),
+                ..
+            } => {
                 assert_eq!(name, "pre");
                 assert_eq!(args.len(), 1);
                 assert_eq!(b.params.len(), 1);
@@ -1926,8 +1975,20 @@ Transaction.add_types("String", "String", "String")
 
     #[test]
     fn range_expr() {
-        assert!(matches!(p("1..5").kind, ExprKind::Range { exclusive: false, .. }));
-        assert!(matches!(p("1...5").kind, ExprKind::Range { exclusive: true, .. }));
+        assert!(matches!(
+            p("1..5").kind,
+            ExprKind::Range {
+                exclusive: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("1...5").kind,
+            ExprKind::Range {
+                exclusive: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1961,7 +2022,9 @@ Transaction.add_types("String", "String", "String")
         // Even when `f` is a local, `f(1)` is a method call (Ruby rule).
         let program = prog("f = 1\nf(2)");
         match &program.body[1].kind {
-            ExprKind::Call { recv: None, name, .. } => assert_eq!(name, "f"),
+            ExprKind::Call {
+                recv: None, name, ..
+            } => assert_eq!(name, "f"),
             other => panic!("{other:?}"),
         }
     }
@@ -1971,7 +2034,11 @@ Transaction.add_types("String", "String", "String")
         // `params` is a method, so `params[:id]` must parse as call-then-index.
         let e = p("params[:id]");
         match &e.kind {
-            ExprKind::Call { recv: Some(r), name, .. } => {
+            ExprKind::Call {
+                recv: Some(r),
+                name,
+                ..
+            } => {
                 assert_eq!(name, "[]");
                 assert_eq!(call_name(r), "params");
             }

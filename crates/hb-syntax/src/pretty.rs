@@ -273,8 +273,20 @@ fn write_expr(out: &mut String, e: &Expr, level: usize) {
             // Operator calls print in operator form when unambiguous.
             let is_op = matches!(
                 name.as_str(),
-                "+" | "-" | "*" | "/" | "%" | "**" | "==" | "!=" | "<" | ">" | "<=" | ">="
-                    | "<=>" | "<<" | ">>"
+                "+" | "-"
+                    | "*"
+                    | "/"
+                    | "%"
+                    | "**"
+                    | "=="
+                    | "!="
+                    | "<"
+                    | ">"
+                    | "<="
+                    | ">="
+                    | "<=>"
+                    | "<<"
+                    | ">>"
             );
             if let (Some(r), true, 1, None) = (recv, is_op, args.len(), block.as_ref()) {
                 if let Arg::Pos(rhs) = &args[0] {
@@ -518,8 +530,7 @@ mod tests {
     fn roundtrip(src: &str) {
         let p1 = parse_program(src, "t.rb").unwrap_or_else(|e| panic!("parse 1 ({src:?}): {e}"));
         let s1 = pretty_program(&p1);
-        let p2 =
-            parse_program(&s1, "t.rb").unwrap_or_else(|e| panic!("parse 2 ({s1:?}): {e}"));
+        let p2 = parse_program(&s1, "t.rb").unwrap_or_else(|e| panic!("parse 2 ({s1:?}): {e}"));
         let s2 = pretty_program(&p2);
         assert_eq!(s1, s2, "pretty-print not stable for {src:?}");
     }

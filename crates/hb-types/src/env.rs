@@ -67,12 +67,9 @@ impl TypeEnv {
     pub fn join_keep_left(&self, other: &TypeEnv, hier: &dyn Hierarchy) -> TypeEnv {
         let mut out = self.clone();
         for (k, v) in &other.vars {
-            match out.vars.get(k) {
-                Some(w) => {
-                    let j = w.lub(v, hier);
-                    out.vars.insert(k.clone(), j);
-                }
-                None => {}
+            if let Some(w) = out.vars.get(k) {
+                let j = w.lub(v, hier);
+                out.vars.insert(k.clone(), j);
             }
         }
         out
@@ -81,11 +78,10 @@ impl TypeEnv {
     /// Environment subsumption `Γ1 ≤ Γ2` (Definition 6): every variable of
     /// `Γ2` is bound in `Γ1` at a subtype.
     pub fn subsumes(&self, weaker: &TypeEnv, hier: &dyn Hierarchy) -> bool {
-        weaker.vars.iter().all(|(k, w)| {
-            self.vars
-                .get(k)
-                .is_some_and(|v| v.is_subtype(w, hier))
-        })
+        weaker
+            .vars
+            .iter()
+            .all(|(k, w)| self.vars.get(k).is_some_and(|v| v.is_subtype(w, hier)))
     }
 }
 
@@ -122,7 +118,9 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let g2: TypeEnv = [("x".to_string(), Type::nominal("A"))].into_iter().collect();
+        let g2: TypeEnv = [("x".to_string(), Type::nominal("A"))]
+            .into_iter()
+            .collect();
         let j = g1.join(&g2, &h);
         assert!(j.contains("x"));
         assert!(!j.contains("y"));

@@ -119,10 +119,7 @@ impl<'a> TyParser<'a> {
         if self.eat(c) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected `{}` at offset {}",
-                c as char, self.pos
-            )))
+            Err(self.err(format!("expected `{}` at offset {}", c as char, self.pos)))
         }
     }
 
@@ -295,7 +292,10 @@ mod tests {
     #[test]
     fn parses_unions() {
         assert_eq!(t("Fixnum or Float").to_string(), "Fixnum or Float");
-        assert_eq!(t("Fixnum or Float or nil").to_string(), "Fixnum or Float or nil");
+        assert_eq!(
+            t("Fixnum or Float or nil").to_string(),
+            "Fixnum or Float or nil"
+        );
         // Parenthesised unions inside generics.
         assert_eq!(
             t("Array<(Fixnum or Float)>").to_string(),
@@ -311,10 +311,7 @@ mod tests {
 
     #[test]
     fn parses_const_paths() {
-        assert_eq!(
-            t("ActiveRecord::Base"),
-            Type::nominal("ActiveRecord::Base")
-        );
+        assert_eq!(t("ActiveRecord::Base"), Type::nominal("ActiveRecord::Base"));
     }
 
     #[test]

@@ -373,7 +373,10 @@ mod tests {
         let v = Type::union_of(vec![u.clone(), Type::nominal("C")]);
         assert_eq!(v.to_string(), "A or B or C");
         // Any absorbs.
-        assert_eq!(Type::union_of(vec![Type::Any, Type::nominal("A")]), Type::Any);
+        assert_eq!(
+            Type::union_of(vec![Type::Any, Type::nominal("A")]),
+            Type::Any
+        );
         // Singleton collapses.
         assert_eq!(Type::union_of(vec![Type::Bool]), Type::Bool);
         assert_eq!(Type::union_of(vec![]), Type::Nil);

@@ -5,7 +5,7 @@
 //! Run with: `cargo run -p hb-apps --example struct_types`
 
 use hb_apps::{build_app, cct};
-use hummingbird::{Mode, MethodKey};
+use hummingbird::{MethodKey, Mode};
 
 fn main() {
     let spec = cct();

@@ -4,7 +4,7 @@
 
 use hb_il::{collect_method_defs, lower_method};
 use hb_syntax::parse_program;
-use hummingbird::{ErrorKind, Hummingbird, Mode, MethodKey};
+use hummingbird::{ErrorKind, Hummingbird, MethodKey, Mode};
 
 #[test]
 fn parse_lower_check_run_pipeline() {
@@ -59,10 +59,17 @@ w.get_size
     )
     .unwrap();
     let s = hb.stats();
-    assert!(s.checked_methods.contains("Widget#get_size"), "{:?}", s.checked_methods);
+    assert!(
+        s.checked_methods.contains("Widget#get_size"),
+        "{:?}",
+        s.checked_methods
+    );
     assert!(s.cache_hits >= 1);
     // The generated method's annotation exists and is dynamic.
-    let e = hb.rdl.entry(&MethodKey::instance("Widget", "get_size")).unwrap();
+    let e = hb
+        .rdl
+        .entry(&MethodKey::instance("Widget", "get_size"))
+        .unwrap();
     assert_eq!(e.sig.to_string(), "() -> Fixnum");
 }
 
@@ -149,7 +156,14 @@ fn formal_machine_matches_engine_on_caching_story() {
     let a = Cls(0);
     let m = Mth(0);
     let x = VarId(0);
-    let decl = Expr::TypeDecl(a, m, MTy { dom: Ty::Cls(a), rng: Ty::Cls(a) });
+    let decl = Expr::TypeDecl(
+        a,
+        m,
+        MTy {
+            dom: Ty::Cls(a),
+            rng: Ty::Cls(a),
+        },
+    );
     let def = Expr::Def(
         a,
         m,

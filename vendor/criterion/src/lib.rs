@@ -1,0 +1,157 @@
+//! A minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API surface the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timings are real (warm-up plus a measured batch, median-of-runs)
+//! and are printed one line per benchmark; statistical analysis, plotting
+//! and CLI filtering are intentionally out of scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifies one parameterised benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id from a function name and a parameter display value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let stats = run_samples(self.sample_size, || {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.elapsed_per_iter()
+        });
+        report(&self.name, id, stats);
+        self
+    }
+
+    /// Runs one benchmark over an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let stats = run_samples(self.sample_size, || {
+            let mut b = Bencher::default();
+            f(&mut b, input);
+            b.elapsed_per_iter()
+        });
+        report(&self.name, &id.label, stats);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_samples(samples: usize, mut one: impl FnMut() -> Duration) -> Duration {
+    // One warm-up sample, then the median of the measured ones.
+    let _ = one();
+    let mut times: Vec<Duration> = (0..samples.min(10)).map(|_| one()).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn report(group: &str, id: &str, per_iter: Duration) {
+    println!("{group}/{id}: {:.3} µs/iter", per_iter.as_secs_f64() * 1e6);
+}
+
+/// Runs the closure under timing.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to smooth noise.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // A small fixed batch: the workloads in this repository are
+        // milliseconds-scale, so a handful of iterations suffices.
+        let batch = 3u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += batch;
+    }
+
+    fn elapsed_per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters as u32
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,459 @@
+//! A minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest's API that the workspace's property
+//! tests use: [`strategy::Strategy`] with `prop_map` / `prop_recursive`,
+//! [`strategy::Just`], ranges and tuples as strategies,
+//! `prop::collection::vec`, `prop::option::of`, [`arbitrary::any`], the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros and [`test_runner::ProptestConfig`].
+//!
+//! Generation is driven by a deterministic per-case xorshift RNG (seeded
+//! from the test name and case index), so failures are reproducible.
+//! Shrinking is intentionally not implemented — failing inputs are printed
+//! as generated.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// Generates random values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, `f` builds
+        /// one extra level from the strategy for the level below. `_size`
+        /// and `_branch` are accepted for API compatibility; recursion is
+        /// bounded by `depth` alone.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let base = BoxedStrategy::new(self);
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let rec = BoxedStrategy::new(f(cur));
+                cur = BoxedStrategy::new(LeafOrRecurse {
+                    leaf: base.clone(),
+                    rec,
+                });
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> BoxedStrategy<V> {
+        /// Erases a concrete strategy.
+        pub fn new(s: impl Strategy<Value = V> + 'static) -> BoxedStrategy<V> {
+            BoxedStrategy(Rc::new(s))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Picks uniformly among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given alternatives (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    struct LeafOrRecurse<V> {
+        leaf: BoxedStrategy<V>,
+        rec: BoxedStrategy<V>,
+    }
+
+    impl<V> Strategy for LeafOrRecurse<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            if rng.below(2) == 0 {
+                self.leaf.generate(rng)
+            } else {
+                self.rec.generate(rng)
+            }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let lo = self.start as u64;
+                        let hi = self.end as u64;
+                        assert!(hi > lo, "empty range strategy");
+                        (lo + rng.below(hi - lo)) as $t
+                    }
+                }
+            )*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {
+            $(
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of `T`" (integer types and bool).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Creates an [`Any`] strategy.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Any<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// A strategy for vectors with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of elements from `elem` with length in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// A strategy for optional values.
+        pub struct OptionStrategy<S>(S);
+
+        /// Generates `Some` from the inner strategy about ¾ of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-run configuration (only `cases` is meaningful here).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property within a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic xorshift64* RNG, seeded per test case.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// The RNG for case `case` of test `name`.
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            seed ^= (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            TestRng(if seed == 0 { 1 } else { seed })
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// A value uniform in `0..n` (`n` must be non-zero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::BoxedStrategy::new($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let a = $a;
+        let b = $b;
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest `{}` case {case} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
