@@ -9,6 +9,7 @@
 //! type table — once, caching the outcome keyed by the receiver's class.
 
 use crate::info::RegistryInfo;
+use crate::shared_cache::{SharedCache, SharedDep, SharedEvictionSink};
 use crate::stats::{CheckLogItem, EngineStats, PhaseTracker};
 use hb_check::{check_sig, CheckOptions};
 use hb_il::{lower_block_body, lower_method, MethodCfg};
@@ -17,11 +18,12 @@ use hb_interp::{
     CallHook, ClassId, DispatchInfo, ErrorKind, HbError, HookOutcome, Interp, InterpEvent,
     MethodBody, Value,
 };
-use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, TableEntry};
+use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, Resolution, TableEntry};
 use hb_types::TypeEnv;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Engine configuration — the evaluation's three modes are built from
 /// these switches.
@@ -77,6 +79,11 @@ pub struct CacheDumpEntry {
     pub deps: Vec<MethodKey>,
 }
 
+/// Memo key for witness replay: (start, skip_receiver, class_level, method).
+type ReplayKey = (Sym, bool, bool, Sym);
+/// A replayed lookup's answer: (resolved key, its version, its sig fingerprint).
+type ReplayResult = (MethodKey, u64, u64);
+
 #[derive(Default)]
 struct EngineState {
     cache: HashMap<MethodKey, CacheEntry>,
@@ -84,8 +91,63 @@ struct EngineState {
     dependents: HashMap<MethodKey, HashSet<MethodKey>>,
     /// Lowered bodies by method-entry id (also used for reload diffing).
     cfgs: HashMap<u64, Rc<MethodCfg>>,
+    /// Memoised signature-content fingerprints by (key, version).
+    sig_fps: HashMap<(MethodKey, u64), u64>,
+    /// Memoised replay results per resolution witness, valid for one
+    /// (type-table, class-hierarchy) generation pair — the warm tenants'
+    /// adoption fast path validates whole dependency sets from this map.
+    dep_memo: HashMap<ReplayKey, Option<ReplayResult>>,
+    /// The (table, hierarchy) generations `dep_memo` was built at.
+    dep_memo_gen: (u64, u64),
     stats: EngineStats,
     phase: PhaseTracker,
+}
+
+impl EngineState {
+    fn sig_fp(&mut self, key: MethodKey, entry: &TableEntry) -> u64 {
+        *self
+            .sig_fps
+            .entry((key, entry.version))
+            .or_insert_with(|| sig_fingerprint(entry))
+    }
+
+    /// Replays a (TApp) resolution witness against the *current* table and
+    /// class hierarchy, memoised per generation pair: what does looking
+    /// `res.method` up along `res.start`'s chain resolve to right now?
+    /// Uses the same chain the checker uses ([`RegistryInfo::ancestors`]),
+    /// so replay answers exactly match a hypothetical re-check.
+    fn replay(
+        &mut self,
+        interp: &Interp,
+        rdl: &RdlState,
+        res: &Resolution,
+    ) -> Option<ReplayResult> {
+        let memo_key: ReplayKey = (res.start, res.skip_receiver, res.class_level, res.method);
+        if let Some(c) = self.dep_memo.get(&memo_key) {
+            return *c;
+        }
+        // Same chain the checker walks (`RegistryInfo::ancestors`), built
+        // from interned syms with no string allocation: registry chain if
+        // the class exists (plus trailing Object for module chains),
+        // `[start, Object]` otherwise.
+        let object = Sym::intern("Object");
+        let mut chain: Vec<Sym> = match interp.registry.lookup(res.start.as_str()) {
+            Some(cid) => interp.registry.ancestor_syms(cid).map(|(_, s)| s).collect(),
+            None => vec![res.start],
+        };
+        if chain.last() != Some(&object) {
+            chain.push(object);
+        }
+        let skip = usize::from(res.skip_receiver);
+        let cur = rdl
+            .lookup_along(chain.into_iter().skip(skip), res.class_level, res.method)
+            .map(|(k, e)| {
+                let fp = self.sig_fp(k, &e);
+                (k, e.version, fp)
+            });
+        self.dep_memo.insert(memo_key, cur);
+        cur
+    }
 }
 
 /// The engine. Shared between the interpreter hook registration and the
@@ -95,6 +157,10 @@ pub struct Engine {
     config: RefCell<Config>,
     state: RefCell<EngineState>,
     check_opts: CheckOptions,
+    /// The process-wide shared derivation tier, when this engine is one
+    /// tenant of many (see [`crate::shared_cache`]). `None` keeps the
+    /// engine purely per-process, exactly as before.
+    shared: RefCell<Option<Arc<SharedCache>>>,
 }
 
 impl Engine {
@@ -105,7 +171,25 @@ impl Engine {
             config: RefCell::new(Config::default()),
             state: RefCell::new(EngineState::default()),
             check_opts: CheckOptions::default(),
+            shared: RefCell::new(None),
         }
+    }
+
+    /// Attaches the process-wide shared derivation tier, making this
+    /// engine a tenant: local cache misses probe the shared tier before
+    /// running the checker, performed checks publish to it, and this
+    /// tenant's type-table mutations fan out evictions to it. Call once
+    /// per engine, ideally before app code loads.
+    pub fn set_shared_cache(&self, shared: Arc<SharedCache>) {
+        self.rdl.add_event_sink(Rc::new(SharedEvictionSink {
+            shared: shared.clone(),
+        }));
+        *self.shared.borrow_mut() = Some(shared);
+    }
+
+    /// The attached shared tier, if any.
+    pub fn shared_cache(&self) -> Option<Arc<SharedCache>> {
+        self.shared.borrow().clone()
     }
 
     /// Current configuration.
@@ -221,6 +305,9 @@ impl Engine {
                             method: Sym::intern(&name),
                         };
                         Self::invalidate(&mut st, &key, true);
+                        if let Some(shared) = self.shared.borrow().as_ref() {
+                            shared.evict_with_dependents(&key);
+                        }
                     }
                     // The retired entry id can never be dispatched again;
                     // dropping its CFG keeps long reload sessions bounded.
@@ -237,11 +324,19 @@ impl Engine {
                         method: Sym::intern(&name),
                     };
                     Self::invalidate(&mut st, &key, true);
+                    if let Some(shared) = self.shared.borrow().as_ref() {
+                        shared.evict_with_dependents(&key);
+                    }
                 }
-                InterpEvent::MethodAdded { .. } | InterpEvent::ModuleIncluded { .. } => {
-                    // New methods have no cached derivations; conservative
-                    // users may clear the cache on include, but includes in
-                    // our apps precede first calls.
+                InterpEvent::ModuleIncluded { class, module } => {
+                    // A post-first-call include changes annotation
+                    // resolution for the including class's chain: module
+                    // annotations may shadow ancestor annotations.
+                    self.invalidate_module_shadowed(&mut st, interp, class, module);
+                }
+                InterpEvent::MethodAdded { .. } => {
+                    // New methods have no cached derivations, and directly
+                    // cached overridees self-heal via the entry-id check.
                 }
             }
         }
@@ -251,13 +346,21 @@ impl Engine {
                 // Adding a new arm re-checks the method itself (version
                 // mismatch at next hit) but leaves dependents valid —
                 // the §4 "Cache Invalidation" intersection subtlety.
+                // (Shared-tier eviction fans out via the RdlEventSink.)
                 RdlEvent::ArmAdded(key) => {
-                    st.cache.remove(&key);
+                    if let Some(old) = st.cache.remove(&key) {
+                        Self::unlink(&mut st, &key, &old);
+                    }
                 }
                 RdlEvent::TypeReplaced(key) => {
                     Self::invalidate(&mut st, &key, true);
                 }
-                RdlEvent::TypeAdded(_) => {}
+                // A brand-new annotation can shadow an ancestor's along
+                // some receiver chain — a resolution change, not a
+                // signature change, so it needs its own invalidation.
+                RdlEvent::TypeAdded(key) => {
+                    self.invalidate_shadowed(&mut st, interp, &key);
+                }
             }
         }
     }
@@ -287,17 +390,170 @@ impl Engine {
         }
     }
 
+    /// Removes the reverse-dependency edges (dep → `key`) a retired cache
+    /// entry had registered. Without this, edges from superseded
+    /// derivations accumulate across reload sessions — the map grows
+    /// without bound and a later change to a long-gone dependency
+    /// spuriously invalidates (and re-checks) methods whose *current*
+    /// derivation never consulted it.
+    fn unlink(st: &mut EngineState, key: &MethodKey, entry: &CacheEntry) {
+        for dep in &entry.deps {
+            if let Some(set) = st.dependents.get_mut(dep) {
+                set.remove(key);
+                if set.is_empty() {
+                    st.dependents.remove(dep);
+                }
+            }
+        }
+    }
+
     /// Removes a cache entry and (optionally) every entry that depends on
-    /// it — Definition 1.
+    /// it — Definition 1. Counts only actual removals: invalidating a key
+    /// that was never cached (or already invalidated) is a no-op, not a
+    /// statistic.
     fn invalidate(st: &mut EngineState, key: &MethodKey, with_dependents: bool) {
-        st.cache.remove(key);
-        st.stats.invalidations += 1;
+        if let Some(old) = st.cache.remove(key) {
+            st.stats.invalidations += 1;
+            Self::unlink(st, key, &old);
+        }
         if with_dependents {
-            if let Some(deps) = st.dependents.remove(key) {
-                for d in deps {
-                    if st.cache.remove(&d).is_some() {
-                        st.stats.dependent_invalidations += 1;
+            Self::invalidate_dependents_of(st, key);
+        }
+    }
+
+    /// Removes every cache entry whose derivation consulted `key` —
+    /// Definition 1(2).
+    fn invalidate_dependents_of(st: &mut EngineState, key: &MethodKey) {
+        if let Some(deps) = st.dependents.remove(key) {
+            for d in deps {
+                if let Some(old) = st.cache.remove(&d) {
+                    st.stats.dependent_invalidations += 1;
+                    Self::unlink(st, &d, &old);
+                }
+            }
+        }
+    }
+
+    /// Handles a resolution change: a new annotation at `key` (or a
+    /// module annotation newly mixed into a chain) can *shadow* an
+    /// ancestor's annotation — receivers that used to resolve
+    /// `key.method` to the ancestor's signature now resolve to `key`'s,
+    /// so derivations that consulted the shadowed signature are stale
+    /// even though that signature itself never changed. This is
+    /// Definition 1 validity about what (TApp) *resolves to*, not merely
+    /// the entries it read. Directly cached methods self-heal (their
+    /// stored `sig_version` no longer matches the newly resolved entry),
+    /// but dependents must be invalidated here.
+    fn invalidate_shadowed(&self, st: &mut EngineState, interp: &Interp, key: &MethodKey) {
+        let Some(cid) = interp.registry.lookup(key.class.as_str()) else {
+            return;
+        };
+        // Chains through `key.class` itself.
+        self.invalidate_shadowed_along(st, interp, cid, key.class, key);
+        // A module annotation also shadows along the chain of every class
+        // that mixed the module in.
+        if interp.registry.class(cid).is_module {
+            for i in 0..interp.registry.class_count() as u32 {
+                let c = ClassId(i);
+                if c != cid && interp.registry.ancestors(c).contains(&cid) {
+                    self.invalidate_shadowed_along(st, interp, c, key.class, key);
+                }
+            }
+        }
+        // A new class-level annotation also shadows the checker's
+        // fallback resolution of class-level calls through `Class`'s
+        // *instance* chain (see the checker's main lookup).
+        if key.class_level {
+            if let Some(class_cid) = interp.registry.lookup("Class") {
+                for (_, ancestor) in interp.registry.ancestor_syms(class_cid) {
+                    let shadowed = MethodKey {
+                        class: ancestor,
+                        class_level: false,
+                        method: key.method,
+                    };
+                    if self.rdl.entry(&shadowed).is_some() {
+                        Self::invalidate_dependents_of(st, &shadowed);
+                        break;
                     }
+                }
+            }
+        }
+    }
+
+    /// Walks `start`'s ancestor chain past `new_class` and invalidates the
+    /// dependents of the first annotation the new key now shadows along
+    /// that chain. Local tier only: shared entries carry resolution
+    /// witnesses, and replay at adoption rejects anything the new key
+    /// shadows — evicting there would punish *other* tenants whose
+    /// identical boot sequence emits this same event.
+    fn invalidate_shadowed_along(
+        &self,
+        st: &mut EngineState,
+        interp: &Interp,
+        start: ClassId,
+        new_class: Sym,
+        key: &MethodKey,
+    ) {
+        let mut past_new = false;
+        for (_, ancestor) in interp.registry.ancestor_syms(start) {
+            if ancestor == new_class {
+                past_new = true;
+                continue;
+            }
+            if !past_new {
+                continue;
+            }
+            let shadowed = MethodKey {
+                class: ancestor,
+                class_level: key.class_level,
+                method: key.method,
+            };
+            if self.rdl.entry(&shadowed).is_some() {
+                Self::invalidate_dependents_of(st, &shadowed);
+                // The first match after `new_class` is what resolution
+                // through this chain previously returned; deeper entries
+                // were already shadowed by it.
+                break;
+            }
+        }
+    }
+
+    /// [`Engine::invalidate_shadowed`] for a post-first-call `include`:
+    /// every annotation keyed on the module may now shadow an annotation
+    /// further along the including class's chain.
+    fn invalidate_module_shadowed(
+        &self,
+        st: &mut EngineState,
+        interp: &Interp,
+        class: ClassId,
+        module: ClassId,
+    ) {
+        let module_sym = interp.registry.name_sym(module);
+        let module_keys: Vec<MethodKey> = self
+            .rdl
+            .keys()
+            .into_iter()
+            .filter(|k| k.class == module_sym)
+            .collect();
+        for mk in module_keys {
+            let mut past_module = false;
+            for (_, ancestor) in interp.registry.ancestor_syms(class) {
+                if ancestor == module_sym {
+                    past_module = true;
+                    continue;
+                }
+                if !past_module {
+                    continue;
+                }
+                let shadowed = MethodKey {
+                    class: ancestor,
+                    class_level: mk.class_level,
+                    method: mk.method,
+                };
+                if self.rdl.entry(&shadowed).is_some() {
+                    // Local tier only — see `invalidate_shadowed`.
+                    Self::invalidate_dependents_of(st, &shadowed);
+                    break;
                 }
             }
         }
@@ -326,7 +582,105 @@ impl Engine {
                 }
             }
         }
-        // Miss: lower (or fetch) the body CFG and statically check it.
+        // Hot-tier miss: the first-call path. Everything below is either
+        // a derivation (check_ns) or a shared-tier adoption
+        // (shared_adopt_ns); the split feeds the multi-tenant probe.
+        let t_first = std::time::Instant::now();
+        // Captured locals of define_method procs are typed from their
+        // runtime values — the just-in-time analogue of Fig. 2. Computed
+        // up front because the shared-tier body fingerprint covers them.
+        let captured: Option<TypeEnv> = match &info.entry.body {
+            MethodBody::FromProc(p) => {
+                let env: TypeEnv = p
+                    .env
+                    .collect_bindings()
+                    .into_iter()
+                    .map(|(k, v)| (k, type_of(interp, &v)))
+                    .collect();
+                Some(env)
+            }
+            _ => None,
+        };
+        // Probe the process-wide shared tier before doing any real work.
+        // The body fingerprint (file content hash + definition span) is
+        // O(1), so a warm tenant resolves its first call with a couple of
+        // hash probes and never lowers, let alone checks. Another tenant's
+        // derivation is valid for *this* tenant iff the body text, the
+        // method's own signature and every dependency signature all match
+        // what the derivation was checked against — by version *and*
+        // content fingerprint: Definition 1's conditions, validated
+        // structurally instead of by re-derivation.
+        let shared_fp: Option<(Arc<SharedCache>, u64)> = if caching {
+            self.shared.borrow().clone().and_then(|s| {
+                body_fingerprint(interp, &info.entry, captured.as_ref()).map(|fp| (s, fp))
+            })
+        } else {
+            None
+        };
+        if let Some((shared, body_fp)) = &shared_fp {
+            if let Some(d) = shared.lookup(cache_key, info.entry.id, table_entry.version, *body_fp)
+            {
+                let mut st = self.state.borrow_mut();
+                // Epoch fast path: equal rolling fingerprints mean this
+                // tenant performed the identical table/hierarchy mutation
+                // sequence as the publisher — every dependency (witnesses
+                // *and* ivar/cvar/gvar types) holds by construction.
+                let epochs = (
+                    self.rdl.table_fingerprint(),
+                    interp.registry.shape_fingerprint(),
+                    self.rdl.var_fingerprint(),
+                );
+                let valid = (d.table_fp, d.hier_fp, d.var_fp) == epochs || {
+                    // Divergent tenant: replay every witness against this
+                    // tenant's own table and hierarchy. Variable types
+                    // have no per-use witnesses, so they must match
+                    // exactly even here.
+                    let gen = (
+                        self.rdl.table_generation(),
+                        interp.registry.hierarchy_generation(),
+                    );
+                    if st.dep_memo_gen != gen {
+                        st.dep_memo.clear();
+                        st.dep_memo_gen = gen;
+                    }
+                    d.var_fp == epochs.2
+                        && d.own_sig_fingerprint == st.sig_fp(*annotation_key, table_entry)
+                        && d.deps.iter().all(|dep| {
+                            let cur = st.replay(interp, &self.rdl, &dep.resolution);
+                            match (dep.resolution.target, cur) {
+                                (None, None) => true,
+                                (Some(t), Some((k, v, fp))) => {
+                                    k == t && v == dep.sig_version && fp == dep.sig_fingerprint
+                                }
+                                _ => false,
+                            }
+                        })
+                };
+                if valid {
+                    self.rdl.mark_used(annotation_key);
+                    st.stats.shared_hits += 1;
+                    st.stats.shared_adopt_ns += t_first.elapsed().as_nanos() as u64;
+                    if let Some(old) = st.cache.remove(cache_key) {
+                        Self::unlink(&mut st, cache_key, &old);
+                    }
+                    let deps: BTreeSet<MethodKey> =
+                        d.deps.iter().filter_map(|p| p.resolution.target).collect();
+                    for dep in &deps {
+                        st.dependents.entry(*dep).or_default().insert(*cache_key);
+                    }
+                    st.cache.insert(
+                        *cache_key,
+                        CacheEntry {
+                            method_entry_id: info.entry.id,
+                            sig_version: table_entry.version,
+                            deps,
+                        },
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        // Miss in both tiers: lower (or fetch) the body CFG.
         let cfg = {
             let st = self.state.borrow();
             st.cfgs.get(&info.entry.id).cloned()
@@ -348,20 +702,6 @@ impl Engine {
                     .insert(info.entry.id, rc.clone());
                 rc
             }
-        };
-        // Captured locals of define_method procs are typed from their
-        // runtime values — the just-in-time analogue of Fig. 2.
-        let captured: Option<TypeEnv> = match &info.entry.body {
-            MethodBody::FromProc(p) => {
-                let env: TypeEnv = p
-                    .env
-                    .collect_bindings()
-                    .into_iter()
-                    .map(|(k, v)| (k, type_of(interp, &v)))
-                    .collect();
-                Some(env)
-            }
-            _ => None,
         };
         let reg_info = RegistryInfo(&interp.registry);
         let outcome = check_sig(
@@ -395,6 +735,7 @@ impl Engine {
         self.rdl.mark_used(annotation_key);
         let mut st = self.state.borrow_mut();
         st.stats.checks_performed += 1;
+        st.stats.check_ns += t_first.elapsed().as_nanos() as u64;
         st.stats.check_log.push(CheckLogItem { key: *cache_key });
         st.stats.checked_methods.insert(cache_key.display());
         st.stats
@@ -402,8 +743,52 @@ impl Engine {
             .extend(outcome.cast_sites.iter().copied());
         st.phase.note_check();
         if caching {
+            // A stale entry (old entry id / sig version) may still be
+            // present: retire its reverse-dependency edges before the new
+            // derivation registers its own.
+            if let Some(old) = st.cache.remove(cache_key) {
+                Self::unlink(&mut st, cache_key, &old);
+            }
             for dep in &outcome.deps {
                 st.dependents.entry(*dep).or_default().insert(*cache_key);
+            }
+            // Publish to the shared tier with each dependency's current
+            // signature version and content fingerprint, so foreign
+            // tenants can validate without re-deriving. (Proc-backed
+            // bodies publish too: their captured type environment is
+            // folded into the body fingerprint, so only tenants whose
+            // captured locals have identical types can adopt.)
+            if let Some((shared, body_fp)) = &shared_fp {
+                let deps: Vec<SharedDep> = outcome
+                    .resolutions
+                    .iter()
+                    .map(|res| {
+                        let (v, fp) = res
+                            .target
+                            .and_then(|t| self.rdl.entry(&t).map(|e| (t, e)))
+                            .map_or((0, 0), |(t, e)| (e.version, st.sig_fp(t, &e)));
+                        SharedDep {
+                            resolution: *res,
+                            sig_version: v,
+                            sig_fingerprint: fp,
+                        }
+                    })
+                    .collect();
+                let own_fp = st.sig_fp(*annotation_key, table_entry);
+                let epochs = (
+                    self.rdl.table_fingerprint(),
+                    interp.registry.shape_fingerprint(),
+                    self.rdl.var_fingerprint(),
+                );
+                shared.insert(
+                    *cache_key,
+                    info.entry.id,
+                    table_entry.version,
+                    *body_fp,
+                    own_fp,
+                    epochs,
+                    deps,
+                );
             }
             st.cache.insert(
                 *cache_key,
@@ -461,6 +846,47 @@ impl Engine {
             info.span,
         ))
     }
+}
+
+/// Content fingerprint of an annotation's signature, used by the shared
+/// tier to validate that a dependency means the *same thing* in the
+/// adopting tenant's table (version counters alone are per-tenant and can
+/// coincide across different codebases).
+fn sig_fingerprint(entry: &TableEntry) -> u64 {
+    hb_intern::fingerprint64(&entry.sig)
+}
+
+/// Cross-process body fingerprint: identifies the exact source text of a
+/// definition by (file content hash, span range) in O(1) — no lowering, no
+/// tree walk. Proc-backed bodies (`define_method`) additionally fold in
+/// the captured type environment, because their derivations are judged
+/// under those types (Fig. 2): two tenants share a proc derivation only
+/// when the captured locals have identical types. `None` for builtins and
+/// synthesised nodes without a stable source identity.
+fn body_fingerprint(
+    interp: &Interp,
+    entry: &hb_interp::MethodEntry,
+    captured: Option<&TypeEnv>,
+) -> Option<u64> {
+    let span = match &entry.body {
+        MethodBody::Ast(def) => def.span,
+        MethodBody::FromProc(p) => p.span,
+        MethodBody::Builtin(_) => return None,
+    };
+    if span.lo == span.hi {
+        return None;
+    }
+    let file = interp.source_map.file(span.file)?;
+    // TypeEnv is a BTreeMap: iteration order is deterministic across
+    // tenants.
+    let captured: Vec<(&String, &hb_types::Type)> =
+        captured.map(|env| env.iter().collect()).unwrap_or_default();
+    Some(hb_intern::fingerprint64((
+        file.content_hash(),
+        span.lo,
+        span.hi,
+        captured,
+    )))
 }
 
 /// Lowers a checkable method entry to a CFG.

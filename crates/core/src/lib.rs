@@ -31,11 +31,13 @@
 pub mod engine;
 pub mod info;
 pub mod reload;
+pub mod shared_cache;
 pub mod stats;
 
 pub use engine::{CacheDumpEntry, Config, Engine};
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
+pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
 pub use stats::{CheckLogItem, EngineStats};
 
 pub use hb_check::{CheckError, CheckOptions};
@@ -75,31 +77,21 @@ impl Hummingbird {
         Hummingbird::with_mode(Mode::Full)
     }
 
-    /// Builds a system in the given evaluation mode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the bundled core-library annotations fail to load (a build
-    /// defect, not a runtime condition).
-    pub fn with_mode(mode: Mode) -> Hummingbird {
-        let mut interp = Interp::new();
-        let rdl = install_rdl(&mut interp);
-        let engine = Rc::new(Engine::new(rdl.clone()));
-        if mode != Mode::Original {
-            interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
-            interp.add_hook(engine.clone());
-        }
-        engine.set_config(Config {
-            enabled: mode != Mode::Original,
-            caching: mode != Mode::NoCache,
-            dyn_arg_checks: mode != Mode::Original,
-        });
-        let mut hb = Hummingbird {
-            interp,
-            rdl,
-            engine,
-            file_methods: HashMap::new(),
-        };
+    /// A fully enabled system attached to a process-wide shared derivation
+    /// tier: one *tenant* of a multi-tenant deployment. The tier is
+    /// attached before any code (including the core library) loads, so
+    /// identical tenants warm each other from the very first check.
+    pub fn new_tenant(shared: std::sync::Arc<SharedCache>) -> Hummingbird {
+        Hummingbird::tenant_with_mode(Mode::Full, shared)
+    }
+
+    /// [`Hummingbird::new_tenant`] with an explicit evaluation mode.
+    pub fn tenant_with_mode(mode: Mode, shared: std::sync::Arc<SharedCache>) -> Hummingbird {
+        Hummingbird::builder_with_shared(mode, Some(shared))
+    }
+
+    fn builder_with_shared(mode: Mode, shared: Option<std::sync::Arc<SharedCache>>) -> Hummingbird {
+        let mut hb = Hummingbird::assemble(mode, shared);
         if mode != Mode::Original {
             // "Orig" runs without Hummingbird entirely; otherwise load the
             // bundled core-library types.
@@ -110,6 +102,40 @@ impl Hummingbird {
         hb.engine.reset_stats();
         hb.rdl.drain_events();
         hb
+    }
+
+    /// Builds a system in the given evaluation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled core-library annotations fail to load (a build
+    /// defect, not a runtime condition).
+    pub fn with_mode(mode: Mode) -> Hummingbird {
+        Hummingbird::builder_with_shared(mode, None)
+    }
+
+    fn assemble(mode: Mode, shared: Option<std::sync::Arc<SharedCache>>) -> Hummingbird {
+        let mut interp = Interp::new();
+        let rdl = install_rdl(&mut interp);
+        let engine = Rc::new(Engine::new(rdl.clone()));
+        if let Some(shared) = shared {
+            engine.set_shared_cache(shared);
+        }
+        if mode != Mode::Original {
+            interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
+            interp.add_hook(engine.clone());
+        }
+        engine.set_config(Config {
+            enabled: mode != Mode::Original,
+            caching: mode != Mode::NoCache,
+            dyn_arg_checks: mode != Mode::Original,
+        });
+        Hummingbird {
+            interp,
+            rdl,
+            engine,
+            file_methods: HashMap::new(),
+        }
     }
 
     /// Loads a source file into the running system.

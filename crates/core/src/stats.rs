@@ -12,10 +12,18 @@ pub struct CheckLogItem {
 /// Aggregate engine counters.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
-    /// Static checks actually run (cache misses).
+    /// Static checks actually run (misses in both cache tiers).
     pub checks_performed: u64,
-    /// Calls answered from the derivation cache.
+    /// Calls answered from the per-engine derivation cache (hot tier).
     pub cache_hits: u64,
+    /// First calls answered by adopting another tenant's derivation from
+    /// the process-wide shared tier (no check run).
+    pub shared_hits: u64,
+    /// Nanoseconds spent deriving on first calls (lowering + `check_sig`).
+    pub check_ns: u64,
+    /// Nanoseconds spent adopting shared derivations (lookup + structural
+    /// validation) instead of deriving.
+    pub shared_adopt_ns: u64,
     /// Calls that went through the engine hook.
     pub intercepted_calls: u64,
     /// Dynamic argument checks executed.

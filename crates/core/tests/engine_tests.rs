@@ -2,7 +2,7 @@
 //! invalidation, dynamic checks, metaprogramming flows from the paper's
 //! figures, and dev-mode reloading.
 
-use hummingbird::{ErrorKind, Hummingbird, Mode};
+use hummingbird::{ErrorKind, Hummingbird, MethodKey, Mode};
 
 fn hb() -> Hummingbird {
     Hummingbird::new()
@@ -869,4 +869,243 @@ DG.new.greet(2)
         s.dependent_invalidations, 1,
         "only DG#greet depended on DG#hello"
     );
+}
+
+// ----- invalidation-soundness bug sweep (this PR's satellite fixes) --------
+
+#[test]
+fn stale_reverse_dep_edges_are_pruned_on_recheck() {
+    // Bug: edges from a superseded derivation lingered in `dependents`,
+    // so changing a dependency the *current* derivation never consulted
+    // spuriously invalidated (and re-checked) the method.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class H1
+  type :h, "() -> Fixnum"
+  def h
+    1
+  end
+end
+class H2
+  type :h, "() -> Fixnum"
+  def h
+    2
+  end
+end
+class Caller
+  type :m, "() -> Fixnum", { "check" => true }
+  def m
+    H1.new.h
+  end
+end
+Caller.new.m
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    // Redefine the body to consult H2 instead of H1; the recheck builds a
+    // fresh derivation whose dependency set no longer mentions H1#h.
+    hb.eval("class Caller\n def m\n  H2.new.h\n end\nend\nCaller.new.m")
+        .unwrap();
+    assert_eq!(hb.stats().checks_performed, 2);
+    let dump = hb.engine.cache_dump();
+    let entry = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("Caller", "m"))
+        .expect("Caller#m cached");
+    assert!(!entry.deps.contains(&MethodKey::instance("H1", "h")));
+    // Replacing H1#h must now be invisible to Caller#m: no spurious
+    // dependent invalidation, no third check.
+    hb.eval("class H1\n type :h, \"() -> String\", { \"replace\" => true }\nend\nCaller.new.m")
+        .unwrap();
+    let s = hb.stats();
+    assert_eq!(
+        s.dependent_invalidations, 0,
+        "stale H1#h -> Caller#m edge must have been pruned"
+    );
+    assert_eq!(s.checks_performed, 2, "no spurious recheck");
+}
+
+#[test]
+fn invalidations_count_only_actual_removals() {
+    // Bug: `invalidate` bumped `stats.invalidations` even when the key had
+    // no cache entry, over-counting Table-2-style reports.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Quiet
+  type :never_called, "() -> Fixnum", { "check" => true }
+  def never_called
+    1
+  end
+end
+"#,
+    )
+    .unwrap();
+    // Replace the type of a method that was never called (nothing cached),
+    // then force event processing with an unrelated checked call.
+    hb.eval(
+        r#"
+class Quiet
+  type :never_called, "() -> String", { "replace" => true }
+end
+class Unrelated
+  type :go, "() -> Fixnum", { "check" => true }
+  def go
+    7
+  end
+end
+Unrelated.new.go
+"#,
+    )
+    .unwrap();
+    let s = hb.stats();
+    assert_eq!(
+        s.invalidations, 0,
+        "no entry was cached, so nothing was invalidated"
+    );
+    assert_eq!(s.dependent_invalidations, 0);
+}
+
+#[test]
+fn new_shadowing_annotation_invalidates_dependents() {
+    // Bug (Definition 1 soundness hole): a brand-new annotation that
+    // shadows an ancestor's resolution left dependents cached against the
+    // wrong signature.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Animal
+  type :sound, "() -> String"
+  def sound
+    "generic"
+  end
+end
+class Dog < Animal
+end
+class Speaker
+  type :speak, "() -> String", { "check" => true }
+  def speak
+    Dog.new.sound
+  end
+end
+Speaker.new.speak
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    let dump = hb.engine.cache_dump();
+    let entry = dump
+        .iter()
+        .find(|e| e.key == MethodKey::instance("Speaker", "speak"))
+        .expect("Speaker#speak cached");
+    assert!(
+        entry.deps.contains(&MethodKey::instance("Animal", "sound")),
+        "derivation resolved sound along Dog's chain to Animal#sound"
+    );
+    // A new Dog#sound annotation shadows Animal#sound for Dog receivers;
+    // the cached Speaker#speak derivation is now valid against the wrong
+    // signature and must be re-checked — which fails, since sound now
+    // returns Fixnum while speak is declared to return String.
+    let err = hb
+        .eval(
+            r#"
+class Dog
+  type :sound, "() -> Fixnum"
+  def sound
+    42
+  end
+end
+Speaker.new.speak
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Speaker#speak"), "{}", err.message);
+}
+
+#[test]
+fn post_first_call_include_invalidates_shadowed_dependents() {
+    // Same hole via `include`: mixing a module in after first calls
+    // changes what the shadowed method resolves to.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+module Loud
+  type :sound, "() -> Fixnum"
+  def sound
+    99
+  end
+end
+class Cat
+  type :sound, "() -> String"
+  def sound
+    "meow"
+  end
+end
+class Kitten < Cat
+end
+class Listener
+  type :listen, "() -> String", { "check" => true }
+  def listen
+    Kitten.new.sound
+  end
+end
+Listener.new.listen
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    // Include Loud into Kitten: Kitten's chain now resolves sound to
+    // Loud#sound (Fixnum), so the cached Listener#listen derivation is
+    // stale and its recheck must blame.
+    let err = hb
+        .eval("class Kitten\n include Loud\nend\nListener.new.listen")
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Listener#listen"), "{}", err.message);
+}
+
+#[test]
+fn module_annotation_shadows_through_including_classes() {
+    // The shadowing annotation lives on a *module*: resolution changes for
+    // every class that mixed the module in, not for chains through the
+    // module's own (trivial) ancestor chain.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+module Noisy
+  def sound
+    99
+  end
+end
+class Animal
+  type :sound, "() -> String"
+  def sound
+    "generic"
+  end
+end
+class Dog < Animal
+  include Noisy
+end
+class Speaker2
+  type :speak, "() -> String", { "check" => true }
+  def speak
+    Dog.new.sound
+  end
+end
+Speaker2.new.speak
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    // Annotating Noisy#sound now shadows Animal#sound along Dog's chain
+    // ([Dog, Noisy, Animal]); the cached Speaker2#speak derivation is
+    // stale and its recheck must blame (sound now returns Fixnum).
+    let err = hb
+        .eval("module Noisy\n type :sound, \"() -> Fixnum\"\nend\nSpeaker2.new.speak")
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Speaker2#speak"), "{}", err.message);
 }

@@ -1,0 +1,197 @@
+//! Multi-tenant shared derivation tier: identical tenants warm each other,
+//! divergent tenants are protected by dependency-version validation, and
+//! invalidation fans out across tenants.
+
+use hummingbird::{Hummingbird, MethodKey, SharedCache};
+use std::sync::Arc;
+use std::thread;
+
+const APP: &str = r#"
+class Helper
+  type :value, "() -> Fixnum", { "check" => true }
+  def value
+    41
+  end
+end
+class Talk
+  type :compute, "(Helper) -> Fixnum", { "check" => true }
+  def compute(h)
+    h.value + 1
+  end
+  type :title_line, "(String) -> String", { "check" => true }
+  def title_line(prefix)
+    prefix + ": talk"
+  end
+end
+t = Talk.new
+t.compute(Helper.new)
+t.title_line("PLDI")
+"#;
+
+#[test]
+fn second_tenant_warm_starts_with_zero_checks() {
+    let shared = Arc::new(SharedCache::new());
+
+    // Tenant 1 (cold) runs on its own thread and pays all static checks.
+    let s1 = shared.clone();
+    let cold = thread::spawn(move || {
+        let mut hb = Hummingbird::new_tenant(s1);
+        hb.eval(APP).unwrap();
+        hb.stats()
+    })
+    .join()
+    .unwrap();
+    assert_eq!(cold.checks_performed, 3, "cold tenant checks everything");
+    assert_eq!(cold.shared_hits, 0);
+    assert_eq!(
+        shared.stats().inserts,
+        3,
+        "cold tenant published its derivations"
+    );
+
+    // Tenant 2 (warm), a different thread and a fresh interpreter built
+    // from identical sources: every first call adopts from the shared
+    // tier, so check_sig never runs.
+    let s2 = shared.clone();
+    let warm = thread::spawn(move || {
+        let mut hb = Hummingbird::new_tenant(s2);
+        hb.eval(APP).unwrap();
+        hb.stats()
+    })
+    .join()
+    .unwrap();
+    assert_eq!(warm.checks_performed, 0, "warm tenant never runs check_sig");
+    assert_eq!(
+        warm.shared_hits, 3,
+        "all three first calls adopt shared derivations"
+    );
+    assert_eq!(
+        warm.cache_entries, 3,
+        "adopted derivations fill the hot tier"
+    );
+}
+
+#[test]
+fn divergent_tenant_fails_validation_and_rechecks() {
+    let shared = Arc::new(SharedCache::new());
+    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    t1.eval(APP).unwrap();
+    assert_eq!(t1.stats().checks_performed, 3);
+
+    // Tenant 2 replaces Helper#value's signature *before* first calls.
+    // Its sig replacement also evicts the shared Talk#compute entry (the
+    // fan-out sink), and even a racing stale read would fail dependency
+    // version validation — either way the tenant re-derives soundly.
+    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    t2.eval(
+        r#"
+class Helper
+  type :value, "() -> Fixnum", { "check" => true }
+  def value
+    41
+  end
+end
+class Helper
+  type :value, "() -> Fixnum", { "replace" => true }
+end
+class Talk
+  type :compute, "(Helper) -> Fixnum", { "check" => true }
+  def compute(h)
+    h.value + 1
+  end
+  type :title_line, "(String) -> String", { "check" => true }
+  def title_line(prefix)
+    prefix + ": talk"
+  end
+end
+t = Talk.new
+t.compute(Helper.new)
+t.title_line("PLDI")
+"#,
+    )
+    .unwrap();
+    let s = t2.stats();
+    // title_line has no divergent deps and keeps warm-hitting; the two
+    // methods touching the replaced signature must re-check.
+    assert!(
+        s.checks_performed >= 2,
+        "divergent derivations re-check: {s:?}"
+    );
+    assert!(
+        shared
+            .lookup(
+                &MethodKey::instance("Talk", "compute"),
+                u64::MAX,
+                u64::MAX,
+                0
+            )
+            .is_none(),
+        "sanity: lookups with wrong versions never hit"
+    );
+}
+
+#[test]
+fn cross_tenant_eviction_fans_out() {
+    let shared = Arc::new(SharedCache::new());
+    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    t1.eval(APP).unwrap();
+    let before = shared.len();
+    assert_eq!(before, 3);
+
+    // Tenant 1 replaces Helper#value: the sink evicts the method's shared
+    // family plus dependents (Talk#compute) immediately.
+    t1.eval("class Helper\n type :value, \"() -> String\", { \"replace\" => true }\nend")
+        .unwrap();
+    assert_eq!(
+        shared.len(),
+        1,
+        "Helper#value and its dependent Talk#compute evicted; title_line survives"
+    );
+    assert!(shared.stats().evictions >= 2);
+}
+
+#[test]
+fn divergent_variable_types_block_adoption() {
+    // Derivations read ivar/gvar types without per-use witnesses, so a
+    // tenant whose variable-type registrations diverge must re-derive
+    // (its var fingerprint differs) rather than adopt.
+    let shared = Arc::new(SharedCache::new());
+    let gvar_app = r#"
+var_type "$level", "Fixnum"
+class Gauge
+  type :level, "() -> Fixnum", { "check" => true }
+  def level
+    $level
+  end
+end
+$level = 3
+Gauge.new.level
+"#;
+    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    t1.eval(gvar_app).unwrap();
+    assert_eq!(t1.stats().checks_performed, 1);
+
+    // Same method annotations and body text, but $level is declared
+    // String first (then Fixnum, so the call itself still type-checks):
+    // the var fingerprint differs, adoption is rejected, and the tenant
+    // re-derives.
+    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    t2.eval(
+        r#"
+var_type "$dummy", "String"
+var_type "$level", "Fixnum"
+class Gauge
+  type :level, "() -> Fixnum", { "check" => true }
+  def level
+    $level
+  end
+end
+$level = 3
+Gauge.new.level
+"#,
+    )
+    .unwrap();
+    let s = t2.stats();
+    assert_eq!(s.shared_hits, 0, "divergent var types must not adopt");
+    assert_eq!(s.checks_performed, 1, "re-derives instead");
+}

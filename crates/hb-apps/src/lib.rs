@@ -9,11 +9,14 @@ pub mod apps;
 pub mod datafile;
 pub mod table1;
 pub mod talks_history;
+pub mod tenant;
 
 pub use apps::{all_apps, boxroom, cct, countries, pubs, rolify, talks, AppSpec};
 pub use table1::{measure_app, AppCounts, Table1Row};
+pub use tenant::{run_tenant, TenantRun};
 
-use hummingbird::{Hummingbird, Mode};
+use hummingbird::{Hummingbird, Mode, SharedCache};
+use std::sync::Arc;
 
 /// Builds an app in the given evaluation mode: substrates, app sources,
 /// annotations (unless `Mode::Original`), seed data.
@@ -23,7 +26,25 @@ use hummingbird::{Hummingbird, Mode};
 /// Panics if any app file fails to load or type check at boot — these are
 /// fixture defects, not runtime conditions.
 pub fn build_app(spec: &AppSpec, mode: Mode) -> Hummingbird {
-    let mut hb = Hummingbird::with_mode(mode);
+    build_app_shared(spec, mode, None)
+}
+
+/// [`build_app`] with an optional process-wide shared derivation tier:
+/// the multi-tenant configuration. The tier is attached before any code
+/// loads so even boot-time checks publish/adopt.
+///
+/// # Panics
+///
+/// Panics if any app file fails to load or type check at boot.
+pub fn build_app_shared(
+    spec: &AppSpec,
+    mode: Mode,
+    shared: Option<Arc<SharedCache>>,
+) -> Hummingbird {
+    let mut hb = match shared {
+        Some(shared) => Hummingbird::tenant_with_mode(mode, shared),
+        None => Hummingbird::with_mode(mode),
+    };
     if spec.rails {
         hb_rails::install_rails(&mut hb, mode != Mode::Original)
             .unwrap_or_else(|e| panic!("{}: rails install failed: {e}", spec.name));

@@ -1,0 +1,93 @@
+//! The multi-tenant scenario: one *tenant* is an independent interpreter
+//! stack (one `Hummingbird` per subject app) attached to a process-wide
+//! [`SharedCache`]. N tenants model N app instances of the same deployment
+//! running on N threads: the first instance to call a method pays the
+//! static check and publishes the derivation; every other instance adopts
+//! it after structural validation, without running `check_sig`.
+//!
+//! Used by the `tenant_probe` benchmark binary and the multi-tenant tests.
+
+use crate::apps::all_apps;
+use crate::{build_app_shared, run_workload};
+use hummingbird::{Mode, SharedCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one tenant did, split into the build phase (parse/load/seed) and
+/// the serve phase (first requests — where the check storm lives — plus
+/// the steady workload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantRun {
+    pub tenant: usize,
+    /// Wall time constructing all six apps (parsing, loading, seeding).
+    pub build_ns: u64,
+    /// Wall time serving the workloads, including each app's first-call
+    /// check storm.
+    pub serve_ns: u64,
+    /// Static checks this tenant actually ran (misses in both tiers).
+    pub checks_performed: u64,
+    /// First calls answered by adopting another tenant's derivation.
+    pub shared_hits: u64,
+    /// Steady-state hot-tier hits.
+    pub cache_hits: u64,
+    /// Calls intercepted by the engine hook.
+    pub intercepted_calls: u64,
+    /// Nanoseconds this tenant spent deriving (lowering + `check_sig`).
+    pub check_ns: u64,
+    /// Nanoseconds this tenant spent adopting shared derivations instead.
+    pub shared_adopt_ns: u64,
+}
+
+impl TenantRun {
+    /// Fraction of this tenant's first-call checks satisfied by the shared
+    /// tier instead of running the checker. 1.0 for a fully warm tenant.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let first_calls = self.shared_hits + self.checks_performed;
+        if first_calls == 0 {
+            return 0.0;
+        }
+        self.shared_hits as f64 / first_calls as f64
+    }
+
+    /// Total first calls resolved (derived or adopted).
+    pub fn first_calls(&self) -> u64 {
+        self.shared_hits + self.checks_performed
+    }
+
+    /// Total time spent resolving first calls, derived or adopted.
+    pub fn first_call_ns(&self) -> u64 {
+        self.check_ns + self.shared_adopt_ns
+    }
+}
+
+/// Boots all six subject apps as one tenant against `shared` and serves
+/// `iters` workload iterations per app. Aggregates engine statistics
+/// across the apps.
+pub fn run_tenant(tenant: usize, shared: &Arc<SharedCache>, iters: usize) -> TenantRun {
+    let mut out = TenantRun {
+        tenant,
+        ..TenantRun::default()
+    };
+    let specs = all_apps();
+    let t0 = Instant::now();
+    let mut apps: Vec<_> = specs
+        .iter()
+        .map(|spec| build_app_shared(spec, Mode::Full, Some(shared.clone())))
+        .collect();
+    out.build_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    for (spec, hb) in specs.iter().zip(apps.iter_mut()) {
+        run_workload(spec, hb, iters);
+    }
+    out.serve_ns = t1.elapsed().as_nanos() as u64;
+    for hb in &apps {
+        let s = hb.stats();
+        out.checks_performed += s.checks_performed;
+        out.shared_hits += s.shared_hits;
+        out.cache_hits += s.cache_hits;
+        out.intercepted_calls += s.intercepted_calls;
+        out.check_ns += s.check_ns;
+        out.shared_adopt_ns += s.shared_adopt_ns;
+    }
+    out
+}

@@ -10,7 +10,7 @@
 
 use crate::info::{ClassInfo, InfoHierarchy};
 use hb_il::{BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator};
-use hb_rdl::{MethodKey, RdlState, TableEntry};
+use hb_rdl::{MethodKey, RdlState, Resolution, TableEntry};
 use hb_syntax::Span;
 use hb_types::{MethodSig, MethodType, Type, TypeEnv};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -47,6 +47,11 @@ pub struct CheckOutcome {
     /// Methods whose types this check consulted via (TApp): the cache
     /// dependency set of Definition 1(2).
     pub deps: BTreeSet<MethodKey>,
+    /// The (TApp) resolution witnesses behind `deps`, including negative
+    /// facts (lookups that found nothing and fell back). A foreign
+    /// consumer replays these to decide whether the derivation is valid
+    /// against *its* table and hierarchy.
+    pub resolutions: BTreeSet<Resolution>,
     /// Distinct `rdl_cast` sites encountered (file, lo, hi).
     pub cast_sites: BTreeSet<(u32, u32, u32)>,
 }
@@ -56,6 +61,7 @@ impl Default for CheckOutcome {
         CheckOutcome {
             ret: Type::Nil,
             deps: BTreeSet::new(),
+            resolutions: BTreeSet::new(),
             cast_sites: BTreeSet::new(),
         }
     }
@@ -122,6 +128,7 @@ pub fn check_sig(
             method_ret: arm.ret.clone(),
             yield_block_type: arm.block.as_deref().cloned(),
             deps: BTreeSet::new(),
+            resolutions: BTreeSet::new(),
             casts: BTreeSet::new(),
         };
         let env = ck.entry_env(cfg, &arm, captured)?;
@@ -138,6 +145,7 @@ pub fn check_sig(
         }
         out.ret = ret;
         out.deps.append(&mut ck.deps);
+        out.resolutions.append(&mut ck.resolutions);
         out.cast_sites.append(&mut ck.casts);
     }
     Ok(out)
@@ -167,6 +175,7 @@ struct Checker<'a> {
     /// The arm's declared block type, for `yield`.
     yield_block_type: Option<MethodType>,
     deps: BTreeSet<MethodKey>,
+    resolutions: BTreeSet<Resolution>,
     casts: BTreeSet<(u32, u32, u32)>,
 }
 
@@ -551,15 +560,21 @@ impl<'a> Checker<'a> {
             Rvalue::Super { args } => {
                 let chain = self.info.ancestors(&self.self_class);
                 let above: Vec<String> = chain.iter().skip(1).cloned().collect();
-                let found = self.rdl.lookup_along_names(
-                    &above,
-                    matches!(self.self_type, Type::ClassObj(_)),
-                    &self.method_name,
-                );
+                let super_level = matches!(self.self_type, Type::ClassObj(_));
+                let found = self
+                    .rdl
+                    .lookup_along_names(&above, super_level, &self.method_name);
                 match found {
                     Some((key, entry)) => {
                         self.rdl.mark_used(&key);
                         self.deps.insert(key);
+                        self.resolutions.insert(Resolution {
+                            start: hb_intern::Sym::intern(&self.self_class),
+                            skip_receiver: true,
+                            class_level: super_level,
+                            method: hb_intern::Sym::intern(&self.method_name),
+                            target: Some(key),
+                        });
                         let mut ret: Option<Type> = None;
                         for arm in &entry.sig.arms {
                             let arm = arm.erase_vars();
@@ -689,13 +704,38 @@ impl<'a> Checker<'a> {
     ) -> Result<Type, CheckError> {
         let chain = self.info.ancestors(c);
         let found = if class_level {
-            self.rdl.lookup_along_names(&chain, true, name).or_else(|| {
-                // Class objects also answer instance methods of Class.
-                let class_chain = self.info.ancestors("Class");
-                self.rdl.lookup_along_names(&class_chain, false, name)
-            })
+            match self.rdl.lookup_along_names(&chain, true, name) {
+                Some(hit) => {
+                    self.resolutions
+                        .insert(Resolution::of(c, true, name, Some(hit.0)));
+                    Some(hit)
+                }
+                None => {
+                    // Class objects also answer instance methods of Class.
+                    // The miss above is part of the derivation: record the
+                    // negative witness so a consumer with a class-level
+                    // annotation on `c`'s chain rejects it.
+                    self.resolutions.insert(Resolution::of(c, true, name, None));
+                    let class_chain = self.info.ancestors("Class");
+                    let fb = self.rdl.lookup_along_names(&class_chain, false, name);
+                    self.resolutions.insert(Resolution::of(
+                        "Class",
+                        false,
+                        name,
+                        fb.as_ref().map(|(k, _)| *k),
+                    ));
+                    fb
+                }
+            }
         } else {
-            self.rdl.lookup_along_names(&chain, false, name)
+            let found = self.rdl.lookup_along_names(&chain, false, name);
+            self.resolutions.insert(Resolution::of(
+                c,
+                false,
+                name,
+                found.as_ref().map(|(k, _)| *k),
+            ));
+            found
         };
 
         // `C.new` falls back to C#initialize (returning an instance of C).
@@ -757,7 +797,14 @@ impl<'a> Checker<'a> {
         span: Span,
     ) -> Result<Type, CheckError> {
         let instance = Type::nominal(c);
-        match self.rdl.lookup_along_names(chain, false, "initialize") {
+        let found_init = self.rdl.lookup_along_names(chain, false, "initialize");
+        self.resolutions.insert(Resolution::of(
+            c,
+            false,
+            "initialize",
+            found_init.as_ref().map(|(k, _)| *k),
+        ));
+        match found_init {
             Some((key, entry)) => {
                 self.rdl.mark_used(&key);
                 self.deps.insert(key);

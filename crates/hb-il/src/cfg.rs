@@ -36,15 +36,33 @@ pub enum Operand {
     Nondet,
 }
 
+// Hashing is structural and span-insensitive, feeding
+// [`MethodCfg::shape_fingerprint`]; floats hash by bit pattern.
+impl std::hash::Hash for Operand {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        std::mem::discriminant(self).hash(h);
+        match self {
+            Operand::IntConst(n) => n.hash(h),
+            Operand::FloatConst(x) => x.to_bits().hash(h),
+            Operand::StrConst(s) | Operand::SymConst(s) | Operand::Local(s) => s.hash(h),
+            Operand::NilConst
+            | Operand::TrueConst
+            | Operand::FalseConst
+            | Operand::SelfRef
+            | Operand::Nondet => {}
+        }
+    }
+}
+
 /// One piece of an interpolated string.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum StrPiece {
     Lit(String),
     Dyn(Operand),
 }
 
 /// A call-site argument.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum CallArg {
     Pos(Operand),
     Splat(Operand),
@@ -52,7 +70,7 @@ pub enum CallArg {
 }
 
 /// The right-hand side of an assignment instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Rvalue {
     Use(Operand),
     IVar(String),
@@ -97,8 +115,15 @@ pub struct Instr {
     pub span: Span,
 }
 
+// Span-insensitive: two instructions hash alike iff their kinds match.
+impl std::hash::Hash for Instr {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.kind.hash(h);
+    }
+}
+
 /// The kinds of instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum InstrKind {
     /// `local := rvalue`
     Assign {
@@ -124,7 +149,7 @@ pub enum InstrKind {
 }
 
 /// How a basic block transfers control.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Terminator {
     Goto(BlockId),
     Branch {
@@ -142,14 +167,14 @@ pub enum Terminator {
 }
 
 /// A basic block: straight-line instructions plus a terminator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct BasicBlock {
     pub instrs: Vec<Instr>,
     pub term: Terminator,
 }
 
 /// How a lowered formal parameter binds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IlParamKind {
     Required,
     /// Has a default; the default expression is lowered into the entry
@@ -160,7 +185,7 @@ pub enum IlParamKind {
 }
 
 /// A formal parameter of a lowered method or block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct IlParam {
     pub name: String,
     pub kind: IlParamKind,
@@ -180,8 +205,20 @@ pub struct MethodCfg {
     pub span: Span,
 }
 
+// Span-insensitive (the whole-definition span is excluded; instruction
+// spans are excluded by `Instr`'s impl).
+impl std::hash::Hash for MethodCfg {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.name.hash(h);
+        self.params.hash(h);
+        self.blocks.hash(h);
+        self.entry.hash(h);
+        self.block_lits.hash(h);
+    }
+}
+
 /// A lowered block literal (closure body).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct BlockLit {
     pub params: Vec<IlParam>,
     pub cfg: MethodCfg,
@@ -223,20 +260,33 @@ impl MethodCfg {
     /// decide whether a method actually changed (paper §4 "Cache
     /// Invalidation").
     pub fn same_shape(&self, other: &MethodCfg) -> bool {
-        fn strip(cfg: &MethodCfg) -> MethodCfg {
-            let mut c = cfg.clone();
-            c.span = Span::dummy();
-            for b in &mut c.blocks {
-                for i in &mut b.instrs {
-                    i.span = Span::dummy();
-                }
+        Self::strip(self) == Self::strip(other)
+    }
+
+    /// A span-insensitive structural fingerprint: equal whenever
+    /// [`MethodCfg::same_shape`] would hold. A single hash walk — no
+    /// clone, no formatting — for cheap "did this body change shape?"
+    /// questions (reload diffing, cross-process body identity).
+    pub fn shape_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    fn strip(cfg: &MethodCfg) -> MethodCfg {
+        let mut c = cfg.clone();
+        c.span = Span::dummy();
+        for b in &mut c.blocks {
+            for i in &mut b.instrs {
+                i.span = Span::dummy();
             }
-            for bl in &mut c.block_lits {
-                bl.cfg = strip(&bl.cfg);
-            }
-            c
         }
-        strip(self) == strip(other)
+        for bl in &mut c.block_lits {
+            bl.cfg = Self::strip(&bl.cfg);
+        }
+        c
     }
 }
 

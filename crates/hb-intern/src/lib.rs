@@ -7,11 +7,31 @@
 //! String-keyed cache lookups into `u32` comparisons and removes all
 //! per-call allocation.
 //!
-//! The interner is process-wide and thread-local (the interpreter itself is
-//! single-threaded by construction — `Rc` throughout). Interned strings are
-//! leaked, which bounds memory by the number of *distinct* names ever seen:
-//! exactly the class/method names of the program, the same order of memory
-//! the method tables themselves retain.
+//! The interner is **process-global and thread-safe**: `Sym` indices are
+//! stable across every thread in the process, so symbols (and the
+//! `MethodKey`s built from them) can key process-wide shared structures —
+//! the multi-tenant shared derivation cache in particular — and cross
+//! thread boundaries freely (`Sym` is `Send + Sync`). Three tiers keep the
+//! hot paths cheap:
+//!
+//! 1. **Lock-free fast path.** Each thread keeps a private map of the
+//!    strings it has already interned; a repeat `intern` takes no lock at
+//!    all (this is the dispatch hot path: one thread-local hash probe).
+//! 2. **Sharded read path.** A miss in the thread cache probes one of
+//!    [`NUM_SHARDS`] `RwLock`-protected maps under a read lock, so threads
+//!    interning disjoint (or even overlapping, already-known) names never
+//!    serialise.
+//! 3. **Serialised slow path.** Only a genuinely new string takes the
+//!    global insertion lock, which assigns the next index and publishes
+//!    the string.
+//!
+//! Resolution (`as_str`) is lock-free: indices address an append-only
+//! segmented table of atomic slots, published with release/acquire
+//! ordering, so readers never contend with writers.
+//!
+//! Interned strings are leaked, which bounds memory by the number of
+//! *distinct* names ever seen: exactly the class/method names of the
+//! program, the same order of memory the method tables themselves retain.
 //!
 //! # Example
 //!
@@ -29,64 +49,180 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
 
-thread_local! {
-    static INTERNER: RefCell<Interner> = RefCell::new(Interner::new());
+/// Number of shards in the global string→index map.
+const NUM_SHARDS: usize = 16;
+
+/// Capacity of segment 0 of the index→string table; segment `k` holds
+/// `FIRST_SEG_CAP << k` slots, so capacity doubles per segment and no slot
+/// ever moves once published (resolution stays lock-free).
+const FIRST_SEG_CAP: usize = 1 << 10;
+
+/// Number of segments (total capacity ≈ 4 billion symbols — `u32::MAX`).
+const NUM_SEGMENTS: usize = 22;
+
+/// A slot holds a pointer to a leaked `&'static str` (a thin pointer to a
+/// fat one, so it fits a single atomic word).
+type Slot = AtomicPtr<&'static str>;
+
+struct Global {
+    /// str → index, sharded by string hash. Reads (already-interned
+    /// strings from a thread that hasn't cached them yet) take a read
+    /// lock only.
+    shards: [RwLock<HashMap<&'static str, u32>>; NUM_SHARDS],
+    /// Segment table for index → str. Segments are allocated on demand
+    /// under `write` and published with a release store.
+    segments: [AtomicPtr<Slot>; NUM_SEGMENTS],
+    /// Number of published symbols (diagnostics only).
+    len: AtomicUsize,
+    /// Serialises insertions: index assignment + slot publication +
+    /// shard-map insert happen under this lock, keeping indices dense.
+    write: Mutex<()>,
+    /// All shard maps and thread caches must agree on the hash, so shard
+    /// selection uses one shared `RandomState`.
+    hasher: RandomState,
 }
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        len: AtomicUsize::new(0),
+        write: Mutex::new(()),
+        hasher: RandomState::new(),
+    })
 }
 
-impl Interner {
-    fn new() -> Interner {
-        Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
+impl Global {
+    fn shard_of(&self, s: &str) -> usize {
+        (self.hasher.hash_one(s) as usize) % NUM_SHARDS
+    }
+
+    /// Splits an index into (segment, offset). Segment `k` covers indices
+    /// `[FIRST_SEG_CAP * (2^k - 1), FIRST_SEG_CAP * (2^(k+1) - 1))`.
+    fn locate(id: u32) -> (usize, usize) {
+        let q = id as usize / FIRST_SEG_CAP + 1;
+        let seg = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let seg_start = FIRST_SEG_CAP * ((1 << seg) - 1);
+        (seg, id as usize - seg_start)
+    }
+
+    fn seg_cap(seg: usize) -> usize {
+        FIRST_SEG_CAP << seg
+    }
+
+    /// Lock-free resolve. Sound because an index only escapes after its
+    /// slot (and segment) were published with release stores, and any
+    /// mechanism that carried the index to this thread established the
+    /// happens-before edge.
+    fn resolve(&self, id: u32) -> &'static str {
+        let (seg, off) = Self::locate(id);
+        let base = self.segments[seg].load(Ordering::Acquire);
+        assert!(!base.is_null(), "Sym index {id} out of range");
+        unsafe {
+            let slot = &*base.add(off);
+            let p = slot.load(Ordering::Acquire);
+            assert!(!p.is_null(), "Sym index {id} not yet published");
+            *p
         }
     }
 
-    fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&id) = self.map.get(s) {
+    fn intern(&self, s: &str) -> u32 {
+        let shard = self.shard_of(s);
+        if let Some(&id) = self.shards[shard].read().unwrap().get(s) {
             return id;
         }
+        let _guard = self.write.lock().unwrap();
+        // Re-check: another thread may have interned `s` between the read
+        // probe and acquiring the insertion lock.
+        if let Some(&id) = self.shards[shard].read().unwrap().get(s) {
+            return id;
+        }
+        let id = self.len.load(Ordering::Relaxed);
+        assert!(id <= u32::MAX as usize, "interner full");
+        let (seg, off) = Self::locate(id as u32);
+        assert!(seg < NUM_SEGMENTS, "interner full");
+        let mut base = self.segments[seg].load(Ordering::Acquire);
+        if base.is_null() {
+            let slots: Vec<Slot> = (0..Self::seg_cap(seg))
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            base = Box::leak(slots.into_boxed_slice()).as_mut_ptr();
+            self.segments[seg].store(base, Ordering::Release);
+        }
         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
-        let id = self.strings.len() as u32;
-        self.strings.push(leaked);
-        self.map.insert(leaked, id);
-        id
+        let cell: &'static mut &'static str = Box::leak(Box::new(leaked));
+        unsafe { (*base.add(off)).store(cell, Ordering::Release) };
+        self.len.store(id + 1, Ordering::Release);
+        self.shards[shard]
+            .write()
+            .unwrap()
+            .insert(leaked, id as u32);
+        id as u32
     }
+}
 
-    fn resolve(&self, id: u32) -> &'static str {
-        self.strings[id as usize]
-    }
+thread_local! {
+    /// Per-thread cache of already-interned strings: the lock-free fast
+    /// path. Entries are never invalidated (symbols are append-only).
+    static LOCAL: RefCell<HashMap<&'static str, u32>> = RefCell::new(HashMap::new());
 }
 
 /// An interned string. Equality and hashing are `u32` operations; ordering
 /// compares the underlying strings so sorted collections read
-/// alphabetically.
+/// alphabetically. Indices are process-global: a `Sym` is `Send + Sync`
+/// and resolves to the same string on every thread.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Sym(u32);
 
 impl Sym {
     /// Interns `s`, returning its symbol. Repeated calls with the same
-    /// content return the same symbol and allocate nothing after the first.
+    /// content return the same symbol, allocate nothing after the first,
+    /// and — once a thread has seen the string — take no lock.
     pub fn intern(s: &str) -> Sym {
-        INTERNER.with(|i| Sym(i.borrow_mut().intern(s)))
+        let cached = LOCAL.with(|c| c.borrow().get(s).copied());
+        if let Some(id) = cached {
+            return Sym(id);
+        }
+        let g = global();
+        let id = g.intern(s);
+        LOCAL.with(|c| c.borrow_mut().insert(g.resolve(id), id));
+        Sym(id)
     }
 
     /// The interned string. `'static` because interned strings live for the
-    /// process (see module docs).
+    /// process (see module docs). Lock-free.
     pub fn as_str(self) -> &'static str {
-        INTERNER.with(|i| i.borrow().resolve(self.0))
+        global().resolve(self.0)
     }
 
-    /// The raw interner index (stable within a thread for the process
-    /// lifetime; useful for dense side tables).
+    /// The raw interner index (process-globally stable for the process
+    /// lifetime; useful for dense side tables shared across threads).
     pub fn index(self) -> u32 {
         self.0
     }
+}
+
+/// Number of distinct symbols interned so far (diagnostics).
+pub fn interned_count() -> usize {
+    global().len.load(Ordering::Acquire)
+}
+
+/// One-shot 64-bit structural fingerprint with a fixed, process-stable
+/// hasher. Every fingerprint that feeds the multi-tenant shared derivation
+/// tier (signature contents, body identity, table/hierarchy epochs) MUST
+/// come through this single helper: adoption compares fingerprints
+/// produced at different sites, so a site switching to a differently
+/// seeded hasher would silently break the cross-tenant fast path.
+pub fn fingerprint64(x: impl std::hash::Hash) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
 }
 
 impl PartialOrd for Sym {
@@ -195,5 +331,27 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, "abc");
         assert_eq!(a.as_ref(), "abc");
+    }
+
+    #[test]
+    fn segment_arithmetic_is_dense_and_in_bounds() {
+        // Every index maps to a unique (segment, offset) with offset in
+        // range, and boundaries land at the start of the next segment.
+        let mut expected_start = 0usize;
+        for seg in 0..6 {
+            let cap = Global::seg_cap(seg);
+            assert_eq!(Global::locate(expected_start as u32), (seg, 0));
+            assert_eq!(
+                Global::locate((expected_start + cap - 1) as u32),
+                (seg, cap - 1)
+            );
+            expected_start += cap;
+        }
+    }
+
+    #[test]
+    fn sym_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Sym>();
     }
 }

@@ -1,0 +1,60 @@
+//! Cross-thread agreement: the interner is process-global, so N threads
+//! interning overlapping name sets must assign every string the same
+//! `Sym`, and symbols must resolve correctly on threads that never
+//! interned them.
+
+use hb_intern::Sym;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+#[test]
+fn threads_agree_on_sym_identity() {
+    const THREADS: usize = 8;
+    const NAMES: usize = 200;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                barrier.wait();
+                // Overlapping sets, interned in a thread-specific order so
+                // insertion races actually happen.
+                let mut out: HashMap<String, u32> = HashMap::new();
+                for i in 0..NAMES {
+                    let i = (i + t * 37) % NAMES;
+                    let name = format!("Class{}#method_{}", i % 17, i);
+                    let sym = Sym::intern(&name);
+                    assert_eq!(sym.as_str(), name, "resolution must round-trip");
+                    out.insert(name, sym.index());
+                }
+                out
+            })
+        })
+        .collect();
+
+    let maps: Vec<HashMap<String, u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for m in &maps[1..] {
+        assert_eq!(
+            m, &maps[0],
+            "every thread must observe identical Sym indices"
+        );
+    }
+}
+
+#[test]
+fn syms_cross_threads() {
+    let (tx, rx) = std::sync::mpsc::channel::<Sym>();
+    let producer = thread::spawn(move || {
+        for i in 0..100 {
+            tx.send(Sym::intern(&format!("crossing_{i}"))).unwrap();
+        }
+    });
+    for i in 0..100 {
+        let sym = rx.recv().unwrap();
+        assert_eq!(sym.as_str(), format!("crossing_{i}"));
+        // Re-interning on the receiver agrees with the sender's id.
+        assert_eq!(Sym::intern(&format!("crossing_{i}")), sym);
+    }
+    producer.join().unwrap();
+}

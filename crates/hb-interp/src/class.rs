@@ -101,6 +101,12 @@ pub struct ClassRegistry {
     /// module included); memoised ancestor chains from older generations
     /// are recomputed lazily.
     hierarchy_gen: u64,
+    /// Rolling, order-sensitive fingerprint of the class graph's shape:
+    /// folds every class/module definition, superclass wiring, include
+    /// and rename. Two registries built by identical boot sequences have
+    /// equal fingerprints; the shared derivation tier uses equality as
+    /// its O(1) "identical hierarchy" fast path.
+    shape_fp: u64,
     pub events: Vec<InterpEvent>,
 }
 
@@ -113,6 +119,7 @@ impl ClassRegistry {
             by_name: HashMap::new(),
             next_method_id: 1,
             hierarchy_gen: 0,
+            shape_fp: 0,
             events: Vec::new(),
         };
         let object = r.define_class("Object", None, false);
@@ -141,6 +148,7 @@ impl ClassRegistry {
                 if let Some(s) = superclass {
                     c.superclass = Some(s);
                     self.hierarchy_gen += 1;
+                    self.mix_shape(("rewire", name, s.0));
                 }
             }
             return id;
@@ -165,6 +173,11 @@ impl ClassRegistry {
             ancestor_cache: RefCell::new(None),
         });
         self.by_name.insert(name.to_string(), id);
+        // A new class changes what name-based resolution can see (a chain
+        // that previously degraded to [name, Object] now exists), so it is
+        // a shape change like any other.
+        self.hierarchy_gen += 1;
+        self.mix_shape(("define", name, superclass.map(|s| s.0), is_module));
         id
     }
 
@@ -211,6 +224,8 @@ impl ClassRegistry {
         let c = self.class_mut(id);
         c.name = new_name.to_string();
         c.name_sym = Sym::intern(new_name);
+        self.hierarchy_gen += 1;
+        self.mix_shape(("rename", id.0, new_name));
     }
 
     fn fresh_method_id(&mut self) -> u64 {
@@ -278,7 +293,24 @@ impl ClassRegistry {
             self.hierarchy_gen += 1;
             self.events
                 .push(InterpEvent::ModuleIncluded { class, module });
+            self.mix_shape(("include", class.0, module.0));
         }
+    }
+
+    /// Monotonic generation of the class graph's *shape* (superclasses and
+    /// includes): bumped whenever a chain could change, never otherwise.
+    /// Memos of resolution results stay valid while it is constant.
+    pub fn hierarchy_generation(&self) -> u64 {
+        self.hierarchy_gen
+    }
+
+    /// The rolling shape fingerprint (see the field docs).
+    pub fn shape_fingerprint(&self) -> u64 {
+        self.shape_fp
+    }
+
+    fn mix_shape(&mut self, item: impl std::hash::Hash) {
+        self.shape_fp = hb_intern::fingerprint64((self.shape_fp, item));
     }
 
     /// The linearised ancestor chain of `class`, memoised per class and

@@ -30,4 +30,7 @@ pub mod state;
 pub use builtins::install as install_rdl;
 pub use conform::{type_of, value_conforms};
 pub use hook::RdlHook;
-pub use state::{AnnotationSource, MethodKey, PreHook, RdlEvent, RdlState, RdlStats, TableEntry};
+pub use state::{
+    AnnotationSource, MethodKey, PreHook, RdlEvent, RdlEventSink, RdlState, RdlStats, Resolution,
+    TableEntry,
+};

@@ -45,6 +45,11 @@ pub struct SourceFile {
     pub text: String,
     /// Byte offsets of the start of each line.
     line_starts: Vec<u32>,
+    /// Hash of `text`, computed once at registration. A span's
+    /// `(content_hash, lo, hi)` triple identifies the exact source text of
+    /// a definition, independent of which process parsed it — the
+    /// multi-tenant shared derivation tier keys method bodies by it.
+    content_hash: u64,
 }
 
 impl SourceFile {
@@ -55,11 +60,18 @@ impl SourceFile {
                 line_starts.push(i as u32 + 1);
             }
         }
+        let content_hash = hb_intern::fingerprint64(&text);
         SourceFile {
             name,
             text,
             line_starts,
+            content_hash,
         }
+    }
+
+    /// Hash of the file's full text (see the field docs).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
     }
 
     /// 1-based (line, column) of a byte offset.
