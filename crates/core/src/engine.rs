@@ -61,6 +61,13 @@ struct CacheEntry {
     /// The (TApp) dependency set of Definition 1(2); surfaced through
     /// [`Engine::cache_dump`] so cached derivations are inspectable.
     deps: BTreeSet<MethodKey>,
+    /// Negative (TApp) facts the derivation relied on: `(method,
+    /// class_level)` lookups that resolved to *no* annotation (an
+    /// unannotated `initialize` behind `C.new`, a class-level miss that
+    /// fell back to the `Class` chain). A first-ever annotation for such
+    /// a name is a resolution change with no shadowed entry to hang
+    /// Definition 1(2) on, so these get their own edges.
+    neg_deps: BTreeSet<(Sym, bool)>,
 }
 
 /// One cached derivation as reported by [`Engine::cache_dump`]: the cache
@@ -89,6 +96,12 @@ struct EngineState {
     cache: HashMap<MethodKey, CacheEntry>,
     /// dep (annotation key) → cache keys whose derivations used it.
     dependents: HashMap<MethodKey, HashSet<MethodKey>>,
+    /// `(method, class_level)` → cache keys whose derivations relied on
+    /// that lookup resolving to *nothing* (see [`CacheEntry::neg_deps`]).
+    /// Conservative — keyed by name, not receiver chain — so a first-ever
+    /// annotation may re-check a method whose chain never sees it; a
+    /// re-check is cheap and the edge map stays receiver-independent.
+    neg_dependents: HashMap<(Sym, bool), HashSet<MethodKey>>,
     /// Lowered bodies by method-entry id (also used for reload diffing).
     cfgs: HashMap<u64, Rc<MethodCfg>>,
     /// Memoised signature-content fingerprints by (key, version).
@@ -351,9 +364,14 @@ impl Engine {
                     if let Some(old) = st.cache.remove(&key) {
                         Self::unlink(&mut st, &key, &old);
                     }
+                    // Version bumped: the memoised fingerprints of this
+                    // key's retired versions can never be probed again —
+                    // drop them so long reload sessions stay bounded.
+                    st.sig_fps.retain(|(k, _), _| *k != key);
                 }
                 RdlEvent::TypeReplaced(key) => {
                     Self::invalidate(&mut st, &key, true);
+                    st.sig_fps.retain(|(k, _), _| *k != key);
                 }
                 // A brand-new annotation can shadow an ancestor's along
                 // some receiver chain — a resolution change, not a
@@ -405,6 +423,14 @@ impl Engine {
                 }
             }
         }
+        for nd in &entry.neg_deps {
+            if let Some(set) = st.neg_dependents.get_mut(nd) {
+                set.remove(key);
+                if set.is_empty() {
+                    st.neg_dependents.remove(nd);
+                }
+            }
+        }
     }
 
     /// Removes a cache entry and (optionally) every entry that depends on
@@ -434,6 +460,21 @@ impl Engine {
         }
     }
 
+    /// Removes every cache entry whose derivation relied on a `(method,
+    /// class_level)` lookup resolving to nothing — the None→Some half of
+    /// resolution-change invalidation, where there is no shadowed entry
+    /// for [`Engine::invalidate_shadowed`]'s walk to find.
+    fn invalidate_neg_dependents(st: &mut EngineState, method: Sym, class_level: bool) {
+        if let Some(deps) = st.neg_dependents.remove(&(method, class_level)) {
+            for d in deps {
+                if let Some(old) = st.cache.remove(&d) {
+                    st.stats.dependent_invalidations += 1;
+                    Self::unlink(st, &d, &old);
+                }
+            }
+        }
+    }
+
     /// Handles a resolution change: a new annotation at `key` (or a
     /// module annotation newly mixed into a chain) can *shadow* an
     /// ancestor's annotation — receivers that used to resolve
@@ -445,6 +486,11 @@ impl Engine {
     /// stored `sig_version` no longer matches the newly resolved entry),
     /// but dependents must be invalidated here.
     fn invalidate_shadowed(&self, st: &mut EngineState, interp: &Interp, key: &MethodKey) {
+        // None→Some: derivations that relied on this name having *no*
+        // annotation anywhere (unannotated-constructor `new`, class-level
+        // fallback misses) have no shadowed entry to find below — their
+        // negative edges carry the invalidation.
+        Self::invalidate_neg_dependents(st, key.method, key.class_level);
         let Some(cid) = interp.registry.lookup(key.class.as_str()) else {
             return;
         };
@@ -536,6 +582,9 @@ impl Engine {
             .filter(|k| k.class == module_sym)
             .collect();
         for mk in module_keys {
+            // The include may make a previously-missing lookup resolve to
+            // this module annotation (None→Some along the new chain).
+            Self::invalidate_neg_dependents(st, mk.method, mk.class_level);
             let mut past_module = false;
             for (_, ancestor) in interp.registry.ancestor_syms(class) {
                 if ancestor == module_sym {
@@ -632,9 +681,11 @@ impl Engine {
                 );
                 let valid = (d.table_fp, d.hier_fp, d.var_fp) == epochs || {
                     // Divergent tenant: replay every witness against this
-                    // tenant's own table and hierarchy. Variable types
-                    // have no per-use witnesses, so they must match
-                    // exactly even here.
+                    // tenant's own table. The class hierarchy and variable
+                    // types have no per-use witnesses — check_sig makes
+                    // is_subtype judgements straight off the hierarchy —
+                    // so both fingerprints must match exactly even here;
+                    // replay then covers table/annotation divergence only.
                     let gen = (
                         self.rdl.table_generation(),
                         interp.registry.hierarchy_generation(),
@@ -643,7 +694,8 @@ impl Engine {
                         st.dep_memo.clear();
                         st.dep_memo_gen = gen;
                     }
-                    d.var_fp == epochs.2
+                    d.hier_fp == epochs.1
+                        && d.var_fp == epochs.2
                         && d.own_sig_fingerprint == st.sig_fp(*annotation_key, table_entry)
                         && d.deps.iter().all(|dep| {
                             let cur = st.replay(interp, &self.rdl, &dep.resolution);
@@ -666,14 +718,33 @@ impl Engine {
                     let deps: BTreeSet<MethodKey> =
                         d.deps.iter().filter_map(|p| p.resolution.target).collect();
                     for dep in &deps {
+                        // A real check marks every consulted dependency
+                        // annotation used; adoption stands in for the check,
+                        // so the Used statistic must not diverge between
+                        // warm and cold tenants.
+                        self.rdl.mark_used(dep);
                         st.dependents.entry(*dep).or_default().insert(*cache_key);
                     }
+                    let neg_deps: BTreeSet<(Sym, bool)> = d
+                        .deps
+                        .iter()
+                        .filter(|p| p.resolution.target.is_none())
+                        .map(|p| (p.resolution.method, p.resolution.class_level))
+                        .collect();
+                    for nd in &neg_deps {
+                        st.neg_dependents.entry(*nd).or_default().insert(*cache_key);
+                    }
+                    // Cast sites are facts about the derivation, not about
+                    // who ran the checker — replicate them so warm tenants
+                    // report Table-1 Casts identically to cold ones.
+                    st.stats.cast_sites.extend(d.cast_sites.iter().copied());
                     st.cache.insert(
                         *cache_key,
                         CacheEntry {
                             method_entry_id: info.entry.id,
                             sig_version: table_entry.version,
                             deps,
+                            neg_deps,
                         },
                     );
                     return Ok(());
@@ -752,6 +823,15 @@ impl Engine {
             for dep in &outcome.deps {
                 st.dependents.entry(*dep).or_default().insert(*cache_key);
             }
+            let neg_deps: BTreeSet<(Sym, bool)> = outcome
+                .resolutions
+                .iter()
+                .filter(|r| r.target.is_none())
+                .map(|r| (r.method, r.class_level))
+                .collect();
+            for nd in &neg_deps {
+                st.neg_dependents.entry(*nd).or_default().insert(*cache_key);
+            }
             // Publish to the shared tier with each dependency's current
             // signature version and content fingerprint, so foreign
             // tenants can validate without re-deriving. (Proc-backed
@@ -788,6 +868,7 @@ impl Engine {
                     own_fp,
                     epochs,
                     deps,
+                    outcome.cast_sites.iter().copied().collect(),
                 );
             }
             st.cache.insert(
@@ -796,6 +877,7 @@ impl Engine {
                     method_entry_id: info.entry.id,
                     sig_version: table_entry.version,
                     deps: outcome.deps,
+                    neg_deps,
                 },
             );
         }

@@ -68,8 +68,10 @@ pub struct SharedDerivation {
     /// satisfied, so adoption is O(1). The common case for fleets of
     /// identical tenants.
     pub table_fp: u64,
-    /// The publisher's class-hierarchy shape fingerprint at check time
-    /// (same role as `table_fp`, for resolution chains).
+    /// The publisher's class-hierarchy shape fingerprint at check time.
+    /// Subtyping judgements read the hierarchy without recording per-use
+    /// witnesses, so — like `var_fp` — the witness-replay path requires
+    /// this to match exactly; witnesses only cover (TApp) resolutions.
     pub hier_fp: u64,
     /// The publisher's variable-type (ivar/cvar/gvar) fingerprint at
     /// check time. Derivations read variable types without recording
@@ -80,13 +82,20 @@ pub struct SharedDerivation {
     /// Dependency witnesses with their at-check signature versions and
     /// contents — replayed one by one when the epoch fast path misses.
     pub deps: Arc<[SharedDep]>,
+    /// The derivation's `rdl_cast` sites as `(file, lo, hi)` span
+    /// triples: facts about the checked body, replicated on adoption so
+    /// warm tenants report the Casts statistic identically to cold ones.
+    /// (Adoption implies identical body text; file ids can only differ
+    /// between tenants whose load orders diverge, which at worst
+    /// double-counts a statistic, never affects soundness.)
+    pub cast_sites: Arc<[(u32, u32, u32)]>,
 }
 
 /// Versioned sub-key: the method-table entry id the body was lowered from,
-/// the signature version it was checked against, and the body's structural
-/// fingerprint (`MethodCfg::shape_fingerprint`) — the last guards against
-/// entry-id/version counter coincidences between tenants running
-/// *different* codebases.
+/// the signature version it was checked against, and the body fingerprint
+/// (`engine::body_fingerprint`: source content hash + definition span +
+/// captured-environment types) — the last guards against entry-id/version
+/// counter coincidences between tenants running *different* codebases.
 type VersionKey = (u64, u64, u64);
 
 #[derive(Default)]
@@ -190,6 +199,7 @@ impl SharedCache {
         own_sig_fingerprint: u64,
         epochs: (u64, u64, u64),
         deps: Vec<SharedDep>,
+        cast_sites: Vec<(u32, u32, u32)>,
     ) {
         let deps: Arc<[SharedDep]> = deps.into();
         {
@@ -202,6 +212,7 @@ impl SharedCache {
                     hier_fp: epochs.1,
                     var_fp: epochs.2,
                     deps: deps.clone(),
+                    cast_sites: cast_sites.into(),
                 },
             );
         }
@@ -228,12 +239,13 @@ impl SharedCache {
         };
         let Some(family) = family else { return 0 };
         // Collect dep targets outside any lock (edge shards differ from
-        // the entry shard; never hold two shard locks at once).
-        let mut targets: HashSet<MethodKey> = family
+        // the entry shard; never hold two shard locks at once — the entry
+        // shard's lock is already released, so a self-recursive method's
+        // own edge prunes like any other).
+        let targets: HashSet<MethodKey> = family
             .values()
             .flat_map(|d| d.deps.iter().filter_map(|dep| dep.resolution.target))
             .collect();
-        targets.remove(key);
         for t in targets {
             let mut shard = self.shard_of(&t).write().unwrap();
             if let Some(set) = shard.dependents.get_mut(&t) {
@@ -290,6 +302,22 @@ impl SharedCache {
     /// True when no derivations are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of live reverse-dependency edges (diagnostic: eviction
+    /// keeps this bounded by the live entries' dependency sets).
+    pub fn edge_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .dependents
+                    .values()
+                    .map(|set| set.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Counter snapshot.
@@ -361,6 +389,7 @@ mod tests {
             0x5167,
             (1, 1, 1),
             vec![dep("User", "name", 2)],
+            vec![],
         );
         let d = c.lookup(&key, 7, 3, 0xB0D7).expect("exact version hits");
         assert_eq!(d.deps.as_ref(), &[dep("User", "name", 2)]);
@@ -382,9 +411,9 @@ mod tests {
         let c = SharedCache::new();
         let caller = k("Talk", "owner?");
         let other = k("Talk", "title");
-        c.insert(caller, 1, 1, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)]);
-        c.insert(caller, 2, 2, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)]); // second family version
-        c.insert(other, 3, 1, 1, 1, (1, 1, 1), vec![]);
+        c.insert(caller, 1, 1, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)], vec![]);
+        c.insert(caller, 2, 2, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)], vec![]); // second family version
+        c.insert(other, 3, 1, 1, 1, (1, 1, 1), vec![], vec![]);
         assert_eq!(c.len(), 3);
         assert_eq!(
             c.evict_with_dependents(&k("User", "name")),
@@ -393,6 +422,16 @@ mod tests {
         );
         assert_eq!(c.len(), 1, "unrelated entry survives");
         assert!(c.lookup(&other, 3, 1, 1).is_some());
+    }
+
+    #[test]
+    fn self_recursive_eviction_prunes_own_edge() {
+        let c = SharedCache::new();
+        let key = k("Talk", "visit");
+        c.insert(key, 1, 1, 1, 1, (1, 1, 1), vec![dep("Talk", "visit", 1)], vec![]);
+        assert_eq!(c.edge_count(), 1);
+        assert_eq!(c.evict_method(&key), 1);
+        assert_eq!(c.edge_count(), 0, "self edge pruned like any other");
     }
 
     #[test]

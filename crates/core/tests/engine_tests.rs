@@ -1026,6 +1026,51 @@ Speaker.new.speak
 }
 
 #[test]
+fn first_ever_annotation_invalidates_negative_dependents() {
+    // The None→Some half of resolution-change invalidation: a derivation
+    // that relied on a lookup resolving to *nothing* (here `Box.new` with
+    // an unannotated constructor, which the checker accepts with any
+    // arguments) has no shadowed entry for the TypeAdded walk to find.
+    // Without a negative dependency edge, the first-ever annotation for
+    // that name leaves the derivation cached and the String argument
+    // below never blames.
+    let mut hb = hb();
+    hb.eval(
+        r#"
+class Box
+  def initialize(v)
+    @v = v
+  end
+end
+class Talk
+  type :make, "() -> Box", { "check" => true }
+  def make
+    Box.new("str")
+  end
+end
+Talk.new.make
+"#,
+    )
+    .unwrap();
+    assert_eq!(hb.stats().checks_performed, 1);
+    // First-ever annotation on Box#initialize: Talk#make's derivation
+    // relied on that lookup missing and must re-check — which blames,
+    // since the constructor now requires a Fixnum.
+    let err = hb
+        .eval(
+            r#"
+class Box
+  type :initialize, "(Fixnum) -> Box"
+end
+Talk.new.make
+"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Talk#make"), "{}", err.message);
+}
+
+#[test]
 fn post_first_call_include_invalidates_shadowed_dependents() {
     // Same hole via `include`: mixing a module in after first calls
     // changes what the shadowed method resolves to.

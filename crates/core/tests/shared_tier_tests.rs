@@ -2,7 +2,7 @@
 //! divergent tenants are protected by dependency-version validation, and
 //! invalidation fans out across tenants.
 
-use hummingbird::{Hummingbird, MethodKey, SharedCache};
+use hummingbird::{ErrorKind, Hummingbird, MethodKey, SharedCache};
 use std::sync::Arc;
 use std::thread;
 
@@ -148,6 +148,44 @@ fn cross_tenant_eviction_fans_out() {
         "Helper#value and its dependent Talk#compute evicted; title_line survives"
     );
     assert!(shared.stats().evictions >= 2);
+}
+
+#[test]
+fn divergent_hierarchy_blocks_adoption() {
+    // check_sig makes is_subtype judgements straight off the class
+    // hierarchy, and those judgements leave no witnesses in the
+    // derivation's dependency set. A tenant whose hierarchy lacks a
+    // subtyping edge the publisher had — same annotations, same body
+    // text, same (here: empty) resolution witness set — must re-derive
+    // and blame, not adopt the publisher's derivation.
+    let shared = Arc::new(SharedCache::new());
+    // Evaled as its own source text by both tenants so the body
+    // fingerprints coincide; only the hierarchy prelude differs.
+    let talk = r#"
+class Talk
+  type :pick, "(Sub) -> Base", { "check" => true }
+  def pick(s)
+    s
+  end
+end
+Talk.new.pick(Sub.new)
+"#;
+
+    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    t1.eval("class Base\nend\nclass Sub < Base\nend").unwrap();
+    t1.eval(talk).unwrap();
+    assert_eq!(t1.stats().checks_performed, 1);
+    assert_eq!(shared.stats().inserts, 1, "publisher shares Talk#pick");
+
+    // Tenant 2 defines Sub *without* the superclass edge, so its own
+    // checker would reject pick (Sub is not a subtype of Base).
+    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    t2.eval("class Base\nend\nclass Sub\nend").unwrap();
+    let err = t2.eval(talk).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert!(err.message.contains("Talk#pick"), "{}", err.message);
+    let s = t2.stats();
+    assert_eq!(s.shared_hits, 0, "divergent hierarchy must not adopt");
 }
 
 #[test]

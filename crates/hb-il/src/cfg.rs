@@ -36,33 +36,15 @@ pub enum Operand {
     Nondet,
 }
 
-// Hashing is structural and span-insensitive, feeding
-// [`MethodCfg::shape_fingerprint`]; floats hash by bit pattern.
-impl std::hash::Hash for Operand {
-    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
-        std::mem::discriminant(self).hash(h);
-        match self {
-            Operand::IntConst(n) => n.hash(h),
-            Operand::FloatConst(x) => x.to_bits().hash(h),
-            Operand::StrConst(s) | Operand::SymConst(s) | Operand::Local(s) => s.hash(h),
-            Operand::NilConst
-            | Operand::TrueConst
-            | Operand::FalseConst
-            | Operand::SelfRef
-            | Operand::Nondet => {}
-        }
-    }
-}
-
 /// One piece of an interpolated string.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StrPiece {
     Lit(String),
     Dyn(Operand),
 }
 
 /// A call-site argument.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CallArg {
     Pos(Operand),
     Splat(Operand),
@@ -70,7 +52,7 @@ pub enum CallArg {
 }
 
 /// The right-hand side of an assignment instruction.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Rvalue {
     Use(Operand),
     IVar(String),
@@ -115,15 +97,8 @@ pub struct Instr {
     pub span: Span,
 }
 
-// Span-insensitive: two instructions hash alike iff their kinds match.
-impl std::hash::Hash for Instr {
-    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
-        self.kind.hash(h);
-    }
-}
-
 /// The kinds of instruction.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstrKind {
     /// `local := rvalue`
     Assign {
@@ -149,7 +124,7 @@ pub enum InstrKind {
 }
 
 /// How a basic block transfers control.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     Goto(BlockId),
     Branch {
@@ -167,7 +142,7 @@ pub enum Terminator {
 }
 
 /// A basic block: straight-line instructions plus a terminator.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     pub instrs: Vec<Instr>,
     pub term: Terminator,
@@ -185,7 +160,7 @@ pub enum IlParamKind {
 }
 
 /// A formal parameter of a lowered method or block.
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IlParam {
     pub name: String,
     pub kind: IlParamKind,
@@ -205,20 +180,8 @@ pub struct MethodCfg {
     pub span: Span,
 }
 
-// Span-insensitive (the whole-definition span is excluded; instruction
-// spans are excluded by `Instr`'s impl).
-impl std::hash::Hash for MethodCfg {
-    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
-        self.name.hash(h);
-        self.params.hash(h);
-        self.blocks.hash(h);
-        self.entry.hash(h);
-        self.block_lits.hash(h);
-    }
-}
-
 /// A lowered block literal (closure body).
-#[derive(Debug, Clone, PartialEq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockLit {
     pub params: Vec<IlParam>,
     pub cfg: MethodCfg,
@@ -261,18 +224,6 @@ impl MethodCfg {
     /// Invalidation").
     pub fn same_shape(&self, other: &MethodCfg) -> bool {
         Self::strip(self) == Self::strip(other)
-    }
-
-    /// A span-insensitive structural fingerprint: equal whenever
-    /// [`MethodCfg::same_shape`] would hold. A single hash walk — no
-    /// clone, no formatting — for cheap "did this body change shape?"
-    /// questions (reload diffing, cross-process body identity).
-    pub fn shape_fingerprint(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
     }
 
     fn strip(cfg: &MethodCfg) -> MethodCfg {
