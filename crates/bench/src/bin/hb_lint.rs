@@ -1,0 +1,176 @@
+//! `hb_lint` — the CI-linter workload: eager whole-program type checking
+//! over the bundled subject apps, built on `Hummingbird::check_all`.
+//!
+//! Where the engine's normal mode checks a method just in time at its
+//! first call, `hb_lint` walks *every* annotated, checkable method and
+//! checks it immediately — no request required — and reports the failures
+//! as structured `TypeDiagnostic`s with stable `HBxxxx` codes, blame
+//! targets and labeled spans.
+//!
+//! ```text
+//! hb_lint [--json] [--errors] [--smoke] [APP ...]
+//!
+//!   (default)   lint the six clean subject apps (expected: 0 findings)
+//!   APP ...     lint only the named apps (Talks, Boxroom, Pubs, Rolify,
+//!               CCT, Countries)
+//!   --errors    lint the six historical Talks error versions instead
+//!               (expected: exactly one finding each)
+//!   --json      emit one JSON object per target on stdout
+//!   --smoke     CI gate: assert the clean apps lint at zero diagnostics
+//!               AND the six error versions yield exactly six diagnostics
+//!               with their expected codes; exit 1 on any mismatch
+//! ```
+//!
+//! Exit status: 0 when every target matched expectations (no findings for
+//! clean targets), 1 otherwise — so the bin gates CI directly.
+
+use hb_apps::talks_history::{error_versions, lint_error_version};
+use hb_apps::{all_apps, build_app, AppSpec};
+use hummingbird::{Mode, TypeDiagnostic};
+
+struct LintTarget {
+    /// "app:Talks" or "error-version:1/8/12-4".
+    label: String,
+    diagnostics: Vec<String>, // pre-rendered (text or JSON)
+    count: usize,
+    codes: Vec<String>,
+}
+
+fn lint_app(spec: &AppSpec, json: bool) -> LintTarget {
+    let mut hb = build_app(spec, Mode::Full);
+    let diags: Vec<TypeDiagnostic> = hb.check_all();
+    let map = hb.source_map();
+    LintTarget {
+        label: format!("app:{}", spec.name),
+        count: diags.len(),
+        codes: diags.iter().map(|d| d.code.to_string()).collect(),
+        diagnostics: diags
+            .iter()
+            .map(|d| if json { d.to_json(map) } else { d.render(map) })
+            .collect(),
+    }
+}
+
+fn lint_errors(json: bool) -> Vec<LintTarget> {
+    error_versions()
+        .iter()
+        .map(|v| {
+            let diags = lint_error_version(v);
+            LintTarget {
+                label: format!("error-version:{}", v.version),
+                count: diags.len(),
+                codes: diags
+                    .iter()
+                    .map(|d| d.diagnostic.code.to_string())
+                    .collect(),
+                diagnostics: diags
+                    .iter()
+                    .map(|d| {
+                        if json {
+                            d.json.clone()
+                        } else {
+                            d.rendered.clone()
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn print_target(t: &LintTarget, json: bool) {
+    if json {
+        let diags = t.diagnostics.join(",");
+        println!(
+            "{{\"target\":\"{}\",\"count\":{},\"diagnostics\":[{diags}]}}",
+            t.label, t.count
+        );
+    } else {
+        println!("== {} — {} diagnostic(s)", t.label, t.count);
+        for d in &t.diagnostics {
+            for line in d.lines() {
+                println!("   {line}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let errors = args.iter().any(|a| a == "--errors");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if smoke {
+        // CI gate: clean apps must lint clean; the six historical error
+        // versions must yield exactly six diagnostics with their
+        // expected codes.
+        let mut failures = 0usize;
+        for spec in all_apps() {
+            let t = lint_app(&spec, json);
+            if t.count != 0 {
+                eprintln!(
+                    "SMOKE FAIL: {} expected 0 diagnostics, got {}",
+                    t.label, t.count
+                );
+                failures += 1;
+            }
+            print_target(&t, json);
+        }
+        let mut total = 0usize;
+        for (t, v) in lint_errors(json).iter().zip(error_versions()) {
+            total += t.count;
+            if t.count != 1 || t.codes[0] != v.expected_code {
+                eprintln!(
+                    "SMOKE FAIL: {} expected 1 diagnostic with {}, got {} {:?}",
+                    t.label, v.expected_code, t.count, t.codes
+                );
+                failures += 1;
+            }
+            print_target(t, json);
+        }
+        if total != 6 {
+            eprintln!("SMOKE FAIL: expected exactly 6 error-version diagnostics, got {total}");
+            failures += 1;
+        }
+        if failures > 0 {
+            eprintln!("hb_lint --smoke: {failures} failure(s)");
+            std::process::exit(1);
+        }
+        println!("hb_lint --smoke: clean apps lint clean; all 6 historical errors caught eagerly");
+        return;
+    }
+
+    if errors {
+        // The error versions are *expected* to blame: success means each
+        // yields exactly one finding with its documented code.
+        let mut mismatches = 0usize;
+        for (t, v) in lint_errors(json).iter().zip(error_versions()) {
+            if t.count != 1 || t.codes[0] != v.expected_code {
+                eprintln!(
+                    "{} expected 1 diagnostic with {}, got {} {:?}",
+                    t.label, v.expected_code, t.count, t.codes
+                );
+                mismatches += 1;
+            }
+            print_target(t, json);
+        }
+        std::process::exit(if mismatches == 0 { 0 } else { 1 });
+    }
+    let specs: Vec<AppSpec> = all_apps()
+        .into_iter()
+        .filter(|s| names.is_empty() || names.iter().any(|n| n.eq_ignore_ascii_case(s.name)))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no app matches {names:?} (known: Talks, Boxroom, Pubs, Rolify, CCT, Countries)");
+        std::process::exit(2);
+    }
+    let mut findings = 0usize;
+    for spec in &specs {
+        let t = lint_app(spec, json);
+        findings += t.count;
+        print_target(&t, json);
+    }
+    std::process::exit(if findings == 0 { 0 } else { 1 });
+}

@@ -10,8 +10,8 @@
 
 use crate::info::RegistryInfo;
 use crate::shared_cache::{SharedCache, SharedDep, SharedEvictionSink};
-use crate::stats::{CheckLogItem, EngineStats, PhaseTracker};
-use hb_check::{check_sig, CheckOptions};
+use crate::stats::{CheckLogItem, CheckVerdict, EngineStats, PhaseTracker};
+use hb_check::{check_sig, CheckOptions, CheckRequest};
 use hb_il::{lower_block_body, lower_method, MethodCfg};
 use hb_intern::Sym;
 use hb_interp::{
@@ -19,6 +19,7 @@ use hb_interp::{
     MethodBody, Value,
 };
 use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, Resolution, TableEntry};
+use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::TypeEnv;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -224,17 +225,27 @@ impl Engine {
         s
     }
 
-    /// Clears statistics counters (not the cache).
+    /// Clears statistics counters and collected diagnostics (not the
+    /// cache).
     pub fn reset_stats(&self) {
         let mut st = self.state.borrow_mut();
         st.stats = EngineStats::default();
         st.phase = PhaseTracker::default();
+        drop(st);
+        self.rdl.clear_diagnostics();
+    }
+
+    /// Every blame diagnostic produced so far — just-in-time and eager
+    /// check failures, dynamic argument checks, casts and preconditions —
+    /// in emission order, from the type table's shared bounded store.
+    pub fn diagnostics(&self) -> Vec<TypeDiagnostic> {
+        self.rdl.diagnostics()
     }
 
     /// Takes the log of static checks performed since the last call (used
     /// by the Table 2 update experiment).
     pub fn take_check_log(&self) -> Vec<CheckLogItem> {
-        std::mem::take(&mut self.state.borrow_mut().stats.check_log)
+        self.state.borrow_mut().stats.check_log.drain(..).collect()
     }
 
     /// Number of live cache entries.
@@ -610,6 +621,10 @@ impl Engine {
 
     // ----- the just-in-time check ---------------------------------------------
 
+    /// Ensures `cache_key`'s derivation is valid, running the static check
+    /// if needed. `trigger` is the triggering call site for just-in-time
+    /// checks, `None` when checking eagerly (`check_all`/`hb_lint`, where
+    /// no call exists).
     fn ensure_checked(
         &self,
         interp: &mut Interp,
@@ -617,6 +632,7 @@ impl Engine {
         cache_key: &MethodKey,
         annotation_key: &MethodKey,
         table_entry: &TableEntry,
+        trigger: Option<Span>,
     ) -> Result<(), HbError> {
         let caching = self.config.borrow().caching;
         {
@@ -775,39 +791,95 @@ impl Engine {
             }
         };
         let reg_info = RegistryInfo(&interp.registry);
-        let outcome = check_sig(
-            &cfg,
-            cache_key.class.as_str(),
-            cache_key.class_level,
-            &table_entry.sig,
-            &reg_info,
-            &self.rdl,
-            captured.as_ref(),
-            &self.check_opts,
-        )
-        .map_err(|e| {
-            HbError::new(
-                ErrorKind::TypeBlame,
-                format!(
+        let result = check_sig(&CheckRequest {
+            cfg: &cfg,
+            self_class: cache_key.class.as_str(),
+            class_level: cache_key.class_level,
+            sig: &table_entry.sig,
+            ann_key: *annotation_key,
+            ann_span: table_entry.span,
+            info: &reg_info,
+            rdl: &self.rdl,
+            captured: captured.as_ref(),
+            opts: &self.check_opts,
+        });
+        let check_ns = t_first.elapsed().as_nanos() as u64;
+        let outcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                let code = e.code();
+                let mut diag = e.into_diagnostic();
+                let checker_span_dummy = diag.span == Span::dummy();
+                if let Some(call) = trigger {
+                    diag.labels.push(DiagLabel::new(
+                        LabelRole::CallSite,
+                        "checked just-in-time at this call",
+                        call,
+                    ));
+                    if checker_span_dummy {
+                        // The checker positioned the error at synthesized
+                        // code (corelib / generated bodies). Historically
+                        // the dummy span was *dropped* in favour of the
+                        // call site; with structured labels we emit both:
+                        // the call site becomes the primary span and the
+                        // spanless blame stays as an explicit note.
+                        diag.labels.push(DiagLabel::new(
+                            LabelRole::Note,
+                            "blamed code has no source span (synthesized or core-library definition)",
+                            Span::dummy(),
+                        ));
+                        diag.span = call;
+                    }
+                } else if checker_span_dummy {
+                    // Eager mode: no call site exists; anchor at the
+                    // annotation being checked.
+                    diag.span = table_entry.span;
+                }
+                let message = format!(
                     "type error in {} (checked at call): {}",
                     cache_key.display(),
-                    e.message
-                ),
-                if e.span == hb_syntax::Span::dummy() {
-                    info.span
-                } else {
-                    e.span
-                },
-            )
-        })?;
+                    diag.message
+                );
+                let mut st = self.state.borrow_mut();
+                st.stats.checks_failed += 1;
+                st.stats.failed_check_ns += check_ns;
+                if st.stats.check_log.len() == crate::stats::MAX_CHECK_LOG {
+                    // Failures recur on every call (never cached): keep
+                    // the log bounded between drains.
+                    st.stats.check_log.pop_front();
+                }
+                st.stats.check_log.push_back(CheckLogItem {
+                    key: *cache_key,
+                    outcome: CheckVerdict::Blame(code),
+                    duration_ns: check_ns,
+                });
+                st.phase.note_check();
+                drop(st);
+                self.rdl.record_diagnostic(diag.clone());
+                let span = diag.span;
+                return Err(HbError::with_diagnostic(
+                    ErrorKind::TypeBlame,
+                    message,
+                    span,
+                    diag,
+                ));
+            }
+        };
         // The signature itself is "used during type checking" (Table 1's
         // Used column counts generated annotations consulted either as a
         // callee type or as the checked method's own signature).
         self.rdl.mark_used(annotation_key);
         let mut st = self.state.borrow_mut();
         st.stats.checks_performed += 1;
-        st.stats.check_ns += t_first.elapsed().as_nanos() as u64;
-        st.stats.check_log.push(CheckLogItem { key: *cache_key });
+        st.stats.check_ns += check_ns;
+        if st.stats.check_log.len() == crate::stats::MAX_CHECK_LOG {
+            st.stats.check_log.pop_front();
+        }
+        st.stats.check_log.push_back(CheckLogItem {
+            key: *cache_key,
+            outcome: CheckVerdict::Pass,
+            duration_ns: check_ns,
+        });
         st.stats.checked_methods.insert(cache_key.display());
         st.stats
             .cast_sites
@@ -891,6 +963,7 @@ impl Engine {
         entry: &TableEntry,
         args: &[Value],
         key: &MethodKey,
+        annotation_key: &MethodKey,
     ) -> Result<(), HbError> {
         self.state.borrow_mut().stats.dyn_arg_checks += 1;
         self.rdl.inner.borrow_mut().dyn_checks_run += 1;
@@ -909,24 +982,98 @@ impl Engine {
             }
         }
         let got: Vec<String> = args.iter().map(|a| interp.class_name_of(a)).collect();
-        Err(HbError::new(
-            ErrorKind::ContractBlame,
-            if arity_ok {
-                format!(
-                    "dynamic type check failed calling {}: arguments ({}) do not match {}",
-                    key.display(),
-                    got.join(", "),
-                    entry.sig
-                )
-            } else {
-                format!(
-                    "dynamic type check failed calling {}: wrong number of arguments ({})",
-                    key.display(),
-                    args.len()
-                )
-            },
+        let message = if arity_ok {
+            format!(
+                "dynamic type check failed calling {}: arguments ({}) do not match {}",
+                key.display(),
+                got.join(", "),
+                entry.sig
+            )
+        } else {
+            format!(
+                "dynamic type check failed calling {}: wrong number of arguments ({})",
+                key.display(),
+                args.len()
+            )
+        };
+        let diag = TypeDiagnostic::error(
+            DiagCode::DynamicArgCheck,
+            message.clone(),
             info.span,
+            BlameTarget::Annotation(*annotation_key),
+        )
+        .with_method(*key)
+        .with_label(
+            DiagLabel::new(
+                LabelRole::BlamedAnnotation,
+                format!("annotation `{}` declared here", entry.sig),
+                entry.span,
+            )
+            .with_method(*annotation_key),
+        )
+        .with_label(DiagLabel::new(
+            LabelRole::CallSite,
+            "rejected call made here",
+            info.span,
+        ));
+        self.rdl.record_diagnostic(diag.clone());
+        Err(HbError::with_diagnostic(
+            ErrorKind::ContractBlame,
+            message,
+            info.span,
+            diag,
         ))
+    }
+
+    /// Eager whole-program checking: walks every annotated, checkable
+    /// method and checks it *now*, without waiting for a triggering call
+    /// — the CI-linter mode behind `hb_lint`. Successful derivations are
+    /// cached (and published to the shared tier) exactly as just-in-time
+    /// checks are, so an eager pass also warms the caches; failures are
+    /// returned as structured diagnostics, one per failing method, in
+    /// deterministic key order.
+    ///
+    /// Note the semantic difference from the just-in-time mode: methods
+    /// whose annotation class is a module are checked against the module
+    /// itself (there may be no instantiating call to name a mix-in
+    /// class), and methods never defined (annotation without a body) are
+    /// skipped.
+    pub fn check_all(&self, interp: &mut Interp) -> Vec<TypeDiagnostic> {
+        self.process_events(interp);
+        let mut out = Vec::new();
+        for (key, entry) in self.rdl.entries() {
+            if !entry.check {
+                continue;
+            }
+            let Some(cid) = interp.registry.lookup(key.class.as_str()) else {
+                continue;
+            };
+            let found = if key.class_level {
+                interp.registry.find_smethod(cid, key.method.as_str())
+            } else {
+                interp.registry.find_method(cid, key.method.as_str())
+            };
+            let Some((owner, mentry)) = found else {
+                continue;
+            };
+            if !mentry.is_checkable() {
+                continue;
+            }
+            let info = DispatchInfo {
+                recv_class: cid,
+                class_level: key.class_level,
+                owner,
+                name: key.method,
+                entry: mentry,
+                span: entry.span,
+            };
+            if let Err(e) = self.ensure_checked(interp, &info, &key, &key, &entry, None) {
+                if let Some(d) = e.diagnostic() {
+                    out.push(d.clone());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -1024,11 +1171,25 @@ impl CallHook for Engine {
             && (!interp.current_caller_checked() || table_entry.always_dyn_check);
         drop(cfg);
         if need_dyn {
-            self.dynamic_arg_check(interp, info, &table_entry, args, &cache_key)?;
+            self.dynamic_arg_check(
+                interp,
+                info,
+                &table_entry,
+                args,
+                &cache_key,
+                &annotation_key,
+            )?;
         }
 
         if table_entry.check {
-            self.ensure_checked(interp, info, &cache_key, &annotation_key, &table_entry)?;
+            self.ensure_checked(
+                interp,
+                info,
+                &cache_key,
+                &annotation_key,
+                &table_entry,
+                Some(info.span),
+            )?;
             return Ok(HookOutcome { mark_checked: true });
         }
         Ok(HookOutcome::default())

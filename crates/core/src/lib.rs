@@ -38,11 +38,12 @@ pub use engine::{CacheDumpEntry, Config, Engine};
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
 pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
-pub use stats::{CheckLogItem, EngineStats};
+pub use stats::{CheckLogItem, CheckVerdict, EngineStats};
 
-pub use hb_check::{CheckError, CheckOptions};
+pub use hb_check::{CheckError, CheckOptions, CheckRequest};
 pub use hb_interp::{ErrorKind, HbError, Interp, Value};
 pub use hb_rdl::{MethodKey, RdlState, RdlStats};
+pub use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, SourceMap, TypeDiagnostic};
 
 use hb_rdl::{install_rdl, RdlHook};
 use std::collections::HashMap;
@@ -160,6 +161,28 @@ impl Hummingbird {
     /// Engine statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Eagerly checks every annotated, checkable method — the whole
+    /// program, without waiting for triggering calls — and returns the
+    /// failures as structured diagnostics (empty when the program lints
+    /// clean). See [`Engine::check_all`]; this is the `hb_lint` entry
+    /// point, and it warms the derivation caches as a side effect.
+    pub fn check_all(&mut self) -> Vec<TypeDiagnostic> {
+        let engine = self.engine.clone();
+        engine.check_all(&mut self.interp)
+    }
+
+    /// Every blame diagnostic produced so far (just-in-time and eager),
+    /// in emission order.
+    pub fn diagnostics(&self) -> Vec<TypeDiagnostic> {
+        self.engine.diagnostics()
+    }
+
+    /// The source map resolving diagnostic spans to file/line/column —
+    /// pass it to [`TypeDiagnostic::render`] / [`TypeDiagnostic::to_json`].
+    pub fn source_map(&self) -> &SourceMap {
+        &self.interp.source_map
     }
 
     /// RDL annotation statistics snapshot.

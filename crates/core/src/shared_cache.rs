@@ -411,8 +411,26 @@ mod tests {
         let c = SharedCache::new();
         let caller = k("Talk", "owner?");
         let other = k("Talk", "title");
-        c.insert(caller, 1, 1, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)], vec![]);
-        c.insert(caller, 2, 2, 1, 1, (1, 1, 1), vec![dep("User", "name", 1)], vec![]); // second family version
+        c.insert(
+            caller,
+            1,
+            1,
+            1,
+            1,
+            (1, 1, 1),
+            vec![dep("User", "name", 1)],
+            vec![],
+        );
+        c.insert(
+            caller,
+            2,
+            2,
+            1,
+            1,
+            (1, 1, 1),
+            vec![dep("User", "name", 1)],
+            vec![],
+        ); // second family version
         c.insert(other, 3, 1, 1, 1, (1, 1, 1), vec![], vec![]);
         assert_eq!(c.len(), 3);
         assert_eq!(
@@ -428,7 +446,16 @@ mod tests {
     fn self_recursive_eviction_prunes_own_edge() {
         let c = SharedCache::new();
         let key = k("Talk", "visit");
-        c.insert(key, 1, 1, 1, 1, (1, 1, 1), vec![dep("Talk", "visit", 1)], vec![]);
+        c.insert(
+            key,
+            1,
+            1,
+            1,
+            1,
+            (1, 1, 1),
+            vec![dep("Talk", "visit", 1)],
+            vec![],
+        );
         assert_eq!(c.edge_count(), 1);
         assert_eq!(c.evict_method(&key), 1);
         assert_eq!(c.edge_count(), 0, "self edge pruned like any other");

@@ -1,26 +1,64 @@
 //! Engine statistics feeding the evaluation tables.
 
 use hb_rdl::MethodKey;
-use std::collections::BTreeSet;
+use hb_syntax::DiagCode;
+use std::collections::{BTreeSet, VecDeque};
+
+/// How a logged static check ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckVerdict {
+    /// The derivation succeeded (and was cached).
+    Pass,
+    /// The check blamed, with the diagnostic's stable code. Blamed first
+    /// calls used to be invisible in the log; now they are first-class
+    /// entries.
+    Blame(DiagCode),
+}
+
+impl CheckVerdict {
+    /// True when the check passed.
+    pub fn passed(self) -> bool {
+        matches!(self, CheckVerdict::Pass)
+    }
+}
 
 /// One static check performed (Table 2's "Chk'd" column counts these).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckLogItem {
     pub key: MethodKey,
+    /// Pass, or blame with its diagnostic code.
+    pub outcome: CheckVerdict,
+    /// Wall-clock nanoseconds the check took (lowering + `check_sig`,
+    /// or the failed portion thereof).
+    pub duration_ns: u64,
 }
 
 /// Aggregate engine counters.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
-    /// Static checks actually run (misses in both cache tiers).
+    /// Static checks that ran to a successful derivation (misses in both
+    /// cache tiers). Blamed runs are counted separately in
+    /// `checks_failed`, keeping first-call accounting (`shared_hits +
+    /// checks_performed`) and per-derivation cost (`check_ns /
+    /// checks_performed`) stable even when failures recur.
     pub checks_performed: u64,
+    /// Static checks that ended in blame (the failures are also in
+    /// `check_log` with their codes — a blamed first call is no longer
+    /// invisible). Failures are never cached, so a repeatedly-called
+    /// blamed method increments this on every call.
+    pub checks_failed: u64,
     /// Calls answered from the per-engine derivation cache (hot tier).
     pub cache_hits: u64,
     /// First calls answered by adopting another tenant's derivation from
     /// the process-wide shared tier (no check run).
     pub shared_hits: u64,
-    /// Nanoseconds spent deriving on first calls (lowering + `check_sig`).
+    /// Nanoseconds spent on *successful* derivations (lowering +
+    /// `check_sig`) — the numerator matching `checks_performed`.
     pub check_ns: u64,
+    /// Nanoseconds spent on check runs that ended in blame — the
+    /// numerator matching `checks_failed` (per-entry durations are in
+    /// `check_log`).
+    pub failed_check_ns: u64,
     /// Nanoseconds spent adopting shared derivations (lookup + structural
     /// validation) instead of deriving.
     pub shared_adopt_ns: u64,
@@ -41,8 +79,18 @@ pub struct EngineStats {
     /// Live cache entries at snapshot time.
     pub cache_entries: usize,
     /// Log of checks performed (drained by the update experiment).
-    pub check_log: Vec<CheckLogItem>,
+    /// Bounded: passes are naturally capped by the cache (one per
+    /// method), but failures are never cached and recur on every call to
+    /// a buggy endpoint, so the engine retains only the most recent
+    /// [`MAX_CHECK_LOG`] entries between drains (oldest dropped first).
+    pub check_log: VecDeque<CheckLogItem>,
 }
+
+/// Retention bound for [`EngineStats::check_log`] between
+/// `take_check_log` drains — same rationale as the diagnostics store's
+/// bound: a long-running tenant re-hitting a blamed method must not grow
+/// the log without limit.
+pub const MAX_CHECK_LOG: usize = 4096;
 
 /// Tracks the paper's §5 "phases": a phase is a run of annotation events
 /// followed by a run of static checks.

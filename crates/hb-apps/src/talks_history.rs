@@ -3,10 +3,11 @@
 
 use crate::apps::talks;
 use crate::build_app;
-use hummingbird::{ErrorKind, Hummingbird, Mode, ReloadReport};
+use hummingbird::{ErrorKind, Hummingbird, Mode, ReloadReport, TypeDiagnostic};
 
 /// One historical error version: the buggy code (re-opening a class), the
-/// request that triggers the check, and the expected blame fragment.
+/// request that triggers the check, the expected blame fragment, and the
+/// stable diagnostic code the structured surface reports.
 pub struct ErrorVersion {
     /// The paper's version label.
     pub version: &'static str,
@@ -14,6 +15,9 @@ pub struct ErrorVersion {
     pub buggy_source: &'static str,
     pub trigger: &'static str,
     pub expected_fragment: &'static str,
+    /// The `HBxxxx` code this error carries (both just-in-time and under
+    /// eager `hb_lint` checking).
+    pub expected_code: &'static str,
 }
 
 /// The six historical Talks errors, one per paper bullet.
@@ -32,6 +36,7 @@ end
 "#,
             trigger: "$router.dispatch(\"GET\", \"/talks/edit\", { :id => 1 })",
             expected_fragment: "no type for TalksController#copute_edit_fields",
+            expected_code: "HB0003",
         },
         ErrorVersion {
             version: "1/7/12-5",
@@ -47,6 +52,7 @@ end
 "#,
             trigger: "$router.dispatch(\"GET\", \"/lists/show\", { :id => 1 })",
             expected_fragment: "called with a block but its type does not take one",
+            expected_code: "HB0008",
         },
         ErrorVersion {
             version: "1/26/12-3",
@@ -62,6 +68,7 @@ end
 "#,
             trigger: "$router.dispatch(\"GET\", \"/lists/subscribed\", { :user_id => 2 })",
             expected_fragment: "argument type mismatch calling User#subscribed_talks",
+            expected_code: "HB0002",
         },
         ErrorVersion {
             version: "1/28/12",
@@ -75,6 +82,7 @@ end
 "#,
             trigger: "$router.dispatch(\"GET\", \"/talks/show\", { :id => 1 })",
             expected_fragment: "no type for String#object",
+            expected_code: "HB0003",
         },
         ErrorVersion {
             version: "2/6/12-2",
@@ -89,6 +97,7 @@ end
 "#,
             trigger: "$router.dispatch(\"GET\", \"/talks/edit\", { :id => 1 })",
             expected_fragment: "no type for TalksController#old_talk",
+            expected_code: "HB0003",
         },
         ErrorVersion {
             version: "2/6/12-3",
@@ -104,6 +113,7 @@ end
 "#,
             trigger: "$router.dispatch(\"POST\", \"/talks/complete\", { :id => 2 })",
             expected_fragment: "no type for TalksController#new_talk",
+            expected_code: "HB0003",
         },
     ]
 }
@@ -125,6 +135,74 @@ pub fn run_error_version(v: &ErrorVersion) -> String {
         .expect_err("the buggy version must blame");
     assert_eq!(err.kind, ErrorKind::TypeBlame, "{}: {err}", v.version);
     err.message
+}
+
+/// A structured view of one historical error, captured while the app (and
+/// its source map) was alive: the diagnostic itself plus its resolved
+/// renderings, so golden tests can assert spans and JSON without holding
+/// the whole system.
+#[derive(Debug, Clone)]
+pub struct ErrorVersionDiag {
+    pub diagnostic: TypeDiagnostic,
+    /// `TypeDiagnostic::render` against the app's source map.
+    pub rendered: String,
+    /// `TypeDiagnostic::to_json` against the app's source map.
+    pub json: String,
+    /// The blamed-annotation label resolved to `(file:line:col, exact
+    /// source text under the span)`, when the diagnostic carries one.
+    pub blamed_at: Option<(String, String)>,
+}
+
+fn capture_diag(hb: &Hummingbird, diagnostic: TypeDiagnostic) -> ErrorVersionDiag {
+    let map = hb.source_map();
+    let blamed_at = diagnostic
+        .label(hummingbird::LabelRole::BlamedAnnotation)
+        .and_then(|l| {
+            let f = map.file(l.span.file)?;
+            let text = f.text.get(l.span.lo as usize..l.span.hi as usize)?;
+            Some((map.describe(l.span), text.to_string()))
+        });
+    ErrorVersionDiag {
+        rendered: diagnostic.render(map),
+        json: diagnostic.to_json(map),
+        blamed_at,
+        diagnostic,
+    }
+}
+
+/// [`run_error_version`], returning the structured diagnostic behind the
+/// blame instead of the flattened message.
+///
+/// # Panics
+///
+/// Panics if the version unexpectedly passes or blames without a
+/// structured diagnostic.
+pub fn run_error_version_diag(v: &ErrorVersion) -> ErrorVersionDiag {
+    let spec = talks();
+    let mut hb = build_app(&spec, Mode::Full);
+    hb.load_file("talks/buggy.rb", v.buggy_source)
+        .unwrap_or_else(|e| panic!("{}: load failed: {e}", v.version));
+    let err = hb
+        .eval(v.trigger)
+        .expect_err("the buggy version must blame");
+    assert_eq!(err.kind, ErrorKind::TypeBlame, "{}: {err}", v.version);
+    let diag = err
+        .diagnostic()
+        .unwrap_or_else(|| panic!("{}: blame without diagnostic", v.version))
+        .clone();
+    capture_diag(&hb, diag)
+}
+
+/// Lints one historical version *eagerly*: loads the buggy source and runs
+/// [`Hummingbird::check_all`] — no triggering request — returning every
+/// diagnostic found (expected: exactly one, with `v.expected_code`).
+pub fn lint_error_version(v: &ErrorVersion) -> Vec<ErrorVersionDiag> {
+    let spec = talks();
+    let mut hb = build_app(&spec, Mode::Full);
+    hb.load_file("talks/buggy.rb", v.buggy_source)
+        .unwrap_or_else(|e| panic!("{}: load failed: {e}", v.version));
+    let diags = hb.check_all();
+    diags.into_iter().map(|d| capture_diag(&hb, d)).collect()
 }
 
 /// The seven versions of the update experiment (Table 2), as file contents

@@ -1,0 +1,187 @@
+//! Golden tests for the structured blame surface over the six historical
+//! Talks errors (paper §5 "Type Errors in Talks"): each diagnostic's
+//! stable code, its blamed-annotation span (resolving to the real `type`
+//! call in the app's annotation file), and its exact JSON rendering —
+//! through both the just-in-time path (triggered request) and the eager
+//! `hb_lint` path (`check_all`, no request at all).
+
+use hb_apps::talks_history::{
+    error_versions, lint_error_version, run_error_version_diag, ErrorVersionDiag,
+};
+use hummingbird::{BlameTarget, LabelRole};
+
+/// Every historical error carries its expected stable code, identically
+/// under just-in-time checking and eager linting.
+#[test]
+fn six_errors_carry_stable_codes_jit_and_eager() {
+    for v in error_versions() {
+        let jit = run_error_version_diag(&v);
+        assert_eq!(
+            jit.diagnostic.code.as_str(),
+            v.expected_code,
+            "{}: jit code",
+            v.version
+        );
+        let lint = lint_error_version(&v);
+        assert_eq!(
+            lint.len(),
+            1,
+            "{}: eager lint finds exactly the bug",
+            v.version
+        );
+        assert_eq!(
+            lint[0].diagnostic.code.as_str(),
+            v.expected_code,
+            "{}: lint code",
+            v.version
+        );
+        // Both paths agree on what is blamed.
+        assert_eq!(
+            jit.diagnostic.blame, lint[0].diagnostic.blame,
+            "{}: blame target",
+            v.version
+        );
+        // The primary span lands in the buggy file either way.
+        assert!(
+            jit.rendered.contains("talks/buggy.rb:"),
+            "{}: {}",
+            v.version,
+            jit.rendered
+        );
+    }
+}
+
+/// The two annotation-blaming errors resolve their blamed-annotation
+/// label to the exact `type …` call in talks/annotations.rb — position
+/// and source text.
+#[test]
+fn blamed_annotation_spans_resolve_to_real_type_calls() {
+    let versions = error_versions();
+    let expectations = [
+        (
+            "1/7/12-5",
+            "talks/annotations.rb:16:1",
+            "type TalkList, \"upcoming\", \"() -> Array<Talk>\", { \"check\" => true }",
+        ),
+        (
+            "1/26/12-3",
+            "talks/annotations.rb:9:1",
+            "type User, \"subscribed_talks\", \"(Symbol) -> Array<Talk>\", { \"check\" => true }",
+        ),
+    ];
+    for (version, at, text) in expectations {
+        let v = versions.iter().find(|v| v.version == version).unwrap();
+        for d in [run_error_version_diag(v), lint_error_version(v).remove(0)] {
+            let (got_at, got_text) = d
+                .blamed_at
+                .clone()
+                .unwrap_or_else(|| panic!("{version}: no blamed-annotation label"));
+            assert_eq!(got_at, at, "{version}");
+            assert_eq!(got_text, text, "{version}");
+            assert!(matches!(d.diagnostic.blame, BlameTarget::Annotation(_)));
+        }
+    }
+}
+
+/// Missing-type errors blame a `MissingType` target (there is no
+/// annotation span to point at) but still label the checked method's own
+/// annotation, which resolves into talks/annotations.rb.
+#[test]
+fn missing_type_errors_label_the_checked_method() {
+    for v in error_versions() {
+        if v.expected_code != "HB0003" {
+            continue;
+        }
+        let d = run_error_version_diag(&v);
+        assert!(
+            matches!(d.diagnostic.blame, BlameTarget::MissingType(_)),
+            "{}",
+            v.version
+        );
+        let checked = d
+            .diagnostic
+            .label(LabelRole::CheckedMethod)
+            .unwrap_or_else(|| panic!("{}: no checked-method label", v.version));
+        assert!(checked.method.is_some(), "{}", v.version);
+        assert!(
+            d.rendered.contains("talks/annotations.rb:"),
+            "{}: {}",
+            v.version,
+            d.rendered
+        );
+    }
+}
+
+/// Exact JSON goldens for all six eager-lint diagnostics. These strings
+/// are the machine-readable contract `hb_lint --json` emits; any change
+/// to the JSON shape, the codes, or the app sources must show up here.
+#[test]
+fn lint_json_golden_exact() {
+    let golden: [(&str, &str); 6] = [
+        (
+            "1/8/12-4",
+            "{\"code\":\"HB0003\",\"message\":\"Hummingbird: no type for TalksController#copute_edit_fields\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":5,\"col\":12},\"blame\":{\"kind\":\"missing-type\",\"method\":\"TalksController#copute_edit_fields\"},\"method\":\"TalksController#edit\",\"labels\":[{\"role\":\"checked-method\",\"message\":\"while checking TalksController#edit against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":24,\"col\":1},\"method\":\"TalksController#edit\"}]}",
+        ),
+        (
+            "1/7/12-5",
+            "{\"code\":\"HB0008\",\"message\":\"TalkList#upcoming is called with a block but its type does not take one\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":5,\"col\":10},\"blame\":{\"kind\":\"annotation\",\"method\":\"TalkList#upcoming\"},\"method\":\"ListsController#show\",\"labels\":[{\"role\":\"blamed-annotation\",\"message\":\"annotation `() -> Array<Talk>` on TalkList#upcoming declared here\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":16,\"col\":1},\"method\":\"TalkList#upcoming\"},{\"role\":\"checked-method\",\"message\":\"while checking ListsController#show against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":28,\"col\":1},\"method\":\"ListsController#show\"}]}",
+        ),
+        (
+            "1/26/12-3",
+            "{\"code\":\"HB0002\",\"message\":\"argument type mismatch calling User#subscribed_talks: got (%bool), type is (Symbol) -> Array<Talk>\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":5,\"col\":13},\"blame\":{\"kind\":\"annotation\",\"method\":\"User#subscribed_talks\"},\"method\":\"ListsController#subscribed\",\"labels\":[{\"role\":\"blamed-annotation\",\"message\":\"annotation `(Symbol) -> Array<Talk>` on User#subscribed_talks declared here\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":9,\"col\":1},\"method\":\"User#subscribed_talks\"},{\"role\":\"checked-method\",\"message\":\"while checking ListsController#subscribed against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":29,\"col\":1},\"method\":\"ListsController#subscribed\"}]}",
+        ),
+        (
+            "1/28/12",
+            "{\"code\":\"HB0003\",\"message\":\"Hummingbird: no type for String#object\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":4,\"col\":5},\"blame\":{\"kind\":\"missing-type\",\"method\":\"String#object\"},\"method\":\"Talk#display_title\",\"labels\":[{\"role\":\"checked-method\",\"message\":\"while checking Talk#display_title against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":12,\"col\":1},\"method\":\"Talk#display_title\"}]}",
+        ),
+        (
+            "2/6/12-2",
+            "{\"code\":\"HB0003\",\"message\":\"Hummingbird: no type for TalksController#old_talk\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":5,\"col\":32},\"blame\":{\"kind\":\"missing-type\",\"method\":\"TalksController#old_talk\"},\"method\":\"TalksController#edit\",\"labels\":[{\"role\":\"checked-method\",\"message\":\"while checking TalksController#edit against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":24,\"col\":1},\"method\":\"TalksController#edit\"}]}",
+        ),
+        (
+            "2/6/12-3",
+            "{\"code\":\"HB0003\",\"message\":\"Hummingbird: no type for TalksController#new_talk\",\"span\":{\"file\":\"talks/buggy.rb\",\"line\":5,\"col\":5},\"blame\":{\"kind\":\"missing-type\",\"method\":\"TalksController#new_talk\"},\"method\":\"TalksController#complete\",\"labels\":[{\"role\":\"checked-method\",\"message\":\"while checking TalksController#complete against its annotation\",\"span\":{\"file\":\"talks/annotations.rb\",\"line\":26,\"col\":1},\"method\":\"TalksController#complete\"}]}",
+        ),
+    ];
+    let versions = error_versions();
+    for (version, want) in golden {
+        let v = versions.iter().find(|v| v.version == version).unwrap();
+        let got: Vec<ErrorVersionDiag> = lint_error_version(v);
+        assert_eq!(got.len(), 1, "{version}");
+        assert_eq!(got[0].json, want, "{version}: JSON golden");
+    }
+}
+
+/// Human rendering golden for one version end-to-end (the exact lines a
+/// developer sees).
+#[test]
+fn render_golden_subscribed_talks() {
+    let versions = error_versions();
+    let v = versions.iter().find(|v| v.version == "1/26/12-3").unwrap();
+    let d = lint_error_version(v).remove(0);
+    assert_eq!(
+        d.rendered,
+        "error[HB0002]: argument type mismatch calling User#subscribed_talks: got (%bool), type is (Symbol) -> Array<Talk> at talks/buggy.rb:5:13\n  \
+         blamed-annotation: annotation `(Symbol) -> Array<Talk>` on User#subscribed_talks declared here at talks/annotations.rb:9:1 (User#subscribed_talks)\n  \
+         checked-method: while checking ListsController#subscribed against its annotation at talks/annotations.rb:29:1 (ListsController#subscribed)"
+    );
+}
+
+/// The clean subject apps lint at zero diagnostics (the `hb_lint` CI
+/// gate's other half).
+#[test]
+fn clean_apps_lint_clean() {
+    for spec in hb_apps::all_apps() {
+        let mut hb = hb_apps::build_app(&spec, hummingbird::Mode::Full);
+        let diags = hb.check_all();
+        assert!(
+            diags.is_empty(),
+            "{}: expected clean lint, got {:?}",
+            spec.name,
+            diags
+                .iter()
+                .map(|d| format!("{} {}", d.code, d.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -11,29 +11,56 @@
 use crate::info::{ClassInfo, InfoHierarchy};
 use hb_il::{BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator};
 use hb_rdl::{MethodKey, RdlState, Resolution, TableEntry};
-use hb_syntax::Span;
+use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::{MethodSig, MethodType, Type, TypeEnv};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-/// A static type error — the paper's `blame` at method entry.
+/// A static type error — the paper's `blame` at method entry — as a thin
+/// wrapper over the structured [`TypeDiagnostic`] it carries. Every
+/// constructor records a stable [`DiagCode`], the blamed annotation/cast
+/// ([`BlameTarget`]) and labeled secondary spans; nothing is flattened to
+/// a string until a consumer renders it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckError {
-    pub message: String,
-    pub span: Span,
+    pub diagnostic: TypeDiagnostic,
 }
 
 impl CheckError {
-    fn new(message: impl Into<String>, span: Span) -> CheckError {
-        CheckError {
-            message: message.into(),
-            span,
-        }
+    /// The stable diagnostic code.
+    pub fn code(&self) -> DiagCode {
+        self.diagnostic.code
+    }
+
+    /// The primary message (location-free; spans carry positions).
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+
+    /// The primary span: where the offending code is.
+    pub fn span(&self) -> Span {
+        self.diagnostic.span
+    }
+
+    /// What the error blames.
+    pub fn blame(&self) -> &BlameTarget {
+        &self.diagnostic.blame
+    }
+
+    /// Unwraps into the diagnostic.
+    pub fn into_diagnostic(self) -> TypeDiagnostic {
+        self.diagnostic
+    }
+}
+
+impl From<TypeDiagnostic> for CheckError {
+    fn from(diagnostic: TypeDiagnostic) -> CheckError {
+        CheckError { diagnostic }
     }
 }
 
 impl std::fmt::Display for CheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.diagnostic.message)
     }
 }
 
@@ -89,28 +116,56 @@ impl Default for CheckOptions {
     }
 }
 
-/// Checks `cfg` against every arm of `sig` (intersection semantics: the
-/// body must satisfy each arm).
-///
-/// `self_class` is the *receiver's* class — module methods are checked and
-/// cached per mix-in class (paper §4 "Modules"). `captured` supplies types
-/// of captured locals when checking `define_method` procs (Fig. 2).
+/// Everything one just-in-time check needs: the body, the receiver
+/// context, the signature under check *and the identity/site of the
+/// annotation providing it* (so failures can blame the annotation), plus
+/// the type environment the check runs against.
+pub struct CheckRequest<'a> {
+    /// The lowered method body.
+    pub cfg: &'a MethodCfg,
+    /// The *receiver's* class — module methods are checked and cached per
+    /// mix-in class (paper §4 "Modules").
+    pub self_class: &'a str,
+    /// Whether the method is class-level (singleton).
+    pub class_level: bool,
+    /// The (possibly intersection) signature being checked against.
+    pub sig: &'a MethodSig,
+    /// The annotation the signature came from (may sit on an ancestor or
+    /// mixed-in module of `self_class`).
+    pub ann_key: MethodKey,
+    /// Where that annotation was registered (dummy when unknown).
+    pub ann_span: Span,
+    /// The class hierarchy view.
+    pub info: &'a dyn ClassInfo,
+    /// The live type table.
+    pub rdl: &'a RdlState,
+    /// Types of captured locals when checking `define_method` procs
+    /// (Fig. 2).
+    pub captured: Option<&'a TypeEnv>,
+    /// Checker tunables.
+    pub opts: &'a CheckOptions,
+}
+
+/// Checks the request's body against every arm of its signature
+/// (intersection semantics: the body must satisfy each arm).
 ///
 /// # Errors
 ///
 /// The first static type error found, positioned at the offending
-/// instruction.
-#[allow(clippy::too_many_arguments)]
-pub fn check_sig(
-    cfg: &MethodCfg,
-    self_class: &str,
-    class_level: bool,
-    sig: &MethodSig,
-    info: &dyn ClassInfo,
-    rdl: &RdlState,
-    captured: Option<&TypeEnv>,
-    opts: &CheckOptions,
-) -> Result<CheckOutcome, CheckError> {
+/// instruction, carrying a structured [`TypeDiagnostic`] that blames the
+/// responsible annotation or cast.
+pub fn check_sig(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
+    let CheckRequest {
+        cfg,
+        self_class,
+        class_level,
+        sig,
+        info,
+        rdl,
+        captured,
+        opts,
+        ..
+    } = *req;
     let mut out = CheckOutcome::default();
     for arm in &sig.arms {
         let arm = arm.erase_vars();
@@ -127,6 +182,8 @@ pub fn check_sig(
             method_name: cfg.name.clone(),
             method_ret: arm.ret.clone(),
             yield_block_type: arm.block.as_deref().cloned(),
+            ann_key: req.ann_key,
+            ann_span: req.ann_span,
             deps: BTreeSet::new(),
             resolutions: BTreeSet::new(),
             casts: BTreeSet::new(),
@@ -135,12 +192,14 @@ pub fn check_sig(
         let (ret, _exit) = ck.check_cfg(cfg, env)?;
         let hier = InfoHierarchy(info);
         if !ret.is_subtype(&arm.ret, &hier) {
-            return Err(CheckError::new(
+            return Err(ck.err_own(
+                DiagCode::ReturnType,
                 format!(
                     "method {} body has type {} but is declared to return {}",
                     cfg.name, ret, arm.ret
                 ),
                 cfg.span,
+                format!("return type {} declared here", arm.ret),
             ));
         }
         out.ret = ret;
@@ -174,6 +233,11 @@ struct Checker<'a> {
     method_ret: Type,
     /// The arm's declared block type, for `yield`.
     yield_block_type: Option<MethodType>,
+    /// The annotation being checked and its registration site — what
+    /// own-signature failures blame, and the "while checking …" label on
+    /// every other failure.
+    ann_key: MethodKey,
+    ann_span: Span,
     deps: BTreeSet<MethodKey>,
     resolutions: BTreeSet<Resolution>,
     casts: BTreeSet<(u32, u32, u32)>,
@@ -182,6 +246,104 @@ struct Checker<'a> {
 impl<'a> Checker<'a> {
     fn hier(&self) -> InfoHierarchy<'a> {
         InfoHierarchy(self.info)
+    }
+
+    // ----- typed error constructors -------------------------------------
+    //
+    // Every static failure goes through one of these: each records the
+    // stable code, the blamed target, and labeled secondary spans. The
+    // message strings stay byte-identical to the historical flattened
+    // surface so downstream fragment matching keeps working.
+
+    /// The standard "while checking …" label pointing at the checked
+    /// method's own annotation.
+    fn checked_label(&self) -> DiagLabel {
+        DiagLabel::new(
+            LabelRole::CheckedMethod,
+            format!("while checking {} against its annotation", self.ann_key),
+            self.ann_span,
+        )
+        .with_method(self.ann_key)
+    }
+
+    /// A failure blamed on the checked method's *own* annotation (return
+    /// type, yield/block declaration, non-convergence).
+    fn err_own(&self, code: DiagCode, message: String, span: Span, ann_note: String) -> CheckError {
+        TypeDiagnostic::error(code, message, span, BlameTarget::Annotation(self.ann_key))
+            .with_method(self.ann_key)
+            .with_label(
+                DiagLabel::new(LabelRole::BlamedAnnotation, ann_note, self.ann_span)
+                    .with_method(self.ann_key),
+            )
+            .into()
+    }
+
+    /// A failure blamed on a *callee's* annotation (arity, argument type,
+    /// block compatibility): the call disagrees with the signature
+    /// registered at `callee_span`.
+    fn err_callee(
+        &self,
+        code: DiagCode,
+        message: String,
+        span: Span,
+        callee: MethodKey,
+        callee_span: Span,
+        sig: &str,
+    ) -> CheckError {
+        TypeDiagnostic::error(code, message, span, BlameTarget::Annotation(callee))
+            .with_method(self.ann_key)
+            .with_label(
+                DiagLabel::new(
+                    LabelRole::BlamedAnnotation,
+                    format!("annotation `{sig}` on {callee} declared here"),
+                    callee_span,
+                )
+                .with_method(callee),
+            )
+            .with_label(self.checked_label())
+            .into()
+    }
+
+    /// A failure because *no* annotation exists for the method at all.
+    fn err_missing(&self, message: String, span: Span, missing: MethodKey) -> CheckError {
+        TypeDiagnostic::error(
+            DiagCode::NoMethodType,
+            message,
+            span,
+            BlameTarget::MissingType(missing),
+        )
+        .with_method(self.ann_key)
+        .with_label(self.checked_label())
+        .into()
+    }
+
+    /// A failure blamed on an ivar/cvar/gvar type declaration.
+    fn err_var(&self, message: String, span: Span, name: String, decl_span: Span) -> CheckError {
+        let note = format!("type of {name} declared here");
+        TypeDiagnostic::error(
+            DiagCode::VarAssign,
+            message,
+            span,
+            BlameTarget::VarDecl { name },
+        )
+        .with_method(self.ann_key)
+        .with_label(DiagLabel::new(LabelRole::BlamedAnnotation, note, decl_span))
+        .with_label(self.checked_label())
+        .into()
+    }
+
+    /// A failure blamed on an `rdl_cast` (here: the cast's type string is
+    /// invalid — runtime conformance failures blame from the builtin).
+    fn err_cast(&self, message: String, span: Span) -> CheckError {
+        TypeDiagnostic::error(DiagCode::CastFailure, message, span, BlameTarget::Cast)
+            .with_method(self.ann_key)
+            .with_label(DiagLabel::new(
+                LabelRole::CastSite,
+                "cast asserted here",
+                span,
+            ))
+            .with_label(self.checked_label())
+            .into()
     }
 
     /// Builds the entry environment: parameters bound at the arm's declared
@@ -286,9 +448,11 @@ impl<'a> Checker<'a> {
         while let Some(bb) = work.pop_front() {
             iterations += 1;
             if iterations > self.opts.max_iterations {
-                return Err(CheckError::new(
+                return Err(self.err_own(
+                    DiagCode::NonConvergence,
                     format!("type checking of {} did not converge", self.method_name),
                     cfg.span,
+                    "while checking against the annotation declared here".to_string(),
                 ));
             }
             let mut env = in_envs[&bb].clone();
@@ -343,12 +507,14 @@ impl<'a> Checker<'a> {
                 Terminator::MethodReturn(op) => {
                     let t = self.type_operand(&env, op);
                     if !t.is_subtype(&self.method_ret, &self.hier()) {
-                        return Err(CheckError::new(
+                        return Err(self.err_own(
+                            DiagCode::ReturnType,
                             format!(
                                 "return of {} does not match declared return type {} of {}",
                                 t, self.method_ret, self.method_name
                             ),
                             cfg.span,
+                            format!("return type {} declared here", self.method_ret),
                         ));
                     }
                 }
@@ -418,11 +584,13 @@ impl<'a> Checker<'a> {
             InstrKind::SetIVar { name, value } => {
                 let vt = self.type_operand(env, value);
                 let chain = self.info.ancestors(&self.self_class);
-                if let Some(declared) = self.rdl.ivar_type(&chain, name) {
+                if let Some((declared, decl_span)) = self.rdl.ivar_decl(&chain, name) {
                     if !vt.is_subtype(&declared, &self.hier()) {
-                        return Err(CheckError::new(
+                        return Err(self.err_var(
                             format!("cannot assign {} to @{} (declared {})", vt, name, declared),
                             span,
+                            format!("@{name}"),
+                            decl_span,
                         ));
                     }
                 }
@@ -430,22 +598,26 @@ impl<'a> Checker<'a> {
             InstrKind::SetCVar { name, value } => {
                 let vt = self.type_operand(env, value);
                 let chain = self.info.ancestors(&self.self_class);
-                if let Some(declared) = self.rdl.cvar_type(&chain, name) {
+                if let Some((declared, decl_span)) = self.rdl.cvar_decl(&chain, name) {
                     if !vt.is_subtype(&declared, &self.hier()) {
-                        return Err(CheckError::new(
+                        return Err(self.err_var(
                             format!("cannot assign {} to @@{} (declared {})", vt, name, declared),
                             span,
+                            format!("@@{name}"),
+                            decl_span,
                         ));
                     }
                 }
             }
             InstrKind::SetGVar { name, value } => {
                 let vt = self.type_operand(env, value);
-                if let Some(declared) = self.rdl.gvar_type(name) {
+                if let Some((declared, decl_span)) = self.rdl.gvar_decl(name) {
                     if !vt.is_subtype(&declared, &self.hier()) {
-                        return Err(CheckError::new(
+                        return Err(self.err_var(
                             format!("cannot assign {} to ${} (declared {})", vt, name, declared),
                             span,
+                            format!("${name}"),
+                            decl_span,
                         ));
                     }
                 }
@@ -527,7 +699,7 @@ impl<'a> Checker<'a> {
             Rvalue::Cast { value, ty } => {
                 let _ = self.type_operand(env, value);
                 let parsed = hb_types::parse_type(ty)
-                    .map_err(|e| CheckError::new(format!("invalid cast type: {e}"), span))?;
+                    .map_err(|e| self.err_cast(format!("invalid cast type: {e}"), span))?;
                 self.casts.insert((span.file.0, span.lo, span.hi));
                 Ok(parsed)
             }
@@ -535,12 +707,14 @@ impl<'a> Checker<'a> {
                 let bt = match &self.yield_block_type {
                     Some(b) => b.clone(),
                     None => {
-                        return Err(CheckError::new(
+                        return Err(self.err_own(
+                            DiagCode::BlockIncompatible,
                             format!(
                                 "method {} yields but its type declares no block",
                                 self.method_name
                             ),
                             span,
+                            "annotation declares no block type".to_string(),
                         ))
                     }
                 };
@@ -548,9 +722,11 @@ impl<'a> Checker<'a> {
                     let at = self.type_operand(env, a);
                     if let Some(pt) = bt.param_at(i) {
                         if !at.is_subtype(pt, &self.hier()) {
-                            return Err(CheckError::new(
+                            return Err(self.err_own(
+                                DiagCode::ArgumentType,
                                 format!("yield argument {i} has type {at}, block expects {pt}"),
                                 span,
+                                format!("block parameter type {pt} declared here"),
                             ));
                         }
                     }
@@ -589,22 +765,37 @@ impl<'a> Checker<'a> {
                             });
                         }
                         ret.ok_or_else(|| {
-                            CheckError::new(
+                            self.err_callee(
+                                DiagCode::ArityMismatch,
                                 format!(
                                     "no arm of super {} accepts these arguments",
                                     self.method_name
                                 ),
                                 span,
+                                key,
+                                entry.span,
+                                &entry.sig.to_string(),
                             )
                         })
                     }
-                    None => Err(CheckError::new(
-                        format!(
-                            "Hummingbird: no type for super method {} above {}",
-                            self.method_name, self.self_class
-                        ),
-                        span,
-                    )),
+                    None => {
+                        // The lookup that failed: `method_name` above
+                        // `self_class` (keyed on the receiver for want of
+                        // a resolved owner).
+                        let missing = MethodKey {
+                            class: hb_intern::Sym::intern(&self.self_class),
+                            class_level: super_level,
+                            method: hb_intern::Sym::intern(&self.method_name),
+                        };
+                        Err(self.err_missing(
+                            format!(
+                                "Hummingbird: no type for super method {} above {}",
+                                self.method_name, self.self_class
+                            ),
+                            span,
+                            missing,
+                        ))
+                    }
                 }
             }
             Rvalue::Call {
@@ -649,7 +840,7 @@ impl<'a> Checker<'a> {
                         block: None,
                         ret: Type::Any,
                     };
-                    self.check_block_lit(cfg, lit, &bt, env)?;
+                    self.check_block_lit(cfg, lit, &bt, env, None)?;
                 }
                 Ok(Type::Any)
             }
@@ -747,16 +938,32 @@ impl<'a> Checker<'a> {
             Some(x) => x,
             None => {
                 let kind = if class_level { "." } else { "#" };
-                return Err(CheckError::new(
+                let missing = MethodKey {
+                    class: hb_intern::Sym::intern(c),
+                    class_level,
+                    method: hb_intern::Sym::intern(name),
+                };
+                return Err(self.err_missing(
                     format!("Hummingbird: no type for {c}{kind}{name}"),
                     span,
+                    missing,
                 ));
             }
         };
         self.rdl.mark_used(&key);
         self.deps.insert(key);
         let sig = self.instantiate(&entry, c, targs);
-        self.apply_sig(cfg, env, c, name, &sig, args, block, span)
+        self.apply_sig(
+            cfg,
+            env,
+            c,
+            name,
+            &sig,
+            args,
+            block,
+            span,
+            (key, entry.span),
+        )
     }
 
     /// Instantiates a signature's generic variables against the receiver's
@@ -820,7 +1027,17 @@ impl<'a> Checker<'a> {
                         })
                         .collect(),
                 };
-                self.apply_sig(cfg, env, c, "new", &sig, args, block, span)
+                self.apply_sig(
+                    cfg,
+                    env,
+                    c,
+                    "new",
+                    &sig,
+                    args,
+                    block,
+                    span,
+                    (key, entry.span),
+                )
             }
             None => {
                 // Unannotated constructor: accept anything (the dynamic
@@ -832,7 +1049,9 @@ impl<'a> Checker<'a> {
     }
 
     /// Checks a call against a resolved signature: arity, argument
-    /// subtyping, and block compatibility per matching arm.
+    /// subtyping, and block compatibility per matching arm. `callee` is
+    /// the annotation the signature came from and its registration site —
+    /// the blame target for every failure here.
     #[allow(clippy::too_many_arguments)]
     fn apply_sig(
         &mut self,
@@ -844,6 +1063,7 @@ impl<'a> Checker<'a> {
         args: &[CallArg],
         block: Option<hb_il::BlockLitId>,
         span: Span,
+        callee: (MethodKey, Span),
     ) -> Result<Type, CheckError> {
         let hier = self.hier();
         let has_splat = args.iter().any(|a| matches!(a, CallArg::Splat(_)));
@@ -879,24 +1099,33 @@ impl<'a> Checker<'a> {
             }
         }
         if matching.is_empty() {
+            let sig_str = sig.to_string();
             if arity_ok.is_empty() {
-                return Err(CheckError::new(
+                return Err(self.err_callee(
+                    DiagCode::ArityMismatch,
                     format!(
                         "wrong number of arguments in call to {c}#{name} (given {}, type is {})",
                         pos_args.len(),
                         sig
                     ),
                     span,
+                    callee.0,
+                    callee.1,
+                    &sig_str,
                 ));
             }
             let got: Vec<String> = pos_args.iter().map(|t| t.to_string()).collect();
-            return Err(CheckError::new(
+            return Err(self.err_callee(
+                DiagCode::ArgumentType,
                 format!(
                     "argument type mismatch calling {c}#{name}: got ({}), type is {}",
                     got.join(", "),
                     sig
                 ),
                 span,
+                callee.0,
+                callee.1,
+                &sig_str,
             ));
         }
 
@@ -908,13 +1137,17 @@ impl<'a> Checker<'a> {
             if with_block.is_empty() {
                 // The 1/7/12-5 Talks error: passing a block to a method
                 // whose type takes none.
-                return Err(CheckError::new(
+                return Err(self.err_callee(
+                    DiagCode::BlockIncompatible,
                     format!("{c}#{name} is called with a block but its type does not take one"),
                     span,
+                    callee.0,
+                    callee.1,
+                    &sig.to_string(),
                 ));
             }
             let bt = with_block[0].block.as_deref().cloned().unwrap();
-            let merged = self.check_block_lit(cfg, lit, &bt, env)?;
+            let merged = self.check_block_lit(cfg, lit, &bt, env, Some(callee))?;
             *env = merged;
         } else if has_block_pass {
             // A passed proc is assumed type-safe (higher-order contracts
@@ -933,13 +1166,15 @@ impl<'a> Checker<'a> {
 
     /// Checks a block literal against the callee's declared block type and
     /// returns the environment after the call (captured variables joined
-    /// with their post-block types).
+    /// with their post-block types). `callee` (when known) is the
+    /// annotation whose block type the literal is checked against.
     fn check_block_lit(
         &mut self,
         _cfg: &MethodCfg,
         lit: &BlockLit,
         bt: &MethodType,
         env: &TypeEnv,
+        callee: Option<(MethodKey, Span)>,
     ) -> Result<TypeEnv, CheckError> {
         let mut block_env = env.clone();
         let mut pos = 0usize;
@@ -965,13 +1200,26 @@ impl<'a> Checker<'a> {
         }
         let (result, exit) = self.check_cfg(&lit.cfg, block_env)?;
         if !result.is_subtype(&bt.ret, &self.hier()) {
-            return Err(CheckError::new(
-                format!(
-                    "block has type {} but {} expects a block returning {}",
-                    result, self.method_name, bt.ret
+            let message = format!(
+                "block has type {} but {} expects a block returning {}",
+                result, self.method_name, bt.ret
+            );
+            return Err(match callee {
+                Some((key, ann_span)) => self.err_callee(
+                    DiagCode::BlockIncompatible,
+                    message,
+                    lit.cfg.span,
+                    key,
+                    ann_span,
+                    &bt.to_string(),
                 ),
-                lit.cfg.span,
-            ));
+                None => self.err_own(
+                    DiagCode::BlockIncompatible,
+                    message,
+                    lit.cfg.span,
+                    format!("block type {bt} expected here"),
+                ),
+            });
         }
         // The block may run zero or more times: captured variables join
         // their pre- and post-block types.

@@ -8,5 +8,7 @@
 pub mod checker;
 pub mod info;
 
-pub use checker::{check_sig, generic_params, CheckError, CheckOptions, CheckOutcome};
+pub use checker::{
+    check_sig, generic_params, CheckError, CheckOptions, CheckOutcome, CheckRequest,
+};
 pub use info::{ClassInfo, InfoHierarchy, MapClassInfo};

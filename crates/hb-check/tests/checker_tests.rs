@@ -1,11 +1,35 @@
 //! Checker tests: each exercises a distinct rule or error class, including
 //! every category of historical Talks error from the paper's §5.
 
-use hb_check::{check_sig, CheckOptions, MapClassInfo};
+use hb_check::{check_sig, CheckOptions, CheckRequest, ClassInfo, MapClassInfo};
 use hb_il::{collect_method_defs, lower_method, MethodCfg};
 use hb_rdl::{AnnotationSource, MethodKey, RdlState};
-use hb_syntax::parse_program;
+use hb_syntax::{parse_program, Span};
 use hb_types::{parse_method_type, parse_type, MethodSig, TypeEnv};
+
+/// Builds a [`CheckRequest`] for an instance-level check with the
+/// annotation keyed on `self_class` at an unknown site, and runs it.
+fn run_check(
+    cfg: &MethodCfg,
+    self_class: &str,
+    sig: &MethodSig,
+    info: &dyn ClassInfo,
+    rdl: &RdlState,
+    captured: Option<&TypeEnv>,
+) -> Result<hb_check::CheckOutcome, hb_check::CheckError> {
+    check_sig(&CheckRequest {
+        cfg,
+        self_class,
+        class_level: false,
+        sig,
+        ann_key: MethodKey::instance(self_class, &cfg.name),
+        ann_span: Span::dummy(),
+        info,
+        rdl,
+        captured,
+        opts: &CheckOptions::default(),
+    })
+}
 
 struct Fixture {
     rdl: RdlState,
@@ -67,17 +91,8 @@ impl Fixture {
     ) -> Result<hb_check::CheckOutcome, String> {
         let cfg = lower(src);
         let sig = MethodSig::single(parse_method_type(sig).unwrap());
-        check_sig(
-            &cfg,
-            self_class,
-            false,
-            &sig,
-            &self.info,
-            &self.rdl,
-            None,
-            &CheckOptions::default(),
-        )
-        .map_err(|e| e.message)
+        run_check(&cfg, self_class, &sig, &self.info, &self.rdl, None)
+            .map_err(|e| e.message().to_string())
     }
 }
 
@@ -396,31 +411,11 @@ fn intersection_body_must_satisfy_all_arms() {
     let cfg = lower("def ident(x)\n x\nend");
     let mut sig = MethodSig::single(parse_method_type("(Fixnum) -> Fixnum").unwrap());
     sig.add_arm(parse_method_type("(String) -> String").unwrap());
-    check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &f.info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap();
     // A body that only works for one arm fails the intersection.
     let cfg = lower("def bad(x)\n x + 1\nend");
-    let err = check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &f.info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap_err();
-    assert!(err.message.contains("String"), "{}", err.message);
+    let err = run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert!(err.message().contains("String"), "{}", err.message());
 }
 
 #[test]
@@ -429,31 +424,15 @@ fn yield_checks_against_declared_block_type() {
     let cfg = lower("def each_twice(x)\n yield(x)\n yield(x)\nend");
     let sig =
         MethodSig::single(parse_method_type("(Fixnum) { (Fixnum) -> %any } -> %any").unwrap());
-    check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &f.info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap();
     // Yield without a declared block type errors.
     let sig = MethodSig::single(parse_method_type("(Fixnum) -> %any").unwrap());
-    let err = check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &f.info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap_err();
-    assert!(err.message.contains("declares no block"), "{}", err.message);
+    let err = run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert!(
+        err.message().contains("declares no block"),
+        "{}",
+        err.message()
+    );
 }
 
 #[test]
@@ -505,41 +484,11 @@ fn module_methods_check_against_mixin_class() {
     f.ty("D", "bar", "(Fixnum) -> String");
     let cfg = lower("def foo(x)\n bar(x)\nend");
     let sig_c = MethodSig::single(parse_method_type("(Fixnum) -> Fixnum").unwrap());
-    check_sig(
-        &cfg,
-        "C",
-        false,
-        &sig_c,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "C", &sig_c, &info, &f.rdl, None).unwrap();
     let sig_d = MethodSig::single(parse_method_type("(Fixnum) -> String").unwrap());
-    check_sig(
-        &cfg,
-        "D",
-        false,
-        &sig_d,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "D", &sig_d, &info, &f.rdl, None).unwrap();
     // And the wrong pairing fails.
-    assert!(check_sig(
-        &cfg,
-        "D",
-        false,
-        &sig_c,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default()
-    )
-    .is_err());
+    assert!(run_check(&cfg, "D", &sig_c, &info, &f.rdl, None).is_err());
 }
 
 #[test]
@@ -567,17 +516,7 @@ fn captured_env_types_proc_bodies() {
     let sig = MethodSig::single(parse_method_type("(%any) -> %bool").unwrap());
     let mut captured = TypeEnv::new();
     captured.assign("role_name", parse_type("String").unwrap());
-    check_sig(
-        &cfg,
-        "User",
-        false,
-        &sig,
-        &f.info,
-        &f.rdl,
-        Some(&captured),
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "User", &sig, &f.info, &f.rdl, Some(&captured)).unwrap();
 }
 
 #[test]
@@ -589,17 +528,7 @@ fn class_method_calls_resolve_class_level_table() {
     info.add("Talk", vec![]);
     let cfg = lower("def m(id)\n Talk.find(id).title\nend");
     let sig = MethodSig::single(parse_method_type("(Fixnum) -> String").unwrap());
-    check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "Object", &sig, &info, &f.rdl, None).unwrap();
 }
 
 #[test]
@@ -611,35 +540,15 @@ fn new_falls_back_to_initialize() {
     info.add("Point", vec![]);
     let cfg = lower("def m\n Point.new(1, 2).x\nend");
     let sig = MethodSig::single(parse_method_type("() -> Fixnum").unwrap());
-    check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "Object", &sig, &info, &f.rdl, None).unwrap();
     // Wrong constructor arg types are caught.
     let cfg = lower("def m\n Point.new(\"a\", 2)\nend");
     let sig = MethodSig::single(parse_method_type("() -> %any").unwrap());
-    let err = check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap_err();
+    let err = run_check(&cfg, "Object", &sig, &info, &f.rdl, None).unwrap_err();
     assert!(
-        err.message.contains("argument type mismatch"),
+        err.message().contains("argument type mismatch"),
         "{}",
-        err.message
+        err.message()
     );
 }
 
@@ -651,17 +560,7 @@ fn rescue_variable_gets_union_of_classes() {
     f.ty("ArgumentError", "message", "() -> String");
     let cfg = lower("def m\n begin\n  1\n rescue ArgumentError => e\n  e.message\n  2\n end\nend");
     let sig = MethodSig::single(parse_method_type("() -> Fixnum").unwrap());
-    check_sig(
-        &cfg,
-        "Object",
-        false,
-        &sig,
-        &info,
-        &f.rdl,
-        None,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    run_check(&cfg, "Object", &sig, &info, &f.rdl, None).unwrap();
 }
 
 #[test]
@@ -717,4 +616,100 @@ fn optional_params_join_default_type() {
         "(Fixnum, ?Fixnum) -> Fixnum",
     )
     .unwrap();
+}
+
+// ----- structured blame diagnostics ------------------------------------
+
+#[test]
+fn structured_blame_names_the_callee_annotation() {
+    use hb_syntax::{BlameTarget, DiagCode, FileId, LabelRole};
+    let f = Fixture::new();
+    // Register the callee annotation at a real (synthetic-file) span so
+    // the blame label has something to resolve to.
+    let key = MethodKey::instance("User", "subscribed_talks");
+    let ann_span = Span::new(FileId(7), 10, 30);
+    f.rdl.add_type_at(
+        key,
+        parse_method_type("(Symbol) -> Array<%any>").unwrap(),
+        false,
+        false,
+        AnnotationSource::Static,
+        false,
+        ann_span,
+    );
+    let cfg = lower("def m(user)\n user.subscribed_talks(true)\nend");
+    let sig = MethodSig::single(parse_method_type("(User) -> %any").unwrap());
+    let err = run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert_eq!(err.code(), DiagCode::ArgumentType);
+    assert_eq!(err.blame(), &BlameTarget::Annotation(key));
+    let label = err.diagnostic.label(LabelRole::BlamedAnnotation).unwrap();
+    assert_eq!(
+        label.span, ann_span,
+        "blame label must carry the annotation's registration span"
+    );
+    assert_eq!(label.method, Some(key));
+    // The checked method itself is also labeled.
+    assert!(err.diagnostic.label(LabelRole::CheckedMethod).is_some());
+}
+
+#[test]
+fn structured_missing_type_blame() {
+    use hb_syntax::{BlameTarget, DiagCode};
+    let f = Fixture::new();
+    let err_sig = MethodSig::single(parse_method_type("(String) -> %any").unwrap());
+    let cfg = lower("def m(s)\n s.frobnicate\nend");
+    let err = run_check(&cfg, "Object", &err_sig, &f.info, &f.rdl, None).unwrap_err();
+    assert_eq!(err.code(), DiagCode::NoMethodType);
+    assert_eq!(
+        err.blame(),
+        &BlameTarget::MissingType(MethodKey::instance("String", "frobnicate"))
+    );
+}
+
+#[test]
+fn structured_var_assign_blame_names_declaration() {
+    use hb_syntax::{BlameTarget, DiagCode, FileId, LabelRole};
+    let f = Fixture::new();
+    let decl_span = Span::new(FileId(3), 5, 25);
+    f.rdl
+        .set_ivar_type_at("Runner", "count", parse_type("Fixnum").unwrap(), decl_span);
+    let cfg = lower("def m\n @count = \"s\"\nend");
+    let sig = MethodSig::single(parse_method_type("() -> %any").unwrap());
+    let err = run_check(&cfg, "Runner", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert_eq!(err.code(), DiagCode::VarAssign);
+    assert_eq!(
+        err.blame(),
+        &BlameTarget::VarDecl {
+            name: "@count".to_string()
+        }
+    );
+    let label = err.diagnostic.label(LabelRole::BlamedAnnotation).unwrap();
+    assert_eq!(label.span, decl_span);
+}
+
+#[test]
+fn structured_own_annotation_blame_for_return_type() {
+    use hb_syntax::{BlameTarget, DiagCode, LabelRole};
+    let f = Fixture::new();
+    let cfg = lower("def m(a)\n a\nend");
+    let sig = MethodSig::single(parse_method_type("(Fixnum) -> String").unwrap());
+    let err = run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert_eq!(err.code(), DiagCode::ReturnType);
+    // The method's own annotation is blamed, keyed on the receiver class.
+    assert_eq!(
+        err.blame(),
+        &BlameTarget::Annotation(MethodKey::instance("Object", "m"))
+    );
+    assert!(err.diagnostic.label(LabelRole::BlamedAnnotation).is_some());
+}
+
+#[test]
+fn structured_block_blame_code() {
+    use hb_syntax::DiagCode;
+    let f = Fixture::new();
+    f.ty("TalkList", "upcoming", "() -> Array<Talk>");
+    let cfg = lower("def m(list)\n list.upcoming { |a, b| a }\nend");
+    let sig = MethodSig::single(parse_method_type("(TalkList) -> %any").unwrap());
+    let err = run_check(&cfg, "Object", &sig, &f.info, &f.rdl, None).unwrap_err();
+    assert_eq!(err.code(), DiagCode::BlockIncompatible);
 }

@@ -212,6 +212,54 @@ pub fn interned_count() -> usize {
     global().len.load(Ordering::Acquire)
 }
 
+/// Identifies a method: class name, instance/class level, method name.
+/// Interned and `Copy` — the engine's cache key, the type table's index,
+/// and the identity that structured diagnostics blame. Lives in the
+/// interner crate (the workspace's root) so every layer — including the
+/// diagnostics machinery in `hb-syntax` — can name methods without
+/// depending on the annotation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodKey {
+    pub class: Sym,
+    pub class_level: bool,
+    pub method: Sym,
+}
+
+impl MethodKey {
+    /// An instance-method key.
+    pub fn instance(class: impl AsRef<str>, method: impl AsRef<str>) -> MethodKey {
+        MethodKey {
+            class: Sym::intern(class.as_ref()),
+            class_level: false,
+            method: Sym::intern(method.as_ref()),
+        }
+    }
+
+    /// A class-level-method key.
+    pub fn class_level(class: impl AsRef<str>, method: impl AsRef<str>) -> MethodKey {
+        MethodKey {
+            class: Sym::intern(class.as_ref()),
+            class_level: true,
+            method: Sym::intern(method.as_ref()),
+        }
+    }
+
+    /// Renders as `Class#method` / `Class.method` (the `Display` form).
+    pub fn display(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for MethodKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.class_level {
+            write!(f, "{}.{}", self.class, self.method)
+        } else {
+            write!(f, "{}#{}", self.class, self.method)
+        }
+    }
+}
+
 /// One-shot 64-bit structural fingerprint with a fixed, process-stable
 /// hasher. Every fingerprint that feeds the multi-tenant shared derivation
 /// tier (signature contents, body identity, table/hierarchy epochs) MUST

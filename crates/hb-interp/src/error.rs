@@ -1,7 +1,7 @@
 //! Runtime errors and non-local control flow.
 
 use crate::value::Value;
-use hb_syntax::Span;
+use hb_syntax::{Span, TypeDiagnostic};
 use std::error::Error;
 use std::fmt;
 
@@ -38,6 +38,11 @@ pub struct HbError {
     pub span: Span,
     /// The exception object, when one was constructed.
     pub value: Option<Value>,
+    /// The structured diagnostic behind blame errors (`TypeBlame`,
+    /// `ContractBlame`): the stable code, the blamed annotation/cast and
+    /// its labeled spans. `None` for plain runtime errors. Boxed so the
+    /// common (non-blame) error stays small.
+    pub diagnostic: Option<Box<TypeDiagnostic>>,
 }
 
 impl HbError {
@@ -48,7 +53,30 @@ impl HbError {
             message: message.into(),
             span,
             value: None,
+            diagnostic: None,
         }
+    }
+
+    /// Creates a blame error carrying its structured diagnostic.
+    pub fn with_diagnostic(
+        kind: ErrorKind,
+        message: impl Into<String>,
+        span: Span,
+        diagnostic: TypeDiagnostic,
+    ) -> HbError {
+        HbError {
+            kind,
+            message: message.into(),
+            span,
+            value: None,
+            diagnostic: Some(Box::new(diagnostic)),
+        }
+    }
+
+    /// The structured diagnostic behind this error, if it is a blame
+    /// error produced by the structured surface.
+    pub fn diagnostic(&self) -> Option<&TypeDiagnostic> {
+        self.diagnostic.as_deref()
     }
 
     /// The Ruby class name this error presents as (for `rescue` matching).

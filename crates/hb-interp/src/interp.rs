@@ -65,6 +65,13 @@ pub struct Interp {
     pub echo: bool,
     /// Recursion guard.
     max_depth: usize,
+    /// Call-site span of the builtin currently executing (set on entry to
+    /// every builtin dispatch). Builtins receive no span parameter; the
+    /// annotation builtins (`type`, `var_type`, `rdl_cast`, `pre`) read
+    /// this to record where an annotation was registered or a cast
+    /// asserted — the spans structured blame diagnostics point at. Only
+    /// valid at builtin entry: a nested dispatch overwrites it.
+    builtin_span: Span,
 }
 
 impl Interp {
@@ -85,6 +92,7 @@ impl Interp {
             // evaluator, so hosts running untrusted deep recursion should
             // provide a generous native stack (see the edge-case tests).
             max_depth: 500,
+            builtin_span: Span::dummy(),
         };
         crate::stdlib::install(&mut interp);
         let object = interp.registry.object();
@@ -224,6 +232,12 @@ impl Interp {
     pub fn define_builtin(&mut self, class: ClassId, name: &str, class_level: bool, f: BuiltinFn) {
         self.registry
             .add_method(class, name, MethodBody::Builtin(f), class_level);
+    }
+
+    /// The call-site span of the builtin currently executing (see the
+    /// field docs): read it at builtin entry, before making further calls.
+    pub fn current_builtin_span(&self) -> Span {
+        self.builtin_span
     }
 
     /// Looks up a constant by fully qualified name.
@@ -1118,7 +1132,10 @@ impl Interp {
             }
         }
         match entry.body {
-            MethodBody::Builtin(f) => f(self, recv, args, block),
+            MethodBody::Builtin(f) => {
+                self.builtin_span = span;
+                f(self, recv, args, block)
+            }
             MethodBody::Ast(def) => {
                 self.check_arity(&def.params, args.len(), name, span)?;
                 let scope = Scope::root();

@@ -7,7 +7,7 @@
 use crate::conform::value_conforms;
 use crate::state::{AnnotationSource, MethodKey, PreHook, RdlState};
 use hb_interp::{ErrorKind, Flow, HbError, Interp, Value};
-use hb_syntax::Span;
+use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::parse_method_type;
 use std::rc::Rc;
 
@@ -160,7 +160,10 @@ fn type_builtin(
         class_level,
         method: hb_intern::Sym::intern(&method),
     };
-    state.add_type(key, mt, check, dynamic, source, replace);
+    // The builtin's call site *is* the annotation's registration site —
+    // the span structured blame points at.
+    let span = interp.current_builtin_span();
+    state.add_type_at(key, mt, check, dynamic, source, replace, span);
     Ok(Value::Nil)
 }
 
@@ -190,14 +193,15 @@ fn var_type_builtin(
     };
     let ty = hb_types::parse_type(&type_str)
         .map_err(|e| err(ErrorKind::ArgumentError, format!("var_type {var}: {e}")))?;
+    let span = interp.current_builtin_span();
     if let Some(cvar) = var.strip_prefix("@@") {
-        state.set_cvar_type(&class, cvar, ty);
+        state.set_cvar_type_at(&class, cvar, ty, span);
     } else if let Some(ivar) = var.strip_prefix('@') {
-        state.set_ivar_type(&class, ivar, ty);
+        state.set_ivar_type_at(&class, ivar, ty, span);
     } else if let Some(gvar) = var.strip_prefix('$') {
-        state.set_gvar_type(gvar, ty);
+        state.set_gvar_type_at(gvar, ty, span);
     } else {
-        state.set_ivar_type(&class, &var, ty);
+        state.set_ivar_type_at(&class, &var, ty, span);
     }
     Ok(Value::Nil)
 }
@@ -223,13 +227,14 @@ fn pre_builtin(
         Some(Value::Proc(p)) => p,
         _ => return Err(err(ErrorKind::ArgumentError, "pre: no block given")),
     };
+    let span = interp.current_builtin_span();
     state.add_pre(
         MethodKey {
             class: hb_intern::Sym::intern(&class),
             class_level,
             method: hb_intern::Sym::intern(&method),
         },
-        PreHook { proc_val },
+        PreHook { proc_val, span },
     );
     Ok(Value::Nil)
 }
@@ -240,6 +245,7 @@ fn rdl_cast_builtin(
     recv: Value,
     args: Vec<Value>,
 ) -> Result<Value, Flow> {
+    let cast_span = interp.current_builtin_span();
     let type_str = match args.first() {
         Some(Value::Str(s)) => s.to_string(),
         other => {
@@ -253,13 +259,30 @@ fn rdl_cast_builtin(
         .map_err(|e| err(ErrorKind::ArgumentError, format!("rdl_cast: {e}")))?;
     state.inner.borrow_mut().casts_run += 1;
     if !value_conforms(interp, &recv, &ty) {
-        return Err(err(
-            ErrorKind::ContractBlame,
-            format!(
-                "rdl_cast: value of class {} does not conform to {ty}",
-                interp.class_name_of(&recv)
-            ),
+        // The cast itself is the blame target: the program asserted a type
+        // the value does not have (paper §4 "Type Casts").
+        let message = format!(
+            "rdl_cast: value of class {} does not conform to {ty}",
+            interp.class_name_of(&recv)
+        );
+        let diag = TypeDiagnostic::error(
+            DiagCode::CastFailure,
+            message.clone(),
+            cast_span,
+            BlameTarget::Cast,
+        )
+        .with_label(DiagLabel::new(
+            LabelRole::CastSite,
+            format!("cast to {ty} asserted here"),
+            cast_span,
         ));
+        state.record_diagnostic(diag.clone());
+        return Err(Flow::Error(HbError::with_diagnostic(
+            ErrorKind::ContractBlame,
+            message,
+            cast_span,
+            diag,
+        )));
     }
     Ok(recv)
 }

@@ -2,6 +2,7 @@
 
 use crate::state::{MethodKey, RdlState};
 use hb_interp::{CallHook, DispatchInfo, ErrorKind, Flow, HbError, HookOutcome, Interp, Value};
+use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, TypeDiagnostic};
 use std::rc::Rc;
 
 /// Runs `pre` contracts attached to the method being dispatched. The proc
@@ -59,10 +60,33 @@ impl CallHook for RdlHook {
                 .call_proc(&p.proc_val, args.to_vec(), None, Some(recv.clone()), false)
                 .map_err(Flow::into_error)?;
             if !result.truthy() {
-                return Err(HbError::new(
-                    ErrorKind::ContractBlame,
-                    format!("precondition of {} failed", key.display()),
+                let message = format!("precondition of {} failed", key.display());
+                let diag = TypeDiagnostic::error(
+                    DiagCode::PreconditionFailed,
+                    message.clone(),
                     info.span,
+                    BlameTarget::Annotation(key),
+                )
+                .with_method(key)
+                .with_label(
+                    DiagLabel::new(
+                        LabelRole::BlamedAnnotation,
+                        "precondition contract registered here",
+                        p.span,
+                    )
+                    .with_method(key),
+                )
+                .with_label(DiagLabel::new(
+                    LabelRole::CallSite,
+                    "rejected call made here",
+                    info.span,
+                ));
+                self.state.record_diagnostic(diag.clone());
+                return Err(HbError::with_diagnostic(
+                    ErrorKind::ContractBlame,
+                    message,
+                    info.span,
+                    diag,
                 ));
             }
         }

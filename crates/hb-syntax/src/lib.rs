@@ -33,7 +33,9 @@ pub mod span;
 pub mod token;
 
 pub use ast::{Arg, BlockArg, Expr, ExprKind, Lhs, Param, ParamKind, Program, StrPart};
-pub use diag::{Diagnostic, ParseError};
+pub use diag::{
+    BlameTarget, DiagCode, DiagLabel, Diagnostic, LabelRole, ParseError, Severity, TypeDiagnostic,
+};
 pub use parser::{parse_expr, parse_program};
 pub use pretty::pretty_program;
 pub use span::{FileId, SourceFile, SourceMap, Span};

