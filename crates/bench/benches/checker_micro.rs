@@ -33,7 +33,7 @@ fn bench_stages(c: &mut Criterion) {
     });
     group.bench_function("jit_check_once", |b| {
         b.iter(|| {
-            let mut hb = Hummingbird::new();
+            let mut hb = Hummingbird::builder().build();
             hb.eval(
                 "class M\n type :classify, \"(Array<Fixnum>, Fixnum) -> String\", { \"check\" => true }\n def classify(xs, limit)\n  small = []\n  big = []\n  xs.each do |x|\n   if x < limit\n    small << x\n   else\n    big << x\n   end\n  end\n  \"#{small.size} small\"\n end\nend\nM.new.classify([1, 5], 3)",
             )
@@ -41,7 +41,7 @@ fn bench_stages(c: &mut Criterion) {
         });
     });
     group.bench_function("cache_hit_call", |b| {
-        let mut hb = Hummingbird::new();
+        let mut hb = Hummingbird::builder().build();
         hb.eval(
             "class M\n type :idm, \"(Fixnum) -> Fixnum\", { \"check\" => true }\n def idm(x)\n  x\n end\nend\n$m = M.new\n$m.idm(1)\ndef hits(n)\n i = 0\n while i < n\n  $m.idm(i)\n  i += 1\n end\n nil\nend",
         )

@@ -35,12 +35,12 @@ fn bench_dyn_checks(c: &mut Criterion) {
     let mut group = c.benchmark_group("dyn_checks");
     group.sample_size(10);
     group.bench_function("elided_from_checked_callers", |b| {
-        let mut hb = Hummingbird::new();
+        let mut hb = Hummingbird::builder().build();
         hb.eval(CHAIN).unwrap();
         b.iter(|| hb.eval("drive_chain(200)").unwrap());
     });
     group.bench_function("forced_everywhere", |b| {
-        let mut hb = Hummingbird::new();
+        let mut hb = Hummingbird::builder().build();
         hb.eval(CHAIN).unwrap();
         // Disable the optimisation: every annotated call dynamically
         // checks its arguments even from checked callers.

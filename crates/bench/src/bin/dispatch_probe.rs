@@ -44,14 +44,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(300_000);
 
-    let mut full = Hummingbird::new();
+    let mut full = Hummingbird::builder().build();
     full.eval(PROGRAM).expect("program loads");
     let hot_ns = measure(&mut full, iters);
     let stats = full.stats();
     assert!(stats.cache_hits >= iters, "loop must hit the cache");
     assert_eq!(stats.checks_performed, 1, "exactly one static check");
 
-    let mut orig = Hummingbird::with_mode(Mode::Original);
+    let mut orig = Hummingbird::builder().mode(Mode::Original).build();
     orig.eval(PROGRAM).expect("program loads");
     let base_ns = measure(&mut orig, iters);
 

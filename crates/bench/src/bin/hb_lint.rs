@@ -8,7 +8,7 @@
 //! targets and labeled spans.
 //!
 //! ```text
-//! hb_lint [--json] [--errors] [--smoke] [APP ...]
+//! hb_lint [--json] [--errors] [--smoke] [--policy P] [APP ...]
 //!
 //!   (default)   lint the six clean subject apps (expected: 0 findings)
 //!   APP ...     lint only the named apps (Talks, Boxroom, Pubs, Rolify,
@@ -16,17 +16,26 @@
 //!   --errors    lint the six historical Talks error versions instead
 //!               (expected: exactly one finding each)
 //!   --json      emit one JSON object per target on stdout
+//!   --policy P  lint the APP targets under a global check policy
+//!               (enforce/shadow/off). Shadow reports findings but always
+//!               exits 0 — the scriptable canary run that observes
+//!               without gating; off skips every check (0 findings by
+//!               construction). Incompatible with --errors/--smoke, whose
+//!               exactly-one-finding semantics presume Enforce: the
+//!               combination exits 2 rather than silently ignoring the
+//!               flag.
 //!   --smoke     CI gate: assert the clean apps lint at zero diagnostics
 //!               AND the six error versions yield exactly six diagnostics
 //!               with their expected codes; exit 1 on any mismatch
 //! ```
 //!
 //! Exit status: 0 when every target matched expectations (no findings for
-//! clean targets), 1 otherwise — so the bin gates CI directly.
+//! clean targets, or any findings under `--policy shadow`), 1 otherwise —
+//! so the bin gates CI directly.
 
 use hb_apps::talks_history::{error_versions, lint_error_version};
-use hb_apps::{all_apps, build_app, AppSpec};
-use hummingbird::{Mode, TypeDiagnostic};
+use hb_apps::{all_apps, build_app_with, AppSpec};
+use hummingbird::{CheckPolicy, Hummingbird, Mode, TypeDiagnostic};
 
 struct LintTarget {
     /// "app:Talks" or "error-version:1/8/12-4".
@@ -36,8 +45,9 @@ struct LintTarget {
     codes: Vec<String>,
 }
 
-fn lint_app(spec: &AppSpec, json: bool) -> LintTarget {
-    let mut hb = build_app(spec, Mode::Full);
+fn lint_app(spec: &AppSpec, json: bool, policy: CheckPolicy) -> LintTarget {
+    let builder = Hummingbird::builder().mode(Mode::Full).check_policy(policy);
+    let mut hb = build_app_with(spec, builder);
     let diags: Vec<TypeDiagnostic> = hb.check_all();
     let map = hb.source_map();
     LintTarget {
@@ -100,7 +110,32 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let errors = args.iter().any(|a| a == "--errors");
     let smoke = args.iter().any(|a| a == "--smoke");
-    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let policy = match args.iter().position(|a| a == "--policy") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            CheckPolicy::parse(name).unwrap_or_else(|| {
+                eprintln!("--policy: expected enforce/shadow/off, got {name:?}");
+                std::process::exit(2);
+            })
+        }
+        None => CheckPolicy::Enforce,
+    };
+    if (errors || smoke) && policy != CheckPolicy::Enforce {
+        eprintln!(
+            "--policy {policy} cannot be combined with --errors/--smoke \
+             (their expected-finding gates presume enforce)"
+        );
+        std::process::exit(2);
+    }
+    let names: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--policy")
+        })
+        .map(|(_, a)| a)
+        .collect();
 
     if smoke {
         // CI gate: clean apps must lint clean; the six historical error
@@ -108,7 +143,7 @@ fn main() {
         // expected codes.
         let mut failures = 0usize;
         for spec in all_apps() {
-            let t = lint_app(&spec, json);
+            let t = lint_app(&spec, json, CheckPolicy::Enforce);
             if t.count != 0 {
                 eprintln!(
                     "SMOKE FAIL: {} expected 0 diagnostics, got {}",
@@ -168,9 +203,11 @@ fn main() {
     }
     let mut findings = 0usize;
     for spec in &specs {
-        let t = lint_app(spec, json);
+        let t = lint_app(spec, json, policy);
         findings += t.count;
         print_target(&t, json);
     }
-    std::process::exit(if findings == 0 { 0 } else { 1 });
+    // Shadow observes without gating: findings are reported, exit stays 0.
+    let gate = findings != 0 && policy != CheckPolicy::Shadow;
+    std::process::exit(if gate { 1 } else { 0 });
 }

@@ -15,9 +15,21 @@
 //! Prints JSON (BENCH_multitenant.json is this output committed).
 //! `--smoke` runs a reduced fleet as a CI regression gate: it asserts
 //! that later tenants warm-start from the shared tier.
+//!
+//! # Snapshot modes (cross-process warm boot)
+//!
+//! * `--snapshot-smoke` — CI gate: boot one cold tenant, serialize the
+//!   shared tier ([`hummingbird::CacheSnapshot`]), then spawn a **fresh
+//!   process** (this same binary with `--snapshot-load`) that rebuilds
+//!   the tier from the file and boots the six apps. The child asserts
+//!   ≥90% of its first calls resolve by adoption — no `check_sig` — and
+//!   the parent propagates its exit status.
+//! * `--snapshot-bench` — same shape, best-of-R, printing the cold-vs-
+//!   warm-boot comparison recorded in `BENCH_snapshot.json`.
+//! * `--snapshot-load <path>` — internal child mode.
 
-use hb_apps::{run_tenant, TenantRun};
-use hummingbird::SharedCache;
+use hb_apps::{fleet_snapshot, run_tenant, TenantRun};
+use hummingbird::{CacheSnapshot, SharedCache};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -112,8 +124,121 @@ fn json_runs(runs: &[TenantRun]) -> String {
     format!("[{}]", items.join(", "))
 }
 
+fn tenant_json(label: &str, r: &TenantRun, snapshot_bytes: Option<usize>) -> String {
+    let extra = snapshot_bytes
+        .map(|b| format!(", \"snapshot_bytes\": {b}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"label\": \"{label}\", \"build_ms\": {:.1}, \"serve_ms\": {:.1}, \
+         \"first_calls\": {}, \"checks_performed\": {}, \"shared_hits\": {}, \
+         \"check_ms\": {:.2}, \"adopt_ms\": {:.2}, \
+         \"first_call_throughput_per_sec\": {:.0}, \"warm_hit_rate\": {:.4}{extra}}}",
+        r.build_ns as f64 / 1e6,
+        r.serve_ns as f64 / 1e6,
+        r.first_calls(),
+        r.checks_performed,
+        r.shared_hits,
+        r.check_ns as f64 / 1e6,
+        r.shared_adopt_ns as f64 / 1e6,
+        if r.first_call_ns() == 0 {
+            0.0
+        } else {
+            r.first_calls() as f64 / (r.first_call_ns() as f64 / 1e9)
+        },
+        r.warm_hit_rate(),
+    )
+}
+
+/// Child mode: rebuild the shared tier from a snapshot file in THIS fresh
+/// process (fresh interner, fresh source maps — nothing shared with the
+/// writer but the bytes) and boot the six apps against it.
+fn snapshot_load_main(path: &str) -> ! {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let snap = CacheSnapshot::from_bytes(&bytes).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let shared = Arc::new(SharedCache::new());
+    let loaded = shared.load_snapshot(&snap).expect("snapshot must load");
+    let run = run_tenant(0, &shared, 1);
+    println!(
+        "{{\"loaded_derivations\": {loaded}, \"boot\": {}}}",
+        tenant_json("boot-from-snapshot", &run, Some(bytes.len()))
+    );
+    let rate = run.warm_hit_rate();
+    assert!(
+        rate >= 0.9,
+        "boot-from-snapshot must resolve >= 90% of first calls by adoption \
+         (got {rate:.3}: {} adopted, {} re-derived)",
+        run.shared_hits,
+        run.checks_performed
+    );
+    std::process::exit(0);
+}
+
+/// Writes the snapshot of one cold boot and re-runs this binary in a
+/// fresh process against it. Returns the child's parsed stdout.
+fn spawn_warm_boot(snapshot: &CacheSnapshot) -> String {
+    let path = std::env::temp_dir().join(format!("hb_snapshot_{}.bin", std::process::id()));
+    std::fs::write(&path, snapshot.to_bytes()).expect("write snapshot");
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--snapshot-load")
+        .arg(&path)
+        .output()
+        .expect("spawn warm-boot child");
+    let _ = std::fs::remove_file(&path);
+    if !out.status.success() {
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        eprintln!("snapshot warm-boot child failed ({})", out.status);
+        std::process::exit(1);
+    }
+    String::from_utf8_lossy(&out.stdout).trim().to_string()
+}
+
+fn snapshot_main(bench: bool) -> ! {
+    // Warm-up (discarded): fault in the binary and app sources.
+    let _ = fleet_snapshot(1);
+    let reps = if bench { 3 } else { 1 };
+    let (snapshot, cold) = (0..reps)
+        .map(|_| fleet_snapshot(1))
+        .max_by(|a, b| {
+            let thr = |r: &TenantRun| {
+                if r.first_call_ns() == 0 {
+                    0.0
+                } else {
+                    r.first_calls() as f64 / r.first_call_ns() as f64
+                }
+            };
+            thr(&a.1).total_cmp(&thr(&b.1))
+        })
+        .unwrap();
+    let child_json = spawn_warm_boot(&snapshot);
+    println!(
+        "{{\"mode\": \"{}\", \"entries\": {}, \"snapshot_bytes\": {}, \
+         \"cold_boot\": {}, \"warm_boot\": {child_json}}}",
+        if bench {
+            "snapshot-bench"
+        } else {
+            "snapshot-smoke"
+        },
+        snapshot.entry_count(),
+        snapshot.to_bytes().len(),
+        tenant_json("cold-boot", &cold, None),
+    );
+    eprintln!("snapshot warm boot OK: fresh process adopted >= 90% of first calls from disk");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--snapshot-load") {
+        let path = args.get(i + 1).expect("--snapshot-load <path>");
+        snapshot_load_main(path);
+    }
+    if args.iter().any(|a| a == "--snapshot-smoke") {
+        snapshot_main(false);
+    }
+    if args.iter().any(|a| a == "--snapshot-bench") {
+        snapshot_main(true);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let iters: usize = args
         .iter()

@@ -11,7 +11,7 @@
 use crate::info::RegistryInfo;
 use crate::shared_cache::{SharedCache, SharedDep, SharedEvictionSink};
 use crate::stats::{CheckLogItem, CheckVerdict, EngineStats, PhaseTracker};
-use hb_check::{check_sig, CheckOptions, CheckRequest};
+use hb_check::{check_sig, CheckOptions, CheckPolicy, CheckRequest};
 use hb_il::{lower_block_body, lower_method, MethodCfg};
 use hb_intern::Sym;
 use hb_interp::{
@@ -171,6 +171,9 @@ pub struct Engine {
     config: RefCell<Config>,
     state: RefCell<EngineState>,
     check_opts: CheckOptions,
+    /// Retention bound for the check log between drains (see
+    /// [`crate::stats::DEFAULT_CHECK_LOG_CAP`]; builder-configured).
+    check_log_cap: std::cell::Cell<usize>,
     /// The process-wide shared derivation tier, when this engine is one
     /// tenant of many (see [`crate::shared_cache`]). `None` keeps the
     /// engine purely per-process, exactly as before.
@@ -185,7 +188,38 @@ impl Engine {
             config: RefCell::new(Config::default()),
             state: RefCell::new(EngineState::default()),
             check_opts: CheckOptions::default(),
+            check_log_cap: std::cell::Cell::new(crate::stats::DEFAULT_CHECK_LOG_CAP),
             shared: RefCell::new(None),
+        }
+    }
+
+    /// Sets the retention bound of the check log (zero disables logging;
+    /// shrinking below the current length drops oldest entries at the
+    /// next push).
+    pub fn set_check_log_cap(&self, cap: usize) {
+        self.check_log_cap.set(cap);
+    }
+
+    /// Resolves the enforcement policy for a dispatch. Outlined and cold:
+    /// the Enforce-everywhere default never takes this path, and keeping
+    /// the map probes out of `before_call`'s body keeps the steady-state
+    /// cache-hit path at its pre-policy register layout (measured: the
+    /// inlined version cost ~8% on dispatch_probe).
+    #[cold]
+    #[inline(never)]
+    fn resolve_policy(&self, cache_key: &MethodKey, annotation_key: &MethodKey) -> CheckPolicy {
+        self.rdl.policy_for(cache_key, annotation_key)
+    }
+
+    /// Appends to the bounded check log: failures recur on every call
+    /// (never cached), so the log is a window, not a ledger.
+    fn push_check_log(&self, st: &mut EngineState, item: CheckLogItem) {
+        let cap = self.check_log_cap.get();
+        while st.stats.check_log.len() >= cap.max(1) {
+            st.stats.check_log.pop_front();
+        }
+        if cap > 0 {
+            st.stats.check_log.push_back(item);
         }
     }
 
@@ -222,6 +256,10 @@ impl Engine {
         let mut s = st.stats.clone();
         s.phases = st.phase.phases();
         s.cache_entries = st.cache.len();
+        drop(st);
+        // Shadowed blames are counted on the RDL state so the pre-hook
+        // layer (which has no engine statistics) contributes too.
+        s.shadowed_blames = self.rdl.shadowed_blames();
         s
     }
 
@@ -233,6 +271,7 @@ impl Engine {
         st.phase = PhaseTracker::default();
         drop(st);
         self.rdl.clear_diagnostics();
+        self.rdl.reset_shadowed_blames();
     }
 
     /// Every blame diagnostic produced so far — just-in-time and eager
@@ -624,7 +663,10 @@ impl Engine {
     /// Ensures `cache_key`'s derivation is valid, running the static check
     /// if needed. `trigger` is the triggering call site for just-in-time
     /// checks, `None` when checking eagerly (`check_all`/`hb_lint`, where
-    /// no call exists).
+    /// no call exists). `policy` is the already-resolved enforcement
+    /// policy — it does not change the judgement, only the failure
+    /// diagnostic's shadow note (the caller decides raise-vs-continue).
+    #[allow(clippy::too_many_arguments)]
     fn ensure_checked(
         &self,
         interp: &mut Interp,
@@ -633,6 +675,7 @@ impl Engine {
         annotation_key: &MethodKey,
         table_entry: &TableEntry,
         trigger: Option<Span>,
+        policy: CheckPolicy,
     ) -> Result<(), HbError> {
         let caching = self.config.borrow().caching;
         {
@@ -802,6 +845,7 @@ impl Engine {
             rdl: &self.rdl,
             captured: captured.as_ref(),
             opts: &self.check_opts,
+            policy,
         });
         let check_ns = t_first.elapsed().as_nanos() as u64;
         let outcome = match result {
@@ -843,16 +887,14 @@ impl Engine {
                 let mut st = self.state.borrow_mut();
                 st.stats.checks_failed += 1;
                 st.stats.failed_check_ns += check_ns;
-                if st.stats.check_log.len() == crate::stats::MAX_CHECK_LOG {
-                    // Failures recur on every call (never cached): keep
-                    // the log bounded between drains.
-                    st.stats.check_log.pop_front();
-                }
-                st.stats.check_log.push_back(CheckLogItem {
-                    key: *cache_key,
-                    outcome: CheckVerdict::Blame(code),
-                    duration_ns: check_ns,
-                });
+                self.push_check_log(
+                    &mut st,
+                    CheckLogItem {
+                        key: *cache_key,
+                        outcome: CheckVerdict::Blame(code),
+                        duration_ns: check_ns,
+                    },
+                );
                 st.phase.note_check();
                 drop(st);
                 self.rdl.record_diagnostic(diag.clone());
@@ -872,14 +914,14 @@ impl Engine {
         let mut st = self.state.borrow_mut();
         st.stats.checks_performed += 1;
         st.stats.check_ns += check_ns;
-        if st.stats.check_log.len() == crate::stats::MAX_CHECK_LOG {
-            st.stats.check_log.pop_front();
-        }
-        st.stats.check_log.push_back(CheckLogItem {
-            key: *cache_key,
-            outcome: CheckVerdict::Pass,
-            duration_ns: check_ns,
-        });
+        self.push_check_log(
+            &mut st,
+            CheckLogItem {
+                key: *cache_key,
+                outcome: CheckVerdict::Pass,
+                duration_ns: check_ns,
+            },
+        );
         st.stats.checked_methods.insert(cache_key.display());
         st.stats
             .cast_sites
@@ -956,6 +998,7 @@ impl Engine {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dynamic_arg_check(
         &self,
         interp: &Interp,
@@ -964,6 +1007,7 @@ impl Engine {
         args: &[Value],
         key: &MethodKey,
         annotation_key: &MethodKey,
+        policy: CheckPolicy,
     ) -> Result<(), HbError> {
         self.state.borrow_mut().stats.dyn_arg_checks += 1;
         self.rdl.inner.borrow_mut().dyn_checks_run += 1;
@@ -996,7 +1040,7 @@ impl Engine {
                 args.len()
             )
         };
-        let diag = TypeDiagnostic::error(
+        let mut diag = TypeDiagnostic::error(
             DiagCode::DynamicArgCheck,
             message.clone(),
             info.span,
@@ -1016,6 +1060,9 @@ impl Engine {
             "rejected call made here",
             info.span,
         ));
+        if policy == CheckPolicy::Shadow {
+            diag.labels.push(CheckPolicy::shadow_note());
+        }
         self.rdl.record_diagnostic(diag.clone());
         Err(HbError::with_diagnostic(
             ErrorKind::ContractBlame,
@@ -1040,9 +1087,20 @@ impl Engine {
     /// skipped.
     pub fn check_all(&self, interp: &mut Interp) -> Vec<TypeDiagnostic> {
         self.process_events(interp);
+        let trivial = self.rdl.policies_trivial();
         let mut out = Vec::new();
         for (key, entry) in self.rdl.entries() {
             if !entry.check {
+                continue;
+            }
+            // Eager checking never raises, so Enforce and Shadow behave
+            // identically here; Off skips the method entirely.
+            let policy = if trivial {
+                CheckPolicy::Enforce
+            } else {
+                self.rdl.policy_for(&key, &key)
+            };
+            if policy == CheckPolicy::Off {
                 continue;
             }
             let Some(cid) = interp.registry.lookup(key.class.as_str()) else {
@@ -1067,7 +1125,7 @@ impl Engine {
                 entry: mentry,
                 span: entry.span,
             };
-            if let Err(e) = self.ensure_checked(interp, &info, &key, &key, &entry, None) {
+            if let Err(e) = self.ensure_checked(interp, &info, &key, &key, &entry, None, policy) {
                 if let Some(d) = e.diagnostic() {
                     out.push(d.clone());
                 }
@@ -1164,33 +1222,80 @@ impl CallHook for Engine {
             method: info.name,
         };
 
+        // Enforcement policy. The trivial-configuration fast test is one
+        // `Cell` load, so the Enforce-everywhere default (and with it the
+        // steady-state cache-hit path) never probes the policy maps.
+        let policy = if self.rdl.policies_trivial() {
+            CheckPolicy::Enforce
+        } else {
+            self.resolve_policy(&cache_key, &annotation_key)
+        };
+        if policy == CheckPolicy::Off {
+            // Type enforcement disabled for this method: no dynamic
+            // argument check, no static check, and the body runs
+            // unchecked (its own callees fall back to dynamic checks).
+            return Ok(HookOutcome::default());
+        }
+
         // Dynamic argument checks: only from unchecked callers, unless the
         // method is flagged always-check (the Rails params exception).
         let cfg = self.config.borrow();
         let need_dyn = cfg.dyn_arg_checks
             && (!interp.current_caller_checked() || table_entry.always_dyn_check);
         drop(cfg);
+        let mut dyn_shadowed = false;
         if need_dyn {
-            self.dynamic_arg_check(
+            let dyn_result = self.dynamic_arg_check(
                 interp,
                 info,
                 &table_entry,
                 args,
                 &cache_key,
                 &annotation_key,
-            )?;
+                policy,
+            );
+            if let Err(e) = dyn_result {
+                if policy != CheckPolicy::Shadow {
+                    return Err(e);
+                }
+                // Shadow: the rejection is recorded (the diagnostic is
+                // already in the store); the call proceeds.
+                self.rdl.note_shadowed_blame();
+                dyn_shadowed = true;
+            }
         }
 
         if table_entry.check {
-            self.ensure_checked(
+            return match self.ensure_checked(
                 interp,
                 info,
                 &cache_key,
                 &annotation_key,
                 &table_entry,
                 Some(info.span),
-            )?;
-            return Ok(HookOutcome { mark_checked: true });
+                policy,
+            ) {
+                // A static pass normally marks the frame checked so callees
+                // skip their dynamic checks — but the derivation assumed
+                // the declared argument types, and a shadowed dynamic
+                // rejection means this call's actual arguments violate
+                // them. The frame stays unchecked: shadowing must not
+                // extend static trust past a known-ill-typed boundary (and
+                // the callees' own dynamic checks are what surfaces the
+                // downstream blames the canary is there to observe).
+                Ok(()) => Ok(HookOutcome {
+                    mark_checked: !dyn_shadowed,
+                }),
+                Err(e) if policy == CheckPolicy::Shadow && e.kind == ErrorKind::TypeBlame => {
+                    // Shadow: the full check ran and blamed; its
+                    // diagnostic is recorded. Execution continues, but the
+                    // body is NOT marked checked — it failed, so its
+                    // callees keep their dynamic argument checks.
+                    self.rdl.note_shadowed_blame();
+                    Ok(HookOutcome::default())
+                }
+                Err(e) => Err(e),
+            };
         }
         Ok(HookOutcome::default())
     }

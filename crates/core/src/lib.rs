@@ -8,13 +8,16 @@
 //! and the resulting derivation is cached, with invalidation when methods
 //! or types change (paper Definitions 1–2).
 //!
-//! The [`Hummingbird`] facade owns the RubyLite interpreter host, the RDL
-//! annotation layer and the engine:
+//! # Embedding API
+//!
+//! A [`Hummingbird`] system is assembled by [`HummingbirdBuilder`] — the
+//! single assembly path for every configuration (evaluation mode, shared
+//! derivation tier, enforcement policy, store caps, diagnostic sinks):
 //!
 //! ```
 //! use hummingbird::Hummingbird;
 //!
-//! let mut hb = Hummingbird::new();
+//! let mut hb = Hummingbird::builder().build();
 //! hb.eval(r#"
 //! class Talk
 //!   type :title_line, "(String) -> String", { "check" => true }
@@ -27,27 +30,62 @@
 //! .unwrap();
 //! assert_eq!(hb.stats().checks_performed, 1);
 //! ```
+//!
+//! Production rollouts tune *how blame is enforced* per method with
+//! [`CheckPolicy`] — `Enforce` raises (the default), `Shadow` records the
+//! structured diagnostic and lets the call proceed (canary deploys), `Off`
+//! skips enforcement — settable globally, per class, or per method, from
+//! Rust or from RubyLite's `check_policy` builtin:
+//!
+//! ```
+//! use hummingbird::{CheckPolicy, Hummingbird};
+//!
+//! let mut hb = Hummingbird::builder()
+//!     .check_policy(CheckPolicy::Shadow)
+//!     .build();
+//! hb.eval(r#"
+//! class Talk
+//!   type :late?, "(Fixnum) -> %bool", { "check" => true }
+//!   def late?(mins)
+//!     mins + 1
+//!   end
+//! end
+//! Talk.new.late?(5)
+//! "#)
+//! .unwrap(); // Shadow: the blame is recorded, execution continued
+//! assert_eq!(hb.diagnostics().len(), 1);
+//! assert_eq!(hb.stats().shadowed_blames, 1);
+//! ```
+//!
+//! Fleets share one process-wide [`SharedCache`] so tenants warm each
+//! other, and [`Hummingbird::snapshot`] serializes that tier to bytes a
+//! *freshly booted process* can load ([`SharedCache::load_snapshot`]) to
+//! resolve its first calls by adoption instead of re-deriving — the warm
+//! start, carried across processes (see [`snapshot`]).
 
 pub mod engine;
 pub mod info;
 pub mod reload;
 pub mod shared_cache;
+pub mod snapshot;
 pub mod stats;
 
 pub use engine::{CacheDumpEntry, Config, Engine};
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
 pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
+pub use snapshot::{CacheSnapshot, SnapshotError};
 pub use stats::{CheckLogItem, CheckVerdict, EngineStats};
 
 pub use hb_check::{CheckError, CheckOptions, CheckRequest};
 pub use hb_interp::{ErrorKind, HbError, Interp, Value};
-pub use hb_rdl::{MethodKey, RdlState, RdlStats};
+pub use hb_rdl::{CheckPolicy, DiagnosticSink, MethodKey, RdlState, RdlStats};
 pub use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, SourceMap, TypeDiagnostic};
 
 use hb_rdl::{install_rdl, RdlHook};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The core-library annotations shipped with the engine (the analogue of
 /// RDL's bundled types).
@@ -64,36 +102,183 @@ pub enum Mode {
     Full,
 }
 
-/// The assembled Hummingbird system: interpreter + RDL + engine.
-pub struct Hummingbird {
-    pub interp: Interp,
-    pub rdl: Rc<RdlState>,
-    pub engine: Rc<Engine>,
-    pub(crate) file_methods: HashMap<String, Vec<FileMethod>>,
+/// Configures and assembles a [`Hummingbird`] system — the single
+/// embedding entry point (Embedding API v1).
+///
+/// Defaults: [`Mode::Full`], no shared tier, caching and dynamic argument
+/// checks per mode, [`CheckPolicy::Enforce`], default store caps, core
+/// library loaded. Every knob is a chainable setter; [`build`] assembles
+/// the interpreter + RDL + engine stack, loads the core-library
+/// annotations (unless disabled or `Mode::Original`), and resets the
+/// statistics so app code starts from a clean slate.
+///
+/// ```
+/// use hummingbird::{CheckPolicy, Hummingbird, SharedCache};
+/// use std::sync::Arc;
+///
+/// let shared = Arc::new(SharedCache::new());
+/// let hb = Hummingbird::builder()
+///     .shared_cache(shared)               // one tenant of a fleet
+///     .check_policy(CheckPolicy::Shadow)  // canary: record, don't raise
+///     .diagnostics_cap(256)               // bound the blame store
+///     .check_log_cap(1024)                // bound the check log
+///     .build();
+/// assert_eq!(hb.stats().checks_performed, 0);
+/// ```
+///
+/// [`build`]: HummingbirdBuilder::build
+#[must_use = "a builder does nothing until .build()"]
+pub struct HummingbirdBuilder {
+    mode: Mode,
+    shared: Option<Arc<SharedCache>>,
+    caching: Option<bool>,
+    dyn_arg_checks: Option<bool>,
+    policy: CheckPolicy,
+    diagnostics_cap: Option<usize>,
+    check_log_cap: Option<usize>,
+    diagnostic_sinks: Vec<Rc<dyn DiagnosticSink>>,
+    corelib: bool,
 }
 
-impl Hummingbird {
-    /// A fully enabled system with core-library annotations loaded.
-    pub fn new() -> Hummingbird {
-        Hummingbird::with_mode(Mode::Full)
+impl Default for HummingbirdBuilder {
+    fn default() -> HummingbirdBuilder {
+        HummingbirdBuilder {
+            mode: Mode::Full,
+            shared: None,
+            caching: None,
+            dyn_arg_checks: None,
+            policy: CheckPolicy::Enforce,
+            diagnostics_cap: None,
+            check_log_cap: None,
+            diagnostic_sinks: Vec::new(),
+            corelib: true,
+        }
+    }
+}
+
+impl HummingbirdBuilder {
+    /// A builder with every default (equivalent to
+    /// `Hummingbird::builder()`).
+    pub fn new() -> HummingbirdBuilder {
+        HummingbirdBuilder::default()
     }
 
-    /// A fully enabled system attached to a process-wide shared derivation
-    /// tier: one *tenant* of a multi-tenant deployment. The tier is
-    /// attached before any code (including the core library) loads, so
-    /// identical tenants warm each other from the very first check.
-    pub fn new_tenant(shared: std::sync::Arc<SharedCache>) -> Hummingbird {
-        Hummingbird::tenant_with_mode(Mode::Full, shared)
+    /// The evaluation mode (paper Table 1); default [`Mode::Full`].
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
     }
 
-    /// [`Hummingbird::new_tenant`] with an explicit evaluation mode.
-    pub fn tenant_with_mode(mode: Mode, shared: std::sync::Arc<SharedCache>) -> Hummingbird {
-        Hummingbird::builder_with_shared(mode, Some(shared))
+    /// The currently configured mode (read-back for harnesses that branch
+    /// on it while finishing assembly — e.g. whether to load annotations).
+    pub fn configured_mode(&self) -> Mode {
+        self.mode
     }
 
-    fn builder_with_shared(mode: Mode, shared: Option<std::sync::Arc<SharedCache>>) -> Hummingbird {
-        let mut hb = Hummingbird::assemble(mode, shared);
-        if mode != Mode::Original {
+    /// Attaches a process-wide shared derivation tier, making the system
+    /// one *tenant* of a multi-tenant deployment. The tier is attached
+    /// before any code (including the core library) loads, so identical
+    /// tenants warm each other from the very first check.
+    pub fn shared_cache(mut self, shared: Arc<SharedCache>) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Overrides derivation caching (default: on, except [`Mode::NoCache`]).
+    pub fn caching(mut self, on: bool) -> Self {
+        self.caching = Some(on);
+        self
+    }
+
+    /// Overrides dynamic argument checks (default: on, except
+    /// [`Mode::Original`]).
+    pub fn dyn_arg_checks(mut self, on: bool) -> Self {
+        self.dyn_arg_checks = Some(on);
+        self
+    }
+
+    /// The global enforcement policy (default [`CheckPolicy::Enforce`]).
+    /// Per-class/per-method overrides layer on top — see
+    /// [`Hummingbird::set_class_policy`] / [`Hummingbird::set_method_policy`]
+    /// and the RubyLite `check_policy` builtin.
+    pub fn check_policy(mut self, policy: CheckPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Retention bound of the blame-diagnostic store (default
+    /// [`hb_rdl::DEFAULT_DIAGNOSTICS_CAP`]; zero keeps nothing and relies
+    /// on sinks alone).
+    pub fn diagnostics_cap(mut self, cap: usize) -> Self {
+        self.diagnostics_cap = Some(cap);
+        self
+    }
+
+    /// Retention bound of the engine check log between drains (default
+    /// [`stats::DEFAULT_CHECK_LOG_CAP`]; zero disables the log).
+    pub fn check_log_cap(mut self, cap: usize) -> Self {
+        self.check_log_cap = Some(cap);
+        self
+    }
+
+    /// Registers a streaming [`DiagnosticSink`]: every recorded blame
+    /// diagnostic (enforced *and* shadowed) fans out to it as it happens —
+    /// the push channel a canary deploy ships its shadow blames through.
+    pub fn diagnostic_sink(mut self, sink: Rc<dyn DiagnosticSink>) -> Self {
+        self.diagnostic_sinks.push(sink);
+        self
+    }
+
+    /// Skips loading the bundled core-library annotations (fixtures and
+    /// micro-harnesses; production embeddings want them).
+    pub fn without_corelib(mut self) -> Self {
+        self.corelib = false;
+        self
+    }
+
+    /// Assembles the system: interpreter + RDL + engine, hooks installed
+    /// per mode, configuration applied, core library loaded, statistics
+    /// reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled core-library annotations fail to load (a
+    /// build defect, not a runtime condition).
+    pub fn build(self) -> Hummingbird {
+        let mut interp = Interp::new();
+        let rdl = install_rdl(&mut interp);
+        let engine = Rc::new(Engine::new(rdl.clone()));
+        if let Some(shared) = self.shared {
+            engine.set_shared_cache(shared);
+        }
+        if self.mode != Mode::Original {
+            interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
+            interp.add_hook(engine.clone());
+        }
+        engine.set_config(Config {
+            enabled: self.mode != Mode::Original,
+            caching: self.caching.unwrap_or(self.mode != Mode::NoCache),
+            dyn_arg_checks: self.dyn_arg_checks.unwrap_or(self.mode != Mode::Original),
+        });
+        if self.policy != CheckPolicy::Enforce {
+            rdl.set_global_policy(self.policy);
+        }
+        if let Some(cap) = self.diagnostics_cap {
+            rdl.set_diagnostics_cap(cap);
+        }
+        if let Some(cap) = self.check_log_cap {
+            engine.set_check_log_cap(cap);
+        }
+        for sink in self.diagnostic_sinks {
+            rdl.add_diagnostic_sink(sink);
+        }
+        let mut hb = Hummingbird {
+            interp,
+            rdl,
+            engine,
+            file_methods: HashMap::new(),
+        };
+        if self.corelib && self.mode != Mode::Original {
             // "Orig" runs without Hummingbird entirely; otherwise load the
             // bundled core-library types.
             hb.load_file("<corelib>", CORELIB_ANNOTATIONS)
@@ -104,6 +289,48 @@ impl Hummingbird {
         hb.rdl.drain_events();
         hb
     }
+}
+
+/// The assembled Hummingbird system: interpreter + RDL + engine.
+pub struct Hummingbird {
+    pub interp: Interp,
+    pub rdl: Rc<RdlState>,
+    pub engine: Rc<Engine>,
+    pub(crate) file_methods: HashMap<String, Vec<FileMethod>>,
+}
+
+impl Hummingbird {
+    /// The embedding entry point: a [`HummingbirdBuilder`] with defaults.
+    pub fn builder() -> HummingbirdBuilder {
+        HummingbirdBuilder::default()
+    }
+
+    /// A fully enabled system with core-library annotations loaded.
+    #[deprecated(note = "use `Hummingbird::builder().build()` (Embedding API v1)")]
+    pub fn new() -> Hummingbird {
+        Hummingbird::builder().build()
+    }
+
+    /// A fully enabled system attached to a process-wide shared derivation
+    /// tier: one *tenant* of a multi-tenant deployment.
+    #[deprecated(
+        note = "use `Hummingbird::builder().shared_cache(shared).build()` (Embedding API v1)"
+    )]
+    pub fn new_tenant(shared: Arc<SharedCache>) -> Hummingbird {
+        Hummingbird::builder().shared_cache(shared).build()
+    }
+
+    /// A tenant in an explicit evaluation mode.
+    #[deprecated(
+        note = "use `Hummingbird::builder().mode(mode).shared_cache(shared).build()` \
+                (Embedding API v1)"
+    )]
+    pub fn tenant_with_mode(mode: Mode, shared: Arc<SharedCache>) -> Hummingbird {
+        Hummingbird::builder()
+            .mode(mode)
+            .shared_cache(shared)
+            .build()
+    }
 
     /// Builds a system in the given evaluation mode.
     ///
@@ -111,32 +338,9 @@ impl Hummingbird {
     ///
     /// Panics if the bundled core-library annotations fail to load (a build
     /// defect, not a runtime condition).
+    #[deprecated(note = "use `Hummingbird::builder().mode(mode).build()` (Embedding API v1)")]
     pub fn with_mode(mode: Mode) -> Hummingbird {
-        Hummingbird::builder_with_shared(mode, None)
-    }
-
-    fn assemble(mode: Mode, shared: Option<std::sync::Arc<SharedCache>>) -> Hummingbird {
-        let mut interp = Interp::new();
-        let rdl = install_rdl(&mut interp);
-        let engine = Rc::new(Engine::new(rdl.clone()));
-        if let Some(shared) = shared {
-            engine.set_shared_cache(shared);
-        }
-        if mode != Mode::Original {
-            interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
-            interp.add_hook(engine.clone());
-        }
-        engine.set_config(Config {
-            enabled: mode != Mode::Original,
-            caching: mode != Mode::NoCache,
-            dyn_arg_checks: mode != Mode::Original,
-        });
-        Hummingbird {
-            interp,
-            rdl,
-            engine,
-            file_methods: HashMap::new(),
-        }
+        Hummingbird::builder().mode(mode).build()
     }
 
     /// Loads a source file into the running system.
@@ -168,13 +372,14 @@ impl Hummingbird {
     /// failures as structured diagnostics (empty when the program lints
     /// clean). See [`Engine::check_all`]; this is the `hb_lint` entry
     /// point, and it warms the derivation caches as a side effect.
+    /// Methods under [`CheckPolicy::Off`] are skipped.
     pub fn check_all(&mut self) -> Vec<TypeDiagnostic> {
         let engine = self.engine.clone();
         engine.check_all(&mut self.interp)
     }
 
-    /// Every blame diagnostic produced so far (just-in-time and eager),
-    /// in emission order.
+    /// Every blame diagnostic produced so far (just-in-time, eager and
+    /// shadowed), in emission order.
     pub fn diagnostics(&self) -> Vec<TypeDiagnostic> {
         self.engine.diagnostics()
     }
@@ -203,10 +408,42 @@ impl Hummingbird {
         c.dyn_arg_checks = on;
         self.engine.set_config(c);
     }
+
+    // ----- enforcement policies ---------------------------------------------
+
+    /// Sets the global [`CheckPolicy`] at run time (rollout control; the
+    /// builder sets the boot-time value).
+    pub fn set_check_policy(&self, policy: CheckPolicy) {
+        self.rdl.set_global_policy(policy);
+    }
+
+    /// Sets a per-class policy override (exact class name: applies when
+    /// the receiver's class or the annotation's declaring class matches).
+    pub fn set_class_policy(&self, class: &str, policy: CheckPolicy) {
+        self.rdl
+            .set_class_policy(hb_intern::Sym::intern(class), policy);
+    }
+
+    /// Sets a per-method policy override (exact key: matched against the
+    /// receiver-class key and the annotation's own key).
+    pub fn set_method_policy(&self, key: MethodKey, policy: CheckPolicy) {
+        self.rdl.set_method_policy(key, policy);
+    }
+
+    // ----- snapshots ---------------------------------------------------------
+
+    /// Serializes the attached shared derivation tier into a portable
+    /// [`CacheSnapshot`] — the artifact a freshly booted process loads
+    /// ([`SharedCache::load_snapshot`]) to warm-start from disk. `None`
+    /// when the system has no shared tier (build with
+    /// [`HummingbirdBuilder::shared_cache`]).
+    pub fn snapshot(&self) -> Option<CacheSnapshot> {
+        self.engine.shared_cache().map(|s| s.snapshot())
+    }
 }
 
 impl Default for Hummingbird {
     fn default() -> Self {
-        Hummingbird::new()
+        Hummingbird::builder().build()
     }
 }

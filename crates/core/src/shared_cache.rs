@@ -32,7 +32,7 @@ use hb_rdl::{MethodKey, RdlEvent, RdlEventSink, Resolution};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One dependency of a shared derivation: a (TApp) resolution witness plus
 /// — when the lookup found an annotation — the signature version and
@@ -159,6 +159,55 @@ impl SharedCache {
         &self.shards[(self.hasher.hash_one(key) as usize) % self.shards.len()]
     }
 
+    // ----- poison recovery ---------------------------------------------------
+    //
+    // The tier is shared by every tenant thread in the process; a tenant
+    // panicking while it holds a shard lock (a publisher dying mid-insert,
+    // an app thread unwinding through an eviction) poisons that shard.
+    // Propagating the poison — the old `.unwrap()` behaviour — would turn
+    // one crashed tenant into a fleet-wide brick: every later adopter
+    // panics on its first probe of the shard. Instead a poisoned shard is
+    // *recovered* by clearing it: the interrupted mutation may have left
+    // the shard logically half-applied (entry present, edges missing), and
+    // eviction is always sound, so dropping the shard's derivations maps
+    // the damage to a clean miss. Other tenants re-derive and republish.
+
+    /// Clears and un-poisons a poisoned shard, counting the dropped
+    /// derivations as evictions.
+    fn recover_poisoned(&self, lock: &RwLock<Shard>) {
+        let mut shard = match lock.write() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let dropped: usize = shard.entries.values().map(|family| family.len()).sum();
+        shard.entries.clear();
+        shard.dependents.clear();
+        lock.clear_poison();
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Read-locks a shard, recovering it first if poisoned. A panic
+    /// between the poison test and the acquisition still yields a guard
+    /// (`into_inner`); the half-applied state behind it is memory-safe
+    /// and at worst stale for this one operation — the next acquisition
+    /// recovers it.
+    fn shard_read<'a>(&self, lock: &'a RwLock<Shard>) -> RwLockReadGuard<'a, Shard> {
+        if lock.is_poisoned() {
+            self.recover_poisoned(lock);
+        }
+        lock.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write-locks a shard, recovering it first if poisoned.
+    fn shard_write<'a>(&self, lock: &'a RwLock<Shard>) -> RwLockWriteGuard<'a, Shard> {
+        if lock.is_poisoned() {
+            self.recover_poisoned(lock);
+        }
+        lock.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Looks up a derivation for `(key, method_entry_id, sig_version,
     /// body_fingerprint)`. The caller still must validate the returned
     /// signature fingerprints against its own type table before adopting.
@@ -169,7 +218,7 @@ impl SharedCache {
         sig_version: u64,
         body_fingerprint: u64,
     ) -> Option<SharedDerivation> {
-        let shard = self.shard_of(key).read().unwrap();
+        let shard = self.shard_read(self.shard_of(key));
         let found = shard
             .entries
             .get(key)
@@ -203,7 +252,7 @@ impl SharedCache {
     ) {
         let deps: Arc<[SharedDep]> = deps.into();
         {
-            let mut shard = self.shard_of(&key).write().unwrap();
+            let mut shard = self.shard_write(self.shard_of(&key));
             shard.entries.entry(key).or_default().insert(
                 (method_entry_id, sig_version, body_fingerprint),
                 SharedDerivation {
@@ -220,7 +269,7 @@ impl SharedCache {
             // Negative witnesses have no entry to hang an eviction edge on;
             // replay-validation alone guards them.
             if let Some(target) = dep.resolution.target {
-                let mut shard = self.shard_of(&target).write().unwrap();
+                let mut shard = self.shard_write(self.shard_of(&target));
                 shard.dependents.entry(target).or_default().insert(key);
             }
         }
@@ -234,7 +283,7 @@ impl SharedCache {
     /// engine's `unlink`). Returns the number of derivations dropped.
     pub fn evict_method(&self, key: &MethodKey) -> usize {
         let family = {
-            let mut shard = self.shard_of(key).write().unwrap();
+            let mut shard = self.shard_write(self.shard_of(key));
             shard.entries.remove(key)
         };
         let Some(family) = family else { return 0 };
@@ -247,7 +296,7 @@ impl SharedCache {
             .flat_map(|d| d.deps.iter().filter_map(|dep| dep.resolution.target))
             .collect();
         for t in targets {
-            let mut shard = self.shard_of(&t).write().unwrap();
+            let mut shard = self.shard_write(self.shard_of(&t));
             if let Some(set) = shard.dependents.get_mut(&t) {
                 set.remove(key);
                 if set.is_empty() {
@@ -265,7 +314,7 @@ impl SharedCache {
     /// number of derivations dropped.
     pub fn evict_dependents(&self, key: &MethodKey) -> usize {
         let dependents = {
-            let mut shard = self.shard_of(key).write().unwrap();
+            let mut shard = self.shard_write(self.shard_of(key));
             shard.dependents.remove(key)
         };
         let mut removed = 0;
@@ -289,8 +338,7 @@ impl SharedCache {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
-                    .unwrap()
+                self.shard_read(s)
                     .entries
                     .values()
                     .map(|family| family.len())
@@ -310,14 +358,57 @@ impl SharedCache {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
-                    .unwrap()
+                self.shard_read(s)
                     .dependents
                     .values()
                     .map(|set| set.len())
                     .sum::<usize>()
             })
             .sum()
+    }
+
+    // ----- snapshots ---------------------------------------------------------
+
+    /// Every live derivation as `(key, (entry_id, sig_version, body_fp),
+    /// derivation)`, in deterministic key order (snapshot support).
+    pub(crate) fn iter_derivations(&self) -> Vec<(MethodKey, VersionKey, SharedDerivation)> {
+        let mut out: Vec<(MethodKey, VersionKey, SharedDerivation)> = Vec::new();
+        for lock in self.shards.iter() {
+            let shard = self.shard_read(lock);
+            for (key, family) in &shard.entries {
+                for (version, d) in family {
+                    out.push((*key, *version, d.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(key, version, _)| (*key, *version));
+        out
+    }
+
+    /// Serializes the tier into a portable [`crate::snapshot::CacheSnapshot`]
+    /// (see [`crate::snapshot`] for the lifecycle and soundness story).
+    pub fn snapshot(&self) -> crate::snapshot::CacheSnapshot {
+        crate::snapshot::snapshot_of(self)
+    }
+
+    /// Loads a snapshot's derivations into this tier, re-interning its
+    /// symbol dictionary in this process. Returns the number of
+    /// derivations loaded. Loaded entries are *candidates*: every adoption
+    /// still passes the normal epoch/witness-replay validation, so a stale
+    /// or divergent snapshot degrades to re-checking, never to unsound
+    /// adoption.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError::BadSymbol`] when an entry
+    /// references a symbol id outside the snapshot's dictionary (a
+    /// malformed artifact). Validation happens before anything is
+    /// inserted, so on `Err` the tier is untouched.
+    pub fn load_snapshot(
+        &self,
+        snap: &crate::snapshot::CacheSnapshot,
+    ) -> Result<usize, crate::snapshot::SnapshotError> {
+        crate::snapshot::load_into(self, snap)
     }
 
     /// Counter snapshot.
@@ -466,5 +557,63 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedCache>();
         assert_send_sync::<Arc<SharedCache>>();
+    }
+
+    /// A tenant thread panicking while it holds a shard lock (a publisher
+    /// dying mid-insert) must not brick every other tenant's adoption
+    /// path: the poisoned shard recovers as a clean miss + eviction.
+    #[test]
+    fn poisoned_shard_recovers_instead_of_bricking_adopters() {
+        let c = Arc::new(SharedCache::with_shards(1));
+        let key = k("Talk", "owner?");
+        c.insert(
+            key,
+            1,
+            1,
+            1,
+            1,
+            (1, 1, 1),
+            vec![dep("User", "name", 1)],
+            vec![],
+        );
+        assert!(c.lookup(&key, 1, 1, 1).is_some());
+
+        // Poison the (only) shard: a thread panics while holding the
+        // write lock, exactly like a publisher dying mid-mutation.
+        let c2 = c.clone();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test output quiet
+        let joined = std::thread::spawn(move || {
+            let _guard = c2.shards[0].write().unwrap();
+            panic!("publisher dies while holding the shard lock");
+        })
+        .join();
+        std::panic::set_hook(prev_hook);
+        assert!(joined.is_err(), "the publisher thread must have panicked");
+        assert!(c.shards[0].is_poisoned(), "the shard is poisoned");
+
+        // Adopters are not bricked: the poisoned shard recovers by
+        // clearing (its possibly half-applied state becomes a clean miss,
+        // counted as evictions) and keeps serving.
+        assert!(
+            c.lookup(&key, 1, 1, 1).is_none(),
+            "recovered shard serves a clean miss, not a panic"
+        );
+        assert_eq!(c.stats().evictions, 1, "dropped derivations are counted");
+        assert!(!c.shards[0].is_poisoned(), "poison is cleared");
+
+        // The tier keeps working end to end: publish again, adopt again.
+        c.insert(
+            key,
+            1,
+            1,
+            1,
+            1,
+            (1, 1, 1),
+            vec![dep("User", "name", 1)],
+            vec![],
+        );
+        assert!(c.lookup(&key, 1, 1, 1).is_some());
+        assert_eq!(c.evict_with_dependents(&k("User", "name")), 1);
     }
 }

@@ -47,6 +47,10 @@ pub struct EngineStats {
     /// invisible). Failures are never cached, so a repeatedly-called
     /// blamed method increments this on every call.
     pub checks_failed: u64,
+    /// Blames swallowed by [`hb_rdl::CheckPolicy::Shadow`]: the check (or
+    /// dynamic argument check) failed, the diagnostic was recorded, and
+    /// the call proceeded anyway. A canary deploy watches this counter.
+    pub shadowed_blames: u64,
     /// Calls answered from the per-engine derivation cache (hot tier).
     pub cache_hits: u64,
     /// First calls answered by adopting another tenant's derivation from
@@ -82,15 +86,16 @@ pub struct EngineStats {
     /// Bounded: passes are naturally capped by the cache (one per
     /// method), but failures are never cached and recur on every call to
     /// a buggy endpoint, so the engine retains only the most recent
-    /// [`MAX_CHECK_LOG`] entries between drains (oldest dropped first).
+    /// [`DEFAULT_CHECK_LOG_CAP`] entries between drains (oldest first).
     pub check_log: VecDeque<CheckLogItem>,
 }
 
-/// Retention bound for [`EngineStats::check_log`] between
+/// Default retention bound for [`EngineStats::check_log`] between
 /// `take_check_log` drains — same rationale as the diagnostics store's
 /// bound: a long-running tenant re-hitting a blamed method must not grow
-/// the log without limit.
-pub const MAX_CHECK_LOG: usize = 4096;
+/// the log without limit. Embedders size the window via
+/// `HummingbirdBuilder::check_log_cap`.
+pub const DEFAULT_CHECK_LOG_CAP: usize = 4096;
 
 /// Tracks the paper's §5 "phases": a phase is a run of annotation events
 /// followed by a run of static checks.

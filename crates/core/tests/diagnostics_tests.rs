@@ -11,7 +11,7 @@ use std::rc::Rc;
 
 #[test]
 fn jit_blame_carries_structured_diagnostic() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.load_file(
         "talk.rb",
         r#"
@@ -56,7 +56,7 @@ end
 
 #[test]
 fn failed_checks_are_logged_with_outcome_and_duration() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         r#"
 class T
@@ -92,7 +92,7 @@ T.new.ok
 /// plus an explicit note that the blamed code is spanless.
 #[test]
 fn dummy_checker_span_keeps_call_site_and_note() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval("class Gen\nend").unwrap();
     // A method whose body is a synthesized proc (span = dummy), as the
     // Rails substrate generates for model accessors. The body returns a
@@ -129,7 +129,7 @@ fn dummy_checker_span_keeps_call_site_and_note() {
 
 #[test]
 fn check_all_finds_errors_without_any_call() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.load_file(
         "app.rb",
         r#"
@@ -170,7 +170,7 @@ end
 
 #[test]
 fn check_all_clean_program_is_empty_and_warms_the_cache() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         r#"
 class W
@@ -194,7 +194,7 @@ end
 
 #[test]
 fn dynamic_arg_check_failure_is_structured() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.load_file(
         "t.rb",
         r#"
@@ -221,7 +221,7 @@ end
 
 #[test]
 fn cast_failure_is_structured_with_cast_site() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     let err = hb
         .load_file("c.rb", "x = \"s\"\ny = x.rdl_cast(\"Fixnum\")\n")
         .unwrap_err();
@@ -239,7 +239,7 @@ fn cast_failure_is_structured_with_cast_site() {
 
 #[test]
 fn diagnostic_json_round_trips_fields() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.load_file(
         "j.rb",
         "class J\n type :m, \"() -> Fixnum\", { \"check\" => true }\n def m\n  \"s\"\n end\nend\n",

@@ -5,7 +5,7 @@
 use hummingbird::{ErrorKind, Hummingbird, MethodKey, Mode};
 
 fn hb() -> Hummingbird {
-    Hummingbird::new()
+    Hummingbird::builder().build()
 }
 
 #[test]
@@ -33,7 +33,7 @@ t.owner?("carol")
 
 #[test]
 fn no_cache_mode_rechecks_every_call() {
-    let mut hb = Hummingbird::with_mode(Mode::NoCache);
+    let mut hb = Hummingbird::builder().mode(Mode::NoCache).build();
     hb.eval(
         r#"
 class Talk
@@ -56,7 +56,7 @@ t.go
 
 #[test]
 fn original_mode_does_nothing() {
-    let mut hb = Hummingbird::with_mode(Mode::Original);
+    let mut hb = Hummingbird::builder().mode(Mode::Original).build();
     hb.eval(
         r#"
 class Talk

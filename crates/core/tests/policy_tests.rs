@@ -1,0 +1,378 @@
+//! CheckPolicy semantics: Enforce raises, Shadow records-and-continues,
+//! Off skips; resolution precedence; the `check_policy` RubyLite builtin;
+//! builder-configured caps and streaming diagnostic sinks.
+
+use hummingbird::{
+    CheckPolicy, DiagCode, DiagnosticSink, ErrorKind, Hummingbird, MethodKey, TypeDiagnostic, Value,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A method whose body cannot satisfy its annotation: `Fixnum` out,
+/// `%bool` promised.
+const BAD_RETURN: &str = r#"
+class Talk
+  type :late?, "(Fixnum) -> %bool", { "check" => true }
+  def late?(mins)
+    mins + 1
+  end
+end
+"#;
+
+#[test]
+fn enforce_raises_where_shadow_continues() {
+    // Enforce (default): the first call blames and aborts.
+    let mut hb = Hummingbird::builder().build();
+    hb.eval(BAD_RETURN).unwrap();
+    let err = hb.eval("Talk.new.late?(5)").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+    assert_eq!(hb.stats().shadowed_blames, 0);
+
+    // Shadow: the same check runs and blames, the diagnostic lands in the
+    // store, and the call completes with the body's actual value.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    let v = hb.eval("Talk.new.late?(5)").unwrap();
+    assert!(matches!(v, Value::Int(6)), "execution continued: {v:?}");
+    let s = hb.stats();
+    assert_eq!(s.shadowed_blames, 1);
+    assert_eq!(s.checks_failed, 1, "the check really ran");
+    let diags = hb.diagnostics();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, DiagCode::ReturnType);
+    assert!(
+        diags[0]
+            .labels
+            .iter()
+            .any(|l| l.message.contains("shadow check policy")),
+        "shadow blames are self-describing: {diags:?}"
+    );
+}
+
+#[test]
+fn shadowed_method_body_is_not_marked_checked() {
+    // A method whose check failed runs unchecked, so its callees keep
+    // their dynamic argument checks — shadowing must not silently extend
+    // static trust to an unverified body.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(
+        r#"
+class Helper
+  type :mul, "(Fixnum) -> Fixnum"
+  def mul(x)
+    x
+  end
+end
+class Talk
+  type :driver, "() -> Fixnum", { "check" => true }
+  def driver
+    helper_object.mul(2)
+  end
+  def helper_object
+    Helper.new
+  end
+end
+"#,
+    )
+    .unwrap();
+    // driver's check blames (helper_object is untyped), gets shadowed,
+    // and the body runs *unchecked* — so the call into mul must pay a
+    // dynamic argument check.
+    hb.eval("Talk.new.driver").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.shadowed_blames, 1);
+    assert!(
+        s.dyn_arg_checks >= 1,
+        "callee of a shadow-failed body keeps dynamic checks: {s:?}"
+    );
+}
+
+#[test]
+fn shadowed_dyn_rejection_does_not_extend_static_trust() {
+    // m's STATIC check passes (it assumes x: Fixnum per the annotation),
+    // but this call's actual argument violates the annotation and the
+    // dynamic rejection is shadowed. The frame must NOT be marked
+    // checked: mul's own dynamic check has to run (and blame) on the
+    // ill-typed value flowing through — those downstream blames are what
+    // the canary observes.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(
+        r#"
+class Helper
+  type :mul, "(Fixnum) -> Fixnum"
+  def mul(x)
+    x
+  end
+end
+class Talk
+  type :m, "(Fixnum) -> Fixnum", { "check" => true }
+  def m(x)
+    Helper.new.mul(x)
+  end
+end
+"#,
+    )
+    .unwrap();
+    hb.eval("Talk.new.m(\"oops\")").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.shadowed_blames, 2, "m's dyn rejection AND mul's: {s:?}");
+    assert_eq!(
+        s.dyn_arg_checks, 2,
+        "mul kept its dynamic check despite m's static pass: {s:?}"
+    );
+    let codes: Vec<String> = hb
+        .diagnostics()
+        .iter()
+        .map(|d| d.code.to_string())
+        .collect();
+    assert_eq!(
+        codes,
+        vec!["HB0010", "HB0010"],
+        "both boundary violations observed"
+    );
+}
+
+#[test]
+fn shadow_swallows_dynamic_argument_blame_too() {
+    let prog = r#"
+class Talk
+  type :add, "(Fixnum) -> Fixnum"
+  def add(x)
+    7
+  end
+end
+"#;
+    let mut hb = Hummingbird::builder().build();
+    hb.eval(prog).unwrap();
+    let err = hb.eval("Talk.new.add(\"oops\")").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::ContractBlame);
+
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(prog).unwrap();
+    let v = hb.eval("Talk.new.add(\"oops\")").unwrap();
+    assert!(
+        matches!(v, Value::Int(7)),
+        "call proceeded under shadow: {v:?}"
+    );
+    assert_eq!(hb.stats().shadowed_blames, 1);
+    let d = &hb.diagnostics()[0];
+    assert_eq!(d.code, DiagCode::DynamicArgCheck);
+    assert!(
+        d.labels
+            .iter()
+            .any(|l| l.message.contains("shadow check policy")),
+        "shadowed dynamic-arg blames are self-describing too: {d:?}"
+    );
+}
+
+#[test]
+fn shadowed_precondition_is_counted_and_self_describing() {
+    let prog = r#"
+class Talk
+  def m(x)
+    x
+  end
+end
+pre Talk, "m" do |x|
+  false
+end
+"#;
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(prog).unwrap();
+    let v = hb.eval("Talk.new.m(1)").unwrap();
+    assert!(matches!(v, Value::Int(1)), "rejected call proceeded: {v:?}");
+    assert_eq!(
+        hb.stats().shadowed_blames,
+        1,
+        "precondition shadows count in the canary counter too"
+    );
+    let d = &hb.diagnostics()[0];
+    assert_eq!(d.code, DiagCode::PreconditionFailed);
+    assert!(
+        d.labels
+            .iter()
+            .any(|l| l.message.contains("shadow check policy")),
+        "shadowed precondition blames are self-describing: {d:?}"
+    );
+
+    // Enforce still rejects the same call.
+    let mut hb = Hummingbird::builder().build();
+    hb.eval(prog).unwrap();
+    let err = hb.eval("Talk.new.m(1)").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::ContractBlame);
+}
+
+#[test]
+fn policy_rollback_restores_the_trivial_fast_path() {
+    // The hot path's one-Cell-load fast test must come back after a
+    // canary rolls its policy changes back to Enforce — triviality is
+    // semantic (everything resolves to Enforce), not a one-way latch.
+    let hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    assert!(!hb.rdl.policies_trivial());
+    hb.set_check_policy(CheckPolicy::Enforce);
+    assert!(hb.rdl.policies_trivial(), "global rollback un-latches");
+
+    hb.set_class_policy("Talk", CheckPolicy::Shadow);
+    hb.set_method_policy(MethodKey::instance("Talk", "m"), CheckPolicy::Off);
+    assert!(!hb.rdl.policies_trivial());
+    hb.set_class_policy("Talk", CheckPolicy::Enforce);
+    hb.set_method_policy(MethodKey::instance("Talk", "m"), CheckPolicy::Enforce);
+    assert!(
+        hb.rdl.policies_trivial(),
+        "lingering Enforce overrides are still the trivial configuration"
+    );
+}
+
+#[test]
+fn off_skips_static_and_dynamic_enforcement() {
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Off)
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    let v = hb.eval("Talk.new.late?(5)").unwrap();
+    assert!(matches!(v, Value::Int(6)), "{v:?}");
+    let s = hb.stats();
+    assert_eq!(s.checks_performed + s.checks_failed, 0, "no check ran");
+    assert_eq!(s.dyn_arg_checks, 0, "no dynamic check ran");
+    assert!(hb.diagnostics().is_empty(), "and nothing was recorded");
+}
+
+#[test]
+fn method_override_beats_class_beats_global() {
+    // Global Shadow, but the method itself pinned back to Enforce.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.set_method_policy(MethodKey::instance("Talk", "late?"), CheckPolicy::Enforce);
+    hb.eval(BAD_RETURN).unwrap();
+    let err = hb.eval("Talk.new.late?(5)").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame, "method override wins");
+
+    // Global Enforce, class shadowed.
+    let mut hb = Hummingbird::builder().build();
+    hb.set_class_policy("Talk", CheckPolicy::Shadow);
+    hb.eval(BAD_RETURN).unwrap();
+    hb.eval("Talk.new.late?(5)").unwrap();
+    assert_eq!(hb.stats().shadowed_blames, 1, "class override shadows");
+}
+
+#[test]
+fn check_policy_builtin_sets_global_class_and_method_scopes() {
+    // Global scope from the top level.
+    let mut hb = Hummingbird::builder().build();
+    hb.eval("check_policy \"shadow\"").unwrap();
+    hb.eval(BAD_RETURN).unwrap();
+    hb.eval("Talk.new.late?(5)").unwrap();
+    assert_eq!(hb.stats().shadowed_blames, 1);
+
+    // Class scope from inside the class body; method scope pins back.
+    let mut hb = Hummingbird::builder().build();
+    hb.eval(
+        r#"
+class Talk
+  check_policy "shadow"
+  check_policy :late?, "enforce"
+  type :late?, "(Fixnum) -> %bool", { "check" => true }
+  def late?(mins)
+    mins + 1
+  end
+  type :tag, "() -> String", { "check" => true }
+  def tag
+    123
+  end
+end
+"#,
+    )
+    .unwrap();
+    // tag (class policy: shadow) continues; late? (method: enforce) raises.
+    hb.eval("Talk.new.tag").unwrap();
+    assert_eq!(hb.stats().shadowed_blames, 1);
+    let err = hb.eval("Talk.new.late?(5)").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+
+    // Explicit class form, anywhere.
+    let mut hb = Hummingbird::builder().build();
+    hb.eval(BAD_RETURN).unwrap();
+    hb.eval("check_policy Talk, :late?, \"off\"").unwrap();
+    hb.eval("Talk.new.late?(5)").unwrap();
+    assert_eq!(hb.stats().checks_performed + hb.stats().checks_failed, 0);
+
+    // Unknown policy names are argument errors.
+    let mut hb = Hummingbird::builder().build();
+    assert!(hb.eval("check_policy \"loud\"").is_err());
+}
+
+#[test]
+fn check_all_respects_shadow_and_off() {
+    // Shadow: eager checking still reports the blame (check_all never
+    // raises, so Shadow == Enforce here), and the store has it.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    let diags = hb.check_all();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, DiagCode::ReturnType);
+
+    // Off: the method is skipped entirely.
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Off)
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    assert!(hb.check_all().is_empty());
+}
+
+struct CollectingSink(Rc<RefCell<Vec<TypeDiagnostic>>>);
+
+impl DiagnosticSink for CollectingSink {
+    fn on_diagnostic(&self, d: &TypeDiagnostic) {
+        self.0.borrow_mut().push(d.clone());
+    }
+}
+
+#[test]
+fn diagnostic_sink_streams_shadowed_blames() {
+    let seen: Rc<RefCell<Vec<TypeDiagnostic>>> = Rc::default();
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .diagnostics_cap(0) // store nothing; the sink is the channel
+        .diagnostic_sink(Rc::new(CollectingSink(seen.clone())))
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    hb.eval("Talk.new.late?(5)").unwrap();
+    assert!(hb.diagnostics().is_empty(), "cap 0 keeps the store empty");
+    let seen = seen.borrow();
+    assert_eq!(seen.len(), 1, "the sink still saw the blame as it happened");
+    assert_eq!(seen[0].code, DiagCode::ReturnType);
+}
+
+#[test]
+fn builder_caps_bound_the_stores() {
+    // diagnostics_cap: only the most recent window is retained. A blamed
+    // method re-blames on every call (failures are never cached).
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Shadow)
+        .diagnostics_cap(2)
+        .check_log_cap(2)
+        .build();
+    hb.eval(BAD_RETURN).unwrap();
+    for _ in 0..5 {
+        hb.eval("Talk.new.late?(5)").unwrap();
+    }
+    assert_eq!(hb.diagnostics().len(), 2, "diagnostic store is windowed");
+    let log = hb.engine.take_check_log();
+    assert_eq!(log.len(), 2, "check log is windowed");
+    assert_eq!(hb.stats().checks_failed, 5, "counters still see every run");
+}

@@ -35,7 +35,7 @@ fn second_tenant_warm_starts_with_zero_checks() {
     // Tenant 1 (cold) runs on its own thread and pays all static checks.
     let s1 = shared.clone();
     let cold = thread::spawn(move || {
-        let mut hb = Hummingbird::new_tenant(s1);
+        let mut hb = Hummingbird::builder().shared_cache(s1).build();
         hb.eval(APP).unwrap();
         hb.stats()
     })
@@ -54,7 +54,7 @@ fn second_tenant_warm_starts_with_zero_checks() {
     // tier, so check_sig never runs.
     let s2 = shared.clone();
     let warm = thread::spawn(move || {
-        let mut hb = Hummingbird::new_tenant(s2);
+        let mut hb = Hummingbird::builder().shared_cache(s2).build();
         hb.eval(APP).unwrap();
         hb.stats()
     })
@@ -74,7 +74,7 @@ fn second_tenant_warm_starts_with_zero_checks() {
 #[test]
 fn divergent_tenant_fails_validation_and_rechecks() {
     let shared = Arc::new(SharedCache::new());
-    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    let mut t1 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t1.eval(APP).unwrap();
     assert_eq!(t1.stats().checks_performed, 3);
 
@@ -82,7 +82,7 @@ fn divergent_tenant_fails_validation_and_rechecks() {
     // Its sig replacement also evicts the shared Talk#compute entry (the
     // fan-out sink), and even a racing stale read would fail dependency
     // version validation — either way the tenant re-derives soundly.
-    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    let mut t2 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t2.eval(
         r#"
 class Helper
@@ -133,7 +133,7 @@ t.title_line("PLDI")
 #[test]
 fn cross_tenant_eviction_fans_out() {
     let shared = Arc::new(SharedCache::new());
-    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    let mut t1 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t1.eval(APP).unwrap();
     let before = shared.len();
     assert_eq!(before, 3);
@@ -171,7 +171,7 @@ end
 Talk.new.pick(Sub.new)
 "#;
 
-    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    let mut t1 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t1.eval("class Base\nend\nclass Sub < Base\nend").unwrap();
     t1.eval(talk).unwrap();
     assert_eq!(t1.stats().checks_performed, 1);
@@ -179,7 +179,7 @@ Talk.new.pick(Sub.new)
 
     // Tenant 2 defines Sub *without* the superclass edge, so its own
     // checker would reject pick (Sub is not a subtype of Base).
-    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    let mut t2 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t2.eval("class Base\nend\nclass Sub\nend").unwrap();
     let err = t2.eval(talk).unwrap_err();
     assert_eq!(err.kind, ErrorKind::TypeBlame);
@@ -205,7 +205,7 @@ end
 $level = 3
 Gauge.new.level
 "#;
-    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    let mut t1 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t1.eval(gvar_app).unwrap();
     assert_eq!(t1.stats().checks_performed, 1);
 
@@ -213,7 +213,7 @@ Gauge.new.level
     // String first (then Fixnum, so the call itself still type-checks):
     // the var fingerprint differs, adoption is rejected, and the tenant
     // re-derives.
-    let mut t2 = Hummingbird::new_tenant(shared.clone());
+    let mut t2 = Hummingbird::builder().shared_cache(shared.clone()).build();
     t2.eval(
         r#"
 var_type "$dummy", "String"

@@ -1,0 +1,70 @@
+//! Compatibility coverage for the deprecated pre-v1 constructors.
+//!
+//! `Hummingbird::new` / `with_mode` / `new_tenant` / `tenant_with_mode`
+//! are thin shims over [`hummingbird::HummingbirdBuilder`]; this is the
+//! ONE in-repo caller allowed to use them, proving each shim still
+//! assembles the configuration its name promises. Everything else in the
+//! repo goes through the builder.
+
+#![allow(deprecated)]
+
+use hummingbird::{Hummingbird, Mode, SharedCache};
+use std::sync::Arc;
+
+const PROGRAM: &str = r#"
+class Talk
+  type :title_line, "(String) -> String", { "check" => true }
+  def title_line(prefix)
+    prefix + ": talk"
+  end
+end
+Talk.new.title_line("PLDI")
+"#;
+
+#[test]
+fn new_checks_and_caches_like_the_builder() {
+    let mut hb = Hummingbird::new();
+    hb.eval(PROGRAM).unwrap();
+    hb.eval("Talk.new.title_line(\"again\")").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.checks_performed, 1, "checked once");
+    assert!(s.cache_hits >= 1, "second call hits the cache");
+}
+
+#[test]
+fn with_mode_original_disables_interception() {
+    let mut hb = Hummingbird::with_mode(Mode::Original);
+    hb.eval("class Talk\n def t\n 1\n end\nend\nTalk.new.t")
+        .unwrap();
+    assert_eq!(hb.stats().intercepted_calls, 0);
+}
+
+#[test]
+fn with_mode_nocache_rechecks_every_call() {
+    let mut hb = Hummingbird::with_mode(Mode::NoCache);
+    hb.eval(PROGRAM).unwrap();
+    hb.eval("Talk.new.title_line(\"again\")").unwrap();
+    assert_eq!(
+        hb.stats().checks_performed,
+        2,
+        "no caching: every call checks"
+    );
+}
+
+#[test]
+fn tenant_shims_attach_the_shared_tier() {
+    let shared = Arc::new(SharedCache::new());
+    let mut t1 = Hummingbird::new_tenant(shared.clone());
+    t1.eval(PROGRAM).unwrap();
+    assert_eq!(t1.stats().checks_performed, 1);
+    assert!(!shared.is_empty(), "the first tenant published");
+
+    let mut t2 = Hummingbird::tenant_with_mode(Mode::Full, shared.clone());
+    t2.eval(PROGRAM).unwrap();
+    let s = t2.stats();
+    assert_eq!(
+        s.checks_performed, 0,
+        "the second tenant adopts, never checks"
+    );
+    assert_eq!(s.shared_hits, 1);
+}

@@ -1,0 +1,117 @@
+//! Cache snapshots: the shared derivation tier serialized for
+//! cross-process warm boots. These tests cover the soundness side — a
+//! snapshot is a set of *candidates*, and the normal adoption gate
+//! (epoch fast path, witness replay) decides per tenant. The six-app
+//! round trip lives in `hb-apps/tests/snapshot_apps.rs`, and the true
+//! fresh-process boot is gated in CI by `tenant_probe --snapshot-smoke`.
+
+use hummingbird::{CacheSnapshot, Hummingbird, SharedCache};
+use std::sync::Arc;
+
+/// Loaded by BOTH worlds as the same file name and content, so the
+/// checked method's body fingerprint (and entry id / sig version, which
+/// are load-order counters) coincide — exactly the situation where only
+/// witness replay can tell the worlds apart.
+const TALK_RB: &str = r#"
+class Base
+  type :m, "() -> Fixnum"
+  def m
+    1
+  end
+end
+class Sub < Base
+end
+class Talk
+  type :compute, "(Sub) -> Fixnum", { "check" => true }
+  def compute(s)
+    s.m
+  end
+end
+"#;
+
+/// The publisher's divergence: an annotation on `Sub` itself, shadowing
+/// `Base#m` along `Sub`'s chain. Loaded AFTER the first check so every
+/// shared counter (entry ids, sig versions) still matches the clean
+/// world's.
+const SHADOWING_RB: &str = r#"
+class Sub
+  type :m, "() -> Fixnum"
+end
+"#;
+
+fn eval_snapshot_world() -> CacheSnapshot {
+    let shared = Arc::new(SharedCache::new());
+    let mut publisher = Hummingbird::builder().shared_cache(shared.clone()).build();
+    publisher.load_file("talk.rb", TALK_RB).unwrap();
+    publisher.eval("Talk.new.compute(Sub.new)").unwrap();
+    // Now diverge: the shadowing annotation invalidates Talk#compute's
+    // derivation locally; the re-triggered check publishes a derivation
+    // whose (TApp) witness resolves `m` to Sub#m, not Base#m.
+    publisher.load_file("shadow.rb", SHADOWING_RB).unwrap();
+    publisher.eval("Talk.new.compute(Sub.new)").unwrap();
+    assert_eq!(
+        publisher.stats().checks_performed,
+        2,
+        "sanity: compute checked twice (pre-shadow and re-checked after \
+         the shadowing annotation invalidated it)"
+    );
+    shared.snapshot()
+}
+
+#[test]
+fn round_trip_preserves_adoption_for_an_identical_world() {
+    let shared = Arc::new(SharedCache::new());
+    let mut publisher = Hummingbird::builder().shared_cache(shared.clone()).build();
+    publisher.load_file("talk.rb", TALK_RB).unwrap();
+    publisher.eval("Talk.new.compute(Sub.new)").unwrap();
+    let checks = publisher.stats().checks_performed;
+    assert!(checks >= 1);
+
+    // Serialize → bytes → parse → load into a brand-new tier.
+    let bytes = shared.snapshot().to_bytes();
+    let snap = CacheSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.entry_count(), shared.len());
+    let fresh = Arc::new(SharedCache::new());
+    assert_eq!(fresh.load_snapshot(&snap).unwrap(), snap.entry_count());
+
+    // A tenant booting the identical world against the restored tier
+    // adopts everything: zero `check_sig` runs.
+    let mut adopter = Hummingbird::builder().shared_cache(fresh.clone()).build();
+    adopter.load_file("talk.rb", TALK_RB).unwrap();
+    adopter.eval("Talk.new.compute(Sub.new)").unwrap();
+    let s = adopter.stats();
+    assert_eq!(s.checks_performed, 0, "warm boot from bytes: no checks");
+    assert_eq!(s.shared_hits, checks, "every first call adopted");
+}
+
+#[test]
+fn snapshot_from_a_shadowing_world_is_rejected_by_witness_replay() {
+    let snap = eval_snapshot_world();
+    let fresh = Arc::new(SharedCache::new());
+    fresh.load_snapshot(&snap).unwrap();
+
+    // The adopter's world has NO shadowing annotation: its table resolves
+    // `m` along Sub's chain to Base#m, but the snapshot derivation's
+    // witness recorded Sub#m. Same entry id, same sig version, same body
+    // fingerprint — the shared lookup *hits* — and witness replay must
+    // reject the adoption, forcing a sound local re-check (which passes:
+    // the method is fine in this world too).
+    let mut adopter = Hummingbird::builder().shared_cache(fresh.clone()).build();
+    adopter.load_file("talk.rb", TALK_RB).unwrap();
+    adopter.eval("Talk.new.compute(Sub.new)").unwrap();
+    let s = adopter.stats();
+    assert_eq!(
+        s.shared_hits, 0,
+        "nothing from the shadowing world may be adopted: {s:?}"
+    );
+    assert!(
+        s.checks_performed >= 1,
+        "divergent snapshot must re-check, not adopt: {s:?}"
+    );
+    assert!(
+        fresh.stats().hits >= 1,
+        "sanity: the lookup reached the loaded entry (rejection happened \
+         at witness replay, not at the probe): {:?}",
+        fresh.stats()
+    );
+}

@@ -13,9 +13,9 @@ pub mod tenant;
 
 pub use apps::{all_apps, boxroom, cct, countries, pubs, rolify, talks, AppSpec};
 pub use table1::{measure_app, AppCounts, Table1Row};
-pub use tenant::{run_tenant, TenantRun};
+pub use tenant::{fleet_snapshot, run_tenant, run_tenant_from_snapshot, TenantRun};
 
-use hummingbird::{Hummingbird, Mode, SharedCache};
+use hummingbird::{Hummingbird, HummingbirdBuilder, Mode, SharedCache};
 use std::sync::Arc;
 
 /// Builds an app in the given evaluation mode: substrates, app sources,
@@ -26,7 +26,7 @@ use std::sync::Arc;
 /// Panics if any app file fails to load or type check at boot — these are
 /// fixture defects, not runtime conditions.
 pub fn build_app(spec: &AppSpec, mode: Mode) -> Hummingbird {
-    build_app_shared(spec, mode, None)
+    build_app_with(spec, Hummingbird::builder().mode(mode))
 }
 
 /// [`build_app`] with an optional process-wide shared derivation tier:
@@ -41,10 +41,24 @@ pub fn build_app_shared(
     mode: Mode,
     shared: Option<Arc<SharedCache>>,
 ) -> Hummingbird {
-    let mut hb = match shared {
-        Some(shared) => Hummingbird::tenant_with_mode(mode, shared),
-        None => Hummingbird::with_mode(mode),
-    };
+    let mut builder = Hummingbird::builder().mode(mode);
+    if let Some(shared) = shared {
+        builder = builder.shared_cache(shared);
+    }
+    build_app_with(spec, builder)
+}
+
+/// [`build_app`] over a fully configured [`HummingbirdBuilder`] — the
+/// hook for embedding-style scenarios (shadow-policy canaries, bounded
+/// diagnostic stores, diagnostic sinks). The builder's mode also governs
+/// whether annotations load.
+///
+/// # Panics
+///
+/// Panics if any app file fails to load or type check at boot.
+pub fn build_app_with(spec: &AppSpec, builder: HummingbirdBuilder) -> Hummingbird {
+    let mode = builder.configured_mode();
+    let mut hb = builder.build();
     if spec.rails {
         hb_rails::install_rails(&mut hb, mode != Mode::Original)
             .unwrap_or_else(|e| panic!("{}: rails install failed: {e}", spec.name));

@@ -9,7 +9,7 @@
 
 use crate::apps::all_apps;
 use crate::{build_app_shared, run_workload};
-use hummingbird::{Mode, SharedCache};
+use hummingbird::{CacheSnapshot, Mode, SharedCache};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -90,4 +90,35 @@ pub fn run_tenant(tenant: usize, shared: &Arc<SharedCache>, iters: usize) -> Ten
         out.shared_adopt_ns += s.shared_adopt_ns;
     }
     out
+}
+
+/// Boots one cold tenant (all six apps) against a fresh shared tier and
+/// serializes the tier — the snapshot a rolling deploy would write to
+/// disk at the end of a canary boot. Returns the snapshot together with
+/// the cold tenant's run (the baseline the warm boot is compared to).
+pub fn fleet_snapshot(iters: usize) -> (CacheSnapshot, TenantRun) {
+    let shared = Arc::new(SharedCache::new());
+    let cold = run_tenant(0, &shared, iters);
+    (shared.snapshot(), cold)
+}
+
+/// Boots one tenant against a tier rebuilt from `snapshot` — the
+/// fresh-process warm boot. The tenant's [`TenantRun::warm_hit_rate`]
+/// reports how many of its first calls were resolved by adoption from
+/// the snapshot instead of running `check_sig`.
+///
+/// # Panics
+///
+/// Panics if the snapshot fails to load (malformed artifact — a harness
+/// defect, not a runtime condition).
+pub fn run_tenant_from_snapshot(
+    tenant: usize,
+    snapshot: &CacheSnapshot,
+    iters: usize,
+) -> TenantRun {
+    let shared = Arc::new(SharedCache::new());
+    shared
+        .load_snapshot(snapshot)
+        .expect("fleet snapshot must load");
+    run_tenant(tenant, &shared, iters)
 }

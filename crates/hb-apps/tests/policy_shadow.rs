@@ -1,0 +1,96 @@
+//! The canary-deploy scenario on real history: a Talks historical error
+//! version runs TO COMPLETION under `CheckPolicy::Shadow` with its exact
+//! HB-code diagnostic captured, while `Enforce` still raises — on both
+//! the just-in-time path (the triggering request) and the eager
+//! `check_all` path.
+
+use hb_apps::talks_history::error_versions;
+use hb_apps::{build_app_with, talks};
+use hummingbird::{CheckPolicy, ErrorKind, Hummingbird};
+
+/// "1/26/12-3": `subscribed_talks(true)` where the annotation takes a
+/// `Symbol`. Statically a blame; at run time the body tolerates the
+/// boolean (it falls into the non-`:all` branch) — exactly the kind of
+/// type error a shadow canary observes on live traffic without an
+/// outage.
+const RUNNABLE_VERSION: &str = "1/26/12-3";
+
+#[test]
+fn historical_error_completes_under_shadow_with_exact_code_jit() {
+    let v = error_versions()
+        .into_iter()
+        .find(|v| v.version == RUNNABLE_VERSION)
+        .expect("version exists");
+
+    // Enforce: the request aborts with blame (the paper's behaviour).
+    let spec = talks();
+    let mut enforce = build_app_with(&spec, Hummingbird::builder());
+    enforce.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+    let err = enforce.eval(v.trigger).expect_err("enforce still raises");
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+
+    // Shadow: the same request runs to completion; the check ran, blamed,
+    // and its exact HB-code diagnostic is in `diagnostics()`.
+    let mut shadow = build_app_with(
+        &spec,
+        Hummingbird::builder().check_policy(CheckPolicy::Shadow),
+    );
+    shadow.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+    shadow
+        .eval(v.trigger)
+        .expect("the canary request completes under shadow");
+    let stats = shadow.stats();
+    assert!(
+        stats.shadowed_blames >= 1,
+        "the blame was shadowed: {stats:?}"
+    );
+    let diags = shadow.diagnostics();
+    assert!(
+        diags.iter().any(|d| d.code.to_string() == v.expected_code),
+        "exact code {} captured; got {:?}",
+        v.expected_code,
+        diags.iter().map(|d| d.code.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn historical_error_is_captured_under_shadow_check_all() {
+    let v = error_versions()
+        .into_iter()
+        .find(|v| v.version == RUNNABLE_VERSION)
+        .expect("version exists");
+
+    let spec = talks();
+    let mut shadow = build_app_with(
+        &spec,
+        Hummingbird::builder().check_policy(CheckPolicy::Shadow),
+    );
+    shadow.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+
+    // Eager path: check_all finds the blame without any request...
+    let found = shadow.check_all();
+    assert_eq!(found.len(), 1, "exactly the historical error");
+    assert_eq!(found[0].code.to_string(), v.expected_code);
+    assert!(
+        shadow
+            .diagnostics()
+            .iter()
+            .any(|d| d.code.to_string() == v.expected_code),
+        "and it is captured in the store"
+    );
+
+    // ...and the endpoint still serves afterwards (shadow end to end).
+    shadow
+        .eval(v.trigger)
+        .expect("the request completes under shadow after an eager pass");
+
+    // Enforce on the same eager-then-serve sequence: check_all reports
+    // identically (it never raises), but the request aborts.
+    let mut enforce = build_app_with(&spec, Hummingbird::builder());
+    enforce.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+    let found = enforce.check_all();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].code.to_string(), v.expected_code);
+    let err = enforce.eval(v.trigger).expect_err("enforce still raises");
+    assert_eq!(err.kind, ErrorKind::TypeBlame);
+}

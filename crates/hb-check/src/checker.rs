@@ -10,7 +10,7 @@
 
 use crate::info::{ClassInfo, InfoHierarchy};
 use hb_il::{BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator};
-use hb_rdl::{MethodKey, RdlState, Resolution, TableEntry};
+use hb_rdl::{CheckPolicy, MethodKey, RdlState, Resolution, TableEntry};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::{MethodSig, MethodType, Type, TypeEnv};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -144,6 +144,12 @@ pub struct CheckRequest<'a> {
     pub captured: Option<&'a TypeEnv>,
     /// Checker tunables.
     pub opts: &'a CheckOptions,
+    /// The enforcement policy this check runs under. The checker's
+    /// judgement is policy-independent; under [`CheckPolicy::Shadow`] a
+    /// failure's diagnostic additionally carries a note label marking
+    /// that execution continued past it (so a shadow blame fished out of
+    /// a diagnostics stream is self-describing).
+    pub policy: CheckPolicy,
 }
 
 /// Checks the request's body against every arm of its signature
@@ -153,8 +159,19 @@ pub struct CheckRequest<'a> {
 ///
 /// The first static type error found, positioned at the offending
 /// instruction, carrying a structured [`TypeDiagnostic`] that blames the
-/// responsible annotation or cast.
+/// responsible annotation or cast. Under [`CheckPolicy::Shadow`] the
+/// diagnostic gains a note label recording that the blame was shadowed.
 pub fn check_sig(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
+    match check_sig_arms(req) {
+        Err(mut e) if req.policy == CheckPolicy::Shadow => {
+            e.diagnostic.labels.push(CheckPolicy::shadow_note());
+            Err(e)
+        }
+        other => other,
+    }
+}
+
+fn check_sig_arms(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
     let CheckRequest {
         cfg,
         self_class,

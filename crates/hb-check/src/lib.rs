@@ -11,4 +11,5 @@ pub mod info;
 pub use checker::{
     check_sig, generic_params, CheckError, CheckOptions, CheckOutcome, CheckRequest,
 };
+pub use hb_rdl::CheckPolicy;
 pub use info::{ClassInfo, InfoHierarchy, MapClassInfo};

@@ -28,6 +28,7 @@ fn run_check(
         rdl,
         captured,
         opts: &CheckOptions::default(),
+        policy: hb_check::CheckPolicy::Enforce,
     })
 }
 

@@ -18,7 +18,7 @@
 //!    strings it has already interned; a repeat `intern` takes no lock at
 //!    all (this is the dispatch hot path: one thread-local hash probe).
 //! 2. **Sharded read path.** A miss in the thread cache probes one of
-//!    [`NUM_SHARDS`] `RwLock`-protected maps under a read lock, so threads
+//!    `NUM_SHARDS` `RwLock`-protected maps under a read lock, so threads
 //!    interning disjoint (or even overlapping, already-known) names never
 //!    serialise.
 //! 3. **Serialised slow path.** Only a genuinely new string takes the
@@ -266,11 +266,91 @@ impl fmt::Display for MethodKey {
 /// come through this single helper: adoption compares fingerprints
 /// produced at different sites, so a site switching to a differently
 /// seeded hasher would silently break the cross-tenant fast path.
+///
+/// The hasher is additionally stable across *processes of the same build*
+/// (`DefaultHasher::new()` is unkeyed), which is what lets serialized
+/// cache snapshots carry fingerprints between processes. Inputs must not
+/// include [`Sym::index`] values — raw indices depend on process-local
+/// interning order; hash the string contents instead.
 pub fn fingerprint64(x: impl std::hash::Hash) -> u64 {
     use std::hash::Hasher;
     let mut h = std::collections::hash_map::DefaultHasher::new();
     x.hash(&mut h);
     h.finish()
+}
+
+// ----- stable symbol serialization -------------------------------------------
+//
+// `Sym` indices are assigned in process-local interning order, so they can
+// NEVER be written to disk raw: a fresh process that interned anything
+// else first would resolve them to different strings. Snapshots instead
+// ship a *dictionary* — the distinct strings, densely numbered in first-use
+// order — and every serialized `Sym` becomes a dictionary id. Loading
+// re-interns each dictionary string in the consuming process, mapping
+// dictionary ids back to that process's own (possibly different) indices.
+
+/// Builds the symbol dictionary for a serialized artifact: maps each
+/// distinct [`Sym`] to a dense, process-independent dictionary id and
+/// collects the backing strings in id order.
+#[derive(Default)]
+pub struct SymDictWriter {
+    ids: HashMap<Sym, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl SymDictWriter {
+    /// An empty dictionary.
+    pub fn new() -> SymDictWriter {
+        SymDictWriter::default()
+    }
+
+    /// The dictionary id for `sym`, assigning the next dense id on first
+    /// use.
+    pub fn id(&mut self, sym: Sym) -> u32 {
+        if let Some(&id) = self.ids.get(&sym) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(sym.as_str());
+        self.ids.insert(sym, id);
+        id
+    }
+
+    /// The collected strings, indexed by dictionary id.
+    pub fn strings(&self) -> &[&'static str] {
+        &self.strings
+    }
+}
+
+/// Resolves dictionary ids back to [`Sym`]s in the consuming process,
+/// re-interning every dictionary string once up front.
+pub struct SymDictReader {
+    syms: Vec<Sym>,
+}
+
+impl SymDictReader {
+    /// Interns every dictionary string, in id order.
+    pub fn new<'a>(strings: impl IntoIterator<Item = &'a str>) -> SymDictReader {
+        SymDictReader {
+            syms: strings.into_iter().map(Sym::intern).collect(),
+        }
+    }
+
+    /// The symbol for dictionary id `id`, or `None` when the id is out of
+    /// range (a malformed artifact).
+    pub fn sym(&self, id: u32) -> Option<Sym> {
+        self.syms.get(id as usize).copied()
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
 }
 
 impl PartialOrd for Sym {
@@ -401,5 +481,21 @@ mod tests {
     fn sym_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Sym>();
+    }
+
+    #[test]
+    fn sym_dict_round_trips_in_first_use_order() {
+        let a = Sym::intern("Talk");
+        let b = Sym::intern("owner?");
+        let mut w = SymDictWriter::new();
+        assert_eq!(w.id(a), 0);
+        assert_eq!(w.id(b), 1);
+        assert_eq!(w.id(a), 0, "repeat syms reuse their id");
+        assert_eq!(w.strings(), &["Talk", "owner?"]);
+        let r = SymDictReader::new(w.strings().iter().copied());
+        assert_eq!(r.sym(0), Some(a));
+        assert_eq!(r.sym(1), Some(b));
+        assert_eq!(r.sym(2), None, "out-of-range ids are malformed, not UB");
+        assert_eq!(r.len(), 2);
     }
 }

@@ -10,7 +10,7 @@
 //! use hummingbird::Hummingbird;
 //! use hb_rails::install_rails;
 //!
-//! let mut hb = Hummingbird::new();
+//! let mut hb = Hummingbird::builder().build();
 //! install_rails(&mut hb, true).unwrap();
 //! hb.eval(r#"
 //! DB.create_table("talks", { "title" => "String" })
@@ -345,7 +345,7 @@ mod tests {
     use super::*;
 
     fn rails_hb() -> Hummingbird {
-        let mut hb = Hummingbird::new();
+        let mut hb = Hummingbird::builder().build();
         install_rails(&mut hb, true).unwrap();
         hb
     }
@@ -606,7 +606,9 @@ DB.clear
 
     #[test]
     fn original_mode_runs_framework_without_annotations() {
-        let mut hb = Hummingbird::with_mode(hummingbird::Mode::Original);
+        let mut hb = Hummingbird::builder()
+            .mode(hummingbird::Mode::Original)
+            .build();
         install_rails(&mut hb, false).unwrap();
         hb.eval(
             r#"

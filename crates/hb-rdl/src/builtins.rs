@@ -5,7 +5,7 @@
 //! at run-time", §1).
 
 use crate::conform::value_conforms;
-use crate::state::{AnnotationSource, MethodKey, PreHook, RdlState};
+use crate::state::{AnnotationSource, CheckPolicy, MethodKey, PreHook, RdlState};
 use hb_interp::{ErrorKind, Flow, HbError, Interp, Value};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::parse_method_type;
@@ -48,6 +48,13 @@ pub fn install(interp: &mut Interp) -> Rc<RdlState> {
         "rdl_cast",
         false,
         Rc::new(move |i, recv, args, _b| rdl_cast_builtin(&st, i, recv, args)),
+    );
+    let st = state.clone();
+    interp.define_builtin(
+        object,
+        "check_policy",
+        false,
+        Rc::new(move |i, recv, args, _b| check_policy_builtin(&st, i, recv, args)),
     );
     state
 }
@@ -236,6 +243,85 @@ fn pre_builtin(
         },
         PreHook { proc_val, span },
     );
+    Ok(Value::Nil)
+}
+
+/// The `check_policy` builtin — the RubyLite surface of [`CheckPolicy`]:
+///
+/// ```text
+/// check_policy "shadow"                 # top level: global policy
+/// class Talk
+///   check_policy "shadow"               # class body: policy for Talk
+///   check_policy :title_line, "shadow"  # method policy (self.m for class-level)
+/// end
+/// check_policy Talk, "off"              # explicit class, anywhere
+/// check_policy Talk, :title_line, "off" # explicit class + method
+/// ```
+///
+/// Policy names (`enforce` / `shadow` / `off`) may be strings or symbols.
+fn check_policy_builtin(
+    state: &RdlState,
+    interp: &mut Interp,
+    recv: Value,
+    args: Vec<Value>,
+) -> Result<Value, Flow> {
+    // An explicit leading class argument wins; a class receiver (class
+    // body) is next; otherwise the call is global scope.
+    let (explicit_class, skip) = match args.first() {
+        Some(Value::Class(c)) => (Some(interp.registry.name(*c).to_string()), 1),
+        _ => match &recv {
+            Value::Class(c) => (Some(interp.registry.name(*c).to_string()), 0),
+            _ => (None, 0),
+        },
+    };
+    let rest = &args[skip..];
+    let parse_policy = |v: &Value| -> Result<CheckPolicy, Flow> {
+        let name = name_of(v, "check_policy")?;
+        CheckPolicy::parse(&name).ok_or_else(|| {
+            err(
+                ErrorKind::ArgumentError,
+                format!("check_policy: unknown policy {name:?} (enforce/shadow/off)"),
+            )
+        })
+    };
+    match rest {
+        [policy] => {
+            let policy = parse_policy(policy)?;
+            match explicit_class {
+                Some(class) => state.set_class_policy(hb_intern::Sym::intern(&class), policy),
+                None => state.set_global_policy(policy),
+            }
+        }
+        [method, policy] => {
+            let Some(class) = explicit_class else {
+                return Err(err(
+                    ErrorKind::ArgumentError,
+                    "check_policy: no target class for a method policy \
+                     (call inside a class or pass the class first)",
+                ));
+            };
+            let raw_name = name_of(method, "check_policy")?;
+            let policy = parse_policy(policy)?;
+            let (class_level, method) = match raw_name.strip_prefix("self.") {
+                Some(m) => (true, m.to_string()),
+                None => (false, raw_name),
+            };
+            state.set_method_policy(
+                MethodKey {
+                    class: hb_intern::Sym::intern(&class),
+                    class_level,
+                    method: hb_intern::Sym::intern(&method),
+                },
+                policy,
+            );
+        }
+        _ => {
+            return Err(err(
+                ErrorKind::ArgumentError,
+                "check_policy: expected [class,] [method,] policy",
+            ))
+        }
+    }
     Ok(Value::Nil)
 }
 

@@ -1,6 +1,6 @@
 //! The RDL dispatch hook: runs `pre` contracts before intercepted calls.
 
-use crate::state::{MethodKey, RdlState};
+use crate::state::{CheckPolicy, MethodKey, RdlState};
 use hb_interp::{CallHook, DispatchInfo, ErrorKind, Flow, HbError, HookOutcome, Interp, Value};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, TypeDiagnostic};
 use std::rc::Rc;
@@ -55,13 +55,26 @@ impl CallHook for RdlHook {
             class_level: info.class_level,
             method: info.name,
         };
+        // Enforcement policy for this method. The proc itself ALWAYS runs
+        // — pre hooks are where metaprogramming libraries generate types
+        // (Fig. 1), so skipping them would change program behaviour; the
+        // policy governs only what a falsy (rejecting) result does.
+        let policy = if self.state.policies_trivial() {
+            CheckPolicy::Enforce
+        } else {
+            self.state.policy_for(&key, &key)
+        };
         for p in pres {
             let result = interp
                 .call_proc(&p.proc_val, args.to_vec(), None, Some(recv.clone()), false)
                 .map_err(Flow::into_error)?;
             if !result.truthy() {
+                if policy == CheckPolicy::Off {
+                    continue;
+                }
+                let shadowed = policy == CheckPolicy::Shadow;
                 let message = format!("precondition of {} failed", key.display());
-                let diag = TypeDiagnostic::error(
+                let mut diag = TypeDiagnostic::error(
                     DiagCode::PreconditionFailed,
                     message.clone(),
                     info.span,
@@ -81,7 +94,16 @@ impl CallHook for RdlHook {
                     "rejected call made here",
                     info.span,
                 ));
+                if shadowed {
+                    diag.labels.push(CheckPolicy::shadow_note());
+                }
                 self.state.record_diagnostic(diag.clone());
+                if shadowed {
+                    // Canary mode: the rejection is recorded and counted,
+                    // the call proceeds.
+                    self.state.note_shadowed_blame();
+                    continue;
+                }
                 return Err(HbError::with_diagnostic(
                     ErrorKind::ContractBlame,
                     message,

@@ -7,17 +7,97 @@
 //! a `MethodSig`.
 
 use hb_intern::Sym;
-use hb_syntax::{Span, TypeDiagnostic};
+use hb_syntax::{DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::{MethodSig, MethodType, Type};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
-/// Retention bound for recorded blame diagnostics: a long-running tenant
-/// re-hitting a buggy endpoint produces one diagnostic per request
+/// Default retention bound for recorded blame diagnostics: a long-running
+/// tenant re-hitting a buggy endpoint produces one diagnostic per request
 /// (failures are never cached), so the store keeps only the most recent
-/// window instead of growing without bound.
-const MAX_RECORDED_DIAGNOSTICS: usize = 1024;
+/// window instead of growing without bound. Embedders size the window via
+/// `HummingbirdBuilder::diagnostics_cap` ([`RdlState::set_diagnostics_cap`]).
+pub const DEFAULT_DIAGNOSTICS_CAP: usize = 1024;
+
+/// How blame is enforced for a method — the per-declaration enforcement
+/// level that makes just-in-time checking deployable on live traffic
+/// (warn-vs-raise in the Gradual Soundness sense).
+///
+/// * [`CheckPolicy::Enforce`] — blame raises, aborting the call (the
+///   paper's behaviour and the default).
+/// * [`CheckPolicy::Shadow`] — the full check still runs and the
+///   structured [`TypeDiagnostic`] is recorded, but execution continues:
+///   the canary-deploy mode. A method whose check failed runs *unchecked*
+///   (its callees fall back to dynamic argument checks).
+/// * [`CheckPolicy::Off`] — the engine skips type enforcement for the
+///   method entirely (no static check, no dynamic argument check).
+///   Annotation *execution* is never skipped — metaprogramming `pre`
+///   hooks still run; only a falsy contract result is ignored.
+///
+/// Policies resolve most-specific-first: method override (receiver key,
+/// then the annotation's declaring key), class override (receiver class,
+/// then declaring class), then the global policy. Lookups are exact-key —
+/// no ancestor-chain walk — so resolution stays O(1) off the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckPolicy {
+    /// Blame raises (default).
+    #[default]
+    Enforce,
+    /// Check, record the diagnostic, continue executing.
+    Shadow,
+    /// Skip type enforcement for the method.
+    Off,
+}
+
+impl CheckPolicy {
+    /// Parses a policy name (`"enforce"` / `"shadow"` / `"off"`, any
+    /// case), as accepted by the `check_policy` builtin and CLI flags.
+    pub fn parse(s: &str) -> Option<CheckPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "enforce" => Some(CheckPolicy::Enforce),
+            "shadow" => Some(CheckPolicy::Shadow),
+            "off" => Some(CheckPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckPolicy::Enforce => "enforce",
+            CheckPolicy::Shadow => "shadow",
+            CheckPolicy::Off => "off",
+        }
+    }
+
+    /// The note label appended to EVERY shadowed blame diagnostic —
+    /// static-check, dynamic-argument and precondition alike — so a
+    /// consumer of the diagnostics stream can tell a blame execution
+    /// continued past from one that aborted the call.
+    pub fn shadow_note() -> DiagLabel {
+        DiagLabel::new(
+            LabelRole::Note,
+            "shadow check policy: blame recorded, execution continues",
+            Span::dummy(),
+        )
+    }
+}
+
+impl std::fmt::Display for CheckPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A listener notified of every recorded blame [`TypeDiagnostic`] at the
+/// moment it enters the bounded store — the embedder's streaming channel
+/// (ship shadow-mode blames to a metrics pipeline without polling
+/// `diagnostics()`). Sinks run synchronously on the blaming thread.
+pub trait DiagnosticSink {
+    /// Called once per recorded diagnostic, in emission order.
+    fn on_diagnostic(&self, d: &TypeDiagnostic);
+}
 
 // `MethodKey` moved down to `hb-intern` so the structured-diagnostics layer
 // in `hb-syntax` can blame annotations by key; re-exported here so every
@@ -166,12 +246,26 @@ pub struct RdlInner {
     /// Count of casts executed at run time.
     pub casts_run: u64,
     /// Every blame diagnostic produced, in emission order, capped at
-    /// [`MAX_RECORDED_DIAGNOSTICS`] (oldest dropped first). One shared
-    /// store for all layers — the engine's check/dynamic-argument blames
-    /// and this crate's cast/precondition blames — so
-    /// `Hummingbird::diagnostics()` sees them interleaved as they
-    /// happened.
+    /// `diagnostics_cap` (oldest dropped first). One shared store for all
+    /// layers — the engine's check/dynamic-argument blames and this
+    /// crate's cast/precondition blames — so `Hummingbird::diagnostics()`
+    /// sees them interleaved as they happened.
     diagnostics: VecDeque<TypeDiagnostic>,
+    /// Retention bound for `diagnostics` (builder-configured; `None` is
+    /// [`DEFAULT_DIAGNOSTICS_CAP`]; zero keeps nothing in the store and
+    /// relies on sinks alone).
+    diagnostics_cap: Option<usize>,
+    /// Global enforcement policy (see [`CheckPolicy`]).
+    global_policy: CheckPolicy,
+    /// Per-class policy overrides, exact class name.
+    class_policies: HashMap<Sym, CheckPolicy>,
+    /// Per-method policy overrides, exact key.
+    method_policies: HashMap<MethodKey, CheckPolicy>,
+    /// Blames swallowed by [`CheckPolicy::Shadow`] across every layer —
+    /// static checks, dynamic argument checks AND preconditions (the
+    /// latter blame from `hook.rs`, which has no engine statistics, so
+    /// the counter lives here and `EngineStats` snapshots it).
+    shadowed_blames: u64,
 }
 
 /// Shared, internally mutable RDL state. Stored as an interpreter extension
@@ -182,6 +276,14 @@ pub struct RdlState {
     /// Fan-out listeners (see [`RdlEventSink`]); notified outside the
     /// `inner` borrow so sinks may read the table.
     sinks: RefCell<Vec<Rc<dyn RdlEventSink>>>,
+    /// Streaming diagnostic listeners (see [`DiagnosticSink`]); notified
+    /// outside the `inner` borrow so sinks may read the table.
+    diag_sinks: RefCell<Vec<Rc<dyn DiagnosticSink>>>,
+    /// Set once any policy override exists (or the global policy leaves
+    /// `Enforce`) — the dispatch hot path reads only this flag, so the
+    /// default configuration pays one `Cell` load per intercepted call and
+    /// never probes the policy maps.
+    policies_nontrivial: std::cell::Cell<bool>,
 }
 
 /// Folds one mutation into a rolling fingerprint: order-sensitive, cheap,
@@ -250,12 +352,15 @@ impl RdlState {
         let mut inner = self.inner.borrow_mut();
         inner.version_counter += 1;
         let version = inner.version_counter;
+        // Fingerprint string contents, not Sym indices: indices depend on
+        // process-local interning order, and this fingerprint is compared
+        // across processes by the snapshot warm-boot path.
         inner.table_fp = mix_fp(
             inner.table_fp,
             (
-                key.class.index(),
+                key.class.as_str(),
                 key.class_level,
-                key.method.index(),
+                key.method.as_str(),
                 &mt,
                 check,
                 always_dyn_check,
@@ -468,14 +573,128 @@ impl RdlState {
         }
     }
 
-    /// Records a blame diagnostic, dropping the oldest once the retention
-    /// bound is reached.
-    pub fn record_diagnostic(&self, d: TypeDiagnostic) {
+    /// Registers a streaming diagnostic sink; every subsequently recorded
+    /// diagnostic fans out to it (in addition to the bounded store).
+    pub fn add_diagnostic_sink(&self, sink: Rc<dyn DiagnosticSink>) {
+        self.diag_sinks.borrow_mut().push(sink);
+    }
+
+    /// Sets the retention bound of the diagnostic store (see
+    /// [`DEFAULT_DIAGNOSTICS_CAP`]). Shrinking below the current length
+    /// drops the oldest entries immediately. A cap of zero keeps nothing —
+    /// diagnostics then reach the embedder through sinks only.
+    pub fn set_diagnostics_cap(&self, cap: usize) {
         let mut inner = self.inner.borrow_mut();
-        if inner.diagnostics.len() == MAX_RECORDED_DIAGNOSTICS {
+        inner.diagnostics_cap = Some(cap);
+        while inner.diagnostics.len() > cap {
             inner.diagnostics.pop_front();
         }
-        inner.diagnostics.push_back(d);
+    }
+
+    /// Records a blame diagnostic, dropping the oldest once the retention
+    /// bound is reached, then notifies every [`DiagnosticSink`].
+    pub fn record_diagnostic(&self, d: TypeDiagnostic) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let cap = inner.diagnostics_cap.unwrap_or(DEFAULT_DIAGNOSTICS_CAP);
+            while inner.diagnostics.len() >= cap.max(1) {
+                inner.diagnostics.pop_front();
+            }
+            if cap > 0 {
+                inner.diagnostics.push_back(d.clone());
+            }
+        }
+        for sink in self.diag_sinks.borrow().iter() {
+            sink.on_diagnostic(&d);
+        }
+    }
+
+    // ----- enforcement policies ---------------------------------------------
+
+    /// True while the policy configuration resolves every dispatch to
+    /// `Enforce` — the hot path's one-load fast test.
+    pub fn policies_trivial(&self) -> bool {
+        !self.policies_nontrivial.get()
+    }
+
+    /// Recomputes the hot path's triviality flag after a policy mutation.
+    /// Triviality is semantic, not structural: a rollback that sets
+    /// everything back to `Enforce` (global and any lingering overrides)
+    /// restores the one-`Cell`-load fast path rather than latching the
+    /// engine onto the slow path forever.
+    fn refresh_policy_triviality(&self, inner: &RdlInner) {
+        let trivial = inner.global_policy == CheckPolicy::Enforce
+            && inner
+                .class_policies
+                .values()
+                .all(|p| *p == CheckPolicy::Enforce)
+            && inner
+                .method_policies
+                .values()
+                .all(|p| *p == CheckPolicy::Enforce);
+        self.policies_nontrivial.set(!trivial);
+    }
+
+    /// Sets the global enforcement policy.
+    pub fn set_global_policy(&self, policy: CheckPolicy) {
+        let mut inner = self.inner.borrow_mut();
+        inner.global_policy = policy;
+        self.refresh_policy_triviality(&inner);
+    }
+
+    /// Sets a per-class policy override (exact class name; applies to a
+    /// method when the receiver's class or the annotation's declaring
+    /// class matches).
+    pub fn set_class_policy(&self, class: Sym, policy: CheckPolicy) {
+        let mut inner = self.inner.borrow_mut();
+        inner.class_policies.insert(class, policy);
+        self.refresh_policy_triviality(&inner);
+    }
+
+    /// Sets a per-method policy override (exact key; matched against the
+    /// receiver-class key and the annotation's own key).
+    pub fn set_method_policy(&self, key: MethodKey, policy: CheckPolicy) {
+        let mut inner = self.inner.borrow_mut();
+        inner.method_policies.insert(key, policy);
+        self.refresh_policy_triviality(&inner);
+    }
+
+    /// Counts a blame swallowed by [`CheckPolicy::Shadow`] (any layer).
+    pub fn note_shadowed_blame(&self) {
+        self.inner.borrow_mut().shadowed_blames += 1;
+    }
+
+    /// Blames swallowed by Shadow so far (snapshotted into
+    /// `EngineStats::shadowed_blames`).
+    pub fn shadowed_blames(&self) -> u64 {
+        self.inner.borrow().shadowed_blames
+    }
+
+    /// Zeroes the shadowed-blame counter (statistics reset).
+    pub fn reset_shadowed_blames(&self) {
+        self.inner.borrow_mut().shadowed_blames = 0;
+    }
+
+    /// Resolves the effective policy for a dispatch: method override
+    /// (receiver key, then annotation key), class override (receiver
+    /// class, then annotation class), then the global policy.
+    pub fn policy_for(&self, cache_key: &MethodKey, annotation_key: &MethodKey) -> CheckPolicy {
+        let inner = self.inner.borrow();
+        if let Some(&p) = inner
+            .method_policies
+            .get(cache_key)
+            .or_else(|| inner.method_policies.get(annotation_key))
+        {
+            return p;
+        }
+        if let Some(&p) = inner
+            .class_policies
+            .get(&cache_key.class)
+            .or_else(|| inner.class_policies.get(&annotation_key.class))
+        {
+            return p;
+        }
+        inner.global_policy
     }
 
     /// The retained blame diagnostics, oldest first.

@@ -6,7 +6,7 @@
 use hummingbird::Hummingbird;
 
 fn main() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
 
     // Type annotations are ordinary code that runs at class-load time.
     hb.eval(

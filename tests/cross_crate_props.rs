@@ -59,7 +59,7 @@ proptest! {
     fn engine_checks_each_generated_method_once(src in arb_class_source(), calls in 1usize..4) {
         let p = parse_program(&src, "gen.rb").unwrap();
         let n_methods = collect_method_defs(&p).len();
-        let mut hb = Hummingbird::new();
+        let mut hb = Hummingbird::builder().build();
         hb.eval(&src).unwrap();
         for m in 0..n_methods {
             hb.eval(&format!(

@@ -16,7 +16,7 @@ fn parse_lower_check_run_pipeline() {
     assert_eq!(cfg.params.len(), 1);
 
     // 2. Full system: same code annotated and executed.
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         "class Math2\n type :double, \"(Fixnum) -> Fixnum\", { \"check\" => true }\n def double(x)\n  x + x\n end\nend\nMath2.new.double(21)",
     )
@@ -28,7 +28,7 @@ fn parse_lower_check_run_pipeline() {
 fn metaprogramming_to_checking_round_trip() {
     // define_method + pre-generated annotation + JIT check + cache, across
     // hb-interp, hb-rdl, hb-check and the engine.
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         r#"
 class Widget
@@ -75,7 +75,7 @@ w.get_size
 
 #[test]
 fn rails_substrate_composes_with_engine() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb_rails::install_rails(&mut hb, true).unwrap();
     hb.eval(
         r#"
@@ -99,7 +99,7 @@ Gadget.find(1).shout
 
 #[test]
 fn blame_propagates_uncaught_through_rescue() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     let err = hb
         .eval(
             r#"
@@ -138,7 +138,7 @@ Calc.new.fib(12)
 "#;
     let mut results = Vec::new();
     for mode in [Mode::Original, Mode::NoCache, Mode::Full] {
-        let mut hb = Hummingbird::with_mode(mode);
+        let mut hb = Hummingbird::builder().mode(mode).build();
         let v = hb.eval(program).unwrap();
         results.push(format!("{v:?}"));
     }
@@ -185,7 +185,7 @@ fn formal_machine_matches_engine_on_caching_story() {
     assert_eq!(cfg.checks_run, 1);
     assert_eq!(cfg.cache_hits, 1);
 
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         "class A2\n type :m, \"(A2) -> A2\", { \"check\" => true }\n def m(x)\n  x\n end\nend\na = A2.new\na.m(a)\na.m(a)",
     )
@@ -196,7 +196,7 @@ fn formal_machine_matches_engine_on_caching_story() {
 
 #[test]
 fn union_receivers_and_refinement_compose() {
-    let mut hb = Hummingbird::new();
+    let mut hb = Hummingbird::builder().build();
     hb.eval(
         r#"
 class Cat
