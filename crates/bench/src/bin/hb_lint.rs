@@ -8,7 +8,7 @@
 //! targets and labeled spans.
 //!
 //! ```text
-//! hb_lint [--json] [--errors] [--smoke] [--policy P] [APP ...]
+//! hb_lint [--json] [--errors] [--smoke] [--policy P] [--jobs N] [APP ...]
 //!
 //!   (default)   lint the six clean subject apps (expected: 0 findings)
 //!   APP ...     lint only the named apps (Talks, Boxroom, Pubs, Rolify,
@@ -16,14 +16,19 @@
 //!   --errors    lint the six historical Talks error versions instead
 //!               (expected: exactly one finding each)
 //!   --json      emit one JSON object per target on stdout
+//!   --jobs N    fan the whole-program check across N scheduler workers
+//!               (`Hummingbird::check_all_parallel`). Output is
+//!               byte-identical to the serial path — diagnostics are
+//!               sorted by (file, span, code) on both — so every mode,
+//!               including --smoke's gates, composes with it.
 //!   --policy P  lint the APP targets under a global check policy
-//!               (enforce/shadow/off). Shadow reports findings but always
-//!               exits 0 — the scriptable canary run that observes
-//!               without gating; off skips every check (0 findings by
-//!               construction). Incompatible with --errors/--smoke, whose
-//!               exactly-one-finding semantics presume Enforce: the
-//!               combination exits 2 rather than silently ignoring the
-//!               flag.
+//!               (enforce/shadow/deferred/off). Shadow reports findings
+//!               but always exits 0 — the scriptable canary run that
+//!               observes without gating; off skips every check (0
+//!               findings by construction). Incompatible with
+//!               --errors/--smoke, whose exactly-one-finding semantics
+//!               presume Enforce: the combination exits 2 rather than
+//!               silently ignoring the flag.
 //!   --smoke     CI gate: assert the clean apps lint at zero diagnostics
 //!               AND the six error versions yield exactly six diagnostics
 //!               with their expected codes; exit 1 on any mismatch
@@ -33,7 +38,7 @@
 //! clean targets, or any findings under `--policy shadow`), 1 otherwise —
 //! so the bin gates CI directly.
 
-use hb_apps::talks_history::{error_versions, lint_error_version};
+use hb_apps::talks_history::{error_versions, lint_error_version_with_jobs};
 use hb_apps::{all_apps, build_app_with, AppSpec};
 use hummingbird::{CheckPolicy, Hummingbird, Mode, TypeDiagnostic};
 
@@ -45,10 +50,10 @@ struct LintTarget {
     codes: Vec<String>,
 }
 
-fn lint_app(spec: &AppSpec, json: bool, policy: CheckPolicy) -> LintTarget {
+fn lint_app(spec: &AppSpec, json: bool, policy: CheckPolicy, jobs: usize) -> LintTarget {
     let builder = Hummingbird::builder().mode(Mode::Full).check_policy(policy);
     let mut hb = build_app_with(spec, builder);
-    let diags: Vec<TypeDiagnostic> = hb.check_all();
+    let diags: Vec<TypeDiagnostic> = hb.check_all_parallel(jobs);
     let map = hb.source_map();
     LintTarget {
         label: format!("app:{}", spec.name),
@@ -61,11 +66,11 @@ fn lint_app(spec: &AppSpec, json: bool, policy: CheckPolicy) -> LintTarget {
     }
 }
 
-fn lint_errors(json: bool) -> Vec<LintTarget> {
+fn lint_errors(json: bool, jobs: usize) -> Vec<LintTarget> {
     error_versions()
         .iter()
         .map(|v| {
-            let diags = lint_error_version(v);
+            let diags = lint_error_version_with_jobs(v, jobs);
             LintTarget {
                 label: format!("error-version:{}", v.version),
                 count: diags.len(),
@@ -114,11 +119,21 @@ fn main() {
         Some(i) => {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
             CheckPolicy::parse(name).unwrap_or_else(|| {
-                eprintln!("--policy: expected enforce/shadow/off, got {name:?}");
+                eprintln!("--policy: expected enforce/shadow/deferred/off, got {name:?}");
                 std::process::exit(2);
             })
         }
         None => CheckPolicy::Enforce,
+    };
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => {
+            let arg = args.get(i + 1).map(String::as_str).unwrap_or("");
+            arg.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--jobs: expected a worker count, got {arg:?}");
+                std::process::exit(2);
+            })
+        }
+        None => 1,
     };
     if (errors || smoke) && policy != CheckPolicy::Enforce {
         eprintln!(
@@ -132,7 +147,8 @@ fn main() {
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--policy")
+                && !matches!(args.get(i.wrapping_sub(1)),
+                             Some(prev) if prev == "--policy" || prev == "--jobs")
         })
         .map(|(_, a)| a)
         .collect();
@@ -143,7 +159,7 @@ fn main() {
         // expected codes.
         let mut failures = 0usize;
         for spec in all_apps() {
-            let t = lint_app(&spec, json, CheckPolicy::Enforce);
+            let t = lint_app(&spec, json, CheckPolicy::Enforce, jobs);
             if t.count != 0 {
                 eprintln!(
                     "SMOKE FAIL: {} expected 0 diagnostics, got {}",
@@ -154,7 +170,7 @@ fn main() {
             print_target(&t, json);
         }
         let mut total = 0usize;
-        for (t, v) in lint_errors(json).iter().zip(error_versions()) {
+        for (t, v) in lint_errors(json, jobs).iter().zip(error_versions()) {
             total += t.count;
             if t.count != 1 || t.codes[0] != v.expected_code {
                 eprintln!(
@@ -181,7 +197,7 @@ fn main() {
         // The error versions are *expected* to blame: success means each
         // yields exactly one finding with its documented code.
         let mut mismatches = 0usize;
-        for (t, v) in lint_errors(json).iter().zip(error_versions()) {
+        for (t, v) in lint_errors(json, jobs).iter().zip(error_versions()) {
             if t.count != 1 || t.codes[0] != v.expected_code {
                 eprintln!(
                     "{} expected 1 diagnostic with {}, got {} {:?}",
@@ -203,7 +219,7 @@ fn main() {
     }
     let mut findings = 0usize;
     for spec in &specs {
-        let t = lint_app(spec, json, policy);
+        let t = lint_app(spec, json, policy, jobs);
         findings += t.count;
         print_target(&t, json);
     }

@@ -108,7 +108,9 @@ fn json_runs(runs: &[TenantRun]) -> String {
             format!(
                 "{{\"tenant\": {}, \"build_ms\": {:.1}, \"serve_ms\": {:.1}, \
                  \"checks_performed\": {}, \"shared_hits\": {}, \"cache_hits\": {}, \
-                 \"check_ms\": {:.2}, \"adopt_ms\": {:.2}, \"warm_hit_rate\": {:.4}}}",
+                 \"check_ms\": {:.2}, \"adopt_ms\": {:.2}, \"warm_hit_rate\": {:.4}, \
+                 \"sched_tasks_enqueued\": {}, \"sched_tasks_completed\": {}, \
+                 \"sched_tasks_stale\": {}, \"deferred_admissions\": {}}}",
                 r.tenant,
                 r.build_ns as f64 / 1e6,
                 r.serve_ns as f64 / 1e6,
@@ -117,7 +119,11 @@ fn json_runs(runs: &[TenantRun]) -> String {
                 r.cache_hits,
                 r.check_ns as f64 / 1e6,
                 r.shared_adopt_ns as f64 / 1e6,
-                r.warm_hit_rate()
+                r.warm_hit_rate(),
+                r.sched_tasks_enqueued,
+                r.sched_tasks_completed,
+                r.sched_tasks_stale,
+                r.deferred_admissions,
             )
         })
         .collect();

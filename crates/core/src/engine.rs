@@ -9,6 +9,7 @@
 //! type table — once, caching the outcome keyed by the receiver's class.
 
 use crate::info::RegistryInfo;
+use crate::sched::{capture_world, sort_diagnostics};
 use crate::shared_cache::{SharedCache, SharedDep, SharedEvictionSink};
 use crate::stats::{CheckLogItem, CheckVerdict, EngineStats, PhaseTracker};
 use hb_check::{check_sig, CheckOptions, CheckPolicy, CheckRequest};
@@ -19,9 +20,10 @@ use hb_interp::{
     MethodBody, Value,
 };
 use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, Resolution, TableEntry};
+use hb_sched::{CheckTask, CompletionQueue, Scheduler, TaskCompletion, TaskVerdict, WorldSnapshot};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::TypeEnv;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -87,6 +89,18 @@ pub struct CacheDumpEntry {
     pub deps: Vec<MethodKey>,
 }
 
+/// One entry of the whole-program check set (see
+/// `Engine::eligible_methods`): an annotated, checkable method resolved
+/// against the current registry, with its effective policy.
+struct EligibleMethod {
+    key: MethodKey,
+    entry: Rc<TableEntry>,
+    cid: ClassId,
+    owner: ClassId,
+    mentry: hb_interp::MethodEntry,
+    policy: CheckPolicy,
+}
+
 /// Memo key for witness replay: (start, skip_receiver, class_level, method).
 type ReplayKey = (Sym, bool, bool, Sym);
 /// A replayed lookup's answer: (resolved key, its version, its sig fingerprint).
@@ -104,7 +118,9 @@ struct EngineState {
     /// re-check is cheap and the edge map stays receiver-independent.
     neg_dependents: HashMap<(Sym, bool), HashSet<MethodKey>>,
     /// Lowered bodies by method-entry id (also used for reload diffing).
-    cfgs: HashMap<u64, Rc<MethodCfg>>,
+    /// `Arc` so a scheduler `CheckTask` captures the CFG without a deep
+    /// clone — lowering is cold-path either way.
+    cfgs: HashMap<u64, Arc<MethodCfg>>,
     /// Memoised signature-content fingerprints by (key, version).
     sig_fps: HashMap<(MethodKey, u64), u64>,
     /// Memoised replay results per resolution witness, valid for one
@@ -113,6 +129,14 @@ struct EngineState {
     dep_memo: HashMap<ReplayKey, Option<ReplayResult>>,
     /// The (table, hierarchy) generations `dep_memo` was built at.
     dep_memo_gen: (u64, u64),
+    /// Cache keys with a scheduled check task in flight (enqueued, not
+    /// yet harvested) — deduplicates deferred admissions so a hot cold
+    /// method enqueues one task, not one per call.
+    in_flight: HashSet<MethodKey>,
+    /// Memoised world snapshot for task extraction, keyed by the epoch
+    /// fingerprints it was captured at — a burst of extractions against a
+    /// quiescent table pays for one capture.
+    world_memo: Option<((u64, u64, u64), Arc<WorldSnapshot>)>,
     stats: EngineStats,
     phase: PhaseTracker,
 }
@@ -178,6 +202,17 @@ pub struct Engine {
     /// tenant of many (see [`crate::shared_cache`]). `None` keeps the
     /// engine purely per-process, exactly as before.
     shared: RefCell<Option<Arc<SharedCache>>>,
+    /// The concurrent check scheduler, when attached (deferred JIT
+    /// admission and parallel `check_all`). Pools may be shared by many
+    /// tenants; completions route back through `completions`.
+    sched: RefCell<Option<Arc<Scheduler>>>,
+    /// This engine's completion channel: every task it extracts carries a
+    /// clone, and results are harvested on the interpreter thread.
+    completions: Arc<CompletionQueue>,
+    /// One-`Cell`-load hot-path test: true once a scheduler is attached,
+    /// so the default (scheduler-less) dispatch path never probes the
+    /// completion queue.
+    sched_active: Cell<bool>,
 }
 
 impl Engine {
@@ -190,6 +225,9 @@ impl Engine {
             check_opts: CheckOptions::default(),
             check_log_cap: std::cell::Cell::new(crate::stats::DEFAULT_CHECK_LOG_CAP),
             shared: RefCell::new(None),
+            sched: RefCell::new(None),
+            completions: Arc::new(CompletionQueue::new()),
+            sched_active: Cell::new(false),
         }
     }
 
@@ -238,6 +276,429 @@ impl Engine {
     /// The attached shared tier, if any.
     pub fn shared_cache(&self) -> Option<Arc<SharedCache>> {
         self.shared.borrow().clone()
+    }
+
+    // ----- the concurrent check scheduler ------------------------------------
+
+    /// Attaches a check scheduler. Pools are process-wide resources: many
+    /// tenants may share one (each engine's results route back through
+    /// its own completion queue).
+    pub fn set_scheduler(&self, sched: Arc<Scheduler>) {
+        *self.sched.borrow_mut() = Some(sched);
+        self.sched_active.set(true);
+    }
+
+    /// The attached scheduler, if any.
+    pub fn scheduler(&self) -> Option<Arc<Scheduler>> {
+        self.sched.borrow().clone()
+    }
+
+    /// The attached scheduler, creating a default-sized pool on first use
+    /// (a cold call under [`CheckPolicy::Deferred`] must always have
+    /// somewhere to enqueue).
+    fn ensure_scheduler(&self) -> Arc<Scheduler> {
+        if let Some(s) = self.sched.borrow().as_ref() {
+            return s.clone();
+        }
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(1, 4);
+        let s = Arc::new(Scheduler::new(jobs));
+        self.set_scheduler(s.clone());
+        s
+    }
+
+    /// The world snapshot for task extraction at the current epochs,
+    /// memoised so extraction bursts against a quiescent table capture
+    /// once.
+    fn world_for(&self, st: &mut EngineState, interp: &Interp) -> Arc<WorldSnapshot> {
+        let epochs = (
+            self.rdl.table_fingerprint(),
+            interp.registry.shape_fingerprint(),
+            self.rdl.var_fingerprint(),
+        );
+        if let Some((at, world)) = &st.world_memo {
+            if *at == epochs {
+                return world.clone();
+            }
+        }
+        let world = Arc::new(capture_world(interp, &self.rdl));
+        st.world_memo = Some((epochs, world.clone()));
+        world
+    }
+
+    /// Blocks until every task this engine enqueued has completed, then
+    /// harvests the completions — the barrier after which asynchronously
+    /// produced blame is guaranteed visible in [`Engine::diagnostics`].
+    /// Loops because landing a stale deferred completion can re-enqueue a
+    /// fresh task (see `land_completion`); with the table quiescent the
+    /// retry lands on the next pass. (A paused scheduler must be resumed
+    /// first or this will not return.)
+    pub fn sched_quiesce(&self, interp: &Interp) {
+        loop {
+            self.completions.wait_idle();
+            self.sched_harvest(interp);
+            if self.completions.pending() == 0 && !self.completions.has_ready() {
+                return;
+            }
+        }
+    }
+
+    /// The dispatch hook's completion poll. Outlined and cold for the
+    /// same reason as [`Engine::resolve_policy`]: the scheduler-less
+    /// default pays one `Cell` load, and keeping the queue probe (and the
+    /// harvest machinery behind it) out of `before_call`'s body keeps the
+    /// steady-state cache-hit path at its pre-scheduler layout.
+    #[cold]
+    #[inline(never)]
+    fn poll_completions(&self, interp: &Interp) {
+        if self.completions.has_ready() {
+            self.sched_harvest(interp);
+        }
+    }
+
+    /// Drains and lands every delivered completion: valid passes are
+    /// adopted, valid blames recorded, stale results discarded (see
+    /// `land_completion`). Called opportunistically from the dispatch
+    /// hook and from [`Engine::sched_quiesce`].
+    pub fn sched_harvest(&self, interp: &Interp) {
+        if !self.completions.has_ready() {
+            return;
+        }
+        for c in self.completions.drain() {
+            self.land_completion(interp, c);
+        }
+    }
+
+    /// Lands one worker completion on the interpreter thread, where the
+    /// live table and registry are reachable for staleness validation:
+    ///
+    /// * the method-table entry, the annotation resolution and its
+    ///   version must still match what the task captured, and a passing
+    ///   derivation's epochs must match the current fingerprints (or its
+    ///   witnesses must replay) — otherwise the result is **stale**:
+    ///   counted in `sched_tasks_stale` and discarded, never adopted.
+    ///   A stale *deferred* result whose method identity is still current
+    ///   (the world moved around it while it was in flight) re-enqueues a
+    ///   fresh task against the current world, so its outcome — pass or
+    ///   blame — is re-established rather than silently lost; a result
+    ///   whose method was redefined outright is dropped (the next call
+    ///   re-defers naturally);
+    /// * a valid pass is adopted exactly like a synchronous derivation
+    ///   (local cache, dependency edges, shared-tier publication);
+    /// * a valid blame records its diagnostic (deferred admissions only —
+    ///   parallel linting leaves reporting to the deterministic serial
+    ///   sweep);
+    /// * a contained worker panic records an `HB0011` diagnostic.
+    fn land_completion(&self, interp: &Interp, c: TaskCompletion) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.in_flight.remove(&c.cache_key);
+            st.stats.sched_tasks_completed += 1;
+        }
+        // Identity validation, common to every verdict: the body and the
+        // signature the worker checked must still be the current ones.
+        let current = (|| {
+            let cid = interp.registry.lookup(c.cache_key.class.as_str())?;
+            let (_, mentry) = if c.cache_key.class_level {
+                interp
+                    .registry
+                    .find_smethod(cid, c.cache_key.method.as_str())
+            } else {
+                interp
+                    .registry
+                    .find_method(cid, c.cache_key.method.as_str())
+            }?;
+            if mentry.id != c.entry_id {
+                return None;
+            }
+            let (ann_key, entry) = self.rdl.lookup_along(
+                interp.registry.ancestor_syms(cid).map(|(_, sym)| sym),
+                c.cache_key.class_level,
+                c.cache_key.method,
+            )?;
+            if ann_key != c.ann_key || entry.version != c.sig_version {
+                return None;
+            }
+            Some((mentry, entry))
+        })();
+        let Some((mentry, entry)) = current else {
+            self.state.borrow_mut().stats.sched_tasks_stale += 1;
+            return;
+        };
+        match &c.verdict {
+            TaskVerdict::Pass { deps, cast_sites } => {
+                let mut st = self.state.borrow_mut();
+                let epochs = (
+                    self.rdl.table_fingerprint(),
+                    interp.registry.shape_fingerprint(),
+                    self.rdl.var_fingerprint(),
+                );
+                // Same validity test as shared-tier adoption: identical
+                // epochs, or exact hierarchy/variable fingerprints plus a
+                // full witness replay (benign divergence — e.g. an
+                // unrelated annotation landed while the task was in
+                // flight — still adopts; anything the derivation actually
+                // depends on rejects).
+                let valid = c.epochs == epochs
+                    || (c.epochs.1 == epochs.1
+                        && c.epochs.2 == epochs.2
+                        && c.own_sig_fp == st.sig_fp(c.ann_key, &entry)
+                        && self.witnesses_valid(
+                            &mut st,
+                            interp,
+                            deps.iter()
+                                .map(|d| (&d.resolution, d.sig_version, d.sig_fingerprint)),
+                        ));
+                if !valid {
+                    st.stats.sched_tasks_stale += 1;
+                    drop(st);
+                    if c.record_blame {
+                        self.requeue_deferred(interp, &c, &entry, &mentry);
+                    }
+                    return;
+                }
+                self.rdl.mark_used(&c.ann_key);
+                st.stats.checks_performed += 1;
+                st.stats.check_ns += c.duration_ns;
+                self.push_check_log(
+                    &mut st,
+                    CheckLogItem {
+                        key: c.cache_key,
+                        outcome: CheckVerdict::Pass,
+                        duration_ns: c.duration_ns,
+                    },
+                );
+                st.stats.checked_methods.insert(c.cache_key.display());
+                st.stats.cast_sites.extend(cast_sites.iter().copied());
+                st.phase.note_check();
+                if !self.config.borrow().caching {
+                    return;
+                }
+                if let Some(old) = st.cache.remove(&c.cache_key) {
+                    Self::unlink(&mut st, &c.cache_key, &old);
+                }
+                let dep_keys: BTreeSet<MethodKey> =
+                    deps.iter().filter_map(|d| d.resolution.target).collect();
+                for dep in &dep_keys {
+                    self.rdl.mark_used(dep);
+                    st.dependents.entry(*dep).or_default().insert(c.cache_key);
+                }
+                let neg_deps: BTreeSet<(Sym, bool)> = deps
+                    .iter()
+                    .filter(|d| d.resolution.target.is_none())
+                    .map(|d| (d.resolution.method, d.resolution.class_level))
+                    .collect();
+                for nd in &neg_deps {
+                    st.neg_dependents
+                        .entry(*nd)
+                        .or_default()
+                        .insert(c.cache_key);
+                }
+                // Publish onward so other tenants adopt the worker's
+                // derivation exactly as they adopt a tenant-published one.
+                if let (Some(shared), Some(body_fp)) = (self.shared.borrow().as_ref(), c.body_fp) {
+                    shared.insert(
+                        c.cache_key,
+                        c.entry_id,
+                        c.sig_version,
+                        body_fp,
+                        c.own_sig_fp,
+                        c.epochs,
+                        deps.iter()
+                            .map(|d| SharedDep {
+                                resolution: d.resolution,
+                                sig_version: d.sig_version,
+                                sig_fingerprint: d.sig_fingerprint,
+                            })
+                            .collect(),
+                        cast_sites.clone(),
+                    );
+                }
+                st.cache.insert(
+                    c.cache_key,
+                    CacheEntry {
+                        method_entry_id: c.entry_id,
+                        sig_version: c.sig_version,
+                        deps: dep_keys,
+                        neg_deps,
+                    },
+                );
+            }
+            TaskVerdict::Blame(diag) => {
+                if !c.record_blame {
+                    // Parallel linting: the deterministic serial sweep
+                    // re-derives and reports this failure (failures are
+                    // never cached, so nothing is lost).
+                    return;
+                }
+                let epochs = (
+                    self.rdl.table_fingerprint(),
+                    interp.registry.shape_fingerprint(),
+                    self.rdl.var_fingerprint(),
+                );
+                if c.epochs != epochs {
+                    // The world moved while the blame was in flight: the
+                    // judgement may no longer hold (e.g. the blamed callee
+                    // annotation was fixed meanwhile). A failed check
+                    // leaves no witnesses to replay, so the blame is
+                    // discarded as stale and the method re-checks against
+                    // the *current* world — a still-real error re-lands at
+                    // the next harvest instead of an obsolete one landing
+                    // now.
+                    self.state.borrow_mut().stats.sched_tasks_stale += 1;
+                    self.requeue_deferred(interp, &c, &entry, &mentry);
+                    return;
+                }
+                let code = diag.code;
+                let mut diag = diag.clone();
+                let checker_span_dummy = diag.span == Span::dummy();
+                if let Some(call) = c.trigger {
+                    diag.labels.push(DiagLabel::new(
+                        LabelRole::CallSite,
+                        "checked just-in-time at this call",
+                        call,
+                    ));
+                    if checker_span_dummy {
+                        diag.labels.push(DiagLabel::new(
+                            LabelRole::Note,
+                            "blamed code has no source span (synthesized or core-library definition)",
+                            Span::dummy(),
+                        ));
+                        diag.span = call;
+                    }
+                } else if checker_span_dummy {
+                    diag.span = entry.span;
+                }
+                diag.labels.push(CheckPolicy::deferred_note());
+                let mut st = self.state.borrow_mut();
+                st.stats.checks_failed += 1;
+                st.stats.failed_check_ns += c.duration_ns;
+                self.push_check_log(
+                    &mut st,
+                    CheckLogItem {
+                        key: c.cache_key,
+                        outcome: CheckVerdict::Blame(code),
+                        duration_ns: c.duration_ns,
+                    },
+                );
+                st.phase.note_check();
+                drop(st);
+                self.rdl.record_diagnostic(diag);
+            }
+            TaskVerdict::Panicked(msg) => {
+                let message = format!(
+                    "check task for {} panicked on a scheduler worker: {}",
+                    c.cache_key.display(),
+                    msg
+                );
+                let mut diag = TypeDiagnostic::error(
+                    DiagCode::CheckerPanic,
+                    message,
+                    c.trigger.unwrap_or(entry.span),
+                    BlameTarget::Annotation(c.ann_key),
+                )
+                .with_method(c.cache_key)
+                .with_label(DiagLabel::new(
+                    LabelRole::Note,
+                    "the panic was contained to this task; the worker pool and every other queued check survived",
+                    Span::dummy(),
+                ));
+                if let Some(call) = c.trigger {
+                    diag.labels.push(DiagLabel::new(
+                        LabelRole::CallSite,
+                        "checked just-in-time at this call",
+                        call,
+                    ));
+                }
+                let mut st = self.state.borrow_mut();
+                st.stats.checks_failed += 1;
+                st.stats.failed_check_ns += c.duration_ns;
+                self.push_check_log(
+                    &mut st,
+                    CheckLogItem {
+                        key: c.cache_key,
+                        outcome: CheckVerdict::Blame(DiagCode::CheckerPanic),
+                        duration_ns: c.duration_ns,
+                    },
+                );
+                drop(st);
+                self.rdl.record_diagnostic(diag);
+            }
+        }
+    }
+
+    /// Re-extracts and re-enqueues a deferred check whose completion was
+    /// discarded as stale while its method identity stayed current: the
+    /// fresh task captures the *current* world, so the method's real
+    /// status (pass or blame) is re-established at the next harvest
+    /// instead of being silently lost. No-op when a task for the key is
+    /// already in flight.
+    fn requeue_deferred(
+        &self,
+        interp: &Interp,
+        c: &TaskCompletion,
+        entry: &TableEntry,
+        mentry: &hb_interp::MethodEntry,
+    ) {
+        if self.state.borrow().in_flight.contains(&c.cache_key) {
+            return;
+        }
+        let captured: Option<TypeEnv> = match &mentry.body {
+            MethodBody::FromProc(p) => Some(
+                p.env
+                    .collect_bindings()
+                    .into_iter()
+                    .map(|(k, v)| (k, type_of(interp, &v)))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let cfg = {
+            let cached = self.state.borrow().cfgs.get(&mentry.id).cloned();
+            match cached {
+                Some(cfg) => cfg,
+                None => {
+                    let Some(lowered) = lower_entry(mentry) else {
+                        return;
+                    };
+                    let cfg = Arc::new(lowered);
+                    self.state.borrow_mut().cfgs.insert(mentry.id, cfg.clone());
+                    cfg
+                }
+            }
+        };
+        let body_fp = body_fingerprint(interp, mentry, captured.as_ref());
+        let mut st = self.state.borrow_mut();
+        let world = self.world_for(&mut st, interp);
+        let own_sig_fp = st.sig_fp(c.ann_key, entry);
+        st.in_flight.insert(c.cache_key);
+        st.stats.sched_tasks_enqueued += 1;
+        drop(st);
+        let accepted = self.ensure_scheduler().submit(CheckTask {
+            cache_key: c.cache_key,
+            ann_key: c.ann_key,
+            ann_span: entry.span,
+            sig: entry.sig.clone(),
+            entry_id: mentry.id,
+            sig_version: entry.version,
+            body_fp,
+            own_sig_fp,
+            cfg,
+            captured,
+            world,
+            policy: c.policy,
+            trigger: c.trigger,
+            record_blame: true,
+            opts: self.check_opts,
+            completions: self.completions.clone(),
+        });
+        if !accepted {
+            // The pool is shutting down: the task will never run, so the
+            // key must not stay latched in flight.
+            self.state.borrow_mut().in_flight.remove(&c.cache_key);
+        }
     }
 
     /// Current configuration.
@@ -355,7 +816,7 @@ impl Engine {
                         // CFG under the new id — the shape is identical but
                         // its spans are current, so a later recheck blames
                         // post-reload source locations.
-                        st.cfgs.insert(new_id, Rc::new(new_cfg));
+                        st.cfgs.insert(new_id, Arc::new(new_cfg));
                         for entry in st.cache.values_mut() {
                             if entry.method_entry_id == old_id {
                                 entry.method_entry_id = new_id;
@@ -658,6 +1119,40 @@ impl Engine {
         }
     }
 
+    /// Replays a derivation's (TApp) resolution witnesses against the
+    /// *current* table, comparing each answer's key, version and content
+    /// fingerprint to the values the derivation was built against. Used
+    /// by the shared-tier adoption path and by scheduler-completion
+    /// landing — the same Definition-1 validity test, structural instead
+    /// of by re-derivation.
+    fn witnesses_valid<'d>(
+        &self,
+        st: &mut EngineState,
+        interp: &Interp,
+        deps: impl Iterator<Item = (&'d Resolution, u64, u64)>,
+    ) -> bool {
+        let gen = (
+            self.rdl.table_generation(),
+            interp.registry.hierarchy_generation(),
+        );
+        if st.dep_memo_gen != gen {
+            st.dep_memo.clear();
+            st.dep_memo_gen = gen;
+        }
+        for (res, at_version, at_fp) in deps {
+            let cur = st.replay(interp, &self.rdl, res);
+            let ok = match (res.target, cur) {
+                (None, None) => true,
+                (Some(t), Some((k, v, fp))) => k == t && v == at_version && fp == at_fp,
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
     // ----- the just-in-time check ---------------------------------------------
 
     /// Ensures `cache_key`'s derivation is valid, running the static check
@@ -665,7 +1160,11 @@ impl Engine {
     /// checks, `None` when checking eagerly (`check_all`/`hb_lint`, where
     /// no call exists). `policy` is the already-resolved enforcement
     /// policy — it does not change the judgement, only the failure
-    /// diagnostic's shadow note (the caller decides raise-vs-continue).
+    /// diagnostic's shadow note (the caller decides raise-vs-continue) —
+    /// except [`CheckPolicy::Deferred`], where a just-in-time miss in
+    /// both cache tiers enqueues the check onto the scheduler and returns
+    /// `Ok(false)`: the call is admitted, the body is *not* marked
+    /// checked. `Ok(true)` means the derivation is valid right now.
     #[allow(clippy::too_many_arguments)]
     fn ensure_checked(
         &self,
@@ -676,7 +1175,7 @@ impl Engine {
         table_entry: &TableEntry,
         trigger: Option<Span>,
         policy: CheckPolicy,
-    ) -> Result<(), HbError> {
+    ) -> Result<bool, HbError> {
         let caching = self.config.borrow().caching;
         {
             let st = self.state.borrow();
@@ -685,7 +1184,7 @@ impl Engine {
                     if c.method_entry_id == info.entry.id && c.sig_version == table_entry.version {
                         drop(st);
                         self.state.borrow_mut().stats.cache_hits += 1;
-                        return Ok(());
+                        return Ok(true);
                     }
                 }
             }
@@ -718,10 +1217,9 @@ impl Engine {
         // what the derivation was checked against — by version *and*
         // content fingerprint: Definition 1's conditions, validated
         // structurally instead of by re-derivation.
+        let body_fp = body_fingerprint(interp, &info.entry, captured.as_ref());
         let shared_fp: Option<(Arc<SharedCache>, u64)> = if caching {
-            self.shared.borrow().clone().and_then(|s| {
-                body_fingerprint(interp, &info.entry, captured.as_ref()).map(|fp| (s, fp))
-            })
+            self.shared.borrow().clone().zip(body_fp)
         } else {
             None
         };
@@ -745,27 +1243,16 @@ impl Engine {
                     // is_subtype judgements straight off the hierarchy —
                     // so both fingerprints must match exactly even here;
                     // replay then covers table/annotation divergence only.
-                    let gen = (
-                        self.rdl.table_generation(),
-                        interp.registry.hierarchy_generation(),
-                    );
-                    if st.dep_memo_gen != gen {
-                        st.dep_memo.clear();
-                        st.dep_memo_gen = gen;
-                    }
                     d.hier_fp == epochs.1
                         && d.var_fp == epochs.2
                         && d.own_sig_fingerprint == st.sig_fp(*annotation_key, table_entry)
-                        && d.deps.iter().all(|dep| {
-                            let cur = st.replay(interp, &self.rdl, &dep.resolution);
-                            match (dep.resolution.target, cur) {
-                                (None, None) => true,
-                                (Some(t), Some((k, v, fp))) => {
-                                    k == t && v == dep.sig_version && fp == dep.sig_fingerprint
-                                }
-                                _ => false,
-                            }
-                        })
+                        && self.witnesses_valid(
+                            &mut st,
+                            interp,
+                            d.deps
+                                .iter()
+                                .map(|dep| (&dep.resolution, dep.sig_version, dep.sig_fingerprint)),
+                        )
                 };
                 if valid {
                     self.rdl.mark_used(annotation_key);
@@ -806,7 +1293,7 @@ impl Engine {
                             neg_deps,
                         },
                     );
-                    return Ok(());
+                    return Ok(true);
                 }
             }
         }
@@ -825,7 +1312,7 @@ impl Engine {
                         info.span,
                     )
                 })?;
-                let rc = Rc::new(lowered);
+                let rc = Arc::new(lowered);
                 self.state
                     .borrow_mut()
                     .cfgs
@@ -833,6 +1320,51 @@ impl Engine {
                 rc
             }
         };
+        // Deferred admission: a just-in-time miss in both tiers does not
+        // run the checker on the caller's thread. The engine extracts an
+        // owned `CheckTask` (body CFG, signature, world snapshot with its
+        // epoch fingerprints), enqueues it, and admits the call under
+        // full dynamic checks — Shadow semantics, so soundness is
+        // unchanged: the body is only marked checked once the worker's
+        // derivation lands at harvest and its fingerprints still match.
+        if policy == CheckPolicy::Deferred {
+            if let Some(call) = trigger {
+                let mut st = self.state.borrow_mut();
+                st.stats.deferred_admissions += 1;
+                if !st.in_flight.contains(cache_key) {
+                    let world = self.world_for(&mut st, interp);
+                    let own_sig_fp = st.sig_fp(*annotation_key, table_entry);
+                    st.in_flight.insert(*cache_key);
+                    st.stats.sched_tasks_enqueued += 1;
+                    drop(st);
+                    let task = CheckTask {
+                        cache_key: *cache_key,
+                        ann_key: *annotation_key,
+                        ann_span: table_entry.span,
+                        sig: table_entry.sig.clone(),
+                        entry_id: info.entry.id,
+                        sig_version: table_entry.version,
+                        body_fp,
+                        own_sig_fp,
+                        cfg,
+                        captured,
+                        world,
+                        policy,
+                        trigger: Some(call),
+                        record_blame: true,
+                        opts: self.check_opts,
+                        completions: self.completions.clone(),
+                    };
+                    if !self.ensure_scheduler().submit(task) {
+                        // The pool is shutting down: the task will never
+                        // run, so the key must not stay latched in flight
+                        // (the next call re-attempts the admission).
+                        self.state.borrow_mut().in_flight.remove(cache_key);
+                    }
+                }
+                return Ok(false);
+            }
+        }
         let reg_info = RegistryInfo(&interp.registry);
         let result = check_sig(&CheckRequest {
             cfg: &cfg,
@@ -842,7 +1374,7 @@ impl Engine {
             ann_key: *annotation_key,
             ann_span: table_entry.span,
             info: &reg_info,
-            rdl: &self.rdl,
+            rdl: self.rdl.as_ref(),
             captured: captured.as_ref(),
             opts: &self.check_opts,
             policy,
@@ -995,7 +1527,7 @@ impl Engine {
                 },
             );
         }
-        Ok(())
+        Ok(true)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1085,16 +1617,22 @@ impl Engine {
     /// itself (there may be no instantiating call to name a mix-in
     /// class), and methods never defined (annotation without a body) are
     /// skipped.
-    pub fn check_all(&self, interp: &mut Interp) -> Vec<TypeDiagnostic> {
-        self.process_events(interp);
+    /// Enumerates the whole-program check set — every annotated,
+    /// checkable, non-`Off` method with its resolved policy — in
+    /// deterministic key order. The single source of eligibility truth
+    /// for the serial and parallel `check_all` paths: a rule added here
+    /// cannot diverge between them (their byte-identical output is a CI
+    /// gate).
+    fn eligible_methods(&self, interp: &Interp) -> Vec<EligibleMethod> {
         let trivial = self.rdl.policies_trivial();
         let mut out = Vec::new();
         for (key, entry) in self.rdl.entries() {
             if !entry.check {
                 continue;
             }
-            // Eager checking never raises, so Enforce and Shadow behave
-            // identically here; Off skips the method entirely.
+            // Eager checking never raises, so Enforce, Shadow and
+            // Deferred behave identically here; Off skips the method
+            // entirely.
             let policy = if trivial {
                 CheckPolicy::Enforce
             } else {
@@ -1117,21 +1655,143 @@ impl Engine {
             if !mentry.is_checkable() {
                 continue;
             }
-            let info = DispatchInfo {
-                recv_class: cid,
-                class_level: key.class_level,
+            out.push(EligibleMethod {
+                key,
+                entry,
+                cid,
                 owner,
-                name: key.method,
-                entry: mentry,
-                span: entry.span,
+                mentry,
+                policy,
+            });
+        }
+        out
+    }
+
+    pub fn check_all(&self, interp: &mut Interp) -> Vec<TypeDiagnostic> {
+        self.process_events(interp);
+        let mut out = Vec::new();
+        for m in self.eligible_methods(interp) {
+            let info = DispatchInfo {
+                recv_class: m.cid,
+                class_level: m.key.class_level,
+                owner: m.owner,
+                name: m.key.method,
+                entry: m.mentry,
+                span: m.entry.span,
             };
-            if let Err(e) = self.ensure_checked(interp, &info, &key, &key, &entry, None, policy) {
+            if let Err(e) =
+                self.ensure_checked(interp, &info, &m.key, &m.key, &m.entry, None, m.policy)
+            {
                 if let Some(d) = e.diagnostic() {
                     out.push(d.clone());
                 }
             }
         }
+        // Stable reporting order, shared with the parallel path: golden
+        // tests and `hb_lint --json` byte-compare this, so it must not
+        // depend on interning order (the historical `entries()` order) or
+        // worker interleaving.
+        sort_diagnostics(&mut out);
         out
+    }
+
+    /// [`Engine::check_all`] fanned across the concurrent scheduler:
+    /// every annotated, checkable method is captured as a [`CheckTask`]
+    /// against one shared world snapshot and checked on `jobs` workers;
+    /// passing derivations are validated and adopted at harvest (caching
+    /// and publishing exactly as synchronous checks do); then a serial
+    /// sweep — now running against warm caches — re-derives only the
+    /// failures, guaranteeing diagnostics byte-identical to the serial
+    /// path in the same sorted order.
+    ///
+    /// Uses the attached scheduler if any; otherwise an ephemeral
+    /// `jobs`-worker pool that is torn down before returning. `jobs <= 1`
+    /// is exactly [`Engine::check_all`].
+    pub fn check_all_parallel(&self, interp: &mut Interp, jobs: usize) -> Vec<TypeDiagnostic> {
+        self.process_events(interp);
+        // Land anything already in flight so deferred-admission results
+        // do not interleave with the lint fan-out below.
+        self.sched_harvest(interp);
+        if jobs <= 1 {
+            return self.check_all(interp);
+        }
+        let sched = match self.scheduler() {
+            Some(s) => s,
+            None => Arc::new(Scheduler::new(jobs)),
+        };
+        let caching = self.config.borrow().caching;
+        let world = {
+            let mut st = self.state.borrow_mut();
+            self.world_for(&mut st, interp)
+        };
+        for m in self.eligible_methods(interp) {
+            // Already valid in the hot tier: the sweep will hit it; no
+            // task needed.
+            if caching {
+                let st = self.state.borrow();
+                if st.cache.get(&m.key).is_some_and(|c| {
+                    c.method_entry_id == m.mentry.id && c.sig_version == m.entry.version
+                }) {
+                    continue;
+                }
+            }
+            let captured: Option<TypeEnv> = match &m.mentry.body {
+                MethodBody::FromProc(p) => Some(
+                    p.env
+                        .collect_bindings()
+                        .into_iter()
+                        .map(|(k, v)| (k, type_of(interp, &v)))
+                        .collect(),
+                ),
+                _ => None,
+            };
+            let cfg = {
+                let cached = self.state.borrow().cfgs.get(&m.mentry.id).cloned();
+                match cached {
+                    Some(c) => c,
+                    None => {
+                        let Some(lowered) = lower_entry(&m.mentry) else {
+                            continue;
+                        };
+                        let rc = Arc::new(lowered);
+                        self.state.borrow_mut().cfgs.insert(m.mentry.id, rc.clone());
+                        rc
+                    }
+                }
+            };
+            let body_fp = body_fingerprint(interp, &m.mentry, captured.as_ref());
+            let own_sig_fp = {
+                let mut st = self.state.borrow_mut();
+                st.stats.sched_tasks_enqueued += 1;
+                st.sig_fp(m.key, &m.entry)
+            };
+            // A rejected submission (shut-down pool) simply leaves the
+            // method for the serial sweep below.
+            let _ = sched.submit(CheckTask {
+                cache_key: m.key,
+                ann_key: m.key,
+                ann_span: m.entry.span,
+                sig: m.entry.sig.clone(),
+                entry_id: m.mentry.id,
+                sig_version: m.entry.version,
+                body_fp,
+                own_sig_fp,
+                cfg,
+                captured,
+                world: world.clone(),
+                policy: m.policy,
+                trigger: None,
+                record_blame: false,
+                opts: self.check_opts,
+                completions: self.completions.clone(),
+            });
+        }
+        self.completions.wait_idle();
+        self.sched_harvest(interp);
+        // The deterministic sweep: adopted derivations are hot-tier hits;
+        // only failures (never cached) re-derive, serially, producing the
+        // exact diagnostics the serial path produces, already sorted.
+        self.check_all(interp)
     }
 }
 
@@ -1197,6 +1857,12 @@ impl CallHook for Engine {
             return Ok(HookOutcome::default());
         }
         self.process_events(interp);
+        // Scheduler completions land here, on the interpreter thread —
+        // the default (scheduler-less) configuration pays one `Cell`
+        // load, keeping the steady-state dispatch path untouched.
+        if self.sched_active.get() {
+            self.poll_completions(interp);
+        }
         self.state.borrow_mut().stats.intercepted_calls += 1;
 
         // Resolve the annotation along the receiver class's ancestors, the
@@ -1283,8 +1949,11 @@ impl CallHook for Engine {
                 // extend static trust past a known-ill-typed boundary (and
                 // the callees' own dynamic checks are what surfaces the
                 // downstream blames the canary is there to observe).
-                Ok(()) => Ok(HookOutcome {
-                    mark_checked: !dyn_shadowed,
+                // `checked == false` is a deferred admission: the check is
+                // in flight on the scheduler, so the frame likewise stays
+                // unchecked until the derivation lands.
+                Ok(checked) => Ok(HookOutcome {
+                    mark_checked: checked && !dyn_shadowed,
                 }),
                 Err(e) if policy == CheckPolicy::Shadow && e.kind == ErrorKind::TypeBlame => {
                     // Shadow: the full check ran and blamed; its

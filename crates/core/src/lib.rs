@@ -66,6 +66,7 @@
 pub mod engine;
 pub mod info;
 pub mod reload;
+pub mod sched;
 pub mod shared_cache;
 pub mod snapshot;
 pub mod stats;
@@ -77,9 +78,10 @@ pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
 pub use snapshot::{CacheSnapshot, SnapshotError};
 pub use stats::{CheckLogItem, CheckVerdict, EngineStats};
 
-pub use hb_check::{CheckError, CheckOptions, CheckRequest};
+pub use hb_check::{CheckError, CheckOptions, CheckRequest, TypeTable};
 pub use hb_interp::{ErrorKind, HbError, Interp, Value};
 pub use hb_rdl::{CheckPolicy, DiagnosticSink, MethodKey, RdlState, RdlStats};
+pub use hb_sched::{CheckTask, Scheduler, TaskVerdict, WorldSnapshot};
 pub use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, SourceMap, TypeDiagnostic};
 
 use hb_rdl::{install_rdl, RdlHook};
@@ -137,6 +139,8 @@ pub struct HummingbirdBuilder {
     diagnostics_cap: Option<usize>,
     check_log_cap: Option<usize>,
     diagnostic_sinks: Vec<Rc<dyn DiagnosticSink>>,
+    scheduler: Option<Arc<Scheduler>>,
+    worker_threads: Option<usize>,
     corelib: bool,
 }
 
@@ -151,6 +155,8 @@ impl Default for HummingbirdBuilder {
             diagnostics_cap: None,
             check_log_cap: None,
             diagnostic_sinks: Vec::new(),
+            scheduler: None,
+            worker_threads: None,
             corelib: true,
         }
     }
@@ -229,6 +235,27 @@ impl HummingbirdBuilder {
         self
     }
 
+    /// Attaches a concurrent check [`Scheduler`] — the worker pool that
+    /// executes type checks off the interpreter thread (parallel
+    /// `check_all`, [`CheckPolicy::Deferred`] admissions). Pools are
+    /// process-wide resources: pass the same `Arc` to every tenant of a
+    /// fleet and their checks share the workers while results route back
+    /// per engine.
+    pub fn scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// Spawns a dedicated `n`-worker [`Scheduler`] for this system at
+    /// build time (convenience over [`scheduler`]; the pool is torn down
+    /// when the engine drops its last reference).
+    ///
+    /// [`scheduler`]: HummingbirdBuilder::scheduler
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = Some(n);
+        self
+    }
+
     /// Skips loading the bundled core-library annotations (fixtures and
     /// micro-harnesses; production embeddings want them).
     pub fn without_corelib(mut self) -> Self {
@@ -271,6 +298,11 @@ impl HummingbirdBuilder {
         }
         for sink in self.diagnostic_sinks {
             rdl.add_diagnostic_sink(sink);
+        }
+        if let Some(sched) = self.scheduler {
+            engine.set_scheduler(sched);
+        } else if let Some(n) = self.worker_threads {
+            engine.set_scheduler(Arc::new(Scheduler::new(n)));
         }
         let mut hb = Hummingbird {
             interp,
@@ -376,6 +408,33 @@ impl Hummingbird {
     pub fn check_all(&mut self) -> Vec<TypeDiagnostic> {
         let engine = self.engine.clone();
         engine.check_all(&mut self.interp)
+    }
+
+    /// [`Hummingbird::check_all`] fanned across `jobs` scheduler workers:
+    /// the whole annotated-method set is captured as `Send` check tasks
+    /// against one world snapshot, checked in parallel, validated and
+    /// adopted at harvest, and reported with diagnostics byte-identical
+    /// to the serial path (same `(file, span, code)` order). `jobs <= 1`
+    /// is exactly the serial path. See [`Engine::check_all_parallel`].
+    pub fn check_all_parallel(&mut self, jobs: usize) -> Vec<TypeDiagnostic> {
+        let engine = self.engine.clone();
+        engine.check_all_parallel(&mut self.interp, jobs)
+    }
+
+    /// Blocks until every check task this system enqueued on the
+    /// scheduler has completed, then lands the results — the barrier
+    /// after which asynchronously produced ([`CheckPolicy::Deferred`])
+    /// blame is guaranteed visible in [`Hummingbird::diagnostics`] and
+    /// passing derivations are cached.
+    pub fn sched_quiesce(&mut self) {
+        let engine = self.engine.clone();
+        engine.process_events(&mut self.interp);
+        engine.sched_quiesce(&self.interp);
+    }
+
+    /// The attached concurrent check scheduler, if any.
+    pub fn scheduler(&self) -> Option<Arc<Scheduler>> {
+        self.engine.scheduler()
     }
 
     /// Every blame diagnostic produced so far (just-in-time, eager and

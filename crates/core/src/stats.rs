@@ -68,6 +68,21 @@ pub struct EngineStats {
     pub shared_adopt_ns: u64,
     /// Calls that went through the engine hook.
     pub intercepted_calls: u64,
+    /// Check tasks this engine enqueued onto the concurrent scheduler
+    /// (deferred JIT admissions and parallel `check_all` fan-out).
+    pub sched_tasks_enqueued: u64,
+    /// Scheduled tasks whose completions this engine harvested (pass,
+    /// blame or contained panic).
+    pub sched_tasks_completed: u64,
+    /// Harvested completions discarded because their capture-time
+    /// fingerprints no longer matched the engine's state at publication
+    /// (entry id, signature version, or epoch/witness validation) — the
+    /// stale results that are *never* adopted.
+    pub sched_tasks_stale: u64,
+    /// Cold calls admitted immediately under
+    /// [`hb_rdl::CheckPolicy::Deferred`]: the static check was enqueued
+    /// and the call proceeded under full dynamic checks.
+    pub deferred_admissions: u64,
     /// Dynamic argument checks executed.
     pub dyn_arg_checks: u64,
     /// Cache invalidations of the method itself.

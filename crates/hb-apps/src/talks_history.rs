@@ -197,11 +197,18 @@ pub fn run_error_version_diag(v: &ErrorVersion) -> ErrorVersionDiag {
 /// [`Hummingbird::check_all`] — no triggering request — returning every
 /// diagnostic found (expected: exactly one, with `v.expected_code`).
 pub fn lint_error_version(v: &ErrorVersion) -> Vec<ErrorVersionDiag> {
+    lint_error_version_with_jobs(v, 1)
+}
+
+/// [`lint_error_version`] fanned across `jobs` scheduler workers
+/// ([`Hummingbird::check_all_parallel`]); `jobs <= 1` is exactly the
+/// serial path, and the parallel path's diagnostics are byte-identical.
+pub fn lint_error_version_with_jobs(v: &ErrorVersion, jobs: usize) -> Vec<ErrorVersionDiag> {
     let spec = talks();
     let mut hb = build_app(&spec, Mode::Full);
     hb.load_file("talks/buggy.rb", v.buggy_source)
         .unwrap_or_else(|e| panic!("{}: load failed: {e}", v.version));
-    let diags = hb.check_all();
+    let diags = hb.check_all_parallel(jobs);
     diags.into_iter().map(|d| capture_diag(&hb, d)).collect()
 }
 

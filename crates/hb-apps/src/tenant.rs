@@ -36,6 +36,15 @@ pub struct TenantRun {
     pub check_ns: u64,
     /// Nanoseconds this tenant spent adopting shared derivations instead.
     pub shared_adopt_ns: u64,
+    /// Check tasks enqueued onto the concurrent scheduler.
+    pub sched_tasks_enqueued: u64,
+    /// Scheduler completions harvested.
+    pub sched_tasks_completed: u64,
+    /// Scheduler completions discarded as stale (fingerprint mismatch at
+    /// publication).
+    pub sched_tasks_stale: u64,
+    /// Cold calls admitted under `CheckPolicy::Deferred`.
+    pub deferred_admissions: u64,
 }
 
 impl TenantRun {
@@ -88,6 +97,10 @@ pub fn run_tenant(tenant: usize, shared: &Arc<SharedCache>, iters: usize) -> Ten
         out.intercepted_calls += s.intercepted_calls;
         out.check_ns += s.check_ns;
         out.shared_adopt_ns += s.shared_adopt_ns;
+        out.sched_tasks_enqueued += s.sched_tasks_enqueued;
+        out.sched_tasks_completed += s.sched_tasks_completed;
+        out.sched_tasks_stale += s.sched_tasks_stale;
+        out.deferred_admissions += s.deferred_admissions;
     }
     out
 }

@@ -1,0 +1,124 @@
+//! Scheduler tests on the real subject apps: Deferred soundness over the
+//! six Talks historical errors (blame arrives asynchronously but is never
+//! lost, on both the JIT and parallel-lint paths) and parallel/serial
+//! `check_all` determinism.
+
+use hb_apps::talks_history::error_versions;
+use hb_apps::{all_apps, build_app_with, talks};
+use hummingbird::{CheckPolicy, Hummingbird};
+
+#[test]
+fn all_six_historical_errors_keep_their_codes_under_deferred_jit() {
+    for v in error_versions() {
+        let spec = talks();
+        let mut hb = build_app_with(
+            &spec,
+            Hummingbird::builder()
+                .check_policy(CheckPolicy::Deferred)
+                .worker_threads(2),
+        );
+        hb.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+        // The request is admitted without waiting for the static check —
+        // it may still fail *dynamically* (missing methods at run time,
+        // dynamic argument checks), which is exactly the safety net
+        // Deferred relies on. Either way the deferred blame must land.
+        let _ = hb.eval(v.trigger);
+        hb.sched_quiesce();
+        let codes: Vec<String> = hb
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.to_string())
+            .collect();
+        assert!(
+            codes.iter().any(|c| c == v.expected_code),
+            "{}: expected asynchronous {} in {:?}",
+            v.version,
+            v.expected_code,
+            codes
+        );
+        let s = hb.stats();
+        assert!(
+            s.deferred_admissions >= 1,
+            "{}: cold calls were admitted ({s:?})",
+            v.version
+        );
+        assert_eq!(s.sched_tasks_enqueued, s.sched_tasks_completed);
+    }
+}
+
+#[test]
+fn all_six_historical_errors_keep_their_codes_under_deferred_parallel_lint() {
+    for v in error_versions() {
+        let spec = talks();
+        let mut hb = build_app_with(
+            &spec,
+            Hummingbird::builder().check_policy(CheckPolicy::Deferred),
+        );
+        hb.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+        let diags = hb.check_all_parallel(4);
+        assert_eq!(
+            diags.len(),
+            1,
+            "{}: exactly the historical error (got {:?})",
+            v.version,
+            diags.iter().map(|d| d.code.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(diags[0].code.to_string(), v.expected_code, "{}", v.version);
+    }
+}
+
+#[test]
+fn parallel_lint_is_byte_identical_to_serial_on_history() {
+    for v in error_versions() {
+        let spec = talks();
+        let mut serial = build_app_with(&spec, Hummingbird::builder());
+        serial.load_file("talks/buggy.rb", v.buggy_source).unwrap();
+        let serial_out: Vec<String> = serial
+            .check_all()
+            .iter()
+            .map(|d| d.render(serial.source_map()))
+            .collect();
+
+        let mut parallel = build_app_with(&spec, Hummingbird::builder());
+        parallel
+            .load_file("talks/buggy.rb", v.buggy_source)
+            .unwrap();
+        let parallel_out: Vec<String> = parallel
+            .check_all_parallel(4)
+            .iter()
+            .map(|d| d.render(parallel.source_map()))
+            .collect();
+
+        assert_eq!(
+            serial_out, parallel_out,
+            "{}: parallel output must be byte-identical to serial",
+            v.version
+        );
+    }
+}
+
+#[test]
+fn clean_apps_lint_clean_in_parallel_and_fan_out_tasks() {
+    for spec in all_apps() {
+        let mut hb = build_app_with(&spec, Hummingbird::builder());
+        let diags = hb.check_all_parallel(4);
+        assert!(
+            diags.is_empty(),
+            "{}: expected 0 findings, got {:?}",
+            spec.name,
+            diags.iter().map(|d| d.code.to_string()).collect::<Vec<_>>()
+        );
+        let s = hb.stats();
+        assert_eq!(
+            s.sched_tasks_completed, s.sched_tasks_enqueued,
+            "{}",
+            spec.name
+        );
+        assert_eq!(s.sched_tasks_stale, 0, "{}", spec.name);
+        assert!(
+            s.sched_tasks_enqueued > 0,
+            "{}: the lint actually fanned out work",
+            spec.name
+        );
+    }
+}

@@ -9,8 +9,9 @@
 //! (Table 1's "Casts" column).
 
 use crate::info::{ClassInfo, InfoHierarchy};
+use crate::table::TypeTable;
 use hb_il::{BlockLit, CallArg, IlParamKind, InstrKind, MethodCfg, Operand, Rvalue, Terminator};
-use hb_rdl::{CheckPolicy, MethodKey, RdlState, Resolution, TableEntry};
+use hb_rdl::{CheckPolicy, MethodKey, Resolution, TableEntry};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::{MethodSig, MethodType, Type, TypeEnv};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -137,8 +138,9 @@ pub struct CheckRequest<'a> {
     pub ann_span: Span,
     /// The class hierarchy view.
     pub info: &'a dyn ClassInfo,
-    /// The live type table.
-    pub rdl: &'a RdlState,
+    /// The type table — the live [`hb_rdl::RdlState`] on the interpreter
+    /// thread, or an owned snapshot when checking on a scheduler worker.
+    pub rdl: &'a dyn TypeTable,
     /// Types of captured locals when checking `define_method` procs
     /// (Fig. 2).
     pub captured: Option<&'a TypeEnv>,
@@ -240,7 +242,7 @@ pub fn generic_params(class: &str) -> &'static [&'static str] {
 
 struct Checker<'a> {
     info: &'a dyn ClassInfo,
-    rdl: &'a RdlState,
+    rdl: &'a dyn TypeTable,
     opts: &'a CheckOptions,
     self_class: String,
     self_type: Type,

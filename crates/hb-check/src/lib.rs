@@ -7,9 +7,11 @@
 
 pub mod checker;
 pub mod info;
+pub mod table;
 
 pub use checker::{
     check_sig, generic_params, CheckError, CheckOptions, CheckOutcome, CheckRequest,
 };
 pub use hb_rdl::CheckPolicy;
 pub use info::{ClassInfo, InfoHierarchy, MapClassInfo};
+pub use table::TypeTable;

@@ -30,6 +30,14 @@ pub const DEFAULT_DIAGNOSTICS_CAP: usize = 1024;
 ///   structured [`TypeDiagnostic`] is recorded, but execution continues:
 ///   the canary-deploy mode. A method whose check failed runs *unchecked*
 ///   (its callees fall back to dynamic argument checks).
+/// * [`CheckPolicy::Deferred`] — a cold call does not wait for the static
+///   check: the engine enqueues the check onto the concurrent scheduler
+///   and admits the call immediately under full dynamic checks (Shadow
+///   semantics for the deferred blame — it is recorded asynchronously and
+///   never raises; dynamic argument checks still enforce). The body is
+///   only marked checked once the worker's derivation lands *and* its
+///   fingerprints still match — soundness is unchanged; first-call
+///   latency spikes become background work.
 /// * [`CheckPolicy::Off`] — the engine skips type enforcement for the
 ///   method entirely (no static check, no dynamic argument check).
 ///   Annotation *execution* is never skipped — metaprogramming `pre`
@@ -46,17 +54,21 @@ pub enum CheckPolicy {
     Enforce,
     /// Check, record the diagnostic, continue executing.
     Shadow,
+    /// Admit the call immediately; check asynchronously on the scheduler.
+    Deferred,
     /// Skip type enforcement for the method.
     Off,
 }
 
 impl CheckPolicy {
-    /// Parses a policy name (`"enforce"` / `"shadow"` / `"off"`, any
-    /// case), as accepted by the `check_policy` builtin and CLI flags.
+    /// Parses a policy name (`"enforce"` / `"shadow"` / `"deferred"` /
+    /// `"off"`, any case), as accepted by the `check_policy` builtin and
+    /// CLI flags.
     pub fn parse(s: &str) -> Option<CheckPolicy> {
         match s.to_ascii_lowercase().as_str() {
             "enforce" => Some(CheckPolicy::Enforce),
             "shadow" => Some(CheckPolicy::Shadow),
+            "deferred" => Some(CheckPolicy::Deferred),
             "off" => Some(CheckPolicy::Off),
             _ => None,
         }
@@ -67,6 +79,7 @@ impl CheckPolicy {
         match self {
             CheckPolicy::Enforce => "enforce",
             CheckPolicy::Shadow => "shadow",
+            CheckPolicy::Deferred => "deferred",
             CheckPolicy::Off => "off",
         }
     }
@@ -79,6 +92,18 @@ impl CheckPolicy {
         DiagLabel::new(
             LabelRole::Note,
             "shadow check policy: blame recorded, execution continues",
+            Span::dummy(),
+        )
+    }
+
+    /// The note label appended to a blame that a *deferred* check produced
+    /// asynchronously: the triggering call had already been admitted under
+    /// dynamic checks when the scheduler worker's check blamed, so —
+    /// exactly like a shadowed blame — execution continued past it.
+    pub fn deferred_note() -> DiagLabel {
+        DiagLabel::new(
+            LabelRole::Note,
+            "deferred check policy: blame recorded asynchronously, the call was admitted under dynamic checks",
             Span::dummy(),
         )
     }
@@ -548,6 +573,53 @@ impl RdlState {
     /// Global-variable type *and* declaration site.
     pub fn gvar_decl(&self, gvar: &str) -> Option<(Type, Span)> {
         self.inner.borrow().gvar_types.get(gvar).cloned()
+    }
+
+    // ----- snapshot export ---------------------------------------------------
+    //
+    // The concurrent scheduler captures an owned, `Send` copy of the
+    // checker-visible table state (the `CheckTask` world snapshot); these
+    // accessors are that capture's read surface. Sorted for determinism.
+
+    /// Every instance-variable declaration as `((class, ivar), (type,
+    /// span))`, sorted.
+    pub fn ivar_decls(&self) -> Vec<((String, String), (Type, Span))> {
+        let mut v: Vec<_> = self
+            .inner
+            .borrow()
+            .ivar_types
+            .iter()
+            .map(|(k, d)| (k.clone(), d.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Every class-variable declaration as `((class, cvar), (type,
+    /// span))`, sorted.
+    pub fn cvar_decls(&self) -> Vec<((String, String), (Type, Span))> {
+        let mut v: Vec<_> = self
+            .inner
+            .borrow()
+            .cvar_types
+            .iter()
+            .map(|(k, d)| (k.clone(), d.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Every global-variable declaration as `(gvar, (type, span))`, sorted.
+    pub fn gvar_decls(&self) -> Vec<(String, (Type, Span))> {
+        let mut v: Vec<_> = self
+            .inner
+            .borrow()
+            .gvar_types
+            .iter()
+            .map(|(k, d)| (k.clone(), d.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
     }
 
     /// Attaches a `pre` contract.

@@ -1,0 +1,211 @@
+//! The owned world snapshot a [`crate::CheckTask`] carries: everything
+//! `check_sig` reads — ancestor chains, the annotation table, variable
+//! declarations — captured as plain owned maps so the capture is `Send`
+//! and a worker thread checks against *exactly* the state the task was
+//! extracted from, no matter what the interpreter thread does meanwhile.
+//!
+//! The snapshot also remembers the capture-time epoch fingerprints
+//! (type-table, class-hierarchy shape, variable types). They are what
+//! makes asynchronous results safe to land: at publication the engine
+//! compares them (or replays the outcome's resolution witnesses) against
+//! its *current* state, and a mismatch discards the result as stale —
+//! never adopted.
+
+use hb_check::{ClassInfo, TypeTable};
+use hb_rdl::{MethodKey, TableEntry};
+use hb_syntax::Span;
+use hb_types::Type;
+use std::collections::HashMap;
+
+/// An owned, `Send + Sync` capture of the checker-visible world: class
+/// hierarchy + type table + variable declarations + epoch fingerprints.
+/// Built once per (table, hierarchy, variable) state by the engine and
+/// shared across every task extracted at that state via `Arc`.
+pub struct WorldSnapshot {
+    /// Class → full ancestor chain (the class itself first, `Object`
+    /// last), mirroring the live registry's resolution chains.
+    chains: HashMap<String, Vec<String>>,
+    /// The annotation table (owned copies of every entry).
+    table: HashMap<MethodKey, TableEntry>,
+    /// Instance-variable declarations keyed `(class, name)`.
+    ivars: HashMap<(String, String), (Type, Span)>,
+    /// Class-variable declarations keyed `(class, name)`.
+    cvars: HashMap<(String, String), (Type, Span)>,
+    /// Global-variable declarations.
+    gvars: HashMap<String, (Type, Span)>,
+    /// Capture-time `(table_fp, hierarchy_fp, var_fp)` epoch
+    /// fingerprints — compared at publication to detect staleness.
+    pub epochs: (u64, u64, u64),
+}
+
+impl WorldSnapshot {
+    /// Assembles a snapshot from its captured parts (the engine-side
+    /// extraction walks the live registry and `RdlState`).
+    pub fn new(
+        chains: HashMap<String, Vec<String>>,
+        table: HashMap<MethodKey, TableEntry>,
+        ivars: HashMap<(String, String), (Type, Span)>,
+        cvars: HashMap<(String, String), (Type, Span)>,
+        gvars: HashMap<String, (Type, Span)>,
+        epochs: (u64, u64, u64),
+    ) -> WorldSnapshot {
+        WorldSnapshot {
+            chains,
+            table,
+            ivars,
+            cvars,
+            gvars,
+            epochs,
+        }
+    }
+
+    /// The captured entry for `key`, if any (used to attach each
+    /// dependency's at-check signature version and fingerprint to a
+    /// passing outcome).
+    pub fn table_entry(&self, key: &MethodKey) -> Option<&TableEntry> {
+        self.table.get(key)
+    }
+
+    /// Number of captured annotation entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl ClassInfo for WorldSnapshot {
+    fn ancestors(&self, class: &str) -> Vec<String> {
+        match self.chains.get(class) {
+            Some(chain) => chain.clone(),
+            // Unknown classes degrade exactly like the live registry view.
+            None => vec![class.to_string(), "Object".to_string()],
+        }
+    }
+
+    fn is_descendant(&self, sub: &str, sup: &str) -> bool {
+        sub == sup
+            || sup == "Object"
+            || self
+                .chains
+                .get(sub)
+                .is_some_and(|c| c.iter().any(|a| a == sup))
+    }
+
+    fn class_exists(&self, name: &str) -> bool {
+        self.chains.contains_key(name)
+    }
+}
+
+impl TypeTable for WorldSnapshot {
+    fn lookup_along_names(
+        &self,
+        classes: &[String],
+        class_level: bool,
+        method: &str,
+    ) -> Option<(MethodKey, TableEntry)> {
+        let method = hb_intern::Sym::intern(method);
+        for class in classes {
+            let key = MethodKey {
+                class: hb_intern::Sym::intern(class),
+                class_level,
+                method,
+            };
+            if let Some(e) = self.table.get(&key) {
+                return Some((key, e.clone()));
+            }
+        }
+        None
+    }
+
+    fn ivar_decl(&self, classes: &[String], ivar: &str) -> Option<(Type, Span)> {
+        for c in classes {
+            if let Some(d) = self.ivars.get(&(c.clone(), ivar.to_string())) {
+                return Some(d.clone());
+            }
+        }
+        None
+    }
+
+    fn cvar_decl(&self, classes: &[String], cvar: &str) -> Option<(Type, Span)> {
+        for c in classes {
+            if let Some(d) = self.cvars.get(&(c.clone(), cvar.to_string())) {
+                return Some(d.clone());
+            }
+        }
+        None
+    }
+
+    fn gvar_decl(&self, gvar: &str) -> Option<(Type, Span)> {
+        self.gvars.get(gvar).cloned()
+    }
+
+    /// Usage statistics are re-marked against the live table when the
+    /// derivation is adopted; marking a snapshot would be lost work.
+    fn mark_used(&self, _key: &MethodKey) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_rdl::AnnotationSource;
+    use hb_types::{parse_method_type, MethodSig};
+
+    fn snap() -> WorldSnapshot {
+        let mut chains = HashMap::new();
+        chains.insert(
+            "Talk".to_string(),
+            vec!["Talk".to_string(), "Base".to_string(), "Object".to_string()],
+        );
+        chains.insert(
+            "Base".to_string(),
+            vec!["Base".to_string(), "Object".to_string()],
+        );
+        let mut table = HashMap::new();
+        table.insert(
+            MethodKey::instance("Base", "save"),
+            TableEntry {
+                sig: MethodSig::single(parse_method_type("() -> %bool").unwrap()),
+                check: false,
+                always_dyn_check: false,
+                source: AnnotationSource::Static,
+                version: 3,
+                span: Span::dummy(),
+            },
+        );
+        WorldSnapshot::new(
+            chains,
+            table,
+            HashMap::new(),
+            HashMap::new(),
+            HashMap::new(),
+            (1, 2, 3),
+        )
+    }
+
+    #[test]
+    fn chain_queries_mirror_the_live_view() {
+        let w = snap();
+        assert_eq!(w.ancestors("Talk"), vec!["Talk", "Base", "Object"]);
+        assert_eq!(w.ancestors("Zzz"), vec!["Zzz", "Object"]);
+        assert!(w.is_descendant("Talk", "Base"));
+        assert!(w.is_descendant("Talk", "Object"));
+        assert!(!w.is_descendant("Base", "Talk"));
+        assert!(w.class_exists("Base"));
+        assert!(!w.class_exists("Zzz"));
+    }
+
+    #[test]
+    fn table_resolves_along_chains() {
+        let w = snap();
+        let chain: Vec<String> = w.ancestors("Talk");
+        let (key, e) = TypeTable::lookup_along_names(&w, &chain, false, "save").unwrap();
+        assert_eq!(key, MethodKey::instance("Base", "save"));
+        assert_eq!(e.version, 3);
+        assert!(TypeTable::lookup_along_names(&w, &chain, false, "missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorldSnapshot>();
+    }
+}

@@ -128,6 +128,9 @@ pub enum DiagCode {
     PreconditionFailed,
     /// HB0010 — a dynamic argument check (unchecked caller) failed.
     DynamicArgCheck,
+    /// HB0011 — a scheduled check task panicked on a worker thread; the
+    /// panic was contained to the task and surfaced as this diagnostic.
+    CheckerPanic,
 }
 
 impl DiagCode {
@@ -144,6 +147,7 @@ impl DiagCode {
             DiagCode::BlockIncompatible => "HB0008",
             DiagCode::PreconditionFailed => "HB0009",
             DiagCode::DynamicArgCheck => "HB0010",
+            DiagCode::CheckerPanic => "HB0011",
         }
     }
 
@@ -160,6 +164,7 @@ impl DiagCode {
             "HB0008" => DiagCode::BlockIncompatible,
             "HB0009" => DiagCode::PreconditionFailed,
             "HB0010" => DiagCode::DynamicArgCheck,
+            "HB0011" => DiagCode::CheckerPanic,
             _ => return None,
         })
     }
