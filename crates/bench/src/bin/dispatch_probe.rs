@@ -1,25 +1,61 @@
 //! Measures steady-state (cache-hit) dispatch cost through the engine
-//! hook, isolated from parsing/eval overhead: a Rust-side loop calling an
-//! annotated, already-checked method directly via `Interp::call_method`.
+//! hook, isolated from parsing/eval overhead, across the execution-tier
+//! ablation: tree-walk, bytecode, and bytecode with derivation-driven
+//! check elision.
 //!
-//! Prints JSON so the interning ablation (BENCH_dispatch.json) can record
-//! before/after numbers mechanically. The `hook_overhead` figure is the
-//! per-call cost attributable to Hummingbird: hot-path time minus the same
-//! dispatch with the engine disabled.
+//! Two shapes per configuration:
+//!
+//! * **top-level dispatch** — a Rust-side loop calling an annotated,
+//!   already-checked method via `Interp::call_method`. The caller is
+//!   unchecked, so every call takes the guarded entry (hook probe +
+//!   dynamic argument checks); `hook_overhead` is this minus the same
+//!   dispatch with the engine disabled (`Mode::Original`).
+//! * **checked dispatch** — a statically checked `driver(n)` looping a
+//!   checked `idm(i)` call, measured as `driver(n)` minus `empty_driver(n)`
+//!   (the same loop without the call) over `n`. Checked→checked calls are
+//!   where elision patches the fast prologue and the hook probe is
+//!   compiled out; `checked_overhead_ns` is this minus the identical
+//!   figure under `Mode::Original`.
+//!
+//! Prints JSON (BENCH_dispatch.json is this output committed). `--smoke`
+//! runs a reduced iteration count as a CI regression gate on both tiers.
 
-use hummingbird::{Hummingbird, Mode, Value};
+use hummingbird::{ExecTier, Hummingbird, Mode, Value};
 use std::time::Instant;
 
 const PROGRAM: &str = r#"
 class Probe
   type :idm, "(Fixnum) -> Fixnum", { "check" => true }
+  type :driver, "(Fixnum) -> Fixnum", { "check" => true }
+  type :empty_driver, "(Fixnum) -> Fixnum", { "check" => true }
   def idm(x)
     x
+  end
+  def driver(n)
+    i = 0
+    while i < n
+      idm(i)
+      i = i + 1
+    end
+    i
+  end
+  def empty_driver(n)
+    i = 0
+    while i < n
+      i = i + 1
+    end
+    i
   end
 end
 Probe.new.idm(1)
 "#;
 
+/// Measurement repetitions; the minimum is reported (scheduling noise
+/// only ever adds time).
+const REPS: usize = 5;
+
+/// Per-call nanoseconds of a top-level (unchecked-caller) dispatch,
+/// best of [`REPS`] runs.
 fn measure(hb: &mut Hummingbird, iters: u64) -> f64 {
     let recv = hb.eval("Probe.new").expect("receiver");
     let span = hb_syntax::Span::dummy();
@@ -27,38 +63,126 @@ fn measure(hb: &mut Hummingbird, iters: u64) -> f64 {
     hb.interp
         .call_method(recv.clone(), "idm", vec![Value::Int(0)], None, span)
         .expect("warm call");
-    let start = Instant::now();
-    for i in 0..iters {
-        let r = hb
-            .interp
-            .call_method(recv.clone(), "idm", vec![Value::Int(i as i64)], None, span)
-            .expect("hot call");
-        std::hint::black_box(r);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for i in 0..iters {
+            let r = hb
+                .interp
+                .call_method(recv.clone(), "idm", vec![Value::Int(i as i64)], None, span)
+                .expect("hot call");
+            std::hint::black_box(r);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    start.elapsed().as_nanos() as f64 / iters as f64
+    best
+}
+
+/// Per-call nanoseconds of a checked→checked dispatch: `driver(n)` minus
+/// `empty_driver(n)`, the loop scaffolding subtracted out; each side is
+/// the best of [`REPS`] runs.
+fn measure_checked(hb: &mut Hummingbird, n: u64) -> f64 {
+    let recv = hb.eval("Probe.new").expect("receiver");
+    let span = hb_syntax::Span::dummy();
+    let mut run = |name: &str| {
+        // Warm: checks run, fast entries patch.
+        hb.interp
+            .call_method(recv.clone(), name, vec![Value::Int(64)], None, span)
+            .expect("warm driver");
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let r = hb
+                .interp
+                .call_method(recv.clone(), name, vec![Value::Int(n as i64)], None, span)
+                .expect("driver run");
+            let ns = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(r);
+            best = best.min(ns);
+        }
+        best
+    };
+    let driver_ns = run("driver");
+    let empty_ns = run("empty_driver");
+    (driver_ns - empty_ns) / n as f64
+}
+
+struct Config {
+    label: &'static str,
+    tier: ExecTier,
+    elision: bool,
 }
 
 fn main() {
-    let iters: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let iters: u64 = args
+        .iter()
+        .rfind(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(300_000);
+        .unwrap_or(if smoke { 20_000 } else { 300_000 });
 
-    let mut full = Hummingbird::builder().build();
-    full.eval(PROGRAM).expect("program loads");
-    let hot_ns = measure(&mut full, iters);
-    let stats = full.stats();
-    assert!(stats.cache_hits >= iters, "loop must hit the cache");
-    assert_eq!(stats.checks_performed, 1, "exactly one static check");
+    let configs = [
+        Config {
+            label: "tree_walk",
+            tier: ExecTier::TreeWalk,
+            elision: false,
+        },
+        Config {
+            label: "bytecode",
+            tier: ExecTier::Bytecode,
+            elision: false,
+        },
+        Config {
+            label: "bytecode_elision",
+            tier: ExecTier::Bytecode,
+            elision: true,
+        },
+    ];
 
-    let mut orig = Hummingbird::builder().mode(Mode::Original).build();
-    orig.eval(PROGRAM).expect("program loads");
-    let base_ns = measure(&mut orig, iters);
+    let mut sections = Vec::new();
+    for cfg in &configs {
+        let mut full = Hummingbird::builder().exec_tier(cfg.tier).build();
+        full.interp.tier.set_elision(cfg.elision);
+        full.eval(PROGRAM).expect("program loads");
+        let hot_ns = measure(&mut full, iters);
+        let checked_ns = measure_checked(&mut full, iters);
+        let stats = full.stats();
+        assert!(stats.cache_hits >= iters, "loop must hit the cache");
+        assert_eq!(
+            stats.checks_performed, 3,
+            "idm, driver and empty_driver each check exactly once"
+        );
+        if cfg.elision {
+            assert!(
+                stats.fast_entries_patched >= 1,
+                "steady state must patch the fast prologue: {stats:?}"
+            );
+        } else {
+            assert_eq!(stats.fast_entries_patched, 0, "elision is off");
+        }
 
+        let mut orig = Hummingbird::builder()
+            .mode(Mode::Original)
+            .exec_tier(cfg.tier)
+            .build();
+        orig.eval(PROGRAM).expect("program loads");
+        let base_ns = measure(&mut orig, iters);
+        let checked_base_ns = measure_checked(&mut orig, iters);
+
+        sections.push(format!(
+            "\"{}\": {{\"cache_hit_ns_per_call\": {hot_ns:.1}, \
+             \"no_hook_ns_per_call\": {base_ns:.1}, \"hook_overhead_ns\": {:.1}, \
+             \"checked_dispatch_ns\": {checked_ns:.1}, \
+             \"checked_dispatch_no_hook_ns\": {checked_base_ns:.1}, \
+             \"checked_overhead_ns\": {:.1}}}",
+            cfg.label,
+            hot_ns - base_ns,
+            checked_ns - checked_base_ns,
+        ));
+    }
     println!(
-        "{{\"iters\": {iters}, \"cache_hit_ns_per_call\": {hot_ns:.1}, \
-         \"no_hook_ns_per_call\": {base_ns:.1}, \
-         \"hook_overhead_ns\": {:.1}}}",
-        hot_ns - base_ns
+        "{{\"iters\": {iters}, \"smoke\": {smoke}, {}}}",
+        sections.join(", ")
     );
 }

@@ -110,7 +110,9 @@ fn json_runs(runs: &[TenantRun]) -> String {
                  \"checks_performed\": {}, \"shared_hits\": {}, \"cache_hits\": {}, \
                  \"check_ms\": {:.2}, \"adopt_ms\": {:.2}, \"warm_hit_rate\": {:.4}, \
                  \"sched_tasks_enqueued\": {}, \"sched_tasks_completed\": {}, \
-                 \"sched_tasks_stale\": {}, \"deferred_admissions\": {}}}",
+                 \"sched_tasks_stale\": {}, \"deferred_admissions\": {}, \
+                 \"bytecode_compiled\": {}, \"fast_entries_patched\": {}, \
+                 \"deopts\": {}}}",
                 r.tenant,
                 r.build_ns as f64 / 1e6,
                 r.serve_ns as f64 / 1e6,
@@ -124,6 +126,9 @@ fn json_runs(runs: &[TenantRun]) -> String {
                 r.sched_tasks_completed,
                 r.sched_tasks_stale,
                 r.deferred_admissions,
+                r.bytecode_compiled,
+                r.fast_entries_patched,
+                r.deopts,
             )
         })
         .collect();

@@ -16,10 +16,12 @@ use hb_check::{check_sig, CheckOptions, CheckPolicy, CheckRequest};
 use hb_il::{lower_block_body, lower_method, MethodCfg};
 use hb_intern::Sym;
 use hb_interp::{
-    CallHook, ClassId, DispatchInfo, ErrorKind, HbError, HookOutcome, Interp, InterpEvent,
-    MethodBody, Value,
+    CallHook, ClassId, DispatchInfo, ErrorKind, ExecTierState, HbError, HookOutcome, Interp,
+    InterpEvent, MethodBody, Value,
 };
-use hb_rdl::{type_of, value_conforms, MethodKey, RdlEvent, RdlState, Resolution, TableEntry};
+use hb_rdl::{
+    type_of, value_conforms, MethodKey, RdlEvent, RdlEventSink, RdlState, Resolution, TableEntry,
+};
 use hb_sched::{CheckTask, CompletionQueue, Scheduler, TaskCompletion, TaskVerdict, WorldSnapshot};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
 use hb_types::TypeEnv;
@@ -108,7 +110,9 @@ type ReplayResult = (MethodKey, u64, u64);
 
 #[derive(Default)]
 struct EngineState {
-    cache: HashMap<MethodKey, CacheEntry>,
+    /// Keyed with [`hb_intern::FastMap`]: `ensure_checked` probes this
+    /// map on every intercepted call of a check-flagged method.
+    cache: hb_intern::FastMap<MethodKey, CacheEntry>,
     /// dep (annotation key) → cache keys whose derivations used it.
     dependents: HashMap<MethodKey, HashSet<MethodKey>>,
     /// `(method, class_level)` → cache keys whose derivations relied on
@@ -137,11 +141,30 @@ struct EngineState {
     /// fingerprints it was captured at — a burst of extractions against a
     /// quiescent table pays for one capture.
     world_memo: Option<((u64, u64, u64), Arc<WorldSnapshot>)>,
+    /// The interpreter's execution-tier state, when the bytecode tier is
+    /// attached. Every path that retires a cached derivation deoptimizes
+    /// its fast entry here — the patch table must never outlive the
+    /// derivation it was admitted under (Definition 1).
+    tier: Option<Rc<ExecTierState>>,
     stats: EngineStats,
     phase: PhaseTracker,
 }
 
 impl EngineState {
+    /// Deoptimizes one fast entry (no-op without the bytecode tier).
+    fn depatch(&self, key: &MethodKey) {
+        if let Some(t) = &self.tier {
+            t.depatch(key);
+        }
+    }
+
+    /// Deoptimizes every fast entry (no-op without the bytecode tier).
+    fn flush_fast_entries(&self) {
+        if let Some(t) = &self.tier {
+            t.flush_all();
+        }
+    }
+
     fn sig_fp(&mut self, key: MethodKey, entry: &TableEntry) -> u64 {
         *self
             .sig_fps
@@ -236,6 +259,17 @@ impl Engine {
     /// next push).
     pub fn set_check_log_cap(&self, cap: usize) {
         self.check_log_cap.set(cap);
+    }
+
+    /// Attaches the interpreter's execution-tier state so derivation
+    /// invalidation deoptimizes patched fast entries, and registers an
+    /// emission-time flush: any type-table mutation or enforcement change
+    /// drops every fast entry *synchronously*, before the mutating call
+    /// returns — a patched entry skips the hook probe entirely, so it
+    /// cannot be left to notice staleness lazily.
+    pub fn attach_exec_tier(&self, tier: Rc<ExecTierState>) {
+        self.state.borrow_mut().tier = Some(tier.clone());
+        self.rdl.add_event_sink(Rc::new(FastFlushSink { tier }));
     }
 
     /// Resolves the enforcement policy for a dispatch. Outlined and cold:
@@ -477,6 +511,7 @@ impl Engine {
                     return;
                 }
                 if let Some(old) = st.cache.remove(&c.cache_key) {
+                    st.depatch(&c.cache_key);
                     Self::unlink(&mut st, &c.cache_key, &old);
                 }
                 let dep_keys: BTreeSet<MethodKey> =
@@ -709,6 +744,10 @@ impl Engine {
     /// Replaces the configuration.
     pub fn set_config(&self, c: Config) {
         *self.config.borrow_mut() = c;
+        // A mode change (caching off, checks off, dynamic checks off)
+        // alters what the guarded prologue would do — fast entries were
+        // admitted under the old configuration, so drop them all.
+        self.state.borrow().flush_fast_entries();
     }
 
     /// Snapshot of the statistics.
@@ -717,6 +756,18 @@ impl Engine {
         let mut s = st.stats.clone();
         s.phases = st.phase.phases();
         s.cache_entries = st.cache.len();
+        if let Some(t) = &st.tier {
+            s.bytecode_compiled = t.bytecode_compiled();
+            s.fast_entries_patched = t.fast_entries_patched();
+            s.deopts = t.deopts();
+            // A checked fast-prologue dispatch is a cache hit whose hook
+            // probe was compiled out — fold it into the counters the
+            // guarded path would have bumped, so `cache_hits` and
+            // `intercepted_calls` stay comparable across tiers.
+            let fast = t.fast_hits();
+            s.cache_hits += fast;
+            s.intercepted_calls += fast;
+        }
         drop(st);
         // Shadowed blames are counted on the RDL state so the pre-hook
         // layer (which has no engine statistics) contributes too.
@@ -730,6 +781,9 @@ impl Engine {
         let mut st = self.state.borrow_mut();
         st.stats = EngineStats::default();
         st.phase = PhaseTracker::default();
+        if let Some(t) = &st.tier {
+            t.reset_counters();
+        }
         drop(st);
         self.rdl.clear_diagnostics();
         self.rdl.reset_shadowed_blames();
@@ -777,6 +831,7 @@ impl Engine {
         let mut st = self.state.borrow_mut();
         st.cache.clear();
         st.dependents.clear();
+        st.flush_fast_entries();
     }
 
     // ----- invalidation ------------------------------------------------------
@@ -817,10 +872,19 @@ impl Engine {
                         // its spans are current, so a later recheck blames
                         // post-reload source locations.
                         st.cfgs.insert(new_id, Arc::new(new_cfg));
-                        for entry in st.cache.values_mut() {
+                        let mut repointed: Vec<MethodKey> = Vec::new();
+                        for (key, entry) in st.cache.iter_mut() {
                             if entry.method_entry_id == old_id {
                                 entry.method_entry_id = new_id;
+                                repointed.push(*key);
                             }
+                        }
+                        // The derivation survives the reload, but any fast
+                        // entry was patched against the retired entry id:
+                        // deoptimize, and let the next guarded dispatch
+                        // re-admit it against the new id.
+                        for key in &repointed {
+                            st.depatch(key);
                         }
                     } else {
                         let key = MethodKey {
@@ -857,6 +921,10 @@ impl Engine {
                     // resolution for the including class's chain: module
                     // annotations may shadow ancestor annotations.
                     self.invalidate_module_shadowed(&mut st, interp, class, module);
+                    // Directly cached derivations self-heal lazily (version
+                    // mismatch at the next check) — a patched fast entry
+                    // skips that check, so deoptimize everything.
+                    st.flush_fast_entries();
                 }
                 InterpEvent::MethodAdded { .. } => {
                     // New methods have no cached derivations, and directly
@@ -873,6 +941,7 @@ impl Engine {
                 // (Shared-tier eviction fans out via the RdlEventSink.)
                 RdlEvent::ArmAdded(key) => {
                     if let Some(old) = st.cache.remove(&key) {
+                        st.depatch(&key);
                         Self::unlink(&mut st, &key, &old);
                     }
                     // Version bumped: the memoised fingerprints of this
@@ -951,6 +1020,7 @@ impl Engine {
     fn invalidate(st: &mut EngineState, key: &MethodKey, with_dependents: bool) {
         if let Some(old) = st.cache.remove(key) {
             st.stats.invalidations += 1;
+            st.depatch(key);
             Self::unlink(st, key, &old);
         }
         if with_dependents {
@@ -965,6 +1035,7 @@ impl Engine {
             for d in deps {
                 if let Some(old) = st.cache.remove(&d) {
                     st.stats.dependent_invalidations += 1;
+                    st.depatch(&d);
                     Self::unlink(st, &d, &old);
                 }
             }
@@ -980,6 +1051,7 @@ impl Engine {
             for d in deps {
                 if let Some(old) = st.cache.remove(&d) {
                     st.stats.dependent_invalidations += 1;
+                    st.depatch(&d);
                     Self::unlink(st, &d, &old);
                 }
             }
@@ -1259,6 +1331,7 @@ impl Engine {
                     st.stats.shared_hits += 1;
                     st.stats.shared_adopt_ns += t_first.elapsed().as_nanos() as u64;
                     if let Some(old) = st.cache.remove(cache_key) {
+                        st.depatch(cache_key);
                         Self::unlink(&mut st, cache_key, &old);
                     }
                     let deps: BTreeSet<MethodKey> =
@@ -1464,6 +1537,7 @@ impl Engine {
             // present: retire its reverse-dependency edges before the new
             // derivation registers its own.
             if let Some(old) = st.cache.remove(cache_key) {
+                st.depatch(cache_key);
                 Self::unlink(&mut st, cache_key, &old);
             }
             for dep in &outcome.deps {
@@ -1550,7 +1624,10 @@ impl Engine {
             }
             arity_ok = true;
             let all = args.iter().enumerate().all(|(i, a)| match arm.param_at(i) {
-                Some(pt) => value_conforms(interp, a, &pt.erase_vars()),
+                // Var-free params (the common case) are checked in place;
+                // only polymorphic annotations pay the erase-and-rebuild.
+                Some(pt) if pt.has_vars() => value_conforms(interp, a, &pt.erase_vars()),
+                Some(pt) => value_conforms(interp, a, pt),
                 None => false,
             });
             if all {
@@ -1837,6 +1914,26 @@ fn body_fingerprint(
 }
 
 /// Lowers a checkable method entry to a CFG.
+/// Deoptimizes the whole fast-entry patch table the moment any RDL event
+/// is emitted or enforcement configuration changes. Interpreter events are
+/// handled differently (the dispatch fast path refuses to fire while
+/// registry events are pending), but RDL mutations happen inside builtins
+/// with no pending-event guard on the dispatch probe — so the flush must be
+/// synchronous with the mutation.
+struct FastFlushSink {
+    tier: Rc<ExecTierState>,
+}
+
+impl RdlEventSink for FastFlushSink {
+    fn on_rdl_event(&self, _ev: &RdlEvent) {
+        self.tier.flush_all();
+    }
+
+    fn on_enforcement_changed(&self) {
+        self.tier.flush_all();
+    }
+}
+
 fn lower_entry(entry: &hb_interp::MethodEntry) -> Option<MethodCfg> {
     match &entry.body {
         MethodBody::Ast(def) => Some(lower_method(def)),
@@ -1952,9 +2049,29 @@ impl CallHook for Engine {
                 // `checked == false` is a deferred admission: the check is
                 // in flight on the scheduler, so the frame likewise stays
                 // unchecked until the derivation lands.
-                Ok(checked) => Ok(HookOutcome {
-                    mark_checked: checked && !dyn_shadowed,
-                }),
+                Ok(checked) => {
+                    let mark_checked = checked && !dyn_shadowed;
+                    // Patch the checked fast prologue: subsequent dispatches
+                    // of this `(receiver class, entry)` from checked callers
+                    // skip the hook probe entirely. Sound only while every
+                    // per-call decision this hook could make is statically
+                    // known to be a no-op: derivation cached (`checked`),
+                    // caching on, enforcement trivially Enforce, no `pre`
+                    // contract registered under this method's name, and the
+                    // method not flagged always-dynamic-check. Any event
+                    // that could change one of these flushes or depatches
+                    // the table.
+                    if mark_checked
+                        && interp.tier.elision_enabled()
+                        && self.config.borrow().caching
+                        && self.rdl.policies_trivial()
+                        && self.rdl.no_pre_named(info.name, info.class_level)
+                        && !table_entry.always_dyn_check
+                    {
+                        interp.tier.patch(cache_key, info.recv_class, info.entry.id);
+                    }
+                    Ok(HookOutcome { mark_checked })
+                }
                 Err(e) if policy == CheckPolicy::Shadow && e.kind == ErrorKind::TypeBlame => {
                     // Shadow: the full check ran and blamed; its
                     // diagnostic is recorded. Execution continues, but the

@@ -79,7 +79,7 @@ pub use snapshot::{CacheSnapshot, SnapshotError};
 pub use stats::{CheckLogItem, CheckVerdict, EngineStats};
 
 pub use hb_check::{CheckError, CheckOptions, CheckRequest, TypeTable};
-pub use hb_interp::{ErrorKind, HbError, Interp, Value};
+pub use hb_interp::{ErrorKind, ExecTier, HbError, Interp, Value};
 pub use hb_rdl::{CheckPolicy, DiagnosticSink, MethodKey, RdlState, RdlStats};
 pub use hb_sched::{CheckTask, Scheduler, TaskVerdict, WorldSnapshot};
 pub use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, SourceMap, TypeDiagnostic};
@@ -142,6 +142,17 @@ pub struct HummingbirdBuilder {
     scheduler: Option<Arc<Scheduler>>,
     worker_threads: Option<usize>,
     corelib: bool,
+    exec_tier: ExecTier,
+}
+
+/// The default execution tier: [`ExecTier::Bytecode`] when the
+/// `HB_EXEC_TIER` environment variable is set to `bytecode` (the CI
+/// cross-tier run uses this), [`ExecTier::TreeWalk`] otherwise.
+fn default_exec_tier() -> ExecTier {
+    match std::env::var("HB_EXEC_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("bytecode") => ExecTier::Bytecode,
+        _ => ExecTier::TreeWalk,
+    }
 }
 
 impl Default for HummingbirdBuilder {
@@ -158,6 +169,7 @@ impl Default for HummingbirdBuilder {
             scheduler: None,
             worker_threads: None,
             corelib: true,
+            exec_tier: default_exec_tier(),
         }
     }
 }
@@ -263,6 +275,18 @@ impl HummingbirdBuilder {
         self
     }
 
+    /// Selects the execution tier: the classic tree-walk interpreter or
+    /// the register-bytecode VM with derivation-driven check elision
+    /// (default: [`ExecTier::TreeWalk`], overridable process-wide via the
+    /// `HB_EXEC_TIER=bytecode` environment variable). Semantics are
+    /// identical across tiers; the bytecode tier additionally patches
+    /// methods whose derivation holds onto a checked fast prologue that
+    /// skips the hook probe entirely.
+    pub fn exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
+        self
+    }
+
     /// Assembles the system: interpreter + RDL + engine, hooks installed
     /// per mode, configuration applied, core library loaded, statistics
     /// reset.
@@ -282,6 +306,10 @@ impl HummingbirdBuilder {
             interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
             interp.add_hook(engine.clone());
         }
+        interp.tier.set_tier(self.exec_tier);
+        // Attach regardless of tier so invalidation always depatches: a
+        // patch table must never outlive the derivation it mirrors.
+        engine.attach_exec_tier(interp.tier.clone());
         engine.set_config(Config {
             enabled: self.mode != Mode::Original,
             caching: self.caching.unwrap_or(self.mode != Mode::NoCache),

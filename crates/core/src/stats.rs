@@ -89,6 +89,17 @@ pub struct EngineStats {
     pub invalidations: u64,
     /// Cache invalidations of dependents (Definition 1(2)).
     pub dependent_invalidations: u64,
+    /// Method bodies compiled to register bytecode (bytecode tier only;
+    /// bodies outside the compilable subset tree-walk and never count).
+    pub bytecode_compiled: u64,
+    /// Fast-entry patch events: a cached derivation admitted a
+    /// `(receiver class, method entry)` pair onto its checked fast
+    /// prologue (hook probe and dynamic argument checks compiled out).
+    pub fast_entries_patched: u64,
+    /// Deoptimizations: fast entries patched back to the guarded
+    /// prologue because their derivation was invalidated (reload,
+    /// annotation change, enforcement change, cache flush).
+    pub deopts: u64,
     /// Distinct `rdl_cast` sites seen by the checker (Table 1 "Casts").
     pub cast_sites: BTreeSet<(u32, u32, u32)>,
     /// Distinct methods statically checked.

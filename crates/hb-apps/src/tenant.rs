@@ -45,6 +45,15 @@ pub struct TenantRun {
     pub sched_tasks_stale: u64,
     /// Cold calls admitted under `CheckPolicy::Deferred`.
     pub deferred_admissions: u64,
+    /// Method bodies compiled to register bytecode (zero on the
+    /// tree-walk tier).
+    pub bytecode_compiled: u64,
+    /// `(receiver class, entry)` pairs patched onto the checked fast
+    /// prologue once their derivation landed.
+    pub fast_entries_patched: u64,
+    /// Fast entries patched back to the guarded prologue by
+    /// invalidation.
+    pub deopts: u64,
 }
 
 impl TenantRun {
@@ -101,6 +110,9 @@ pub fn run_tenant(tenant: usize, shared: &Arc<SharedCache>, iters: usize) -> Ten
         out.sched_tasks_completed += s.sched_tasks_completed;
         out.sched_tasks_stale += s.sched_tasks_stale;
         out.deferred_admissions += s.deferred_admissions;
+        out.bytecode_compiled += s.bytecode_compiled;
+        out.fast_entries_patched += s.fast_entries_patched;
+        out.deopts += s.deopts;
     }
     out
 }

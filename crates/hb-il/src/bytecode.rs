@@ -1,0 +1,1052 @@
+//! A compact register-style bytecode for method bodies — the execution
+//! format of the interpreter's bytecode tier.
+//!
+//! The checker-facing CFG ([`crate::cfg::MethodCfg`]) abstracts control flow
+//! for analysis (its operands include `Nondet` merges), so it cannot be
+//! executed directly. This pass instead compiles the *same* method
+//! definition node the CFG was lowered from into an executable [`Chunk`]:
+//! straight-line register ops with explicit jumps, constant/symbol pools
+//! interned at compile time (no per-call string work), and a parallel span
+//! table so runtime errors point at exactly the source locations the
+//! tree-walking evaluator reports.
+//!
+//! Compilation is *best-effort*: [`compile_method`] returns `None` for any
+//! construct whose tree-walk semantics are subtle enough that a bytecode
+//! replication would risk divergence (exception handling, `case`, nested
+//! definitions, `super`, block literals, splats). Callers fall back to the
+//! tree-walk evaluator for those methods — semantics first, speed second.
+
+use hb_intern::Sym;
+use hb_syntax::ast::*;
+use hb_syntax::Span;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A compile-time constant in a chunk's pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BcConst {
+    Nil,
+    True,
+    False,
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Sym(Rc<str>),
+}
+
+/// How a formal parameter binds, with optional defaults restricted to pool
+/// constants (methods with computed defaults fall back to the tree-walk).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BcParam {
+    Required,
+    /// Default value as a constant-pool index.
+    Optional(u16),
+    Rest,
+    Block,
+}
+
+/// One bytecode instruction. Registers are `u16` indices into the frame's
+/// register file; every op writes its destination register last, so an op
+/// whose inputs alias its destination stays well-defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `dst = consts[idx]`
+    Const { dst: u16, idx: u16 },
+    /// `dst = self`
+    SelfVal { dst: u16 },
+    /// `dst = src`
+    Move { dst: u16, src: u16 },
+    /// `dst = @names[name]`
+    IVarGet { dst: u16, name: u16 },
+    /// `@names[name] = src`
+    IVarSet { name: u16, src: u16 },
+    /// `dst = $names[name]`
+    GVarGet { dst: u16, name: u16 },
+    /// `$names[name] = src`
+    GVarSet { name: u16, src: u16 },
+    /// `dst = resolve(paths[path])` (lexical-nesting constant resolution)
+    ConstGet { dst: u16, path: u16 },
+    /// `dst = [regs[start..start+len]]`
+    NewArray { dst: u16, start: u16, len: u16 },
+    /// `dst = {regs[start]=>regs[start+1], ...}` (`pairs` k/v pairs)
+    NewHash { dst: u16, start: u16, pairs: u16 },
+    /// `dst = regs[lo]..regs[hi]` (`...` when exclusive)
+    NewRange {
+        dst: u16,
+        lo: u16,
+        hi: u16,
+        exclusive: bool,
+    },
+    /// `dst = to_s(regs[src])` (dispatching `to_s` for objects)
+    ToS { dst: u16, src: u16 },
+    /// `dst = concat(regs[start..start+len])` — all inputs are strings
+    ConcatStr { dst: u16, start: u16, len: u16 },
+    /// `dst = !truthy(regs[src])`
+    Not { dst: u16, src: u16 },
+    /// unconditional jump
+    Jump { to: u32 },
+    /// jump when `regs[cond]` is falsy
+    JumpIfFalse { cond: u16, to: u32 },
+    /// `dst = regs[recv].syms[name](regs[start..start+argc])` — full
+    /// dispatch through the interpreter (hooks, arity, method_missing)
+    Call {
+        dst: u16,
+        recv: u16,
+        name: u16,
+        start: u16,
+        argc: u16,
+    },
+    /// `dst = yield(regs[start..start+argc])`
+    Yield { dst: u16, start: u16, argc: u16 },
+    /// return `regs[src]`
+    Return { src: u16 },
+}
+
+/// A compiled method body plus everything its prologue needs: parameter
+/// binding plan, precomputed arity, and the interned pools.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    pub ops: Vec<Op>,
+    /// Source span of each op (parallel to `ops`) — runtime errors carry
+    /// the same spans the tree-walk evaluator would attach.
+    pub spans: Vec<Span>,
+    pub consts: Vec<BcConst>,
+    /// Interned method names for `Call` ops.
+    pub syms: Vec<Sym>,
+    /// Instance/global variable names.
+    pub names: Vec<Rc<str>>,
+    /// Constant paths for `ConstGet`.
+    pub paths: Vec<Rc<Vec<String>>>,
+    /// Binding plan; parameter `i` binds into register `i`.
+    pub params: Vec<BcParam>,
+    /// Count of required parameters (arity check).
+    pub required: u16,
+    /// Count of required + optional parameters (arity check).
+    pub max: u16,
+    pub has_rest: bool,
+    /// Size of the register file (locals first, then temporaries).
+    pub n_regs: u16,
+}
+
+/// Ceiling on pool/register indices; methods that exceed it (pathological)
+/// fall back to the tree-walk.
+const LIMIT: usize = u16::MAX as usize - 1;
+
+/// Compiles a parsed method definition to bytecode. Returns `None` when the
+/// body uses a construct outside the supported subset (the caller keeps
+/// tree-walking that method).
+pub fn compile_method(def: &MethodDefNode) -> Option<Chunk> {
+    let mut c = Compiler::new();
+    // Parameters bind into the first registers, in declaration order.
+    let mut params = Vec::with_capacity(def.params.len());
+    let mut required = 0u16;
+    let mut max = 0u16;
+    let mut has_rest = false;
+    for p in &def.params {
+        c.declare_local(&p.name)?;
+        params.push(match &p.kind {
+            ParamKind::Required => {
+                required += 1;
+                max += 1;
+                BcParam::Required
+            }
+            ParamKind::Optional(d) => {
+                max += 1;
+                BcParam::Optional(c.literal_const(d)?)
+            }
+            ParamKind::Rest => {
+                has_rest = true;
+                BcParam::Rest
+            }
+            ParamKind::Block => BcParam::Block,
+        });
+    }
+    // Every assigned local gets a fixed register before temporaries.
+    collect_locals(&def.body, &mut c)?;
+    c.temp = c.n_locals;
+    c.max_reg = c.n_locals;
+
+    let dst = c.alloc()?;
+    c.compile_body(&def.body, dst, def.span)?;
+    c.emit(Op::Return { src: dst }, def.span);
+
+    Some(Chunk {
+        ops: c.ops,
+        spans: c.spans,
+        consts: c.consts,
+        syms: c.syms,
+        names: c.names,
+        paths: c.paths,
+        params,
+        required,
+        max,
+        has_rest,
+        n_regs: c.max_reg,
+    })
+}
+
+/// Walks the body declaring every local-assignment target, so all named
+/// locals own fixed registers (reads before assignment load `nil`, exactly
+/// like the tree-walk scope).
+fn collect_locals(body: &[Expr], c: &mut Compiler) -> Option<()> {
+    for e in body {
+        collect_locals_expr(e, c)?;
+    }
+    Some(())
+}
+
+fn collect_locals_expr(e: &Expr, c: &mut Compiler) -> Option<()> {
+    match &e.kind {
+        ExprKind::Assign { target, value } | ExprKind::OpAssign { target, value, .. } => {
+            if let Lhs::Local(n) = target {
+                c.declare_local(n)?;
+            }
+            match target {
+                Lhs::Index(r, idx) => {
+                    collect_locals_expr(r, c)?;
+                    collect_locals(idx, c)?;
+                }
+                Lhs::Attr(r, _) => collect_locals_expr(r, c)?,
+                _ => {}
+            }
+            collect_locals_expr(value, c)
+        }
+        ExprKind::Str(parts) => {
+            for p in parts {
+                if let StrPart::Interp(e) = p {
+                    collect_locals_expr(e, c)?;
+                }
+            }
+            Some(())
+        }
+        ExprKind::Array(xs) => collect_locals(xs, c),
+        ExprKind::Hash(pairs) => {
+            for (k, v) in pairs {
+                collect_locals_expr(k, c)?;
+                collect_locals_expr(v, c)?;
+            }
+            Some(())
+        }
+        ExprKind::Range { lo, hi, .. } => {
+            collect_locals_expr(lo, c)?;
+            collect_locals_expr(hi, c)
+        }
+        ExprKind::Call {
+            recv, args, block, ..
+        } => {
+            if block.is_some() {
+                return None; // bail: block literals capture scopes
+            }
+            if let Some(r) = recv {
+                collect_locals_expr(r, c)?;
+            }
+            for a in args {
+                match a {
+                    Arg::Pos(x) => collect_locals_expr(x, c)?,
+                    Arg::Splat(_) | Arg::BlockPass(_) => return None,
+                }
+            }
+            Some(())
+        }
+        ExprKind::Yield(args) => collect_locals(args, c),
+        ExprKind::And(a, b) | ExprKind::Or(a, b) => {
+            collect_locals_expr(a, c)?;
+            collect_locals_expr(b, c)
+        }
+        ExprKind::Not(x) => collect_locals_expr(x, c),
+        ExprKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            collect_locals_expr(cond, c)?;
+            collect_locals(then_body, c)?;
+            collect_locals(else_body, c)
+        }
+        ExprKind::While { cond, body } => {
+            collect_locals_expr(cond, c)?;
+            collect_locals(body, c)
+        }
+        ExprKind::Return(v) | ExprKind::Break(v) | ExprKind::Next(v) => match v {
+            Some(v) => collect_locals_expr(v, c),
+            None => Some(()),
+        },
+        // Constructs the compiler bails on anyway; let compile_expr report.
+        _ => Some(()),
+    }
+}
+
+struct LoopCtx {
+    /// Op index of the loop condition (`next` jumps here).
+    cond_pc: u32,
+    /// `Jump`/`JumpIfFalse` op indices to patch with the loop-exit pc.
+    exits: Vec<usize>,
+}
+
+struct Compiler {
+    ops: Vec<Op>,
+    spans: Vec<Span>,
+    consts: Vec<BcConst>,
+    syms: Vec<Sym>,
+    names: Vec<Rc<str>>,
+    paths: Vec<Rc<Vec<String>>>,
+    locals: HashMap<String, u16>,
+    n_locals: u16,
+    temp: u16,
+    max_reg: u16,
+    loops: Vec<LoopCtx>,
+}
+
+impl Compiler {
+    fn new() -> Compiler {
+        Compiler {
+            ops: Vec::new(),
+            spans: Vec::new(),
+            consts: Vec::new(),
+            syms: Vec::new(),
+            names: Vec::new(),
+            paths: Vec::new(),
+            locals: HashMap::new(),
+            n_locals: 0,
+            temp: 0,
+            max_reg: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn declare_local(&mut self, name: &str) -> Option<u16> {
+        if let Some(&r) = self.locals.get(name) {
+            return Some(r);
+        }
+        if self.n_locals as usize >= LIMIT {
+            return None;
+        }
+        let r = self.n_locals;
+        self.n_locals += 1;
+        self.locals.insert(name.to_string(), r);
+        Some(r)
+    }
+
+    fn emit(&mut self, op: Op, span: Span) -> usize {
+        self.ops.push(op);
+        self.spans.push(span);
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, idx: usize, target: u32) {
+        match &mut self.ops[idx] {
+            Op::Jump { to } | Op::JumpIfFalse { to, .. } => *to = target,
+            _ => unreachable!("patching a non-jump"),
+        }
+    }
+
+    fn alloc(&mut self) -> Option<u16> {
+        if self.temp as usize >= LIMIT {
+            return None;
+        }
+        let r = self.temp;
+        self.temp += 1;
+        if self.temp > self.max_reg {
+            self.max_reg = self.temp;
+        }
+        Some(r)
+    }
+
+    /// Compiles `e` into a fresh register and releases any temporaries the
+    /// subexpression allocated above it — only the value's register stays
+    /// reserved. Multi-register windows (call arguments, array elements,
+    /// string pieces) rely on this to stay consecutive.
+    fn compile_tmp(&mut self, e: &Expr) -> Option<u16> {
+        let t = self.alloc()?;
+        self.compile_expr(e, t)?;
+        self.temp = t + 1;
+        Some(t)
+    }
+
+    fn add_const(&mut self, k: BcConst) -> Option<u16> {
+        if let Some(i) = self.consts.iter().position(|c| *c == k) {
+            return Some(i as u16);
+        }
+        if self.consts.len() >= LIMIT {
+            return None;
+        }
+        self.consts.push(k);
+        Some((self.consts.len() - 1) as u16)
+    }
+
+    fn add_sym(&mut self, s: &str) -> Option<u16> {
+        let sym = Sym::intern(s);
+        if let Some(i) = self.syms.iter().position(|&x| x == sym) {
+            return Some(i as u16);
+        }
+        if self.syms.len() >= LIMIT {
+            return None;
+        }
+        self.syms.push(sym);
+        Some((self.syms.len() - 1) as u16)
+    }
+
+    fn add_name(&mut self, s: &str) -> Option<u16> {
+        if let Some(i) = self.names.iter().position(|x| &**x == s) {
+            return Some(i as u16);
+        }
+        if self.names.len() >= LIMIT {
+            return None;
+        }
+        self.names.push(Rc::from(s));
+        Some((self.names.len() - 1) as u16)
+    }
+
+    fn add_path(&mut self, p: &[String]) -> Option<u16> {
+        if let Some(i) = self.paths.iter().position(|x| **x == p) {
+            return Some(i as u16);
+        }
+        if self.paths.len() >= LIMIT {
+            return None;
+        }
+        self.paths.push(Rc::new(p.to_vec()));
+        Some((self.paths.len() - 1) as u16)
+    }
+
+    /// A literal expression as a pool constant (optional-parameter
+    /// defaults); non-literal defaults make the method uncompilable.
+    fn literal_const(&mut self, e: &Expr) -> Option<u16> {
+        let k = match &e.kind {
+            ExprKind::Nil => BcConst::Nil,
+            ExprKind::True => BcConst::True,
+            ExprKind::False => BcConst::False,
+            ExprKind::Int(n) => BcConst::Int(*n),
+            ExprKind::Float(x) => BcConst::Float(*x),
+            ExprKind::Sym(s) => BcConst::Sym(Rc::from(s.as_str())),
+            ExprKind::Str(parts) => match parts.as_slice() {
+                [] => BcConst::Str(Rc::from("")),
+                [StrPart::Lit(s)] => BcConst::Str(Rc::from(s.as_str())),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        self.add_const(k)
+    }
+
+    /// Compiles a statement sequence into `dst` (tree-walk `eval_body`:
+    /// value of the last statement, `nil` when empty).
+    fn compile_body(&mut self, body: &[Expr], dst: u16, span: Span) -> Option<()> {
+        if body.is_empty() {
+            let idx = self.add_const(BcConst::Nil)?;
+            self.emit(Op::Const { dst, idx }, span);
+            return Some(());
+        }
+        for e in body {
+            let save = self.temp;
+            self.compile_expr(e, dst)?;
+            self.temp = save;
+        }
+        Some(())
+    }
+
+    fn compile_expr(&mut self, e: &Expr, dst: u16) -> Option<()> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Nil => self.emit_const(BcConst::Nil, dst, span),
+            ExprKind::True => self.emit_const(BcConst::True, dst, span),
+            ExprKind::False => self.emit_const(BcConst::False, dst, span),
+            ExprKind::Int(n) => self.emit_const(BcConst::Int(*n), dst, span),
+            ExprKind::Float(x) => self.emit_const(BcConst::Float(*x), dst, span),
+            ExprKind::Sym(s) => self.emit_const(BcConst::Sym(Rc::from(s.as_str())), dst, span),
+            ExprKind::SelfExpr => {
+                self.emit(Op::SelfVal { dst }, span);
+                Some(())
+            }
+            ExprKind::Str(parts) => self.compile_str(parts, dst, span),
+            ExprKind::Array(xs) => {
+                if xs.is_empty() {
+                    self.emit(
+                        Op::NewArray {
+                            dst,
+                            start: 0,
+                            len: 0,
+                        },
+                        span,
+                    );
+                    return Some(());
+                }
+                let start = self.temp;
+                for x in xs {
+                    self.compile_tmp(x)?;
+                }
+                self.emit(
+                    Op::NewArray {
+                        dst,
+                        start,
+                        len: xs.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            ExprKind::Hash(pairs) => {
+                let start = self.temp;
+                for (k, v) in pairs {
+                    self.compile_tmp(k)?;
+                    self.compile_tmp(v)?;
+                }
+                self.emit(
+                    Op::NewHash {
+                        dst,
+                        start,
+                        pairs: pairs.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            ExprKind::Range { lo, hi, exclusive } => {
+                let tl = self.compile_tmp(lo)?;
+                let th = self.compile_tmp(hi)?;
+                self.emit(
+                    Op::NewRange {
+                        dst,
+                        lo: tl,
+                        hi: th,
+                        exclusive: *exclusive,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            ExprKind::Local(n) => {
+                // The parser only resolves identifiers assigned earlier in
+                // scope to locals, so the register always exists.
+                let r = *self.locals.get(n)?;
+                if r != dst {
+                    self.emit(Op::Move { dst, src: r }, span);
+                }
+                Some(())
+            }
+            ExprKind::IVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::IVarGet { dst, name }, span);
+                Some(())
+            }
+            ExprKind::GVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::GVarGet { dst, name }, span);
+                Some(())
+            }
+            ExprKind::Const(path) => {
+                let path = self.add_path(path)?;
+                self.emit(Op::ConstGet { dst, path }, span);
+                Some(())
+            }
+            ExprKind::Assign { target, value } => {
+                // Tree-walk order: value first, then the target's own
+                // receiver/index expressions; the expression's value is the
+                // assigned value.
+                self.compile_expr(value, dst)?;
+                self.compile_store(target, dst, span)
+            }
+            ExprKind::OpAssign { target, op, value } => {
+                self.compile_op_assign(target, op, value, dst, span)
+            }
+            ExprKind::Call {
+                recv,
+                name,
+                args,
+                block,
+            } => {
+                if block.is_some() {
+                    return None; // bail: block literals capture scopes
+                }
+                let r = self.alloc()?;
+                match recv {
+                    Some(rx) => {
+                        self.compile_expr(rx, r)?;
+                        self.temp = r + 1;
+                    }
+                    None => {
+                        self.emit(Op::SelfVal { dst: r }, span);
+                    }
+                }
+                let start = self.temp;
+                for a in args {
+                    match a {
+                        Arg::Pos(x) => {
+                            self.compile_tmp(x)?;
+                        }
+                        Arg::Splat(_) | Arg::BlockPass(_) => return None,
+                    }
+                }
+                let name = self.add_sym(name)?;
+                self.emit(
+                    Op::Call {
+                        dst,
+                        recv: r,
+                        name,
+                        start,
+                        argc: args.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            ExprKind::Yield(args) => {
+                let start = self.temp;
+                for a in args {
+                    self.compile_tmp(a)?;
+                }
+                self.emit(
+                    Op::Yield {
+                        dst,
+                        start,
+                        argc: args.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            ExprKind::And(a, b) => {
+                self.compile_expr(a, dst)?;
+                let j = self.emit(Op::JumpIfFalse { cond: dst, to: 0 }, span);
+                self.compile_expr(b, dst)?;
+                let end = self.here();
+                self.patch(j, end);
+                Some(())
+            }
+            ExprKind::Or(a, b) => {
+                self.compile_expr(a, dst)?;
+                let j_false = self.emit(Op::JumpIfFalse { cond: dst, to: 0 }, span);
+                let j_end = self.emit(Op::Jump { to: 0 }, span);
+                let here = self.here();
+                self.patch(j_false, here);
+                self.compile_expr(b, dst)?;
+                let end = self.here();
+                self.patch(j_end, end);
+                Some(())
+            }
+            ExprKind::Not(x) => {
+                let t = self.alloc()?;
+                self.compile_expr(x, t)?;
+                self.emit(Op::Not { dst, src: t }, span);
+                Some(())
+            }
+            ExprKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = self.alloc()?;
+                self.compile_expr(cond, t)?;
+                let j_else = self.emit(Op::JumpIfFalse { cond: t, to: 0 }, span);
+                self.compile_body(then_body, dst, span)?;
+                let j_end = self.emit(Op::Jump { to: 0 }, span);
+                let here = self.here();
+                self.patch(j_else, here);
+                self.compile_body(else_body, dst, span)?;
+                let end = self.here();
+                self.patch(j_end, end);
+                Some(())
+            }
+            ExprKind::While { cond, body } => {
+                let cond_pc = self.here();
+                let t = self.alloc()?;
+                self.compile_expr(cond, t)?;
+                let j_exit = self.emit(Op::JumpIfFalse { cond: t, to: 0 }, span);
+                self.loops.push(LoopCtx {
+                    cond_pc,
+                    exits: vec![j_exit],
+                });
+                let scratch = self.alloc()?;
+                let body_ok = self.compile_body(body, scratch, span);
+                let ctx = self.loops.pop()?;
+                body_ok?;
+                self.emit(Op::Jump { to: cond_pc }, span);
+                let end = self.here();
+                for j in ctx.exits {
+                    self.patch(j, end);
+                }
+                // A while expression always evaluates to nil (the
+                // tree-walk discards any break value).
+                self.emit_const(BcConst::Nil, dst, span)
+            }
+            ExprKind::Return(v) => {
+                let t = self.alloc()?;
+                match v {
+                    Some(v) => self.compile_expr(v, t)?,
+                    None => self.emit_const(BcConst::Nil, t, span)?,
+                }
+                self.emit(Op::Return { src: t }, span);
+                Some(())
+            }
+            ExprKind::Break(v) => {
+                let t = self.alloc()?;
+                match v {
+                    Some(v) => self.compile_expr(v, t)?,
+                    None => self.emit_const(BcConst::Nil, t, span)?,
+                }
+                if self.loops.is_empty() {
+                    return None; // bail: break-as-method-exit is tree-walk territory
+                }
+                let j = self.emit(Op::Jump { to: 0 }, span);
+                self.loops.last_mut()?.exits.push(j);
+                Some(())
+            }
+            ExprKind::Next(v) => {
+                let t = self.alloc()?;
+                match v {
+                    Some(v) => self.compile_expr(v, t)?,
+                    None => self.emit_const(BcConst::Nil, t, span)?,
+                }
+                let ctx = self.loops.last()?;
+                let to = ctx.cond_pc;
+                self.emit(Op::Jump { to }, span);
+                Some(())
+            }
+            // Bail-outs: constructs whose semantics live in the tree-walk
+            // evaluator (exception handling, nested definitions, case
+            // dispatch, super's frame-args access, class variables).
+            ExprKind::CVar(_)
+            | ExprKind::Super { .. }
+            | ExprKind::Case { .. }
+            | ExprKind::Begin { .. }
+            | ExprKind::ClassDef { .. }
+            | ExprKind::ModuleDef { .. }
+            | ExprKind::MethodDef(_) => None,
+        }
+    }
+
+    fn emit_const(&mut self, k: BcConst, dst: u16, span: Span) -> Option<()> {
+        let idx = self.add_const(k)?;
+        self.emit(Op::Const { dst, idx }, span);
+        Some(())
+    }
+
+    fn compile_str(&mut self, parts: &[StrPart], dst: u16, span: Span) -> Option<()> {
+        match parts {
+            [] => self.emit_const(BcConst::Str(Rc::from("")), dst, span),
+            [StrPart::Lit(s)] => self.emit_const(BcConst::Str(Rc::from(s.as_str())), dst, span),
+            _ => {
+                let start = self.temp;
+                for p in parts {
+                    match p {
+                        StrPart::Lit(s) => {
+                            let t = self.alloc()?;
+                            self.emit_const(BcConst::Str(Rc::from(s.as_str())), t, span)?;
+                        }
+                        StrPart::Interp(e) => {
+                            let t = self.compile_tmp(e)?;
+                            self.emit(Op::ToS { dst: t, src: t }, span);
+                        }
+                    }
+                }
+                self.emit(
+                    Op::ConcatStr {
+                        dst,
+                        start,
+                        len: parts.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+        }
+    }
+
+    /// Stores `src` into an assignment target (the write half of `Assign` /
+    /// `OpAssign`); evaluates the target's receiver/index expressions here,
+    /// exactly like the tree-walk `assign`.
+    fn compile_store(&mut self, target: &Lhs, src: u16, span: Span) -> Option<()> {
+        match target {
+            Lhs::Local(n) => {
+                let r = *self.locals.get(n)?;
+                if r != src {
+                    self.emit(Op::Move { dst: r, src }, span);
+                }
+                Some(())
+            }
+            Lhs::IVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::IVarSet { name, src }, span);
+                Some(())
+            }
+            Lhs::GVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::GVarSet { name, src }, span);
+                Some(())
+            }
+            Lhs::Index(recv, idx) => {
+                let r = self.compile_tmp(recv)?;
+                let start = self.temp;
+                for a in idx {
+                    self.compile_tmp(a)?;
+                }
+                let last = self.alloc()?;
+                self.emit(Op::Move { dst: last, src }, span);
+                let name = self.add_sym("[]=")?;
+                let scratch = self.alloc()?;
+                self.emit(
+                    Op::Call {
+                        dst: scratch,
+                        recv: r,
+                        name,
+                        start,
+                        argc: (idx.len() + 1).try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            Lhs::Attr(recv, name) => {
+                let r = self.compile_tmp(recv)?;
+                let a = self.alloc()?;
+                self.emit(Op::Move { dst: a, src }, span);
+                // Setter name interned once at compile time — no per-call
+                // `format!("{name}=")`.
+                let name = self.add_sym(&format!("{name}="))?;
+                let scratch = self.alloc()?;
+                self.emit(
+                    Op::Call {
+                        dst: scratch,
+                        recv: r,
+                        name,
+                        start: a,
+                        argc: 1,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            // Constant assignment renames anonymous classes; class
+            // variables walk the definee's ancestors. Both stay tree-walk.
+            Lhs::Const(_) | Lhs::CVar(_) => None,
+        }
+    }
+
+    /// Reads an assignment target (the read half of `OpAssign`), mirroring
+    /// the tree-walk `lhs_read`.
+    fn compile_lhs_read(&mut self, target: &Lhs, dst: u16, span: Span) -> Option<()> {
+        match target {
+            Lhs::Local(n) => {
+                let r = *self.locals.get(n)?;
+                if r != dst {
+                    self.emit(Op::Move { dst, src: r }, span);
+                }
+                Some(())
+            }
+            Lhs::IVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::IVarGet { dst, name }, span);
+                Some(())
+            }
+            Lhs::GVar(n) => {
+                let name = self.add_name(n)?;
+                self.emit(Op::GVarGet { dst, name }, span);
+                Some(())
+            }
+            Lhs::Index(recv, idx) => {
+                let r = self.compile_tmp(recv)?;
+                let start = self.temp;
+                for a in idx {
+                    self.compile_tmp(a)?;
+                }
+                let name = self.add_sym("[]")?;
+                self.emit(
+                    Op::Call {
+                        dst,
+                        recv: r,
+                        name,
+                        start,
+                        argc: idx.len().try_into().ok()?,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            Lhs::Attr(recv, name) => {
+                let r = self.compile_tmp(recv)?;
+                let name = self.add_sym(name)?;
+                self.emit(
+                    Op::Call {
+                        dst,
+                        recv: r,
+                        name,
+                        start: 0,
+                        argc: 0,
+                    },
+                    span,
+                );
+                Some(())
+            }
+            Lhs::Const(_) | Lhs::CVar(_) => None,
+        }
+    }
+
+    fn compile_op_assign(
+        &mut self,
+        target: &Lhs,
+        op: &str,
+        value: &Expr,
+        dst: u16,
+        span: Span,
+    ) -> Option<()> {
+        // Note: like the tree-walk, Index/Attr targets evaluate their
+        // receiver once for the read and again for the write.
+        let cur = self.alloc()?;
+        self.compile_lhs_read(target, cur, span)?;
+        self.temp = cur + 1;
+        match op {
+            "||" => {
+                if cur != dst {
+                    self.emit(Op::Move { dst, src: cur }, span);
+                }
+                let j_assign = self.emit(Op::JumpIfFalse { cond: cur, to: 0 }, span);
+                let j_end = self.emit(Op::Jump { to: 0 }, span);
+                let here = self.here();
+                self.patch(j_assign, here);
+                let v = self.alloc()?;
+                self.compile_expr(value, v)?;
+                self.compile_store(target, v, span)?;
+                self.emit(Op::Move { dst, src: v }, span);
+                let end = self.here();
+                self.patch(j_end, end);
+                Some(())
+            }
+            "&&" => {
+                if cur != dst {
+                    self.emit(Op::Move { dst, src: cur }, span);
+                }
+                let j_end = self.emit(Op::JumpIfFalse { cond: cur, to: 0 }, span);
+                let v = self.alloc()?;
+                self.compile_expr(value, v)?;
+                self.compile_store(target, v, span)?;
+                self.emit(Op::Move { dst, src: v }, span);
+                let end = self.here();
+                self.patch(j_end, end);
+                Some(())
+            }
+            op => {
+                let v = self.alloc()?;
+                self.compile_expr(value, v)?;
+                let name = self.add_sym(op)?;
+                self.emit(
+                    Op::Call {
+                        dst,
+                        recv: cur,
+                        name,
+                        start: v,
+                        argc: 1,
+                    },
+                    span,
+                );
+                self.compile_store(target, dst, span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_syntax::parse_program;
+
+    fn first_def(src: &str) -> Rc<MethodDefNode> {
+        let p = parse_program(src, "t.rb").unwrap();
+        for e in &p.body {
+            if let ExprKind::MethodDef(d) = &e.kind {
+                return d.clone();
+            }
+        }
+        panic!("no method def in source");
+    }
+
+    #[test]
+    fn compiles_identity_method() {
+        let def = first_def("def idm(x)\n x\nend");
+        let chunk = compile_method(&def).expect("compilable");
+        assert_eq!(chunk.params, vec![BcParam::Required]);
+        assert_eq!(chunk.required, 1);
+        assert_eq!(chunk.max, 1);
+        assert!(!chunk.has_rest);
+        // Register 0 is `x`; the body moves it to the result register and
+        // returns.
+        assert!(matches!(chunk.ops.last(), Some(Op::Return { .. })));
+    }
+
+    #[test]
+    fn compiles_arith_and_locals() {
+        let def = first_def("def f(a, b)\n c = a + b\n c * 2\nend");
+        let chunk = compile_method(&def).expect("compilable");
+        // a, b, c get fixed registers 0..3.
+        assert!(chunk.n_regs >= 3);
+        assert!(chunk
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Call { argc: 1, .. })));
+    }
+
+    #[test]
+    fn compiles_control_flow() {
+        let def = first_def(
+            "def f(n)\n i = 0\n while i < n\n  i = i + 1\n  next if i == 2\n  break if i > 5\n end\n i\nend",
+        );
+        assert!(compile_method(&def).is_some());
+    }
+
+    #[test]
+    fn compiles_interpolation_and_collections() {
+        let def = first_def("def f(x)\n [\"a#{x}b\", {1 => x}, (1..3)]\nend");
+        let chunk = compile_method(&def).expect("compilable");
+        assert!(chunk
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::ConcatStr { .. })));
+        assert!(chunk.ops.iter().any(|op| matches!(op, Op::NewHash { .. })));
+    }
+
+    #[test]
+    fn optional_literal_defaults_compile_nonliteral_bail() {
+        let lit = first_def("def f(a, b = 3)\n a\nend");
+        let chunk = compile_method(&lit).expect("compilable");
+        assert_eq!(chunk.required, 1);
+        assert_eq!(chunk.max, 2);
+        let dynamic = first_def("def f(a, b = a + 1)\n a\nend");
+        assert!(compile_method(&dynamic).is_none());
+    }
+
+    #[test]
+    fn bails_on_unsupported_constructs() {
+        for src in [
+            "def f\n case 1\n when 1 then 2\n end\nend",
+            "def f\n begin\n  1\n rescue\n  2\n end\nend",
+            "def f\n super\nend",
+            "def f\n [1].each do |x|\n  x\n end\nend",
+            "def f(*a)\n g(*a)\nend",
+            "def f\n @@x\nend",
+            "def f\n break\nend",
+        ] {
+            let def = first_def(src);
+            assert!(compile_method(&def).is_none(), "expected bail: {src}");
+        }
+    }
+
+    #[test]
+    fn rest_and_block_params() {
+        let def = first_def("def f(a, *rest, &blk)\n rest\nend");
+        let chunk = compile_method(&def).expect("compilable");
+        assert!(chunk.has_rest);
+        assert_eq!(
+            chunk.params,
+            vec![BcParam::Required, BcParam::Rest, BcParam::Block]
+        );
+    }
+
+    #[test]
+    fn spans_parallel_ops() {
+        let def = first_def("def f(x)\n x.g(1)\nend");
+        let chunk = compile_method(&def).expect("compilable");
+        assert_eq!(chunk.ops.len(), chunk.spans.len());
+    }
+}

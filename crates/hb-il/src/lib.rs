@@ -20,9 +20,11 @@
 //! assert_eq!(cfg.params.len(), 2);
 //! ```
 
+pub mod bytecode;
 pub mod cfg;
 pub mod lower;
 
+pub use bytecode::{compile_method, BcConst, BcParam, Chunk, Op};
 pub use cfg::{
     BasicBlock, BlockId, BlockLit, BlockLitId, CallArg, IlParam, IlParamKind, Instr, InstrKind,
     MethodCfg, Operand, Rvalue, StrPiece, Terminator,

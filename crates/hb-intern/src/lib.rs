@@ -279,6 +279,64 @@ pub fn fingerprint64(x: impl std::hash::Hash) -> u64 {
     h.finish()
 }
 
+// ----- fast hashing for interned keys ----------------------------------------
+
+/// FNV-1a with a splitmix64 finalizer — a fast, non-cryptographic hasher
+/// for maps keyed by interned values ([`Sym`], [`MethodKey`]): the keys
+/// are tiny (a few machine words of already-uniqued indices), attacker-
+/// controlled collisions are not a concern for in-process caches, and the
+/// steady-state dispatch path performs several such lookups per call, so
+/// SipHash's per-lookup setup cost is measurable. Not process-stable:
+/// never use it for fingerprints (see [`fingerprint64`]).
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x0100_0000_01b3);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x0100_0000_01b3);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0100_0000_01b3);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: FNV alone mixes low bits poorly and
+        // `HashMap` indexes by the low bits of the hash.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = std::hash::BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` over interned keys using [`FastHasher`] — the container
+/// for every map on the steady-state dispatch path.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
 // ----- stable symbol serialization -------------------------------------------
 //
 // `Sym` indices are assigned in process-local interning order, so they can

@@ -4,10 +4,9 @@
 
 use crate::error::Flow;
 use crate::value::{ClassId, ProcVal, Value};
-use hb_intern::Sym;
+use hb_intern::{FastMap, Sym};
 use hb_syntax::ast::MethodDefNode;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Signature of a native (Rust-implemented) method.
@@ -51,15 +50,15 @@ pub struct ClassDef {
     pub is_module: bool,
     /// Included modules, in inclusion order (later lookups win).
     pub includes: Vec<ClassId>,
-    pub methods: HashMap<String, MethodEntry>,
+    pub methods: FastMap<String, MethodEntry>,
     /// Class-level (singleton) methods.
-    pub smethods: HashMap<String, MethodEntry>,
+    pub smethods: FastMap<String, MethodEntry>,
     /// For `Struct.new`-generated classes: the member names.
     pub struct_members: Option<Vec<String>>,
     /// Class-level instance variables (`@x` with a class as `self`).
-    pub ivars: HashMap<String, Value>,
+    pub ivars: FastMap<String, Value>,
     /// Class variables (`@@x`), shared down the inheritance chain.
-    pub cvars: HashMap<String, Value>,
+    pub cvars: FastMap<String, Value>,
     /// Memoised linearised ancestor chain, tagged with the hierarchy
     /// generation it was computed at (see `ClassRegistry::hierarchy_gen`).
     ancestor_cache: RefCell<Option<(u64, Rc<[ClassId]>)>>,
@@ -95,7 +94,7 @@ pub enum InterpEvent {
 /// The registry of all classes and modules.
 pub struct ClassRegistry {
     classes: Vec<ClassDef>,
-    by_name: HashMap<String, ClassId>,
+    by_name: FastMap<String, ClassId>,
     next_method_id: u64,
     /// Bumped whenever the class graph changes shape (superclass set or
     /// module included); memoised ancestor chains from older generations
@@ -116,7 +115,7 @@ impl ClassRegistry {
     pub fn new() -> ClassRegistry {
         let mut r = ClassRegistry {
             classes: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: FastMap::default(),
             next_method_id: 1,
             hierarchy_gen: 0,
             shape_fp: 0,
@@ -165,11 +164,11 @@ impl ClassRegistry {
             superclass,
             is_module,
             includes: Vec::new(),
-            methods: HashMap::new(),
-            smethods: HashMap::new(),
+            methods: FastMap::default(),
+            smethods: FastMap::default(),
             struct_members: None,
-            ivars: HashMap::new(),
-            cvars: HashMap::new(),
+            ivars: FastMap::default(),
+            cvars: FastMap::default(),
             ancestor_cache: RefCell::new(None),
         });
         self.by_name.insert(name.to_string(), id);

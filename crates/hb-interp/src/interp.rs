@@ -10,7 +10,9 @@ use crate::class::{BuiltinFn, ClassRegistry, InterpEvent, MethodBody, MethodEntr
 use crate::env::{Scope, ScopeRef};
 use crate::error::{ErrorKind, Flow, HbError};
 use crate::hooks::{CallHook, DispatchInfo};
+use crate::tier::ExecTierState;
 use crate::value::{ClassId, HashObj, Instance, ProcVal, Value};
+use hb_intern::Sym;
 use hb_syntax::ast::*;
 use hb_syntax::parser::parse_in;
 use hb_syntax::{SourceMap, Span};
@@ -39,7 +41,7 @@ pub struct Frame {
     /// The class receiving `def` in this frame.
     pub definee: ClassId,
     /// `(owner, name)` of the currently executing method (for `super`).
-    pub method: Option<(ClassId, String)>,
+    pub method: Option<(ClassId, Sym)>,
     /// The method's arguments (for argument-forwarding `super`).
     pub args: Vec<Value>,
     /// The block passed to the current method (for `yield`).
@@ -47,9 +49,13 @@ pub struct Frame {
     /// True when the Hummingbird engine statically checked this call, so
     /// calls made from here skip dynamic argument checks.
     pub checked: bool,
-    /// Lexical constant nesting for resolution.
-    pub nesting: Vec<String>,
+    /// Lexical constant nesting for resolution (shared: method frames for
+    /// the same class reuse one memoised vector).
+    pub nesting: Rc<Vec<String>>,
 }
+
+/// Hierarchy-generation-tagged memo of per-class lexical nesting.
+type NestingMemo = (u64, HashMap<ClassId, Rc<Vec<String>>>);
 
 /// The interpreter.
 pub struct Interp {
@@ -57,9 +63,21 @@ pub struct Interp {
     constants: HashMap<String, Value>,
     globals: HashMap<String, Value>,
     pub source_map: SourceMap,
+    /// Execution-tier state (bytecode chunks, fast-entry patch table).
+    /// Shared with the Hummingbird engine, which deoptimizes patched
+    /// entries when derivations are invalidated.
+    pub tier: Rc<ExecTierState>,
     frames: Vec<Frame>,
-    hooks: Vec<Rc<dyn CallHook>>,
+    /// `Rc`-wrapped so the per-dispatch snapshot is a refcount bump, not a
+    /// `Vec` allocation.
+    hooks: Rc<Vec<Rc<dyn CallHook>>>,
     extensions: HashMap<TypeId, Rc<dyn Any>>,
+    /// Memoised per-class lexical nesting (`A::B` → `["A", "B"]`), keyed
+    /// by the registry's hierarchy generation so renames invalidate it.
+    nesting_memo: RefCell<NestingMemo>,
+    /// Interned `name=` setter symbols, so attribute assignment does not
+    /// allocate a fresh `String` per call.
+    setter_syms: RefCell<HashMap<String, Sym>>,
     output: String,
     /// Echo `puts` output to stdout as well as the capture buffer.
     pub echo: bool,
@@ -82,9 +100,12 @@ impl Interp {
             constants: HashMap::new(),
             globals: HashMap::new(),
             source_map: SourceMap::new(),
+            tier: Rc::new(ExecTierState::new()),
             frames: Vec::new(),
-            hooks: Vec::new(),
+            hooks: Rc::new(Vec::new()),
             extensions: HashMap::new(),
+            nesting_memo: RefCell::new((0, HashMap::new())),
+            setter_syms: RefCell::new(HashMap::new()),
             output: String::new(),
             echo: false,
             // Guards runaway interpreted recursion. Each interpreted frame
@@ -108,7 +129,7 @@ impl Interp {
             args: vec![],
             block: None,
             checked: false,
-            nesting: vec![],
+            nesting: Rc::new(vec![]),
         });
         // Classes registered during bootstrap are not interesting events.
         interp.registry.events.clear();
@@ -119,12 +140,12 @@ impl Interp {
 
     /// Registers a call hook (RDL wrapping / Hummingbird engine).
     pub fn add_hook(&mut self, hook: Rc<dyn CallHook>) {
-        self.hooks.push(hook);
+        Rc::make_mut(&mut self.hooks).push(hook);
     }
 
     /// Removes all hooks (used by the "Orig" benchmark mode).
     pub fn clear_hooks(&mut self) {
-        self.hooks.clear();
+        Rc::make_mut(&mut self.hooks).clear();
     }
 
     /// Stores a typed extension (e.g. the RDL state) retrievable by any
@@ -155,6 +176,49 @@ impl Interp {
     #[allow(dead_code)]
     fn frame_mut(&mut self) -> &mut Frame {
         self.frames.last_mut().expect("main frame always present")
+    }
+
+    pub(crate) fn push_frame(&mut self, f: Frame) {
+        self.frames.push(f);
+    }
+
+    pub(crate) fn pop_frame(&mut self) {
+        self.frames.pop();
+    }
+
+    /// The memoised lexical nesting of a class (`A::B` → `["A", "B"]`).
+    /// Keyed by the registry's hierarchy generation: a rename/define
+    /// invalidates the whole memo rather than tracking names per class.
+    pub(crate) fn nesting_of(&self, owner: ClassId) -> Rc<Vec<String>> {
+        let generation = self.registry.hierarchy_generation();
+        let mut memo = self.nesting_memo.borrow_mut();
+        if memo.0 != generation {
+            memo.0 = generation;
+            memo.1.clear();
+        }
+        memo.1
+            .entry(owner)
+            .or_insert_with(|| {
+                Rc::new(
+                    self.registry
+                        .name(owner)
+                        .split("::")
+                        .map(|s| s.to_string())
+                        .collect(),
+                )
+            })
+            .clone()
+    }
+
+    /// The interned `name=` symbol for an attribute writer, allocated at
+    /// most once per attribute name.
+    fn setter_sym(&self, name: &str) -> Sym {
+        if let Some(s) = self.setter_syms.borrow().get(name) {
+            return *s;
+        }
+        let s = Sym::intern(&format!("{name}="));
+        self.setter_syms.borrow_mut().insert(name.to_string(), s);
+        s
     }
 
     /// Whether the currently executing method was statically checked.
@@ -250,7 +314,7 @@ impl Interp {
         self.constants.insert(name.to_string(), v);
     }
 
-    fn resolve_const(&self, path: &[String], span: Span) -> Result<Value, Flow> {
+    pub(crate) fn resolve_const(&self, path: &[String], span: Span) -> Result<Value, Flow> {
         let joined = path.join("::");
         let nesting = &self.frame().nesting;
         for i in (0..=nesting.len()).rev() {
@@ -439,7 +503,7 @@ impl Interp {
                 }
             }
             ExprKind::Super { args } => {
-                let (owner, name) = match self.frame().method.clone() {
+                let (owner, name) = match self.frame().method {
                     Some(m) => m,
                     None => {
                         return Err(Flow::Error(HbError::new(
@@ -462,10 +526,22 @@ impl Interp {
                 let recv = self.self_val();
                 let recv_class = self.registry.class_of(&recv);
                 let blk = self.frame().block.clone();
-                match self.registry.find_method_above(recv_class, owner, &name) {
-                    Some((o, entry)) => {
-                        self.invoke_entry(recv, recv_class, false, o, entry, &name, argv, blk, span)
-                    }
+                match self
+                    .registry
+                    .find_method_above(recv_class, owner, name.as_str())
+                {
+                    Some((o, entry)) => self.invoke_entry_inner(
+                        recv,
+                        recv_class,
+                        false,
+                        o,
+                        entry,
+                        name.as_str(),
+                        Some(name),
+                        argv,
+                        blk,
+                        span,
+                    ),
                     None => Err(Flow::Error(HbError::new(
                         ErrorKind::NoMethod,
                         format!("super: no superclass method `{name}`"),
@@ -830,7 +906,8 @@ impl Interp {
             }
             Lhs::Attr(recv, name) => {
                 let r = self.eval(recv, scope)?;
-                self.call_method(r, &format!("{name}="), vec![v], None, span)?;
+                let setter = self.setter_sym(name);
+                self.call_method_sym(r, setter, vec![v], None, span)?;
                 Ok(())
             }
         }
@@ -890,11 +967,11 @@ impl Interp {
         }
     }
 
-    fn class_ivars(&self, cid: ClassId) -> &HashMap<String, Value> {
+    fn class_ivars(&self, cid: ClassId) -> &hb_intern::FastMap<String, Value> {
         &self.registry.class(cid).ivars
     }
 
-    fn class_ivars_mut(&mut self, cid: ClassId) -> &mut HashMap<String, Value> {
+    fn class_ivars_mut(&mut self, cid: ClassId) -> &mut hb_intern::FastMap<String, Value> {
         &mut self.registry.class_mut(cid).ivars
     }
 
@@ -979,7 +1056,12 @@ impl Interp {
                 }
             }
         }
-        let nesting: Vec<String> = full_name.split("::").map(|s| s.to_string()).collect();
+        let nesting = Rc::new(
+            full_name
+                .split("::")
+                .map(|s| s.to_string())
+                .collect::<Vec<String>>(),
+        );
         self.frames.push(Frame {
             kind: FrameKind::ClassBody,
             self_val: Value::Class(cid),
@@ -1025,6 +1107,31 @@ impl Interp {
         block: Option<Value>,
         span: Span,
     ) -> Result<Value, Flow> {
+        self.dispatch(recv, name, None, args, block, span)
+    }
+
+    /// [`Interp::call_method`] with a pre-interned name — the bytecode VM's
+    /// entry point, avoiding per-call symbol interning.
+    pub fn call_method_sym(
+        &mut self,
+        recv: Value,
+        name: Sym,
+        args: Vec<Value>,
+        block: Option<Value>,
+        span: Span,
+    ) -> Result<Value, Flow> {
+        self.dispatch(recv, name.as_str(), Some(name), args, block, span)
+    }
+
+    fn dispatch(
+        &mut self,
+        recv: Value,
+        name: &str,
+        sym: Option<Sym>,
+        args: Vec<Value>,
+        block: Option<Value>,
+        span: Span,
+    ) -> Result<Value, Flow> {
         if self.frames.len() >= self.max_depth {
             return Err(Flow::Error(HbError::new(
                 ErrorKind::Internal,
@@ -1054,13 +1161,14 @@ impl Interp {
                 .map(|(o, e)| (o, e, false))
         };
         match found {
-            Some((owner, entry, as_singleton)) => self.invoke_entry(
+            Some((owner, entry, as_singleton)) => self.invoke_entry_inner(
                 recv,
                 lookup_class,
                 class_level && as_singleton,
                 owner,
                 entry,
                 name,
+                sym,
                 args,
                 block,
                 span,
@@ -1075,13 +1183,14 @@ impl Interp {
                 if let Some((owner, entry)) = mm {
                     let mut margs = vec![Value::sym(name)];
                     margs.extend(args);
-                    return self.invoke_entry(
+                    return self.invoke_entry_inner(
                         recv,
                         lookup_class,
                         class_level,
                         owner,
                         entry,
                         "method_missing",
+                        None,
                         margs,
                         block,
                         span,
@@ -1113,22 +1222,66 @@ impl Interp {
         block: Option<Value>,
         span: Span,
     ) -> Result<Value, Flow> {
+        self.invoke_entry_inner(
+            recv,
+            recv_class,
+            class_level,
+            owner,
+            entry,
+            name,
+            None,
+            args,
+            block,
+            span,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_entry_inner(
+        &mut self,
+        recv: Value,
+        recv_class: ClassId,
+        class_level: bool,
+        owner: ClassId,
+        entry: MethodEntry,
+        name: &str,
+        sym: Option<Sym>,
+        args: Vec<Value>,
+        block: Option<Value>,
+        span: Span,
+    ) -> Result<Value, Flow> {
+        let entry_id = entry.id;
+        // Interned at most once per dispatch, shared by the hook probe and
+        // the frame record (pre-interned callers skip it entirely).
+        let mut sym = sym;
         let mut mark_checked = false;
         if entry.is_checkable() && !self.hooks.is_empty() {
-            let info = DispatchInfo {
-                recv_class,
-                class_level,
-                owner,
-                name: hb_intern::Sym::intern(name),
-                entry: entry.clone(),
-                span,
-            };
-            let hooks = self.hooks.clone();
-            for h in &hooks {
-                let out = h
-                    .before_call(self, &info, &recv, &args)
-                    .map_err(Flow::Error)?;
-                mark_checked |= out.mark_checked;
+            // Checked fast prologue: when the engine has patched this
+            // `(receiver class, entry)` pair — its derivation holds and the
+            // caller is itself checked — the per-call hook probe and all
+            // dynamic argument checks are elided. Pending registry events
+            // force the guarded path so the engine drains them first.
+            if self.frame().checked
+                && self.registry.events.is_empty()
+                && self.tier.fast_hit(recv_class, entry_id)
+            {
+                mark_checked = true;
+            } else {
+                let info = DispatchInfo {
+                    recv_class,
+                    class_level,
+                    owner,
+                    name: *sym.get_or_insert_with(|| Sym::intern(name)),
+                    entry: entry.clone(),
+                    span,
+                };
+                let hooks = Rc::clone(&self.hooks);
+                for h in hooks.iter() {
+                    let out = h
+                        .before_call(self, &info, &recv, &args)
+                        .map_err(Flow::Error)?;
+                    mark_checked |= out.mark_checked;
+                }
             }
         }
         match entry.body {
@@ -1137,19 +1290,30 @@ impl Interp {
                 f(self, recv, args, block)
             }
             MethodBody::Ast(def) => {
+                let msym = sym.unwrap_or_else(|| Sym::intern(name));
+                if self.tier.bytecode_enabled() {
+                    if let Some(chunk) = self.tier.chunk_for(entry_id, &def) {
+                        return crate::vm::run_chunk(
+                            self,
+                            &chunk,
+                            recv,
+                            owner,
+                            msym,
+                            args,
+                            block,
+                            mark_checked,
+                            span,
+                        );
+                    }
+                }
                 self.check_arity(&def.params, args.len(), name, span)?;
                 let scope = Scope::root();
-                let nesting: Vec<String> = self
-                    .registry
-                    .name(owner)
-                    .split("::")
-                    .map(|s| s.to_string())
-                    .collect();
+                let nesting = self.nesting_of(owner);
                 self.frames.push(Frame {
                     kind: FrameKind::Method,
                     self_val: recv,
                     definee: owner,
-                    method: Some((owner, name.to_string())),
+                    method: Some((owner, msym)),
                     args: args.clone(),
                     block,
                     checked: mark_checked,
@@ -1307,12 +1471,7 @@ impl Interp {
         let as_method = override_self.is_some();
         let self_val = override_self.unwrap_or_else(|| p.self_val.clone());
         let scope = Scope::child(&p.env);
-        let nesting: Vec<String> = self
-            .registry
-            .name(p.definee)
-            .split("::")
-            .map(|s| s.to_string())
-            .collect();
+        let nesting = self.nesting_of(p.definee);
         self.frames.push(Frame {
             kind: FrameKind::Block,
             self_val,

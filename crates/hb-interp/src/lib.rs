@@ -25,11 +25,14 @@ pub mod error;
 pub mod hooks;
 pub mod interp;
 pub mod stdlib;
+pub mod tier;
 pub mod value;
+mod vm;
 
 pub use class::{BuiltinFn, ClassRegistry, InterpEvent, MethodBody, MethodEntry};
 pub use env::{Scope, ScopeRef};
 pub use error::{ErrorKind, Flow, HbError};
 pub use hooks::{CallHook, DispatchInfo, HookOutcome};
 pub use interp::{Frame, FrameKind, Interp};
+pub use tier::{ExecTier, ExecTierState};
 pub use value::{ClassId, HashObj, Instance, ProcVal, Value};

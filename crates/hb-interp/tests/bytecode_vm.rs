@@ -1,0 +1,135 @@
+//! Differential tests: every program must behave identically under the
+//! tree-walk and bytecode tiers — same value, same output, same errors.
+
+use hb_interp::{ExecTier, Interp, Value};
+
+/// Runs `src` under both tiers and asserts identical `(result, output)`.
+/// The result is compared via `inspect`-style rendering through `to_s`.
+fn both_tiers(src: &str) -> (String, String) {
+    let render = |tier: ExecTier| {
+        let mut interp = Interp::new();
+        interp.tier.set_tier(tier);
+        let r = interp.eval_str(src);
+        let out = interp.take_output();
+        let v = match r {
+            Ok(v) => format!("ok:{}", show(&mut interp, &v)),
+            Err(e) => format!("err:{}:{}", e.class_name(), e.message),
+        };
+        (v, out)
+    };
+    let tw = render(ExecTier::TreeWalk);
+    let bc = render(ExecTier::Bytecode);
+    assert_eq!(tw, bc, "tiers diverge for program:\n{src}");
+    tw
+}
+
+fn show(interp: &mut Interp, v: &Value) -> String {
+    interp.value_to_s(v).unwrap_or_else(|_| "<to_s err>".into())
+}
+
+#[test]
+fn arithmetic_and_locals() {
+    let (v, _) = both_tiers("def f(a, b)\n c = a * b\n c + 1\nend\nf(6, 7)");
+    assert_eq!(v, "ok:43");
+}
+
+#[test]
+fn control_flow_loops() {
+    let (v, _) = both_tiers(
+        "def sum_to(n)\n s = 0\n i = 0\n while i < n\n  i = i + 1\n  next if i == 3\n  break if i > 8\n  s = s + i\n end\n s\nend\nsum_to(100)",
+    );
+    // 1+2+4+5+6+7+8 = 33
+    assert_eq!(v, "ok:33");
+}
+
+#[test]
+fn string_interpolation_and_ivars() {
+    both_tiers(
+        "class P\n def initialize(n)\n  @n = n\n end\n def greet(x)\n  \"hi #{@n}, #{x}!\"\n end\nend\nputs P.new(\"ada\").greet(\"crew\")",
+    );
+}
+
+#[test]
+fn optional_and_rest_params() {
+    let (v, _) = both_tiers(
+        "def f(a, b = 10, *rest)\n a + b + rest.length\nend\nf(1) + f(1, 2) + f(1, 2, 3, 4)",
+    );
+    assert_eq!(v, "ok:19");
+}
+
+#[test]
+fn arity_errors_match() {
+    let (v, _) = both_tiers("def f(a, b)\n a\nend\nf(1)");
+    assert!(v.starts_with("err:"), "expected arity error, got {v}");
+}
+
+#[test]
+fn yield_and_blocks() {
+    let (v, _) = both_tiers("def twice\n yield(1) + yield(2)\nend\ntwice { |x| x * 10 }");
+    assert_eq!(v, "ok:30");
+}
+
+#[test]
+fn attr_assignment_setter() {
+    let (v, _) = both_tiers(
+        "class Box\n def v=(x)\n  @v = x\n end\n def v\n  @v\n end\nend\nb = Box.new\nb.v = 41\nb.v + 1",
+    );
+    assert_eq!(v, "ok:42");
+}
+
+#[test]
+fn op_assign_and_logic() {
+    let (v, _) = both_tiers(
+        "def f\n a = nil\n a ||= 5\n a &&= a + 1\n h = {}\n h[:k] = 1\n h[:k] += 2\n a + h[:k]\nend\nf",
+    );
+    assert_eq!(v, "ok:9");
+}
+
+#[test]
+fn collections_and_ranges() {
+    both_tiers(
+        "def f\n a = [1, 2, 3]\n h = { \"x\" => 1, \"y\" => 2 }\n r = (1..3)\n \"#{a.length} #{h[\"y\"]} #{r.to_a.length}\"\nend\nputs f",
+    );
+}
+
+#[test]
+fn constants_and_globals() {
+    let (v, _) = both_tiers(
+        "LIMIT = 7\n$count = 0\nclass C\n def bump\n  $count = $count + LIMIT\n  $count\n end\nend\nc = C.new\nc.bump\nc.bump",
+    );
+    assert_eq!(v, "ok:14");
+}
+
+#[test]
+fn bailout_methods_still_work() {
+    // `super`, rescue, case: all compile bail-outs — must fall back to the
+    // tree walker transparently under the bytecode tier.
+    let (v, _) = both_tiers(
+        "class A\n def m(x)\n  x + 1\n end\nend\nclass B < A\n def m(x)\n  super(x) * 2\n end\n def guard(x)\n  case x\n  when 1 then \"one\"\n  else \"other\"\n  end\n end\nend\nb = B.new\n\"#{b.m(3)} #{b.guard(1)}\"",
+    );
+    assert_eq!(v, "ok:8 one");
+}
+
+#[test]
+fn runtime_errors_inside_chunks() {
+    let (v, _) = both_tiers("def f(a)\n a.no_such_method\nend\nf(1)");
+    assert!(v.starts_with("err:"), "expected NoMethodError, got {v}");
+}
+
+#[test]
+fn recursion_through_chunks() {
+    let (v, _) = both_tiers(
+        "def fib(n)\n if n < 2\n  n\n else\n  fib(n - 1) + fib(n - 2)\n end\nend\nfib(15)",
+    );
+    assert_eq!(v, "ok:610");
+}
+
+#[test]
+fn bytecode_tier_reports_compiles() {
+    let mut interp = Interp::new();
+    interp.tier.set_tier(ExecTier::Bytecode);
+    interp
+        .eval_str("def f(a)\n a + 1\nend\nf(1)\nf(2)")
+        .unwrap();
+    assert!(interp.tier.bytecode_compiled() >= 1);
+}

@@ -236,11 +236,20 @@ pub struct PreHook {
 pub trait RdlEventSink {
     /// Called once per emitted event, in emission order.
     fn on_rdl_event(&self, ev: &RdlEvent);
+
+    /// Called when enforcement configuration changes in a way emitted
+    /// events do not capture: a policy override is set or a `pre` contract
+    /// attaches. The bytecode tier's fast-entry patch table deoptimizes
+    /// here — patched entries skip the per-call hook probe entirely, which
+    /// is only sound while policies are trivial and no preconditions exist.
+    fn on_enforcement_changed(&self) {}
 }
 
 #[derive(Default)]
 pub struct RdlInner {
-    table: HashMap<MethodKey, Rc<TableEntry>>,
+    /// Keyed with [`hb_intern::FastMap`]: `lookup_along` probes this map
+    /// once per ancestor on every intercepted call.
+    table: hb_intern::FastMap<MethodKey, Rc<TableEntry>>,
     /// Instance-variable types per class (`var_type` / `field_type`),
     /// with the declaration site for blame labels.
     ivar_types: HashMap<(String, String), (Type, Span)>,
@@ -333,6 +342,12 @@ impl RdlState {
     fn notify(&self, ev: &RdlEvent) {
         for sink in self.sinks.borrow().iter() {
             sink.on_rdl_event(ev);
+        }
+    }
+
+    fn notify_enforcement_changed(&self) {
+        for sink in self.sinks.borrow().iter() {
+            sink.on_enforcement_changed();
         }
     }
 
@@ -630,12 +645,28 @@ impl RdlState {
             .entry(key)
             .or_default()
             .push(hook);
+        self.notify_enforcement_changed();
     }
 
     /// True when no `pre` contracts exist at all — lets the dispatch hook
     /// skip the ancestor walk entirely in the common case.
     pub fn no_pres(&self) -> bool {
         self.inner.borrow().pres.is_empty()
+    }
+
+    /// True when no `pre` contract anywhere is registered under this
+    /// method name — the per-method gate the fast-prologue patcher uses.
+    /// Pres match along the receiver's whole ancestor chain, so the gate
+    /// is name-wide rather than key-exact; a pre on an unrelated method
+    /// must not forbid eliding this one's probe. Pres added later are
+    /// covered by the enforcement-change flush.
+    pub fn no_pre_named(&self, method: Sym, class_level: bool) -> bool {
+        !self
+            .inner
+            .borrow()
+            .pres
+            .keys()
+            .any(|k| k.method == method && k.class_level == class_level)
     }
 
     /// Appends the `pre` contracts registered for `key` into `out`.
@@ -709,26 +740,35 @@ impl RdlState {
 
     /// Sets the global enforcement policy.
     pub fn set_global_policy(&self, policy: CheckPolicy) {
-        let mut inner = self.inner.borrow_mut();
-        inner.global_policy = policy;
-        self.refresh_policy_triviality(&inner);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.global_policy = policy;
+            self.refresh_policy_triviality(&inner);
+        }
+        self.notify_enforcement_changed();
     }
 
     /// Sets a per-class policy override (exact class name; applies to a
     /// method when the receiver's class or the annotation's declaring
     /// class matches).
     pub fn set_class_policy(&self, class: Sym, policy: CheckPolicy) {
-        let mut inner = self.inner.borrow_mut();
-        inner.class_policies.insert(class, policy);
-        self.refresh_policy_triviality(&inner);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.class_policies.insert(class, policy);
+            self.refresh_policy_triviality(&inner);
+        }
+        self.notify_enforcement_changed();
     }
 
     /// Sets a per-method policy override (exact key; matched against the
     /// receiver-class key and the annotation's own key).
     pub fn set_method_policy(&self, key: MethodKey, policy: CheckPolicy) {
-        let mut inner = self.inner.borrow_mut();
-        inner.method_policies.insert(key, policy);
-        self.refresh_policy_triviality(&inner);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.method_policies.insert(key, policy);
+            self.refresh_policy_triviality(&inner);
+        }
+        self.notify_enforcement_changed();
     }
 
     /// Counts a blame swallowed by [`CheckPolicy::Shadow`] (any layer).
