@@ -8,13 +8,24 @@
 //! targets and labeled spans.
 //!
 //! ```text
-//! hb_lint [--json] [--errors] [--smoke] [--policy P] [--jobs N] [APP ...]
+//! hb_lint [--json] [--errors] [--smoke] [--analyze] [--deny-warnings]
+//!         [--policy P] [--jobs N] [APP ...]
 //!
 //!   (default)   lint the six clean subject apps (expected: 0 findings)
 //!   APP ...     lint only the named apps (Talks, Boxroom, Pubs, Rolify,
 //!               CCT, Countries)
 //!   --errors    lint the six historical Talks error versions instead
 //!               (expected: exactly one finding each)
+//!   --analyze   run the whole-program dataflow lint suite (HB1001-HB1006)
+//!               after type checking: use-before-assign, unreachable code,
+//!               dead stores, unused locals, stale annotations and the
+//!               dynamic-check-residue audit. Warnings never gate (exit 0)
+//!               unless --deny-warnings is given. With --smoke, gates CI:
+//!               the six apps must analyze with 0 type errors and
+//!               byte-identical serial/parallel warning sets, and every
+//!               seeded-defect corpus case must be caught by its exact
+//!               code.
+//!   --deny-warnings  with --analyze: exit 1 if any warning is reported
 //!   --json      emit one JSON object per target on stdout
 //!   --jobs N    fan the whole-program check across N scheduler workers
 //!               (`Hummingbird::check_all_parallel`). Output is
@@ -36,11 +47,12 @@
 //!
 //! Exit status: 0 when every target matched expectations (no findings for
 //! clean targets, or any findings under `--policy shadow`), 1 otherwise —
-//! so the bin gates CI directly.
+//! so the bin gates CI directly. Usage errors — an unknown flag, a bad
+//! `--policy`/`--jobs` value, an incompatible combination — exit 2.
 
 use hb_apps::talks_history::{error_versions, lint_error_version_with_jobs};
-use hb_apps::{all_apps, build_app_with, AppSpec};
-use hummingbird::{CheckPolicy, Hummingbird, Mode, TypeDiagnostic};
+use hb_apps::{all_apps, analyze_case, build_app_with, corpus_cases, AppSpec};
+use hummingbird::{CheckPolicy, Hummingbird, Mode, ResidueSummary, TypeDiagnostic};
 
 struct LintTarget {
     /// "app:Talks" or "error-version:1/8/12-4".
@@ -63,6 +75,78 @@ fn lint_app(spec: &AppSpec, json: bool, policy: CheckPolicy, jobs: usize) -> Lin
             .iter()
             .map(|d| if json { d.to_json(map) } else { d.render(map) })
             .collect(),
+    }
+}
+
+struct AnalyzeTarget {
+    target: LintTarget,
+    /// Type errors found by the eager check pass (expected 0).
+    errors: usize,
+    summary: ResidueSummary,
+}
+
+fn summary_json(s: &ResidueSummary) -> String {
+    format!(
+        "{{\"elided_edges\":{},\"residual_edges\":{},\"unannotated_edges\":{},\"reachable_methods\":{},\"stale_annotations\":{},\"predicted_fast_entries\":{}}}",
+        s.elided_edges,
+        s.residual_edges,
+        s.unannotated_edges,
+        s.reachable_methods,
+        s.stale_annotations,
+        s.predicted_fast_entries.len()
+    )
+}
+
+/// Builds one app, type-checks it eagerly, then runs the whole-program
+/// analysis with the workload call declared as an entry point.
+fn analyze_app(spec: &AppSpec, json: bool, jobs: usize) -> AnalyzeTarget {
+    let builder = Hummingbird::builder().mode(Mode::Full);
+    let mut hb = build_app_with(spec, builder);
+    let errors = hb.check_all_parallel(jobs).len();
+    let workload = (spec.workload_call)(1);
+    let report = hb.analyze_with_entries(jobs, &[("<workload>", &workload)]);
+    let map = hb.source_map();
+    AnalyzeTarget {
+        target: LintTarget {
+            label: format!("analyze:{}", spec.name),
+            count: report.diagnostics.len(),
+            codes: report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.to_string())
+                .collect(),
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .map(|d| if json { d.to_json(map) } else { d.render(map) })
+                .collect(),
+        },
+        errors,
+        summary: report.summary,
+    }
+}
+
+fn print_analyze_target(t: &AnalyzeTarget, json: bool) {
+    if json {
+        let diags = t.target.diagnostics.join(",");
+        println!(
+            "{{\"target\":\"{}\",\"errors\":{},\"count\":{},\"diagnostics\":[{diags}],\"residue\":{}}}",
+            t.target.label,
+            t.errors,
+            t.target.count,
+            summary_json(&t.summary)
+        );
+    } else {
+        println!(
+            "== {} — {} error(s), {} warning(s)",
+            t.target.label, t.errors, t.target.count
+        );
+        for d in &t.target.diagnostics {
+            for line in d.lines() {
+                println!("   {line}");
+            }
+        }
+        println!("   residue: {}", t.summary.render());
     }
 }
 
@@ -112,29 +196,50 @@ fn print_target(t: &LintTarget, json: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let errors = args.iter().any(|a| a == "--errors");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let policy = match args.iter().position(|a| a == "--policy") {
-        Some(i) => {
-            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
-            CheckPolicy::parse(name).unwrap_or_else(|| {
-                eprintln!("--policy: expected enforce/shadow/deferred/off, got {name:?}");
+    // Strict parsing: every argument is either a known flag (with its
+    // value, where it takes one) or an app name. Anything else — an
+    // unknown flag, a missing or malformed value — is a usage error and
+    // exits 2, so CI scripts fail loudly instead of silently linting the
+    // wrong targets.
+    let mut json = false;
+    let mut errors = false;
+    let mut smoke = false;
+    let mut analyze = false;
+    let mut deny_warnings = false;
+    let mut policy = CheckPolicy::Enforce;
+    let mut policy_set = false;
+    let mut jobs = 1usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--errors" => errors = true,
+            "--smoke" => smoke = true,
+            "--analyze" => analyze = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--policy" => {
+                let name = it.next().map(String::as_str).unwrap_or("");
+                policy = CheckPolicy::parse(name).unwrap_or_else(|| {
+                    eprintln!("--policy: expected enforce/shadow/deferred/off, got {name:?}");
+                    std::process::exit(2);
+                });
+                policy_set = true;
+            }
+            "--jobs" => {
+                let arg = it.next().map(String::as_str).unwrap_or("");
+                jobs = arg.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("--jobs: expected a worker count, got {arg:?}");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?} (see the doc comment for usage)");
                 std::process::exit(2);
-            })
+            }
+            name => names.push(name.to_string()),
         }
-        None => CheckPolicy::Enforce,
-    };
-    let jobs = match args.iter().position(|a| a == "--jobs") {
-        Some(i) => {
-            let arg = args.get(i + 1).map(String::as_str).unwrap_or("");
-            arg.parse::<usize>().unwrap_or_else(|_| {
-                eprintln!("--jobs: expected a worker count, got {arg:?}");
-                std::process::exit(2);
-            })
-        }
-        None => 1,
-    };
+    }
     if (errors || smoke) && policy != CheckPolicy::Enforce {
         eprintln!(
             "--policy {policy} cannot be combined with --errors/--smoke \
@@ -142,16 +247,32 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let names: Vec<&String> = args
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--")
-                && !matches!(args.get(i.wrapping_sub(1)),
-                             Some(prev) if prev == "--policy" || prev == "--jobs")
-        })
-        .map(|(_, a)| a)
-        .collect();
+    if analyze && (errors || policy_set) {
+        eprintln!("--analyze cannot be combined with --errors or --policy");
+        std::process::exit(2);
+    }
+    if deny_warnings && !analyze {
+        eprintln!("--deny-warnings only makes sense with --analyze");
+        std::process::exit(2);
+    }
+
+    if analyze && smoke {
+        analyze_smoke_gate(json, jobs);
+        return;
+    }
+    if analyze {
+        let specs = select_specs(&names);
+        let mut warnings = 0usize;
+        let mut type_errors = 0usize;
+        for spec in &specs {
+            let t = analyze_app(spec, json, jobs);
+            warnings += t.target.count;
+            type_errors += t.errors;
+            print_analyze_target(&t, json);
+        }
+        let gate = type_errors != 0 || (deny_warnings && warnings != 0);
+        std::process::exit(if gate { 1 } else { 0 });
+    }
 
     if smoke {
         // CI gate: clean apps must lint clean; the six historical error
@@ -209,14 +330,7 @@ fn main() {
         }
         std::process::exit(if mismatches == 0 { 0 } else { 1 });
     }
-    let specs: Vec<AppSpec> = all_apps()
-        .into_iter()
-        .filter(|s| names.is_empty() || names.iter().any(|n| n.eq_ignore_ascii_case(s.name)))
-        .collect();
-    if specs.is_empty() {
-        eprintln!("no app matches {names:?} (known: Talks, Boxroom, Pubs, Rolify, CCT, Countries)");
-        std::process::exit(2);
-    }
+    let specs = select_specs(&names);
     let mut findings = 0usize;
     for spec in &specs {
         let t = lint_app(spec, json, policy, jobs);
@@ -226,4 +340,74 @@ fn main() {
     // Shadow observes without gating: findings are reported, exit stays 0.
     let gate = findings != 0 && policy != CheckPolicy::Shadow;
     std::process::exit(if gate { 1 } else { 0 });
+}
+
+/// Resolves app-name filters to specs; an unmatched filter exits 2.
+fn select_specs(names: &[String]) -> Vec<AppSpec> {
+    let specs: Vec<AppSpec> = all_apps()
+        .into_iter()
+        .filter(|s| names.is_empty() || names.iter().any(|n| n.eq_ignore_ascii_case(s.name)))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no app matches {names:?} (known: Talks, Boxroom, Pubs, Rolify, CCT, Countries)");
+        std::process::exit(2);
+    }
+    specs
+}
+
+/// The `--analyze --smoke` CI gate: the six subject apps must analyze
+/// with zero type errors and byte-identical serial/parallel warning
+/// sets, and every seeded-defect corpus case must be caught by its
+/// exact code.
+fn analyze_smoke_gate(json: bool, jobs: usize) {
+    let mut failures = 0usize;
+    for spec in all_apps() {
+        let serial = analyze_app(&spec, json, 1);
+        if serial.errors != 0 {
+            eprintln!(
+                "ANALYZE SMOKE FAIL: {} expected 0 type errors, got {}",
+                serial.target.label, serial.errors
+            );
+            failures += 1;
+        }
+        let par_jobs = if jobs > 1 { jobs } else { 4 };
+        let parallel = analyze_app(&spec, json, par_jobs);
+        if serial.target.diagnostics != parallel.target.diagnostics {
+            eprintln!(
+                "ANALYZE SMOKE FAIL: {} serial and --jobs {} outputs differ",
+                serial.target.label, par_jobs
+            );
+            failures += 1;
+        }
+        print_analyze_target(&serial, json);
+    }
+    for case in corpus_cases() {
+        let report = analyze_case(&case);
+        let hit = report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.to_string() == case.expected_code);
+        if !hit {
+            let codes: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.to_string())
+                .collect();
+            eprintln!(
+                "ANALYZE SMOKE FAIL: corpus case {} expected {}, got {:?}",
+                case.name, case.expected_code, codes
+            );
+            failures += 1;
+        } else {
+            println!("corpus:{} caught by {}", case.name, case.expected_code);
+        }
+    }
+    if failures > 0 {
+        eprintln!("hb_lint --analyze --smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "hb_lint --analyze --smoke: six apps analyze clean; serial == parallel; \
+         all corpus defects caught by exact code"
+    );
 }

@@ -1,0 +1,103 @@
+//! `hb_lint` command-line contract: usage errors exit 2, lint outcomes
+//! exit 0/1 — so CI scripts fail loudly on a typo'd invocation instead
+//! of silently linting the wrong thing.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hb_lint"))
+        .args(args)
+        .output()
+        .expect("spawn hb_lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let (code, _, err) = run(&["--no-such-flag"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+}
+
+#[test]
+fn misspelled_flag_exits_2_even_with_valid_targets() {
+    let (code, _, err) = run(&["CCT", "--jsn"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--jsn"), "stderr: {err}");
+}
+
+#[test]
+fn bad_policy_value_exits_2() {
+    let (code, _, err) = run(&["--policy", "sometimes"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--policy"), "stderr: {err}");
+}
+
+#[test]
+fn missing_policy_value_exits_2() {
+    let (code, _, err) = run(&["--policy"]);
+    assert_eq!(code, 2, "stderr: {err}");
+}
+
+#[test]
+fn bad_jobs_value_exits_2() {
+    let (code, _, err) = run(&["--jobs", "many"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--jobs"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_app_name_exits_2() {
+    let (code, _, err) = run(&["NoSuchApp"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("no app matches"), "stderr: {err}");
+}
+
+#[test]
+fn deny_warnings_without_analyze_exits_2() {
+    let (code, _, err) = run(&["--deny-warnings"]);
+    assert_eq!(code, 2, "stderr: {err}");
+}
+
+#[test]
+fn analyze_with_errors_flag_exits_2() {
+    let (code, _, err) = run(&["--analyze", "--errors"]);
+    assert_eq!(code, 2, "stderr: {err}");
+}
+
+#[test]
+fn clean_app_lints_at_exit_0() {
+    let (code, out, err) = run(&["CCT"]);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("0 diagnostic(s)"), "stdout: {out}");
+}
+
+#[test]
+fn analyze_reports_warnings_but_exits_0_by_default() {
+    let (code, out, err) = run(&["--analyze", "CCT"]);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("HB1005"), "stdout: {out}");
+    assert!(out.contains("residue:"), "stdout: {out}");
+}
+
+#[test]
+fn analyze_deny_warnings_gates_at_exit_1() {
+    // CCT has two genuinely stale annotations, so --deny-warnings trips.
+    let (code, out, _) = run(&["--analyze", "--deny-warnings", "CCT"]);
+    assert_eq!(code, 1, "stdout: {out}");
+}
+
+#[test]
+fn analyze_json_emits_residue_object() {
+    let (code, out, err) = run(&["--analyze", "--json", "Countries"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(
+        out.contains("\"residue\":{\"elided_edges\":"),
+        "stdout: {out}"
+    );
+    assert!(out.contains("\"severity\":\"warning\""), "stdout: {out}");
+}

@@ -312,6 +312,42 @@ impl Engine {
         self.shared.borrow().clone()
     }
 
+    /// Loads a snapshot into the attached shared tier of a *live* system —
+    /// the rolling-deploy artifact push, as opposed to the fresh-process
+    /// warm boot ([`SharedCache::load_snapshot`]). The entries land in the
+    /// shared tier through the normal load path; in addition, every local
+    /// cached derivation for a method the snapshot covers is retired —
+    /// with its dependents, and with its patched fast entry deoptimized
+    /// back to the guarded prologue — so the tenant's next dispatch
+    /// re-validates against the fresh artifact (adopting it when the
+    /// worlds agree, re-checking when they don't) instead of trusting a
+    /// derivation the artifact may supersede. Re-validation re-patches:
+    /// steady state returns one guarded call later.
+    ///
+    /// Eviction before re-validation is the conservative direction, so
+    /// this is sound for any snapshot the shared tier would accept; a
+    /// malformed snapshot returns `Err` with nothing applied.
+    pub fn load_snapshot(
+        &self,
+        snap: &crate::snapshot::CacheSnapshot,
+    ) -> Result<usize, crate::snapshot::SnapshotError> {
+        let shared = self
+            .shared
+            .borrow()
+            .clone()
+            .ok_or(crate::snapshot::SnapshotError::NoSharedTier)?;
+        // Translate (and thereby validate) the coverage set before
+        // touching either tier, mirroring the shared loader's two-phase
+        // contract: Err means nothing happened.
+        let keys = snap.method_keys()?;
+        let loaded = shared.load_snapshot(snap)?;
+        let mut st = self.state.borrow_mut();
+        for key in &keys {
+            Self::invalidate(&mut st, key, true);
+        }
+        Ok(loaded)
+    }
+
     // ----- the concurrent check scheduler ------------------------------------
 
     /// Attaches a check scheduler. Pools are process-wide resources: many

@@ -63,6 +63,7 @@
 //! resolve its first calls by adoption instead of re-deriving — the warm
 //! start, carried across processes (see [`snapshot`]).
 
+pub mod analyze;
 pub mod engine;
 pub mod info;
 pub mod reload;
@@ -71,7 +72,9 @@ pub mod shared_cache;
 pub mod snapshot;
 pub mod stats;
 
+pub use analyze::AnalysisReport;
 pub use engine::{CacheDumpEntry, Config, Engine};
+pub use hb_analyze::ResidueSummary;
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
 pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
@@ -526,6 +529,18 @@ impl Hummingbird {
     /// [`HummingbirdBuilder::shared_cache`]).
     pub fn snapshot(&self) -> Option<CacheSnapshot> {
         self.engine.shared_cache().map(|s| s.snapshot())
+    }
+
+    /// Loads a [`CacheSnapshot`] into this *live* system — the
+    /// rolling-deploy artifact push. The entries land in the attached
+    /// shared tier, and every local derivation for a method the snapshot
+    /// covers is retired (its bytecode-tier fast entry deoptimized back
+    /// to the guarded prologue) so the next dispatch re-validates against
+    /// the fresh artifact and re-patches. Returns the number of shared
+    /// entries loaded; [`SnapshotError::NoSharedTier`] when the system was
+    /// built without [`HummingbirdBuilder::shared_cache`].
+    pub fn load_snapshot(&mut self, snap: &CacheSnapshot) -> Result<usize, SnapshotError> {
+        self.engine.load_snapshot(snap)
     }
 }
 

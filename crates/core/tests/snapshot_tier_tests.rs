@@ -1,0 +1,149 @@
+//! The snapshot × bytecode-tier seam: pushing a `CacheSnapshot` into an
+//! *already-warm* runtime (the rolling-deploy artifact push, as opposed
+//! to the fresh-process warm boot in `snapshot_tests.rs`) retires the
+//! covered local derivations, so their patched fast entries must fall
+//! back to the guarded prologue — and re-patch once re-validation lands.
+//! Also here: class-level `set_class_policy` changes, which revoke the
+//! statically-trivial-policy premise patching relies on, must deopt just
+//! like the global/method paths do.
+
+use hummingbird::{CacheSnapshot, CheckPolicy, ExecTier, Hummingbird, SharedCache, SnapshotError};
+use std::sync::Arc;
+
+/// The steady-state shape from `exec_tier_tests.rs`: a checked driver
+/// looping a checked inner call, so both methods patch after warm-up.
+const STEADY_RB: &str = r#"
+class Steady
+  type :inner, "(Fixnum) -> Fixnum", { "check" => true }
+  type :driver, "(Fixnum) -> Fixnum", { "check" => true }
+  def inner(x)
+    x + 1
+  end
+  def driver(n)
+    i = 0
+    acc = 0
+    while i < n
+      acc = inner(acc)
+      i = i + 1
+    end
+    acc
+  end
+end
+"#;
+
+/// Publishes the steady-state world's derivations into a fresh tier and
+/// serializes it — the artifact a control plane would distribute.
+fn publish_artifact() -> CacheSnapshot {
+    let shared = Arc::new(SharedCache::new());
+    let mut publisher = Hummingbird::builder().shared_cache(shared.clone()).build();
+    publisher.load_file("steady.rb", STEADY_RB).unwrap();
+    publisher.eval("Steady.new.driver(10)").unwrap();
+    assert_eq!(publisher.stats().checks_performed, 2, "driver and inner");
+    shared.snapshot()
+}
+
+#[test]
+fn snapshot_load_into_warm_runtime_depatches_then_repatches() {
+    let snap = publish_artifact();
+
+    // A warm bytecode-tier tenant: both methods checked, cached, patched.
+    let shared = Arc::new(SharedCache::new());
+    let mut hb = Hummingbird::builder()
+        .exec_tier(ExecTier::Bytecode)
+        .shared_cache(shared.clone())
+        .build();
+    hb.load_file("steady.rb", STEADY_RB).unwrap();
+    hb.eval("Steady.new.driver(100)").unwrap();
+    let warm = hb.stats();
+    assert!(warm.fast_entries_patched >= 1, "{warm:?}");
+    assert_eq!(warm.deopts, 0);
+    assert_eq!(warm.shared_hits, 0, "this world derived everything itself");
+
+    // Push the artifact into the live system: the covered methods'
+    // derivations are retired, so their fast entries must depatch — a
+    // patched entry skips the hook probe entirely and would otherwise
+    // keep serving under a derivation the artifact superseded.
+    let loaded = hb.load_snapshot(&snap).expect("artifact loads");
+    assert_eq!(loaded, snap.entry_count());
+    let after_push = hb.stats();
+    assert!(
+        after_push.deopts >= 1,
+        "covered methods must depatch to the guarded prologue: {after_push:?}"
+    );
+    assert!(
+        after_push.invalidations >= 1,
+        "covered local derivations retired: {after_push:?}"
+    );
+    assert_eq!(
+        after_push.fast_entries_patched, warm.fast_entries_patched,
+        "no new patches before re-validation"
+    );
+
+    // The next run re-enters through the guarded prologue, re-validates
+    // against the pushed artifact — the worlds are identical, so it
+    // *adopts* instead of re-running check_sig — and re-patches.
+    let v = hb.eval("Steady.new.driver(100)").unwrap();
+    assert_eq!(format!("{v:?}"), "100");
+    let rewarmed = hb.stats();
+    assert!(
+        rewarmed.shared_hits >= 1,
+        "re-validation adopts from the pushed artifact: {rewarmed:?}"
+    );
+    assert_eq!(
+        rewarmed.checks_performed, warm.checks_performed,
+        "identical world: adoption, not re-derivation"
+    );
+    assert!(
+        rewarmed.fast_entries_patched > warm.fast_entries_patched,
+        "re-validated derivations re-patch: {rewarmed:?}"
+    );
+}
+
+#[test]
+fn snapshot_load_without_shared_tier_is_rejected() {
+    let snap = publish_artifact();
+    let mut hb = Hummingbird::builder().exec_tier(ExecTier::Bytecode).build();
+    hb.load_file("steady.rb", STEADY_RB).unwrap();
+    hb.eval("Steady.new.driver(10)").unwrap();
+    let warm = hb.stats();
+    assert_eq!(hb.load_snapshot(&snap), Err(SnapshotError::NoSharedTier));
+    // Err means nothing happened: the warm state is untouched.
+    let s = hb.stats();
+    assert_eq!(s.deopts, warm.deopts);
+    assert_eq!(s.invalidations, warm.invalidations);
+}
+
+#[test]
+fn class_policy_change_mid_steady_state_deopts() {
+    // PR 6 covered the global (`set_check_policy`) and per-method paths;
+    // the per-class override must revoke patching the same way: the hook
+    // has to be back in the loop to apply the non-trivial policy.
+    let mut hb = Hummingbird::builder().exec_tier(ExecTier::Bytecode).build();
+    hb.eval(STEADY_RB).unwrap();
+    hb.eval("Steady.new.driver(100)").unwrap();
+    let warm = hb.stats();
+    assert!(warm.fast_entries_patched >= 1, "{warm:?}");
+    assert_eq!(warm.deopts, 0);
+
+    hb.set_class_policy("Steady", CheckPolicy::Shadow);
+    let s = hb.stats();
+    assert!(
+        s.deopts >= 1,
+        "class policy change must flush fast entries: {s:?}"
+    );
+
+    // While any policy layer is non-trivial nothing re-patches — the
+    // per-call policy decision needs the hook — but execution continues.
+    hb.eval("Steady.new.driver(10)").unwrap();
+    assert_eq!(hb.stats().fast_entries_patched, warm.fast_entries_patched);
+
+    // Restoring Enforce for the class makes the policy surface trivial
+    // again, and steady state re-patches on the next guarded dispatch.
+    hb.set_class_policy("Steady", CheckPolicy::Enforce);
+    hb.eval("Steady.new.driver(10)").unwrap();
+    let restored = hb.stats();
+    assert!(
+        restored.fast_entries_patched > warm.fast_entries_patched,
+        "trivial policy surface re-admits fast entries: {restored:?}"
+    );
+}

@@ -1,0 +1,625 @@
+//! Whole-program call graph and the passes built on it:
+//!
+//! * **stale-annotation audit** (`HB1005`) — `check`-annotated methods no
+//!   program entry point can reach: their annotation will never be
+//!   exercised by the just-in-time checker.
+//! * **dyn-check-residue auditor** (`HB1006`) — classifies every resolved
+//!   call edge as checked→checked (the engine elides the callee's dynamic
+//!   argument checks and, on the bytecode tier, patches the checked fast
+//!   prologue), unchecked→checked (the guarded prologue *survives*: every
+//!   call pays per-argument dynamic checks), or →unannotated. The
+//!   transient-gradual-typing literature shows residual checks dominate
+//!   overhead; this pass turns them from a runtime surprise into a static
+//!   report.
+//!
+//! Resolution mirrors the engine: implicit-`self` and known-receiver
+//! calls walk the ancestor chain exactly as dispatch does (the chains are
+//! captured from the live registry); receivers the flow analysis cannot
+//! type fall back to class-hierarchy analysis over same-named
+//! definitions. Roots — file top levels and class bodies — are the entry
+//! points, and are always *unchecked* callers (top-level code has no
+//! annotation).
+
+use crate::dataflow::{solve, Analysis};
+use crate::passes::{AbsVal, FlowFact, ForwardFlow};
+use crate::view::{MethodUnit, ProgramView};
+use hb_il::{CallArg, InstrKind, MethodCfg, Operand, Rvalue};
+use hb_intern::MethodKey;
+use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Who makes a call: a load-time root or a user-defined method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Caller {
+    Root(usize),
+    Method(MethodKey),
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub caller: Caller,
+    /// The *defining* method's key (dispatch resolution).
+    pub callee: MethodKey,
+    /// The key the runtime caches and patches under: the receiver class
+    /// as the analysis knows it (defaults to the defining class).
+    pub receiver: MethodKey,
+    pub span: Span,
+}
+
+/// The whole-program call graph.
+pub struct CallGraph {
+    pub edges: Vec<Edge>,
+    /// Methods reachable from any root.
+    pub reachable: BTreeSet<MethodKey>,
+}
+
+/// Aggregate residue numbers for one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidueSummary {
+    /// Methods reachable from the roots.
+    pub reachable_methods: usize,
+    /// checked→checked edges: the callee's checks are elided.
+    pub elided_edges: usize,
+    /// unchecked→checked edges: the guarded prologue survives.
+    pub residual_edges: usize,
+    /// Edges to methods with no `check` annotation anywhere on the chain.
+    pub unannotated_edges: usize,
+    /// `check`-annotated methods whose annotation no entry point reaches.
+    pub stale_annotations: usize,
+    /// Distinct `(receiver class, method)` entries the bytecode tier is
+    /// predicted to patch once the program warms up — the static analogue
+    /// of the runtime `fast_entries_patched` stat.
+    pub predicted_fast_entries: BTreeSet<MethodKey>,
+    /// Annotated methods with at least one surviving guarded edge.
+    pub residual_methods: BTreeSet<MethodKey>,
+}
+
+impl ResidueSummary {
+    /// One-line human rendering (the `hb_lint --analyze` footer).
+    pub fn render(&self) -> String {
+        format!(
+            "call edges: {} elided (checked->checked), {} residual (unchecked->checked), \
+             {} unannotated; {} reachable methods; {} stale annotations; \
+             {} predicted fast entries",
+            self.elided_edges,
+            self.residual_edges,
+            self.unannotated_edges,
+            self.reachable_methods,
+            self.stale_annotations,
+            self.predicted_fast_entries.len()
+        )
+    }
+}
+
+struct EdgeCollector<'a> {
+    view: &'a ProgramView,
+    /// Instance-level CHA index: method name → defining keys.
+    by_name: BTreeMap<&'a str, Vec<MethodKey>>,
+    defined: BTreeSet<MethodKey>,
+    edges: Vec<Edge>,
+}
+
+impl EdgeCollector<'_> {
+    fn resolve(&self, class: &str, class_level: bool, method: &str) -> Option<MethodKey> {
+        self.view
+            .resolve_method(class, class_level, method, &self.defined)
+    }
+
+    fn push(&mut self, caller: Caller, callee: MethodKey, receiver: MethodKey, span: Span) {
+        self.edges.push(Edge {
+            caller,
+            callee,
+            receiver,
+            span,
+        });
+    }
+
+    /// Resolves one call site and records its edges. `ctx_class`/
+    /// `ctx_level` locate implicit-`self`, `fact` types explicit
+    /// receivers.
+    #[allow(clippy::too_many_arguments)] // one argument per call-site fact
+    fn call_site(
+        &mut self,
+        caller: Caller,
+        ctx_class: &str,
+        ctx_level: bool,
+        flow: &ForwardFlow<'_>,
+        fact: &FlowFact,
+        recv: &Option<Operand>,
+        name: &str,
+        args: &[CallArg],
+        span: Span,
+    ) {
+        // Reflective-registration heuristic: a call handed a class object
+        // together with a symbol literal (`$router.draw("GET", path,
+        // TalksController, :index)`) registers `(class, method)` pairs for
+        // later reflective dispatch (`route[0].new.send(route[1])` in the
+        // substrate). Record the would-be dispatch edges here, at the
+        // registration site — without this, every Rails controller action
+        // looks unreachable.
+        let mut classes: Vec<String> = Vec::new();
+        let mut syms: Vec<&str> = Vec::new();
+        for a in args {
+            let op = match a {
+                CallArg::Pos(op) | CallArg::Splat(op) | CallArg::BlockPass(op) => op,
+            };
+            if let Operand::SymConst(sym) = op {
+                syms.push(sym);
+            } else if let Some(AbsVal::ClassObj(k)) = flow.abs_of_operand(op, fact) {
+                classes.push(k);
+            }
+        }
+        if name != "send" && name != "public_send" && name != "method" {
+            for k in &classes {
+                for m in &syms {
+                    if let Some(callee) = self.resolve(k, false, m) {
+                        self.push(caller, callee, mk_key(k, false, m), span);
+                    }
+                }
+            }
+        }
+        let recv_abs = match recv {
+            None | Some(Operand::SelfRef) => {
+                if let Some(callee) = self.resolve(ctx_class, ctx_level, name) {
+                    let receiver = mk_key(ctx_class, ctx_level, name);
+                    self.push(caller, callee, receiver, span);
+                }
+                return;
+            }
+            Some(op) => flow.abs_of_operand(op, fact),
+        };
+        // `send`/`public_send` with a literal symbol is an ordinary call
+        // under another name.
+        if (name == "send" || name == "public_send") && !syms.is_empty() {
+            for m in &syms {
+                match &recv_abs {
+                    Some(AbsVal::ClassObj(k)) => {
+                        if let Some(callee) = self.resolve(k, true, m) {
+                            self.push(caller, callee, mk_key(k, true, m), span);
+                        }
+                    }
+                    Some(AbsVal::Klass(k)) | Some(AbsVal::InstanceOf(k)) => {
+                        if let Some(callee) = self.resolve(k, false, m) {
+                            self.push(caller, callee, mk_key(k, false, m), span);
+                        }
+                    }
+                    _ => {
+                        if let Some(keys) = self.by_name.get(*m) {
+                            for callee in keys.clone() {
+                                self.push(caller, callee, callee, span);
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        match recv_abs {
+            Some(AbsVal::ClassObj(k)) => {
+                if name == "new" {
+                    // Construction dispatches `initialize` on the instance.
+                    if let Some(callee) = self.resolve(&k, false, "initialize") {
+                        self.push(caller, callee, mk_key(&k, false, "initialize"), span);
+                    }
+                } else if let Some(callee) = self.resolve(&k, true, name) {
+                    self.push(caller, callee, mk_key(&k, true, name), span);
+                }
+            }
+            Some(AbsVal::Klass(k)) | Some(AbsVal::InstanceOf(k)) => {
+                if let Some(callee) = self.resolve(&k, false, name) {
+                    self.push(caller, callee, mk_key(&k, false, name), span);
+                }
+            }
+            _ => {
+                // Untyped receiver: class-hierarchy analysis over every
+                // same-named instance definition.
+                if let Some(keys) = self.by_name.get(name) {
+                    for callee in keys.clone() {
+                        self.push(caller, callee, callee, span);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks one CFG (and its block literals) replaying the forward flow
+    /// to type receivers at each call site.
+    fn walk_cfg(
+        &mut self,
+        caller: Caller,
+        ctx_class: &str,
+        ctx_level: bool,
+        cfg: &MethodCfg,
+        boundary: BTreeSet<String>,
+    ) {
+        let flow = ForwardFlow {
+            view: self.view,
+            boundary_assigned: boundary.clone(),
+        };
+        let sol = solve(&flow, cfg);
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            // Edges from statically dead code would inflate the residue
+            // report with calls that never execute; skip them.
+            if !sol.reached[bi] {
+                continue;
+            }
+            let mut fact = sol.entry[bi].clone();
+            for instr in &block.instrs {
+                if let InstrKind::Assign { rv, .. } = &instr.kind {
+                    match rv {
+                        Rvalue::Call {
+                            recv, name, args, ..
+                        } => {
+                            self.call_site(
+                                caller, ctx_class, ctx_level, &flow, &fact, recv, name, args,
+                                instr.span,
+                            );
+                        }
+                        Rvalue::Super { .. } => {
+                            // `super` dispatches the same name above the
+                            // defining class.
+                            if let Caller::Method(key) = caller {
+                                if let Some(chain) = self.view.chains.get(key.class.as_str()) {
+                                    let above: Vec<String> =
+                                        chain.iter().skip(1).cloned().collect();
+                                    for c in above {
+                                        if let Some(callee) = self
+                                            .defined
+                                            .get(&mk_key(&c, key.class_level, key.method.as_str()))
+                                            .copied()
+                                        {
+                                            self.push(caller, callee, callee, instr.span);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                flow.transfer_instr(instr, &mut fact);
+            }
+        }
+        if !cfg.block_lits.is_empty() {
+            let mut seed = boundary;
+            for b in &cfg.blocks {
+                for i in &b.instrs {
+                    if let InstrKind::Assign { local, .. } = &i.kind {
+                        seed.insert(local.clone());
+                    }
+                }
+            }
+            for bl in &cfg.block_lits {
+                let mut s = seed.clone();
+                s.extend(bl.params.iter().map(|p| p.name.clone()));
+                self.walk_cfg(caller, ctx_class, ctx_level, &bl.cfg, s);
+            }
+        }
+    }
+}
+
+fn mk_key(class: &str, class_level: bool, method: &str) -> MethodKey {
+    if class_level {
+        MethodKey::class_level(class, method)
+    } else {
+        MethodKey::instance(class, method)
+    }
+}
+
+/// Builds the call graph: edges from every root and method, then
+/// reachability from the roots.
+pub fn build_call_graph(view: &ProgramView) -> CallGraph {
+    let defined: BTreeSet<MethodKey> = view.methods.iter().map(|m| m.key).collect();
+    let mut by_name: BTreeMap<&str, Vec<MethodKey>> = BTreeMap::new();
+    for m in &view.methods {
+        if !m.key.class_level {
+            by_name
+                .entry(m.key.method.as_str())
+                .or_default()
+                .push(m.key);
+        }
+    }
+    let mut c = EdgeCollector {
+        view,
+        by_name,
+        defined,
+        edges: Vec::new(),
+    };
+    for (i, root) in view.roots.iter().enumerate() {
+        c.walk_cfg(
+            Caller::Root(i),
+            &root.owner.clone(),
+            root.class_level,
+            &root.cfg.clone(),
+            BTreeSet::new(),
+        );
+    }
+    for m in &view.methods {
+        let boundary: BTreeSet<String> = m.cfg.params.iter().map(|p| p.name.clone()).collect();
+        c.walk_cfg(
+            Caller::Method(m.key),
+            m.key.class.as_str(),
+            m.key.class_level,
+            &m.cfg.clone(),
+            boundary,
+        );
+    }
+
+    // Reachability: BFS from the roots.
+    let mut out_edges: BTreeMap<Caller, Vec<usize>> = BTreeMap::new();
+    for (i, e) in c.edges.iter().enumerate() {
+        out_edges.entry(e.caller).or_default().push(i);
+    }
+    let mut reachable: BTreeSet<MethodKey> = BTreeSet::new();
+    let mut work: Vec<Caller> = (0..view.roots.len()).map(Caller::Root).collect();
+    while let Some(caller) = work.pop() {
+        for &ei in out_edges.get(&caller).map(Vec::as_slice).unwrap_or(&[]) {
+            let callee = c.edges[ei].callee;
+            if reachable.insert(callee) {
+                work.push(Caller::Method(callee));
+            }
+        }
+    }
+    CallGraph {
+        edges: c.edges,
+        reachable,
+    }
+}
+
+/// Runs the call-graph passes: the stale-annotation audit and the
+/// residue auditor. Returns warnings plus the aggregate summary.
+pub fn analyze_call_graph(view: &ProgramView) -> (Vec<TypeDiagnostic>, ResidueSummary) {
+    let graph = build_call_graph(view);
+    let mut out = Vec::new();
+    let mut summary = ResidueSummary {
+        reachable_methods: graph.reachable.len(),
+        ..ResidueSummary::default()
+    };
+
+    let unit_by_key: BTreeMap<MethodKey, &MethodUnit> =
+        view.methods.iter().map(|m| (m.key, m)).collect();
+    let checked = |key: &MethodKey| -> bool {
+        view.is_checked(key.class.as_str(), key.class_level, key.method.as_str())
+    };
+
+    // --- HB1005: stale annotations --------------------------------------
+    for m in &view.methods {
+        let Some((ann_key, ann)) = view.resolve_annotation(
+            m.key.class.as_str(),
+            m.key.class_level,
+            m.key.method.as_str(),
+        ) else {
+            continue;
+        };
+        if !ann.check || graph.reachable.contains(&m.key) {
+            continue;
+        }
+        summary.stale_annotations += 1;
+        // Report at the definition, labeled with the annotation: the span
+        // scope keeps substrate-internal annotations out of app reports.
+        if view.in_warn_scope(m.cfg.span) {
+            out.push(
+                TypeDiagnostic::warning(
+                    DiagCode::StaleAnnotation,
+                    format!(
+                        "annotated method {} is unreachable from every program entry point \
+                         (stale annotation: the just-in-time checker will never check it)",
+                        m.key
+                    ),
+                    m.cfg.span,
+                    BlameTarget::Lint {
+                        pass: "stale-annotation",
+                    },
+                )
+                .with_method(m.key)
+                .with_label(
+                    DiagLabel::new(
+                        LabelRole::BlamedAnnotation,
+                        "annotation registered here",
+                        ann.span,
+                    )
+                    .with_method(ann_key),
+                ),
+            );
+        }
+    }
+
+    // --- HB1006: dyn-check residue ---------------------------------------
+    struct Residue {
+        elided: usize,
+        residual_sites: Vec<Span>,
+    }
+    let mut per_callee: BTreeMap<MethodKey, Residue> = BTreeMap::new();
+    for e in &graph.edges {
+        let caller_live = match e.caller {
+            Caller::Root(_) => true,
+            Caller::Method(k) => graph.reachable.contains(&k),
+        };
+        if !caller_live {
+            continue;
+        }
+        if !checked(&e.callee) {
+            summary.unannotated_edges += 1;
+            continue;
+        }
+        // A checked callee is patched once any dispatch checks it —
+        // unless it is always-dynamically-checked (the runtime refuses
+        // the fast prologue for those).
+        let always_dyn = view
+            .resolve_annotation(
+                e.callee.class.as_str(),
+                e.callee.class_level,
+                e.callee.method.as_str(),
+            )
+            .is_some_and(|(_, a)| a.always_dyn_check);
+        if !always_dyn {
+            summary.predicted_fast_entries.insert(e.receiver);
+        }
+        let caller_checked = match e.caller {
+            Caller::Root(_) => false,
+            Caller::Method(k) => checked(&k),
+        };
+        let r = per_callee.entry(e.callee).or_insert(Residue {
+            elided: 0,
+            residual_sites: Vec::new(),
+        });
+        if caller_checked {
+            summary.elided_edges += 1;
+            r.elided += 1;
+        } else {
+            summary.residual_edges += 1;
+            r.residual_sites.push(e.span);
+        }
+    }
+    for (callee, r) in &mut per_callee {
+        if r.residual_sites.is_empty() {
+            continue;
+        }
+        summary.residual_methods.insert(*callee);
+        let span = unit_by_key.get(callee).map(|u| u.cfg.span);
+        let Some(span) = span.filter(|s| view.in_warn_scope(*s)) else {
+            continue;
+        };
+        r.residual_sites.sort_by_key(|s| (s.file.0, s.lo, s.hi));
+        let mut d = TypeDiagnostic::warning(
+            DiagCode::DynCheckResidue,
+            format!(
+                "dynamic-check residue: {} is reached from {} unchecked call site(s), so its \
+                 guarded prologue survives elision ({} elided edge(s))",
+                callee,
+                r.residual_sites.len(),
+                r.elided
+            ),
+            span,
+            BlameTarget::Lint { pass: "residue" },
+        )
+        .with_method(*callee);
+        d = d.with_label(DiagLabel::new(
+            LabelRole::CallSite,
+            "first unchecked call site",
+            r.residual_sites[0],
+        ));
+        out.push(d);
+    }
+
+    (out, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roots::collect_roots;
+    use crate::view::{AnnotationUnit, MethodUnit};
+    use hb_il::{collect_method_defs, lower_method};
+    use hb_syntax::{parse_program, FileId, SourceMap};
+    use std::sync::Arc;
+
+    /// Builds a view straight from source: methods by lexical owner,
+    /// top-level/class-body roots, flat chains.
+    fn view_of(src: &str, annotated: &[(&str, &str)]) -> ProgramView {
+        let mut sm = SourceMap::new();
+        sm.add_file("t.rb", src);
+        let p = parse_program(src, "t.rb").unwrap();
+        let mut view = ProgramView::default();
+        view.warn_files.insert(FileId(0));
+        for d in collect_method_defs(&p) {
+            let owner = d.owner.clone();
+            view.chains
+                .entry(owner.clone())
+                .or_insert_with(|| vec![owner.clone(), "Object".into()]);
+            let key = mk_key(&owner, d.self_method, &d.def.name);
+            view.methods.push(MethodUnit {
+                key,
+                cfg: Arc::new(lower_method(&d.def)),
+            });
+        }
+        view.chains
+            .entry("Object".into())
+            .or_insert_with(|| vec!["Object".into()]);
+        for (class, method) in annotated {
+            view.annotations.insert(
+                MethodKey::instance(class, method),
+                AnnotationUnit {
+                    span: Span::dummy(),
+                    check: true,
+                    always_dyn_check: false,
+                },
+            );
+        }
+        view.roots = collect_roots(&p, "t.rb");
+        view
+    }
+
+    #[test]
+    fn residue_classifies_root_and_checked_edges() {
+        let src = "
+class A
+  def entry
+    helper
+  end
+  def helper
+    1
+  end
+end
+a = A.new
+a.entry
+";
+        // Both annotated: root→entry is residual, entry→helper is elided.
+        let view = view_of(src, &[("A", "entry"), ("A", "helper")]);
+        let (diags, summary) = analyze_call_graph(&view);
+        assert_eq!(summary.residual_edges, 1);
+        assert_eq!(summary.elided_edges, 1);
+        assert_eq!(summary.stale_annotations, 0);
+        assert_eq!(summary.predicted_fast_entries.len(), 2);
+        // Exactly one residue warning: the root-called entry.
+        let residues: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::DynCheckResidue)
+            .collect();
+        assert_eq!(residues.len(), 1);
+        assert_eq!(residues[0].method, Some(MethodKey::instance("A", "entry")));
+    }
+
+    #[test]
+    fn stale_annotation_flags_unreached_method() {
+        let src = "
+class A
+  def used
+    1
+  end
+  def orphan
+    2
+  end
+end
+A.new.used
+";
+        let view = view_of(src, &[("A", "orphan")]);
+        let (diags, summary) = analyze_call_graph(&view);
+        assert_eq!(summary.stale_annotations, 1);
+        assert!(diags.iter().any(|d| d.code == DiagCode::StaleAnnotation
+            && d.method == Some(MethodKey::instance("A", "orphan"))));
+    }
+
+    #[test]
+    fn constructor_edge_reaches_initialize() {
+        let src = "
+class A
+  def initialize
+    setup
+  end
+  def setup
+    1
+  end
+end
+A.new
+";
+        let view = view_of(src, &[]);
+        let graph = build_call_graph(&view);
+        assert!(graph
+            .reachable
+            .contains(&MethodKey::instance("A", "initialize")));
+        assert!(graph.reachable.contains(&MethodKey::instance("A", "setup")));
+    }
+}

@@ -1,0 +1,285 @@
+//! The generic worklist dataflow framework over [`MethodCfg`]s.
+//!
+//! An analysis implements [`Analysis`]: a fact lattice (`Fact`, `join`),
+//! a direction, boundary/top elements and transfer functions over
+//! instructions and terminators. [`solve`] runs the standard iterative
+//! worklist algorithm to a fixpoint and returns per-block entry/exit
+//! states.
+//!
+//! Forward analyses additionally refine facts *per edge*
+//! ([`Analysis::transfer_edge`]) and may prove an edge infeasible
+//! ([`Analysis::edge_feasible`]) — that is how constant-condition folding
+//! and `is_a?` narrowing make dead branches unreachable: a block no
+//! feasible path ever flows into keeps `reached == false` in the
+//! solution, which the unreachable-code pass reports directly.
+
+use hb_il::{BlockId, Instr, MethodCfg, Terminator};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// A dataflow analysis over one CFG.
+pub trait Analysis {
+    /// The lattice element. `join` must be monotone and the lattice of
+    /// finite height (both set-union over locals and flat constant maps
+    /// are), which bounds the worklist iteration.
+    type Fact: Clone + PartialEq;
+
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: the method entry (forward) or every
+    /// exit block (backward).
+    fn boundary(&self, cfg: &MethodCfg) -> Self::Fact;
+
+    /// The initial fact for non-boundary blocks (the lattice bottom for
+    /// the chosen join).
+    fn top(&self, cfg: &MethodCfg) -> Self::Fact;
+
+    /// Merges `other` into `into`, returning whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    fn transfer_instr(&self, instr: &Instr, fact: &mut Self::Fact);
+
+    fn transfer_term(&self, _term: &Terminator, _fact: &mut Self::Fact) {}
+
+    /// Forward only: refines the fact flowing along one `Branch` edge
+    /// (`is_then` distinguishes the two) — the narrowing hook.
+    fn transfer_edge(&self, _term: &Terminator, _is_then: bool, _fact: &mut Self::Fact) {}
+
+    /// Forward only: whether any execution can take this edge given the
+    /// block's exit fact. Returning `false` starves the successor of
+    /// flow, marking it unreachable unless another path feeds it.
+    fn edge_feasible(&self, _term: &Terminator, _is_then: bool, _fact: &Self::Fact) -> bool {
+        true
+    }
+}
+
+/// The fixpoint solution: per-block facts at block entry and exit.
+pub struct BlockStates<F> {
+    pub entry: Vec<F>,
+    pub exit: Vec<F>,
+    /// Forward only: whether any feasible path from the CFG entry reaches
+    /// the block. Backward solves mark every block reached.
+    pub reached: Vec<bool>,
+}
+
+/// Predecessor lists for every block of `cfg`.
+pub fn predecessors(cfg: &MethodCfg) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); cfg.blocks.len()];
+    for (i, _) in cfg.blocks.iter().enumerate() {
+        let id = BlockId(i as u32);
+        for s in cfg.successors(id) {
+            preds[s.0 as usize].push(id);
+        }
+    }
+    preds
+}
+
+/// Runs `analysis` over `cfg` to a fixpoint.
+pub fn solve<A: Analysis>(analysis: &A, cfg: &MethodCfg) -> BlockStates<A::Fact> {
+    match analysis.direction() {
+        Direction::Forward => solve_forward(analysis, cfg),
+        Direction::Backward => solve_backward(analysis, cfg),
+    }
+}
+
+/// The edges out of a block, tagged with their then/else role for
+/// [`Analysis::transfer_edge`] (`Goto` edges count as "then").
+fn out_edges(term: &Terminator) -> Vec<(BlockId, bool)> {
+    match term {
+        Terminator::Goto(b) => vec![(*b, true)],
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => vec![(*then_bb, true), (*else_bb, false)],
+        Terminator::Return(_) | Terminator::MethodReturn(_) => vec![],
+    }
+}
+
+fn solve_forward<A: Analysis>(analysis: &A, cfg: &MethodCfg) -> BlockStates<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut entry: Vec<A::Fact> = (0..n).map(|_| analysis.top(cfg)).collect();
+    let mut exit: Vec<A::Fact> = (0..n).map(|_| analysis.top(cfg)).collect();
+    let mut reached = vec![false; n];
+    let e = cfg.entry.0 as usize;
+    entry[e] = analysis.boundary(cfg);
+    reached[e] = true;
+    let mut worklist: Vec<usize> = vec![e];
+    let mut queued = vec![false; n];
+    queued[e] = true;
+    while let Some(b) = worklist.pop() {
+        queued[b] = false;
+        let mut fact = entry[b].clone();
+        let block = &cfg.blocks[b];
+        for i in &block.instrs {
+            analysis.transfer_instr(i, &mut fact);
+        }
+        analysis.transfer_term(&block.term, &mut fact);
+        exit[b] = fact;
+        for (succ, is_then) in out_edges(&block.term) {
+            if !analysis.edge_feasible(&block.term, is_then, &exit[b]) {
+                continue;
+            }
+            let mut edge_fact = exit[b].clone();
+            analysis.transfer_edge(&block.term, is_then, &mut edge_fact);
+            let s = succ.0 as usize;
+            let changed = if !reached[s] {
+                entry[s] = edge_fact;
+                reached[s] = true;
+                true
+            } else {
+                analysis.join(&mut entry[s], &edge_fact)
+            };
+            if changed && !queued[s] {
+                queued[s] = true;
+                worklist.push(s);
+            }
+        }
+    }
+    BlockStates {
+        entry,
+        exit,
+        reached,
+    }
+}
+
+fn solve_backward<A: Analysis>(analysis: &A, cfg: &MethodCfg) -> BlockStates<A::Fact> {
+    let n = cfg.blocks.len();
+    let preds = predecessors(cfg);
+    let mut entry: Vec<A::Fact> = (0..n).map(|_| analysis.top(cfg)).collect();
+    let mut exit: Vec<A::Fact> = (0..n).map(|_| analysis.top(cfg)).collect();
+    // Every block participates (liveness must cover code the forward
+    // reachability pass would prune — passes are independent).
+    let mut worklist: Vec<usize> = (0..n).rev().collect();
+    let mut queued = vec![true; n];
+    while let Some(b) = worklist.pop() {
+        queued[b] = false;
+        let block = &cfg.blocks[b];
+        let succs = cfg.successors(BlockId(b as u32));
+        let mut out = if succs.is_empty() {
+            analysis.boundary(cfg)
+        } else {
+            let mut acc = analysis.top(cfg);
+            for s in &succs {
+                analysis.join(&mut acc, &entry[s.0 as usize]);
+            }
+            acc
+        };
+        exit[b] = out.clone();
+        analysis.transfer_term(&block.term, &mut out);
+        for i in block.instrs.iter().rev() {
+            analysis.transfer_instr(i, &mut out);
+        }
+        if out != entry[b] {
+            entry[b] = out;
+            for p in &preds[b] {
+                let p = p.0 as usize;
+                if !queued[p] {
+                    queued[p] = true;
+                    worklist.push(p);
+                }
+            }
+        }
+    }
+    BlockStates {
+        entry,
+        exit,
+        reached: vec![true; n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_il::{BasicBlock, Operand, Rvalue};
+    use hb_syntax::Span;
+    use std::collections::BTreeSet;
+
+    /// May-assigned locals: forward set union.
+    struct MayAssign;
+    impl Analysis for MayAssign {
+        type Fact = BTreeSet<String>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, cfg: &MethodCfg) -> Self::Fact {
+            cfg.params.iter().map(|p| p.name.clone()).collect()
+        }
+        fn top(&self, _cfg: &MethodCfg) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().cloned());
+            into.len() != before
+        }
+        fn transfer_instr(&self, instr: &Instr, fact: &mut Self::Fact) {
+            if let hb_il::InstrKind::Assign { local, .. } = &instr.kind {
+                fact.insert(local.clone());
+            }
+        }
+    }
+
+    fn diamond() -> MethodCfg {
+        // bb0: branch nondet ? bb1 : bb2; bb1: x := 1; bb2: (nothing);
+        // bb3: return
+        let assign = |local: &str| Instr {
+            kind: hb_il::InstrKind::Assign {
+                local: local.into(),
+                rv: Rvalue::Use(Operand::IntConst(1)),
+            },
+            span: Span::dummy(),
+        };
+        MethodCfg {
+            name: "m".into(),
+            params: vec![],
+            blocks: vec![
+                BasicBlock {
+                    instrs: vec![],
+                    term: Terminator::Branch {
+                        cond: Operand::Nondet,
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                BasicBlock {
+                    instrs: vec![assign("x")],
+                    term: Terminator::Goto(BlockId(3)),
+                },
+                BasicBlock {
+                    instrs: vec![],
+                    term: Terminator::Goto(BlockId(3)),
+                },
+                BasicBlock {
+                    instrs: vec![],
+                    term: Terminator::Return(Operand::NilConst),
+                },
+            ],
+            entry: BlockId(0),
+            block_lits: vec![],
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn forward_join_unions_paths() {
+        let cfg = diamond();
+        let sol = solve(&MayAssign, &cfg);
+        // x is maybe-assigned at the join (one path assigns it) …
+        assert!(sol.entry[3].contains("x"));
+        // … but not at the entry of the skipping arm.
+        assert!(!sol.entry[2].contains("x"));
+        assert!(sol.reached.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn predecessors_inverts_successors() {
+        let cfg = diamond();
+        let preds = predecessors(&cfg);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+}

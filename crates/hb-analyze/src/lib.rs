@@ -1,0 +1,69 @@
+//! # hb-analyze — whole-program static analysis for Hummingbird
+//!
+//! A lint suite over the [`hb_il`] CFG IL, complementing the engine's
+//! just-in-time type checker with classic dataflow analyses the checker
+//! itself does not run:
+//!
+//! | code   | pass                | what it reports                                   |
+//! |--------|---------------------|---------------------------------------------------|
+//! | HB1001 | use-before-assign   | a local read before any assignment can reach it   |
+//! | HB1002 | unreachable-code    | code after `return`/`raise`, branches dead under narrowing |
+//! | HB1003 | dead-store          | a pure assignment whose value is never read       |
+//! | HB1004 | unused-local        | a local assigned but never read anywhere          |
+//! | HB1005 | stale-annotation    | a `check`-annotated method no entry point reaches |
+//! | HB1006 | dyn-check-residue   | a checked method reached from unchecked callers: its guarded prologue survives elision |
+//!
+//! The crate has three layers:
+//!
+//! 1. [`dataflow`] — the generic worklist framework (`Analysis` trait,
+//!    forward/backward solve, per-edge narrowing and feasibility).
+//! 2. [`passes`] — the per-method passes (HB1001–HB1004), built on one
+//!    forward flow analysis (definite assignment × a flat abstract-value
+//!    lattice with `is_a?` narrowing) and one backward liveness analysis.
+//! 3. [`callgraph`] — the whole-program layer (HB1005–HB1006): a
+//!    call-graph builder that replays the flow facts to type receivers,
+//!    reachability from load-time roots, and the dynamic-check-residue
+//!    auditor whose [`callgraph::ResidueSummary`] cross-checks the
+//!    runtime's `fast_entries_patched` statistic.
+//!
+//! The crate is deliberately runtime-free: it consumes a
+//! [`ProgramView`] — methods, roots, ancestor chains and annotations —
+//! that the embedding layer distills from the live interpreter, so
+//! resolution matches the engine (including `define_method`-created
+//! methods) without this crate depending on it. Per-unit analysis
+//! ([`analyze_unit`]) is a pure function of the view, so callers may fan
+//! units across worker threads and sort the harvest; results are
+//! deterministic by construction.
+
+pub mod callgraph;
+pub mod dataflow;
+pub mod passes;
+pub mod roots;
+pub mod view;
+
+pub use callgraph::{
+    analyze_call_graph, build_call_graph, CallGraph, Caller, Edge, ResidueSummary,
+};
+pub use dataflow::{predecessors, solve, Analysis, BlockStates, Direction};
+pub use passes::{analyze_cfg, PassCtx};
+pub use roots::collect_roots;
+pub use view::{AnnotationUnit, MethodUnit, ProgramView, RootUnit};
+
+use hb_intern::MethodKey;
+use hb_syntax::TypeDiagnostic;
+
+/// Runs the per-method passes (HB1001–HB1004) over one unit — a method or
+/// a root. Pure: safe to call from any thread with a shared view.
+pub fn analyze_unit(
+    view: &ProgramView,
+    label: String,
+    method: Option<MethodKey>,
+    cfg: &hb_il::MethodCfg,
+) -> Vec<TypeDiagnostic> {
+    let ctx = PassCtx {
+        view,
+        label,
+        method,
+    };
+    analyze_cfg(&ctx, cfg)
+}

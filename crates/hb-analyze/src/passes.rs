@@ -1,0 +1,818 @@
+//! The per-method lint passes, built on the dataflow framework:
+//!
+//! * **use-before-assign** (`HB1001`) — a forward may-assigned analysis
+//!   with constant-branch folding: a read no assignment can possibly
+//!   reach yields `nil` at run time.
+//! * **unreachable code** (`HB1002`) — blocks no feasible path from the
+//!   entry reaches (after `return`, after `raise`, or in branches proven
+//!   dead by constant conditions and `is_a?` narrowing).
+//! * **dead store** (`HB1003`) / **unused local** (`HB1004`) — a backward
+//!   liveness analysis.
+//!
+//! Every pass is deliberately conservative: a warning fires only when the
+//! defect holds on *every* execution the analysis cannot exclude, because
+//! the six-app golden warning sets gate CI and a flaky heuristic would
+//! churn them.
+
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::view::ProgramView;
+use hb_il::{BlockId, CallArg, Instr, InstrKind, MethodCfg, Operand, Rvalue, StrPiece, Terminator};
+use hb_intern::MethodKey;
+use hb_syntax::{BlameTarget, DiagCode, Span, TypeDiagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Context shared by the passes over one CFG.
+pub struct PassCtx<'a> {
+    pub view: &'a ProgramView,
+    /// Human label for messages: `User#save`, `the top level of app.rb`.
+    pub label: String,
+    /// The method being analyzed, if this CFG is a method body.
+    pub method: Option<MethodKey>,
+}
+
+/// Abstract value of a local: a flat lattice refined by literals,
+/// constructor calls and `is_a?` tests. Absent from the map means ⊤.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    True,
+    False,
+    Nil,
+    /// Truthy, class unknown.
+    Truthy,
+    /// An instance of exactly this class (`K.new`, literals).
+    Klass(String),
+    /// An instance of this class or a subclass (`is_a?` narrowing).
+    InstanceOf(String),
+    /// The class object itself (`ConstRef`), receiver of class-level calls.
+    ClassObj(String),
+    /// The boolean result of `local.is_a?(class)` — provenance that lets
+    /// a branch on this value narrow `local` along its then-edge.
+    Test {
+        local: String,
+        class: String,
+    },
+}
+
+impl AbsVal {
+    pub fn truthiness(&self) -> Option<bool> {
+        match self {
+            AbsVal::True
+            | AbsVal::Truthy
+            | AbsVal::Klass(_)
+            | AbsVal::InstanceOf(_)
+            | AbsVal::ClassObj(_) => Some(true),
+            AbsVal::False | AbsVal::Nil => Some(false),
+            AbsVal::Test { .. } => None,
+        }
+    }
+}
+
+/// The forward product fact: abstract values plus the may-assigned set.
+/// One solve feeds both `HB1001` (assigned) and `HB1002` (reachability
+/// with narrowing) — and the call-graph builder replays the same transfer
+/// to know receiver classes at call sites.
+#[derive(Clone, PartialEq, Default)]
+pub struct FlowFact {
+    pub abs: BTreeMap<String, AbsVal>,
+    pub assigned: BTreeSet<String>,
+}
+
+/// The forward analysis. `boundary_assigned` seeds the may-assigned set:
+/// parameters, plus (for block-literal bodies) every local of the
+/// enclosing method — closures see their environment.
+pub struct ForwardFlow<'a> {
+    pub view: &'a ProgramView,
+    pub boundary_assigned: BTreeSet<String>,
+}
+
+impl ForwardFlow<'_> {
+    pub fn abs_of_operand(&self, op: &Operand, fact: &FlowFact) -> Option<AbsVal> {
+        match op {
+            Operand::NilConst => Some(AbsVal::Nil),
+            Operand::TrueConst => Some(AbsVal::True),
+            Operand::FalseConst => Some(AbsVal::False),
+            Operand::IntConst(_) => Some(AbsVal::Klass("Integer".into())),
+            Operand::FloatConst(_) => Some(AbsVal::Klass("Float".into())),
+            Operand::StrConst(_) => Some(AbsVal::Klass("String".into())),
+            Operand::SymConst(_) => Some(AbsVal::Klass("Symbol".into())),
+            Operand::Local(n) => fact.abs.get(n).cloned(),
+            Operand::SelfRef | Operand::Nondet => None,
+        }
+    }
+
+    /// `recv.is_a?(C)` where `recv`'s class is (partially) known: decided
+    /// along the ancestor chain; undecidable receivers produce a
+    /// [`AbsVal::Test`] so a branch can still narrow.
+    fn eval_is_a(&self, recv: &Operand, recv_abs: Option<&AbsVal>, class: &str) -> Option<AbsVal> {
+        let chain_has = |k: &str| -> Option<bool> {
+            self.view
+                .chains
+                .get(k)
+                .map(|chain| chain.iter().any(|c| c == class))
+        };
+        match recv_abs {
+            // Exact class: the chain decides fully.
+            Some(AbsVal::Klass(k)) => {
+                chain_has(k).map(|b| if b { AbsVal::True } else { AbsVal::False })
+            }
+            // Upper bound: ancestors of the bound are ancestors of every
+            // subclass, so a positive answer is definite; a negative one
+            // is not (a subclass may mix the module in).
+            Some(AbsVal::InstanceOf(k)) => match chain_has(k) {
+                Some(true) => Some(AbsVal::True),
+                _ => self.test_of(recv, class),
+            },
+            Some(AbsVal::Nil) => {
+                chain_has("NilClass").map(|b| if b { AbsVal::True } else { AbsVal::False })
+            }
+            Some(AbsVal::ClassObj(_)) => None,
+            _ => self.test_of(recv, class),
+        }
+    }
+
+    fn test_of(&self, recv: &Operand, class: &str) -> Option<AbsVal> {
+        match recv {
+            Operand::Local(l) if !is_temp(l) => Some(AbsVal::Test {
+                local: l.clone(),
+                class: class.to_string(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn abs_of_rvalue(&self, rv: &Rvalue, fact: &FlowFact) -> Option<AbsVal> {
+        match rv {
+            Rvalue::Use(op) => self.abs_of_operand(op, fact),
+            Rvalue::ConstRef(path) => Some(AbsVal::ClassObj(path.join("::"))),
+            Rvalue::StrInterp(_) => Some(AbsVal::Klass("String".into())),
+            Rvalue::ArrayLit(_) => Some(AbsVal::Klass("Array".into())),
+            Rvalue::HashLit(_) => Some(AbsVal::Klass("Hash".into())),
+            Rvalue::RangeLit { .. } => Some(AbsVal::Klass("Range".into())),
+            Rvalue::Not(op) => match self
+                .abs_of_operand(op, fact)
+                .as_ref()
+                .and_then(AbsVal::truthiness)
+            {
+                Some(true) => Some(AbsVal::False),
+                Some(false) => Some(AbsVal::True),
+                None => None,
+            },
+            Rvalue::Call {
+                recv: Some(r),
+                name,
+                args,
+                ..
+            } => {
+                let recv_abs = self.abs_of_operand(r, fact);
+                match name.as_str() {
+                    "new" => match recv_abs {
+                        Some(AbsVal::ClassObj(k)) => Some(AbsVal::Klass(k)),
+                        _ => None,
+                    },
+                    "is_a?" | "kind_of?" => match args.first() {
+                        Some(CallArg::Pos(c)) => match self.abs_of_operand(c, fact) {
+                            Some(AbsVal::ClassObj(class)) => {
+                                self.eval_is_a(r, recv_abs.as_ref(), &class)
+                            }
+                            _ => None,
+                        },
+                        _ => None,
+                    },
+                    "instance_of?" => match (recv_abs, args.first()) {
+                        (Some(AbsVal::Klass(k)), Some(CallArg::Pos(c))) => {
+                            match self.abs_of_operand(c, fact) {
+                                Some(AbsVal::ClassObj(class)) => Some(if k == class {
+                                    AbsVal::True
+                                } else {
+                                    AbsVal::False
+                                }),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    },
+                    "nil?" => match recv_abs.as_ref().map(|a| a == &AbsVal::Nil) {
+                        Some(true) => Some(AbsVal::True),
+                        Some(false) => Some(AbsVal::False),
+                        None => None,
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Analysis for ForwardFlow<'_> {
+    type Fact = FlowFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _cfg: &MethodCfg) -> FlowFact {
+        FlowFact {
+            abs: BTreeMap::new(),
+            assigned: self.boundary_assigned.clone(),
+        }
+    }
+
+    fn top(&self, _cfg: &MethodCfg) -> FlowFact {
+        FlowFact::default()
+    }
+
+    fn join(&self, into: &mut FlowFact, other: &FlowFact) -> bool {
+        let mut changed = false;
+        // Flat join on abstract values: disagreeing keys go to ⊤ (absent).
+        let keys: Vec<String> = into.abs.keys().cloned().collect();
+        for k in keys {
+            if other.abs.get(&k) != into.abs.get(&k) {
+                into.abs.remove(&k);
+                changed = true;
+            }
+        }
+        // Union on may-assigned.
+        let before = into.assigned.len();
+        into.assigned.extend(other.assigned.iter().cloned());
+        changed || into.assigned.len() != before
+    }
+
+    fn transfer_instr(&self, instr: &Instr, fact: &mut FlowFact) {
+        if let InstrKind::Assign { local, rv } = &instr.kind {
+            match self.abs_of_rvalue(rv, fact) {
+                Some(v) => {
+                    fact.abs.insert(local.clone(), v);
+                }
+                None => {
+                    fact.abs.remove(local);
+                }
+            }
+            fact.assigned.insert(local.clone());
+        }
+    }
+
+    fn transfer_edge(&self, term: &Terminator, is_then: bool, fact: &mut FlowFact) {
+        // `is_a?` narrowing: on the then-edge of a branch over a test
+        // value, the tested local is an instance of the tested class.
+        if let Terminator::Branch {
+            cond: Operand::Local(t),
+            ..
+        } = term
+        {
+            if is_then {
+                if let Some(AbsVal::Test { local, class }) = fact.abs.get(t).cloned() {
+                    fact.abs.insert(local, AbsVal::InstanceOf(class));
+                }
+            }
+        }
+    }
+
+    fn edge_feasible(&self, term: &Terminator, is_then: bool, fact: &FlowFact) -> bool {
+        if let Terminator::Branch { cond, .. } = term {
+            if let Some(t) = self
+                .abs_of_operand(cond, fact)
+                .as_ref()
+                .and_then(AbsVal::truthiness)
+            {
+                return t == is_then;
+            }
+        }
+        true
+    }
+}
+
+/// Backward liveness: the set of locals whose current value may still be
+/// read.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = BTreeSet<String>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self, _cfg: &MethodCfg) -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn top(&self, _cfg: &MethodCfg) -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn join(&self, into: &mut BTreeSet<String>, other: &BTreeSet<String>) -> bool {
+        let before = into.len();
+        into.extend(other.iter().cloned());
+        into.len() != before
+    }
+
+    fn transfer_instr(&self, instr: &Instr, fact: &mut BTreeSet<String>) {
+        if let InstrKind::Assign { local, .. } = &instr.kind {
+            fact.remove(local);
+        }
+        instr_each_read(instr, &mut |l| {
+            fact.insert(l.to_string());
+        });
+    }
+
+    fn transfer_term(&self, term: &Terminator, fact: &mut BTreeSet<String>) {
+        term_each_read(term, &mut |l| {
+            fact.insert(l.to_string());
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read/write visitors over the IL.
+
+pub fn is_temp(name: &str) -> bool {
+    name.starts_with('%')
+}
+
+fn operand_read(op: &Operand, f: &mut impl FnMut(&str)) {
+    if let Operand::Local(n) = op {
+        f(n);
+    }
+}
+
+fn rvalue_each_read(rv: &Rvalue, f: &mut impl FnMut(&str)) {
+    match rv {
+        Rvalue::Use(op) | Rvalue::Not(op) | Rvalue::Cast { value: op, .. } => operand_read(op, f),
+        Rvalue::IVar(_) | Rvalue::CVar(_) | Rvalue::GVar(_) | Rvalue::ConstRef(_) => {}
+        Rvalue::StrInterp(pieces) => {
+            for p in pieces {
+                if let StrPiece::Dyn(op) = p {
+                    operand_read(op, f);
+                }
+            }
+        }
+        Rvalue::ArrayLit(ops) => ops.iter().for_each(|o| operand_read(o, f)),
+        Rvalue::HashLit(pairs) => {
+            for (k, v) in pairs {
+                operand_read(k, f);
+                operand_read(v, f);
+            }
+        }
+        Rvalue::RangeLit { lo, hi, .. } => {
+            operand_read(lo, f);
+            operand_read(hi, f);
+        }
+        Rvalue::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                operand_read(r, f);
+            }
+            for a in args {
+                match a {
+                    CallArg::Pos(op) | CallArg::Splat(op) | CallArg::BlockPass(op) => {
+                        operand_read(op, f)
+                    }
+                }
+            }
+        }
+        Rvalue::Yield(ops) => ops.iter().for_each(|o| operand_read(o, f)),
+        Rvalue::Super { args } => {
+            if let Some(ops) = args {
+                ops.iter().for_each(|o| operand_read(o, f));
+            }
+        }
+        Rvalue::RescueBind(_) => {}
+    }
+}
+
+fn instr_each_read(instr: &Instr, f: &mut impl FnMut(&str)) {
+    match &instr.kind {
+        InstrKind::Assign { rv, .. } => rvalue_each_read(rv, f),
+        InstrKind::SetIVar { value, .. }
+        | InstrKind::SetCVar { value, .. }
+        | InstrKind::SetGVar { value, .. }
+        | InstrKind::SetConst { value, .. } => operand_read(value, f),
+    }
+}
+
+fn term_each_read(term: &Terminator, f: &mut impl FnMut(&str)) {
+    match term {
+        Terminator::Branch { cond, .. } => operand_read(cond, f),
+        Terminator::Return(op) | Terminator::MethodReturn(op) => operand_read(op, f),
+        Terminator::Goto(_) => {}
+    }
+}
+
+/// Locals mentioned (read or written) anywhere in `cfg` *and* its nested
+/// block literals.
+fn mentions(cfg: &MethodCfg, reads: &mut BTreeSet<String>, writes: &mut BTreeSet<String>) {
+    for b in &cfg.blocks {
+        for i in &b.instrs {
+            if let InstrKind::Assign { local, .. } = &i.kind {
+                writes.insert(local.clone());
+            }
+            instr_each_read(i, &mut |l| {
+                reads.insert(l.to_string());
+            });
+        }
+        term_each_read(&b.term, &mut |l| {
+            reads.insert(l.to_string());
+        });
+    }
+    for bl in &cfg.block_lits {
+        for p in &bl.params {
+            writes.insert(p.name.clone());
+        }
+        mentions(&bl.cfg, reads, writes);
+    }
+}
+
+/// The if-arm result-propagation artifact the lowering emits into
+/// otherwise-unreachable join shims: `%t := other` with a `Use` rvalue.
+/// Not user code; never reported.
+fn is_artifact(instr: &Instr) -> bool {
+    matches!(
+        &instr.kind,
+        InstrKind::Assign { local, rv: Rvalue::Use(_) } if is_temp(local)
+    )
+}
+
+/// A call that never returns: code after it in the same block is dead.
+fn is_diverging(instr: &Instr) -> bool {
+    matches!(
+        &instr.kind,
+        InstrKind::Assign {
+            rv: Rvalue::Call { recv: None, name, .. },
+            ..
+        } if name == "raise"
+    )
+}
+
+/// A side-effect-free rvalue: overwriting its result unread is a dead
+/// store. Calls (even pure-looking ones) are excluded — the *local* may
+/// be dead but the call still runs.
+fn is_pure(rv: &Rvalue) -> bool {
+    !matches!(
+        rv,
+        Rvalue::Call { .. }
+            | Rvalue::Yield(_)
+            | Rvalue::Super { .. }
+            | Rvalue::Cast { .. }
+            | Rvalue::RescueBind(_)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The pass driver.
+
+fn warn(
+    ctx: &PassCtx<'_>,
+    code: DiagCode,
+    pass: &'static str,
+    message: String,
+    span: Span,
+) -> TypeDiagnostic {
+    let d = TypeDiagnostic::warning(code, message, span, BlameTarget::Lint { pass });
+    match ctx.method {
+        Some(k) => d.with_method(k),
+        None => d,
+    }
+}
+
+/// Runs every per-method pass over one CFG (recursing into block
+/// literals) and returns the warnings.
+pub fn analyze_cfg(ctx: &PassCtx<'_>, cfg: &MethodCfg) -> Vec<TypeDiagnostic> {
+    let params: BTreeSet<String> = cfg.params.iter().map(|p| p.name.clone()).collect();
+    let mut out = Vec::new();
+    analyze_cfg_inner(ctx, cfg, params, &BTreeSet::new(), &mut out);
+    let mut seen = BTreeSet::new();
+    out.retain(|d| {
+        seen.insert((
+            d.code,
+            d.span.file.0,
+            d.span.lo,
+            d.span.hi,
+            d.message.clone(),
+        ))
+    });
+    out
+}
+
+fn analyze_cfg_inner(
+    ctx: &PassCtx<'_>,
+    cfg: &MethodCfg,
+    boundary_assigned: BTreeSet<String>,
+    // Enclosing-scope locals (when this CFG is a block literal): stores to
+    // them feed the enclosing method, so they are exempt from the
+    // dead-store/unused passes.
+    outer: &BTreeSet<String>,
+    out: &mut Vec<TypeDiagnostic>,
+) {
+    let flow = ForwardFlow {
+        view: ctx.view,
+        boundary_assigned: boundary_assigned.clone(),
+    };
+    let sol = solve(&flow, cfg);
+
+    // --- HB1001: use-before-assign -------------------------------------
+    let mut reported_uba: BTreeSet<String> = BTreeSet::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !sol.reached[bi] {
+            continue;
+        }
+        let mut fact = sol.entry[bi].clone();
+        for instr in &block.instrs {
+            if !is_artifact(instr) && ctx.view.in_warn_scope(instr.span) {
+                instr_each_read(instr, &mut |l| {
+                    if !is_temp(l)
+                        && !fact.assigned.contains(l)
+                        && reported_uba.insert(l.to_string())
+                    {
+                        out.push(warn(
+                            ctx,
+                            DiagCode::UseBeforeAssign,
+                            "use-before-assign",
+                            format!(
+                                "local `{l}` is read before any assignment can reach it in {}",
+                                ctx.label
+                            ),
+                            instr.span,
+                        ));
+                    }
+                });
+            }
+            flow.transfer_instr(instr, &mut fact);
+        }
+    }
+
+    // --- HB1002: unreachable code --------------------------------------
+    let preds = crate::dataflow::predecessors(cfg);
+    let mut dead_spans: Vec<Span> = Vec::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if sol.reached[bi] {
+            // Reached block: anything after a diverging call is dead.
+            let mut diverged = false;
+            for instr in &block.instrs {
+                if diverged && !is_artifact(instr) {
+                    dead_spans.push(instr.span);
+                    break;
+                }
+                if is_diverging(instr) {
+                    diverged = true;
+                }
+            }
+            continue;
+        }
+        // Report only the *entry* of a dead region: a block with no
+        // predecessors at all (the fresh block the lowering opens after a
+        // `return`), or one fed solely by infeasible edges from reached
+        // blocks. Dead blocks dominated by other dead blocks stay quiet.
+        let entry_of_region =
+            preds[bi].is_empty() || preds[bi].iter().any(|p| sol.reached[p.0 as usize]);
+        if !entry_of_region || BlockId(bi as u32) == cfg.entry {
+            continue;
+        }
+        if let Some(instr) = block.instrs.iter().find(|i| !is_artifact(i)) {
+            dead_spans.push(instr.span);
+        }
+    }
+    dead_spans.sort_by_key(|s| (s.file.0, s.lo, s.hi));
+    dead_spans.dedup();
+    for span in dead_spans {
+        if ctx.view.in_warn_scope(span) {
+            out.push(warn(
+                ctx,
+                DiagCode::UnreachableCode,
+                "unreachable",
+                format!("unreachable code in {}", ctx.label),
+                span,
+            ));
+        }
+    }
+
+    // --- HB1003/HB1004: dead stores and unused locals -------------------
+    // Locals visible to closures escape the straight-line analysis.
+    let mut escape_reads = BTreeSet::new();
+    let mut escaped = BTreeSet::new();
+    for bl in &cfg.block_lits {
+        mentions(&bl.cfg, &mut escape_reads, &mut escaped);
+    }
+    escaped.extend(escape_reads.iter().cloned());
+
+    let params: BTreeSet<String> = cfg.params.iter().map(|p| p.name.clone()).collect();
+    let eligible = |l: &str| {
+        !is_temp(l)
+            && !l.starts_with('_')
+            && !params.contains(l)
+            && !escaped.contains(l)
+            && !outer.contains(l)
+    };
+
+    // Whole-method read set and rescue-bound exemptions for HB1004.
+    let mut all_reads = escape_reads;
+    let mut rescue_bound = BTreeSet::new();
+    let mut first_write: BTreeMap<String, Span> = BTreeMap::new();
+    for block in &cfg.blocks {
+        for instr in &block.instrs {
+            instr_each_read(instr, &mut |l| {
+                all_reads.insert(l.to_string());
+            });
+            if let InstrKind::Assign { local, rv } = &instr.kind {
+                if matches!(rv, Rvalue::RescueBind(_)) {
+                    rescue_bound.insert(local.clone());
+                }
+                first_write
+                    .entry(local.clone())
+                    .and_modify(|s| {
+                        if (instr.span.file.0, instr.span.lo) < (s.file.0, s.lo) {
+                            *s = instr.span;
+                        }
+                    })
+                    .or_insert(instr.span);
+            }
+        }
+        term_each_read(&block.term, &mut |l| {
+            all_reads.insert(l.to_string());
+        });
+    }
+    let mut unused: BTreeSet<String> = BTreeSet::new();
+    for (local, span) in &first_write {
+        if eligible(local)
+            && !all_reads.contains(local)
+            && !rescue_bound.contains(local)
+            && ctx.view.in_warn_scope(*span)
+        {
+            unused.insert(local.clone());
+            out.push(warn(
+                ctx,
+                DiagCode::UnusedLocal,
+                "unused-local",
+                format!(
+                    "local `{local}` is assigned but never read in {}",
+                    ctx.label
+                ),
+                *span,
+            ));
+        }
+    }
+
+    let live = solve(&Liveness, cfg);
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !sol.reached[bi] {
+            continue; // already reported as unreachable
+        }
+        // `exit` in a backward solution is the fact *before* the
+        // terminator's own reads; apply them first.
+        let mut fact = live.exit[bi].clone();
+        Liveness.transfer_term(&block.term, &mut fact);
+        for instr in block.instrs.iter().rev() {
+            if let InstrKind::Assign { local, rv } = &instr.kind {
+                let was_live = fact.contains(local);
+                if !was_live
+                    && eligible(local)
+                    && is_pure(rv)
+                    && !unused.contains(local)
+                    && all_reads.contains(local)
+                    && ctx.view.in_warn_scope(instr.span)
+                {
+                    out.push(warn(
+                        ctx,
+                        DiagCode::DeadStore,
+                        "dead-store",
+                        format!(
+                            "value assigned to `{local}` is never read (dead store) in {}",
+                            ctx.label
+                        ),
+                        instr.span,
+                    ));
+                }
+            }
+            Liveness.transfer_instr(instr, &mut fact);
+        }
+    }
+
+    // --- Recurse into block literals ------------------------------------
+    if !cfg.block_lits.is_empty() {
+        // Closures see every enclosing local; seed them all as assigned so
+        // HB1001 stays zero-false-positive inside blocks, and carry them
+        // as `outer` so stores to them are never "dead" in the closure.
+        let mut enclosing_reads = BTreeSet::new();
+        let mut enclosing = boundary_assigned;
+        mentions(cfg, &mut enclosing_reads, &mut enclosing);
+        enclosing.extend(outer.iter().cloned());
+        for bl in &cfg.block_lits {
+            let mut seed = enclosing.clone();
+            seed.extend(bl.params.iter().map(|p| p.name.clone()));
+            analyze_cfg_inner(ctx, &bl.cfg, seed, &enclosing, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ProgramView;
+    use hb_il::lower_method;
+    use hb_syntax::{parse_program, ExprKind, FileId};
+
+    fn analyze_src(src: &str) -> Vec<TypeDiagnostic> {
+        let p = parse_program(src, "t.rb").unwrap();
+        let def = p
+            .body
+            .iter()
+            .find_map(|e| match &e.kind {
+                ExprKind::MethodDef(d) => Some(d.clone()),
+                ExprKind::ClassDef { body, .. } => body.iter().find_map(|e| match &e.kind {
+                    ExprKind::MethodDef(d) => Some(d.clone()),
+                    _ => None,
+                }),
+                _ => None,
+            })
+            .expect("no def");
+        let cfg = lower_method(&def);
+        let mut view = ProgramView::default();
+        view.warn_files.insert(FileId(0));
+        view.chains
+            .insert("User".into(), vec!["User".into(), "Object".into()]);
+        view.chains
+            .insert("String".into(), vec!["String".into(), "Object".into()]);
+        let ctx = PassCtx {
+            view: &view,
+            label: "t#m".into(),
+            method: None,
+        };
+        analyze_cfg(&ctx, &cfg)
+    }
+
+    fn codes(diags: &[TypeDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn use_before_assign_on_self_increment() {
+        let d = analyze_src("def m\n x = x + 1\n x\nend");
+        assert!(codes(&d).contains(&"HB1001"), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn no_uba_for_branch_assigned_local() {
+        let d = analyze_src("def m(c)\n if c\n  x = 1\n end\n x\nend");
+        assert!(!codes(&d).contains(&"HB1001"), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn unreachable_after_return() {
+        let d = analyze_src("def m\n return 1\n puts 2\nend");
+        assert_eq!(codes(&d), vec!["HB1002"]);
+    }
+
+    #[test]
+    fn unreachable_after_raise_same_block() {
+        let d = analyze_src("def m\n raise \"boom\"\n puts 2\nend");
+        assert!(codes(&d).contains(&"HB1002"), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn unreachable_under_constant_false_branch() {
+        let d = analyze_src("def m\n if false\n  puts 1\n end\n 2\nend");
+        assert!(codes(&d).contains(&"HB1002"), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn narrowing_kills_impossible_is_a_branch() {
+        let d = analyze_src("def m\n u = User.new\n if u.is_a?(String)\n  puts 1\n end\n u\nend");
+        assert!(codes(&d).contains(&"HB1002"), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn narrowing_keeps_possible_branch() {
+        let d = analyze_src("def m(u)\n if u.is_a?(User)\n  puts 1\n end\n u\nend");
+        assert!(codes(&d).is_empty(), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn dead_store_reported_once() {
+        let d = analyze_src("def m\n x = 1\n x = 2\n x\nend");
+        assert_eq!(codes(&d), vec!["HB1003"]);
+    }
+
+    #[test]
+    fn unused_local_reported() {
+        let d = analyze_src("def m\n x = 1\n 2\nend");
+        assert_eq!(codes(&d), vec!["HB1004"]);
+    }
+
+    #[test]
+    fn underscore_and_params_exempt() {
+        let d = analyze_src("def m(a)\n _ignored = 1\n 2\nend");
+        assert!(codes(&d).is_empty(), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn block_captured_locals_not_dead() {
+        let d =
+            analyze_src("def m(xs)\n acc = 0\n xs.each do |x|\n  acc = acc + x\n end\n acc\nend");
+        assert!(codes(&d).is_empty(), "{:?}", codes(&d));
+    }
+
+    #[test]
+    fn clean_method_is_quiet() {
+        let d = analyze_src("def m(a, b)\n c = a + b\n c * 2\nend");
+        assert!(codes(&d).is_empty(), "{:?}", codes(&d));
+    }
+}

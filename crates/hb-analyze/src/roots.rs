@@ -1,0 +1,85 @@
+//! Collects a program's *roots*: the statement sequences that execute at
+//! load time — each file's top level and each class/module body — lowered
+//! to CFGs so the call-graph builder can treat them as entry points.
+//!
+//! Method definitions are skipped here (they only run when called; the
+//! registry walk supplies their units), but everything else in a class
+//! body — `has_many`, `validates`, `define_method`, plain calls — *is*
+//! load-time code, and those macro calls are exactly how Rails-style apps
+//! reach large parts of the substrate.
+
+use crate::view::RootUnit;
+use hb_il::lower_block_body;
+use hb_syntax::{Expr, ExprKind, Program};
+use std::sync::Arc;
+
+/// Collects the root units of one parsed file.
+pub fn collect_roots(program: &Program, file_name: &str) -> Vec<RootUnit> {
+    let mut out = Vec::new();
+    walk("Object", false, &program.body, file_name, &mut out);
+    out
+}
+
+fn walk(owner: &str, class_level: bool, body: &[Expr], file: &str, out: &mut Vec<RootUnit>) {
+    let mut stmts: Vec<Expr> = Vec::new();
+    for e in body {
+        match &e.kind {
+            ExprKind::ClassDef { path, body, .. } | ExprKind::ModuleDef { path, body } => {
+                // A class body is its own root: implicit-`self` calls in it
+                // dispatch on the class object (class level).
+                walk(&path.join("::"), true, body, file, out);
+            }
+            ExprKind::MethodDef(_) => {}
+            _ => stmts.push(e.clone()),
+        }
+    }
+    if stmts.is_empty() {
+        return;
+    }
+    let span = stmts
+        .iter()
+        .skip(1)
+        .fold(stmts[0].span, |acc, e| acc.to(e.span));
+    let cfg = lower_block_body(&[], &stmts, span);
+    out.push(RootUnit {
+        owner: owner.to_string(),
+        class_level,
+        file: file.to_string(),
+        cfg: Arc::new(cfg),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_syntax::parse_program;
+
+    #[test]
+    fn splits_toplevel_and_class_bodies() {
+        let src = "
+x = 1
+class User
+  attr_reader :name
+  def save
+    true
+  end
+end
+User.new
+";
+        let p = parse_program(src, "t.rb").unwrap();
+        let roots = collect_roots(&p, "t.rb");
+        assert_eq!(roots.len(), 2);
+        let top = roots.iter().find(|r| r.owner == "Object").unwrap();
+        assert!(!top.class_level);
+        let user = roots.iter().find(|r| r.owner == "User").unwrap();
+        assert!(user.class_level);
+        // The method def body is not part of the class-body root.
+        assert!(user.cfg.instr_count() >= 1);
+    }
+
+    #[test]
+    fn no_roots_for_defs_only() {
+        let p = parse_program("def lone\n 1\nend", "t.rb").unwrap();
+        assert!(collect_roots(&p, "t.rb").is_empty());
+    }
+}

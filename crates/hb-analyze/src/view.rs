@@ -1,0 +1,134 @@
+//! The whole-program view the analyses consume.
+//!
+//! A [`ProgramView`] is a distilled, immutable picture of a running
+//! Hummingbird program: every user-defined method lowered to its CFG,
+//! every root (top-level and class-body statement sequence, the code that
+//! runs at load time), the class ancestor chains, and the set of
+//! `check`-annotated method keys. The embedding layer (`hummingbird`'s
+//! `analyze` module) builds it from the live interpreter registry and RDL
+//! state — so analysis resolves methods and annotations exactly where the
+//! engine does, including methods created by metaprogramming
+//! (`define_method`), which no purely syntactic tool would see.
+
+use hb_il::MethodCfg;
+use hb_intern::MethodKey;
+use hb_syntax::{FileId, Span};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One user-defined method: its key, lowered body and definition span.
+#[derive(Clone)]
+pub struct MethodUnit {
+    pub key: MethodKey,
+    pub cfg: Arc<MethodCfg>,
+}
+
+/// One root: the statement sequence of a file's top level or of one class
+/// body — the code that executes when the file loads, and therefore an
+/// entry point of the program for reachability purposes.
+#[derive(Clone)]
+pub struct RootUnit {
+    /// The class whose body the statements ran in (`"Object"` at the
+    /// file's top level).
+    pub owner: String,
+    /// Inside a class body, implicit-`self` calls dispatch at class
+    /// level (`self` is the class object).
+    pub class_level: bool,
+    /// The file the statements came from (diagnostic label only).
+    pub file: String,
+    pub cfg: Arc<MethodCfg>,
+}
+
+/// An annotation governing checks: where it was registered and whether
+/// `check` is on for it.
+#[derive(Clone, Copy)]
+pub struct AnnotationUnit {
+    pub span: Span,
+    pub check: bool,
+    /// The Rails-`params` exception (paper §4): arguments are dynamically
+    /// checked on *every* call, so the runtime never patches the checked
+    /// fast prologue for this method.
+    pub always_dyn_check: bool,
+}
+
+/// The distilled whole program.
+#[derive(Default)]
+pub struct ProgramView {
+    pub methods: Vec<MethodUnit>,
+    pub roots: Vec<RootUnit>,
+    /// Class name → ancestor chain in method-resolution order (the class
+    /// itself first, `Object` last) — the engine's `ancestor_syms` walk,
+    /// captured by name.
+    pub chains: BTreeMap<String, Vec<String>>,
+    /// Every registered annotation, keyed exactly as the RDL table keys
+    /// them.
+    pub annotations: BTreeMap<MethodKey, AnnotationUnit>,
+    /// Files warnings may be reported in: app code, not the bracketed
+    /// substrate files (`<corelib>`, `<rails/…>`) or `<eval>` snippets.
+    /// Roots and call edges still flow through excluded files — only the
+    /// *reporting* is scoped.
+    pub warn_files: BTreeSet<FileId>,
+}
+
+impl ProgramView {
+    /// Walks `class`'s ancestor chain (falling back to just the class
+    /// itself if the chain is unknown) and returns the first entry
+    /// `f` accepts.
+    fn along_chain<T>(&self, class: &str, mut f: impl FnMut(&str) -> Option<T>) -> Option<T> {
+        match self.chains.get(class) {
+            Some(chain) => chain.iter().find_map(|c| f(c)),
+            None => f(class),
+        }
+    }
+
+    /// Resolves the annotation governing `(class, class_level, method)`
+    /// along the ancestor chain — the same resolution `Engine::before_call`
+    /// performs via `lookup_along`. Returns the annotation's own key
+    /// (which may name an ancestor) and its unit.
+    pub fn resolve_annotation(
+        &self,
+        class: &str,
+        class_level: bool,
+        method: &str,
+    ) -> Option<(MethodKey, AnnotationUnit)> {
+        self.along_chain(class, |c| {
+            let key = if class_level {
+                MethodKey::class_level(c, method)
+            } else {
+                MethodKey::instance(c, method)
+            };
+            self.annotations.get(&key).map(|a| (key, *a))
+        })
+    }
+
+    /// True when a `check`-annotation governs the method: at run time its
+    /// body executes statically checked, so calls *it* makes are elided.
+    pub fn is_checked(&self, class: &str, class_level: bool, method: &str) -> bool {
+        self.resolve_annotation(class, class_level, method)
+            .is_some_and(|(_, a)| a.check)
+    }
+
+    /// Resolves a call to `(class, class_level, method)` to the defining
+    /// method unit's key, walking the ancestor chain like dispatch does.
+    pub fn resolve_method(
+        &self,
+        class: &str,
+        class_level: bool,
+        method: &str,
+        defined: &BTreeSet<MethodKey>,
+    ) -> Option<MethodKey> {
+        self.along_chain(class, |c| {
+            let key = if class_level {
+                MethodKey::class_level(c, method)
+            } else {
+                MethodKey::instance(c, method)
+            };
+            defined.contains(&key).then_some(key)
+        })
+    }
+
+    /// Whether warnings may be reported at `span`.
+    pub fn in_warn_scope(&self, span: Span) -> bool {
+        span != Span::dummy() && self.warn_files.contains(&span.file)
+    }
+}

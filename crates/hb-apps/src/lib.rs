@@ -7,11 +7,13 @@
 
 pub mod apps;
 pub mod datafile;
+pub mod lint_corpus;
 pub mod table1;
 pub mod talks_history;
 pub mod tenant;
 
 pub use apps::{all_apps, boxroom, cct, countries, pubs, rolify, talks, AppSpec};
+pub use lint_corpus::{analyze_case, corpus_cases, CorpusCase};
 pub use table1::{measure_app, AppCounts, Table1Row};
 pub use tenant::{fleet_snapshot, run_tenant, run_tenant_from_snapshot, TenantRun};
 

@@ -1,0 +1,168 @@
+//! Whole-program analysis over the six subject apps: golden warning
+//! sets, serial/parallel and tree-walk/bytecode determinism, and the
+//! static-vs-runtime residue cross-check.
+
+use hb_apps::{all_apps, analyze_case, build_app_with, corpus_cases, run_workload, AppSpec};
+use hummingbird::{AnalysisReport, ExecTier, Hummingbird};
+
+/// Builds `spec`, asserts it type-checks clean, and analyzes it with the
+/// workload call declared as the entry point.
+fn analyze(spec: &AppSpec, jobs: usize, tier: ExecTier) -> (Hummingbird, AnalysisReport) {
+    let mut hb = build_app_with(spec, Hummingbird::builder().exec_tier(tier));
+    let errors = hb.check_all_parallel(jobs);
+    assert!(
+        errors.is_empty(),
+        "{}: expected 0 type errors, got {:?}",
+        spec.name,
+        errors
+            .iter()
+            .map(|d| d.code.to_string())
+            .collect::<Vec<_>>()
+    );
+    let call = (spec.workload_call)(1);
+    let report = hb.analyze_with_entries(jobs, &[("<workload>", &call)]);
+    (hb, report)
+}
+
+fn rendered(hb: &Hummingbird, report: &AnalysisReport) -> Vec<String> {
+    let map = hb.source_map();
+    report.diagnostics.iter().map(|d| d.render(map)).collect()
+}
+
+fn code_counts(report: &AnalysisReport) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for d in &report.diagnostics {
+        let code = d.code.to_string();
+        match counts.iter_mut().find(|(c, _)| *c == code) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((code, 1)),
+        }
+    }
+    counts
+}
+
+/// The golden warning set: every app analyzes with zero dataflow defects
+/// (HB1001–HB1004) — the fixtures are clean code — while the call-graph
+/// audits report a stable, meaningful shape: every Rails controller
+/// action is dispatch-residue (reached only from the unchecked driver),
+/// and CCT's `Account#holder`/`Account#balance` really are annotated but
+/// never called by the workload.
+#[test]
+fn six_apps_analyze_to_golden_warning_sets() {
+    let expected: &[(&str, &[(&str, usize)])] = &[
+        ("Talks", &[("HB1006", 7)]),
+        ("Boxroom", &[("HB1006", 6)]),
+        ("Pubs", &[("HB1006", 3)]),
+        ("Rolify", &[("HB1006", 4)]),
+        ("CCT", &[("HB1005", 2), ("HB1006", 1)]),
+        ("Countries", &[("HB1006", 10)]),
+    ];
+    for spec in all_apps() {
+        let (_, report) = analyze(&spec, 1, ExecTier::TreeWalk);
+        let got = code_counts(&report);
+        let want: Vec<(String, usize)> = expected
+            .iter()
+            .find(|(n, _)| *n == spec.name)
+            .unwrap()
+            .1
+            .iter()
+            .map(|(c, n)| (c.to_string(), *n))
+            .collect();
+        assert_eq!(got, want, "{}: warning set drifted", spec.name);
+        // The residue summary agrees with the per-method warnings.
+        assert_eq!(
+            report.summary.residual_methods.len(),
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code.to_string() == "HB1006")
+                .count(),
+            "{}: every residual method in scope warns exactly once",
+            spec.name
+        );
+    }
+}
+
+/// Fanning the passes across scheduler workers must not change a byte of
+/// output relative to the serial path.
+#[test]
+fn parallel_analysis_is_byte_identical_to_serial() {
+    for spec in all_apps() {
+        let (hb_s, serial) = analyze(&spec, 1, ExecTier::TreeWalk);
+        let (hb_p, parallel) = analyze(&spec, 4, ExecTier::TreeWalk);
+        assert_eq!(
+            rendered(&hb_s, &serial),
+            rendered(&hb_p, &parallel),
+            "{}: serial vs --jobs 4 output drifted",
+            spec.name
+        );
+        assert_eq!(serial.summary, parallel.summary, "{}", spec.name);
+    }
+}
+
+/// The analysis reads the same registry/annotation state regardless of
+/// execution tier, so its output is identical under both.
+#[test]
+fn analysis_is_identical_across_exec_tiers() {
+    for spec in all_apps() {
+        let (hb_t, tree) = analyze(&spec, 1, ExecTier::TreeWalk);
+        let (hb_b, byte) = analyze(&spec, 1, ExecTier::Bytecode);
+        assert_eq!(
+            rendered(&hb_t, &tree),
+            rendered(&hb_b, &byte),
+            "{}: tree-walk vs bytecode analysis drifted",
+            spec.name
+        );
+        assert_eq!(tree.summary, byte.summary, "{}", spec.name);
+    }
+}
+
+/// The headline cross-check: the residue auditor's predicted fast-entry
+/// set must match the bytecode tier's actual `fast_entries_patched`
+/// count once the workload warms the program up — on every app without
+/// reload/metaprogramming churn (Rolify re-defines methods per
+/// iteration, deopting and re-patching, so its runtime count exceeds
+/// the static prediction by design).
+#[test]
+fn predicted_fast_entries_match_runtime_patches() {
+    let mut matched = 0usize;
+    for spec in all_apps() {
+        if spec.name == "Rolify" {
+            continue;
+        }
+        let (mut hb, report) = analyze(&spec, 1, ExecTier::Bytecode);
+        run_workload(&spec, &mut hb, 3);
+        let stats = hb.stats();
+        assert_eq!(
+            report.summary.predicted_fast_entries.len() as u64,
+            stats.fast_entries_patched,
+            "{}: static prediction vs runtime patches",
+            spec.name
+        );
+        assert_eq!(stats.deopts, 0, "{}: stable app must not deopt", spec.name);
+        matched += 1;
+    }
+    assert_eq!(matched, 5);
+}
+
+/// Every seeded corpus defect is caught by its exact code.
+#[test]
+fn corpus_defects_caught_by_exact_code() {
+    for case in corpus_cases() {
+        let report = analyze_case(&case);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code.to_string() == case.expected_code),
+            "corpus case {} not caught by {} (got {:?})",
+            case.name,
+            case.expected_code,
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -29,6 +29,6 @@ pub mod pool;
 pub mod task;
 pub mod world;
 
-pub use pool::Scheduler;
+pub use pool::{Job, Scheduler};
 pub use task::{CheckTask, CompletionQueue, DepFact, TaskCompletion, TaskVerdict};
 pub use world::WorldSnapshot;

@@ -24,11 +24,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// A generic unit of pool work: an engine check task or an opaque job
+/// closure (the analysis fan-out path). Jobs reuse the same deques,
+/// stealing and panic containment as checks.
+enum PoolTask {
+    Check(CheckTask),
+    Job(Job),
+}
+
+/// An opaque job: runs once on a worker. Result delivery is the
+/// closure's business (send over a channel, fill an `Arc<Mutex<..>>`);
+/// a job dropped unrun (pool shutdown) must fail safe — channel senders
+/// do, since dropping them closes the channel.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
 struct PoolShared {
     /// Per-worker deques: owner pops the back, thieves steal the front.
-    queues: Vec<Mutex<VecDeque<CheckTask>>>,
+    queues: Vec<Mutex<VecDeque<PoolTask>>>,
     /// Overflow queue for submissions that found their deque contended.
-    injector: Mutex<VecDeque<CheckTask>>,
+    injector: Mutex<VecDeque<PoolTask>>,
     /// Parking gate for idle workers.
     gate: Mutex<()>,
     wake: Condvar,
@@ -48,7 +62,7 @@ struct PoolShared {
 impl PoolShared {
     /// Pops work for worker `me`: own back, injector front, then steal
     /// other fronts.
-    fn grab(&self, me: usize) -> Option<CheckTask> {
+    fn grab(&self, me: usize) -> Option<PoolTask> {
         if let Some(t) = self.queues[me]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -77,7 +91,24 @@ impl PoolShared {
         None
     }
 
-    fn execute(&self, task: CheckTask) {
+    fn execute(&self, task: PoolTask) {
+        match task {
+            PoolTask::Check(t) => self.execute_check(t),
+            PoolTask::Job(j) => self.execute_job(j),
+        }
+    }
+
+    /// Runs one opaque job under the same containment as a check: a
+    /// panicking job is caught and counted, the worker survives.
+    fn execute_job(&self, job: Job) {
+        let result = catch_unwind(AssertUnwindSafe(job));
+        if result.is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn execute_check(&self, task: CheckTask) {
         let t0 = Instant::now();
         let deliberate = self
             .panic_keys
@@ -191,6 +222,24 @@ impl Scheduler {
         }
         let n = self.shared.queues.len();
         let slot = self.shared.next.fetch_add(1, Ordering::Relaxed) % n;
+        self.enqueue(slot, PoolTask::Check(task));
+        true
+    }
+
+    /// Submits an opaque job closure (the analysis fan-out path). Returns
+    /// `false` — dropping the closure unrun — if the pool is shut down;
+    /// callers must make dropped jobs fail safe (channel senders do).
+    pub fn submit_job(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        let n = self.shared.queues.len();
+        let slot = self.shared.next.fetch_add(1, Ordering::Relaxed) % n;
+        self.enqueue(slot, PoolTask::Job(Box::new(job)));
+        true
+    }
+
+    fn enqueue(&self, slot: usize, task: PoolTask) {
         match self.shared.queues[slot].try_lock() {
             Ok(mut q) => q.push_back(task),
             Err(_) => self
@@ -202,7 +251,6 @@ impl Scheduler {
         }
         let _gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
         self.shared.wake.notify_all();
-        true
     }
 
     /// Pauses execution: queued tasks stay queued until
@@ -265,8 +313,9 @@ impl Drop for Scheduler {
             let _ = h.join();
         }
         // Abandon anything still queued so quiescing engines do not hang
-        // on tasks that will never run.
-        let leftovers: Vec<CheckTask> = {
+        // on tasks that will never run. (Leftover jobs are dropped unrun,
+        // which closes their result channels.)
+        let leftovers: Vec<PoolTask> = {
             let mut all = Vec::new();
             for q in self.shared.queues.iter() {
                 all.extend(q.lock().unwrap_or_else(|e| e.into_inner()).drain(..));
@@ -281,7 +330,9 @@ impl Drop for Scheduler {
             all
         };
         for t in leftovers {
-            t.completions.abandon();
+            if let PoolTask::Check(t) = t {
+                t.completions.abandon();
+            }
         }
     }
 }
@@ -312,5 +363,52 @@ mod tests {
         let s = Scheduler::new(3);
         assert_eq!(s.worker_count(), 3);
         drop(s); // must not hang
+    }
+
+    #[test]
+    fn jobs_run_and_results_arrive() {
+        let s = Scheduler::new(2);
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        for i in 0..16 {
+            let tx = tx.clone();
+            assert!(s.submit_job(move || {
+                let _ = tx.send(i);
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_channel_closes() {
+        let s = Scheduler::new(2);
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        {
+            let tx = tx.clone();
+            assert!(s.submit_job(move || {
+                let _ = &tx; // held across the panic, dropped by unwind
+                panic!("job panic");
+            }));
+        }
+        let tx2 = tx.clone();
+        assert!(s.submit_job(move || {
+            let _ = tx2.send(7);
+        }));
+        drop(tx);
+        // The panicking job's sender drops during unwind, so the channel
+        // still closes and the surviving job's result arrives.
+        let got: Vec<usize> = rx.iter().collect();
+        assert_eq!(got, vec![7]);
+        // The unwind drops the sender before the worker bumps the
+        // counter, so give the increment a moment to land.
+        for _ in 0..1000 {
+            if s.tasks_panicked() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(s.tasks_panicked(), 1);
     }
 }

@@ -131,6 +131,24 @@ pub enum DiagCode {
     /// HB0011 — a scheduled check task panicked on a worker thread; the
     /// panic was contained to the task and surfaced as this diagnostic.
     CheckerPanic,
+    /// HB1001 — a local variable is read before any assignment can have
+    /// reached it (definite use-before-assignment; the read yields `nil`).
+    UseBeforeAssign,
+    /// HB1002 — code that no path from the method entry can reach
+    /// (after `return`/`raise`, or in a branch dead under narrowing).
+    UnreachableCode,
+    /// HB1003 — a local is assigned a pure value that is overwritten or
+    /// falls out of scope before any read (dead store).
+    DeadStore,
+    /// HB1004 — a local is assigned but never read anywhere in the method.
+    UnusedLocal,
+    /// HB1005 — an annotated method is unreachable from every program
+    /// entry point: the annotation is stale (it will never be checked).
+    StaleAnnotation,
+    /// HB1006 — dynamic-check residue: an annotated method is reached
+    /// from unchecked callers, so its guarded prologue (per-call dynamic
+    /// argument checks) survives elision.
+    DynCheckResidue,
 }
 
 impl DiagCode {
@@ -148,7 +166,19 @@ impl DiagCode {
             DiagCode::PreconditionFailed => "HB0009",
             DiagCode::DynamicArgCheck => "HB0010",
             DiagCode::CheckerPanic => "HB0011",
+            DiagCode::UseBeforeAssign => "HB1001",
+            DiagCode::UnreachableCode => "HB1002",
+            DiagCode::DeadStore => "HB1003",
+            DiagCode::UnusedLocal => "HB1004",
+            DiagCode::StaleAnnotation => "HB1005",
+            DiagCode::DynCheckResidue => "HB1006",
         }
+    }
+
+    /// True for the `HB1xxx` static-analysis warning series (emitted by
+    /// `hb-analyze` passes, never by the just-in-time checker).
+    pub fn is_lint(self) -> bool {
+        self.as_str().starts_with("HB1")
     }
 
     /// Parses an `HBxxxx` string back to its code.
@@ -165,6 +195,12 @@ impl DiagCode {
             "HB0009" => DiagCode::PreconditionFailed,
             "HB0010" => DiagCode::DynamicArgCheck,
             "HB0011" => DiagCode::CheckerPanic,
+            "HB1001" => DiagCode::UseBeforeAssign,
+            "HB1002" => DiagCode::UnreachableCode,
+            "HB1003" => DiagCode::DeadStore,
+            "HB1004" => DiagCode::UnusedLocal,
+            "HB1005" => DiagCode::StaleAnnotation,
+            "HB1006" => DiagCode::DynCheckResidue,
             _ => return None,
         })
     }
@@ -195,6 +231,13 @@ pub enum BlameTarget {
     /// No annotation exists for this method anywhere along the receiver's
     /// chain — the fix is to *add* a type (or fix the call).
     MissingType(MethodKey),
+    /// A static-analysis finding: nothing is *blamed* in the paper's sense
+    /// — the pass name says which analysis produced the warning.
+    Lint {
+        /// The analysis pass that produced the finding (`"use-before-assign"`,
+        /// `"residue"`, …).
+        pass: &'static str,
+    },
 }
 
 impl BlameTarget {
@@ -205,6 +248,7 @@ impl BlameTarget {
             BlameTarget::Cast => "cast",
             BlameTarget::VarDecl { .. } => "var-decl",
             BlameTarget::MissingType(_) => "missing-type",
+            BlameTarget::Lint { .. } => "lint",
         }
     }
 }
@@ -306,6 +350,25 @@ impl TypeDiagnostic {
         }
     }
 
+    /// A warning-severity diagnostic with no labels yet (the `HB1xxx`
+    /// static-analysis series).
+    pub fn warning(
+        code: DiagCode,
+        message: impl Into<String>,
+        span: Span,
+        blame: BlameTarget,
+    ) -> TypeDiagnostic {
+        TypeDiagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            labels: Vec::new(),
+            blame,
+            method: None,
+        }
+    }
+
     /// Appends a label (builder style).
     pub fn with_label(mut self, label: DiagLabel) -> TypeDiagnostic {
         self.labels.push(label);
@@ -364,6 +427,13 @@ impl TypeDiagnostic {
         let mut out = String::with_capacity(256);
         out.push('{');
         out.push_str(&format!("\"code\":\"{}\"", self.code));
+        // Append-only JSON contract: error diagnostics keep their original
+        // shape; non-error severities add an explicit tag.
+        match self.severity {
+            Severity::Error => {}
+            Severity::Warning => out.push_str(",\"severity\":\"warning\""),
+            Severity::Note => out.push_str(",\"severity\":\"note\""),
+        }
         out.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
         out.push_str(",\"span\":");
         push_span_json(&mut out, map, self.span);
@@ -375,6 +445,9 @@ impl TypeDiagnostic {
             }
             BlameTarget::VarDecl { name } => {
                 out.push_str(&format!(",\"name\":\"{}\"", json_escape(name)));
+            }
+            BlameTarget::Lint { pass } => {
+                out.push_str(&format!(",\"pass\":\"{}\"", json_escape(pass)));
             }
             BlameTarget::Cast => {}
         }
@@ -404,7 +477,12 @@ impl TypeDiagnostic {
 
 impl fmt::Display for TypeDiagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error[{}]: {}", self.code, self.message)
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
     }
 }
 
@@ -488,7 +566,40 @@ mod tests {
             assert_eq!(c.as_str(), format!("HB{:04}", i + 1));
             assert_eq!(DiagCode::parse(c.as_str()), Some(*c));
         }
+        let lints = [
+            DiagCode::UseBeforeAssign,
+            DiagCode::UnreachableCode,
+            DiagCode::DeadStore,
+            DiagCode::UnusedLocal,
+            DiagCode::StaleAnnotation,
+            DiagCode::DynCheckResidue,
+        ];
+        for (i, c) in lints.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("HB{:04}", 1001 + i));
+            assert_eq!(DiagCode::parse(c.as_str()), Some(*c));
+            assert!(c.is_lint());
+        }
+        assert!(!DiagCode::ArityMismatch.is_lint());
         assert_eq!(DiagCode::parse("HB9999"), None);
+    }
+
+    #[test]
+    fn warning_constructor_and_json_severity_tag() {
+        let d = TypeDiagnostic::warning(
+            DiagCode::UnusedLocal,
+            "local `x` is never read",
+            Span::dummy(),
+            BlameTarget::Lint { pass: "liveness" },
+        );
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.to_string(), "warning[HB1004]: local `x` is never read");
+        let sm = SourceMap::new();
+        assert_eq!(
+            d.to_json(&sm),
+            "{\"code\":\"HB1004\",\"severity\":\"warning\",\
+             \"message\":\"local `x` is never read\",\"span\":null,\
+             \"blame\":{\"kind\":\"lint\",\"pass\":\"liveness\"},\"labels\":[]}"
+        );
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use ast::{Arg, BlockArg, Expr, ExprKind, Lhs, Param, ParamKind, Program, Str
 pub use diag::{
     BlameTarget, DiagCode, DiagLabel, Diagnostic, LabelRole, ParseError, Severity, TypeDiagnostic,
 };
-pub use parser::{parse_expr, parse_program};
+pub use parser::{parse_expr, parse_in, parse_program, parse_with_file};
 pub use pretty::pretty_program;
 pub use span::{FileId, SourceFile, SourceMap, Span};

@@ -114,6 +114,16 @@ impl SourceMap {
         self.files.get(id.0 as usize)
     }
 
+    /// Iterates every registered file with its id, in registration order.
+    /// Whole-program tools (the `hb-analyze` root collector) re-parse the
+    /// loaded sources through this.
+    pub fn files(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FileId(i as u32), f))
+    }
+
     /// Renders `span` as `name:line:col` if the file is known.
     pub fn describe(&self, span: Span) -> String {
         match self.file(span.file) {
