@@ -177,9 +177,16 @@ fn main() {
         )
     };
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let note = if host_cores < 2 {
-        "single-core host: parallel levels measure scheduling overhead only; \
-         speedups require host_cores >= jobs"
+    if host_cores < 8 {
+        eprintln!(
+            "CAVEAT: host_cores = {host_cores} (< 8). The check_all scaling columns on \
+             this host measure scheduling overhead under timeslicing, not parallel \
+             speedup; speedups require host_cores >= jobs."
+        );
+    }
+    let note = if host_cores < 8 {
+        "small host (host_cores < 8): scaling levels above host_cores measure \
+         scheduling overhead only; speedups require host_cores >= jobs"
     } else {
         "speedup_vs_serial = serial-best / parallel-best, long-lived pool, best-of-R"
     };

@@ -27,9 +27,28 @@
 //! * `--snapshot-bench` — same shape, best-of-R, printing the cold-vs-
 //!   warm-boot comparison recorded in `BENCH_snapshot.json`.
 //! * `--snapshot-load <path>` — internal child mode.
+//!
+//! # Fleet modes (daemon-served warm boot, `hb-fleetd`)
+//!
+//! * `--fleet-smoke` — CI gate: start an in-process `hb-fleetd` server,
+//!   warm it from one cold fleet-attached tenant (six apps publish every
+//!   derivation over the socket), then spawn a **fresh process** (this
+//!   binary with `--fleet-boot`) that boots over the UDS and asserts
+//!   100% first-call adoption with zero `check_sig`. A second fetch
+//!   asserts the steady-state delta transfers zero entries, and a
+//!   one-method redefinition asserts the delta transfers only the
+//!   affected derivations.
+//! * `--fleet-bench` — same shape plus the cold vs file-snapshot vs
+//!   daemon-fetch vs delta-fetch comparison recorded in
+//!   `BENCH_fleet.json`.
+//! * `--fleet-boot <socket>` — internal child mode.
 
-use hb_apps::{fleet_snapshot, run_tenant, TenantRun};
-use hummingbird::{CacheSnapshot, SharedCache};
+use hb_apps::{fleet_snapshot, run_tenant, run_tenant_fleet, TenantRun};
+use hb_fleetd::{DaemonConfig, FleetDaemon, FleetServer};
+use hummingbird::{
+    CacheSnapshot, FleetClient, FleetWatermark, Hummingbird, MethodKey, SharedCache,
+};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -205,6 +224,7 @@ fn spawn_warm_boot(snapshot: &CacheSnapshot) -> String {
 }
 
 fn snapshot_main(bench: bool) -> ! {
+    let host_cores = host_cores_banner();
     // Warm-up (discarded): fault in the binary and app sources.
     let _ = fleet_snapshot(1);
     let reps = if bench { 3 } else { 1 };
@@ -223,8 +243,8 @@ fn snapshot_main(bench: bool) -> ! {
         .unwrap();
     let child_json = spawn_warm_boot(&snapshot);
     println!(
-        "{{\"mode\": \"{}\", \"entries\": {}, \"snapshot_bytes\": {}, \
-         \"cold_boot\": {}, \"warm_boot\": {child_json}}}",
+        "{{\"mode\": \"{}\", \"host_cores\": {host_cores}, \"entries\": {}, \
+         \"snapshot_bytes\": {}, \"cold_boot\": {}, \"warm_boot\": {child_json}}}",
         if bench {
             "snapshot-bench"
         } else {
@@ -238,11 +258,248 @@ fn snapshot_main(bench: bool) -> ! {
     std::process::exit(0);
 }
 
+/// Detected core count, with the ROADMAP-item-5 caveat banner: scaling
+/// columns measured on a small host must not be read as parallel
+/// speedup.
+fn host_cores_banner() -> usize {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cores < 8 {
+        eprintln!(
+            "CAVEAT: host_cores = {host_cores} (< 8). Fleet/scaling columns on this host \
+             measure shared-tier amortisation under timeslicing, not parallel speedup; \
+             compare throughput ratios, not wall times."
+        );
+    }
+    host_cores
+}
+
+/// The two-method fixture for the redefinition-delta assertion: after
+/// `Pair#right` is redefined, only *its* derivation may travel on the
+/// next delta fetch — `Pair#left` stays put.
+const PAIR_RB: &str = r#"
+class Pair
+  type :left, "() -> Fixnum", { "check" => true }
+  def left
+    1
+  end
+  type :right, "() -> Fixnum", { "check" => true }
+  def right
+    2
+  end
+end
+"#;
+
+const PAIR_REDEF_RB: &str = r#"
+class Pair
+  def right
+    3
+  end
+end
+"#;
+
+/// Child mode: attach to a live fleet daemon from THIS fresh process
+/// (nothing shared with the parent but the socket) and boot the six
+/// apps over it. The gate is strict: 100% adoption, zero `check_sig`.
+fn fleet_boot_main(socket: &str) -> ! {
+    let (run, report) = run_tenant_fleet(0, Path::new(socket), 1);
+    let report = report.expect("fleet boot child must stay attached through sync");
+    println!(
+        "{{\"boot\": {}, \"post_boot_sync\": {{\"published\": {}, \"fetched_entries\": {}, \
+         \"delta\": {}}}}}",
+        tenant_json("boot-from-daemon", &run, None),
+        report.published,
+        report.fetched_entries,
+        report.delta,
+    );
+    assert_eq!(
+        run.checks_performed, 0,
+        "daemon warm boot must run zero check_sig ({} adopted)",
+        run.shared_hits
+    );
+    assert_eq!(
+        run.warm_hit_rate(),
+        1.0,
+        "daemon warm boot must adopt 100% of first calls"
+    );
+    std::process::exit(0);
+}
+
+/// Re-runs this binary as a fresh `--fleet-boot` process against a live
+/// socket and returns its stdout JSON.
+fn spawn_fleet_boot(socket: &Path) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--fleet-boot")
+        .arg(socket)
+        .output()
+        .expect("spawn fleet-boot child");
+    if !out.status.success() {
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        eprintln!("fleet warm-boot child failed ({})", out.status);
+        std::process::exit(1);
+    }
+    String::from_utf8_lossy(&out.stdout).trim().to_string()
+}
+
+fn resp_keys(snapshot_bytes: &[u8]) -> Vec<MethodKey> {
+    CacheSnapshot::from_bytes(snapshot_bytes)
+        .expect("parse fetched snapshot")
+        .entry_versions()
+        .expect("entry versions")
+        .into_iter()
+        .map(|(key, _, _, _)| key)
+        .collect()
+}
+
+/// After the six-app smoke: publish a two-method world, redefine one
+/// method, and assert the next delta carries only the affected family.
+/// Returns (delta_entries, delta_tombstones) for the JSON record.
+fn redefinition_delta(socket: &Path, client: &mut FleetClient) -> (usize, usize) {
+    let mut publisher = Hummingbird::builder().fleet_socket(socket).build();
+    assert!(publisher.fleet_attached(), "{:?}", publisher.fleet_error());
+    publisher.load_file("pair.rb", PAIR_RB).unwrap();
+    publisher.eval("p = Pair.new\np.left\np.right").unwrap();
+    let seeded = publisher.fleet_sync().expect("publish Pair world");
+    assert!(
+        seeded.published >= 2,
+        "both Pair methods published: {seeded:?}"
+    );
+
+    let before = client.fetch_full().expect("pre-redefinition watermark");
+    let watermark = FleetWatermark {
+        seq: before.seq,
+        epochs: before.epochs,
+    };
+    let tier_entries = resp_keys(&before.snapshot).len();
+
+    // One method redefinition: `Pair#right` gets a new body.
+    publisher.load_file("pair_v2.rb", PAIR_REDEF_RB).unwrap();
+    publisher.eval("Pair.new.right").unwrap();
+    publisher
+        .fleet_sync()
+        .expect("publish redefined derivation");
+
+    let delta = client
+        .fetch_delta(watermark)
+        .expect("post-redefinition delta");
+    assert!(delta.delta, "watermark honoured as a delta");
+    let keys = resp_keys(&delta.snapshot);
+    let right = MethodKey::instance("Pair", "right");
+    let left = MethodKey::instance("Pair", "left");
+    assert!(
+        keys.contains(&right),
+        "the redefined method's new derivation travels: {keys:?}"
+    );
+    assert!(
+        !keys.contains(&left),
+        "the untouched sibling does NOT travel: {keys:?}"
+    );
+    assert!(
+        keys.len() < tier_entries,
+        "delta ({} entries) transfers only the affected derivations, \
+         not the {tier_entries}-entry tier",
+        keys.len()
+    );
+    (keys.len(), delta.tombstones.len())
+}
+
+fn fleet_main(bench: bool) -> ! {
+    let host_cores = host_cores_banner();
+    let socket = std::env::temp_dir().join(format!("hb_fleet_{}.sock", std::process::id()));
+    let (daemon, warning) = FleetDaemon::new(DaemonConfig::default());
+    assert!(warning.is_none(), "{warning:?}");
+    let server = FleetServer::bind(daemon.clone(), &socket).expect("bind fleet socket");
+
+    // Warm-up (discarded): fault in the binary and app sources.
+    let _ = fleet_snapshot(1);
+
+    // One cold fleet-attached tenant warms the daemon: every derivation
+    // its six apps produce is published over the socket.
+    let t0 = Instant::now();
+    let (cold, cold_report) = run_tenant_fleet(0, &socket, 1);
+    let cold_wall_ns = t0.elapsed().as_nanos() as u64;
+    let cold_report = cold_report.expect("cold tenant must stay attached");
+    assert!(
+        cold_report.published >= 1,
+        "the cold tenant publishes its check storm: {cold_report:?}"
+    );
+    let entries = daemon.cache().len();
+    assert!(entries >= 1);
+
+    // A genuinely fresh process boots the six apps over the UDS.
+    let child_json = spawn_fleet_boot(&socket);
+
+    // Second fetch: the fleet is quiet, so the delta is empty.
+    let mut client = FleetClient::connect(&socket).expect("connect probe client");
+    let full = client.fetch_full().expect("full fetch");
+    let full_bytes = full.snapshot.len();
+    let t1 = Instant::now();
+    let quiet = client
+        .fetch_delta(FleetWatermark {
+            seq: full.seq,
+            epochs: full.epochs,
+        })
+        .expect("steady-state delta");
+    let delta_fetch_ns = t1.elapsed().as_nanos() as u64;
+    assert!(quiet.delta, "current watermark honoured as a delta");
+    let quiet_entries = resp_keys(&quiet.snapshot).len();
+    assert_eq!(
+        quiet_entries, 0,
+        "steady-state delta transfers zero entries"
+    );
+
+    // Redefine one method; only the affected derivations travel.
+    let (redef_entries, redef_tombstones) = redefinition_delta(&socket, &mut client);
+
+    // Bench mode adds the file-snapshot boot lane for the four-way
+    // comparison: cold vs file vs daemon vs delta.
+    let file_boot_json = if bench {
+        let snap = CacheSnapshot::from_bytes(&full.snapshot).expect("parse tier");
+        format!(", \"file_boot\": {}", spawn_warm_boot(&snap))
+    } else {
+        String::new()
+    };
+
+    let stats = client.daemon_stats().expect("daemon stats");
+    println!(
+        "{{\"mode\": \"{}\", \"host_cores\": {host_cores}, \"entries\": {entries}, \
+         \"snapshot_bytes\": {full_bytes}, \
+         \"cold_boot\": {}, \"cold_wall_ms\": {:.1}, \
+         \"daemon_boot\": {child_json}{file_boot_json}, \
+         \"delta_fetch\": {{\"entries\": {quiet_entries}, \"bytes\": {}, \"wall_ms\": {:.3}}}, \
+         \"redefinition_delta\": {{\"entries\": {redef_entries}, \
+         \"tombstones\": {redef_tombstones}}}, \
+         \"daemon\": {{\"seq\": {}, \"fetches\": {}, \"deltas\": {}, \"publishes\": {}, \
+         \"evictions\": {}}}}}",
+        if bench { "fleet-bench" } else { "fleet-smoke" },
+        tenant_json("cold-boot-publishing", &cold, None),
+        cold_wall_ns as f64 / 1e6,
+        quiet.snapshot.len(),
+        delta_fetch_ns as f64 / 1e6,
+        stats.seq,
+        stats.fetches,
+        stats.deltas,
+        stats.publishes,
+        stats.evictions,
+    );
+    drop(server);
+    eprintln!(
+        "fleet warm boot OK: fresh process adopted 100% of first calls over the socket; \
+         steady-state delta carried 0 entries; redefinition delta carried \
+         {redef_entries} (tier: {entries})"
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--snapshot-load") {
         let path = args.get(i + 1).expect("--snapshot-load <path>");
         snapshot_load_main(path);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fleet-boot") {
+        let socket = args.get(i + 1).expect("--fleet-boot <socket>");
+        fleet_boot_main(socket);
     }
     if args.iter().any(|a| a == "--snapshot-smoke") {
         snapshot_main(false);
@@ -250,6 +507,13 @@ fn main() {
     if args.iter().any(|a| a == "--snapshot-bench") {
         snapshot_main(true);
     }
+    if args.iter().any(|a| a == "--fleet-smoke") {
+        fleet_main(false);
+    }
+    if args.iter().any(|a| a == "--fleet-bench") {
+        fleet_main(true);
+    }
+    let host_cores = host_cores_banner();
     let smoke = args.iter().any(|a| a == "--smoke");
     let iters: usize = args
         .iter()
@@ -302,8 +566,8 @@ fn main() {
         })
         .collect();
     println!(
-        "{{\"iters_per_app\": {iters}, \"stagger_ms\": {stagger_ms}, \"smoke\": {smoke}, \
-         \"fleets\": [{}]}}",
+        "{{\"host_cores\": {host_cores}, \"iters_per_app\": {iters}, \
+         \"stagger_ms\": {stagger_ms}, \"smoke\": {smoke}, \"fleets\": [{}]}}",
         fleet_json.join(", ")
     );
 

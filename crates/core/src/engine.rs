@@ -221,6 +221,10 @@ pub struct Engine {
     /// Retention bound for the check log between drains (see
     /// [`crate::stats::DEFAULT_CHECK_LOG_CAP`]; builder-configured).
     check_log_cap: std::cell::Cell<usize>,
+    /// High-water cap on in-flight deferred admissions (see
+    /// [`crate::stats::DEFAULT_DEFERRED_CAP`]; builder-configured). At the
+    /// cap, a cold `Deferred` call sheds to a synchronous Enforce check.
+    deferred_cap: std::cell::Cell<usize>,
     /// The process-wide shared derivation tier, when this engine is one
     /// tenant of many (see [`crate::shared_cache`]). `None` keeps the
     /// engine purely per-process, exactly as before.
@@ -247,6 +251,7 @@ impl Engine {
             state: RefCell::new(EngineState::default()),
             check_opts: CheckOptions::default(),
             check_log_cap: std::cell::Cell::new(crate::stats::DEFAULT_CHECK_LOG_CAP),
+            deferred_cap: std::cell::Cell::new(crate::stats::DEFAULT_DEFERRED_CAP),
             shared: RefCell::new(None),
             sched: RefCell::new(None),
             completions: Arc::new(CompletionQueue::new()),
@@ -259,6 +264,42 @@ impl Engine {
     /// next push).
     pub fn set_check_log_cap(&self, cap: usize) {
         self.check_log_cap.set(cap);
+    }
+
+    /// Sets the high-water cap on in-flight deferred admissions. At the
+    /// cap, further cold `Deferred` calls fall back to a synchronous
+    /// Enforce check (counted in `EngineStats::deferred_shed`) instead of
+    /// growing the queue without bound.
+    pub fn set_deferred_cap(&self, cap: usize) {
+        self.deferred_cap.set(cap);
+    }
+
+    /// Retires local derivations for the given methods: each key's cached
+    /// entry is invalidated along with its dependents, and any patched
+    /// fast entry is deoptimized back to the guarded prologue. The fleet
+    /// client calls this after applying a daemon delta (covered or
+    /// tombstoned families must be re-validated, not trusted).
+    pub fn retire_methods(&self, keys: &[MethodKey]) {
+        let mut st = self.state.borrow_mut();
+        for key in keys {
+            Self::invalidate(&mut st, key, true);
+        }
+    }
+
+    /// Folds one fleet-sync round's counters into the engine statistics
+    /// (the fleet session runs outside the engine borrow).
+    pub(crate) fn add_fleet_counters(
+        &self,
+        fetches: u64,
+        deltas: u64,
+        publishes: u64,
+        evictions: u64,
+    ) {
+        let mut st = self.state.borrow_mut();
+        st.stats.fleet_fetches += fetches;
+        st.stats.fleet_deltas += deltas;
+        st.stats.fleet_publishes += publishes;
+        st.stats.fleet_evictions += evictions;
     }
 
     /// Attaches the interpreter's execution-tier state so derivation
@@ -1282,7 +1323,7 @@ impl Engine {
         annotation_key: &MethodKey,
         table_entry: &TableEntry,
         trigger: Option<Span>,
-        policy: CheckPolicy,
+        mut policy: CheckPolicy,
     ) -> Result<bool, HbError> {
         let caching = self.config.borrow().caching;
         {
@@ -1439,39 +1480,52 @@ impl Engine {
         if policy == CheckPolicy::Deferred {
             if let Some(call) = trigger {
                 let mut st = self.state.borrow_mut();
-                st.stats.deferred_admissions += 1;
-                if !st.in_flight.contains(cache_key) {
-                    let world = self.world_for(&mut st, interp);
-                    let own_sig_fp = st.sig_fp(*annotation_key, table_entry);
-                    st.in_flight.insert(*cache_key);
-                    st.stats.sched_tasks_enqueued += 1;
+                let latched = st.in_flight.contains(cache_key);
+                // Backpressure: at the high-water cap, admitting another
+                // *new* key would grow the scheduler queue without bound
+                // (e.g. while the pool is paused or saturated). Shed this
+                // call to a synchronous Enforce check instead — already
+                // latched keys still admit, since they add no queue depth.
+                if !latched && st.in_flight.len() >= self.deferred_cap.get() {
+                    st.stats.deferred_shed += 1;
                     drop(st);
-                    let task = CheckTask {
-                        cache_key: *cache_key,
-                        ann_key: *annotation_key,
-                        ann_span: table_entry.span,
-                        sig: table_entry.sig.clone(),
-                        entry_id: info.entry.id,
-                        sig_version: table_entry.version,
-                        body_fp,
-                        own_sig_fp,
-                        cfg,
-                        captured,
-                        world,
-                        policy,
-                        trigger: Some(call),
-                        record_blame: true,
-                        opts: self.check_opts,
-                        completions: self.completions.clone(),
-                    };
-                    if !self.ensure_scheduler().submit(task) {
-                        // The pool is shutting down: the task will never
-                        // run, so the key must not stay latched in flight
-                        // (the next call re-attempts the admission).
-                        self.state.borrow_mut().in_flight.remove(cache_key);
+                    policy = CheckPolicy::Enforce;
+                } else {
+                    st.stats.deferred_admissions += 1;
+                    if !latched {
+                        let world = self.world_for(&mut st, interp);
+                        let own_sig_fp = st.sig_fp(*annotation_key, table_entry);
+                        st.in_flight.insert(*cache_key);
+                        st.stats.sched_tasks_enqueued += 1;
+                        drop(st);
+                        let task = CheckTask {
+                            cache_key: *cache_key,
+                            ann_key: *annotation_key,
+                            ann_span: table_entry.span,
+                            sig: table_entry.sig.clone(),
+                            entry_id: info.entry.id,
+                            sig_version: table_entry.version,
+                            body_fp,
+                            own_sig_fp,
+                            cfg,
+                            captured,
+                            world,
+                            policy,
+                            trigger: Some(call),
+                            record_blame: true,
+                            opts: self.check_opts,
+                            completions: self.completions.clone(),
+                        };
+                        if !self.ensure_scheduler().submit(task) {
+                            // The pool is shutting down: the task will
+                            // never run, so the key must not stay latched
+                            // in flight (the next call re-attempts the
+                            // admission).
+                            self.state.borrow_mut().in_flight.remove(cache_key);
+                        }
                     }
+                    return Ok(false);
                 }
-                return Ok(false);
             }
         }
         let reg_info = RegistryInfo(&interp.registry);

@@ -65,6 +65,7 @@
 
 pub mod analyze;
 pub mod engine;
+pub mod fleet;
 pub mod info;
 pub mod reload;
 pub mod sched;
@@ -74,6 +75,7 @@ pub mod stats;
 
 pub use analyze::AnalysisReport;
 pub use engine::{CacheDumpEntry, Config, Engine};
+pub use fleet::{FleetClient, FleetError, FleetSyncReport, FleetWatermark};
 pub use hb_analyze::ResidueSummary;
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
@@ -146,6 +148,8 @@ pub struct HummingbirdBuilder {
     worker_threads: Option<usize>,
     corelib: bool,
     exec_tier: ExecTier,
+    deferred_cap: Option<usize>,
+    fleet_socket: Option<std::path::PathBuf>,
 }
 
 /// The default execution tier: [`ExecTier::Bytecode`] when the
@@ -173,6 +177,8 @@ impl Default for HummingbirdBuilder {
             worker_threads: None,
             corelib: true,
             exec_tier: default_exec_tier(),
+            deferred_cap: None,
+            fleet_socket: None,
         }
     }
 }
@@ -271,6 +277,35 @@ impl HummingbirdBuilder {
         self
     }
 
+    /// High-water cap on in-flight [`CheckPolicy::Deferred`] admissions
+    /// (default [`stats::DEFAULT_DEFERRED_CAP`]). At the cap, a cold
+    /// deferred call falls back to a *synchronous* Enforce check —
+    /// counted in [`EngineStats::deferred_shed`] — instead of growing
+    /// the scheduler queue without bound while the pool is paused or
+    /// saturated.
+    pub fn deferred_queue_cap(mut self, cap: usize) -> Self {
+        self.deferred_cap = Some(cap);
+        self
+    }
+
+    /// Attaches this system to the fleet derivation daemon listening on
+    /// the Unix-domain socket at `path` (see [`fleet`]): the tier
+    /// warm-boots from a full snapshot fetch before any code loads, and
+    /// [`Hummingbird::fleet_sync`] thereafter publishes local
+    /// derivations back and applies delta fetches. Implies a shared
+    /// tier — one is created if [`shared_cache`] was not called.
+    ///
+    /// Connection or handshake failure does **not** fail the build: the
+    /// system comes up detached (purely local checking) and records the
+    /// error in [`Hummingbird::fleet_error`] — a dead daemon costs a
+    /// fleet latency, never availability or soundness.
+    ///
+    /// [`shared_cache`]: HummingbirdBuilder::shared_cache
+    pub fn fleet_socket(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.fleet_socket = Some(path.into());
+        self
+    }
+
     /// Skips loading the bundled core-library annotations (fixtures and
     /// micro-harnesses; production embeddings want them).
     pub fn without_corelib(mut self) -> Self {
@@ -302,8 +337,30 @@ impl HummingbirdBuilder {
         let mut interp = Interp::new();
         let rdl = install_rdl(&mut interp);
         let engine = Rc::new(Engine::new(rdl.clone()));
-        if let Some(shared) = self.shared {
+        let mut shared = self.shared;
+        if self.fleet_socket.is_some() && shared.is_none() {
+            // Fleet attachment implies a shared tier for the fetched
+            // candidates to land in.
+            shared = Some(Arc::new(SharedCache::new()));
+        }
+        if let Some(shared) = shared.clone() {
             engine.set_shared_cache(shared);
+        }
+        // Connect and warm-boot from the fleet daemon before any code
+        // (even the core library) loads, so boot-time checks already
+        // adopt fetched derivations. Failure degrades to local checking.
+        let mut fleet = None;
+        let mut fleet_err = None;
+        let mut fleet_boot_fetches = 0u64;
+        if let Some(path) = &self.fleet_socket {
+            let shared = shared.clone().expect("fleet implies a shared tier");
+            match fleet::FleetSession::attach(path, shared) {
+                Ok((session, _loaded)) => {
+                    fleet = Some(session);
+                    fleet_boot_fetches = 1;
+                }
+                Err(e) => fleet_err = Some(e),
+            }
         }
         if self.mode != Mode::Original {
             interp.add_hook(Rc::new(RdlHook { state: rdl.clone() }));
@@ -327,6 +384,9 @@ impl HummingbirdBuilder {
         if let Some(cap) = self.check_log_cap {
             engine.set_check_log_cap(cap);
         }
+        if let Some(cap) = self.deferred_cap {
+            engine.set_deferred_cap(cap);
+        }
         for sink in self.diagnostic_sinks {
             rdl.add_diagnostic_sink(sink);
         }
@@ -340,6 +400,8 @@ impl HummingbirdBuilder {
             rdl,
             engine,
             file_methods: HashMap::new(),
+            fleet,
+            fleet_err,
         };
         if self.corelib && self.mode != Mode::Original {
             // "Orig" runs without Hummingbird entirely; otherwise load the
@@ -350,6 +412,11 @@ impl HummingbirdBuilder {
         // Core-library annotation loading is setup, not app behaviour.
         hb.engine.reset_stats();
         hb.rdl.drain_events();
+        // The warm-boot fetch *is* app-relevant accounting: re-credit it
+        // after the reset so `stats().fleet_fetches` reflects the boot.
+        if fleet_boot_fetches > 0 {
+            hb.engine.add_fleet_counters(fleet_boot_fetches, 0, 0, 0);
+        }
         hb
     }
 }
@@ -360,6 +427,8 @@ pub struct Hummingbird {
     pub rdl: Rc<RdlState>,
     pub engine: Rc<Engine>,
     pub(crate) file_methods: HashMap<String, Vec<FileMethod>>,
+    pub(crate) fleet: Option<fleet::FleetSession>,
+    pub(crate) fleet_err: Option<FleetError>,
 }
 
 impl Hummingbird {
@@ -541,6 +610,63 @@ impl Hummingbird {
     /// built without [`HummingbirdBuilder::shared_cache`].
     pub fn load_snapshot(&mut self, snap: &CacheSnapshot) -> Result<usize, SnapshotError> {
         self.engine.load_snapshot(snap)
+    }
+
+    // ----- fleet serving ------------------------------------------------------
+
+    /// True while this system holds a live attachment to the fleet
+    /// daemon ([`HummingbirdBuilder::fleet_socket`]). A failed connect
+    /// or a failed [`fleet_sync`] detaches — the system keeps running on
+    /// purely local checking.
+    ///
+    /// [`fleet_sync`]: Hummingbird::fleet_sync
+    pub fn fleet_attached(&self) -> bool {
+        self.fleet.is_some()
+    }
+
+    /// The error that detached (or never attached) the fleet session,
+    /// if any — operational visibility for the degrade-to-local path.
+    pub fn fleet_error(&self) -> Option<&FleetError> {
+        self.fleet_err.as_ref()
+    }
+
+    /// The watermark of the last successful fleet fetch.
+    pub fn fleet_watermark(&self) -> Option<FleetWatermark> {
+        self.fleet.as_ref().and_then(|s| s.watermark())
+    }
+
+    /// One fleet synchronization round: sends this tenant's pending
+    /// eviction notices and locally derived publications to the daemon,
+    /// then fetches and applies the delta past the current watermark
+    /// (tombstoned families evicted and retired, fetched entries loaded
+    /// as *candidates* that the normal adoption funnel validates).
+    ///
+    /// # Errors
+    ///
+    /// Any [`FleetError`]; the session detaches on error (subsequent
+    /// calls return [`FleetError::Io`] with `NotConnected` semantics via
+    /// [`Hummingbird::fleet_attached`] being false — callers should
+    /// stop syncing) and the system degrades to local checking. Nothing
+    /// in the live tier is ever left half-applied: sends restore their
+    /// pending state, and snapshot loads are all-or-nothing.
+    pub fn fleet_sync(&mut self) -> Result<FleetSyncReport, FleetError> {
+        let Some(session) = self.fleet.as_mut() else {
+            let why = self
+                .fleet_err
+                .as_ref()
+                .map_or_else(|| "never attached".to_string(), |e| e.to_string());
+            return Err(FleetError::Detached(why));
+        };
+        let engine = self.engine.clone();
+        match session.sync(&engine, &mut self.interp) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                // Degrade to local checking; the error stays readable.
+                self.fleet = None;
+                self.fleet_err = Some(FleetError::Detached(e.to_string()));
+                Err(e)
+            }
+        }
     }
 }
 

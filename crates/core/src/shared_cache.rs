@@ -115,6 +115,22 @@ pub struct SharedCacheStats {
     pub misses: u64,
     pub inserts: u64,
     pub evictions: u64,
+    /// Snapshots loaded from the legacy (pre-checksum) `HBSNAP01` layout
+    /// — the "old artifact, no integrity check" warning counter.
+    pub legacy_loads: u64,
+}
+
+/// Observer of tier mutations, called *after* the shard lock is released.
+/// The fleet client hangs its publication tracking here: every insert is
+/// a candidate for publish-back to the daemon, every family eviction a
+/// candidate eviction notice. Hooks must be cheap and must not re-enter
+/// the tier (they run on whatever tenant thread performed the mutation).
+pub trait CacheEventHook: Send + Sync {
+    /// A derivation for `key` was published into the tier.
+    fn on_insert(&self, _key: &MethodKey) {}
+    /// The entry family for `key` was evicted (at least one derivation
+    /// dropped).
+    fn on_evict(&self, _key: &MethodKey) {}
 }
 
 /// The shared tier. Cheap to clone behind `Arc`; every method takes
@@ -126,6 +142,8 @@ pub struct SharedCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    legacy_loads: AtomicU64,
+    hooks: RwLock<Vec<Arc<dyn CacheEventHook>>>,
 }
 
 impl Default for SharedCache {
@@ -150,7 +168,25 @@ impl SharedCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            legacy_loads: AtomicU64::new(0),
+            hooks: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Registers a mutation observer (see [`CacheEventHook`]). Hooks are
+    /// append-only for the tier's lifetime; each fleet-attached tenant
+    /// registers its own tracker.
+    pub fn add_event_hook(&self, hook: Arc<dyn CacheEventHook>) {
+        self.hooks
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(hook);
+    }
+
+    /// Snapshot of the registered hooks (cloned out so no hook runs under
+    /// the registry lock).
+    fn hooks(&self) -> Vec<Arc<dyn CacheEventHook>> {
+        self.hooks.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Shard by method key only, so an entry family and its eviction path
@@ -237,6 +273,23 @@ impl SharedCache {
         }
     }
 
+    /// True when the exact `(key, entry id, sig version, body
+    /// fingerprint)` derivation is present. Unlike [`SharedCache::lookup`]
+    /// this is a pure probe: no clone, no hit/miss accounting — the fleet
+    /// daemon's publish-dedup path, which must not skew adoption stats.
+    pub fn contains(
+        &self,
+        key: &MethodKey,
+        method_entry_id: u64,
+        sig_version: u64,
+        body_fingerprint: u64,
+    ) -> bool {
+        let shard = self.shard_read(self.shard_of(key));
+        shard.entries.get(key).is_some_and(|family| {
+            family.contains_key(&(method_entry_id, sig_version, body_fingerprint))
+        })
+    }
+
     /// Publishes a derivation and registers its dependency edges.
     #[allow(clippy::too_many_arguments)]
     pub fn insert(
@@ -274,6 +327,9 @@ impl SharedCache {
             }
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        for hook in self.hooks() {
+            hook.on_insert(&key);
+        }
     }
 
     /// Evicts every cached version of `key` (the entry family), pruning
@@ -306,7 +362,23 @@ impl SharedCache {
         }
         self.evictions
             .fetch_add(family.len() as u64, Ordering::Relaxed);
+        for hook in self.hooks() {
+            hook.on_evict(key);
+        }
         family.len()
+    }
+
+    /// The methods whose shared derivations currently depend on `key`
+    /// (the direct reverse-dependency set [`SharedCache::evict_dependents`]
+    /// would fan out to). The fleet daemon reads this before applying an
+    /// eviction notice so every family it drops gets its own tombstone.
+    pub fn dependents_of(&self, key: &MethodKey) -> Vec<MethodKey> {
+        let shard = self.shard_read(self.shard_of(key));
+        shard
+            .dependents
+            .get(key)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Evicts the families of every method whose shared derivation
@@ -391,6 +463,17 @@ impl SharedCache {
         crate::snapshot::snapshot_of(self)
     }
 
+    /// [`SharedCache::snapshot`] restricted to methods `keep` accepts —
+    /// the delta encoder: the fleet daemon serializes only entries past a
+    /// client's watermark; a fleet client serializes only its pending
+    /// publications.
+    pub fn snapshot_filtered(
+        &self,
+        keep: impl Fn(&MethodKey) -> bool,
+    ) -> crate::snapshot::CacheSnapshot {
+        crate::snapshot::snapshot_of_filtered(self, &keep)
+    }
+
     /// Loads a snapshot's derivations into this tier, re-interning its
     /// symbol dictionary in this process. Returns the number of
     /// derivations loaded. Loaded entries are *candidates*: every adoption
@@ -408,7 +491,14 @@ impl SharedCache {
         &self,
         snap: &crate::snapshot::CacheSnapshot,
     ) -> Result<usize, crate::snapshot::SnapshotError> {
-        crate::snapshot::load_into(self, snap)
+        let loaded = crate::snapshot::load_into(self, snap)?;
+        if snap.is_legacy() {
+            // Counted, not refused: the entries are still candidates that
+            // adoption validates, but the artifact had no integrity
+            // checksum and operators should know one flowed in.
+            self.legacy_loads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(loaded)
     }
 
     /// Counter snapshot.
@@ -418,6 +508,7 @@ impl SharedCache {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            legacy_loads: self.legacy_loads.load(Ordering::Relaxed),
         }
     }
 }

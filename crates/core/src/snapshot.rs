@@ -39,17 +39,32 @@
 //! # Wire format
 //!
 //! A version-tagged, length-prefixed little-endian binary layout (magic
-//! `HBSNAP01`), hand-rolled like the rest of the workspace's
+//! `HBSNAP02`), hand-rolled like the rest of the workspace's
 //! serialization; [`CacheSnapshot::from_bytes`] validates structure and
-//! every dictionary reference before anything reaches the cache.
+//! every dictionary reference before anything reaches the cache. The v2
+//! format appends a trailing content checksum ([`hb_intern::fingerprint64`]
+//! over everything before it), verified before any parsing, so a
+//! bit-flipped artifact fails loudly with
+//! [`SnapshotError::BadChecksum`] instead of desynchronizing the cursor
+//! into garbage entries. Legacy `HBSNAP01` artifacts (no checksum) still
+//! parse — [`CacheSnapshot::is_legacy`] is set, and
+//! [`SharedCache::load_snapshot`] counts the load in
+//! [`crate::SharedCacheStats::legacy_loads`] so fleets can see unchecked
+//! artifacts flowing in.
 
 use crate::shared_cache::{SharedCache, SharedDep};
-use hb_intern::{MethodKey, SymDictReader, SymDictWriter};
+use hb_intern::{fingerprint64, MethodKey, SymDictReader, SymDictWriter};
 use hb_rdl::Resolution;
 
-/// Magic + format version. Bump when the layout changes; `from_bytes`
-/// rejects unknown versions instead of misparsing them.
-const MAGIC: &[u8; 8] = b"HBSNAP01";
+/// Magic + format version (v2: trailing content checksum). Bump when the
+/// layout changes; `from_bytes` rejects unknown versions instead of
+/// misparsing them.
+const MAGIC: &[u8; 8] = b"HBSNAP02";
+
+/// The pre-checksum format, still accepted on load (with a warning
+/// counted in [`crate::SharedCacheStats::legacy_loads`]) so artifacts
+/// written by earlier builds keep booting fleets during a rollout.
+const MAGIC_V1: &[u8; 8] = b"HBSNAP01";
 
 /// A method key with its symbols replaced by dictionary ids.
 #[derive(Debug, Clone, Copy)]
@@ -95,17 +110,25 @@ pub(crate) struct SnapEntry {
 pub struct CacheSnapshot {
     pub(crate) symbols: Vec<String>,
     pub(crate) entries: Vec<SnapEntry>,
+    /// True when the bytes parsed as the legacy `HBSNAP01` layout (no
+    /// content checksum). Loading such a snapshot works but is counted in
+    /// [`crate::SharedCacheStats::legacy_loads`].
+    pub(crate) legacy: bool,
 }
 
 /// Why a snapshot failed to parse or load. Malformed bytes are reported,
 /// never partially applied past the point of detection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// The buffer does not start with the `HBSNAP01` magic (wrong file or
-    /// an incompatible format version).
+    /// The buffer does not start with the `HBSNAP02` (or legacy
+    /// `HBSNAP01`) magic — wrong file or an incompatible format version.
     BadMagic,
     /// The buffer ended mid-structure.
     Truncated,
+    /// The trailing content checksum did not match the body: the artifact
+    /// was corrupted (bit flip, torn write) after it was written. Nothing
+    /// past the magic was parsed.
+    BadChecksum,
     /// A dictionary string was not valid UTF-8.
     BadUtf8,
     /// A symbol reference pointed outside the dictionary.
@@ -120,6 +143,9 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::BadMagic => write!(f, "not a Hummingbird cache snapshot (bad magic)"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadChecksum => {
+                write!(f, "snapshot content checksum mismatch (corrupted artifact)")
+            }
             SnapshotError::BadUtf8 => write!(f, "snapshot symbol dictionary is not UTF-8"),
             SnapshotError::BadSymbol(id) => {
                 write!(f, "snapshot references unknown symbol id {id}")
@@ -220,7 +246,37 @@ impl CacheSnapshot {
         Ok(keys)
     }
 
-    /// Serializes to the `HBSNAP01` wire format.
+    /// True when this snapshot was parsed from the legacy (pre-checksum)
+    /// `HBSNAP01` layout. Loads are still sound — entries are candidates
+    /// validated at adoption — but the artifact had no integrity check,
+    /// so [`SharedCache::load_snapshot`] counts it in
+    /// [`crate::SharedCacheStats::legacy_loads`].
+    pub fn is_legacy(&self) -> bool {
+        self.legacy
+    }
+
+    /// Every entry's `(method key, entry id, sig version, body
+    /// fingerprint)` version tuple, interned into the live process — the
+    /// identity a [`SharedCache::contains`] probe takes. The fleet daemon
+    /// uses this to distinguish genuinely new publications from re-sends
+    /// of derivations it already serves.
+    pub fn entry_versions(&self) -> Result<Vec<(MethodKey, u64, u64, u64)>, SnapshotError> {
+        let dict = SymDictReader::new(self.symbols.iter().map(String::as_str));
+        let sym = |id: u32| dict.sym(id).ok_or(SnapshotError::BadSymbol(id));
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let key = MethodKey {
+                class: sym(e.key.class)?,
+                class_level: e.key.class_level,
+                method: sym(e.key.method)?,
+            };
+            out.push((key, e.method_entry_id, e.sig_version, e.body_fp));
+        }
+        Ok(out)
+    }
+
+    /// Serializes to the `HBSNAP02` wire format (trailing content
+    /// checksum included).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -266,21 +322,45 @@ impl CacheSnapshot {
                 put_u32(&mut out, *hi);
             }
         }
+        // Trailing content checksum over everything before it (magic
+        // included): bit flips and torn writes fail loudly at parse time
+        // instead of desynchronizing the cursor into garbage entries.
+        let sum = fingerprint64(&out[..]);
+        put_u64(&mut out, sum);
         out
     }
 
-    /// Parses the `HBSNAP01` wire format.
+    /// Parses the `HBSNAP02` wire format — checksum verified before any
+    /// structure is read — or the legacy `HBSNAP01` layout (no checksum;
+    /// the result has [`CacheSnapshot::is_legacy`] set).
     ///
     /// # Errors
     ///
-    /// [`SnapshotError`] on bad magic, truncation, or invalid UTF-8 in the
-    /// symbol dictionary. (Dangling symbol references surface later, from
-    /// [`SharedCache::load_snapshot`].)
+    /// [`SnapshotError`] on bad magic, checksum mismatch, truncation, or
+    /// invalid UTF-8 in the symbol dictionary. (Dangling symbol references
+    /// surface later, from [`SharedCache::load_snapshot`].)
     pub fn from_bytes(bytes: &[u8]) -> Result<CacheSnapshot, SnapshotError> {
-        let mut c = Cursor { buf: bytes, pos: 0 };
-        if c.take(MAGIC.len())? != MAGIC {
+        let magic = bytes.get(..MAGIC.len()).ok_or(SnapshotError::Truncated)?;
+        let (body, legacy) = if magic == MAGIC {
+            // v2: split off and verify the trailing checksum first.
+            if bytes.len() < MAGIC.len() + 8 {
+                return Err(SnapshotError::Truncated);
+            }
+            let (body, tail) = bytes.split_at(bytes.len() - 8);
+            let expected = u64::from_le_bytes(tail.try_into().unwrap());
+            if fingerprint64(body) != expected {
+                return Err(SnapshotError::BadChecksum);
+            }
+            (body, false)
+        } else if magic == MAGIC_V1 {
+            (bytes, true)
+        } else {
             return Err(SnapshotError::BadMagic);
-        }
+        };
+        let mut c = Cursor {
+            buf: body,
+            pos: MAGIC.len(),
+        };
         let nsyms = c.u32()? as usize;
         let mut symbols = Vec::with_capacity(nsyms.min(1 << 16));
         for _ in 0..nsyms {
@@ -335,7 +415,11 @@ impl CacheSnapshot {
                 cast_sites,
             });
         }
-        Ok(CacheSnapshot { symbols, entries })
+        Ok(CacheSnapshot {
+            symbols,
+            entries,
+            legacy,
+        })
     }
 }
 
@@ -350,9 +434,23 @@ fn key_id(dict: &mut SymDictWriter, k: &MethodKey) -> SnapKey {
 }
 
 pub(crate) fn snapshot_of(cache: &SharedCache) -> CacheSnapshot {
+    snapshot_of_filtered(cache, &|_| true)
+}
+
+/// [`snapshot_of`] restricted to methods `keep` accepts — the delta
+/// encoder: the fleet daemon serializes only the entries past a client's
+/// watermark, and a fleet client serializes only its pending
+/// publications.
+pub(crate) fn snapshot_of_filtered(
+    cache: &SharedCache,
+    keep: &dyn Fn(&MethodKey) -> bool,
+) -> CacheSnapshot {
     let mut dict = SymDictWriter::new();
     let mut entries = Vec::new();
     for (key, version, d) in cache.iter_derivations() {
+        if !keep(&key) {
+            continue;
+        }
         let skey = key_id(&mut dict, &key);
         let deps = d
             .deps
@@ -383,6 +481,7 @@ pub(crate) fn snapshot_of(cache: &SharedCache) -> CacheSnapshot {
     CacheSnapshot {
         symbols: dict.strings().iter().map(|s| s.to_string()).collect(),
         entries,
+        legacy: false,
     }
 }
 
@@ -506,18 +605,80 @@ mod tests {
         assert_eq!(fresh.evict_with_dependents(&k("User", "name")), 1);
     }
 
+    /// Rewrites v2 bytes into the legacy HBSNAP01 layout: v1 magic, no
+    /// trailing checksum. What an artifact written by a pre-checksum
+    /// build looks like.
+    fn as_legacy(bytes: &[u8]) -> Vec<u8> {
+        let mut v1 = bytes[..bytes.len() - 8].to_vec();
+        v1[..MAGIC_V1.len()].copy_from_slice(MAGIC_V1);
+        v1
+    }
+
     #[test]
     fn from_bytes_rejects_garbage() {
         assert_eq!(
             CacheSnapshot::from_bytes(b"not a snapshot").unwrap_err(),
             SnapshotError::BadMagic
         );
-        let mut bytes = sample_cache().snapshot().to_bytes();
-        bytes.truncate(bytes.len() - 3);
+        // v2 truncation is caught by the checksum (verified before any
+        // structure is read).
+        let bytes = sample_cache().snapshot().to_bytes();
+        let mut short = bytes.clone();
+        short.truncate(bytes.len() - 3);
         assert_eq!(
-            CacheSnapshot::from_bytes(&bytes).unwrap_err(),
+            CacheSnapshot::from_bytes(&short).unwrap_err(),
+            SnapshotError::BadChecksum
+        );
+        // A bit flip anywhere in the body is likewise a checksum failure.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(
+            CacheSnapshot::from_bytes(&flipped).unwrap_err(),
+            SnapshotError::BadChecksum
+        );
+        // Legacy bytes have no checksum, so truncation surfaces as the
+        // structural error.
+        let mut legacy_short = as_legacy(&bytes);
+        legacy_short.truncate(legacy_short.len() - 3);
+        assert_eq!(
+            CacheSnapshot::from_bytes(&legacy_short).unwrap_err(),
             SnapshotError::Truncated
         );
+    }
+
+    #[test]
+    fn legacy_hbsnap01_artifacts_still_load_with_a_warning_stat() {
+        let snap = sample_cache().snapshot();
+        let v1 = as_legacy(&snap.to_bytes());
+        let parsed = CacheSnapshot::from_bytes(&v1).expect("legacy layout parses");
+        assert!(parsed.is_legacy());
+        assert_eq!(parsed.entry_count(), snap.entry_count());
+        let fresh = SharedCache::new();
+        assert_eq!(fresh.load_snapshot(&parsed).unwrap(), 2);
+        assert_eq!(
+            fresh.stats().legacy_loads,
+            1,
+            "loading a checksum-less artifact is counted"
+        );
+        // A v2 load does not touch the counter.
+        assert_eq!(fresh.load_snapshot(&snap).unwrap(), 2);
+        assert_eq!(fresh.stats().legacy_loads, 1);
+    }
+
+    #[test]
+    fn filtered_snapshot_serializes_only_kept_methods() {
+        let c = sample_cache();
+        let keep = k("Talk", "owner?");
+        let snap = c.snapshot_filtered(|key| *key == keep);
+        assert_eq!(snap.entry_count(), 1);
+        let versions = snap.entry_versions().unwrap();
+        assert_eq!(versions, vec![(keep, 7, 3, 0xB0D7)]);
+        assert!(
+            c.contains(&keep, 7, 3, 0xB0D7),
+            "contains probes the same version tuple"
+        );
+        assert!(!c.contains(&keep, 7, 3, 0xDEAD));
     }
 
     #[test]
@@ -544,6 +705,7 @@ mod tests {
                 entry(1), // valid
                 entry(9), // dangling
             ],
+            legacy: false,
         };
         let fresh = SharedCache::new();
         assert_eq!(

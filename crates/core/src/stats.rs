@@ -83,6 +83,23 @@ pub struct EngineStats {
     /// [`hb_rdl::CheckPolicy::Deferred`]: the static check was enqueued
     /// and the call proceeded under full dynamic checks.
     pub deferred_admissions: u64,
+    /// Deferred admissions *shed* to a synchronous Enforce check because
+    /// the in-flight queue hit its high-water cap
+    /// (`HummingbirdBuilder::deferred_queue_cap`): under overload the
+    /// engine stops deferring and pays the check inline rather than
+    /// growing the queue without bound.
+    pub deferred_shed: u64,
+    /// Full snapshot fetches from the fleet daemon (boot-time warm fetch
+    /// plus any delta fetch the daemon widened to a full one).
+    pub fleet_fetches: u64,
+    /// Delta fetches from the fleet daemon (entries past this tenant's
+    /// watermark only).
+    pub fleet_deltas: u64,
+    /// Locally derived entries published back to the fleet daemon.
+    pub fleet_publishes: u64,
+    /// Eviction notices sent to the fleet daemon (families this tenant's
+    /// type-table mutations retired).
+    pub fleet_evictions: u64,
     /// Dynamic argument checks executed.
     pub dyn_arg_checks: u64,
     /// Cache invalidations of the method itself.
@@ -122,6 +139,15 @@ pub struct EngineStats {
 /// the log without limit. Embedders size the window via
 /// `HummingbirdBuilder::check_log_cap`.
 pub const DEFAULT_CHECK_LOG_CAP: usize = 4096;
+
+/// Default high-water cap on in-flight deferred admissions
+/// (`EngineStats::deferred_admissions` currently enqueued but not yet
+/// harvested). At the cap, a cold call under
+/// [`hb_rdl::CheckPolicy::Deferred`] sheds to a synchronous Enforce check
+/// (`EngineStats::deferred_shed`) rather than growing the scheduler queue
+/// without bound. Embedders size it via
+/// `HummingbirdBuilder::deferred_queue_cap`.
+pub const DEFAULT_DEFERRED_CAP: usize = 1024;
 
 /// Tracks the paper's §5 "phases": a phase is a run of annotation events
 /// followed by a run of static checks.

@@ -281,6 +281,81 @@ fn quiesce_without_scheduler_is_a_noop() {
 }
 
 #[test]
+fn deferred_queue_at_its_cap_sheds_to_synchronous_enforce() {
+    let sched = Arc::new(Scheduler::new(1));
+    let mut hb = Hummingbird::builder()
+        .check_policy(CheckPolicy::Deferred)
+        .scheduler(sched.clone())
+        .deferred_queue_cap(2)
+        .build();
+    hb.eval(
+        r#"
+class Flood
+  type :m1, "() -> Fixnum", { "check" => true }
+  def m1
+    1
+  end
+  type :m2, "() -> Fixnum", { "check" => true }
+  def m2
+    2
+  end
+  type :m3, "() -> Fixnum", { "check" => true }
+  def m3
+    3
+  end
+  type :m4, "() -> Fixnum", { "check" => true }
+  def m4
+    4
+  end
+end
+class Buggy
+  type :bad, "() -> String", { "check" => true }
+  def bad
+    1
+  end
+end
+"#,
+    )
+    .unwrap();
+    // Hold the worker: admitted tasks stay in flight, so the queue fills.
+    sched.pause();
+    hb.eval("f = Flood.new\nf.m1\nf.m2").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.deferred_admissions, 2, "the queue accepts up to its cap");
+    assert_eq!(s.deferred_shed, 0);
+    assert_eq!(s.checks_performed, 0, "nothing checked inline yet");
+
+    // The third cold method finds the queue at its high-water mark: the
+    // call is shed to a synchronous Enforce check instead of growing the
+    // backlog unboundedly.
+    hb.eval("Flood.new.m3").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.deferred_shed, 1, "shed counted");
+    assert_eq!(s.deferred_admissions, 2, "no admission past the cap");
+    assert_eq!(s.checks_performed, 1, "the shed call checked inline");
+
+    // Shed calls carry full Enforce semantics: an ill-typed method
+    // blames by *raising*, not by Shadow-logging after the fact.
+    assert!(
+        hb.eval("Buggy.new.bad").is_err(),
+        "shed blame raises like Enforce"
+    );
+    let s = hb.stats();
+    assert_eq!(s.deferred_shed, 2);
+    assert_eq!(s.checks_failed, 1);
+
+    // Draining the queue restores deferred admission.
+    sched.resume();
+    hb.sched_quiesce();
+    let s = hb.stats();
+    assert_eq!(s.sched_tasks_completed, 2, "the held tasks landed");
+    hb.eval("Flood.new.m4").unwrap();
+    let s = hb.stats();
+    assert_eq!(s.deferred_admissions, 3, "capacity recovered after quiesce");
+    assert_eq!(s.deferred_shed, 2, "no further shedding");
+}
+
+#[test]
 fn deferred_policy_parses_and_reports() {
     assert_eq!(CheckPolicy::parse("deferred"), Some(CheckPolicy::Deferred));
     assert_eq!(CheckPolicy::Deferred.as_str(), "deferred");

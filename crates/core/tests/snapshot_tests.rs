@@ -5,7 +5,7 @@
 //! round trip lives in `hb-apps/tests/snapshot_apps.rs`, and the true
 //! fresh-process boot is gated in CI by `tenant_probe --snapshot-smoke`.
 
-use hummingbird::{CacheSnapshot, Hummingbird, SharedCache};
+use hummingbird::{CacheSnapshot, Hummingbird, SharedCache, SnapshotError};
 use std::sync::Arc;
 
 /// Loaded by BOTH worlds as the same file name and content, so the
@@ -114,4 +114,57 @@ fn snapshot_from_a_shadowing_world_is_rejected_by_witness_replay() {
          at witness replay, not at the probe): {:?}",
         fresh.stats()
     );
+}
+
+#[test]
+fn corrupt_artifacts_yield_typed_errors_and_leave_a_live_tier_untouched() {
+    // A live, serving tier: one publisher's derivations, already adopted
+    // from by real tenants.
+    let shared = Arc::new(SharedCache::new());
+    let mut publisher = Hummingbird::builder().shared_cache(shared.clone()).build();
+    publisher.load_file("talk.rb", TALK_RB).unwrap();
+    publisher.eval("Talk.new.compute(Sub.new)").unwrap();
+    let bytes = shared.snapshot().to_bytes();
+    let live_len = shared.len();
+    assert!(live_len >= 1);
+
+    // Every corruption mode is refused with a *typed* error before any
+    // structure is parsed — and none of the attempts can reach (let
+    // alone poison) the live tier, because parsing fails up front.
+    let wrong_magic = {
+        let mut b = bytes.clone();
+        b[..8].copy_from_slice(b"HBSNAPXX");
+        b
+    };
+    assert!(matches!(
+        CacheSnapshot::from_bytes(&wrong_magic),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    let truncated = &bytes[..bytes.len() / 2];
+    assert!(matches!(
+        CacheSnapshot::from_bytes(truncated),
+        Err(SnapshotError::Truncated | SnapshotError::BadChecksum)
+    ));
+
+    let bit_flipped = {
+        let mut b = bytes.clone();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x01;
+        b
+    };
+    assert!(matches!(
+        CacheSnapshot::from_bytes(&bit_flipped),
+        Err(SnapshotError::BadChecksum)
+    ));
+
+    // The tier still holds exactly what it held, and a fresh tenant
+    // still warm-boots from it at full adoption.
+    assert_eq!(shared.len(), live_len, "refusals never touch a live tier");
+    let mut adopter = Hummingbird::builder().shared_cache(shared.clone()).build();
+    adopter.load_file("talk.rb", TALK_RB).unwrap();
+    adopter.eval("Talk.new.compute(Sub.new)").unwrap();
+    let s = adopter.stats();
+    assert_eq!(s.checks_performed, 0, "tier still serves warm boots: {s:?}");
+    assert!(s.shared_hits >= 1);
 }

@@ -8,8 +8,9 @@
 //! Used by the `tenant_probe` benchmark binary and the multi-tenant tests.
 
 use crate::apps::all_apps;
-use crate::{build_app_shared, run_workload};
-use hummingbird::{CacheSnapshot, Mode, SharedCache};
+use crate::{build_app_shared, build_app_with, run_workload};
+use hummingbird::{CacheSnapshot, FleetSyncReport, Hummingbird, Mode, SharedCache};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,6 +55,14 @@ pub struct TenantRun {
     /// Fast entries patched back to the guarded prologue by
     /// invalidation.
     pub deopts: u64,
+    /// Full snapshot fetches from a fleet daemon (boot).
+    pub fleet_fetches: u64,
+    /// Delta fetches from a fleet daemon (steady state).
+    pub fleet_deltas: u64,
+    /// Locally derived entries published back to a fleet daemon.
+    pub fleet_publishes: u64,
+    /// Eviction notices sent to a fleet daemon.
+    pub fleet_evictions: u64,
 }
 
 impl TenantRun {
@@ -75,6 +84,28 @@ impl TenantRun {
     /// Total time spent resolving first calls, derived or adopted.
     pub fn first_call_ns(&self) -> u64 {
         self.check_ns + self.shared_adopt_ns
+    }
+
+    /// Folds one app's engine statistics into this tenant's totals.
+    fn absorb(&mut self, hb: &Hummingbird) {
+        let s = hb.stats();
+        self.checks_performed += s.checks_performed;
+        self.shared_hits += s.shared_hits;
+        self.cache_hits += s.cache_hits;
+        self.intercepted_calls += s.intercepted_calls;
+        self.check_ns += s.check_ns;
+        self.shared_adopt_ns += s.shared_adopt_ns;
+        self.sched_tasks_enqueued += s.sched_tasks_enqueued;
+        self.sched_tasks_completed += s.sched_tasks_completed;
+        self.sched_tasks_stale += s.sched_tasks_stale;
+        self.deferred_admissions += s.deferred_admissions;
+        self.bytecode_compiled += s.bytecode_compiled;
+        self.fast_entries_patched += s.fast_entries_patched;
+        self.deopts += s.deopts;
+        self.fleet_fetches += s.fleet_fetches;
+        self.fleet_deltas += s.fleet_deltas;
+        self.fleet_publishes += s.fleet_publishes;
+        self.fleet_evictions += s.fleet_evictions;
     }
 }
 
@@ -99,22 +130,58 @@ pub fn run_tenant(tenant: usize, shared: &Arc<SharedCache>, iters: usize) -> Ten
     }
     out.serve_ns = t1.elapsed().as_nanos() as u64;
     for hb in &apps {
-        let s = hb.stats();
-        out.checks_performed += s.checks_performed;
-        out.shared_hits += s.shared_hits;
-        out.cache_hits += s.cache_hits;
-        out.intercepted_calls += s.intercepted_calls;
-        out.check_ns += s.check_ns;
-        out.shared_adopt_ns += s.shared_adopt_ns;
-        out.sched_tasks_enqueued += s.sched_tasks_enqueued;
-        out.sched_tasks_completed += s.sched_tasks_completed;
-        out.sched_tasks_stale += s.sched_tasks_stale;
-        out.deferred_admissions += s.deferred_admissions;
-        out.bytecode_compiled += s.bytecode_compiled;
-        out.fast_entries_patched += s.fast_entries_patched;
-        out.deopts += s.deopts;
+        out.absorb(hb);
     }
     out
+}
+
+/// Boots all six subject apps as one *fleet-attached* tenant: the apps
+/// share one per-tenant tier warmed over the `hb-fleetd` socket at
+/// `socket` before any code loads, and locally derived entries are
+/// published back with a final [`hummingbird::Hummingbird::fleet_sync`].
+/// Only the first app carries the fleet session — all six share its
+/// tier, so one boot fetch warms the whole tenant and one sync drains
+/// every app's publications.
+///
+/// Returns the run together with the final sync report, or `None` when
+/// the daemon was unreachable (the tenant still runs, degraded to local
+/// checking — that degradation is the soundness story, not an error).
+pub fn run_tenant_fleet(
+    tenant: usize,
+    socket: &Path,
+    iters: usize,
+) -> (TenantRun, Option<FleetSyncReport>) {
+    let mut out = TenantRun {
+        tenant,
+        ..TenantRun::default()
+    };
+    let shared = Arc::new(SharedCache::new());
+    let specs = all_apps();
+    let t0 = Instant::now();
+    let mut apps: Vec<Hummingbird> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut builder = Hummingbird::builder()
+                .mode(Mode::Full)
+                .shared_cache(shared.clone());
+            if i == 0 {
+                builder = builder.fleet_socket(socket);
+            }
+            build_app_with(spec, builder)
+        })
+        .collect();
+    out.build_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    for (spec, hb) in specs.iter().zip(apps.iter_mut()) {
+        run_workload(spec, hb, iters);
+    }
+    out.serve_ns = t1.elapsed().as_nanos() as u64;
+    let report = apps[0].fleet_sync().ok();
+    for hb in &apps {
+        out.absorb(hb);
+    }
+    (out, report)
 }
 
 /// Boots one cold tenant (all six apps) against a fresh shared tier and

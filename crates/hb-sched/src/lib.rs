@@ -25,10 +25,12 @@
 //! (`hb_rdl::CheckPolicy::Deferred`, where a cold call enqueues its task
 //! and proceeds immediately under full dynamic checks).
 
+pub mod periodic;
 pub mod pool;
 pub mod task;
 pub mod world;
 
+pub use periodic::PeriodicTask;
 pub use pool::{Job, Scheduler};
 pub use task::{CheckTask, CompletionQueue, DepFact, TaskCompletion, TaskVerdict};
 pub use world::WorldSnapshot;
