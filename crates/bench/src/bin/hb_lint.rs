@@ -8,14 +8,28 @@
 //! targets and labeled spans.
 //!
 //! ```text
-//! hb_lint [--json] [--errors] [--smoke] [--analyze] [--deny-warnings]
-//!         [--policy P] [--jobs N] [APP ...]
+//! hb_lint [--json] [--errors] [--smoke] [--analyze] [--infer]
+//!         [--infer-apply] [--deny-warnings] [--policy P] [--jobs N]
+//!         [APP ...]
 //!
 //!   (default)   lint the six clean subject apps (expected: 0 findings)
 //!   APP ...     lint only the named apps (Talks, Boxroom, Pubs, Rolify,
 //!               CCT, Countries)
 //!   --errors    lint the six historical Talks error versions instead
 //!               (expected: exactly one finding each)
+//!   --infer     run checker-verified whole-program type inference
+//!               (`Hummingbird::infer`) after type checking: candidate
+//!               signatures for unannotated reachable methods are
+//!               verified through the real checker and adopted as
+//!               Inferred annotations; refuted candidates report as
+//!               HB2001 suggestions. Prints the residue audit before and
+//!               after so the elision gain is visible. With --smoke,
+//!               gates CI: zero type errors before *and after* adoption,
+//!               at least one adoption per app with the unannotated edge
+//!               count strictly below the pre-inference baseline, and
+//!               byte-identical serial/--jobs output.
+//!   --infer-apply  with --infer: also print each adopted signature as a
+//!               ready-to-paste `type` annotation line
 //!   --analyze   run the whole-program dataflow lint suite (HB1001-HB1006)
 //!               after type checking: use-before-assign, unreachable code,
 //!               dead stores, unused locals, stale annotations and the
@@ -51,7 +65,9 @@
 //! `--policy`/`--jobs` value, an incompatible combination — exit 2.
 
 use hb_apps::talks_history::{error_versions, lint_error_version_with_jobs};
-use hb_apps::{all_apps, analyze_case, build_app_with, corpus_cases, AppSpec};
+use hb_apps::{
+    all_apps, analyze_case, build_app_with, corpus_cases, infer_case, infer_cases, AppSpec,
+};
 use hummingbird::{CheckPolicy, Hummingbird, Mode, ResidueSummary, TypeDiagnostic};
 
 struct LintTarget {
@@ -87,10 +103,12 @@ struct AnalyzeTarget {
 
 fn summary_json(s: &ResidueSummary) -> String {
     format!(
-        "{{\"elided_edges\":{},\"residual_edges\":{},\"unannotated_edges\":{},\"reachable_methods\":{},\"stale_annotations\":{},\"predicted_fast_entries\":{}}}",
+        "{{\"elided_edges\":{},\"elided_inferred_edges\":{},\"residual_edges\":{},\"unannotated_edges\":{},\"dynamic_def_edges\":{},\"reachable_methods\":{},\"stale_annotations\":{},\"predicted_fast_entries\":{}}}",
         s.elided_edges,
+        s.elided_inferred_edges,
         s.residual_edges,
         s.unannotated_edges,
+        s.dynamic_def_edges,
         s.reachable_methods,
         s.stale_annotations,
         s.predicted_fast_entries.len()
@@ -123,6 +141,103 @@ fn analyze_app(spec: &AppSpec, json: bool, jobs: usize) -> AnalyzeTarget {
         },
         errors,
         summary: report.summary,
+    }
+}
+
+struct InferTarget {
+    target: LintTarget,
+    /// Type errors before inference / after adoption (both expected 0:
+    /// adoption must never regress a green program).
+    errors_before: usize,
+    errors_after: usize,
+    candidates: usize,
+    /// Ready-to-paste annotation lines for every verified signature.
+    adopted: Vec<String>,
+    rejected: usize,
+    before: ResidueSummary,
+    after: ResidueSummary,
+}
+
+/// Builds one app, type-checks it eagerly, audits the residue, runs the
+/// inference pass, then re-checks and re-audits — so the target carries
+/// the before/after pair the elision story is about.
+fn infer_app(spec: &AppSpec, json: bool, jobs: usize) -> InferTarget {
+    let builder = Hummingbird::builder().mode(Mode::Full);
+    let mut hb = build_app_with(spec, builder);
+    let errors_before = hb.check_all_parallel(jobs).len();
+    let workload = (spec.workload_call)(1);
+    let entries: &[(&str, &str)] = &[("<workload>", &workload)];
+    let before = hb.analyze_with_entries(jobs, entries).summary;
+    let report = hb.infer_with_entries(jobs, entries);
+    let errors_after = hb.check_all_parallel(jobs).len();
+    let after = hb.analyze_with_entries(jobs, entries).summary;
+    let map = hb.source_map();
+    InferTarget {
+        target: LintTarget {
+            label: format!("infer:{}", spec.name),
+            count: report.diagnostics.len(),
+            codes: report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.to_string())
+                .collect(),
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .map(|d| if json { d.to_json(map) } else { d.render(map) })
+                .collect(),
+        },
+        errors_before,
+        errors_after,
+        candidates: report.candidates,
+        adopted: report
+            .adopted
+            .iter()
+            .map(|(_, line)| line.clone())
+            .collect(),
+        rejected: report.rejected,
+        before,
+        after,
+    }
+}
+
+fn print_infer_target(t: &InferTarget, json: bool, apply: bool) {
+    if json {
+        let diags = t.target.diagnostics.join(",");
+        let adopted: Vec<String> = t.adopted.iter().map(|l| format!("{l:?}")).collect();
+        println!(
+            "{{\"target\":\"{}\",\"errors_before\":{},\"errors_after\":{},\"candidates\":{},\"adopted\":[{}],\"rejected\":{},\"diagnostics\":[{diags}],\"residue_before\":{},\"residue_after\":{}}}",
+            t.target.label,
+            t.errors_before,
+            t.errors_after,
+            t.candidates,
+            adopted.join(","),
+            t.rejected,
+            summary_json(&t.before),
+            summary_json(&t.after)
+        );
+    } else {
+        println!(
+            "== {} — {} candidate(s): {} adopted, {} refuted; {} error(s) before, {} after",
+            t.target.label,
+            t.candidates,
+            t.adopted.len(),
+            t.rejected,
+            t.errors_before,
+            t.errors_after
+        );
+        if apply {
+            for line in &t.adopted {
+                println!("   {line}");
+            }
+        }
+        for d in &t.target.diagnostics {
+            for line in d.lines() {
+                println!("   {line}");
+            }
+        }
+        println!("   residue before: {}", t.before.render());
+        println!("   residue after:  {}", t.after.render());
     }
 }
 
@@ -205,6 +320,8 @@ fn main() {
     let mut errors = false;
     let mut smoke = false;
     let mut analyze = false;
+    let mut infer = false;
+    let mut infer_apply = false;
     let mut deny_warnings = false;
     let mut policy = CheckPolicy::Enforce;
     let mut policy_set = false;
@@ -217,6 +334,8 @@ fn main() {
             "--errors" => errors = true,
             "--smoke" => smoke = true,
             "--analyze" => analyze = true,
+            "--infer" => infer = true,
+            "--infer-apply" => infer_apply = true,
             "--deny-warnings" => deny_warnings = true,
             "--policy" => {
                 let name = it.next().map(String::as_str).unwrap_or("");
@@ -251,9 +370,32 @@ fn main() {
         eprintln!("--analyze cannot be combined with --errors or --policy");
         std::process::exit(2);
     }
+    if infer && (errors || policy_set || analyze) {
+        eprintln!("--infer cannot be combined with --errors, --policy or --analyze");
+        std::process::exit(2);
+    }
+    if infer_apply && !infer {
+        eprintln!("--infer-apply only makes sense with --infer");
+        std::process::exit(2);
+    }
     if deny_warnings && !analyze {
         eprintln!("--deny-warnings only makes sense with --analyze");
         std::process::exit(2);
+    }
+
+    if infer && smoke {
+        infer_smoke_gate(json, jobs);
+        return;
+    }
+    if infer {
+        let specs = select_specs(&names);
+        let mut type_errors = 0usize;
+        for spec in &specs {
+            let t = infer_app(spec, json, jobs);
+            type_errors += t.errors_before + t.errors_after;
+            print_infer_target(&t, json, infer_apply);
+        }
+        std::process::exit(if type_errors != 0 { 1 } else { 0 });
     }
 
     if analyze && smoke {
@@ -353,6 +495,82 @@ fn select_specs(names: &[String]) -> Vec<AppSpec> {
         std::process::exit(2);
     }
     specs
+}
+
+/// The `--infer --smoke` CI gate: on each of the six subject apps,
+/// inference must (a) leave the program at zero type errors before *and*
+/// after adoption, (b) adopt at least one verified signature, pushing the
+/// unannotated edge count strictly below the pre-inference baseline, and
+/// (c) produce byte-identical output serially and under `--jobs`.
+fn infer_smoke_gate(json: bool, jobs: usize) {
+    let mut failures = 0usize;
+    for spec in all_apps() {
+        let serial = infer_app(&spec, json, 1);
+        if serial.errors_before != 0 || serial.errors_after != 0 {
+            eprintln!(
+                "INFER SMOKE FAIL: {} expected 0 type errors, got {} before / {} after adoption",
+                serial.target.label, serial.errors_before, serial.errors_after
+            );
+            failures += 1;
+        }
+        if serial.adopted.is_empty() {
+            eprintln!(
+                "INFER SMOKE FAIL: {} adopted no signatures",
+                serial.target.label
+            );
+            failures += 1;
+        }
+        if serial.after.unannotated_edges >= serial.before.unannotated_edges {
+            eprintln!(
+                "INFER SMOKE FAIL: {} unannotated edges did not decrease ({} -> {})",
+                serial.target.label,
+                serial.before.unannotated_edges,
+                serial.after.unannotated_edges
+            );
+            failures += 1;
+        }
+        let par_jobs = if jobs > 1 { jobs } else { 4 };
+        let parallel = infer_app(&spec, json, par_jobs);
+        if serial.target.diagnostics != parallel.target.diagnostics
+            || serial.adopted != parallel.adopted
+            || serial.after != parallel.after
+        {
+            eprintln!(
+                "INFER SMOKE FAIL: {} serial and --jobs {} outputs differ",
+                serial.target.label, par_jobs
+            );
+            failures += 1;
+        }
+        print_infer_target(&serial, json, true);
+    }
+    for case in infer_cases() {
+        let (_, report) = infer_case(&case);
+        let adopted: Vec<&str> = report.adopted.iter().map(|(_, l)| l.as_str()).collect();
+        if adopted != case.expect_adopted || report.rejected != case.expect_rejected {
+            eprintln!(
+                "INFER SMOKE FAIL: corpus case {} expected {:?} adopted / {} refuted, \
+                 got {adopted:?} / {}",
+                case.name, case.expect_adopted, case.expect_rejected, report.rejected
+            );
+            failures += 1;
+        } else {
+            println!(
+                "infer-corpus:{} — {} adopted, {} refuted",
+                case.name,
+                adopted.len(),
+                report.rejected
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("hb_lint --infer --smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "hb_lint --infer --smoke: six apps adopt verified signatures at zero errors; \
+         unannotated residue strictly decreased; serial == parallel; \
+         corpus behaviors exact"
+    );
 }
 
 /// The `--analyze --smoke` CI gate: the six subject apps must analyze

@@ -28,6 +28,7 @@ use hb_analyze::{analyze_unit, collect_roots, AnnotationUnit, MethodUnit, Progra
 use hb_il::{lower_block_body, lower_method, MethodCfg};
 use hb_intern::MethodKey;
 use hb_interp::{ClassId, MethodBody, MethodEntry};
+use hb_rdl::AnnotationSource;
 use hb_sched::Scheduler;
 use hb_syntax::{parse_with_file, TypeDiagnostic};
 use std::sync::mpsc;
@@ -72,8 +73,12 @@ pub fn build_view(hb: &Hummingbird) -> ProgramView {
         pairs.sort_by_key(|(n, _)| *n);
         for (name, entry) in pairs {
             if let Some(cfg) = lower_entry(entry) {
+                let key = MethodKey::instance(&class.name, name);
+                if matches!(entry.body, MethodBody::FromProc(_)) {
+                    view.dynamic_defs.insert(key);
+                }
                 view.methods.push(MethodUnit {
-                    key: MethodKey::instance(&class.name, name),
+                    key,
                     cfg: Arc::new(cfg),
                 });
             }
@@ -82,8 +87,12 @@ pub fn build_view(hb: &Hummingbird) -> ProgramView {
         pairs.sort_by_key(|(n, _)| *n);
         for (name, entry) in pairs {
             if let Some(cfg) = lower_entry(entry) {
+                let key = MethodKey::class_level(&class.name, name);
+                if matches!(entry.body, MethodBody::FromProc(_)) {
+                    view.dynamic_defs.insert(key);
+                }
                 view.methods.push(MethodUnit {
-                    key: MethodKey::class_level(&class.name, name),
+                    key,
                     cfg: Arc::new(cfg),
                 });
             }
@@ -98,6 +107,7 @@ pub fn build_view(hb: &Hummingbird) -> ProgramView {
                 span: entry.span,
                 check: entry.check,
                 always_dyn_check: entry.always_dyn_check,
+                inferred: entry.source == AnnotationSource::Inferred,
             },
         );
     }
@@ -118,6 +128,21 @@ pub fn build_view(hb: &Hummingbird) -> ProgramView {
         view.roots.extend(collect_roots(&program, &file.name));
     }
     view
+}
+
+/// Registers an embedder entry snippet in the source map so
+/// [`build_view`] collects its roots. Re-registering an identical
+/// `(name, text)` pair is a no-op: repeated analyze/infer calls on the
+/// same instance must not multiply the snippet's call edges.
+pub(crate) fn intern_entry_file(hb: &mut Hummingbird, name: &str, src: &str) {
+    let present = hb
+        .interp
+        .source_map
+        .files()
+        .any(|(_, f)| f.name == name && f.text == src);
+    if !present {
+        hb.interp.source_map.add_file(name, src);
+    }
 }
 
 /// One analyzable unit: a method or a root, with its display label.
@@ -198,16 +223,10 @@ impl Hummingbird {
         jobs: usize,
         entries: &[(&str, &str)],
     ) -> AnalysisReport {
-        let mut extra_roots = Vec::new();
         for (name, src) in entries {
-            let fid = self.interp.source_map.add_file(*name, *src);
-            if let Ok(program) = parse_with_file(src, fid) {
-                extra_roots.extend(collect_roots(&program, name));
-            }
+            intern_entry_file(self, name, src);
         }
-        let mut view = build_view(self);
-        view.roots.extend(extra_roots);
-        let view = Arc::new(view);
+        let view = Arc::new(build_view(self));
         let mut diagnostics = if jobs > 1 {
             match self.scheduler() {
                 Some(s) if s.worker_count() >= jobs => run_parallel(&view, &s),

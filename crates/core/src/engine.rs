@@ -20,7 +20,8 @@ use hb_interp::{
     InterpEvent, MethodBody, Value,
 };
 use hb_rdl::{
-    type_of, value_conforms, MethodKey, RdlEvent, RdlEventSink, RdlState, Resolution, TableEntry,
+    type_of, value_conforms, AnnotationSource, MethodKey, RdlEvent, RdlEventSink, RdlState,
+    Resolution, TableEntry,
 };
 use hb_sched::{CheckTask, CompletionQueue, Scheduler, TaskCompletion, TaskVerdict, WorldSnapshot};
 use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, Span, TypeDiagnostic};
@@ -852,6 +853,17 @@ impl Engine {
         s
     }
 
+    /// Credits one inference run's outcome counters. The adoption path
+    /// (`crate::infer`) runs outside the engine — it verifies against a
+    /// hypothesis [`WorldSnapshot`], not the live table — but its results
+    /// are engine-level facts, so they report through the same snapshot.
+    pub fn note_inference(&self, verified: u64, adopted: u64, rejected: u64) {
+        let mut st = self.state.borrow_mut();
+        st.stats.inferred_verified += verified;
+        st.stats.inferred_adopted += adopted;
+        st.stats.inferred_rejected += rejected;
+    }
+
     /// Clears statistics counters and collected diagnostics (not the
     /// cache).
     pub fn reset_stats(&self) {
@@ -922,6 +934,10 @@ impl Engine {
             return;
         }
         let mut st = self.state.borrow_mut();
+        // Inferred annotations on methods whose body just changed: the
+        // signature was derived from the *old* body, so it is retracted
+        // (not enforced) once the main borrow ends — see below.
+        let mut retract: Vec<MethodKey> = Vec::new();
         for ev in ievents {
             st.phase.note_annotation(); // method creation happens in the
                                         // annotate/metaprogramming phase
@@ -972,6 +988,17 @@ impl Engine {
                         Self::invalidate(&mut st, &key, true);
                         if let Some(shared) = self.shared.borrow().as_ref() {
                             shared.evict_with_dependents(&key);
+                        }
+                        // An inferred signature was evidence about the
+                        // old body, not user intent about the new one:
+                        // retract it rather than enforce it against a
+                        // body it never saw.
+                        if self
+                            .rdl
+                            .entry(&key)
+                            .is_some_and(|e| e.source == AnnotationSource::Inferred)
+                        {
+                            retract.push(key);
                         }
                     }
                     // The retired entry id can never be dispatched again;
@@ -1037,6 +1064,19 @@ impl Engine {
                     self.invalidate_shadowed(&mut st, interp, &key);
                 }
             }
+        }
+        // Retraction mutates the type table and fans out through the
+        // event sinks (fast-entry flush, shared-tier eviction), which
+        // must not run under the state borrow. The retractions' own
+        // events are then drained by re-entering — guaranteed to
+        // terminate because retracted entries are gone.
+        drop(st);
+        let mut retracted = false;
+        for key in &retract {
+            retracted |= self.rdl.retract_inferred(key);
+        }
+        if retracted {
+            self.process_events(interp);
         }
     }
 

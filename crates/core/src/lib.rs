@@ -66,6 +66,7 @@
 pub mod analyze;
 pub mod engine;
 pub mod fleet;
+pub mod infer;
 pub mod info;
 pub mod reload;
 pub mod sched;
@@ -77,6 +78,7 @@ pub use analyze::AnalysisReport;
 pub use engine::{CacheDumpEntry, Config, Engine};
 pub use fleet::{FleetClient, FleetError, FleetSyncReport, FleetWatermark};
 pub use hb_analyze::ResidueSummary;
+pub use infer::InferReport;
 pub use info::RegistryInfo;
 pub use reload::{FileMethod, ReloadReport};
 pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};

@@ -117,6 +117,19 @@ pub struct EngineStats {
     /// prologue because their derivation was invalidated (reload,
     /// annotation change, enforcement change, cache flush).
     pub deopts: u64,
+    /// Candidate signatures the whole-program inference pass verified
+    /// through the real checker (`Hummingbird::infer`): every candidate
+    /// that survived the hypothesis-world fixpoint, whether or not its
+    /// registration was new.
+    pub inferred_verified: u64,
+    /// Verified candidates actually registered as
+    /// [`hb_rdl::AnnotationSource::Inferred`] annotations (a re-run that
+    /// re-derives an identical signature verifies but does not re-adopt,
+    /// so adoption stays idempotent and the epoch stream quiet).
+    pub inferred_adopted: u64,
+    /// Candidate signatures the checker refuted (each becomes an HB2001
+    /// suggestion instead of an annotation).
+    pub inferred_rejected: u64,
     /// Distinct `rdl_cast` sites seen by the checker (Table 1 "Casts").
     pub cast_sites: BTreeSet<(u32, u32, u32)>,
     /// Distinct methods statically checked.

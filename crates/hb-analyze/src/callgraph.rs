@@ -45,6 +45,12 @@ pub struct Edge {
     /// as the analysis knows it (defaults to the defining class).
     pub receiver: MethodKey,
     pub span: Span,
+    /// Abstract values of the positional arguments at the call site, in
+    /// order, as the flow analysis knew them — the raw material signature
+    /// inference joins over all of a method's in-edges. `None` when the
+    /// call shape is opaque (splat, reflective registration, `super`);
+    /// inner `None`s are positions the flow could not type.
+    pub args: Option<Vec<Option<AbsVal>>>,
 }
 
 /// The whole-program call graph.
@@ -65,6 +71,19 @@ pub struct ResidueSummary {
     pub residual_edges: usize,
     /// Edges to methods with no `check` annotation anywhere on the chain.
     pub unannotated_edges: usize,
+    /// Of the elided edges, those elided *through an inferred annotation*
+    /// — the callee's governing `check` entry was produced by the
+    /// inference pass, not written by the programmer. These edges were
+    /// `unannotated` before inference ran.
+    pub elided_inferred_edges: usize,
+    /// Edges whose callee is a dynamically-defined method
+    /// (`define_method`): Rolify's per-iteration registration churn. Such
+    /// edges still classify as elided/residual/unannotated above; this
+    /// counter marks how many of the program's edges ride on definitions
+    /// that the runtime re-creates (and therefore re-patches) per
+    /// registration, so a cumulative runtime patch count exceeding the
+    /// static prediction is expected exactly when this is non-zero.
+    pub dynamic_def_edges: usize,
     /// `check`-annotated methods whose annotation no entry point reaches.
     pub stale_annotations: usize,
     /// Distinct `(receiver class, method)` entries the bytecode tier is
@@ -79,12 +98,14 @@ impl ResidueSummary {
     /// One-line human rendering (the `hb_lint --analyze` footer).
     pub fn render(&self) -> String {
         format!(
-            "call edges: {} elided (checked->checked), {} residual (unchecked->checked), \
-             {} unannotated; {} reachable methods; {} stale annotations; \
-             {} predicted fast entries",
+            "call edges: {} elided (checked->checked, {} via inferred annotations), \
+             {} residual (unchecked->checked), {} unannotated, {} on dynamic definitions; \
+             {} reachable methods; {} stale annotations; {} predicted fast entries",
             self.elided_edges,
+            self.elided_inferred_edges,
             self.residual_edges,
             self.unannotated_edges,
+            self.dynamic_def_edges,
             self.reachable_methods,
             self.stale_annotations,
             self.predicted_fast_entries.len()
@@ -106,12 +127,20 @@ impl EdgeCollector<'_> {
             .resolve_method(class, class_level, method, &self.defined)
     }
 
-    fn push(&mut self, caller: Caller, callee: MethodKey, receiver: MethodKey, span: Span) {
+    fn push(
+        &mut self,
+        caller: Caller,
+        callee: MethodKey,
+        receiver: MethodKey,
+        span: Span,
+        args: Option<Vec<Option<AbsVal>>>,
+    ) {
         self.edges.push(Edge {
             caller,
             callee,
             receiver,
             span,
+            args,
         });
     }
 
@@ -150,11 +179,30 @@ impl EdgeCollector<'_> {
                 classes.push(k);
             }
         }
+        // Positional-argument abstractions for the inference pass: the
+        // call shape is opaque the moment a splat appears.
+        let pos_abs: Option<Vec<Option<AbsVal>>> = {
+            let mut v = Vec::new();
+            let mut plain = true;
+            for a in args {
+                match a {
+                    CallArg::Pos(op) => v.push(flow.abs_of_operand(op, fact)),
+                    CallArg::Splat(_) => {
+                        plain = false;
+                        break;
+                    }
+                    CallArg::BlockPass(_) => {}
+                }
+            }
+            plain.then_some(v)
+        };
         if name != "send" && name != "public_send" && name != "method" {
             for k in &classes {
                 for m in &syms {
                     if let Some(callee) = self.resolve(k, false, m) {
-                        self.push(caller, callee, mk_key(k, false, m), span);
+                        // Registration, not invocation: the eventual
+                        // reflective call's arguments are unknown here.
+                        self.push(caller, callee, mk_key(k, false, m), span, None);
                     }
                 }
             }
@@ -163,31 +211,36 @@ impl EdgeCollector<'_> {
             None | Some(Operand::SelfRef) => {
                 if let Some(callee) = self.resolve(ctx_class, ctx_level, name) {
                     let receiver = mk_key(ctx_class, ctx_level, name);
-                    self.push(caller, callee, receiver, span);
+                    self.push(caller, callee, receiver, span, pos_abs);
                 }
                 return;
             }
             Some(op) => flow.abs_of_operand(op, fact),
         };
         // `send`/`public_send` with a literal symbol is an ordinary call
-        // under another name.
+        // under another name; the first positional argument is the method
+        // name, the rest are the forwarded arguments.
         if (name == "send" || name == "public_send") && !syms.is_empty() {
+            let fwd_abs: Option<Vec<Option<AbsVal>>> = pos_abs
+                .as_ref()
+                .filter(|v| !v.is_empty())
+                .map(|v| v[1..].to_vec());
             for m in &syms {
                 match &recv_abs {
                     Some(AbsVal::ClassObj(k)) => {
                         if let Some(callee) = self.resolve(k, true, m) {
-                            self.push(caller, callee, mk_key(k, true, m), span);
+                            self.push(caller, callee, mk_key(k, true, m), span, fwd_abs.clone());
                         }
                     }
                     Some(AbsVal::Klass(k)) | Some(AbsVal::InstanceOf(k)) => {
                         if let Some(callee) = self.resolve(k, false, m) {
-                            self.push(caller, callee, mk_key(k, false, m), span);
+                            self.push(caller, callee, mk_key(k, false, m), span, fwd_abs.clone());
                         }
                     }
                     _ => {
                         if let Some(keys) = self.by_name.get(*m) {
                             for callee in keys.clone() {
-                                self.push(caller, callee, callee, span);
+                                self.push(caller, callee, callee, span, fwd_abs.clone());
                             }
                         }
                     }
@@ -200,15 +253,21 @@ impl EdgeCollector<'_> {
                 if name == "new" {
                     // Construction dispatches `initialize` on the instance.
                     if let Some(callee) = self.resolve(&k, false, "initialize") {
-                        self.push(caller, callee, mk_key(&k, false, "initialize"), span);
+                        self.push(
+                            caller,
+                            callee,
+                            mk_key(&k, false, "initialize"),
+                            span,
+                            pos_abs,
+                        );
                     }
                 } else if let Some(callee) = self.resolve(&k, true, name) {
-                    self.push(caller, callee, mk_key(&k, true, name), span);
+                    self.push(caller, callee, mk_key(&k, true, name), span, pos_abs);
                 }
             }
             Some(AbsVal::Klass(k)) | Some(AbsVal::InstanceOf(k)) => {
                 if let Some(callee) = self.resolve(&k, false, name) {
-                    self.push(caller, callee, mk_key(&k, false, name), span);
+                    self.push(caller, callee, mk_key(&k, false, name), span, pos_abs);
                 }
             }
             _ => {
@@ -216,7 +275,7 @@ impl EdgeCollector<'_> {
                 // same-named instance definition.
                 if let Some(keys) = self.by_name.get(name) {
                     for callee in keys.clone() {
-                        self.push(caller, callee, callee, span);
+                        self.push(caller, callee, callee, span, pos_abs.clone());
                     }
                 }
             }
@@ -269,7 +328,7 @@ impl EdgeCollector<'_> {
                                             .get(&mk_key(&c, key.class_level, key.method.as_str()))
                                             .copied()
                                         {
-                                            self.push(caller, callee, callee, instr.span);
+                                            self.push(caller, callee, callee, instr.span, None);
                                             break;
                                         }
                                     }
@@ -433,9 +492,21 @@ pub fn analyze_call_graph(view: &ProgramView) -> (Vec<TypeDiagnostic>, ResidueSu
     }
     let mut per_callee: BTreeMap<MethodKey, Residue> = BTreeMap::new();
     for e in &graph.edges {
+        // Dynamic-definition classification comes before the liveness
+        // cut: a metaprogrammed method is often reached only through
+        // reflective dispatch (`send` with a computed name), which
+        // contributes no static in-edge — yet its body's own out-edges
+        // are real calls the running program makes.
+        let caller_dyn = match e.caller {
+            Caller::Root(_) => false,
+            Caller::Method(k) => view.dynamic_defs.contains(&k),
+        };
+        if caller_dyn || view.dynamic_defs.contains(&e.callee) {
+            summary.dynamic_def_edges += 1;
+        }
         let caller_live = match e.caller {
             Caller::Root(_) => true,
-            Caller::Method(k) => graph.reachable.contains(&k),
+            Caller::Method(k) => graph.reachable.contains(&k) || caller_dyn,
         };
         if !caller_live {
             continue;
@@ -444,16 +515,15 @@ pub fn analyze_call_graph(view: &ProgramView) -> (Vec<TypeDiagnostic>, ResidueSu
             summary.unannotated_edges += 1;
             continue;
         }
+        let ann = view.resolve_annotation(
+            e.callee.class.as_str(),
+            e.callee.class_level,
+            e.callee.method.as_str(),
+        );
         // A checked callee is patched once any dispatch checks it —
         // unless it is always-dynamically-checked (the runtime refuses
         // the fast prologue for those).
-        let always_dyn = view
-            .resolve_annotation(
-                e.callee.class.as_str(),
-                e.callee.class_level,
-                e.callee.method.as_str(),
-            )
-            .is_some_and(|(_, a)| a.always_dyn_check);
+        let always_dyn = ann.is_some_and(|(_, a)| a.always_dyn_check);
         if !always_dyn {
             summary.predicted_fast_entries.insert(e.receiver);
         }
@@ -467,12 +537,32 @@ pub fn analyze_call_graph(view: &ProgramView) -> (Vec<TypeDiagnostic>, ResidueSu
         });
         if caller_checked {
             summary.elided_edges += 1;
+            if ann.is_some_and(|(_, a)| a.inferred) {
+                summary.elided_inferred_edges += 1;
+            }
             r.elided += 1;
         } else {
             summary.residual_edges += 1;
             r.residual_sites.push(e.span);
         }
     }
+    // A dynamically-defined method (a `define_method` / `attr_accessor`
+    // registry entry) exists only because the running program created
+    // it, in the define-on-demand idiom: the definition is itself
+    // evidence of dispatch, even when that dispatch is reflective
+    // (`send` with a computed name) and so contributes no static call
+    // edge. A checked one is predicted to be patched.
+    for key in &view.dynamic_defs {
+        if checked(key) {
+            let always_dyn = view
+                .resolve_annotation(key.class.as_str(), key.class_level, key.method.as_str())
+                .is_some_and(|(_, a)| a.always_dyn_check);
+            if !always_dyn {
+                summary.predicted_fast_entries.insert(*key);
+            }
+        }
+    }
+
     for (callee, r) in &mut per_callee {
         if r.residual_sites.is_empty() {
             continue;
@@ -545,6 +635,7 @@ mod tests {
                     span: Span::dummy(),
                     check: true,
                     always_dyn_check: false,
+                    inferred: false,
                 },
             );
         }

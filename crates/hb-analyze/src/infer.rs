@@ -1,0 +1,391 @@
+//! Candidate signature generation for checker-verified whole-program
+//! type inference — the static half of `Hummingbird::infer`.
+//!
+//! For every *reachable, unannotated, app-scope* method the pass solves a
+//! small constraint system to a candidate `type` signature:
+//!
+//! * **parameter types** come from the call graph: each in-edge carries
+//!   the abstract values ([`AbsVal`]) of its positional arguments as the
+//!   forward flow analysis knew them at the call site, and the candidate
+//!   parameter type at position `i` is the *union* over all in-edges.
+//!   An edge with an opaque call shape (splat, reflective dispatch,
+//!   `super`), a mismatched positional arity, or an untypable argument
+//!   widens the affected positions to `%any` — never guesses.
+//! * **the return type** comes from the method's own dataflow: the join
+//!   of the abstract values flowing into its `return` terminators, `%any`
+//!   when any return site is untypable.
+//!
+//! Nothing here is trusted: a candidate is only *plausible*. The dynamic
+//! half (`core`'s adoption path) runs every candidate through the real
+//! checker (`hb_check::verify_candidate`) against a hypothesis world and
+//! adopts only proven signatures — soundness is inherited from the
+//! checker, never asserted by these heuristics.
+//!
+//! Abstract values map to checker types the way the *runtime* classes
+//! them: integer literals are `Fixnum` (every runtime integer is), which
+//! also matches the only annotated arithmetic surface in the corelib.
+
+use crate::callgraph::{CallGraph, Caller};
+use crate::dataflow::{solve, Analysis};
+use crate::passes::{AbsVal, ForwardFlow};
+use crate::view::ProgramView;
+use hb_il::{IlParamKind, MethodCfg, Terminator};
+use hb_intern::MethodKey;
+use hb_syntax::Span;
+use hb_types::{MethodType, Type};
+use std::collections::BTreeMap;
+
+/// One candidate signature: plausible by dataflow, not yet verified.
+#[derive(Debug, Clone)]
+pub struct SigCandidate {
+    pub key: MethodKey,
+    /// The candidate method type (required positional parameters only).
+    pub mt: MethodType,
+    /// The method definition's span (where a diagnostic/adoption points).
+    pub span: Span,
+}
+
+impl SigCandidate {
+    /// The candidate as a ready-to-paste annotation line:
+    /// `type Talk, "venue", "(String) -> String"`.
+    pub fn annotation_line(&self) -> String {
+        let target = if self.key.class_level {
+            format!("{}, :self, \"{}\"", self.key.class, self.key.method)
+        } else {
+            format!("{}, \"{}\"", self.key.class, self.key.method)
+        };
+        format!("type {target}, \"{}\"", self.mt)
+    }
+}
+
+/// Maps an abstract value to the checker type the runtime would give the
+/// same value. `None` means the lattice point carries no type information
+/// (`Truthy`, `is_a?` test results, class objects).
+pub fn type_of_abs(a: &AbsVal) -> Option<Type> {
+    match a {
+        AbsVal::True | AbsVal::False => Some(Type::Bool),
+        AbsVal::Nil => Some(Type::Nil),
+        // The flow lattice files integer literals under "Integer", but
+        // every runtime integer is a Fixnum instance and the corelib's
+        // arithmetic annotations live on Fixnum — align with the checker.
+        AbsVal::Klass(k) | AbsVal::InstanceOf(k) => Some(Type::nominal(match k.as_str() {
+            "Integer" => "Fixnum",
+            other => other,
+        })),
+        AbsVal::Truthy | AbsVal::ClassObj(_) | AbsVal::Test { .. } => None,
+    }
+}
+
+/// True when `cfg` (or any nested block literal) contains an explicit
+/// `return` out of the enclosing method — those CFGs' return types cannot
+/// be read off the top-level terminators alone.
+fn block_lits_method_return(cfg: &MethodCfg) -> bool {
+    cfg.block_lits.iter().any(|bl| {
+        bl.cfg
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::MethodReturn(_)))
+            || block_lits_method_return(&bl.cfg)
+    })
+}
+
+/// Infers the method's return type from its own dataflow: the union of
+/// the abstract values at every reachable `return` terminator, `%any`
+/// when any of them is untypable (or when a nested block literal returns
+/// out of the method).
+fn infer_ret(view: &ProgramView, cfg: &MethodCfg) -> Type {
+    if block_lits_method_return(cfg) {
+        return Type::Any;
+    }
+    let flow = ForwardFlow {
+        view,
+        boundary_assigned: cfg.params.iter().map(|p| p.name.clone()).collect(),
+    };
+    let sol = solve(&flow, cfg);
+    let mut parts: Vec<Type> = Vec::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !sol.reached[bi] {
+            continue;
+        }
+        let (Terminator::Return(op) | Terminator::MethodReturn(op)) = &block.term else {
+            continue;
+        };
+        let mut fact = sol.entry[bi].clone();
+        for instr in &block.instrs {
+            flow.transfer_instr(instr, &mut fact);
+        }
+        match flow
+            .abs_of_operand(op, &fact)
+            .as_ref()
+            .and_then(type_of_abs)
+        {
+            Some(t) => parts.push(t),
+            None => return Type::Any,
+        }
+    }
+    if parts.is_empty() {
+        Type::Any
+    } else {
+        Type::union_of(parts)
+    }
+}
+
+/// Generates candidate signatures for every reachable, unannotated,
+/// app-scope method whose parameters are plain required positionals.
+/// Deterministic: candidates come out sorted by method key.
+pub fn infer_candidates(view: &ProgramView, graph: &CallGraph) -> Vec<SigCandidate> {
+    // In-edge argument abstractions per callee (live callers only).
+    let mut in_args: BTreeMap<MethodKey, Vec<&Option<Vec<Option<AbsVal>>>>> = BTreeMap::new();
+    for e in &graph.edges {
+        // A self-recursive edge is excluded from parameter accumulation:
+        // the candidate hypothesis already covers it, and verification
+        // checks the recursive call against the hypothesis world — the
+        // fixpoint the overlay exists for. (Recursive argument values
+        // are rarely typable by the flow lattice anyway; counting them
+        // would only poison the position to `%any`.)
+        let caller_live = match e.caller {
+            Caller::Root(_) => true,
+            Caller::Method(k) if k == e.callee => false,
+            Caller::Method(k) => graph.reachable.contains(&k),
+        };
+        if caller_live {
+            in_args.entry(e.callee).or_default().push(&e.args);
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in &view.methods {
+        if !graph.reachable.contains(&m.key) {
+            continue;
+        }
+        // Any governing annotation — even `check: false` (trusted
+        // library) — disqualifies: inference fills gaps, never overrides
+        // what the program declared. The exception is an annotation a
+        // *previous inference run* produced: those are re-derived, so a
+        // reload that changed the body converges on a fresh signature
+        // instead of pinning the method to a stale inferred one.
+        if view
+            .resolve_annotation(
+                m.key.class.as_str(),
+                m.key.class_level,
+                m.key.method.as_str(),
+            )
+            .is_some_and(|(_, a)| !a.inferred)
+        {
+            continue;
+        }
+        // Only app code: substrate methods (<corelib>, <rails/…>) are
+        // unannotated by design.
+        if !view.in_warn_scope(m.cfg.span) {
+            continue;
+        }
+        // Optional/rest/block parameters need richer signature shapes
+        // than the candidate solver produces; skip them.
+        if m.cfg.params.iter().any(|p| p.kind != IlParamKind::Required) {
+            continue;
+        }
+        let n = m.cfg.params.len();
+        // Per-position accumulation: union of typed in-flows, poisoned to
+        // `%any` by any opaque edge, arity mismatch or untyped argument.
+        let mut parts: Vec<Vec<Type>> = vec![Vec::new(); n];
+        let mut poisoned: Vec<bool> = vec![false; n];
+        for edge_args in in_args.get(&m.key).map(Vec::as_slice).unwrap_or(&[]) {
+            match edge_args {
+                Some(v) if v.len() == n => {
+                    for (i, a) in v.iter().enumerate() {
+                        match a.as_ref().and_then(type_of_abs) {
+                            Some(t) => {
+                                if !parts[i].contains(&t) {
+                                    parts[i].push(t);
+                                }
+                            }
+                            None => poisoned[i] = true,
+                        }
+                    }
+                }
+                _ => poisoned.iter_mut().for_each(|p| *p = true),
+            }
+        }
+        let params: Vec<Type> = parts
+            .into_iter()
+            .zip(&poisoned)
+            .map(|(mut p, &dirty)| {
+                if dirty || p.is_empty() {
+                    Type::Any
+                } else {
+                    // Stable candidate text regardless of edge order.
+                    p.sort_by_key(|t| t.to_string());
+                    Type::union_of(p)
+                }
+            })
+            .collect();
+        let ret = infer_ret(view, &m.cfg);
+        out.push(SigCandidate {
+            key: m.key,
+            mt: MethodType::simple(params, ret),
+            span: m.cfg.span,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build_call_graph;
+    use crate::roots::collect_roots;
+    use crate::view::{AnnotationUnit, MethodUnit};
+    use hb_il::{collect_method_defs, lower_method};
+    use hb_syntax::{parse_program, FileId, SourceMap};
+    use std::sync::Arc;
+
+    fn view_of(src: &str, annotated: &[(&str, &str)]) -> ProgramView {
+        let mut sm = SourceMap::new();
+        sm.add_file("t.rb", src);
+        let p = parse_program(src, "t.rb").unwrap();
+        let mut view = ProgramView::default();
+        view.warn_files.insert(FileId(0));
+        for d in collect_method_defs(&p) {
+            let owner = d.owner.clone();
+            view.chains
+                .entry(owner.clone())
+                .or_insert_with(|| vec![owner.clone(), "Object".into()]);
+            let key = if d.self_method {
+                MethodKey::class_level(&owner, &d.def.name)
+            } else {
+                MethodKey::instance(&owner, &d.def.name)
+            };
+            view.methods.push(MethodUnit {
+                key,
+                cfg: Arc::new(lower_method(&d.def)),
+            });
+        }
+        view.chains
+            .entry("Object".into())
+            .or_insert_with(|| vec!["Object".into()]);
+        for (class, method) in annotated {
+            view.annotations.insert(
+                MethodKey::instance(class, method),
+                AnnotationUnit {
+                    span: Span::dummy(),
+                    check: true,
+                    always_dyn_check: false,
+                    inferred: false,
+                },
+            );
+        }
+        view.roots = collect_roots(&p, "t.rb");
+        view
+    }
+
+    fn candidate_of(view: &ProgramView, class: &str, method: &str) -> Option<SigCandidate> {
+        let graph = build_call_graph(view);
+        infer_candidates(view, &graph)
+            .into_iter()
+            .find(|c| c.key == MethodKey::instance(class, method))
+    }
+
+    #[test]
+    fn literal_args_and_ret_infer_exact_types() {
+        let src = "
+class A
+  def bump(n)
+    n
+  end
+end
+A.new.bump(1)
+";
+        let c = candidate_of(&view_of(src, &[]), "A", "bump").unwrap();
+        assert_eq!(c.mt.to_string(), "(Fixnum) -> %any");
+    }
+
+    #[test]
+    fn literal_return_infers_ret_type() {
+        let src = "
+class A
+  def tag(s)
+    \"x\"
+  end
+end
+A.new.tag(\"y\")
+";
+        let c = candidate_of(&view_of(src, &[]), "A", "tag").unwrap();
+        assert_eq!(c.mt.to_string(), "(String) -> String");
+    }
+
+    #[test]
+    fn disagreeing_callers_union_the_parameter() {
+        let src = "
+class A
+  def show(v)
+    \"s\"
+  end
+end
+a = A.new
+a.show(1)
+a.show(\"two\")
+";
+        let c = candidate_of(&view_of(src, &[]), "A", "show").unwrap();
+        assert_eq!(c.mt.to_string(), "(Fixnum or String) -> String");
+    }
+
+    #[test]
+    fn opaque_edge_widens_to_any() {
+        let src = "
+class A
+  def show(v)
+    \"s\"
+  end
+end
+a = A.new
+a.show(*[1])
+";
+        let c = candidate_of(&view_of(src, &[]), "A", "show").unwrap();
+        assert_eq!(c.mt.to_string(), "(%any) -> String");
+    }
+
+    #[test]
+    fn annotated_methods_are_skipped() {
+        let src = "
+class A
+  def bump(n)
+    n
+  end
+end
+A.new.bump(1)
+";
+        let view = view_of(src, &[("A", "bump")]);
+        assert!(candidate_of(&view, "A", "bump").is_none());
+    }
+
+    #[test]
+    fn unreachable_methods_are_skipped() {
+        let src = "
+class A
+  def orphan(n)
+    n
+  end
+end
+A.new
+";
+        let view = view_of(src, &[]);
+        assert!(candidate_of(&view, "A", "orphan").is_none());
+    }
+
+    #[test]
+    fn annotation_line_renders_ready_to_paste() {
+        let src = "
+class A
+  def tag(s)
+    \"x\"
+  end
+end
+A.new.tag(\"y\")
+";
+        let c = candidate_of(&view_of(src, &[]), "A", "tag").unwrap();
+        assert_eq!(
+            c.annotation_line(),
+            "type A, \"tag\", \"(String) -> String\""
+        );
+    }
+}

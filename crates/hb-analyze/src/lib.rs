@@ -12,8 +12,9 @@
 //! | HB1004 | unused-local        | a local assigned but never read anywhere          |
 //! | HB1005 | stale-annotation    | a `check`-annotated method no entry point reaches |
 //! | HB1006 | dyn-check-residue   | a checked method reached from unchecked callers: its guarded prologue survives elision |
+//! | HB2001 | inferable-signature | a candidate signature the checker refuted, with the ready-to-paste `type` line |
 //!
-//! The crate has three layers:
+//! The crate has four layers:
 //!
 //! 1. [`dataflow`] — the generic worklist framework (`Analysis` trait,
 //!    forward/backward solve, per-edge narrowing and feasibility).
@@ -25,6 +26,13 @@
 //!    reachability from load-time roots, and the dynamic-check-residue
 //!    auditor whose [`callgraph::ResidueSummary`] cross-checks the
 //!    runtime's `fast_entries_patched` statistic.
+//! 4. [`infer`] — candidate signature generation for checker-verified
+//!    whole-program inference: parameter types from call-graph in-edge
+//!    argument abstractions, return types from the method's own
+//!    dataflow. Candidates are only *plausible* — the embedding layer
+//!    verifies each through the real checker against a hypothesis
+//!    world, adopts survivors as `Inferred` annotations, and reports
+//!    refuted ones as HB2001.
 //!
 //! The crate is deliberately runtime-free: it consumes a
 //! [`ProgramView`] — methods, roots, ancestor chains and annotations —
@@ -37,6 +45,7 @@
 
 pub mod callgraph;
 pub mod dataflow;
+pub mod infer;
 pub mod passes;
 pub mod roots;
 pub mod view;
@@ -45,6 +54,7 @@ pub use callgraph::{
     analyze_call_graph, build_call_graph, CallGraph, Caller, Edge, ResidueSummary,
 };
 pub use dataflow::{predecessors, solve, Analysis, BlockStates, Direction};
+pub use infer::{infer_candidates, SigCandidate};
 pub use passes::{analyze_cfg, PassCtx};
 pub use roots::collect_roots;
 pub use view::{AnnotationUnit, MethodUnit, ProgramView, RootUnit};

@@ -1,0 +1,159 @@
+//! The seeded corpus for checker-verified signature inference: one tiny
+//! program per behavior the pass must exhibit — a verified candidate is
+//! adopted (and elides), a refuted candidate only warns (`HB2001`), a
+//! recursive method converges through the hypothesis-world fixpoint,
+//! disagreeing callers union the parameter, a metaprogrammed method is
+//! inferable, and a reload invalidates an inferred signature so it is
+//! re-derived against the new body. The `--infer --smoke` CI gate and
+//! the `infer_corpus` tests assert exact adopted signatures, exact
+//! codes, and exact ledger stats for every case.
+
+use hummingbird::{Hummingbird, InferReport, Mode};
+
+/// One corpus case: a program, the exact signatures inference must
+/// adopt for it, and how many candidates the checker must refute.
+pub struct InferCase {
+    pub name: &'static str,
+    pub src: &'static str,
+    /// Exact adopted annotation lines, in adoption order.
+    pub expect_adopted: &'static [&'static str],
+    /// Refuted candidates — each warns `HB2001` exactly once.
+    pub expect_rejected: usize,
+}
+
+/// The corpus: one case per inference behavior.
+pub fn infer_cases() -> Vec<InferCase> {
+    vec![
+        InferCase {
+            name: "verified-adopted",
+            // The plain success path: argument types flow from the call
+            // site, the return type from the body's dataflow; the
+            // checker verifies the candidate and it is adopted.
+            src: "
+class Greeter
+  def greet(name)
+    \"hi\"
+  end
+end
+Greeter.new.greet(\"bob\")
+",
+            expect_adopted: &["type Greeter, \"greet\", \"(String) -> String\""],
+            expect_rejected: 0,
+        },
+        InferCase {
+            name: "refuted-hb2001",
+            // The candidate `(Fixnum) -> Fixnum` is plausible by
+            // dataflow but the body assigns the Fixnum into an ivar
+            // declared String — `check_sig` refutes it, so nothing is
+            // adopted and the candidate surfaces as HB2001 only.
+            src: "
+class Box
+  def fill(v)
+    @content = v
+    v
+  end
+end
+var_type Box, \"@content\", \"String\"
+Box.new.fill(5)
+",
+            expect_adopted: &[],
+            expect_rejected: 1,
+        },
+        InferCase {
+            name: "recursive",
+            // The recursive call checks against the method's *own*
+            // candidate inside the hypothesis world — the fixpoint the
+            // overlay exists for. The self-edge is excluded from
+            // parameter accumulation, so the external caller's Fixnum
+            // survives instead of being poisoned by the untypable
+            // recursive argument.
+            src: "
+class Walker
+  def visit(n)
+    if n > 0
+      visit(n - 1)
+    end
+    \"done\"
+  end
+end
+Walker.new.visit(3)
+",
+            expect_adopted: &["type Walker, \"visit\", \"(Fixnum) -> String\""],
+            expect_rejected: 0,
+        },
+        InferCase {
+            name: "union-candidate",
+            // Callers disagree on the argument type: the candidate
+            // parameter is their union, and the checker verifies the
+            // body against both arms.
+            src: "
+class Show
+  def render(v)
+    \"x\"
+  end
+end
+s = Show.new
+s.render(1)
+s.render(\"two\")
+",
+            expect_adopted: &["type Show, \"render\", \"(Fixnum or String) -> String\""],
+            expect_rejected: 0,
+        },
+        InferCase {
+            name: "metaprogrammed",
+            // The method only exists because `define_method` ran: it is
+            // in the registry (a dynamic definition), so the
+            // whole-program view sees it and inference types it like
+            // any other reachable method.
+            src: "
+class Widget
+  define_method(:ping) do
+    \"pong\"
+  end
+end
+Widget.new.ping
+",
+            expect_adopted: &["type Widget, \"ping\", \"() -> String\""],
+            expect_rejected: 0,
+        },
+        InferCase {
+            name: "reload-invalidated",
+            // Act one of the reload scenario: the String signature is
+            // inferred and adopted. The test then reloads the file with
+            // a Fixnum body — the redefinition invalidates (and
+            // depatches) the inferred signature, and re-inference
+            // converges on the new one instead of pinning the old.
+            src: "
+class Conf
+  def flag
+    \"on\"
+  end
+end
+Conf.new.flag
+",
+            expect_adopted: &["type Conf, \"flag\", \"() -> String\""],
+            expect_rejected: 0,
+        },
+    ]
+}
+
+/// Loads one corpus case into a fresh system and runs inference.
+///
+/// # Panics
+///
+/// Panics if the case fails to load — corpus sources are fixtures.
+pub fn infer_case_with(
+    case: &InferCase,
+    builder: hummingbird::HummingbirdBuilder,
+) -> (Hummingbird, InferReport) {
+    let mut hb = builder.mode(Mode::Full).build();
+    hb.load_file(&format!("corpus/{}.rb", case.name), case.src)
+        .unwrap_or_else(|e| panic!("infer case {} failed to load: {e}", case.name));
+    let report = hb.infer(1);
+    (hb, report)
+}
+
+/// [`infer_case_with`] on a default build.
+pub fn infer_case(case: &InferCase) -> (Hummingbird, InferReport) {
+    infer_case_with(case, Hummingbird::builder())
+}

@@ -7,12 +7,14 @@
 
 pub mod apps;
 pub mod datafile;
+pub mod infer_corpus;
 pub mod lint_corpus;
 pub mod table1;
 pub mod talks_history;
 pub mod tenant;
 
 pub use apps::{all_apps, boxroom, cct, countries, pubs, rolify, talks, AppSpec};
+pub use infer_corpus::{infer_case, infer_case_with, infer_cases, InferCase};
 pub use lint_corpus::{analyze_case, corpus_cases, CorpusCase};
 pub use table1::{measure_app, AppCounts, Table1Row};
 pub use tenant::{

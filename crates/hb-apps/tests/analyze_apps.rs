@@ -117,32 +117,46 @@ fn analysis_is_identical_across_exec_tiers() {
     }
 }
 
-/// The headline cross-check: the residue auditor's predicted fast-entry
-/// set must match the bytecode tier's actual `fast_entries_patched`
-/// count once the workload warms the program up — on every app without
-/// reload/metaprogramming churn (Rolify re-defines methods per
-/// iteration, deopting and re-patching, so its runtime count exceeds
-/// the static prediction by design).
+/// The headline cross-check, 6/6: the residue auditor's predicted
+/// fast-entry set matches the bytecode tier's runtime patch state on
+/// *every* app — including Rolify, whose per-iteration `define_method`
+/// churn used to force a carve-out. Two ingredients close the gap:
+///
+/// * the audit runs *after* the workload, so metaprogrammed methods are
+///   in the registry (classified as `dynamic-definition` edges) and the
+///   prediction sees the same world the engine patched;
+/// * `fast_entries_patched` and `deopts` are cumulative, so the
+///   steady-state invariant is `predicted == patched - deopts` — the
+///   churn cancels out of the *currently patched* count.
 #[test]
-fn predicted_fast_entries_match_runtime_patches() {
+fn predicted_fast_entries_match_runtime_patches_on_all_six() {
     let mut matched = 0usize;
     for spec in all_apps() {
-        if spec.name == "Rolify" {
-            continue;
-        }
-        let (mut hb, report) = analyze(&spec, 1, ExecTier::Bytecode);
+        let (mut hb, _) = analyze(&spec, 1, ExecTier::Bytecode);
         run_workload(&spec, &mut hb, 3);
+        let report = hb.analyze(1);
         let stats = hb.stats();
         assert_eq!(
             report.summary.predicted_fast_entries.len() as u64,
-            stats.fast_entries_patched,
-            "{}: static prediction vs runtime patches",
+            stats.fast_entries_patched - stats.deopts,
+            "{}: static prediction vs currently patched fast entries",
             spec.name
         );
-        assert_eq!(stats.deopts, 0, "{}: stable app must not deopt", spec.name);
+        if spec.name == "Rolify" {
+            // The churn is real: methods were deopted and re-patched,
+            // and the auditor saw (and classified) the dynamic
+            // definitions that caused it.
+            assert!(stats.deopts > 0, "Rolify: define_method churn must deopt");
+            assert!(
+                report.summary.dynamic_def_edges > 0,
+                "Rolify: audit must classify dynamic-definition edges"
+            );
+        } else {
+            assert_eq!(stats.deopts, 0, "{}: stable app must not deopt", spec.name);
+        }
         matched += 1;
     }
-    assert_eq!(matched, 5);
+    assert_eq!(matched, 6, "every app, no carve-outs");
 }
 
 /// Every seeded corpus defect is caught by its exact code.

@@ -1,0 +1,161 @@
+//! Checker-verified signature inference over the six subject apps:
+//! determinism (serial vs parallel, tree-walk vs bytecode), soundness
+//! accounting (every adoption was verified by `check_sig`), idempotence,
+//! and the end-to-end payoff — inferred annotations convert unannotated
+//! residue into patched fast entries at runtime.
+
+use hb_apps::{all_apps, build_app_with, run_workload, AppSpec};
+use hummingbird::{ExecTier, Hummingbird, InferReport};
+
+/// Builds `spec`, asserts it type-checks clean, and runs signature
+/// inference with the workload call declared as the entry point.
+fn infer(spec: &AppSpec, jobs: usize, tier: ExecTier) -> (Hummingbird, InferReport) {
+    let mut hb = build_app_with(spec, Hummingbird::builder().exec_tier(tier));
+    let errors = hb.check_all_parallel(jobs);
+    assert!(
+        errors.is_empty(),
+        "{}: expected 0 type errors before inference",
+        spec.name
+    );
+    let call = (spec.workload_call)(1);
+    let report = hb.infer_with_entries(jobs, &[("<workload>", &call)]);
+    (hb, report)
+}
+
+/// A run's complete observable output: adopted signatures in adoption
+/// order plus rendered HB2001 diagnostics in canonical order.
+fn transcript(hb: &Hummingbird, report: &InferReport) -> Vec<String> {
+    let map = hb.source_map();
+    let mut out: Vec<String> = report
+        .adopted
+        .iter()
+        .map(|(k, line)| format!("adopt {k}: {line}"))
+        .collect();
+    out.extend(report.diagnostics.iter().map(|d| d.render(map)));
+    out
+}
+
+/// Fanning candidate verification across scheduler workers must not
+/// change a byte of output relative to the serial path.
+#[test]
+fn inference_is_byte_identical_serial_vs_parallel() {
+    for spec in all_apps() {
+        let (hb_s, serial) = infer(&spec, 1, ExecTier::TreeWalk);
+        let (hb_p, parallel) = infer(&spec, 4, ExecTier::TreeWalk);
+        assert_eq!(
+            transcript(&hb_s, &serial),
+            transcript(&hb_p, &parallel),
+            "{}: serial vs --jobs 4 inference drifted",
+            spec.name
+        );
+        assert_eq!(serial.candidates, parallel.candidates, "{}", spec.name);
+        assert_eq!(serial.rejected, parallel.rejected, "{}", spec.name);
+    }
+}
+
+/// Inference reads the same registry/annotation state regardless of
+/// execution tier, so its output is identical under both.
+#[test]
+fn inference_is_identical_across_exec_tiers() {
+    for spec in all_apps() {
+        let (hb_t, tree) = infer(&spec, 1, ExecTier::TreeWalk);
+        let (hb_b, byte) = infer(&spec, 1, ExecTier::Bytecode);
+        assert_eq!(
+            transcript(&hb_t, &tree),
+            transcript(&hb_b, &byte),
+            "{}: tree-walk vs bytecode inference drifted",
+            spec.name
+        );
+    }
+}
+
+/// The soundness ledger: every adopted signature survived the checker
+/// (`inferred_verified` covers it), every refuted candidate is counted
+/// and warned about, and the program still checks clean afterwards.
+#[test]
+fn every_adoption_is_checker_verified_and_counted() {
+    for spec in all_apps() {
+        let (mut hb, report) = infer(&spec, 1, ExecTier::TreeWalk);
+        let stats = hb.stats();
+        assert!(
+            !report.adopted.is_empty(),
+            "{}: expected at least one adoption",
+            spec.name
+        );
+        assert_eq!(
+            stats.inferred_adopted,
+            report.adopted.len() as u64,
+            "{}: adoption ledger",
+            spec.name
+        );
+        assert!(
+            stats.inferred_verified >= stats.inferred_adopted,
+            "{}: adoption without verification",
+            spec.name
+        );
+        assert_eq!(
+            stats.inferred_rejected, report.rejected as u64,
+            "{}: rejection ledger",
+            spec.name
+        );
+        assert_eq!(
+            report.rejected,
+            report.diagnostics.len(),
+            "{}: every refuted candidate warns (HB2001) exactly once",
+            spec.name
+        );
+        assert!(
+            hb.check_all_parallel(1).is_empty(),
+            "{}: program must still check clean after adoption",
+            spec.name
+        );
+    }
+}
+
+/// Running inference twice is a fixpoint: the second run re-derives the
+/// same signatures (inferred annotations are re-derivable, never
+/// pinning) and registers nothing new.
+#[test]
+fn inference_is_idempotent() {
+    for spec in all_apps() {
+        let (mut hb, first) = infer(&spec, 1, ExecTier::TreeWalk);
+        let adopted_after_first = hb.stats().inferred_adopted;
+        let call = (spec.workload_call)(1);
+        let second = hb.infer_with_entries(1, &[("<workload>", &call)]);
+        assert_eq!(
+            first.adopted.iter().map(|(_, l)| l).collect::<Vec<_>>(),
+            second.adopted.iter().map(|(_, l)| l).collect::<Vec<_>>(),
+            "{}: re-inference must converge on the same signatures",
+            spec.name
+        );
+        assert_eq!(
+            hb.stats().inferred_adopted,
+            adopted_after_first,
+            "{}: re-inference must not register new annotations",
+            spec.name
+        );
+    }
+}
+
+/// The end-to-end payoff: adopting inferred signatures strictly grows
+/// the number of fast entries the bytecode tier patches for the same
+/// workload — unannotated residue became elided fast paths.
+#[test]
+fn inferred_annotations_strictly_grow_patched_fast_entries() {
+    for spec in all_apps() {
+        let mut base = build_app_with(&spec, Hummingbird::builder().exec_tier(ExecTier::Bytecode));
+        assert!(base.check_all_parallel(1).is_empty(), "{}", spec.name);
+        run_workload(&spec, &mut base, 3);
+        let before = base.stats().fast_entries_patched;
+
+        let (mut hb, report) = infer(&spec, 1, ExecTier::Bytecode);
+        assert!(!report.adopted.is_empty(), "{}", spec.name);
+        run_workload(&spec, &mut hb, 3);
+        let after = hb.stats().fast_entries_patched;
+        assert!(
+            after > before,
+            "{}: inferred annotations must patch new fast entries ({before} -> {after})",
+            spec.name
+        );
+    }
+}

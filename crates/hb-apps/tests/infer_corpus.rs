@@ -1,0 +1,156 @@
+//! The seeded inference corpus: every case must produce its exact
+//! adopted signatures and exact rejection count, the refuted case must
+//! warn `HB2001` and nothing else, and the reload case must depatch and
+//! re-derive its inferred signature against the new body.
+
+use hb_apps::{infer_case, infer_case_with, infer_cases};
+use hummingbird::{ExecTier, Hummingbird};
+
+/// Every corpus case adopts exactly its expected signatures, refutes
+/// exactly its expected count, and each refutation warns `HB2001`.
+#[test]
+fn corpus_cases_adopt_and_refute_exactly() {
+    for case in infer_cases() {
+        let (mut hb, report) = infer_case(&case);
+        let adopted: Vec<&str> = report.adopted.iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(
+            adopted, case.expect_adopted,
+            "{}: adopted signatures drifted",
+            case.name
+        );
+        assert_eq!(
+            report.rejected, case.expect_rejected,
+            "{}: rejection count drifted",
+            case.name
+        );
+        assert_eq!(
+            report.diagnostics.len(),
+            case.expect_rejected,
+            "{}: every refutation warns exactly once",
+            case.name
+        );
+        for d in &report.diagnostics {
+            assert_eq!(
+                d.code.to_string(),
+                "HB2001",
+                "{}: refutations must carry the stable inference code",
+                case.name
+            );
+        }
+        let stats = hb.stats();
+        assert_eq!(
+            stats.inferred_adopted,
+            case.expect_adopted.len() as u64,
+            "{}",
+            case.name
+        );
+        assert_eq!(
+            stats.inferred_rejected, case.expect_rejected as u64,
+            "{}",
+            case.name
+        );
+        assert!(
+            hb.check_all_parallel(1).is_empty(),
+            "{}: program must check clean after adoption",
+            case.name
+        );
+    }
+}
+
+/// The adopted signature is not just bookkeeping: under the bytecode
+/// tier the newly checked method's fast prologue is patched on the next
+/// dispatch — unannotated residue became an elided fast path.
+#[test]
+fn adopted_signature_elides_on_next_dispatch() {
+    let cases = infer_cases();
+    let case = cases.iter().find(|c| c.name == "verified-adopted").unwrap();
+    let (mut hb, report) =
+        infer_case_with(case, Hummingbird::builder().exec_tier(ExecTier::Bytecode));
+    assert_eq!(report.adopted.len(), 1);
+    let before = hb.stats().fast_entries_patched;
+    hb.eval("Greeter.new.greet(\"again\")").unwrap();
+    let after = hb.stats().fast_entries_patched;
+    assert!(
+        after > before,
+        "adopted signature must patch a fast entry ({before} -> {after})"
+    );
+}
+
+/// The metaprogrammed case really is dynamic: the audit classifies its
+/// call edges as on-dynamic-definitions and predicts its fast entry.
+#[test]
+fn metaprogrammed_method_is_classified_dynamic() {
+    let cases = infer_cases();
+    let case = cases.iter().find(|c| c.name == "metaprogrammed").unwrap();
+    let (mut hb, report) = infer_case(case);
+    assert_eq!(report.adopted.len(), 1);
+    let audit = hb.analyze(1);
+    assert!(
+        audit.summary.dynamic_def_edges > 0,
+        "define_method edges must classify as dynamic-definition"
+    );
+}
+
+/// The reload scenario end-to-end: an inferred signature is adopted and
+/// patched; reloading the file with a different body invalidates it
+/// (Definition 1), depatching the fast entry; re-inference converges on
+/// the *new* signature instead of pinning the stale one.
+#[test]
+fn reload_invalidates_and_reinfers_inferred_signature() {
+    let cases = infer_cases();
+    let case = cases
+        .iter()
+        .find(|c| c.name == "reload-invalidated")
+        .unwrap();
+    let (mut hb, report) =
+        infer_case_with(case, Hummingbird::builder().exec_tier(ExecTier::Bytecode));
+    assert_eq!(
+        report
+            .adopted
+            .iter()
+            .map(|(_, l)| l.as_str())
+            .collect::<Vec<_>>(),
+        ["type Conf, \"flag\", \"() -> String\""]
+    );
+    // Warm the fast entry under the inferred annotation.
+    hb.eval("Conf.new.flag").unwrap();
+    assert!(hb.stats().fast_entries_patched > 0);
+
+    // Reload with a body that returns a Fixnum: the redefinition
+    // invalidates the inferred signature and flushes the fast entry.
+    let deopts_before = hb.stats().deopts;
+    hb.reload_file(
+        "corpus/reload-invalidated.rb",
+        "
+class Conf
+  def flag
+    1
+  end
+end
+Conf.new.flag
+",
+    )
+    .unwrap();
+    assert!(
+        hb.stats().deopts > deopts_before,
+        "reload must depatch the inferred fast entry"
+    );
+
+    // Re-inference re-derives against the new body — the old inferred
+    // signature does not pin the method.
+    let second = hb.infer(1);
+    assert_eq!(
+        second
+            .adopted
+            .iter()
+            .map(|(_, l)| l.as_str())
+            .collect::<Vec<_>>(),
+        ["type Conf, \"flag\", \"() -> Fixnum\""],
+        "re-inference must converge on the new signature"
+    );
+    assert!(hb.check_all_parallel(1).is_empty());
+    // And the re-inferred signature patches again on the next dispatch.
+    let patched_before = hb.stats().fast_entries_patched;
+    hb.eval("Conf.new.flag").unwrap();
+    assert!(hb.stats().fast_entries_patched > patched_before);
+}

@@ -173,6 +173,27 @@ pub fn check_sig(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
     }
 }
 
+/// The candidate-verification entry point for whole-program inference:
+/// checks a *candidate* (inferred, not yet registered) signature against
+/// the body exactly as [`check_sig`] would — same judgement, same
+/// dependency/resolution harvest — so an inferred annotation is adopted
+/// only on a proof the engine itself would accept. Soundness is inherited
+/// from the checker, never asserted by the inference heuristics.
+///
+/// Identical to [`check_sig`] today (the request already carries the
+/// candidate in `req.sig` and the hypothesis world in `req.rdl`); it
+/// exists as a named seam so verification-specific policy (e.g. widening
+/// caps for speculative candidates) can diverge without touching the
+/// just-in-time path.
+///
+/// # Errors
+///
+/// The refutation: the first static type error found checking the body
+/// against the candidate.
+pub fn verify_candidate(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
+    check_sig(req)
+}
+
 fn check_sig_arms(req: &CheckRequest) -> Result<CheckOutcome, CheckError> {
     let CheckRequest {
         cfg,

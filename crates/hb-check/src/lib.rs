@@ -10,7 +10,8 @@ pub mod info;
 pub mod table;
 
 pub use checker::{
-    check_sig, generic_params, CheckError, CheckOptions, CheckOutcome, CheckRequest,
+    check_sig, generic_params, verify_candidate, CheckError, CheckOptions, CheckOutcome,
+    CheckRequest,
 };
 pub use hb_rdl::CheckPolicy;
 pub use info::{ClassInfo, InfoHierarchy, MapClassInfo};

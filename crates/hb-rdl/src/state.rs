@@ -180,6 +180,17 @@ pub enum AnnotationSource {
     Static,
     /// Generated by executing code (pre-hooks, schema loops, `add_types`).
     Dynamic,
+    /// Produced by the whole-program inference pass and *verified* by
+    /// `check_sig` before registration — never hand-written. Provenance
+    /// only on the hot paths: an inferred entry checks, derives,
+    /// snapshots and distributes exactly like a declared one (the source
+    /// is deliberately excluded from the table fingerprint, so adopting
+    /// an inferred signature perturbs the epoch stream no differently
+    /// than declaring it). The source *does* govern lifecycle: inferred
+    /// entries are re-derivable by later inference runs and are
+    /// [retracted](RdlState::retract_inferred) — not enforced — when a
+    /// reload changes the body they were derived from.
+    Inferred,
 }
 
 /// One method's annotation entry.
@@ -458,6 +469,47 @@ impl RdlState {
             drop(inner);
             self.notify(&ev);
         }
+    }
+
+    /// Retracts an *inferred* annotation: removes the entry outright and
+    /// emits [`RdlEvent::TypeReplaced`] so dependents invalidate. Returns
+    /// whether anything was retracted — entries from any other
+    /// [`AnnotationSource`] are user intent and are never touched.
+    ///
+    /// Inference derives signatures from method bodies, so a redefinition
+    /// that changes the body makes the adopted signature *stale evidence*,
+    /// not a contract the new body must satisfy: enforcing it would turn a
+    /// previously legal reload into a type error. Retraction returns the
+    /// method to its unannotated state; the next inference run re-derives
+    /// against the new body.
+    pub fn retract_inferred(&self, key: &MethodKey) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let inferred = inner
+            .table
+            .get(key)
+            .is_some_and(|e| e.source == AnnotationSource::Inferred);
+        if !inferred {
+            return false;
+        }
+        inner.table.remove(key);
+        inner.version_counter += 1;
+        // The mutation history diverged from any tenant that never
+        // adopted (or never retracted) — fingerprint the retraction so
+        // the shared tier's identical-state fast path stays conservative.
+        inner.table_fp = mix_fp(
+            inner.table_fp,
+            (
+                key.class.as_str(),
+                key.class_level,
+                key.method.as_str(),
+                "retract-inferred",
+            ),
+        );
+        let ev = RdlEvent::TypeReplaced(*key);
+        inner.events.push(ev.clone());
+        drop(inner);
+        self.notify(&ev);
+        true
     }
 
     /// Looks up the entry for exactly this key (a pointer clone).
@@ -855,6 +907,7 @@ impl RdlState {
                         s.dynamic_used += 1;
                     }
                 }
+                AnnotationSource::Inferred => s.inferred_annotations += 1,
             }
             if e.check {
                 s.checked_annotations += 1;
@@ -898,6 +951,8 @@ pub struct RdlStats {
     pub checked_annotations: usize,
     pub dynamic_generated: usize,
     pub dynamic_used: usize,
+    /// Entries registered by the checker-verified inference pass.
+    pub inferred_annotations: usize,
     pub used_total: usize,
     pub dyn_checks_run: u64,
     pub casts_run: u64,

@@ -70,6 +70,31 @@ impl WorldSnapshot {
     pub fn table_len(&self) -> usize {
         self.table.len()
     }
+
+    /// A copy of this snapshot with `entries` overlaid on the captured
+    /// table — the *hypothesis world* the inference pass verifies
+    /// candidates against: every candidate signature is visible to every
+    /// other candidate's check, so mutually-recursive unannotated methods
+    /// can verify in the same round. Existing entries for the same key
+    /// are shadowed (the overlay wins); chains, variable declarations and
+    /// epochs are shared unchanged.
+    pub fn overlay(
+        &self,
+        entries: impl IntoIterator<Item = (MethodKey, TableEntry)>,
+    ) -> WorldSnapshot {
+        let mut table = self.table.clone();
+        for (k, e) in entries {
+            table.insert(k, e);
+        }
+        WorldSnapshot {
+            chains: self.chains.clone(),
+            table,
+            ivars: self.ivars.clone(),
+            cvars: self.cvars.clone(),
+            gvars: self.gvars.clone(),
+            epochs: self.epochs,
+        }
+    }
 }
 
 impl ClassInfo for WorldSnapshot {
@@ -201,6 +226,41 @@ mod tests {
         assert_eq!(key, MethodKey::instance("Base", "save"));
         assert_eq!(e.version, 3);
         assert!(TypeTable::lookup_along_names(&w, &chain, false, "missing").is_none());
+    }
+
+    #[test]
+    fn overlay_shadows_and_extends_the_table() {
+        let w = snap();
+        let cand = TableEntry {
+            sig: MethodSig::single(parse_method_type("(Fixnum) -> Fixnum").unwrap()),
+            check: true,
+            always_dyn_check: false,
+            source: AnnotationSource::Inferred,
+            version: 1,
+            span: Span::dummy(),
+        };
+        let o = w.overlay([
+            (MethodKey::instance("Talk", "bump"), cand.clone()),
+            (MethodKey::instance("Base", "save"), cand.clone()),
+        ]);
+        // New key visible, existing key shadowed, base snapshot untouched.
+        assert_eq!(o.table_len(), 2);
+        assert!(o
+            .table_entry(&MethodKey::instance("Talk", "bump"))
+            .is_some());
+        assert_eq!(
+            o.table_entry(&MethodKey::instance("Base", "save"))
+                .unwrap()
+                .source,
+            AnnotationSource::Inferred
+        );
+        assert_eq!(
+            w.table_entry(&MethodKey::instance("Base", "save"))
+                .unwrap()
+                .source,
+            AnnotationSource::Static
+        );
+        assert_eq!(o.epochs, w.epochs);
     }
 
     #[test]

@@ -149,6 +149,12 @@ pub enum DiagCode {
     /// from unchecked callers, so its guarded prologue (per-call dynamic
     /// argument checks) survives elision.
     DynCheckResidue,
+    /// HB2001 — inferable signature: the inference pass produced a
+    /// plausible candidate signature for an unannotated method, but the
+    /// checker refuted it (`check_sig` failed), so it was *not* adopted.
+    /// The diagnostic carries the candidate as a ready-to-review `type`
+    /// suggestion.
+    InferableSignature,
 }
 
 impl DiagCode {
@@ -172,13 +178,21 @@ impl DiagCode {
             DiagCode::UnusedLocal => "HB1004",
             DiagCode::StaleAnnotation => "HB1005",
             DiagCode::DynCheckResidue => "HB1006",
+            DiagCode::InferableSignature => "HB2001",
         }
     }
 
     /// True for the `HB1xxx` static-analysis warning series (emitted by
-    /// `hb-analyze` passes, never by the just-in-time checker).
+    /// `hb-analyze` passes, never by the just-in-time checker). The
+    /// `HB2xxx` inference-suggestion series is deliberately excluded: a
+    /// suggestion is neither a checker error nor a defect warning.
     pub fn is_lint(self) -> bool {
         self.as_str().starts_with("HB1")
+    }
+
+    /// True for the `HB2xxx` inference-suggestion series.
+    pub fn is_suggestion(self) -> bool {
+        self.as_str().starts_with("HB2")
     }
 
     /// Parses an `HBxxxx` string back to its code.
@@ -201,6 +215,7 @@ impl DiagCode {
             "HB1004" => DiagCode::UnusedLocal,
             "HB1005" => DiagCode::StaleAnnotation,
             "HB1006" => DiagCode::DynCheckResidue,
+            "HB2001" => DiagCode::InferableSignature,
             _ => return None,
         })
     }
@@ -580,6 +595,14 @@ mod tests {
             assert!(c.is_lint());
         }
         assert!(!DiagCode::ArityMismatch.is_lint());
+        assert_eq!(DiagCode::InferableSignature.as_str(), "HB2001");
+        assert_eq!(
+            DiagCode::parse("HB2001"),
+            Some(DiagCode::InferableSignature)
+        );
+        assert!(DiagCode::InferableSignature.is_suggestion());
+        assert!(!DiagCode::InferableSignature.is_lint());
+        assert!(!DiagCode::DynCheckResidue.is_suggestion());
         assert_eq!(DiagCode::parse("HB9999"), None);
     }
 
