@@ -182,7 +182,7 @@ fn main() {
         ));
     }
     println!(
-        "{{\"iters\": {iters}, \"smoke\": {smoke}, {}}}",
+        "{{\"schema_version\": 1, \"iters\": {iters}, \"smoke\": {smoke}, {}}}",
         sections.join(", ")
     );
 }

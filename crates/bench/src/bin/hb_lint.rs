@@ -206,7 +206,7 @@ fn print_infer_target(t: &InferTarget, json: bool, apply: bool) {
         let diags = t.target.diagnostics.join(",");
         let adopted: Vec<String> = t.adopted.iter().map(|l| format!("{l:?}")).collect();
         println!(
-            "{{\"target\":\"{}\",\"errors_before\":{},\"errors_after\":{},\"candidates\":{},\"adopted\":[{}],\"rejected\":{},\"diagnostics\":[{diags}],\"residue_before\":{},\"residue_after\":{}}}",
+            "{{\"schema_version\":1,\"target\":\"{}\",\"errors_before\":{},\"errors_after\":{},\"candidates\":{},\"adopted\":[{}],\"rejected\":{},\"diagnostics\":[{diags}],\"residue_before\":{},\"residue_after\":{}}}",
             t.target.label,
             t.errors_before,
             t.errors_after,
@@ -245,7 +245,7 @@ fn print_analyze_target(t: &AnalyzeTarget, json: bool) {
     if json {
         let diags = t.target.diagnostics.join(",");
         println!(
-            "{{\"target\":\"{}\",\"errors\":{},\"count\":{},\"diagnostics\":[{diags}],\"residue\":{}}}",
+            "{{\"schema_version\":1,\"target\":\"{}\",\"errors\":{},\"count\":{},\"diagnostics\":[{diags}],\"residue\":{}}}",
             t.target.label,
             t.errors,
             t.target.count,
@@ -296,7 +296,7 @@ fn print_target(t: &LintTarget, json: bool) {
     if json {
         let diags = t.diagnostics.join(",");
         println!(
-            "{{\"target\":\"{}\",\"count\":{},\"diagnostics\":[{diags}]}}",
+            "{{\"schema_version\":1,\"target\":\"{}\",\"count\":{},\"diagnostics\":[{diags}]}}",
             t.label, t.count
         );
     } else {

@@ -21,7 +21,7 @@
 //! gating on machine-dependent speedups.
 
 use hb_apps::{all_apps, build_app, run_workload, talks};
-use hummingbird::{CheckPolicy, Hummingbird, Mode, Scheduler};
+use hummingbird::{CheckPolicy, HistogramSummary, Hummingbird, Mode, ObsLevel, Scheduler};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -109,6 +109,11 @@ struct DeferredRun {
     checks_landed: u64,
     deferred_admissions: u64,
     diagnostics: usize,
+    /// Check-duration distribution over the storm (PR 10 observability).
+    check_duration: HistogramSummary,
+    /// Queue-wait distribution of the deferred tasks (empty under
+    /// `Enforce`: nothing is enqueued).
+    sched_queue: HistogramSummary,
 }
 
 /// Serves the Talks first-request storm cold under `policy`.
@@ -119,6 +124,7 @@ fn deferred_probe(policy: CheckPolicy) -> DeferredRun {
         Hummingbird::builder()
             .mode(Mode::Full)
             .check_policy(policy)
+            .observability(ObsLevel::Metrics)
             .worker_threads(4),
     );
     // Boot-time checks (seed/driver) are not the measured storm.
@@ -132,12 +138,15 @@ fn deferred_probe(policy: CheckPolicy) -> DeferredRun {
     hb.sched_quiesce();
     let quiesce_ns = t1.elapsed().as_nanos() as u64;
     let s = hb.stats();
+    let obs = hb.engine.obs().expect("observability is on");
     DeferredRun {
         first_serve_ns,
         quiesce_ns,
         checks_landed: s.checks_performed,
         deferred_admissions: s.deferred_admissions,
         diagnostics: hb.diagnostics().len(),
+        check_duration: obs.check_duration.summary(),
+        sched_queue: obs.sched_queue.summary(),
     }
 }
 
@@ -168,22 +177,27 @@ fn main() {
     let deferred_json = |label: &str, r: &DeferredRun| {
         format!(
             "{{\"policy\": \"{label}\", \"first_request_ms\": {:.2}, \"quiesce_ms\": {:.2}, \
-             \"checks_landed\": {}, \"deferred_admissions\": {}, \"diagnostics\": {}}}",
+             \"checks_landed\": {}, \"deferred_admissions\": {}, \"diagnostics\": {}, \
+             \"check_duration_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}, \
+             \"sched_queue_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}}}",
             r.first_serve_ns as f64 / 1e6,
             r.quiesce_ns as f64 / 1e6,
             r.checks_landed,
             r.deferred_admissions,
             r.diagnostics,
+            r.check_duration.count,
+            r.check_duration.p50,
+            r.check_duration.p99,
+            r.sched_queue.count,
+            r.sched_queue.p50,
+            r.sched_queue.p99,
         )
     };
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if host_cores < 8 {
-        eprintln!(
-            "CAVEAT: host_cores = {host_cores} (< 8). The check_all scaling columns on \
-             this host measure scheduling overhead under timeslicing, not parallel \
-             speedup; speedups require host_cores >= jobs."
-        );
-    }
+    let host_cores = hb_bench::host_cores_banner(
+        "The check_all scaling columns on \
+         this host measure scheduling overhead under timeslicing, not parallel \
+         speedup; speedups require host_cores >= jobs.",
+    );
     let note = if host_cores < 8 {
         "small host (host_cores < 8): scaling levels above host_cores measure \
          scheduling overhead only; speedups require host_cores >= jobs"
@@ -191,7 +205,7 @@ fn main() {
         "speedup_vs_serial = serial-best / parallel-best, long-lived pool, best-of-R"
     };
     println!(
-        "{{\"smoke\": {smoke}, \"host_cores\": {host_cores}, \"note\": \"{note}\", \
+        "{{\"schema_version\": 1, \"smoke\": {smoke}, \"host_cores\": {host_cores}, \"note\": \"{note}\", \
          \"six_app_diagnostics\": {}, \"check_all_scaling\": [{}], \
          \"deferred_first_call\": [{}, {}]}}",
         diags.len(),
@@ -226,6 +240,14 @@ fn main() {
         "the deferred checks completed on the workers and were adopted"
     );
     assert!(enforce.checks_landed > 0, "enforce checks inline");
+    assert!(
+        deferred.check_duration.count > 0 && enforce.check_duration.count > 0,
+        "the check-duration histogram saw the storm under both policies"
+    );
+    assert_eq!(
+        enforce.sched_queue.count, 0,
+        "enforce enqueues nothing, so the queue histogram stays empty"
+    );
     if smoke {
         eprintln!(
             "sched_probe --smoke OK: parallel lint byte-identical at jobs={jobs_levels:?}, \

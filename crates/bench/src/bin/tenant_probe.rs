@@ -43,10 +43,11 @@
 //!   `BENCH_fleet.json`.
 //! * `--fleet-boot <socket>` — internal child mode.
 
-use hb_apps::{fleet_snapshot, run_tenant, run_tenant_fleet, TenantRun};
+use hb_apps::{all_apps, fleet_snapshot, run_tenant, run_tenant_fleet, run_workload, TenantRun};
 use hb_fleetd::{DaemonConfig, FleetDaemon, FleetServer};
 use hummingbird::{
-    CacheSnapshot, FleetClient, FleetWatermark, Hummingbird, MethodKey, SharedCache,
+    validate_json, CacheSnapshot, FleetClient, FleetWatermark, Hummingbird, MethodKey, Mode,
+    ObsLevel, SharedCache,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -189,7 +190,7 @@ fn snapshot_load_main(path: &str) -> ! {
     let loaded = shared.load_snapshot(&snap).expect("snapshot must load");
     let run = run_tenant(0, &shared, 1);
     println!(
-        "{{\"loaded_derivations\": {loaded}, \"boot\": {}}}",
+        "{{\"schema_version\": 1, \"loaded_derivations\": {loaded}, \"boot\": {}}}",
         tenant_json("boot-from-snapshot", &run, Some(bytes.len()))
     );
     let rate = run.warm_hit_rate();
@@ -243,7 +244,7 @@ fn snapshot_main(bench: bool) -> ! {
         .unwrap();
     let child_json = spawn_warm_boot(&snapshot);
     println!(
-        "{{\"mode\": \"{}\", \"host_cores\": {host_cores}, \"entries\": {}, \
+        "{{\"mode\": \"{}\", \"schema_version\": 1, \"host_cores\": {host_cores}, \"entries\": {}, \
          \"snapshot_bytes\": {}, \"cold_boot\": {}, \"warm_boot\": {child_json}}}",
         if bench {
             "snapshot-bench"
@@ -258,19 +259,117 @@ fn snapshot_main(bench: bool) -> ! {
     std::process::exit(0);
 }
 
-/// Detected core count, with the ROADMAP-item-5 caveat banner: scaling
-/// columns measured on a small host must not be read as parallel
-/// speedup.
+/// This probe's clause for the shared [`hb_bench::host_cores_banner`].
+const SMALL_HOST_CAVEAT: &str = "Fleet/scaling columns on this host \
+     measure shared-tier amortisation under timeslicing, not parallel speedup; \
+     compare throughput ratios, not wall times.";
+
 fn host_cores_banner() -> usize {
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if host_cores < 8 {
+    hb_bench::host_cores_banner(SMALL_HOST_CAVEAT)
+}
+
+/// Minimal Prometheus text-format parser for the smoke gate: every
+/// non-comment line must be `series value` with a numeric value.
+/// Returns the parsed series (bucket lines keyed with their label part).
+fn parse_prometheus(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut series = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable metrics line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric value in metrics line: {line:?}"));
+        series.insert(name.to_string(), value);
+    }
+    series
+}
+
+/// Observability mode (`--metrics` / `--metrics-smoke`): boot the six
+/// apps with full tracing on, serve one workload iteration each, and
+/// report the check-duration and first-request latency distributions
+/// from both export surfaces (JSON and Prometheus). Smoke mode gates CI:
+/// both exports must parse, the required series must be present and
+/// non-zero for every app, and the chrome://tracing export must
+/// round-trip as valid JSON.
+fn metrics_main(smoke: bool) -> ! {
+    let host_cores = host_cores_banner();
+    let mut apps_json = Vec::new();
+    for spec in all_apps() {
+        let mut hb = hb_apps::build_app_with(
+            &spec,
+            Hummingbird::builder()
+                .mode(Mode::Full)
+                .observability(ObsLevel::Trace),
+        );
+        run_workload(&spec, &mut hb, 1);
+        let obs = hb.engine.obs().expect("observability is on");
+        let check = obs.check_duration.summary();
+        let first = obs.first_request.summary();
+        let trace = hb.trace_json();
+        let trace_events = obs.ring_snapshot().len();
+        if smoke {
+            let json = hb.metrics();
+            validate_json(&json).unwrap_or_else(|e| panic!("{}: bad metrics JSON: {e}", spec.name));
+            for series in ["hb_check_duration_ns", "hb_first_request_ns"] {
+                assert!(
+                    json.contains(&format!("\"{series}\"")),
+                    "{}: metrics JSON must carry {series}",
+                    spec.name
+                );
+            }
+            let prom = parse_prometheus(&hb.metrics_prometheus());
+            for series in [
+                "hb_checks_observed_total",
+                "hb_check_duration_ns_count",
+                "hb_first_request_ns_count",
+                "hb_engine_checks_performed",
+            ] {
+                let v = prom
+                    .get(series)
+                    .unwrap_or_else(|| panic!("{}: missing series {series}", spec.name));
+                assert!(*v > 0.0, "{}: series {series} must be non-zero", spec.name);
+            }
+            validate_json(&trace).unwrap_or_else(|e| panic!("{}: bad trace JSON: {e}", spec.name));
+            assert!(
+                trace.contains("traceEvents") && trace_events > 0,
+                "{}: trace export must carry the recorded events",
+                spec.name
+            );
+        }
+        apps_json.push(format!(
+            "{{\"app\": \"{}\", \"checks_observed\": {}, \
+             \"check_duration_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"first_request_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"trace_events\": {trace_events}}}",
+            spec.name,
+            obs.checks_observed.get(),
+            check.count,
+            check.p50,
+            check.p99,
+            check.max,
+            first.count,
+            first.p50,
+            first.p99,
+            first.max,
+        ));
+    }
+    println!(
+        "{{\"mode\": \"{}\", \"schema_version\": 1, \"host_cores\": {host_cores}, \
+         \"apps\": [{}]}}",
+        if smoke { "metrics-smoke" } else { "metrics" },
+        apps_json.join(", "),
+    );
+    if smoke {
         eprintln!(
-            "CAVEAT: host_cores = {host_cores} (< 8). Fleet/scaling columns on this host \
-             measure shared-tier amortisation under timeslicing, not parallel speedup; \
-             compare throughput ratios, not wall times."
+            "metrics smoke OK: six apps exported parseable Prometheus text, \
+             non-zero check-duration and first-request histograms, and valid trace JSON"
         );
     }
-    host_cores
+    std::process::exit(0);
 }
 
 /// The two-method fixture for the redefinition-delta assertion: after
@@ -304,8 +403,8 @@ fn fleet_boot_main(socket: &str) -> ! {
     let (run, report) = run_tenant_fleet(0, Path::new(socket), 1);
     let report = report.expect("fleet boot child must stay attached through sync");
     println!(
-        "{{\"boot\": {}, \"post_boot_sync\": {{\"published\": {}, \"fetched_entries\": {}, \
-         \"delta\": {}}}}}",
+        "{{\"schema_version\": 1, \"boot\": {}, \"post_boot_sync\": {{\"published\": {}, \
+         \"fetched_entries\": {}, \"delta\": {}}}}}",
         tenant_json("boot-from-daemon", &run, None),
         report.published,
         report.fetched_entries,
@@ -462,7 +561,7 @@ fn fleet_main(bench: bool) -> ! {
 
     let stats = client.daemon_stats().expect("daemon stats");
     println!(
-        "{{\"mode\": \"{}\", \"host_cores\": {host_cores}, \"entries\": {entries}, \
+        "{{\"mode\": \"{}\", \"schema_version\": 1, \"host_cores\": {host_cores}, \"entries\": {entries}, \
          \"snapshot_bytes\": {full_bytes}, \
          \"cold_boot\": {}, \"cold_wall_ms\": {:.1}, \
          \"daemon_boot\": {child_json}{file_boot_json}, \
@@ -512,6 +611,12 @@ fn main() {
     }
     if args.iter().any(|a| a == "--fleet-bench") {
         fleet_main(true);
+    }
+    if args.iter().any(|a| a == "--metrics-smoke") {
+        metrics_main(true);
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        metrics_main(false);
     }
     let host_cores = host_cores_banner();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -566,7 +671,7 @@ fn main() {
         })
         .collect();
     println!(
-        "{{\"host_cores\": {host_cores}, \"iters_per_app\": {iters}, \
+        "{{\"schema_version\": 1, \"host_cores\": {host_cores}, \"iters_per_app\": {iters}, \
          \"stagger_ms\": {stagger_ms}, \"smoke\": {smoke}, \"fleets\": [{}]}}",
         fleet_json.join(", ")
     );

@@ -9,6 +9,7 @@
 //! type table — once, caching the outcome keyed by the receiver's class.
 
 use crate::info::RegistryInfo;
+use crate::obs::EngineObs;
 use crate::sched::{capture_world, sort_diagnostics};
 use crate::shared_cache::{SharedCache, SharedDep, SharedEvictionSink};
 use crate::stats::{CheckLogItem, CheckVerdict, EngineStats, PhaseTracker};
@@ -147,6 +148,10 @@ struct EngineState {
     /// its fast entry here — the patch table must never outlive the
     /// derivation it was admitted under (Definition 1).
     tier: Option<Rc<ExecTierState>>,
+    /// The observability collector, when the embedding asked for one
+    /// ([`crate::HummingbirdBuilder::observability`]). `None` is the off
+    /// state: no registry, no ring, no recording anywhere.
+    obs: Option<Rc<EngineObs>>,
     stats: EngineStats,
     phase: PhaseTracker,
 }
@@ -241,6 +246,10 @@ pub struct Engine {
     /// so the default (scheduler-less) dispatch path never probes the
     /// completion queue.
     sched_active: Cell<bool>,
+    /// One-`Cell`-load hot-path test for observability, same discipline
+    /// as `sched_active`: the default (off) dispatch path pays exactly
+    /// this load and the recording calls are outlined behind it.
+    obs_active: Cell<bool>,
 }
 
 impl Engine {
@@ -257,7 +266,28 @@ impl Engine {
             sched: RefCell::new(None),
             completions: Arc::new(CompletionQueue::new()),
             sched_active: Cell::new(false),
+            obs_active: Cell::new(false),
         }
+    }
+
+    /// Turns on observability at `level`, allocating the collector
+    /// (registry, metric handles, and — at [`hb_obs::ObsLevel::Trace`] —
+    /// the event ring). [`hb_obs::ObsLevel::Off`] drops the collector and
+    /// returns the hot paths to their single-`Cell`-load cost.
+    pub fn set_observability(&self, level: hb_obs::ObsLevel) {
+        let mut st = self.state.borrow_mut();
+        if level == hb_obs::ObsLevel::Off {
+            st.obs = None;
+            self.obs_active.set(false);
+        } else {
+            st.obs = Some(Rc::new(EngineObs::new(level)));
+            self.obs_active.set(true);
+        }
+    }
+
+    /// The observability collector, when one is active.
+    pub fn obs(&self) -> Option<Rc<EngineObs>> {
+        self.state.borrow().obs.clone()
     }
 
     /// Sets the retention bound of the check log (zero disables logging;
@@ -325,9 +355,35 @@ impl Engine {
         self.rdl.policy_for(cache_key, annotation_key)
     }
 
+    /// Flight-recorder note for a cache hit. Outlined and cold for the
+    /// same reason as [`Engine::resolve_policy`]: the observability-off
+    /// dispatch path pays one `Cell` load and none of this body.
+    #[cold]
+    #[inline(never)]
+    fn obs_note_cache_hit(&self, key: &MethodKey) {
+        if let Some(obs) = &self.state.borrow().obs {
+            obs.record(hb_obs::EventKind::CacheHit, *key);
+        }
+    }
+
     /// Appends to the bounded check log: failures recur on every call
     /// (never cached), so the log is a window, not a ledger.
+    ///
+    /// Every logged duration also feeds the observability check-duration
+    /// histogram (when collecting), so the log's retention cap bounds
+    /// only the per-item records — timing data is aggregated before the
+    /// window can discard it.
     fn push_check_log(&self, st: &mut EngineState, item: CheckLogItem) {
+        if let Some(obs) = &st.obs {
+            obs.checks_observed.inc();
+            obs.check_duration.record(item.duration_ns);
+            let kind = if item.outcome.passed() {
+                hb_obs::EventKind::CheckPass
+            } else {
+                hb_obs::EventKind::CheckFail
+            };
+            obs.record_span(kind, item.key, item.duration_ns);
+        }
         let cap = self.check_log_cap.get();
         while st.stats.check_log.len() >= cap.max(1) {
             st.stats.check_log.pop_front();
@@ -508,6 +564,11 @@ impl Engine {
             let mut st = self.state.borrow_mut();
             st.in_flight.remove(&c.cache_key);
             st.stats.sched_tasks_completed += 1;
+            if let Some(obs) = &st.obs {
+                if c.queue_ns > 0 {
+                    obs.sched_queue.record(c.queue_ns);
+                }
+            }
         }
         // Identity validation, common to every verdict: the body and the
         // signature the worker checked must still be the current ones.
@@ -536,7 +597,14 @@ impl Engine {
             Some((mentry, entry))
         })();
         let Some((mentry, entry)) = current else {
-            self.state.borrow_mut().stats.sched_tasks_stale += 1;
+            let mut st = self.state.borrow_mut();
+            st.stats.sched_tasks_stale += 1;
+            if let Some(obs) = &st.obs {
+                obs.record(hb_obs::EventKind::TaskStale, c.cache_key);
+                // The method was redefined outright; the admission is
+                // over (the next call re-defers naturally).
+                obs.drop_admitted(c.cache_key);
+            }
             return;
         };
         match &c.verdict {
@@ -565,6 +633,11 @@ impl Engine {
                         ));
                 if !valid {
                     st.stats.sched_tasks_stale += 1;
+                    if let Some(obs) = &st.obs {
+                        // The admission stays stamped: a requeue is the
+                        // same caller still waiting.
+                        obs.record(hb_obs::EventKind::TaskStale, c.cache_key);
+                    }
                     drop(st);
                     if c.record_blame {
                         self.requeue_deferred(interp, &c, &entry, &mentry);
@@ -585,6 +658,12 @@ impl Engine {
                 st.stats.checked_methods.insert(c.cache_key.display());
                 st.stats.cast_sites.extend(cast_sites.iter().copied());
                 st.phase.note_check();
+                if let Some(obs) = &st.obs {
+                    obs.record_span(hb_obs::EventKind::TaskHarvest, c.cache_key, c.duration_ns);
+                    if c.record_blame {
+                        obs.note_adopted(c.cache_key);
+                    }
+                }
                 if !self.config.borrow().caching {
                     return;
                 }
@@ -660,7 +739,12 @@ impl Engine {
                     // the *current* world — a still-real error re-lands at
                     // the next harvest instead of an obsolete one landing
                     // now.
-                    self.state.borrow_mut().stats.sched_tasks_stale += 1;
+                    let mut st = self.state.borrow_mut();
+                    st.stats.sched_tasks_stale += 1;
+                    if let Some(obs) = &st.obs {
+                        obs.record(hb_obs::EventKind::TaskStale, c.cache_key);
+                    }
+                    drop(st);
                     self.requeue_deferred(interp, &c, &entry, &mentry);
                     return;
                 }
@@ -697,6 +781,10 @@ impl Engine {
                     },
                 );
                 st.phase.note_check();
+                if let Some(obs) = &st.obs {
+                    obs.record_span(hb_obs::EventKind::TaskHarvest, c.cache_key, c.duration_ns);
+                    obs.drop_admitted(c.cache_key);
+                }
                 drop(st);
                 self.rdl.record_diagnostic(diag);
             }
@@ -736,6 +824,10 @@ impl Engine {
                         duration_ns: c.duration_ns,
                     },
                 );
+                if let Some(obs) = &st.obs {
+                    obs.record_span(hb_obs::EventKind::TaskHarvest, c.cache_key, c.duration_ns);
+                    obs.drop_admitted(c.cache_key);
+                }
                 drop(st);
                 self.rdl.record_diagnostic(diag);
             }
@@ -788,6 +880,12 @@ impl Engine {
         let own_sig_fp = st.sig_fp(c.ann_key, entry);
         st.in_flight.insert(c.cache_key);
         st.stats.sched_tasks_enqueued += 1;
+        let submitted_at = if let Some(obs) = &st.obs {
+            obs.record(hb_obs::EventKind::TaskEnqueue, c.cache_key);
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         drop(st);
         let accepted = self.ensure_scheduler().submit(CheckTask {
             cache_key: c.cache_key,
@@ -806,6 +904,7 @@ impl Engine {
             record_blame: true,
             opts: self.check_opts,
             completions: self.completions.clone(),
+            submitted_at,
         });
         if !accepted {
             // The pool is shutting down: the task will never run, so the
@@ -1138,10 +1237,22 @@ impl Engine {
         if let Some(old) = st.cache.remove(key) {
             st.stats.invalidations += 1;
             st.depatch(key);
+            Self::note_invalidated(st, key);
             Self::unlink(st, key, &old);
         }
         if with_dependents {
             Self::invalidate_dependents_of(st, key);
+        }
+    }
+
+    /// Records an invalidation in the flight recorder (and, when the
+    /// bytecode tier holds a fast entry for the key, the matching deopt).
+    fn note_invalidated(st: &EngineState, key: &MethodKey) {
+        if let Some(obs) = &st.obs {
+            obs.record(hb_obs::EventKind::Invalidate, *key);
+            if st.tier.is_some() {
+                obs.record(hb_obs::EventKind::Deopt, *key);
+            }
         }
     }
 
@@ -1153,6 +1264,7 @@ impl Engine {
                 if let Some(old) = st.cache.remove(&d) {
                     st.stats.dependent_invalidations += 1;
                     st.depatch(&d);
+                    Self::note_invalidated(st, &d);
                     Self::unlink(st, &d, &old);
                 }
             }
@@ -1169,6 +1281,7 @@ impl Engine {
                 if let Some(old) = st.cache.remove(&d) {
                     st.stats.dependent_invalidations += 1;
                     st.depatch(&d);
+                    Self::note_invalidated(st, &d);
                     Self::unlink(st, &d, &old);
                 }
             }
@@ -1373,6 +1486,9 @@ impl Engine {
                     if c.method_entry_id == info.entry.id && c.sig_version == table_entry.version {
                         drop(st);
                         self.state.borrow_mut().stats.cache_hits += 1;
+                        if self.obs_active.get() {
+                            self.obs_note_cache_hit(cache_key);
+                        }
                         return Ok(true);
                     }
                 }
@@ -1446,7 +1562,12 @@ impl Engine {
                 if valid {
                     self.rdl.mark_used(annotation_key);
                     st.stats.shared_hits += 1;
-                    st.stats.shared_adopt_ns += t_first.elapsed().as_nanos() as u64;
+                    let adopt_ns = t_first.elapsed().as_nanos() as u64;
+                    st.stats.shared_adopt_ns += adopt_ns;
+                    if let Some(obs) = &st.obs {
+                        obs.first_request.record(adopt_ns);
+                        obs.record_span(hb_obs::EventKind::SharedAdopt, *cache_key, adopt_ns);
+                    }
                     if let Some(old) = st.cache.remove(cache_key) {
                         st.depatch(cache_key);
                         Self::unlink(&mut st, cache_key, &old);
@@ -1528,6 +1649,9 @@ impl Engine {
                 // latched keys still admit, since they add no queue depth.
                 if !latched && st.in_flight.len() >= self.deferred_cap.get() {
                     st.stats.deferred_shed += 1;
+                    if let Some(obs) = &st.obs {
+                        obs.record(hb_obs::EventKind::TaskShed, *cache_key);
+                    }
                     drop(st);
                     policy = CheckPolicy::Enforce;
                 } else {
@@ -1537,6 +1661,15 @@ impl Engine {
                         let own_sig_fp = st.sig_fp(*annotation_key, table_entry);
                         st.in_flight.insert(*cache_key);
                         st.stats.sched_tasks_enqueued += 1;
+                        let submitted_at = if let Some(obs) = &st.obs {
+                            obs.record(hb_obs::EventKind::TaskEnqueue, *cache_key);
+                            obs.note_admitted(*cache_key);
+                            obs.first_request
+                                .record(t_first.elapsed().as_nanos() as u64);
+                            Some(std::time::Instant::now())
+                        } else {
+                            None
+                        };
                         drop(st);
                         let task = CheckTask {
                             cache_key: *cache_key,
@@ -1555,6 +1688,7 @@ impl Engine {
                             record_blame: true,
                             opts: self.check_opts,
                             completions: self.completions.clone(),
+                            submitted_at,
                         };
                         if !self.ensure_scheduler().submit(task) {
                             // The pool is shutting down: the task will
@@ -1566,6 +1700,11 @@ impl Engine {
                     }
                     return Ok(false);
                 }
+            }
+        }
+        if self.obs_active.get() {
+            if let Some(obs) = &self.state.borrow().obs {
+                obs.record(hb_obs::EventKind::CheckStart, *cache_key);
             }
         }
         let reg_info = RegistryInfo(&interp.registry);
@@ -1622,6 +1761,9 @@ impl Engine {
                 let mut st = self.state.borrow_mut();
                 st.stats.checks_failed += 1;
                 st.stats.failed_check_ns += check_ns;
+                if let Some(obs) = &st.obs {
+                    obs.first_request.record(check_ns);
+                }
                 self.push_check_log(
                     &mut st,
                     CheckLogItem {
@@ -1649,6 +1791,9 @@ impl Engine {
         let mut st = self.state.borrow_mut();
         st.stats.checks_performed += 1;
         st.stats.check_ns += check_ns;
+        if let Some(obs) = &st.obs {
+            obs.first_request.record(check_ns);
+        }
         self.push_check_log(
             &mut st,
             CheckLogItem {
@@ -1967,10 +2112,16 @@ impl Engine {
                 }
             };
             let body_fp = body_fingerprint(interp, &m.mentry, captured.as_ref());
-            let own_sig_fp = {
+            let (own_sig_fp, submitted_at) = {
                 let mut st = self.state.borrow_mut();
                 st.stats.sched_tasks_enqueued += 1;
-                st.sig_fp(m.key, &m.entry)
+                let submitted_at = if let Some(obs) = &st.obs {
+                    obs.record(hb_obs::EventKind::TaskEnqueue, m.key);
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
+                (st.sig_fp(m.key, &m.entry), submitted_at)
             };
             // A rejected submission (shut-down pool) simply leaves the
             // method for the serial sweep below.
@@ -1991,6 +2142,7 @@ impl Engine {
                 record_blame: false,
                 opts: self.check_opts,
                 completions: self.completions.clone(),
+                submitted_at,
             });
         }
         self.completions.wait_idle();

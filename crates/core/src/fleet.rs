@@ -91,6 +91,15 @@ pub mod wire {
     /// Orderly shutdown (test and CI harness use). Answered with
     /// [`RESP_ACK`] before the daemon exits its accept loop.
     pub const SHUTDOWN: u8 = 0x07;
+    /// Extended daemon metrics. Empty payload; answered with
+    /// [`RESP_STATS_V2`] carrying the daemon's full metrics registry
+    /// (request counters and latency histograms) rendered in the
+    /// Prometheus text exposition format. Unlike the fixed-layout
+    /// [`STATS`], the payload is self-describing, so the daemon can add
+    /// series without a protocol revision; a pre-`STATS_V2` daemon
+    /// answers [`RESP_ERR`], which clients surface as
+    /// [`FleetError::Daemon`] and treat as "not supported".
+    pub const STATS_V2: u8 = 0x08;
 
     // ----- response opcodes --------------------------------------------------
 
@@ -100,6 +109,8 @@ pub mod wire {
     pub const RESP_ACK: u8 = 0x82;
     /// Daemon statistics (see [`DaemonStats`]).
     pub const RESP_STATS: u8 = 0x83;
+    /// Extended daemon metrics: the payload is UTF-8 Prometheus text.
+    pub const RESP_STATS_V2: u8 = 0x84;
     /// Typed daemon-side failure: payload is a UTF-8 message. The
     /// connection stays usable.
     pub const RESP_ERR: u8 = 0x7F;
@@ -540,6 +551,19 @@ impl FleetClient {
         wire::decode_stats(&body)
     }
 
+    /// Fetches the daemon's extended metrics (request counters and
+    /// latency histograms) as Prometheus text — the `STATS_V2` exchange.
+    /// A daemon predating the opcode answers [`wire::RESP_ERR`], which
+    /// surfaces here as [`FleetError::Daemon`]; callers degrade to
+    /// [`daemon_stats`](FleetClient::daemon_stats).
+    pub fn daemon_stats_v2(&mut self) -> Result<String, FleetError> {
+        let (op, body) = self.call(wire::STATS_V2, &[])?;
+        if op != wire::RESP_STATS_V2 {
+            return Err(FleetError::UnexpectedOpcode(op));
+        }
+        String::from_utf8(body).map_err(|_| FleetError::BadFrame("stats text is not UTF-8"))
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), FleetError> {
         self.expect_ack(wire::PING, &[]).map(|_| ())
@@ -721,6 +745,7 @@ impl FleetSession {
         // the tracker has seen every local mutation up to "now".
         engine.process_events(interp);
 
+        let obs = engine.obs();
         let mut report = FleetSyncReport::default();
 
         let evicts = self.tracker.take_evicts();
@@ -730,6 +755,9 @@ impl FleetSession {
                 return Err(e);
             }
             report.evict_notices = evicts.len();
+            if let Some(obs) = &obs {
+                obs.record(hb_obs::EventKind::FleetEvict, crate::obs::fleet_key());
+            }
         }
 
         let pubs = self.tracker.take_pubs();
@@ -743,18 +771,35 @@ impl FleetSession {
                     interp.registry.shape_fingerprint(),
                     engine.rdl.var_fingerprint(),
                 );
+                let t_pub = std::time::Instant::now();
                 if let Err(e) = self.client.publish(epochs, &snap.to_bytes()) {
                     self.tracker.restore_pubs(pubs);
                     return Err(e);
+                }
+                if let Some(obs) = &obs {
+                    let ns = t_pub.elapsed().as_nanos() as u64;
+                    obs.fleet_publish.record(ns);
+                    obs.record_span(hb_obs::EventKind::FleetPublish, crate::obs::fleet_key(), ns);
                 }
                 report.published = snap.entry_count();
             }
         }
 
+        let t_fetch = std::time::Instant::now();
         let resp = match self.watermark {
             Some(w) => self.client.fetch_delta(w)?,
             None => self.client.fetch_full()?,
         };
+        if let Some(obs) = &obs {
+            let ns = t_fetch.elapsed().as_nanos() as u64;
+            obs.fleet_fetch.record(ns);
+            let kind = if resp.delta {
+                hb_obs::EventKind::FleetDelta
+            } else {
+                hb_obs::EventKind::FleetFetch
+            };
+            obs.record_span(kind, crate::obs::fleet_key(), ns);
+        }
         let snap = CacheSnapshot::from_bytes(&resp.snapshot).map_err(FleetError::Snapshot)?;
         report.fetched_entries = snap.entry_count();
         report.tombstones = resp.tombstones.len();

@@ -68,6 +68,7 @@ pub mod engine;
 pub mod fleet;
 pub mod infer;
 pub mod info;
+pub mod obs;
 pub mod reload;
 pub mod sched;
 pub mod shared_cache;
@@ -80,6 +81,7 @@ pub use fleet::{FleetClient, FleetError, FleetSyncReport, FleetWatermark};
 pub use hb_analyze::ResidueSummary;
 pub use infer::InferReport;
 pub use info::RegistryInfo;
+pub use obs::EngineObs;
 pub use reload::{FileMethod, ReloadReport};
 pub use shared_cache::{SharedCache, SharedCacheStats, SharedDerivation};
 pub use snapshot::{CacheSnapshot, SnapshotError};
@@ -87,6 +89,7 @@ pub use stats::{CheckLogItem, CheckVerdict, EngineStats};
 
 pub use hb_check::{CheckError, CheckOptions, CheckRequest, TypeTable};
 pub use hb_interp::{ErrorKind, ExecTier, HbError, Interp, Value};
+pub use hb_obs::{validate_json, HistogramSummary, ObsLevel};
 pub use hb_rdl::{CheckPolicy, DiagnosticSink, MethodKey, RdlState, RdlStats};
 pub use hb_sched::{CheckTask, Scheduler, TaskVerdict, WorldSnapshot};
 pub use hb_syntax::{BlameTarget, DiagCode, DiagLabel, LabelRole, SourceMap, TypeDiagnostic};
@@ -152,6 +155,7 @@ pub struct HummingbirdBuilder {
     exec_tier: ExecTier,
     deferred_cap: Option<usize>,
     fleet_socket: Option<std::path::PathBuf>,
+    observability: ObsLevel,
 }
 
 /// The default execution tier: [`ExecTier::Bytecode`] when the
@@ -181,6 +185,7 @@ impl Default for HummingbirdBuilder {
             exec_tier: default_exec_tier(),
             deferred_cap: None,
             fleet_socket: None,
+            observability: ObsLevel::Off,
         }
     }
 }
@@ -308,6 +313,19 @@ impl HummingbirdBuilder {
         self
     }
 
+    /// Selects how much the engine records about itself (default
+    /// [`ObsLevel::Off`]). [`ObsLevel::Metrics`] collects the latency
+    /// histograms and counters behind [`Hummingbird::metrics`] /
+    /// [`Hummingbird::metrics_prometheus`]; [`ObsLevel::Trace`]
+    /// additionally records the typed event ring behind
+    /// [`Hummingbird::trace_json`]. With the default `Off`, each
+    /// instrumented hot path costs one `Cell` load and the engine
+    /// allocates no observability state at all.
+    pub fn observability(mut self, level: ObsLevel) -> Self {
+        self.observability = level;
+        self
+    }
+
     /// Skips loading the bundled core-library annotations (fixtures and
     /// micro-harnesses; production embeddings want them).
     pub fn without_corelib(mut self) -> Self {
@@ -354,12 +372,15 @@ impl HummingbirdBuilder {
         let mut fleet = None;
         let mut fleet_err = None;
         let mut fleet_boot_fetches = 0u64;
+        let mut fleet_boot_ns = 0u64;
         if let Some(path) = &self.fleet_socket {
             let shared = shared.clone().expect("fleet implies a shared tier");
+            let t0 = std::time::Instant::now();
             match fleet::FleetSession::attach(path, shared) {
                 Ok((session, _loaded)) => {
                     fleet = Some(session);
                     fleet_boot_fetches = 1;
+                    fleet_boot_ns = t0.elapsed().as_nanos() as u64;
                 }
                 Err(e) => fleet_err = Some(e),
             }
@@ -418,6 +439,22 @@ impl HummingbirdBuilder {
         // after the reset so `stats().fleet_fetches` reflects the boot.
         if fleet_boot_fetches > 0 {
             hb.engine.add_fleet_counters(fleet_boot_fetches, 0, 0, 0);
+        }
+        // Observability comes up after the reset so core-library loading
+        // never pollutes the histograms; the boot fetch is re-recorded
+        // for the same reason the counter is re-credited above.
+        if self.observability != ObsLevel::Off {
+            hb.engine.set_observability(self.observability);
+            if fleet_boot_fetches > 0 {
+                if let Some(obs) = hb.engine.obs() {
+                    obs.fleet_fetch.record(fleet_boot_ns);
+                    obs.record_span(
+                        hb_obs::EventKind::FleetFetch,
+                        obs::fleet_key(),
+                        fleet_boot_ns,
+                    );
+                }
+            }
         }
         hb
     }
@@ -499,6 +536,58 @@ impl Hummingbird {
     /// Engine statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    // ----- observability exports ---------------------------------------------
+
+    /// The full metrics export as a JSON document:
+    /// `{"schema_version":1,"stats":{..},"counters":{..},"histograms":{..}}`.
+    /// `stats` holds every [`EngineStats`] field (always populated);
+    /// `counters`/`histograms` hold the [`obs`] registry series and are
+    /// empty unless the system was built with
+    /// [`HummingbirdBuilder::observability`] at [`ObsLevel::Metrics`] or
+    /// above. Histogram entries carry `count`, `sum`, `p50`, `p90`,
+    /// `p99`, and `max` (nanoseconds). See `docs/METRICS.md`.
+    pub fn metrics(&self) -> String {
+        let stats = self.stats();
+        let registry_json = match self.engine.obs() {
+            Some(o) => o.registry.render_json(),
+            None => String::from("{\"counters\":{},\"histograms\":{}}"),
+        };
+        // The registry renders `{"counters":{..},"histograms":{..}}`;
+        // splice its body into the envelope.
+        let body = &registry_json[1..registry_json.len() - 1];
+        format!(
+            "{{\"schema_version\":1,\"stats\":{},{}}}",
+            obs::stats_json(&stats),
+            body
+        )
+    }
+
+    /// The full metrics export in the Prometheus text exposition format:
+    /// the registry's counter and histogram series (when observability is
+    /// on) followed by every [`EngineStats`] field as an
+    /// `hb_engine_<field>` series. See `docs/METRICS.md`.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut out = match self.engine.obs() {
+            Some(o) => o.registry.render_prometheus(),
+            None => String::new(),
+        };
+        out.push_str(&obs::stats_prometheus(&self.stats()));
+        out
+    }
+
+    /// The flight-recorder timeline as a chrome://tracing-compatible
+    /// JSON document (load it in `chrome://tracing` or Perfetto). Empty
+    /// (`{"traceEvents":[]}`) unless the system was built at
+    /// [`ObsLevel::Trace`].
+    pub fn trace_json(&self) -> String {
+        let events = self
+            .engine
+            .obs()
+            .map(|o| o.ring_snapshot())
+            .unwrap_or_default();
+        hb_obs::export::chrome_trace(&events, |e| format!("{} {}", e.kind.name(), e.key))
     }
 
     /// Eagerly checks every annotated, checkable method — the whole

@@ -497,6 +497,10 @@ impl SharedCache {
             // adoption validates, but the artifact had no integrity
             // checksum and operators should know one flowed in.
             self.legacy_loads.fetch_add(1, Ordering::Relaxed);
+            hb_obs::hb_warn!(
+                "hummingbird: loaded legacy HBSNAP01 snapshot ({} entries, no checksum)",
+                loaded
+            );
         }
         Ok(loaded)
     }

@@ -13,6 +13,7 @@
 //! The process exits when a client sends the `SHUTDOWN` opcode.
 
 use hb_fleetd::{DaemonConfig, FleetDaemon, FleetServer};
+use hb_obs::{hb_info, hb_warn};
 use hummingbird::Scheduler;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -56,7 +57,7 @@ fn main() {
 
     let (daemon, warning) = FleetDaemon::new(config);
     if let Some(w) = warning {
-        eprintln!("hb-fleetd: {w}");
+        hb_warn!("hb-fleetd: {w}");
     }
     // Maintenance rides an hb-sched pool; the periodic task dies with it.
     let sched = Arc::new(Scheduler::new(workers.max(1)));
@@ -66,11 +67,11 @@ fn main() {
     let server = match FleetServer::bind(daemon.clone(), &socket) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("hb-fleetd: cannot bind {}: {e}", socket.display());
+            hb_warn!("hb-fleetd: cannot bind {}: {e}", socket.display());
             std::process::exit(1);
         }
     };
-    eprintln!(
+    hb_info!(
         "hb-fleetd: serving {} entries on {}",
         daemon.cache().len(),
         socket.display()
@@ -79,8 +80,12 @@ fn main() {
     // One final writeback so an orderly shutdown never loses the tier.
     daemon.maintain();
     let s = daemon.stats();
-    eprintln!(
+    hb_info!(
         "hb-fleetd: shut down (seq {}, {} fetches, {} deltas, {} publishes, {} evictions)",
-        s.seq, s.fetches, s.deltas, s.publishes, s.evictions
+        s.seq,
+        s.fetches,
+        s.deltas,
+        s.publishes,
+        s.evictions
     );
 }

@@ -15,6 +15,7 @@
 //! deterministic [`FleetDaemon::maintain`] (tests, CI) and as a
 //! recurring `hb-sched` pool job ([`FleetDaemon::start_maintenance`]).
 
+use hb_obs::{Counter, Histogram, Registry};
 use hummingbird::fleet::wire::{DaemonStats, SnapshotResp};
 use hummingbird::fleet::FleetError;
 use hummingbird::{CacheSnapshot, MethodKey, Scheduler, SharedCache};
@@ -105,6 +106,13 @@ pub struct FleetDaemon {
     evictions: AtomicU64,
     compactions: AtomicU64,
     writebacks: AtomicU64,
+    registry: Arc<Registry>,
+    /// Requests handled, across opcodes (including ones that errored).
+    pub requests_total: Arc<Counter>,
+    /// Requests answered with `RESP_ERR`.
+    pub errors_total: Arc<Counter>,
+    /// Wall-clock nanoseconds spent handling each request.
+    pub request_ns: Arc<Histogram>,
     shutdown: AtomicBool,
 }
 
@@ -142,6 +150,7 @@ impl FleetDaemon {
             });
         }
         state.push_history();
+        let registry = Arc::new(Registry::new());
         let daemon = Arc::new(FleetDaemon {
             cache,
             state: Mutex::new(state),
@@ -152,6 +161,17 @@ impl FleetDaemon {
             evictions: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            requests_total: registry.counter(
+                "hb_fleetd_requests_total",
+                "HBFLEET1 requests handled, across all opcodes",
+            ),
+            errors_total: registry
+                .counter("hb_fleetd_errors_total", "requests answered with RESP_ERR"),
+            request_ns: registry.histogram(
+                "hb_fleetd_request_ns",
+                "wall-clock nanoseconds handling each HBFLEET1 request",
+            ),
+            registry,
             shutdown: AtomicBool::new(false),
         });
         (daemon, recovery_warning)
@@ -190,6 +210,30 @@ impl FleetDaemon {
             compactions: self.compactions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
         }
+    }
+
+    /// The daemon-side metrics as Prometheus text (the `STATS_V2`
+    /// opcode): the request counters/histogram from the registry plus
+    /// one `hb_fleetd_<field>` series per [`DaemonStats`] field, so the
+    /// legacy binary `STATS` counters and the text export can never
+    /// disagree about what the daemon has done.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        let s = self.stats();
+        for (name, value, kind) in [
+            ("entries", s.entries, "gauge"),
+            ("seq", s.seq, "counter"),
+            ("fetches", s.fetches, "counter"),
+            ("deltas", s.deltas, "counter"),
+            ("publishes", s.publishes, "counter"),
+            ("evictions", s.evictions, "counter"),
+            ("compactions", s.compactions, "counter"),
+            ("writebacks", s.writebacks, "counter"),
+        ] {
+            out.push_str(&format!("# TYPE hb_fleetd_{name} {kind}\n"));
+            out.push_str(&format!("hb_fleetd_{name} {value}\n"));
+        }
+        out
     }
 
     /// Serves a full snapshot of the tier. Captured under the state

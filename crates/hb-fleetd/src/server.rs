@@ -126,7 +126,11 @@ fn serve_connection(mut stream: UnixStream, daemon: Arc<FleetDaemon>) {
             }
             Err(_) => return,
         };
-        let keep_going = match handle_request(&daemon, opcode, &payload) {
+        let t_req = std::time::Instant::now();
+        let outcome = handle_request(&daemon, opcode, &payload);
+        daemon.requests_total.inc();
+        daemon.request_ns.record(t_req.elapsed().as_nanos() as u64);
+        let keep_going = match outcome {
             Ok(Response::Frame(op, body)) => wire::write_frame(&mut stream, op, &body).is_ok(),
             Ok(Response::Shutdown) => {
                 let mut ack = Vec::with_capacity(8);
@@ -138,6 +142,7 @@ fn serve_connection(mut stream: UnixStream, daemon: Arc<FleetDaemon>) {
             // Payload-level failure: typed error, connection survives
             // (framing is intact — the bad bytes were fully consumed).
             Err(e) => {
+                daemon.errors_total.inc();
                 wire::write_frame(&mut stream, wire::RESP_ERR, e.to_string().as_bytes()).is_ok()
             }
         };
@@ -206,6 +211,10 @@ fn handle_request(
         wire::STATS => Ok(Response::Frame(
             wire::RESP_STATS,
             wire::encode_stats(&daemon.stats()),
+        )),
+        wire::STATS_V2 => Ok(Response::Frame(
+            wire::RESP_STATS_V2,
+            daemon.metrics_prometheus().into_bytes(),
         )),
         wire::PING => Ok(ack(0)),
         wire::SHUTDOWN => Ok(Response::Shutdown),

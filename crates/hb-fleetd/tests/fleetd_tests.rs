@@ -660,3 +660,40 @@ fn compaction_evicts_least_recently_adopted_families_down_to_the_cap() {
         .tombstones
         .is_empty());
 }
+
+#[test]
+fn stats_v2_serves_parseable_prometheus_text_over_the_socket() {
+    let (_daemon, _server, path) = start_daemon("statsv2", DaemonConfig::default());
+    let mut client = FleetClient::connect(&path).expect("connect");
+    client
+        .publish((1, 2, 3), &clean_world_bytes())
+        .expect("publish");
+    client.fetch_full().expect("fetch");
+
+    let text = client.daemon_stats_v2().expect("stats v2");
+    for needle in [
+        "# TYPE hb_fleetd_requests_total counter",
+        "# TYPE hb_fleetd_request_ns histogram",
+        "hb_fleetd_request_ns_count",
+        "hb_fleetd_entries",
+        "hb_fleetd_fetches 1",
+        "hb_fleetd_publishes",
+    ] {
+        assert!(text.contains(needle), "STATS_V2 carries {needle}:\n{text}");
+    }
+    // Every non-comment line is `series value` with a numeric value.
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (_, v) = line.rsplit_once(' ').expect("series value");
+        v.parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric value in line: {line:?}"));
+    }
+    // The legacy binary STATS counters and the text export agree.
+    let stats = client.daemon_stats().expect("stats");
+    assert!(
+        text.contains(&format!("hb_fleetd_seq {}", stats.seq)),
+        "text and binary stats diverge on seq:\n{text}"
+    );
+}

@@ -1,0 +1,264 @@
+//! A strict recursive-descent JSON validity checker.
+//!
+//! The workspace renders all of its JSON by hand (no serde); this is the
+//! matching verifier. The CI metrics smoke gate round-trips every export
+//! through [`validate_json`], so a malformed escape or a stray trailing
+//! comma in a renderer fails fast instead of breaking a downstream
+//! consumer.
+
+/// Validates that `s` is exactly one well-formed JSON value (RFC 8259
+/// grammar: objects, arrays, strings with escapes, numbers, literals),
+/// with nothing but whitespace around it. Returns the byte offset and a
+/// description on failure.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.depth += 1;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.depth += 1;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(self.err("expected digit"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // Integer part: single 0, or nonzero followed by digits.
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => self.digits()?,
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e+3",
+            "\"a\\n\\u00e9\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":1,\"b\":{\"c\":[true,null]}}",
+            "{\"traceEvents\":[{\"ts\":1.234,\"ph\":\"X\"}]}",
+        ] {
+            validate_json(doc).unwrap_or_else(|e| panic!("rejected {doc:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "01",
+            "1.",
+            "--1",
+            "nul",
+            "true false",
+            "[1] trailing",
+            "\"\u{1}\"",
+        ] {
+            assert!(validate_json(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(validate_json(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        validate_json(&ok).unwrap();
+    }
+}

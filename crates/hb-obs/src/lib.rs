@@ -1,0 +1,106 @@
+//! # hb-obs: observability for the Hummingbird stack
+//!
+//! The paper's evaluation — and any production deployment of
+//! just-in-time static checking — lives or dies on knowing *where time
+//! goes*: per-check latency, adoption vs. re-check rates, deopt churn,
+//! deferred-admission tail latency. Flat counters (`EngineStats`) answer
+//! "how many"; this crate answers "how long" and "in what order":
+//!
+//! * [`metrics`] — [`Counter`]s and fixed-bucket latency [`Histogram`]s
+//!   (power-of-two nanosecond buckets, p50/p90/p99 by linear
+//!   interpolation within a bucket) collected in a named [`Registry`].
+//!   All atomics, relaxed ordering: safe to share between the engine
+//!   thread, scheduler workers, and a daemon's connection threads.
+//! * [`ring`] — [`EventRing`], a lock-free per-engine flight recorder:
+//!   a bounded ring of typed events (check start/finish, cache and
+//!   shared-tier adoption, deopt/depatch, scheduler task lifecycle,
+//!   fleet sync), each stamped with a monotonic nanosecond timestamp and
+//!   a [`hb_intern::MethodKey`].
+//! * [`export`] — renderers: Prometheus text format (hand-rolled, no
+//!   dependencies), a JSON dump, and a chrome://tracing-compatible JSON
+//!   trace. [`json::validate_json`] is the matching recursive-descent
+//!   validity checker the CI smoke gate round-trips exports through.
+//! * [`log`] — the `HB_LOG=warn|info|debug` leveled stderr logger behind
+//!   the [`hb_warn!`]/[`hb_info!`]/[`hb_debug!`] macros. The default
+//!   level is `info`, so messages previously printed with a raw
+//!   `eprintln!` keep appearing (with identical text) unless an operator
+//!   turns them down.
+//!
+//! Everything here is recording and rendering only: no instrumentation
+//! site lives in this crate, and nothing depends on the engine. The
+//! embedding toggles collection with [`ObsLevel`]; the engine keeps its
+//! hot path at one `Cell` load when observability is off.
+
+pub mod export;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod ring;
+
+pub use json::validate_json;
+pub use log::LogLevel;
+pub use metrics::{Counter, Histogram, HistogramSummary, Registry};
+pub use ring::{Event, EventKind, EventRing};
+
+/// How much the embedding wants recorded.
+///
+/// Ordered: each level includes everything below it. `Off` is the
+/// default and costs the instrumented hot paths a single `Cell` load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing beyond the always-on `EngineStats` counters.
+    #[default]
+    Off,
+    /// Collect counters and latency histograms (check duration,
+    /// first-request, deferred admission-to-adoption, fleet RTTs).
+    Metrics,
+    /// Additionally record the typed event ring (flight recorder) for
+    /// chrome://tracing export. Implies `Metrics`.
+    Trace,
+}
+
+impl ObsLevel {
+    /// True when metrics (counters + histograms) should be collected.
+    pub fn metrics_enabled(self) -> bool {
+        self >= ObsLevel::Metrics
+    }
+
+    /// True when the event ring should record.
+    pub fn trace_enabled(self) -> bool {
+        self >= ObsLevel::Trace
+    }
+
+    /// Parses the spelling used by CLI flags and env vars.
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s {
+            "off" => Some(ObsLevel::Off),
+            "metrics" => Some(ObsLevel::Metrics),
+            "trace" => Some(ObsLevel::Trace),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ObsLevel::Off < ObsLevel::Metrics);
+        assert!(ObsLevel::Metrics < ObsLevel::Trace);
+        assert!(!ObsLevel::Off.metrics_enabled());
+        assert!(ObsLevel::Metrics.metrics_enabled());
+        assert!(!ObsLevel::Metrics.trace_enabled());
+        assert!(ObsLevel::Trace.metrics_enabled());
+        assert!(ObsLevel::Trace.trace_enabled());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(ObsLevel::parse("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("metrics"), Some(ObsLevel::Metrics));
+        assert_eq!(ObsLevel::parse("trace"), Some(ObsLevel::Trace));
+        assert_eq!(ObsLevel::parse("loud"), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! The `HB_LOG` leveled stderr logger.
+//!
+//! Deliberately minimal: three levels, an env-var filter, and macros
+//! that format straight to stderr. The point is not a logging framework
+//! — it is that operational warnings previously printed with raw
+//! `eprintln!` become *filterable* without changing their text, so
+//! existing tests that match message content keep passing while
+//! `HB_LOG=warn` quiets a chatty fleet daemon.
+//!
+//! Levels: `warn` < `info` < `debug`. The default (unset or
+//! unrecognized `HB_LOG`) is `info`, matching the previous unconditional
+//! behavior of the messages that migrated here.
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+/// Message severity. A message is emitted when its level is at or below
+/// the configured filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl LogLevel {
+    /// Parses the `HB_LOG` spelling.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "warn" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = not yet initialized from the environment.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn init_from_env() -> u8 {
+    let level = std::env::var("HB_LOG")
+        .ok()
+        .as_deref()
+        .and_then(LogLevel::parse)
+        .unwrap_or(LogLevel::Info) as u8;
+    LEVEL.store(level, Relaxed);
+    level
+}
+
+/// True when a message at `level` should be emitted. Reads `HB_LOG`
+/// once, on first use.
+pub fn enabled(level: LogLevel) -> bool {
+    let mut cur = LEVEL.load(Relaxed);
+    if cur == 0 {
+        cur = init_from_env();
+    }
+    (level as u8) <= cur
+}
+
+/// Overrides the filter level (tests; takes precedence over `HB_LOG`).
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Relaxed);
+}
+
+/// Emits to stderr if warnings are enabled. Text is printed verbatim —
+/// callers own their message format.
+#[macro_export]
+macro_rules! hb_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::LogLevel::Warn) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Emits to stderr if info messages are enabled (the default).
+#[macro_export]
+macro_rules! hb_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::LogLevel::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Emits to stderr only under `HB_LOG=debug`.
+#[macro_export]
+macro_rules! hb_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::LogLevel::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_order() {
+        assert_eq!(LogLevel::parse("warn"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn filter_respects_level() {
+        set_level(LogLevel::Warn);
+        assert!(enabled(LogLevel::Warn));
+        assert!(!enabled(LogLevel::Info));
+        assert!(!enabled(LogLevel::Debug));
+        set_level(LogLevel::Debug);
+        assert!(enabled(LogLevel::Debug));
+        // Restore the default for other tests in this process.
+        set_level(LogLevel::Info);
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        set_level(LogLevel::Info);
+        hb_warn!("hb-obs test warn {}", 1);
+        hb_info!("hb-obs test info {}", 2);
+        hb_debug!("hb-obs test debug {}", 3);
+    }
+}

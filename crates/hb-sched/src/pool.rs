@@ -110,6 +110,10 @@ impl PoolShared {
 
     fn execute_check(&self, task: CheckTask) {
         let t0 = Instant::now();
+        let queue_ns = task
+            .submitted_at
+            .map(|s| t0.saturating_duration_since(s).as_nanos() as u64)
+            .unwrap_or(0);
         let deliberate = self
             .panic_keys
             .lock()
@@ -136,7 +140,7 @@ impl PoolShared {
         self.executed.fetch_add(1, Ordering::Relaxed);
         let duration_ns = t0.elapsed().as_nanos() as u64;
         let completions = task.completions.clone();
-        completions.complete(task.into_completion(verdict, duration_ns));
+        completions.complete(task.into_completion(verdict, duration_ns, queue_ns));
     }
 
     fn worker_loop(&self, me: usize) {

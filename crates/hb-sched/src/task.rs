@@ -19,6 +19,7 @@ use hb_syntax::{Span, TypeDiagnostic};
 use hb_types::{MethodSig, TypeEnv};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// One dependency fact of a passing worker derivation: the (TApp)
 /// resolution witness plus the signature version and content fingerprint
@@ -87,6 +88,10 @@ pub struct TaskCompletion {
     pub verdict: TaskVerdict,
     /// Wall-clock nanoseconds the worker spent on the check.
     pub duration_ns: u64,
+    /// Nanoseconds the task sat queued between submission and a worker
+    /// picking it up (0 when the submitter did not stamp
+    /// [`CheckTask::submitted_at`]).
+    pub queue_ns: u64,
 }
 
 /// An owned, `Send` capture of one static check (see the module docs).
@@ -124,6 +129,10 @@ pub struct CheckTask {
     pub opts: CheckOptions,
     /// The submitting engine's completion channel.
     pub completions: Arc<CompletionQueue>,
+    /// When the submitter enqueued the task. Stamped only when the
+    /// submitting engine collects observability metrics; the worker
+    /// turns it into [`TaskCompletion::queue_ns`].
+    pub submitted_at: Option<Instant>,
 }
 
 impl CheckTask {
@@ -174,7 +183,12 @@ impl CheckTask {
 
     /// Folds this task and a verdict into the completion record sent back
     /// to the submitting engine.
-    pub fn into_completion(self, verdict: TaskVerdict, duration_ns: u64) -> TaskCompletion {
+    pub fn into_completion(
+        self,
+        verdict: TaskVerdict,
+        duration_ns: u64,
+        queue_ns: u64,
+    ) -> TaskCompletion {
         TaskCompletion {
             cache_key: self.cache_key,
             ann_key: self.ann_key,
@@ -188,6 +202,7 @@ impl CheckTask {
             policy: self.policy,
             verdict,
             duration_ns,
+            queue_ns,
         }
     }
 }
@@ -308,6 +323,7 @@ mod tests {
             policy: CheckPolicy::Deferred,
             verdict: TaskVerdict::Panicked("x".into()),
             duration_ns: 1,
+            queue_ns: 0,
         };
         q.complete(c);
         assert!(q.has_ready());
